@@ -1,0 +1,111 @@
+//! A1: DNNK vs greedy vs exhaustive allocation quality and speed.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::alloc::{dnnk, exhaustive, greedy, AllocProblem};
+use lcmm_core::interference::VirtualBuffer;
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::{Evaluator, ValueId};
+use lcmm_fpga::{AccelDesign, Device, GraphProfile, Precision};
+use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+
+/// A weight-bound pointwise chain sized for exhaustive enumeration.
+fn small_graph() -> Graph {
+    let mut b = GraphBuilder::new("alloc_bench");
+    let mut cur = b.input(FeatureShape::new(512, 7, 7));
+    for (i, out) in [512usize, 640, 768, 512, 640, 768, 896, 512].iter().enumerate() {
+        cur = b.conv(format!("c{i}"), cur, ConvParams::pointwise(*out)).expect("valid");
+    }
+    b.finish(cur).expect("valid")
+}
+
+fn singleton_buffers(graph: &Graph) -> Vec<VirtualBuffer> {
+    graph
+        .conv_layers()
+        .flat_map(|n| {
+            [
+                VirtualBuffer {
+                    members: vec![ValueId::Weight(n.id())],
+                    bytes: graph.node_weight_elems(n.id()) * 2,
+                },
+                VirtualBuffer {
+                    members: vec![ValueId::Feature(n.id())],
+                    bytes: n.output_shape().elems() * 2,
+                },
+            ]
+        })
+        .collect()
+}
+
+fn profile_of(graph: &Graph) -> GraphProfile {
+    AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16).profile(graph)
+}
+
+fn print_quality_once() {
+    let graph = small_graph();
+    let profile = profile_of(&graph);
+    let evaluator = Evaluator::new(&graph, &profile);
+    let buffers = singleton_buffers(&graph);
+    let plan = PrefetchPlan::default();
+    let budget = 3u64 << 20;
+    let problem = AllocProblem::new(&evaluator, &buffers, budget, &plan);
+    let umm = problem.latency_of(&vec![false; buffers.len()]);
+    let exact = exhaustive::allocate(&problem);
+    let dn = dnnk::allocate(&problem);
+    let gr = greedy::allocate(&problem);
+    println!(
+        "[A1] 16-buffer chain, 3 MiB budget: UMM {:.3} ms | exhaustive {:.3} | DNNK {:.3} | greedy {:.3}",
+        umm * 1e3,
+        exact.latency * 1e3,
+        dn.latency * 1e3,
+        gr.latency * 1e3
+    );
+    println!(
+        "[A1] gain recovered: DNNK {:.0}%, greedy {:.0}% of exhaustive",
+        (umm - dn.latency) / (umm - exact.latency) * 100.0,
+        (umm - gr.latency) / (umm - exact.latency) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_quality_once();
+    let graph = small_graph();
+    let profile = profile_of(&graph);
+    let evaluator = Evaluator::new(&graph, &profile);
+    let buffers = singleton_buffers(&graph);
+    let plan = PrefetchPlan::default();
+    let budget = 3u64 << 20;
+    let problem = AllocProblem::new(&evaluator, &buffers, budget, &plan);
+
+    c.bench_function("alloc/dnnk_16_buffers", |b| {
+        b.iter(|| black_box(dnnk::allocate(&problem)))
+    });
+    c.bench_function("alloc/greedy_16_buffers", |b| {
+        b.iter(|| black_box(greedy::allocate(&problem)))
+    });
+    c.bench_function("alloc/exhaustive_16_buffers", |b| {
+        b.iter(|| black_box(exhaustive::allocate(&problem)))
+    });
+
+    // DNNK at full Inception-v4 scale.
+    let big = lcmm_graph::zoo::inception_v4();
+    let big_profile = profile_of(&big);
+    let big_eval = Evaluator::new(&big, &big_profile);
+    let big_buffers: Vec<VirtualBuffer> = big
+        .conv_layers()
+        .map(|n| VirtualBuffer {
+            members: vec![ValueId::Weight(n.id())],
+            bytes: big.node_weight_elems(n.id()) * 2,
+        })
+        .collect();
+    let big_problem =
+        AllocProblem::new(&big_eval, &big_buffers, 30 << 20, &plan);
+    c.bench_function("alloc/dnnk_149_buffers_inception_v4", |b| {
+        b.iter(|| black_box(dnnk::allocate(&big_problem)))
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_micro();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,99 @@
+//! Microbenches of the framework's core algorithms at real-network
+//! scale: liveness, coloring, prefetch planning, latency evaluation.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::interference::InterferenceGraph;
+use lcmm_core::liveness::{feature_lifespans, Schedule};
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::value::ValueTable;
+use lcmm_core::{Evaluator, Residency, ValueId};
+use lcmm_fpga::{AccelDesign, Device, Precision};
+
+fn bench(c: &mut Criterion) {
+    let graph = lcmm_graph::zoo::inception_v4();
+    let device = Device::vu9p();
+    let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+    let profile = design.profile(&graph);
+    let evaluator = Evaluator::new(&graph, &profile);
+    let values = ValueTable::build(&graph, &profile, Precision::Fix16);
+    let schedule = Schedule::new(&graph);
+
+    c.bench_function("algo/model_zoo_build_inception_v4", |b| {
+        b.iter(|| black_box(lcmm_graph::zoo::inception_v4()))
+    });
+    c.bench_function("algo/latency_profile_inception_v4", |b| {
+        b.iter(|| black_box(design.profile(&graph)))
+    });
+    c.bench_function("algo/value_table_build", |b| {
+        b.iter(|| black_box(ValueTable::build(&graph, &profile, Precision::Fix16)))
+    });
+    c.bench_function("algo/feature_lifespans", |b| {
+        b.iter(|| black_box(feature_lifespans(&schedule, values.iter())))
+    });
+
+    let spans = feature_lifespans(&schedule, values.iter());
+    let items: Vec<_> = values
+        .feature_candidates()
+        .map(|v| (v.id, v.bytes, spans[&v.id]))
+        .collect();
+    c.bench_function("algo/interference_coloring", |b| {
+        b.iter(|| {
+            let ig = InterferenceGraph::new(items.clone());
+            black_box(ig.color())
+        })
+    });
+    c.bench_function("algo/prefetch_plan", |b| {
+        b.iter(|| {
+            black_box(PrefetchPlan::build(
+                &evaluator,
+                &schedule,
+                &Residency::new(),
+                values.weight_candidates(),
+            ))
+        })
+    });
+
+    let residency: Residency = values
+        .iter()
+        .filter(|v| v.allocatable)
+        .map(|v| v.id)
+        .take(100)
+        .collect();
+    c.bench_function("algo/total_latency_eval", |b| {
+        b.iter(|| black_box(evaluator.total_latency(&residency)))
+    });
+    c.bench_function("algo/gain_of_one_value", |b| {
+        let target = [ValueId::Weight(graph.node_by_name("inception_b1/1x1").unwrap().id())];
+        b.iter(|| black_box(evaluator.gain_of(&residency, &target)))
+    });
+    c.bench_function("algo/schedule_minimizing_liveness", |b| {
+        b.iter(|| black_box(Schedule::minimizing_liveness(&graph)))
+    });
+    c.bench_function("algo/dram_transaction_stream_2000_chunks", |b| {
+        b.iter(|| {
+            black_box(lcmm_sim::dram::stream_efficiency(
+                lcmm_sim::dram::DramTiming::ddr4_2400(),
+                112,
+                64 * 1024,
+                2000,
+            ))
+        })
+    });
+    c.bench_function("algo/energy_estimate", |b| {
+        let model = lcmm_core::energy::EnergyModel::default();
+        b.iter(|| {
+            black_box(lcmm_core::energy::estimate(
+                &evaluator,
+                &design,
+                &residency,
+                &model,
+            ))
+        })
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_micro();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Fig. 2(a): roofline characterisation of Inception-v4 at 8-bit.
+
+use criterion::{black_box, Criterion};
+use lcmm_fpga::roofline::RooflineReport;
+use lcmm_fpga::{AccelDesign, Device, Precision};
+
+fn print_series_once() {
+    let graph = lcmm_graph::zoo::inception_v4();
+    let design = AccelDesign::explore(&graph, &Device::vu9p(), Precision::Fix8);
+    let report = RooflineReport::build(&graph, &design);
+    println!(
+        "[fig2a] inception_v4 8-bit: {} of {} layers memory bound ({:.0}%); \
+         {:.0}% of those need >2x interface bandwidth",
+        report.memory_bound_count(),
+        report.points.len(),
+        report.memory_bound_fraction() * 100.0,
+        report.fraction_needing_bandwidth(2.0 * report.interface_bandwidth) * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series_once();
+    let graph = lcmm_graph::zoo::inception_v4();
+    let device = Device::vu9p();
+    let design = AccelDesign::explore(&graph, &device, Precision::Fix8);
+    c.bench_function("fig2a/roofline_inception_v4_8bit", |b| {
+        b.iter(|| black_box(RooflineReport::build(&graph, &design)))
+    });
+    c.bench_function("fig2a/design_exploration", |b| {
+        b.iter(|| black_box(AccelDesign::explore(&graph, &device, Precision::Fix8)))
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

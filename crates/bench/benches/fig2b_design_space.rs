@@ -1,0 +1,45 @@
+//! Fig. 2(b): the 2^14-point block residency design space of
+//! Inception-v4 (plus the 2^9 GoogLeNet space as the timed kernel).
+
+use criterion::{black_box, Criterion};
+use lcmm_core::design_space::{inception_blocks, sweep};
+use lcmm_core::value::ValueTable;
+use lcmm_core::{Evaluator, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+
+fn print_series_once() {
+    let graph = lcmm_graph::zoo::inception_v4();
+    let umm = UmmBaseline::build(&graph, &Device::vu9p(), Precision::Fix8);
+    let evaluator = Evaluator::new(&graph, &umm.profile);
+    let values = ValueTable::build(&graph, &umm.profile, Precision::Fix8);
+    let blocks = inception_blocks(&graph);
+    let space = sweep(&graph, &evaluator, &values, &blocks);
+    let best = space.best();
+    println!(
+        "[fig2b] inception_v4 8-bit: {} points over {} blocks; best {:.3} ms at {:.1} MiB; \
+         non-monotone in SRAM: {}",
+        space.points.len(),
+        blocks.len(),
+        best.latency * 1e3,
+        best.sram_bytes as f64 / (1 << 20) as f64,
+        space.is_non_monotone()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series_once();
+    let graph = lcmm_graph::zoo::googlenet();
+    let umm = UmmBaseline::build(&graph, &Device::vu9p(), Precision::Fix16);
+    let evaluator = Evaluator::new(&graph, &umm.profile);
+    let values = ValueTable::build(&graph, &umm.profile, Precision::Fix16);
+    let blocks = inception_blocks(&graph);
+    c.bench_function("fig2b/sweep_googlenet_512_points", |b| {
+        b.iter(|| black_box(sweep(&graph, &evaluator, &values, &blocks)))
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,51 @@
+//! Fig. 3: memory-footprint trace of inception_c1 under UMM vs LCMM.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::pipeline::compare;
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::Residency;
+use lcmm_fpga::{Device, Precision};
+use lcmm_sim::trace::Footprint;
+use lcmm_sim::{SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let graph = lcmm_graph::zoo::inception_v4();
+    let device = Device::vu9p();
+    let (umm, lcmm) = compare(&graph, &device, Precision::Fix16);
+    let focus = graph.block_nodes("inception_c1");
+
+    // Print the figure's punchline once.
+    let lcmm_profile = lcmm.design.profile(&graph);
+    let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+    let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
+    let fp = Footprint::build(&graph, &lcmm_report, &lcmm.residency, &lcmm.prefetch, &focus);
+    println!(
+        "[fig3] inception_c1: LCMM keeps {} of {} tensors on chip (UMM: 0); peak {:.0} KiB",
+        fp.on_chip_rows().len(),
+        fp.rows.len(),
+        fp.peak_on_chip_bytes() as f64 / 1024.0
+    );
+
+    let umm_sim = Simulator::new(&graph, &umm.profile);
+    c.bench_function("fig3/simulate_umm_inception_v4", |b| {
+        b.iter(|| black_box(umm_sim.run(&Residency::new(), &SimConfig::default())))
+    });
+    c.bench_function("fig3/footprint_build", |b| {
+        b.iter(|| {
+            black_box(Footprint::build(
+                &graph,
+                &lcmm_report,
+                &lcmm.residency,
+                &lcmm.prefetch,
+                &focus,
+            ))
+        })
+    });
+    let _ = PrefetchPlan::default();
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,62 @@
+//! Fig. 8: GoogLeNet 16-bit per-block analysis of feature reuse (a),
+//! weight prefetching (b) and their combination (c).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use lcmm_core::pipeline::{block_latency, block_ops, Pipeline};
+use lcmm_core::{Evaluator, LcmmOptions, Residency, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+
+fn print_series_once() {
+    let graph = lcmm_graph::zoo::googlenet();
+    let device = Device::vu9p();
+    let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
+    let umm_eval = Evaluator::new(&graph, &umm.profile);
+    let variants = [
+        ("feature_reuse", LcmmOptions::feature_reuse_only()),
+        ("wt_prefetch", LcmmOptions::weight_prefetch_only()),
+        ("full_lcmm", LcmmOptions::default()),
+    ];
+    let results: Vec<_> = variants
+        .iter()
+        .map(|(_, o)| Pipeline::new(*o).run_with_design(&graph, umm.design.clone()))
+        .collect();
+    println!("[fig8] block          UMM  feat   wtpf   full   (Gops)");
+    for block in graph.blocks().iter().filter(|b| b.starts_with("inception")) {
+        let ops = block_ops(&graph, block) as f64;
+        let umm_gops = ops / block_latency(&graph, &umm_eval, &Residency::new(), block) / 1e9;
+        let mut row = format!("[fig8] {block:14} {umm_gops:5.0}");
+        for r in &results {
+            let profile = r.design.profile(&graph);
+            let ev = Evaluator::new(&graph, &profile);
+            let gops = ops / block_latency(&graph, &ev, &r.residency, block) / 1e9;
+            row.push_str(&format!(" {gops:6.0}"));
+        }
+        println!("{row}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series_once();
+    let graph = lcmm_graph::zoo::googlenet();
+    let device = Device::vu9p();
+    let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
+    let mut group = c.benchmark_group("fig8");
+    for (name, opts) in [
+        ("feature_reuse_only", LcmmOptions::feature_reuse_only()),
+        ("weight_prefetch_only", LcmmOptions::weight_prefetch_only()),
+        ("full_lcmm", LcmmOptions::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &opts, |b, o| {
+            b.iter(|| {
+                black_box(Pipeline::new(*o).run_with_design(&graph, umm.design.clone()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,48 @@
+//! A3: analytic model vs event-driven simulator across the suite.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use lcmm_core::pipeline::compare;
+use lcmm_core::Residency;
+use lcmm_fpga::{Device, Precision};
+use lcmm_sim::validate::validate;
+use lcmm_sim::{SimConfig, Simulator};
+
+fn print_table_once() {
+    let device = Device::vu9p();
+    println!("[A3] benchmark        UMM sim/model  LCMM sim/model  sim speedup");
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        let (umm, lcmm) = compare(&graph, &device, Precision::Fix16);
+        let v = validate(&graph, &umm, &lcmm);
+        println!(
+            "[A3] {:14} {:13.3} {:15.3} {:11.2}x",
+            graph.name(),
+            v.umm.ratio(),
+            v.lcmm.ratio(),
+            v.umm.simulated / v.lcmm.simulated
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let device = Device::vu9p();
+    let mut group = c.benchmark_group("sim");
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        let umm = lcmm_core::UmmBaseline::build(&graph, &device, Precision::Fix16);
+        group.bench_with_input(
+            BenchmarkId::new("umm_inference", graph.name()),
+            &graph,
+            |b, g| {
+                let sim = Simulator::new(g, &umm.profile);
+                b.iter(|| black_box(sim.run(&Residency::new(), &SimConfig::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

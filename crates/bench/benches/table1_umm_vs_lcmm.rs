@@ -1,0 +1,50 @@
+//! Table 1: UMM vs LCMM across the benchmark suite and precisions.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use lcmm_core::pipeline::compare;
+use lcmm_fpga::{Device, Precision};
+
+fn print_table_once() {
+    let device = Device::vu9p();
+    let mut speedups = Vec::new();
+    println!("[table1] benchmark        prec    UMM ms   LCMM ms  speedup");
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        for precision in Precision::ALL {
+            let (umm, lcmm) = compare(&graph, &device, precision);
+            let s = lcmm.speedup_over(umm.latency);
+            speedups.push(s);
+            println!(
+                "[table1] {:14} {:7} {:8.3} {:9.3} {:7.2}x",
+                graph.name(),
+                precision.label(),
+                umm.latency * 1e3,
+                lcmm.latency * 1e3,
+                s
+            );
+        }
+    }
+    println!(
+        "[table1] average speedup {:.2}x (paper: 1.36x)",
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let device = Device::vu9p();
+    let mut group = c.benchmark_group("table1");
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        group.bench_with_input(
+            BenchmarkId::new("umm_vs_lcmm_16bit", graph.name()),
+            &graph,
+            |b, g| b.iter(|| black_box(compare(g, &device, Precision::Fix16))),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Table 2: on-chip memory utilisation and the POL metric.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::pipeline::{compare, Pipeline};
+use lcmm_core::{LcmmOptions, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+
+fn print_table_once() {
+    let device = Device::vu9p();
+    println!("[table2] benchmark        prec    UMM BRAM/URAM %  LCMM BRAM/URAM %  POL %");
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        for precision in Precision::ALL {
+            let (umm, lcmm) = compare(&graph, &device, precision);
+            println!(
+                "[table2] {:14} {:7} {:8.0} {:6.0} {:10.0} {:6.0} {:8.0}",
+                graph.name(),
+                precision.label(),
+                umm.resources.bram_util * 100.0,
+                umm.resources.uram_util * 100.0,
+                lcmm.resources.bram_util * 100.0,
+                lcmm.resources.uram_util * 100.0,
+                lcmm.pol() * 100.0
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let device = Device::vu9p();
+    let graph = lcmm_graph::zoo::resnet152();
+    let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
+    c.bench_function("table2/lcmm_pipeline_resnet152_16bit", |b| {
+        b.iter(|| {
+            black_box(
+                Pipeline::new(LcmmOptions::default())
+                    .run_with_design(&graph, umm.design.clone()),
+            )
+        })
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Table 3: LCMM vs the Cloud-DNN and TGPA strategy analogues.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::pipeline::compare;
+use lcmm_core::strategies::{cloud_dnn_like, tgpa_like};
+use lcmm_fpga::{Device, Precision};
+
+fn print_table_once() {
+    let device = Device::vu9p();
+    let rn50 = lcmm_graph::zoo::resnet50();
+    let cloud = cloud_dnn_like(&rn50, &device, Precision::Fix16);
+    let (_, lcmm50) = compare(&rn50, &device, Precision::Fix16);
+    println!(
+        "[table3] resnet50 16-bit: LCMM {:.3} Tops vs cloud-dnn-like {:.3} Tops ({:.2}x; paper 1.35x)",
+        lcmm50.throughput_ops() / 1e12,
+        cloud.throughput_ops() / 1e12,
+        lcmm50.throughput_ops() / cloud.throughput_ops()
+    );
+    let rn152 = lcmm_graph::zoo::resnet152();
+    let tgpa = tgpa_like(&rn152, &device, Precision::Fix16);
+    let (_, lcmm152) = compare(&rn152, &device, Precision::Fix16);
+    println!(
+        "[table3] resnet152 16-bit: LCMM {:.3} Tops vs tgpa-like {:.3} Tops ({:.2}x; paper 1.12x)",
+        lcmm152.throughput_ops() / 1e12,
+        tgpa.throughput_ops() / 1e12,
+        lcmm152.throughput_ops() / tgpa.throughput_ops()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let device = Device::vu9p();
+    let rn50 = lcmm_graph::zoo::resnet50();
+    c.bench_function("table3/cloud_dnn_like_resnet50", |b| {
+        b.iter(|| black_box(cloud_dnn_like(&rn50, &device, Precision::Fix16)))
+    });
+    let rn152 = lcmm_graph::zoo::resnet152();
+    c.bench_function("table3/tgpa_like_resnet152", |b| {
+        b.iter(|| black_box(tgpa_like(&rn152, &device, Precision::Fix16)))
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_heavy();
+    bench(&mut c);
+    c.final_summary();
+}

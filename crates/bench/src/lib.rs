@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the
+//! paper (printing the rows/series once) and then times the computation
+//! that produces it, so `cargo bench` doubles as the experiment
+//! harness' performance regression suite.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Criterion tuned for heavyweight end-to-end benches: few samples,
+/// short measurement windows, no plots.
+#[must_use]
+pub fn criterion_heavy() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500))
+        .without_plots()
+}
+
+/// Criterion for microbenches of the core algorithms.
+#[must_use]
+pub fn criterion_micro() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .without_plots()
+}

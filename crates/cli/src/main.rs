@@ -1,0 +1,103 @@
+//! `lcmm` — the experiment harness.
+//!
+//! Each subcommand regenerates one table or figure of the DAC'19 paper
+//! from the model and simulator in this repository:
+//!
+//! ```text
+//! lcmm roofline       Fig. 2(a): per-layer roofline of Inception-v4
+//! lcmm design-space   Fig. 2(b): block-level residency design space
+//! lcmm footprint      Fig. 3:    memory footprint of inception_c1
+//! lcmm table1                      UMM vs LCMM across the suite
+//! lcmm table2                      on-chip memory utilisation + POL
+//! lcmm table3                      vs state-of-the-art analogues
+//! lcmm fig8           Fig. 8:    GoogLeNet per-block pass ablation
+//! lcmm validate       A3:        analytic model vs simulator
+//! lcmm ablation       A1/A2:     allocators and splitting
+//! lcmm summary                     model zoo statistics
+//! lcmm all                         everything above, in order
+//! ```
+//!
+//! Options: `--model <name>`, `--precision <8|16|32>` where relevant.
+
+mod opts;
+mod report;
+mod table;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match opts::Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "roofline" => report::fig2a::run(&opts),
+        "design-space" => report::fig2b::run(&opts),
+        "footprint" => report::fig3::run(&opts),
+        "table1" => report::table1::run(&opts),
+        "table2" => report::table2::run(&opts),
+        "table3" => report::table3::run(&opts),
+        "fig7" => report::fig7::run(&opts),
+        "fig8" => report::fig8::run(&opts),
+        "validate" => report::validate::run(&opts),
+        "ablation" => report::ablation::run(&opts),
+        "sensitivity" => report::sensitivity::run_bandwidth(&opts),
+        "batch-study" => report::sensitivity::run_batch(&opts),
+        "devices" => report::sensitivity::run_devices(&opts),
+        "granular" => report::sensitivity::run_granular(&opts),
+        "energy" => report::energy_cmd::run(&opts),
+        "calibrate" => report::calibrate_cmd::run(&opts),
+        "summary" => report::summary::run(&opts),
+        "export" => report::export::run(&opts),
+        "manifest" => report::manifest_cmd::run(&opts),
+        "trace" => report::trace_cmd::run(&opts),
+        "all" => report::all(&opts),
+        _ => {
+            eprintln!("error: unknown command {command:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: lcmm <command> [--model <name>] [--precision <8|16|32>]
+
+commands:
+  roofline      Fig. 2(a)  per-layer roofline characterisation
+  design-space  Fig. 2(b)  block-level residency design space
+  footprint     Fig. 3     memory footprint timeline (UMM vs LCMM)
+  table1        Table 1    UMM vs LCMM: latency/throughput/resources
+  table2        Table 2    on-chip memory utilisation and POL
+  table3        Table 3    comparison with state-of-the-art analogues
+  fig7          Fig. 7     DNNK metric tables (buffers/tensors/ops)
+  fig8          Fig. 8     GoogLeNet per-block pass ablation
+  validate      A3         analytic model vs event-driven simulator
+  ablation      A1/A2      allocator and splitting ablations
+  sensitivity   S1         DDR-efficiency calibration sweep
+  batch-study   S2         batch-size scaling of the LCMM advantage
+  devices       S3         embedded / VU9P / VU13P device scaling
+  granular      S4         uniform vs granularity-derived DRAM model
+  energy        S5         energy breakdown of UMM vs LCMM
+  calibrate     S0         re-derive the DDR-efficiency calibration
+  summary                  model zoo statistics
+  export                   dump a model as DOT (or JSON with --json)
+  manifest                 allocation manifest (buffers/addresses/prefetches)
+  trace                    Chrome-trace JSON of one simulated inference
+  all                      run every report in order
+
+models: alexnet squeezenet vgg16 resnet50 resnet101 resnet152 googlenet
+        inception_v4 inception_resnet_v2 densenet121";

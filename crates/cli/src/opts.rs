@@ -1,0 +1,91 @@
+//! Minimal flag parsing (no external dependencies).
+
+use lcmm_fpga::Precision;
+use lcmm_graph::Graph;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// `--model <name>`.
+    pub model: Option<String>,
+    /// `--precision <8|16|32>`.
+    pub precision: Option<Precision>,
+    /// `--block <label>` (footprint).
+    pub block: Option<String>,
+    /// `--json` — emit machine-readable output where supported.
+    pub json: bool,
+}
+
+impl Opts {
+    /// Parses `--flag value` pairs.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--model" => {
+                    opts.model =
+                        Some(it.next().ok_or("--model needs a value")?.clone());
+                }
+                "--precision" => {
+                    let v = it.next().ok_or("--precision needs a value")?;
+                    opts.precision = Some(match v.as_str() {
+                        "8" => Precision::Fix8,
+                        "16" => Precision::Fix16,
+                        "32" => Precision::Float32,
+                        other => return Err(format!("unknown precision {other:?}")),
+                    });
+                }
+                "--block" => {
+                    opts.block =
+                        Some(it.next().ok_or("--block needs a value")?.clone());
+                }
+                "--json" => opts.json = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Resolves `--model`, defaulting to `default_name`.
+    pub fn model_or(&self, default_name: &str) -> Result<Graph, String> {
+        let name = self.model.as_deref().unwrap_or(default_name);
+        lcmm_graph::zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))
+    }
+
+    /// Resolves `--precision`, defaulting to `default`.
+    pub fn precision_or(&self, default: Precision) -> Precision {
+        self.precision.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Opts::parse(&s(&["--model", "googlenet", "--precision", "8", "--json"])).unwrap();
+        assert_eq!(o.model.as_deref(), Some("googlenet"));
+        assert_eq!(o.precision, Some(Precision::Fix8));
+        assert!(o.json);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(Opts::parse(&s(&["--frob"])).is_err());
+        assert!(Opts::parse(&s(&["--precision", "7"])).is_err());
+        assert!(Opts::parse(&s(&["--model"])).is_err());
+    }
+
+    #[test]
+    fn model_resolution() {
+        let o = Opts::default();
+        assert!(o.model_or("googlenet").is_ok());
+        assert!(o.model_or("nonexistent").is_err());
+    }
+}

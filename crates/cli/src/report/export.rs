@@ -1,0 +1,14 @@
+//! Model export: DOT for visualisation, JSON for interchange.
+
+use crate::opts::Opts;
+
+/// Prints the selected model in DOT (default) or JSON (`--json`).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("googlenet")?;
+    if opts.json {
+        println!("{}", graph.to_json().map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", graph.to_dot());
+    }
+    Ok(())
+}

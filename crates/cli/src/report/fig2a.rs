@@ -1,0 +1,64 @@
+//! Fig. 2(a): roofline characterisation of Inception-v4.
+
+use crate::opts::Opts;
+use crate::table::{pct, Table};
+use lcmm_fpga::{AccelDesign, Boundedness, Device, Precision};
+use lcmm_fpga::roofline::RooflineReport;
+
+/// Prints the roofline points and the memory-boundedness summary.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("inception_v4")?;
+    let precision = opts.precision_or(Precision::Fix8);
+    let device = Device::vu9p();
+    let design = AccelDesign::explore(&graph, &device, precision);
+    let report = RooflineReport::build(&graph, &design);
+
+    println!(
+        "model {}  precision {}  peak {:.2} Tops  sustained interface bandwidth {:.1} GB/s\n",
+        graph.name(),
+        precision,
+        report.peak_ops / 1e12,
+        report.interface_bandwidth / 1e9
+    );
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let mut table = Table::new([
+        "layer",
+        "ops/byte",
+        "attainable Gops",
+        "needs GB/s",
+        "bound",
+    ]);
+    for p in &report.points {
+        table.row([
+            graph.node(p.id).name().to_string(),
+            format!("{:.1}", p.intensity),
+            format!("{:.1}", p.attainable_ops / 1e9),
+            format!("{:.1}", p.required_bandwidth / 1e9),
+            match p.bound {
+                Boundedness::Memory => "memory".to_string(),
+                Boundedness::Compute => "compute".to_string(),
+            },
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nmemory-bound layers: {} of {} ({}%)   [paper: 82 of ~141, 58%]",
+        report.memory_bound_count(),
+        report.points.len(),
+        pct(report.memory_bound_fraction())
+    );
+    println!(
+        "of those, needing > 2x interface bandwidth: {}%   (paper: >60% need 70 GB/s)",
+        pct(report.fraction_needing_bandwidth(2.0 * report.interface_bandwidth))
+    );
+    Ok(())
+}

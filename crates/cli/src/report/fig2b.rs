@@ -1,0 +1,98 @@
+//! Fig. 2(b): the block-level residency design space of Inception-v4.
+
+use crate::opts::Opts;
+use crate::table::{mib, ms, Table};
+use lcmm_core::design_space::{inception_blocks, sweep};
+use lcmm_core::value::ValueTable;
+use lcmm_core::{Evaluator, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+
+/// Sweeps the 2^n block design space and prints the SRAM/latency cloud
+/// as a bucketed summary (the full point set with `--json`).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("inception_v4")?;
+    let precision = opts.precision_or(Precision::Fix8);
+    let device = Device::vu9p();
+    let umm = UmmBaseline::build(&graph, &device, precision);
+    let evaluator = Evaluator::new(&graph, &umm.profile);
+    let values = ValueTable::build(&graph, &umm.profile, precision);
+    let blocks = inception_blocks(&graph);
+    if blocks.is_empty() {
+        return Err(format!("model {} has no inception blocks", graph.name()));
+    }
+
+    println!(
+        "model {}  precision {}  blocks {}  points {}\n",
+        graph.name(),
+        precision,
+        blocks.len(),
+        1usize << blocks.len()
+    );
+    let space = sweep(&graph, &evaluator, &values, &blocks);
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&space).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    // Bucket by SRAM spend; show best/worst per bucket to expose the
+    // non-monotone cloud the paper plots.
+    let max_sram = space.points.iter().map(|p| p.sram_bytes).max().unwrap_or(0);
+    let buckets = 16usize;
+    let mut table = Table::new(["SRAM MiB", "points", "best Tops", "worst Tops", "best ms"]);
+    for b in 0..buckets {
+        let lo = max_sram * b as u64 / buckets as u64;
+        let hi = max_sram * (b as u64 + 1) / buckets as u64;
+        let in_bucket: Vec<_> = space
+            .points
+            .iter()
+            .filter(|p| p.sram_bytes >= lo && (p.sram_bytes < hi || b == buckets - 1))
+            .collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        let best = in_bucket
+            .iter()
+            .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite"))
+            .expect("nonempty");
+        let worst = in_bucket
+            .iter()
+            .max_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite"))
+            .expect("nonempty");
+        table.row([
+            format!("{}-{}", mib(lo), mib(hi)),
+            in_bucket.len().to_string(),
+            format!("{:.3}", best.throughput_ops(space.total_ops) / 1e12),
+            format!("{:.3}", worst.throughput_ops(space.total_ops) / 1e12),
+            ms(best.latency),
+        ]);
+    }
+    table.print();
+
+    let device_limit = device.sram_bytes();
+    let best_overall = space.best();
+    let best_feasible = space
+        .feasible(umm.design.tensor_sram_budget())
+        .into_iter()
+        .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite"))
+        .expect("space has feasible points");
+    println!(
+        "\nnon-monotone in SRAM: {}   (paper: \"more on-chip memory doesn't necessarily mean higher performance\")",
+        space.is_non_monotone()
+    );
+    println!(
+        "best point overall : {} ms at {} MiB (device limit {} MiB)",
+        ms(best_overall.latency),
+        mib(best_overall.sram_bytes),
+        mib(device_limit)
+    );
+    println!(
+        "best feasible point: {} ms at {} MiB",
+        ms(best_feasible.latency),
+        mib(best_feasible.sram_bytes)
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Fig. 3: memory footprint of one block under UMM and LCMM.
+
+use crate::opts::Opts;
+use crate::table::Table;
+use lcmm_core::pipeline::compare;
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::Residency;
+use lcmm_fpga::{Device, Precision};
+use lcmm_sim::trace::{Footprint, Placement};
+use lcmm_sim::{SimConfig, Simulator};
+
+/// Prints the UMM and LCMM footprint timelines of one block.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("inception_v4")?;
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    let block = opts.block.clone().unwrap_or_else(|| "inception_c1".to_string());
+    let focus = graph.block_nodes(&block);
+    if focus.is_empty() {
+        return Err(format!(
+            "model {} has no block {block:?}; available: {:?}",
+            graph.name(),
+            graph.blocks()
+        ));
+    }
+
+    let (umm, lcmm) = compare(&graph, &device, precision);
+
+    let umm_report =
+        Simulator::new(&graph, &umm.profile).run(&Residency::new(), &SimConfig::default());
+    let umm_fp = Footprint::build(
+        &graph,
+        &umm_report,
+        &Residency::new(),
+        &PrefetchPlan::default(),
+        &focus,
+    );
+
+    let lcmm_profile = lcmm.design.profile(&graph);
+    let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+    let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
+    let lcmm_fp = Footprint::build(&graph, &lcmm_report, &lcmm.residency, &lcmm.prefetch, &focus);
+
+    for (title, fp) in [("UMM", &umm_fp), ("LCMM", &lcmm_fp)] {
+        println!("\n--- {title} footprint of {block} ({} {precision}) ---", graph.name());
+        let mut table = Table::new(["tensor", "placement", "from us", "to us", "KiB"]);
+        for row in &fp.rows {
+            table.row([
+                format!("{} [{}]", row.layer, row.value),
+                match row.placement {
+                    Placement::OnChip => "on-chip".to_string(),
+                    Placement::OffChip => "off-chip".to_string(),
+                },
+                format!("{:.1}", row.from * 1e6),
+                format!("{:.1}", row.to * 1e6),
+                format!("{:.1}", row.bytes as f64 / 1024.0),
+            ]);
+        }
+        table.print();
+        println!(
+            "on-chip tensors {}  peak on-chip {:.1} KiB",
+            fp.on_chip_rows().len(),
+            fp.peak_on_chip_bytes() as f64 / 1024.0
+        );
+    }
+    Ok(())
+}

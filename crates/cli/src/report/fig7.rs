@@ -1,0 +1,127 @@
+//! Fig. 7: the DNNK metric tables — virtual buffer table, tensor metric
+//! table, and operation latency table.
+
+use crate::opts::Opts;
+use crate::table::{mib, Table};
+use lcmm_core::liveness::Schedule;
+use lcmm_core::pipeline::compare;
+use lcmm_core::value::ValueTable;
+use lcmm_core::{Evaluator, Residency, ValueId};
+use lcmm_fpga::{Device, Precision};
+
+fn us(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e6)
+}
+
+/// Prints the three Fig. 7 tables for one block of the model (default:
+/// `inception_c1` of Inception-v4, the block of the paper's Fig. 3).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("inception_v4")?;
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    let block = opts.block.clone().unwrap_or_else(|| "inception_c1".to_string());
+    let focus = graph.block_nodes(&block);
+    if focus.is_empty() {
+        return Err(format!(
+            "model {} has no block {block:?}; available: {:?}",
+            graph.name(),
+            graph.blocks()
+        ));
+    }
+
+    let (_, lcmm) = compare(&graph, &device, precision);
+    let profile = lcmm.design.profile(&graph);
+    let evaluator = Evaluator::new(&graph, &profile);
+    let values = ValueTable::build(&graph, &profile, precision);
+    let schedule = Schedule::new(&graph);
+    let empty = Residency::new();
+
+    // --- (c) operation latency table -----------------------------------
+    println!("--- Fig. 7(c): operation latency table for {block} (µs) ---\n");
+    let mut op_table = Table::new(["OP", "latc", "latif", "latwt", "latof"]);
+    for &node in &focus {
+        let row = profile.node(node);
+        if row.compute == 0.0 && row.worst_transfer() == 0.0 {
+            continue; // concat: free
+        }
+        op_table.row([
+            graph.node(node).name().to_string(),
+            us(row.compute),
+            us(row.input_total()),
+            us(row.weight),
+            us(row.output),
+        ]);
+    }
+    op_table.print();
+
+    // --- (b) tensor metric table ----------------------------------------
+    println!("\n--- Fig. 7(b): tensor metric table (latency reduction L, µs) ---\n");
+    let mut metric_table = Table::new(["tensor", "source", "OP", "L"]);
+    for &node in &focus {
+        for id in [ValueId::Feature(node), ValueId::Weight(node)] {
+            let Some(v) = values.get(id) else { continue };
+            if !v.allocatable {
+                continue;
+            }
+            let gain = evaluator.gain_of(&empty, &[id]);
+            metric_table.row([
+                format!("{id}"),
+                match id {
+                    ValueId::Feature(_) => "of/if".to_string(),
+                    ValueId::Weight(_) => "wt".to_string(),
+                },
+                graph.node(node).name().to_string(),
+                us(gain),
+            ]);
+        }
+    }
+    metric_table.print();
+
+    // --- (a) virtual buffer table ----------------------------------------
+    println!("\n--- Fig. 7(a): virtual buffer table (buffers touching {block}) ---\n");
+    let mut buf_table = Table::new(["buf. ID", "S (MiB)", "start", "end", "members", "on-chip"]);
+    for (i, (buf, &chosen)) in lcmm.buffers.iter().zip(&lcmm.chosen).enumerate() {
+        if !buf.members.iter().any(|m| focus.contains(&m.node())) {
+            continue;
+        }
+        // Span: earliest definition to last use among members.
+        let (mut start, mut end) = (usize::MAX, 0usize);
+        for m in &buf.members {
+            match m {
+                ValueId::Feature(n) => {
+                    start = start.min(schedule.position(*n));
+                    let last = values
+                        .get(*m)
+                        .map(|v| {
+                            v.readers
+                                .iter()
+                                .map(|&r| schedule.position(r))
+                                .max()
+                                .unwrap_or(schedule.position(*n))
+                        })
+                        .unwrap_or(0);
+                    end = end.max(last);
+                }
+                ValueId::Weight(n) => {
+                    let span = lcmm
+                        .prefetch
+                        .edge(*m)
+                        .map(|e| (e.start, e.end))
+                        .unwrap_or((schedule.position(*n), schedule.position(*n)));
+                    start = start.min(span.0);
+                    end = end.max(span.1);
+                }
+            }
+        }
+        buf_table.row([
+            format!("vbuf{i}"),
+            mib(buf.bytes),
+            start.to_string(),
+            end.to_string(),
+            buf.members.len().to_string(),
+            if chosen { "yes".to_string() } else { "spilled".to_string() },
+        ]);
+    }
+    buf_table.print();
+    Ok(())
+}

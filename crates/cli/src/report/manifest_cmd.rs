@@ -1,0 +1,48 @@
+//! Allocation manifest dump: the deployable output of the framework.
+
+use crate::opts::Opts;
+use crate::table::{mib, Table};
+use lcmm_core::manifest::AllocationManifest;
+use lcmm_core::pipeline::compare;
+use lcmm_fpga::{Device, Precision};
+
+/// Prints the allocation manifest (JSON with `--json`, summary table
+/// otherwise).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("googlenet")?;
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    let (_, lcmm) = compare(&graph, &device, precision);
+    let manifest = AllocationManifest::build(&graph, &lcmm);
+    if opts.json {
+        println!("{}", manifest.to_json());
+        return Ok(());
+    }
+    println!(
+        "allocation manifest: {} {} — {} buffers, {} prefetches, {} of {} MiB\n",
+        manifest.model,
+        manifest.precision,
+        manifest.buffers.len(),
+        manifest.prefetches.len(),
+        mib(manifest.total_bytes),
+        mib(manifest.budget_bytes)
+    );
+    let mut table = Table::new(["buffer", "base", "MiB", "tensors", "largest binding"]);
+    for buf in &manifest.buffers {
+        let largest = buf
+            .tensors
+            .iter()
+            .max_by_key(|t| t.bytes)
+            .map(|t| t.layer.clone())
+            .unwrap_or_default();
+        table.row([
+            buf.name.clone(),
+            format!("{:#x}", buf.base),
+            mib(buf.bytes),
+            buf.tensors.len().to_string(),
+            largest,
+        ]);
+    }
+    table.print();
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! One module per paper artefact.
+
+pub mod ablation;
+pub mod calibrate_cmd;
+pub mod energy_cmd;
+pub mod export;
+pub mod fig2a;
+pub mod sensitivity;
+pub mod fig2b;
+pub mod fig3;
+pub mod fig7;
+pub mod manifest_cmd;
+pub mod fig8;
+pub mod summary;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod trace_cmd;
+pub mod validate;
+
+use crate::opts::Opts;
+
+/// Runs every report in paper order.
+pub fn all(opts: &Opts) -> Result<(), String> {
+    for (name, f) in [
+        ("summary", summary::run as fn(&Opts) -> Result<(), String>),
+        ("roofline (Fig. 2a)", fig2a::run),
+        ("design space (Fig. 2b)", fig2b::run),
+        ("footprint (Fig. 3)", fig3::run),
+        ("metric tables (Fig. 7)", fig7::run),
+        ("Table 1", table1::run),
+        ("Table 2", table2::run),
+        ("Fig. 8", fig8::run),
+        ("Table 3", table3::run),
+        ("validation (A3)", validate::run),
+        ("ablations (A1/A2)", ablation::run),
+        ("bandwidth sensitivity (S1)", sensitivity::run_bandwidth),
+        ("batch study (S2)", sensitivity::run_batch),
+        ("device scaling (S3)", sensitivity::run_devices),
+        ("granular DRAM model (S4)", sensitivity::run_granular),
+        ("energy study (S5)", energy_cmd::run),
+    ] {
+        println!("\n================ {name} ================\n");
+        f(opts)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Robustness studies beyond the paper: calibration sensitivity,
+//! batch-size scaling, and device scaling.
+//!
+//! These do not correspond to a paper artefact; they answer the
+//! questions a reviewer of this *reproduction* would ask — does the
+//! headline survive the calibration knob, and how does the mechanism
+//! behave when the machine balance is moved by batching or by changing
+//! the device?
+
+use crate::opts::Opts;
+use crate::table::{ms, pct, Table};
+use lcmm_core::pipeline::compare;
+use lcmm_core::{LcmmOptions, Pipeline, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+
+/// Sweeps the DDR access-efficiency calibration knob and reports the
+/// suite-average speedup at each setting.
+pub fn run_bandwidth(opts: &Opts) -> Result<(), String> {
+    let precision = opts.precision_or(Precision::Fix16);
+    println!("DDR access efficiency sweep ({precision}; repo default 0.21):\n");
+    let mut table = Table::new([
+        "efficiency", "GB/s per stream", "RN speedup", "GN speedup", "IN speedup", "average",
+    ]);
+    for eff in [0.12, 0.17, 0.21, 0.28, 0.40, 0.60, 1.00] {
+        let mut device = Device::vu9p();
+        device.ddr.access_efficiency = eff;
+        let mut row = vec![
+            format!("{eff:.2}"),
+            format!("{:.1}", device.ddr.effective_interface_bandwidth() / 1e9),
+        ];
+        let mut speedups = Vec::new();
+        for graph in lcmm_graph::zoo::benchmark_suite() {
+            let (umm, lcmm) = compare(&graph, &device, precision);
+            speedups.push(lcmm.speedup_over(umm.latency));
+        }
+        for s in &speedups {
+            row.push(format!("{s:.2}x"));
+        }
+        row.push(format!(
+            "{:.2}x",
+            speedups.iter().sum::<f64>() / speedups.len() as f64
+        ));
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "\nThe LCMM advantage is monotone in bandwidth scarcity and survives a wide\n\
+         band around the calibrated 0.21; at 1.00 (theoretical DDR) the networks\n\
+         are compute bound and the advantage collapses — as it should."
+    );
+    Ok(())
+}
+
+/// Batch-size study: weight traffic amortises across a batch, so the
+/// weight wall (and with it part of LCMM's win) shrinks as batch grows.
+pub fn run_batch(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("resnet152")?;
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    println!("batch study: {} {precision}\n", graph.name());
+    let mut table = Table::new([
+        "batch", "UMM ms/img", "LCMM ms/img", "speedup", "UMM Tops", "LCMM Tops",
+    ]);
+    for batch in [1usize, 2, 4, 8, 16] {
+        let design = lcmm_fpga::AccelDesign::explore(&graph, &device, precision)
+            .with_batch(batch);
+        let umm = UmmBaseline::from_design(&graph, design.clone());
+        let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, design);
+        table.row([
+            batch.to_string(),
+            ms(umm.latency / batch as f64),
+            ms(lcmm.latency / batch as f64),
+            format!("{:.2}x", lcmm.speedup_over(umm.latency)),
+            format!("{:.3}", umm.throughput_ops() / 1e12),
+            format!("{:.3}", lcmm.throughput_ops() / 1e12),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nLatency-critical batch-1 inference is where LCMM matters most; batching\n\
+         amortises the weight stream and narrows the gap — the reason the paper's\n\
+         low-latency FPGA setting is the right home for this technique."
+    );
+    Ok(())
+}
+
+/// Uniform vs granularity-derived DRAM efficiency: does the headline
+/// survive when per-tensor efficiency is computed from contiguous chunk
+/// sizes instead of the flat calibrated knob?
+pub fn run_granular(opts: &Opts) -> Result<(), String> {
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    println!(
+        "uniform (flat 0.21) vs granular (eff = chunk/(chunk+430B)) DRAM model ({precision}):\n"
+    );
+    let mut table = Table::new([
+        "benchmark", "uniform UMM ms", "uniform speedup", "granular UMM ms", "granular speedup",
+    ]);
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        let (u_umm, u_lcmm) = compare(&graph, &device, precision);
+        let g_design = lcmm_fpga::AccelDesign::explore(&graph, &device, precision)
+            .with_granular_ddr();
+        let g_umm = UmmBaseline::from_design(&graph, g_design.clone());
+        let g_lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, g_design);
+        table.row([
+            graph.name().to_string(),
+            ms(u_umm.latency),
+            format!("{:.2}x", u_lcmm.speedup_over(u_umm.latency)),
+            ms(g_umm.latency),
+            format!("{:.2}x", g_lcmm.speedup_over(g_umm.latency)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nGranular mode (channel-plane bursts, pre-packed weights) is kinder to\n\
+         DRAM than the calibrated flat knob: the weight-heavy ResNet keeps a\n\
+         solid LCMM win, Inception keeps a moderate one, and GoogLeNet's gain\n\
+         disappears into the LCMM clock derate. The paper's measured speedups\n\
+         sit between the two models — evidence that its hardware behaved worse\n\
+         than ideal channel-plane streaming, as the flat knob assumes."
+    );
+    Ok(())
+}
+
+/// Device scaling: the same networks on an embedded part (ZU9EG), the
+/// paper's VU9P, and the larger VU13P.
+pub fn run_devices(opts: &Opts) -> Result<(), String> {
+    let precision = opts.precision_or(Precision::Fix16);
+    let graph = opts.model_or("googlenet")?;
+    println!("device scaling: {} {precision}\n", graph.name());
+    let mut table = Table::new([
+        "device", "DSPs", "SRAM MiB", "streams GB/s", "UMM ms", "LCMM ms", "speedup", "SRAM %",
+    ]);
+    for device in [Device::zu9eg(), Device::vu9p(), Device::vu13p()] {
+        let (umm, lcmm) = compare(&graph, &device, precision);
+        table.row([
+            device.name.clone(),
+            device.dsp_slices.to_string(),
+            format!("{:.1}", device.sram_bytes() as f64 / (1 << 20) as f64),
+            format!("{:.1}", device.ddr.effective_interface_bandwidth() / 1e9),
+            ms(umm.latency),
+            ms(lcmm.latency),
+            format!("{:.2}x", lcmm.speedup_over(umm.latency)),
+            pct(lcmm.resources.sram_util(&device)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nBigger arrays against the same DRAM get more memory bound, so the LCMM\n\
+         advantage grows with the device; the URAM-less embedded part has little\n\
+         SRAM to allocate and gains the least."
+    );
+    Ok(())
+}

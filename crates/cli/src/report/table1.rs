@@ -1,0 +1,103 @@
+//! Table 1: UMM vs LCMM across the benchmark suite and precisions.
+
+use crate::opts::Opts;
+use crate::table::{ms, pct, tops, Table};
+use lcmm_core::pipeline::compare;
+use lcmm_fpga::{Device, Precision};
+
+/// Prints the full Table 1 (latency, throughput, clock, utilisation,
+/// speedup) for ResNet-152 / GoogLeNet / Inception-v4 × 8/16/32-bit.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let device = Device::vu9p();
+    if opts.json {
+        let mut records = Vec::new();
+        let models = match &opts.model {
+            Some(name) => vec![lcmm_graph::zoo::by_name(name)
+                .ok_or_else(|| format!("unknown model {name:?}"))?],
+            None => lcmm_graph::zoo::benchmark_suite(),
+        };
+        let precisions = match opts.precision {
+            Some(p) => vec![p],
+            None => Precision::ALL.to_vec(),
+        };
+        for graph in &models {
+            for &precision in &precisions {
+                records.push(lcmm_core::report::comparison_record(graph, &device, precision));
+            }
+        }
+        let suite = lcmm_core::report::SuiteReport { records };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&suite).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let models = match &opts.model {
+        Some(name) => vec![lcmm_graph::zoo::by_name(name)
+            .ok_or_else(|| format!("unknown model {name:?}"))?],
+        None => lcmm_graph::zoo::benchmark_suite(),
+    };
+    let precisions = match opts.precision {
+        Some(p) => vec![p],
+        None => Precision::ALL.to_vec(),
+    };
+
+    let mut table = Table::new([
+        "benchmark", "design", "latency ms", "Tops", "MHz", "DSP %", "CLB %", "SRAM %",
+        "speedup", "paper",
+    ]);
+    let mut speedups = Vec::new();
+    let mut measured = Vec::new();
+    for graph in &models {
+        for &precision in &precisions {
+            let (umm, lcmm) = compare(graph, &device, precision);
+            let speedup = lcmm.speedup_over(umm.latency);
+            speedups.push(speedup);
+            let paper = lcmm_core::paper::table1_row(graph.name(), precision);
+            measured.push((
+                graph.name().to_string(),
+                match precision {
+                    Precision::Fix8 => 8u8,
+                    Precision::Fix16 => 16,
+                    Precision::Float32 => 32,
+                },
+                speedup,
+            ));
+            table.row([
+                format!("{} {}", graph.name(), precision),
+                "UMM".to_string(),
+                ms(umm.latency),
+                tops(umm.throughput_ops()),
+                format!("{:.0}", umm.design.freq_hz / 1e6),
+                pct(umm.resources.dsp_util),
+                pct(umm.resources.clb_util),
+                pct(umm.resources.sram_util(&device)),
+                String::new(),
+                String::new(),
+            ]);
+            table.row([
+                String::new(),
+                "LCMM".to_string(),
+                ms(lcmm.latency),
+                tops(lcmm.throughput_ops()),
+                format!("{:.0}", lcmm.design.freq_hz / 1e6),
+                pct(lcmm.resources.dsp_util),
+                pct(lcmm.resources.clb_util),
+                pct(lcmm.resources.sram_util(&device)),
+                format!("{speedup:.2}x"),
+                paper.map_or(String::new(), |r| format!("{:.2}x", r.speedup)),
+            ]);
+        }
+    }
+    table.print();
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("\naverage speedup: {avg:.2}x   (paper: 1.36x)");
+    let f = lcmm_core::paper::fidelity(&measured);
+    println!(
+        "fidelity vs paper: sign agreement {:.0}%, trend agreement {:.0}%, mean |dev| {:.1}%",
+        f.sign_agreement * 100.0,
+        f.trend_agreement * 100.0,
+        f.mean_relative_deviation * 100.0
+    );
+    Ok(())
+}

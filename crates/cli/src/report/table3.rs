@@ -1,0 +1,83 @@
+//! Table 3: LCMM vs state-of-the-art strategy analogues.
+
+use crate::opts::Opts;
+use crate::table::{ms, pct, tops, Table};
+use lcmm_core::pipeline::compare;
+use lcmm_core::strategies::{cloud_dnn_like, tgpa_like, tgpa_plus_lcmm, StrategyResult};
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
+
+fn perf_density(throughput_ops: f64, dsp_used: usize, freq_hz: f64) -> f64 {
+    throughput_ops / (dsp_used as f64 * freq_hz)
+}
+
+fn strategy_row(table: &mut crate::table::Table, device: &Device, s: &StrategyResult) {
+    table.row([
+        s.name.to_string(),
+        format!("{:.0}", s.design.freq_hz / 1e6),
+        pct(s.resources.dsp_util),
+        pct(s.resources.sram_util(device)),
+        tops(s.throughput_ops()),
+        ms(s.latency),
+        format!("{:.2}", s.perf_density()),
+    ]);
+}
+
+fn compare_on(device: &Device, graph: &Graph, rival: &StrategyResult) {
+    let (_, lcmm) = compare(graph, device, Precision::Fix16);
+    let mut table = Table::new([
+        "design", "MHz", "DSP %", "SRAM %", "Tops", "ms/image", "ops/DSP/cyc",
+    ]);
+    strategy_row(&mut table, device, rival);
+    table.row([
+        "LCMM (ours)".to_string(),
+        format!("{:.0}", lcmm.design.freq_hz / 1e6),
+        pct(lcmm.resources.dsp_util),
+        pct(lcmm.resources.sram_util(device)),
+        tops(lcmm.throughput_ops()),
+        ms(lcmm.latency),
+        format!(
+            "{:.2}",
+            perf_density(lcmm.throughput_ops(), lcmm.resources.dsp_used, lcmm.design.freq_hz)
+        ),
+    ]);
+    table.print();
+    println!(
+        "LCMM / {} throughput: {:.2}x\n",
+        rival.name,
+        lcmm.throughput_ops() / rival.throughput_ops()
+    );
+}
+
+/// Prints the two Table 3 comparisons: ResNet-50 vs the Cloud-DNN
+/// analogue and ResNet-152 vs the TGPA analogue, at 16-bit.
+pub fn run(_opts: &Opts) -> Result<(), String> {
+    let device = Device::vu9p();
+
+    println!("--- ResNet-50, 16-bit (paper: LCMM 1.35x over Cloud-DNN [3]) ---\n");
+    let rn50 = lcmm_graph::zoo::resnet50();
+    let cloud = cloud_dnn_like(&rn50, &device, Precision::Fix16);
+    compare_on(&device, &rn50, &cloud);
+
+    println!("--- ResNet-152, 16-bit (paper: LCMM 1.12x over TGPA [17]) ---\n");
+    let rn152 = lcmm_graph::zoo::resnet152();
+    let tgpa = tgpa_like(&rn152, &device, Precision::Fix16);
+    compare_on(&device, &rn152, &tgpa);
+
+    println!("--- Future work (paper §4.2): TGPA streaming + LCMM weights ---\n");
+    let combined = tgpa_plus_lcmm(&rn152, &device, Precision::Fix16);
+    let mut table = Table::new([
+        "design", "MHz", "DSP %", "SRAM %", "Tops", "ms/image", "ops/DSP/cyc",
+    ]);
+    strategy_row(&mut table, &device, &tgpa);
+    strategy_row(&mut table, &device, &combined);
+    table.print();
+    println!(
+        "streaming features + LCMM weight management: {:.2}x over plain TGPA, \
+         density {:.2} -> {:.2} ops/DSP/cycle",
+        tgpa.latency / combined.latency,
+        tgpa.perf_density(),
+        combined.perf_density()
+    );
+    Ok(())
+}

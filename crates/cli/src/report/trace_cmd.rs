@@ -1,0 +1,32 @@
+//! Chrome-trace dump of a simulated inference.
+
+use crate::opts::Opts;
+use lcmm_core::pipeline::compare;
+use lcmm_fpga::{Device, Precision};
+use lcmm_sim::validate::weight_classes;
+use lcmm_sim::{trace, SimConfig, Simulator};
+
+/// Simulates one LCMM inference with event recording and prints the
+/// Chrome trace JSON (open in `chrome://tracing` or Perfetto).
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let graph = opts.model_or("googlenet")?;
+    let precision = opts.precision_or(Precision::Fix16);
+    let device = Device::vu9p();
+    let (_, lcmm) = compare(&graph, &device, precision);
+    let profile = lcmm.design.profile(&graph);
+    let sim = Simulator::new(&graph, &profile);
+    let config = SimConfig {
+        record_events: true,
+        weight_classes: weight_classes(&lcmm),
+        prefetch: lcmm.prefetch.clone(),
+        ..SimConfig::default()
+    };
+    let report = sim.run(&lcmm.residency, &config);
+    println!("{}", trace::to_chrome_trace(&graph, &report.events));
+    eprintln!(
+        "# {} events over {:.3} ms — open in chrome://tracing",
+        report.events.len(),
+        report.total_latency * 1e3
+    );
+    Ok(())
+}

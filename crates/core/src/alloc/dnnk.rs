@@ -1,0 +1,298 @@
+//! DNNK: the DNN-Knapsack allocator (paper Alg. 1).
+//!
+//! A 0/1-knapsack dynamic program over virtual buffers with the capacity
+//! axis quantised to URAM blocks. The twist over the classic knapsack is
+//! *pivot compensation* (paper Eq. 4): a layer's latency is the max of
+//! its compute and per-tensor transfer terms, so the gain of putting one
+//! tensor on chip depends on which of the layer's other tensors are
+//! already on chip — the largest remaining off-chip term is the *pivot*,
+//! and gains below it are worthless.
+//!
+//! Where the paper subtracts pivot terms symbolically (Eq. 2/4), this
+//! implementation evaluates each affected layer's Eq.-1 latency exactly
+//! under the "already chosen at this capacity" approximation that Alg. 1
+//! encodes through its `pbuf_table` lookups. The final allocation is
+//! re-scored with the exact evaluator.
+
+use super::{AllocOutcome, AllocProblem, CAPACITY_UNIT_BYTES};
+use crate::value::ValueId;
+use lcmm_graph::NodeId;
+use std::collections::HashMap;
+
+/// Per-node latency terms, with each term tagged by the value whose
+/// residency controls it (the paper's operation latency table rows).
+#[derive(Debug, Clone)]
+struct OpTerms {
+    compute: f64,
+    /// `(controlling value, seconds)` for each input source.
+    inputs: Vec<(ValueId, f64)>,
+    /// `(controlling value, seconds, exposed-when-resident seconds)`.
+    weight: Option<(ValueId, f64, f64)>,
+    /// `(controlling value, seconds)` for the produced tensor.
+    output: (ValueId, f64),
+}
+
+impl OpTerms {
+    /// Eq. 1 with residency decided by `on_chip`.
+    fn latency(&self, on_chip: &dyn Fn(ValueId) -> bool) -> f64 {
+        let if_term: f64 = self
+            .inputs
+            .iter()
+            .filter(|(v, _)| !on_chip(*v))
+            .map(|(_, t)| *t)
+            .sum();
+        let wt_term = match self.weight {
+            Some((v, t, exposed)) => {
+                if on_chip(v) {
+                    exposed
+                } else {
+                    t
+                }
+            }
+            None => 0.0,
+        };
+        let of_term = if on_chip(self.output.0) { 0.0 } else { self.output.1 };
+        self.compute.max(if_term).max(wt_term).max(of_term)
+    }
+}
+
+/// Runs DNNK and returns the allocation.
+#[must_use]
+pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
+    let n = problem.buffers.len();
+    let units = (problem.budget_bytes / CAPACITY_UNIT_BYTES) as usize;
+    if n == 0 || units == 0 {
+        return AllocOutcome::from_chosen(problem, vec![false; n]);
+    }
+
+    // --- Static tables -------------------------------------------------
+    let owner: HashMap<ValueId, usize> = problem
+        .buffers
+        .iter()
+        .enumerate()
+        .flat_map(|(i, b)| b.members.iter().map(move |&m| (m, i)))
+        .collect();
+
+    let graph = problem.evaluator.graph();
+    let profile = problem.evaluator.profile();
+    let op_terms: Vec<OpTerms> = graph
+        .iter()
+        .map(|node| {
+            let row = profile.node(node.id());
+            OpTerms {
+                compute: row.compute,
+                inputs: row
+                    .inputs
+                    .iter()
+                    .map(|&(src, t)| (ValueId::Feature(src), t))
+                    .collect(),
+                weight: (row.weight > 0.0).then(|| {
+                    let v = ValueId::Weight(node.id());
+                    (v, row.weight, problem.exposure_of(v))
+                }),
+                output: (ValueId::Feature(node.id()), row.output),
+            }
+        })
+        .collect();
+
+    // Ops touched by each buffer.
+    let touched: Vec<Vec<NodeId>> = problem
+        .buffers
+        .iter()
+        .map(|b| problem.evaluator.touched_nodes(&b.members))
+        .collect();
+
+    let sizes: Vec<usize> = problem
+        .buffers
+        .iter()
+        .map(|b| (b.bytes.div_ceil(CAPACITY_UNIT_BYTES)) as usize)
+        .collect();
+
+    // --- DP ------------------------------------------------------------
+    // choice[i][j]: buffer i taken in cell (i, j). This doubles as the
+    // paper's pbuf_table for pivot lookups.
+    let mut choice = vec![false; n * (units + 1)];
+    let mut prev_l = vec![0.0f64; units + 1];
+    let mut cur_l = vec![0.0f64; units + 1];
+
+    for i in 0..n {
+        let s = sizes[i];
+        // Which buffers interact with buffer i (own tensors at the same
+        // ops)? Their choice bits at column j form the cache key.
+        let mut relevant: Vec<usize> = Vec::new();
+        for &op in &touched[i] {
+            let t = &op_terms[op.index()];
+            let mut note = |v: ValueId| {
+                if let Some(&o) = owner.get(&v) {
+                    if o < i && !relevant.contains(&o) {
+                        relevant.push(o);
+                    }
+                }
+            };
+            for &(v, _) in &t.inputs {
+                note(v);
+            }
+            if let Some((v, _, _)) = t.weight {
+                note(v);
+            }
+            note(t.output.0);
+        }
+        relevant.truncate(62); // cache key capacity; beyond this, collide
+
+        let mut gain_cache: HashMap<u64, f64> = HashMap::new();
+        for j in 0..=units {
+            let l0 = prev_l[j];
+            if s > j || s == 0 {
+                cur_l[j] = l0;
+                continue;
+            }
+            // Residency context at this capacity (the pbuf_table
+            // approximation of Alg. 1).
+            let mut key = 0u64;
+            for (bit, &r) in relevant.iter().enumerate() {
+                if choice[r * (units + 1) + j] {
+                    key |= 1 << bit;
+                }
+            }
+            let gain = *gain_cache.entry(key).or_insert_with(|| {
+                let ctx_on = |v: ValueId| -> bool {
+                    owner
+                        .get(&v)
+                        .is_some_and(|&o| o < i && choice[o * (units + 1) + j])
+                };
+                let with_i = |v: ValueId| -> bool {
+                    ctx_on(v) || problem.buffers[i].members.contains(&v)
+                };
+                touched[i]
+                    .iter()
+                    .map(|&op| {
+                        let t = &op_terms[op.index()];
+                        t.latency(&ctx_on) - t.latency(&with_i)
+                    })
+                    .sum()
+            });
+            let l1 = prev_l[j - s] + gain;
+            if l1 > l0 {
+                cur_l[j] = l1;
+                choice[i * (units + 1) + j] = true;
+            } else {
+                cur_l[j] = l0;
+            }
+        }
+        std::mem::swap(&mut prev_l, &mut cur_l);
+    }
+
+    // --- Backtrace -------------------------------------------------------
+    let mut chosen = vec![false; n];
+    let mut j = units;
+    for i in (0..n).rev() {
+        if choice[i * (units + 1) + j] {
+            chosen[i] = true;
+            j -= sizes[i];
+        }
+    }
+    AllocOutcome::from_chosen(problem, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::test_support::*;
+    use crate::eval::Evaluator;
+    use crate::prefetch::PrefetchPlan;
+
+    #[test]
+    fn respects_budget() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let budget = 4 * CAPACITY_UNIT_BYTES * 10;
+        let problem = AllocProblem::new(&ev, &bufs, budget, &PrefetchPlan::default());
+        let out = allocate(&problem);
+        assert!(out.bytes <= budget, "{} > {}", out.bytes, budget);
+    }
+
+    #[test]
+    fn improves_over_empty_when_budget_allows() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let problem =
+            AllocProblem::new(&ev, &bufs, 16 << 20, &PrefetchPlan::default());
+        let out = allocate(&problem);
+        let empty = problem.latency_of(&vec![false; bufs.len()]);
+        assert!(out.latency < empty, "DNNK found no improvement");
+        assert!(!out.residency.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let problem = AllocProblem::new(&ev, &bufs, 0, &PrefetchPlan::default());
+        let out = allocate(&problem);
+        assert!(out.residency.is_empty());
+        assert_eq!(out.bytes, 0);
+    }
+
+    #[test]
+    fn huge_budget_takes_everything_useful() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let problem = AllocProblem::new(&ev, &bufs, 1 << 40, &PrefetchPlan::default());
+        let out = allocate(&problem);
+        // With unbounded room the latency must reach the best possible
+        // full-residency value.
+        let all = problem.latency_of(&vec![true; bufs.len()]);
+        assert!((out.latency - all).abs() / all < 0.05, "{} vs {}", out.latency, all);
+    }
+
+    #[test]
+    fn op_terms_latency_matches_pivot_example() {
+        // The paper's worked example (§3.3): three tensors with
+        // reductions 0.01, 0.01, 0.05 — putting f7 on chip while w4
+        // stays off leaves the pivot at w4.
+        use lcmm_graph::NodeId;
+        let f7 = ValueId::Feature(NodeId::new(1));
+        let w4 = ValueId::Weight(NodeId::new(2));
+        let f4 = ValueId::Feature(NodeId::new(2));
+        let t = OpTerms {
+            compute: 0.0,
+            inputs: vec![(f7, 0.01)],
+            weight: Some((w4, 0.01, 0.0)),
+            output: (f4, 0.05),
+        };
+        let none = t.latency(&|_| false);
+        assert_eq!(none, 0.05);
+        // f7 on chip: latency still 0.05 (pivot unaffected).
+        let f7_on = t.latency(&|v| v == f7);
+        assert_eq!(f7_on, 0.05);
+        // f4 additionally on chip: pivot drops to w4's 0.01 — the gain
+        // relative to f7_on is 0.04, matching the paper's compensation.
+        let f4_on = t.latency(&|v| v == f7 || v == f4);
+        assert_eq!(f4_on, 0.01);
+        assert!((f7_on - f4_on - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposed_weight_limits_gain() {
+        use lcmm_graph::NodeId;
+        let w = ValueId::Weight(NodeId::new(0));
+        let f = ValueId::Feature(NodeId::new(0));
+        let t = OpTerms {
+            compute: 0.02,
+            inputs: vec![],
+            weight: Some((w, 0.10, 0.06)),
+            output: (f, 0.0),
+        };
+        assert_eq!(t.latency(&|_| false), 0.10);
+        // Resident but only partially hidden: the exposed 0.06 remains.
+        assert_eq!(t.latency(&|v| v == w), 0.06);
+    }
+}

@@ -1,0 +1,118 @@
+//! Exact subset enumeration, for bounding the heuristics on small
+//! instances.
+
+use super::{AllocOutcome, AllocProblem};
+
+/// Largest instance the exhaustive allocator accepts.
+pub const MAX_BUFFERS: usize = 20;
+
+/// Enumerates all feasible subsets and returns the latency-optimal one.
+///
+/// # Panics
+///
+/// Panics if the problem has more than [`MAX_BUFFERS`] buffers — beyond
+/// that the 2^n enumeration is no longer a test-time tool.
+#[must_use]
+pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
+    let n = problem.buffers.len();
+    assert!(
+        n <= MAX_BUFFERS,
+        "exhaustive allocator limited to {MAX_BUFFERS} buffers, got {n}"
+    );
+    let mut best_mask = 0u32;
+    let mut best_latency = f64::INFINITY;
+    for mask in 0..(1u32 << n) {
+        let chosen: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        if !problem.fits(&chosen) {
+            continue;
+        }
+        let latency = problem.latency_of(&chosen);
+        if latency < best_latency {
+            best_latency = latency;
+            best_mask = mask;
+        }
+    }
+    let chosen: Vec<bool> = (0..n).map(|i| best_mask >> i & 1 == 1).collect();
+    AllocOutcome::from_chosen(problem, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{dnnk, greedy};
+    use crate::eval::Evaluator;
+    use crate::interference::VirtualBuffer;
+    use crate::prefetch::PrefetchPlan;
+    use crate::value::ValueId;
+    use lcmm_fpga::{AccelDesign, Device, Precision};
+    use lcmm_graph::{ConvParams, FeatureShape, GraphBuilder};
+
+    fn small_problem_graph() -> lcmm_graph::Graph {
+        // Weight-bound pointwise chain with unequal weight sizes so the
+        // knapsack has real choices to make.
+        let mut b = GraphBuilder::new("small");
+        let mut cur = b.input(FeatureShape::new(512, 7, 7));
+        for (i, out) in [512usize, 640, 768, 512, 640, 768].iter().enumerate() {
+            cur = b
+                .conv(format!("c{i}"), cur, ConvParams::pointwise(*out))
+                .expect("valid");
+        }
+        b.finish(cur).expect("valid")
+    }
+
+    #[test]
+    fn heuristics_within_factor_of_optimal() {
+        let g = small_problem_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs: Vec<VirtualBuffer> = g
+            .conv_layers()
+            .flat_map(|n| {
+                [
+                    VirtualBuffer {
+                        members: vec![ValueId::Weight(n.id())],
+                        bytes: g.node_weight_elems(n.id()) * 4,
+                    },
+                    VirtualBuffer {
+                        members: vec![ValueId::Feature(n.id())],
+                        bytes: n.output_shape().elems() * 4,
+                    },
+                ]
+            })
+            .collect();
+        assert!(bufs.len() <= MAX_BUFFERS);
+        let budget = 10 << 20;
+        let problem = AllocProblem::new(&ev, &bufs, budget, &PrefetchPlan::default());
+        let exact = allocate(&problem);
+        let dn = dnnk::allocate(&problem);
+        let gr = greedy::allocate(&problem);
+        let umm = problem.latency_of(&vec![false; bufs.len()]);
+        assert!(exact.latency <= dn.latency + 1e-12);
+        assert!(exact.latency <= gr.latency + 1e-12);
+        // Heuristic gains should recover most of the exact gain.
+        let exact_gain = umm - exact.latency;
+        let dnnk_gain = umm - dn.latency;
+        assert!(
+            dnnk_gain >= 0.75 * exact_gain,
+            "dnnk {dnnk_gain} vs exact {exact_gain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_instances() {
+        let g = small_problem_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix8);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs: Vec<VirtualBuffer> = (0..MAX_BUFFERS + 1)
+            .map(|i| VirtualBuffer {
+                members: vec![ValueId::Feature(lcmm_graph::NodeId::new(i % g.len()))],
+                bytes: 1,
+            })
+            .collect();
+        let problem = AllocProblem::new(&ev, &bufs, 1 << 20, &PrefetchPlan::default());
+        let _ = allocate(&problem);
+    }
+}

@@ -1,0 +1,224 @@
+//! On-chip memory allocators for virtual buffers.
+//!
+//! Four allocators share one problem formulation ([`AllocProblem`]):
+//!
+//! * [`dnnk`] — the paper's DNN-Knapsack dynamic program (Alg. 1) with
+//!   pivot compensation;
+//! * [`dnnk_iterative`] — DNNK plus fixed-point marginal refinement
+//!   (extension; never worse than single-pass);
+//! * [`greedy`] — marginal-gain-density greedy, a natural baseline;
+//! * [`exhaustive`] — exact subset enumeration for small instances,
+//!   used to bound the heuristics' optimality gap in tests and the
+//!   allocator ablation bench.
+
+pub mod dnnk;
+pub mod dnnk_iterative;
+pub mod exhaustive;
+pub mod greedy;
+
+use crate::eval::{Evaluator, Residency};
+use crate::interference::VirtualBuffer;
+use crate::prefetch::PrefetchPlan;
+use crate::value::ValueId;
+use std::collections::HashMap;
+
+/// SRAM quantum for the DNNK capacity axis: one URAM block.
+pub const CAPACITY_UNIT_BYTES: u64 = 36 * 1024;
+
+/// An allocation problem: which virtual buffers get physical on-chip
+/// storage, subject to the SRAM budget.
+#[derive(Debug)]
+pub struct AllocProblem<'a> {
+    /// Ground-truth latency evaluator.
+    pub evaluator: &'a Evaluator<'a>,
+    /// The candidate virtual buffers (features and weights mixed).
+    pub buffers: &'a [VirtualBuffer],
+    /// On-chip bytes available for tensor buffers.
+    pub budget_bytes: u64,
+    /// Residual exposed load time per weight value (from the prefetch
+    /// plan); weights absent from the map are fully hidden when
+    /// resident.
+    exposure: HashMap<ValueId, f64>,
+}
+
+impl<'a> AllocProblem<'a> {
+    /// Builds a problem; `plan` supplies the weight-load exposure.
+    #[must_use]
+    pub fn new(
+        evaluator: &'a Evaluator<'a>,
+        buffers: &'a [VirtualBuffer],
+        budget_bytes: u64,
+        plan: &PrefetchPlan,
+    ) -> Self {
+        let exposure = plan
+            .iter()
+            .filter(|(_, e)| !e.fully_hidden())
+            .map(|(&id, e)| (id, e.exposed_seconds))
+            .collect();
+        Self { evaluator, buffers, budget_bytes, exposure }
+    }
+
+    /// Materialises the residency implied by a chosen buffer set.
+    #[must_use]
+    pub fn residency_for(&self, chosen: &[bool]) -> Residency {
+        let mut r = Residency::new();
+        for (buf, _) in self.buffers.iter().zip(chosen).filter(|(_, &c)| c) {
+            for &member in &buf.members {
+                r.insert(member);
+                if let (ValueId::Weight(node), Some(&exp)) = (member, self.exposure.get(&member))
+                {
+                    r.set_exposed_weight(node, exp);
+                }
+            }
+        }
+        r
+    }
+
+    /// Exact end-to-end latency of a chosen buffer set.
+    #[must_use]
+    pub fn latency_of(&self, chosen: &[bool]) -> f64 {
+        self.evaluator.total_latency(&self.residency_for(chosen))
+    }
+
+    /// Total bytes of a chosen buffer set.
+    #[must_use]
+    pub fn bytes_of(&self, chosen: &[bool]) -> u64 {
+        self.buffers
+            .iter()
+            .zip(chosen)
+            .filter(|(_, &c)| c)
+            .map(|(b, _)| b.bytes)
+            .sum()
+    }
+
+    /// Whether a chosen set fits the budget.
+    #[must_use]
+    pub fn fits(&self, chosen: &[bool]) -> bool {
+        self.bytes_of(chosen) <= self.budget_bytes
+    }
+
+    /// Exposed seconds for a weight value (0 when fully hidden).
+    #[must_use]
+    pub fn exposure_of(&self, id: ValueId) -> f64 {
+        self.exposure.get(&id).copied().unwrap_or(0.0)
+    }
+}
+
+/// The outcome of running an allocator.
+#[derive(Debug, Clone)]
+pub struct AllocOutcome {
+    /// `chosen[i]` — whether buffer `i` received physical storage.
+    pub chosen: Vec<bool>,
+    /// The implied residency.
+    pub residency: Residency,
+    /// Exact end-to-end latency under that residency.
+    pub latency: f64,
+    /// On-chip bytes consumed.
+    pub bytes: u64,
+}
+
+impl AllocOutcome {
+    /// Assembles the outcome for a chosen vector.
+    #[must_use]
+    pub fn from_chosen(problem: &AllocProblem<'_>, chosen: Vec<bool>) -> Self {
+        let residency = problem.residency_for(&chosen);
+        let latency = problem.evaluator.total_latency(&residency);
+        let bytes = problem.bytes_of(&chosen);
+        Self { chosen, residency, latency, bytes }
+    }
+
+    /// Indices of the allocated buffers.
+    #[must_use]
+    pub fn allocated_indices(&self) -> Vec<usize> {
+        self.chosen
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A small synthetic fixture shared by the allocator tests.
+
+    use crate::eval::Evaluator;
+    use crate::interference::VirtualBuffer;
+    use crate::value::ValueId;
+    use lcmm_fpga::{AccelDesign, Device, GraphProfile, Precision};
+    use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+
+    /// A 10-conv linear network that is strongly weight-transfer bound
+    /// at fp32: pointwise convolutions over many channels at a tiny
+    /// spatial extent have far more weight bytes than arithmetic.
+    pub fn chain_graph() -> Graph {
+        let mut b = GraphBuilder::new("chain");
+        let mut cur = b.input(FeatureShape::new(512, 7, 7));
+        for i in 0..10 {
+            cur = b
+                .conv(format!("c{i}"), cur, ConvParams::pointwise(512))
+                .expect("valid conv");
+        }
+        b.finish(cur).expect("chain is valid")
+    }
+
+    pub fn setup(graph: &Graph) -> (AccelDesign, GraphProfile) {
+        let d = AccelDesign::explore(graph, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(graph);
+        (d, p)
+    }
+
+    /// One single-member buffer per conv weight + feature.
+    pub fn singleton_buffers(graph: &Graph, evaluator: &Evaluator<'_>) -> Vec<VirtualBuffer> {
+        let b = 4; // fp32 bytes
+        let mut bufs = Vec::new();
+        for n in graph.conv_layers() {
+            bufs.push(VirtualBuffer {
+                members: vec![ValueId::Weight(n.id())],
+                bytes: graph.node_weight_elems(n.id()) * b,
+            });
+            bufs.push(VirtualBuffer {
+                members: vec![ValueId::Feature(n.id())],
+                bytes: n.output_shape().elems() * b,
+            });
+        }
+        let _ = evaluator;
+        bufs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use crate::prefetch::PrefetchPlan;
+
+    #[test]
+    fn residency_and_bytes_track_choice() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let problem = AllocProblem::new(&ev, &bufs, u64::MAX, &PrefetchPlan::default());
+        let mut chosen = vec![false; bufs.len()];
+        chosen[0] = true;
+        chosen[3] = true;
+        let out = AllocOutcome::from_chosen(&problem, chosen);
+        assert_eq!(out.residency.len(), 2);
+        assert_eq!(out.bytes, bufs[0].bytes + bufs[3].bytes);
+        assert_eq!(out.allocated_indices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn more_budget_never_hurts_latency() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let problem = AllocProblem::new(&ev, &bufs, u64::MAX, &PrefetchPlan::default());
+        let none = problem.latency_of(&vec![false; bufs.len()]);
+        let all = problem.latency_of(&vec![true; bufs.len()]);
+        assert!(all <= none);
+    }
+}

@@ -1,0 +1,127 @@
+//! Calibration fitting: recover the DDR access-efficiency knob from a
+//! target headline.
+//!
+//! DESIGN.md fixes `DdrConfig::access_efficiency = 0.21` by hand; this
+//! module is the reproducible procedure behind that number — a
+//! bisection over the knob until a chosen workload's average LCMM
+//! speedup matches a target (e.g. the paper's 1.36×). The suite-average
+//! speedup is monotone decreasing in efficiency (more bandwidth → less
+//! to recover), which makes bisection sound.
+
+use crate::pipeline::compare;
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The fitted access efficiency.
+    pub access_efficiency: f64,
+    /// The average speedup achieved at that efficiency.
+    pub achieved_speedup: f64,
+    /// The requested target.
+    pub target_speedup: f64,
+    /// Bisection iterations used.
+    pub iterations: usize,
+}
+
+/// Average LCMM speedup of `workloads` at a given efficiency.
+#[must_use]
+pub fn average_speedup_at(
+    workloads: &[(Graph, Precision)],
+    base_device: &Device,
+    access_efficiency: f64,
+) -> f64 {
+    let mut device = base_device.clone();
+    device.ddr.access_efficiency = access_efficiency;
+    let mut total = 0.0;
+    for (graph, precision) in workloads {
+        let (umm, lcmm) = compare(graph, &device, *precision);
+        total += lcmm.speedup_over(umm.latency);
+    }
+    total / workloads.len().max(1) as f64
+}
+
+/// Bisects the efficiency knob until the average speedup of `workloads`
+/// hits `target_speedup` within `tolerance`, or `max_iterations` runs
+/// out.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or `target_speedup` is not positive.
+#[must_use]
+pub fn fit_access_efficiency(
+    workloads: &[(Graph, Precision)],
+    base_device: &Device,
+    target_speedup: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Calibration {
+    assert!(!workloads.is_empty(), "calibration needs at least one workload");
+    assert!(target_speedup > 0.0, "target speedup must be positive");
+    let (mut lo, mut hi) = (0.05f64, 1.0f64);
+    let mut best = Calibration {
+        access_efficiency: (lo + hi) / 2.0,
+        achieved_speedup: 0.0,
+        target_speedup,
+        iterations: 0,
+    };
+    for i in 1..=max_iterations {
+        let mid = (lo + hi) / 2.0;
+        let achieved = average_speedup_at(workloads, base_device, mid);
+        best = Calibration {
+            access_efficiency: mid,
+            achieved_speedup: achieved,
+            target_speedup,
+            iterations: i,
+        };
+        if (achieved - target_speedup).abs() <= tolerance {
+            break;
+        }
+        // Speedup decreases with efficiency: too-high speedup means the
+        // knob is too low.
+        if achieved > target_speedup {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn speedup_is_monotone_in_efficiency() {
+        let workloads = vec![(zoo::googlenet(), Precision::Fix16)];
+        let device = Device::vu9p();
+        let hi_bw = average_speedup_at(&workloads, &device, 0.6);
+        let lo_bw = average_speedup_at(&workloads, &device, 0.15);
+        assert!(lo_bw > hi_bw, "scarce bandwidth must help LCMM: {lo_bw} vs {hi_bw}");
+    }
+
+    #[test]
+    fn bisection_recovers_a_known_point() {
+        // Measure the speedup at a known knob value, then ask the
+        // fitter to find a knob reproducing it.
+        let workloads = vec![(zoo::googlenet(), Precision::Fix16)];
+        let device = Device::vu9p();
+        let reference = average_speedup_at(&workloads, &device, 0.21);
+        let fit = fit_access_efficiency(&workloads, &device, reference, 0.02, 12);
+        assert!(
+            (fit.achieved_speedup - reference).abs() <= 0.05,
+            "fit {fit:?} vs reference {reference}"
+        );
+        assert!((fit.access_efficiency - 0.21).abs() < 0.08, "fit {fit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_workloads_panic() {
+        let _ = fit_access_efficiency(&[], &Device::vu9p(), 1.3, 0.01, 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! The block-level residency design space (paper Fig. 2(b)).
+//!
+//! Before LCMM, the natural granularity of "put this on chip" decisions
+//! is a network block (an inception module, a residual unit): for each
+//! block, either all its tensors get on-chip buffers or none do.
+//! Inception-v4's 14 inception blocks span a 2^14 = 16384-point space;
+//! sweeping it shows that more SRAM does not monotonically buy more
+//! performance — the observation that motivates DNNK.
+
+use crate::eval::{Evaluator, Residency};
+use crate::value::{ValueId, ValueTable};
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated point of the block design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Bit `b` set ⇔ block `b`'s tensors are on chip.
+    pub mask: u32,
+    /// Naive SRAM consumption (no buffer sharing), bytes.
+    pub sram_bytes: u64,
+    /// End-to-end latency, seconds.
+    pub latency: f64,
+}
+
+impl DesignPoint {
+    /// Throughput in ops/s given the network's op count.
+    #[must_use]
+    pub fn throughput_ops(&self, total_ops: u64) -> f64 {
+        total_ops as f64 / self.latency
+    }
+}
+
+/// The swept design space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// The block labels, in bit order.
+    pub blocks: Vec<String>,
+    /// All 2^n evaluated points.
+    pub points: Vec<DesignPoint>,
+    /// Total operations of one inference (2 × MACs).
+    pub total_ops: u64,
+}
+
+/// Sweeps every on/off combination of the given blocks.
+///
+/// # Panics
+///
+/// Panics if more than 20 blocks are passed (2^20 evaluations is the
+/// cap for an exhaustive sweep).
+#[must_use]
+pub fn sweep(
+    graph: &Graph,
+    evaluator: &Evaluator<'_>,
+    values: &ValueTable,
+    blocks: &[String],
+) -> DesignSpace {
+    assert!(blocks.len() <= 20, "exhaustive sweep capped at 20 blocks, got {}", blocks.len());
+    // Per-block value lists and naive sizes.
+    let mut block_values: Vec<Vec<ValueId>> = Vec::with_capacity(blocks.len());
+    let mut block_bytes: Vec<u64> = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let mut ids = Vec::new();
+        let mut bytes = 0;
+        for node in graph.block_nodes(block) {
+            for id in [ValueId::Feature(node), ValueId::Weight(node)] {
+                if let Some(v) = values.get(id) {
+                    if v.allocatable {
+                        ids.push(id);
+                        bytes += v.bytes;
+                    }
+                }
+            }
+        }
+        block_values.push(ids);
+        block_bytes.push(bytes);
+    }
+
+    let n = blocks.len();
+    let mut points = Vec::with_capacity(1 << n);
+    for mask in 0..(1u32 << n) {
+        let mut residency = Residency::new();
+        let mut sram = 0;
+        for b in 0..n {
+            if mask >> b & 1 == 1 {
+                residency.extend(block_values[b].iter().copied());
+                sram += block_bytes[b];
+            }
+        }
+        points.push(DesignPoint {
+            mask,
+            sram_bytes: sram,
+            latency: evaluator.total_latency(&residency),
+        });
+    }
+    DesignSpace {
+        blocks: blocks.to_vec(),
+        points,
+        total_ops: 2 * graph.total_macs(),
+    }
+}
+
+/// The inception blocks of a graph (labels starting `inception_`), the
+/// default sweep dimensions for Fig. 2(b).
+#[must_use]
+pub fn inception_blocks(graph: &Graph) -> Vec<String> {
+    graph
+        .blocks()
+        .into_iter()
+        .filter(|b| b.starts_with("inception_"))
+        .map(str::to_string)
+        .collect()
+}
+
+impl DesignSpace {
+    /// The point with the lowest latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty (never happens for `sweep` output).
+    #[must_use]
+    pub fn best(&self) -> DesignPoint {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("latencies are finite"))
+            .expect("design space is never empty")
+    }
+
+    /// Points that fit `sram_limit` bytes.
+    #[must_use]
+    pub fn feasible(&self, sram_limit: u64) -> Vec<DesignPoint> {
+        self.points.iter().copied().filter(|p| p.sram_bytes <= sram_limit).collect()
+    }
+
+    /// Whether performance is non-monotone in SRAM spend: some point
+    /// uses less memory than another yet achieves lower latency.
+    #[must_use]
+    pub fn is_non_monotone(&self) -> bool {
+        // Compare every point against the all-on point's neighbourhood:
+        // cheaper-and-faster pairs exist iff sorting by SRAM does not
+        // sort by latency.
+        let mut by_sram: Vec<&DesignPoint> = self.points.iter().collect();
+        by_sram.sort_by_key(|p| p.sram_bytes);
+        by_sram.windows(2).any(|w| w[1].latency > w[0].latency + 1e-15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_fpga::{AccelDesign, Device, GraphProfile, Precision};
+    use lcmm_graph::zoo;
+
+    fn setup(graph: &Graph) -> (AccelDesign, GraphProfile) {
+        let d = AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16);
+        let p = d.profile(graph);
+        (d, p)
+    }
+
+    #[test]
+    fn googlenet_block_sweep_has_512_points() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let blocks = inception_blocks(&g);
+        assert_eq!(blocks.len(), 9);
+        let space = sweep(&g, &ev, &values, &blocks);
+        assert_eq!(space.points.len(), 512);
+    }
+
+    #[test]
+    fn empty_mask_matches_umm() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let blocks = inception_blocks(&g);
+        let space = sweep(&g, &ev, &values, &blocks);
+        let empty = space.points.iter().find(|pt| pt.mask == 0).unwrap();
+        assert!((empty.latency - p.total_latency()).abs() < 1e-12);
+        assert_eq!(empty.sram_bytes, 0);
+    }
+
+    #[test]
+    fn latency_decreases_with_full_mask() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let blocks = inception_blocks(&g);
+        let space = sweep(&g, &ev, &values, &blocks);
+        let empty = space.points.iter().find(|pt| pt.mask == 0).unwrap().latency;
+        let full = space.points.iter().find(|pt| pt.mask == 511).unwrap().latency;
+        assert!(full < empty);
+        assert!(space.best().latency <= full);
+    }
+
+    #[test]
+    fn sram_is_additive_over_blocks() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let blocks = inception_blocks(&g);
+        let space = sweep(&g, &ev, &values, &blocks);
+        let singles: u64 = (0..blocks.len())
+            .map(|b| {
+                space.points.iter().find(|pt| pt.mask == 1 << b).unwrap().sram_bytes
+            })
+            .sum();
+        let full = space.points.iter().find(|pt| pt.mask == 511).unwrap();
+        assert_eq!(full.sram_bytes, singles);
+    }
+
+    #[test]
+    fn feasible_filters_by_sram() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let blocks = inception_blocks(&g);
+        let space = sweep(&g, &ev, &values, &blocks);
+        let all = space.feasible(u64::MAX).len();
+        let none = space.feasible(0).len();
+        assert_eq!(all, 512);
+        assert_eq!(none, 1); // only the empty mask uses 0 bytes
+    }
+}

@@ -1,0 +1,187 @@
+//! Energy estimation (extension): what the recovered DRAM traffic is
+//! worth in joules.
+//!
+//! The paper motivates FPGAs by energy efficiency but reports only
+//! performance. Since LCMM's entire effect is moving traffic from DRAM
+//! (tens of pJ/byte) to on-chip SRAM (~1 pJ/byte), the energy win is
+//! directly computable from the same residency assignment.
+
+use crate::eval::{Evaluator, Residency};
+use crate::value::ValueId;
+use lcmm_fpga::{AccelDesign, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Energy cost constants, picojoules.
+///
+/// Defaults follow the common architecture-literature numbers
+/// (Horowitz, ISSCC'14 scaled to a 20 nm FPGA): DRAM access ≈ 60 pJ per
+/// byte end to end, large on-chip SRAM ≈ 1.2 pJ per byte, a fixed-point
+/// MAC ≈ 2–8 pJ depending on width, fp32 ≈ 15 pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// DRAM transfer cost per byte (I/O + controller + device).
+    pub pj_per_dram_byte: f64,
+    /// On-chip SRAM access cost per byte.
+    pub pj_per_sram_byte: f64,
+    /// Energy per 8-bit MAC.
+    pub pj_per_mac_fix8: f64,
+    /// Energy per 16-bit MAC.
+    pub pj_per_mac_fix16: f64,
+    /// Energy per fp32 MAC.
+    pub pj_per_mac_fp32: f64,
+    /// Static power of the configured fabric, watts (leakage + clock
+    /// tree; charged for the whole latency).
+    pub static_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            pj_per_dram_byte: 60.0,
+            pj_per_sram_byte: 1.2,
+            pj_per_mac_fix8: 2.0,
+            pj_per_mac_fix16: 4.5,
+            pj_per_mac_fp32: 15.0,
+            static_watts: 8.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    fn pj_per_mac(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fix8 => self.pj_per_mac_fix8,
+            Precision::Fix16 => self.pj_per_mac_fix16,
+            Precision::Float32 => self.pj_per_mac_fp32,
+        }
+    }
+}
+
+/// Energy breakdown of one inference, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// MAC array energy.
+    pub compute_j: f64,
+    /// Off-chip transfer energy.
+    pub dram_j: f64,
+    /// On-chip buffer traffic energy (tile buffers + tensor buffers).
+    pub sram_j: f64,
+    /// Static energy over the inference latency.
+    pub static_j: f64,
+    /// End-to-end latency used for the static term, seconds.
+    pub latency: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.dram_j + self.sram_j + self.static_j
+    }
+
+    /// Energy-delay product, joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.total_j() * self.latency
+    }
+}
+
+/// Estimates the energy of one inference under `residency`.
+///
+/// DRAM bytes are recovered from the latency rows (terms were computed
+/// as `bytes / bandwidth`); every byte that no longer goes to DRAM goes
+/// to SRAM instead, and all array operands move through SRAM once per
+/// MAC-operand regardless of residency.
+#[must_use]
+pub fn estimate(
+    evaluator: &Evaluator<'_>,
+    design: &AccelDesign,
+    residency: &Residency,
+    model: &EnergyModel,
+) -> EnergyReport {
+    let graph = evaluator.graph();
+    let profile = evaluator.profile();
+    let bw = design.interface_bandwidth();
+    let elem = design.precision.bytes() as f64;
+
+    let mut dram_bytes = 0.0;
+    let mut spared_bytes = 0.0;
+    for node in graph.iter() {
+        let row = profile.node(node.id());
+        for &(src, t) in &row.inputs {
+            if residency.contains(ValueId::Feature(src)) {
+                spared_bytes += t * bw;
+            } else {
+                dram_bytes += t * bw;
+            }
+        }
+        if residency.contains(ValueId::Weight(node.id())) {
+            spared_bytes += row.weight * bw;
+        } else {
+            dram_bytes += row.weight * bw;
+        }
+        if residency.contains(ValueId::Feature(node.id())) {
+            spared_bytes += row.output * bw;
+        } else {
+            dram_bytes += row.output * bw;
+        }
+    }
+    let macs = design.batch as f64 * graph.total_macs() as f64;
+    // Array operand traffic: input + weight read, output accumulate.
+    let operand_sram_bytes = 3.0 * macs * elem;
+    let latency = evaluator.total_latency(residency);
+    EnergyReport {
+        compute_j: macs * model.pj_per_mac(design.precision) * 1e-12,
+        dram_j: dram_bytes * model.pj_per_dram_byte * 1e-12,
+        sram_j: (operand_sram_bytes + spared_bytes) * model.pj_per_sram_byte * 1e-12,
+        static_j: model.static_watts * latency,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compare;
+    use lcmm_fpga::Device;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn lcmm_spends_less_energy_than_umm() {
+        let g = zoo::resnet152();
+        let device = Device::vu9p();
+        let (umm, lcmm) = compare(&g, &device, Precision::Fix16);
+        let model = EnergyModel::default();
+        let umm_eval = Evaluator::new(&g, &umm.profile);
+        let umm_energy = estimate(&umm_eval, &umm.design, &Residency::new(), &model);
+        let lcmm_profile = lcmm.design.profile(&g);
+        let lcmm_eval = Evaluator::new(&g, &lcmm_profile);
+        let lcmm_energy = estimate(&lcmm_eval, &lcmm.design, &lcmm.residency, &model);
+        assert!(lcmm_energy.dram_j < umm_energy.dram_j, "DRAM energy must drop");
+        assert!(lcmm_energy.total_j() < umm_energy.total_j(), "total energy must drop");
+        assert!(lcmm_energy.edp() < umm_energy.edp(), "EDP must drop");
+        // Spared DRAM traffic reappears as SRAM traffic.
+        assert!(lcmm_energy.sram_j > umm_energy.sram_j);
+    }
+
+    #[test]
+    fn energy_terms_are_positive_and_sum() {
+        let g = zoo::alexnet();
+        let device = Device::vu9p();
+        let (umm, _) = compare(&g, &device, Precision::Fix8);
+        let ev = Evaluator::new(&g, &umm.profile);
+        let e = estimate(&ev, &umm.design, &Residency::new(), &EnergyModel::default());
+        for term in [e.compute_j, e.dram_j, e.sram_j, e.static_j] {
+            assert!(term > 0.0);
+        }
+        assert!(
+            (e.total_j() - (e.compute_j + e.dram_j + e.sram_j + e.static_j)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn fp32_macs_cost_more_than_fix8() {
+        let m = EnergyModel::default();
+        assert!(m.pj_per_mac(Precision::Float32) > m.pj_per_mac(Precision::Fix8));
+    }
+}

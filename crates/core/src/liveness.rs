@@ -1,0 +1,376 @@
+//! Global liveness analysis over the computation graph (§3.1).
+//!
+//! Layers execute sequentially in topological order, so a value's
+//! lifespan is an interval of schedule positions: from the step that
+//! materialises it to the last step that reads it. Two values may share
+//! a buffer exactly when their intervals do not overlap.
+
+use crate::value::{TensorValue, ValueId};
+use lcmm_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A closed interval of schedule positions during which a value is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LiveInterval {
+    /// Position of the defining step.
+    pub start: usize,
+    /// Position of the last use (inclusive).
+    pub end: usize,
+}
+
+impl LiveInterval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Self { start, end }
+    }
+
+    /// Whether two lifespans overlap (closed intervals).
+    #[must_use]
+    pub fn overlaps(&self, other: &LiveInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Interval length in steps (≥ 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Intervals are never empty; provided for API symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The sequential execution schedule: node → position.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    positions: Vec<usize>,
+    order: Vec<NodeId>,
+}
+
+impl Schedule {
+    /// Builds the schedule from the graph's topological order.
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        Self::from_order(graph, graph.topo_order())
+    }
+
+    /// Builds a liveness-minimising schedule (extension beyond the
+    /// paper): a greedy list scheduler that, among ready nodes, prefers
+    /// the one that frees the most feature bytes net of the bytes it
+    /// creates. Shorter lifespans mean a sparser interference graph and
+    /// smaller colored buffers, which gives DNNK more slack.
+    #[must_use]
+    pub fn minimizing_liveness(graph: &Graph) -> Self {
+        // Readers per value (resolved through concats, matching the
+        // liveness model).
+        let mut remaining_readers = vec![0usize; graph.len()];
+        for node in graph.iter() {
+            for src in lcmm_fpga::resolved_sources(graph, node) {
+                remaining_readers[src.index()] += 1;
+            }
+        }
+        let mut indegree: Vec<usize> = graph.iter().map(|n| n.inputs().len()).collect();
+        let mut ready: Vec<NodeId> = graph
+            .iter()
+            .filter(|n| n.inputs().is_empty())
+            .map(lcmm_graph::Node::id)
+            .collect();
+        let mut order = Vec::with_capacity(graph.len());
+        while !ready.is_empty() {
+            // Score: bytes freed by running this node now, minus bytes
+            // its output materialises.
+            let (best_idx, _) = ready
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let node = graph.node(id);
+                    let freed: i128 = lcmm_fpga::resolved_sources(graph, node)
+                        .into_iter()
+                        .filter(|s| remaining_readers[s.index()] == 1)
+                        .map(|s| graph.node(s).output_shape().elems() as i128)
+                        .sum();
+                    let created = if matches!(node.op(), lcmm_graph::OpKind::Concat) {
+                        0
+                    } else {
+                        node.output_shape().elems() as i128
+                    };
+                    (i, (freed - created, std::cmp::Reverse(id)))
+                })
+                .max_by_key(|&(_, score)| score)
+                .expect("ready set is nonempty");
+            let id = ready.swap_remove(best_idx);
+            order.push(id);
+            for src in lcmm_fpga::resolved_sources(graph, graph.node(id)) {
+                remaining_readers[src.index()] -= 1;
+            }
+            for &consumer in graph.consumers(id) {
+                indegree[consumer.index()] -= 1;
+                if indegree[consumer.index()] == 0 {
+                    ready.push(consumer);
+                }
+            }
+        }
+        assert_eq!(order.len(), graph.len(), "graph is acyclic, so all nodes schedule");
+        Self::from_order(graph, order)
+    }
+
+    fn from_order(graph: &Graph, order: Vec<NodeId>) -> Self {
+        let mut positions = vec![0; graph.len()];
+        for (rank, id) in order.iter().enumerate() {
+            positions[id.index()] = rank;
+        }
+        Self { positions, order }
+    }
+
+    /// Whether this schedule respects every data dependency of `graph`.
+    #[must_use]
+    pub fn is_valid_for(&self, graph: &Graph) -> bool {
+        graph.iter().all(|node| {
+            node.inputs()
+                .iter()
+                .all(|&i| self.position(i) < self.position(node.id()))
+        })
+    }
+
+    /// Position of a node in the schedule.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> usize {
+        self.positions[id.index()]
+    }
+
+    /// Node at a given position.
+    #[must_use]
+    pub fn at(&self, position: usize) -> NodeId {
+        self.order[position]
+    }
+
+    /// Number of scheduled steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Computes lifespans of feature values.
+///
+/// The interval runs from the producer's position to the last reader's
+/// position; a value with no readers (e.g. the network output) lives
+/// only at its defining step.
+#[must_use]
+pub fn feature_lifespans<'a, I>(schedule: &Schedule, values: I) -> HashMap<ValueId, LiveInterval>
+where
+    I: IntoIterator<Item = &'a TensorValue>,
+{
+    values
+        .into_iter()
+        .map(|v| {
+            let def = schedule.position(v.id.node());
+            let last_use = v
+                .readers
+                .iter()
+                .map(|&r| schedule.position(r))
+                .max()
+                .unwrap_or(def)
+                .max(def);
+            (v.id, LiveInterval::new(def, last_use))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueTable;
+    use lcmm_fpga::{AccelDesign, Device, Precision};
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn interval_overlap_cases() {
+        let a = LiveInterval::new(0, 5);
+        let b = LiveInterval::new(5, 9);
+        let c = LiveInterval::new(6, 7);
+        assert!(a.overlaps(&b)); // shared endpoint counts
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn reversed_interval_panics() {
+        let _ = LiveInterval::new(3, 2);
+    }
+
+    #[test]
+    fn schedule_positions_are_consistent() {
+        let g = zoo::googlenet();
+        let s = Schedule::new(&g);
+        assert_eq!(s.len(), g.len());
+        for rank in 0..s.len() {
+            assert_eq!(s.position(s.at(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn sequential_values_do_not_interfere() {
+        // In GoogLeNet, inception_3a's branch output dies once 3b has
+        // consumed it; it must not overlap 5b's branch outputs.
+        let g = zoo::googlenet();
+        let design = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(&g);
+        let table = ValueTable::build(&g, &profile, Precision::Fix16);
+        let s = Schedule::new(&g);
+        let spans = feature_lifespans(&s, table.iter());
+        let early = spans[&ValueId::Feature(g.node_by_name("inception_3a/1x1").unwrap().id())];
+        let late = spans[&ValueId::Feature(g.node_by_name("inception_5b/1x1").unwrap().id())];
+        assert!(!early.overlaps(&late));
+    }
+
+    #[test]
+    fn branch_values_of_same_module_interfere() {
+        let g = zoo::googlenet();
+        let design = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(&g);
+        let table = ValueTable::build(&g, &profile, Precision::Fix16);
+        let s = Schedule::new(&g);
+        let spans = feature_lifespans(&s, table.iter());
+        let b1 = spans[&ValueId::Feature(g.node_by_name("inception_3a/1x1").unwrap().id())];
+        let b2 = spans[&ValueId::Feature(g.node_by_name("inception_3a/3x3").unwrap().id())];
+        assert!(b1.overlaps(&b2), "parallel branches are simultaneously live");
+    }
+
+    #[test]
+    fn minimizing_liveness_schedule_is_valid() {
+        for g in [zoo::googlenet(), zoo::inception_v4(), zoo::resnet50()] {
+            let s = Schedule::minimizing_liveness(&g);
+            assert!(s.is_valid_for(&g), "{}: dependencies violated", g.name());
+            assert!(Schedule::new(&g).is_valid_for(&g));
+            assert_eq!(s.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn minimizing_liveness_shortens_adversarial_lifespans() {
+        use lcmm_graph::{ConvParams, GraphBuilder};
+        // Construction order deliberately stretches a huge tensor's
+        // lifespan: its consumer is inserted after a long unrelated
+        // chain, so id-order scheduling keeps the big tensor live the
+        // whole time. The liveness-aware scheduler should consume it
+        // immediately.
+        let mut b = GraphBuilder::new("adversarial");
+        let x = b.input(crate::liveness::tests::shape(64, 56));
+        let big = b.conv("big", x, ConvParams::square(512, 3, 1, 1)).expect("big");
+        // Long unrelated chain of *large* tensors from the input: under
+        // id order, `big` stays live across all of them.
+        let mut chain = x;
+        for i in 0..8 {
+            chain = b
+                .conv(format!("chain{i}"), chain, ConvParams::pointwise(256))
+                .expect("chain");
+        }
+        // The big tensor's only consumer, inserted last.
+        let sink = b.conv("sink", big, ConvParams::square(32, 3, 2, 1)).expect("sink");
+        let merged = b
+            .conv("post", sink, ConvParams::pointwise(32))
+            .expect("post");
+        let _ = chain;
+        let g = b.finish(merged).expect("valid");
+
+        let table = value_table(&g);
+        let peak = |schedule: &Schedule| -> u64 {
+            let features: Vec<&crate::value::TensorValue> = table
+                .iter()
+                .filter(|v| v.id.kind() == crate::value::ValueKind::Feature)
+                .collect();
+            let spans = feature_lifespans(schedule, features.iter().copied());
+            let mut deltas: Vec<(usize, i64)> = Vec::new();
+            for v in &features {
+                let iv = spans[&v.id];
+                deltas.push((iv.start, v.bytes as i64));
+                deltas.push((iv.end + 1, -(v.bytes as i64)));
+            }
+            deltas.sort_unstable();
+            let (mut cur, mut peak) = (0i64, 0i64);
+            for (_, d) in deltas {
+                cur += d;
+                peak = peak.max(cur);
+            }
+            peak as u64
+        };
+        let topo_peak = peak(&Schedule::new(&g));
+        let min_peak = peak(&Schedule::minimizing_liveness(&g));
+        assert!(
+            min_peak < topo_peak,
+            "expected liveness-aware schedule to cut peak: {min_peak} vs {topo_peak}"
+        );
+    }
+
+    #[test]
+    fn minimizing_liveness_never_hurts_peak_on_zoo() {
+        for g in [zoo::googlenet(), zoo::inception_v4()] {
+            let table = value_table(&g);
+            let peak = |schedule: &Schedule| -> i64 {
+                let spans = feature_lifespans(schedule, table.feature_candidates());
+                let mut deltas: Vec<(usize, i64)> = Vec::new();
+                for v in table.feature_candidates() {
+                    let iv = spans[&v.id];
+                    deltas.push((iv.start, v.bytes as i64));
+                    deltas.push((iv.end + 1, -(v.bytes as i64)));
+                }
+                deltas.sort_unstable();
+                let (mut cur, mut pk) = (0i64, 0i64);
+                for (_, d) in deltas {
+                    cur += d;
+                    pk = pk.max(cur);
+                }
+                pk
+            };
+            assert!(
+                peak(&Schedule::minimizing_liveness(&g)) <= peak(&Schedule::new(&g)),
+                "{}",
+                g.name()
+            );
+        }
+    }
+
+    fn value_table(g: &Graph) -> ValueTable {
+        let design = AccelDesign::explore(g, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(g);
+        ValueTable::build(g, &profile, Precision::Fix16)
+    }
+
+    pub(crate) fn shape(c: usize, hw: usize) -> crate::liveness::tests::FS {
+        lcmm_graph::FeatureShape::new(c, hw, hw)
+    }
+
+    pub(crate) type FS = lcmm_graph::FeatureShape;
+
+    #[test]
+    fn def_after_last_reader_is_clamped() {
+        // The output value has no readers; its interval is a point.
+        let g = zoo::alexnet();
+        let design = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(&g);
+        let table = ValueTable::build(&g, &profile, Precision::Fix16);
+        let s = Schedule::new(&g);
+        let spans = feature_lifespans(&s, table.iter());
+        let out = spans[&ValueId::Feature(g.output_node().id())];
+        assert_eq!(out.start, out.end);
+    }
+}

@@ -1,0 +1,208 @@
+//! The allocation manifest: LCMM's deployable output artifact.
+//!
+//! A hardware integration does not consume `LcmmResult` structs — it
+//! needs concrete SRAM base addresses for every physical buffer, the
+//! tensor→buffer binding table, and the prefetch schedule for the DMA
+//! engine. This module lowers an [`LcmmResult`] into exactly that,
+//! serialisable for consumption by an HLS code generator or runtime.
+
+use crate::pipeline::LcmmResult;
+use crate::value::ValueId;
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One physical on-chip buffer with its assigned address range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferEntry {
+    /// Stable buffer name (`pbuf0`, `pbuf1`, ...).
+    pub name: String,
+    /// Base address in the tensor SRAM region, bytes.
+    pub base: u64,
+    /// Buffer size, bytes.
+    pub bytes: u64,
+    /// The tensors bound to this buffer (time-multiplexed).
+    pub tensors: Vec<TensorBinding>,
+}
+
+/// One tensor's binding into a buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorBinding {
+    /// The bound value.
+    pub value: ValueId,
+    /// Owning layer name.
+    pub layer: String,
+    /// Tensor size, bytes (≤ the buffer size).
+    pub bytes: u64,
+}
+
+/// One entry of the weight prefetch schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchEntry {
+    /// The weight tensor to load.
+    pub value: ValueId,
+    /// Layer whose execution start triggers the load.
+    pub trigger_layer: String,
+    /// Destination buffer name.
+    pub buffer: String,
+    /// Bytes to move.
+    pub bytes: u64,
+    /// Load time not hidden by the schedule, seconds (0 = fully
+    /// hidden).
+    pub exposed_seconds: f64,
+}
+
+/// The deployable allocation manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationManifest {
+    /// Network name.
+    pub model: String,
+    /// Precision label.
+    pub precision: String,
+    /// Physical buffers with sequential, non-overlapping addresses.
+    pub buffers: Vec<BufferEntry>,
+    /// DMA prefetch schedule, in trigger order.
+    pub prefetches: Vec<PrefetchEntry>,
+    /// Total SRAM bytes consumed by the tensor buffers.
+    pub total_bytes: u64,
+    /// The budget the allocation was solved under.
+    pub budget_bytes: u64,
+}
+
+impl AllocationManifest {
+    /// Lowers an LCMM result into the manifest.
+    #[must_use]
+    pub fn build(graph: &Graph, result: &LcmmResult) -> Self {
+        let mut buffers = Vec::new();
+        let mut prefetches = Vec::new();
+        let mut base = 0u64;
+        let schedule = crate::liveness::Schedule::new(graph);
+        for (buf, &chosen) in result.buffers.iter().zip(&result.chosen) {
+            if !chosen {
+                continue;
+            }
+            let name = format!("pbuf{}", buffers.len());
+            let tensors = buf
+                .members
+                .iter()
+                .map(|&m| TensorBinding {
+                    value: m,
+                    layer: graph.node(m.node()).name().to_string(),
+                    bytes: member_bytes(graph, result, m),
+                })
+                .collect();
+            for &m in &buf.members {
+                if let ValueId::Weight(node) = m {
+                    if let Some(edge) = result.prefetch.edge(m) {
+                        prefetches.push(PrefetchEntry {
+                            value: m,
+                            trigger_layer: graph
+                                .node(schedule.at(edge.start))
+                                .name()
+                                .to_string(),
+                            buffer: name.clone(),
+                            bytes: member_bytes(graph, result, m),
+                            exposed_seconds: edge.exposed_seconds,
+                        });
+                    }
+                    let _ = node;
+                }
+            }
+            buffers.push(BufferEntry { name, base, bytes: buf.bytes, tensors });
+            base += buf.bytes;
+        }
+        prefetches.sort_by(|a, b| {
+            a.trigger_layer
+                .cmp(&b.trigger_layer)
+                .then(a.value.cmp(&b.value))
+        });
+        Self {
+            model: graph.name().to_string(),
+            precision: result.design.precision.label().to_string(),
+            buffers,
+            prefetches,
+            total_bytes: base,
+            budget_bytes: result.design.tensor_sram_budget(),
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the manifest contains only serialisable data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest always serialises")
+    }
+}
+
+fn member_bytes(graph: &Graph, result: &LcmmResult, id: ValueId) -> u64 {
+    let b = result.design.precision.bytes();
+    match id {
+        ValueId::Feature(n) => {
+            result.design.batch as u64 * graph.node(n).output_shape().elems() * b
+        }
+        ValueId::Weight(n) => graph.node_weight_elems(n) * b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compare;
+    use lcmm_fpga::{Device, Precision};
+    use lcmm_graph::zoo;
+
+    fn manifest_for(name: &str) -> (Graph, AllocationManifest) {
+        let g = zoo::by_name(name).expect("model exists");
+        let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let m = AllocationManifest::build(&g, &lcmm);
+        (g, m)
+    }
+
+    #[test]
+    fn addresses_are_sequential_and_disjoint() {
+        let (_, m) = manifest_for("googlenet");
+        assert!(!m.buffers.is_empty());
+        let mut cursor = 0;
+        for buf in &m.buffers {
+            assert_eq!(buf.base, cursor, "{} misplaced", buf.name);
+            cursor += buf.bytes;
+        }
+        assert_eq!(m.total_bytes, cursor);
+        assert!(m.total_bytes <= m.budget_bytes);
+    }
+
+    #[test]
+    fn bindings_fit_their_buffers() {
+        let (_, m) = manifest_for("inception_v4");
+        for buf in &m.buffers {
+            assert!(!buf.tensors.is_empty());
+            for t in &buf.tensors {
+                assert!(t.bytes <= buf.bytes, "{} overflows {}", t.layer, buf.name);
+            }
+            // The buffer is sized by its largest tensor exactly.
+            let max = buf.tensors.iter().map(|t| t.bytes).max().expect("nonempty");
+            assert_eq!(max, buf.bytes);
+        }
+    }
+
+    #[test]
+    fn prefetches_reference_real_buffers() {
+        let (_, m) = manifest_for("resnet152");
+        assert!(!m.prefetches.is_empty(), "deep nets must prefetch weights");
+        for p in &m.prefetches {
+            assert!(m.buffers.iter().any(|b| b.name == p.buffer));
+            assert!(p.bytes > 0);
+            assert!(p.exposed_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_json() {
+        let (_, m) = manifest_for("alexnet");
+        let back: AllocationManifest =
+            serde_json::from_str(&m.to_json()).expect("valid json");
+        assert_eq!(back, m);
+    }
+}

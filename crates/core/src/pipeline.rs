@@ -1,0 +1,412 @@
+//! The LCMM pipeline (paper Fig. 4): feature buffer reuse → weight
+//! buffer prefetching → DNNK allocation → buffer splitting.
+
+use crate::alloc::{dnnk, dnnk_iterative, exhaustive, greedy, AllocProblem};
+use crate::eval::{Evaluator, Residency};
+use crate::interference::{InterferenceGraph, VirtualBuffer};
+use crate::liveness::{feature_lifespans, Schedule};
+use crate::prefetch::PrefetchPlan;
+use crate::splitting::{refine, SplitConfig};
+use crate::umm::UmmBaseline;
+use crate::value::ValueTable;
+use lcmm_fpga::{resources, AccelDesign, Device, Precision, ResourceReport, TileBudget};
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Which allocator the pipeline uses for the knapsack stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// The paper's DNNK dynamic program (default).
+    Dnnk,
+    /// DNNK with fixed-point marginal refinement (extension).
+    DnnkIterative,
+    /// Marginal-gain-density greedy (ablation).
+    Greedy,
+    /// Exact enumeration (small instances only).
+    Exhaustive,
+}
+
+/// Pipeline configuration. The defaults reproduce the full LCMM flow;
+/// the toggles drive the Fig. 8 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LcmmOptions {
+    /// Enable feature buffer reuse (§3.1).
+    pub feature_reuse: bool,
+    /// Enable weight buffer prefetching and sharing (§3.2).
+    pub weight_prefetch: bool,
+    /// Enable buffer splitting (§3.4).
+    pub splitting: bool,
+    /// Allocator for the knapsack stage (§3.3).
+    pub allocator: AllocatorKind,
+    /// Clock derate relative to the UMM baseline: the extra buffers and
+    /// muxing cost timing slack (Table 1: 190 → 180 MHz).
+    pub frequency_hz: Option<f64>,
+}
+
+impl Default for LcmmOptions {
+    fn default() -> Self {
+        Self {
+            feature_reuse: true,
+            weight_prefetch: true,
+            splitting: true,
+            allocator: AllocatorKind::Dnnk,
+            frequency_hz: None,
+        }
+    }
+}
+
+impl LcmmOptions {
+    /// Feature buffer reuse only (Fig. 8(a)).
+    #[must_use]
+    pub fn feature_reuse_only() -> Self {
+        Self { weight_prefetch: false, ..Self::default() }
+    }
+
+    /// Weight prefetching only (Fig. 8(b)).
+    #[must_use]
+    pub fn weight_prefetch_only() -> Self {
+        Self { feature_reuse: false, ..Self::default() }
+    }
+}
+
+/// Default LCMM clocks (Table 1): fixed-point 180 MHz, float 160 MHz.
+fn default_lcmm_frequency(precision: Precision) -> f64 {
+    match precision {
+        Precision::Fix8 | Precision::Fix16 => 180e6,
+        Precision::Float32 => 160e6,
+    }
+}
+
+/// The fully evaluated result of running LCMM on one network.
+#[derive(Debug, Clone)]
+pub struct LcmmResult {
+    /// The accelerator design (LCMM clock and tile budget).
+    pub design: AccelDesign,
+    /// End-to-end latency, seconds.
+    pub latency: f64,
+    /// Total operations of one inference (2 × MACs).
+    pub ops: u64,
+    /// The residency assignment LCMM chose.
+    pub residency: Residency,
+    /// All virtual buffers after coloring/splitting.
+    pub buffers: Vec<VirtualBuffer>,
+    /// Which buffers received physical storage.
+    pub chosen: Vec<bool>,
+    /// The weight prefetch plan.
+    pub prefetch: PrefetchPlan,
+    /// Accepted split iterations.
+    pub split_iterations: usize,
+    /// Resource utilisation including allocated tensor buffers.
+    pub resources: ResourceReport,
+    /// Number of memory-bound compute layers in the UMM profile.
+    pub memory_bound_layers: usize,
+    /// Memory-bound layers whose latency improved — the numerator of
+    /// the paper's POL metric (Table 2).
+    pub layers_benefiting: usize,
+}
+
+impl LcmmResult {
+    /// Achieved throughput in ops/s.
+    #[must_use]
+    pub fn throughput_ops(&self) -> f64 {
+        self.ops as f64 / self.latency
+    }
+
+    /// The paper's POL metric: fraction of memory-bound layers that
+    /// benefit from LCMM.
+    #[must_use]
+    pub fn pol(&self) -> f64 {
+        if self.memory_bound_layers == 0 {
+            return 0.0;
+        }
+        self.layers_benefiting as f64 / self.memory_bound_layers as f64
+    }
+
+    /// Speedup over a baseline latency.
+    #[must_use]
+    pub fn speedup_over(&self, baseline_latency: f64) -> f64 {
+        baseline_latency / self.latency
+    }
+
+    /// Sizes of the allocated (physical) buffers, in bytes.
+    #[must_use]
+    pub fn allocated_buffer_sizes(&self) -> Vec<u64> {
+        self.buffers
+            .iter()
+            .zip(&self.chosen)
+            .filter(|(_, &c)| c)
+            .map(|(b, _)| b.bytes)
+            .collect()
+    }
+}
+
+/// The LCMM pipeline driver.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    options: LcmmOptions,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given options.
+    #[must_use]
+    pub fn new(options: LcmmOptions) -> Self {
+        Self { options }
+    }
+
+    /// The options in force.
+    #[must_use]
+    pub fn options(&self) -> &LcmmOptions {
+        &self.options
+    }
+
+    /// Runs the full flow for `graph`, exploring a fresh design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcmm_core::{LcmmOptions, Pipeline};
+    /// use lcmm_fpga::{Device, Precision};
+    /// use lcmm_graph::{ConvParams, FeatureShape, GraphBuilder};
+    ///
+    /// # fn main() -> Result<(), lcmm_graph::GraphError> {
+    /// let mut b = GraphBuilder::new("tiny");
+    /// let x = b.input(FeatureShape::new(256, 7, 7));
+    /// let c = b.conv("c", x, ConvParams::pointwise(512))?;
+    /// let graph = b.finish(c)?;
+    ///
+    /// let result = Pipeline::new(LcmmOptions::default())
+    ///     .run(&graph, &Device::vu9p(), Precision::Fix16);
+    /// assert!(result.latency > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn run(&self, graph: &Graph, device: &Device, precision: Precision) -> LcmmResult {
+        let umm_design = AccelDesign::explore(graph, device, precision);
+        self.run_with_design(graph, umm_design)
+    }
+
+    /// Runs the full flow starting from an explored (UMM) design: the
+    /// array shape is kept, the clock is derated and the tile buffers
+    /// shrunk per the paper's LCMM designs.
+    #[must_use]
+    pub fn run_with_design(&self, graph: &Graph, base: AccelDesign) -> LcmmResult {
+        let precision = base.precision;
+        let freq = self
+            .options
+            .frequency_hz
+            .unwrap_or_else(|| default_lcmm_frequency(precision));
+        let design = base
+            .with_frequency(freq)
+            .with_tile_budget(TileBudget::default_lcmm());
+
+        let profile = design.profile(graph);
+        let evaluator = Evaluator::new(graph, &profile);
+        let values = ValueTable::build_batched(graph, &profile, precision, design.batch);
+        let schedule = Schedule::new(graph);
+
+        // --- Pass 1: feature buffer reuse -------------------------------
+        let feature_graph = if self.options.feature_reuse {
+            let spans = feature_lifespans(&schedule, values.feature_candidates());
+            InterferenceGraph::new(
+                values
+                    .feature_candidates()
+                    .map(|v| (v.id, v.bytes, spans[&v.id]))
+                    .collect(),
+            )
+        } else {
+            InterferenceGraph::default()
+        };
+
+        // --- Pass 2: weight buffer prefetching ---------------------------
+        let (weight_graph, prefetch) = if self.options.weight_prefetch {
+            let plan = PrefetchPlan::build(
+                &evaluator,
+                &schedule,
+                &Residency::new(),
+                values.weight_candidates(),
+            );
+            let spans = plan.intervals();
+            let graph = InterferenceGraph::new(
+                values
+                    .weight_candidates()
+                    .filter(|v| spans.contains_key(&v.id))
+                    .map(|v| (v.id, v.bytes, spans[&v.id]))
+                    .collect(),
+            );
+            (graph, plan)
+        } else {
+            (InterferenceGraph::default(), PrefetchPlan::default())
+        };
+
+        // --- Pass 3 + 4: DNNK allocation with splitting ------------------
+        let allocator = match self.options.allocator {
+            AllocatorKind::Dnnk => dnnk::allocate as fn(&AllocProblem<'_>) -> _,
+            AllocatorKind::DnnkIterative => dnnk_iterative::allocate,
+            AllocatorKind::Greedy => greedy::allocate,
+            AllocatorKind::Exhaustive => exhaustive::allocate,
+        };
+        let split_config = if self.options.splitting {
+            SplitConfig::default()
+        } else {
+            SplitConfig { max_iterations: 0 }
+        };
+        let result = refine(
+            &evaluator,
+            design.tensor_sram_budget(),
+            &prefetch,
+            feature_graph,
+            weight_graph,
+            allocator,
+            split_config,
+        );
+
+        // --- Reporting ----------------------------------------------------
+        let empty = Residency::new();
+        let memory_bound = profile.memory_bound_layers(graph);
+        let layers_benefiting = memory_bound
+            .iter()
+            .filter(|&&n| {
+                evaluator.node_latency(n, &result.outcome.residency)
+                    < evaluator.node_latency(n, &empty) - 1e-15
+            })
+            .count();
+
+        let buffer_sizes: Vec<u64> = result
+            .buffers
+            .iter()
+            .zip(&result.outcome.chosen)
+            .filter(|(_, &c)| c)
+            .map(|(b, _)| b.bytes)
+            .collect();
+        let resources = resources::report(&design, &buffer_sizes);
+
+        let ops = design.batch as u64 * 2 * graph.total_macs();
+        LcmmResult {
+            design,
+            latency: result.outcome.latency,
+            ops,
+            residency: result.outcome.residency,
+            buffers: result.buffers,
+            chosen: result.outcome.chosen,
+            prefetch,
+            split_iterations: result.iterations,
+            resources,
+            memory_bound_layers: memory_bound.len(),
+            layers_benefiting,
+        }
+    }
+}
+
+/// Per-block latency of a graph under a residency (drives Fig. 8): the
+/// sum of node latencies of the nodes labelled with `block`.
+#[must_use]
+pub fn block_latency(
+    graph: &Graph,
+    evaluator: &Evaluator<'_>,
+    residency: &Residency,
+    block: &str,
+) -> f64 {
+    graph
+        .block_nodes(block)
+        .into_iter()
+        .map(|n| evaluator.node_latency(n, residency))
+        .sum()
+}
+
+/// Per-block operation count (2 × MACs), for block throughput plots.
+#[must_use]
+pub fn block_ops(graph: &Graph, block: &str) -> u64 {
+    graph
+        .block_nodes(block)
+        .into_iter()
+        .map(|n| 2 * graph.node_macs(n))
+        .sum()
+}
+
+/// Convenience: UMM baseline and full-LCMM result side by side.
+#[must_use]
+pub fn compare(graph: &Graph, device: &Device, precision: Precision) -> (UmmBaseline, LcmmResult) {
+    let umm = UmmBaseline::build(graph, device, precision);
+    let lcmm = Pipeline::new(LcmmOptions::default())
+        .run_with_design(graph, umm.design.clone());
+    (umm, lcmm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn lcmm_beats_umm_on_googlenet_16bit() {
+        let g = zoo::googlenet();
+        let (umm, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let speedup = lcmm.speedup_over(umm.latency);
+        assert!(speedup > 1.05, "speedup only {speedup}");
+        assert!(speedup < 2.5, "speedup implausibly high: {speedup}");
+    }
+
+    #[test]
+    fn ablations_bracket_full_lcmm() {
+        let g = zoo::googlenet();
+        let device = Device::vu9p();
+        let umm = UmmBaseline::build(&g, &device, Precision::Fix16);
+        let full = Pipeline::new(LcmmOptions::default())
+            .run_with_design(&g, umm.design.clone());
+        let features_only = Pipeline::new(LcmmOptions::feature_reuse_only())
+            .run_with_design(&g, umm.design.clone());
+        let weights_only = Pipeline::new(LcmmOptions::weight_prefetch_only())
+            .run_with_design(&g, umm.design.clone());
+        assert!(full.latency <= features_only.latency + 1e-12);
+        assert!(full.latency <= weights_only.latency + 1e-12);
+    }
+
+    #[test]
+    fn pol_is_a_fraction_and_nonzero() {
+        let g = zoo::googlenet();
+        let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let pol = lcmm.pol();
+        assert!((0.0..=1.0).contains(&pol));
+        assert!(pol > 0.3, "POL suspiciously low: {pol}");
+    }
+
+    #[test]
+    fn sram_utilization_rises_with_lcmm() {
+        let g = zoo::googlenet();
+        let (umm, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let umm_sram = umm.resources.sram_util(&umm.design.device);
+        let lcmm_sram = lcmm.resources.sram_util(&lcmm.design.device);
+        assert!(lcmm_sram > umm_sram, "{lcmm_sram} <= {umm_sram}");
+    }
+
+    #[test]
+    fn allocated_buffers_fit_budget() {
+        let g = zoo::googlenet();
+        let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let total: u64 = lcmm.allocated_buffer_sizes().iter().sum();
+        assert!(total <= lcmm.design.tensor_sram_budget());
+    }
+
+    #[test]
+    fn block_latency_sums_to_labelled_nodes() {
+        let g = zoo::googlenet();
+        let umm = UmmBaseline::build(&g, &Device::vu9p(), Precision::Fix16);
+        let ev = Evaluator::new(&g, &umm.profile);
+        let r = Residency::new();
+        let total_blocks: f64 =
+            g.blocks().iter().map(|b| block_latency(&g, &ev, &r, b)).sum();
+        // Some nodes (pools between stages) are unlabelled, so the block
+        // sum is at most the total.
+        assert!(total_blocks <= ev.total_latency(&r) + 1e-12);
+        assert!(total_blocks > 0.0);
+    }
+
+    #[test]
+    fn greedy_allocator_option_works() {
+        let g = zoo::alexnet();
+        let opts = LcmmOptions { allocator: AllocatorKind::Greedy, ..LcmmOptions::default() };
+        let lcmm = Pipeline::new(opts).run(&g, &Device::vu9p(), Precision::Fix16);
+        assert!(lcmm.latency > 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Serializable experiment records.
+//!
+//! The CLI and benches print text tables; these structs are the
+//! machine-readable form (`--json`) so downstream tooling can consume
+//! the reproduction's numbers without scraping.
+
+use crate::pipeline::compare;
+use crate::{LcmmResult, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One side (UMM or LCMM) of a Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignRecord {
+    /// End-to-end latency, seconds.
+    pub latency: f64,
+    /// Achieved throughput, ops/s.
+    pub throughput_ops: f64,
+    /// Clock, Hz.
+    pub frequency_hz: f64,
+    /// DSP utilisation in [0, 1].
+    pub dsp_util: f64,
+    /// CLB utilisation in [0, 1].
+    pub clb_util: f64,
+    /// BRAM utilisation in [0, 1].
+    pub bram_util: f64,
+    /// URAM utilisation in [0, 1].
+    pub uram_util: f64,
+    /// Combined SRAM utilisation in [0, 1].
+    pub sram_util: f64,
+}
+
+impl DesignRecord {
+    fn from_umm(umm: &UmmBaseline, device: &Device) -> Self {
+        Self {
+            latency: umm.latency,
+            throughput_ops: umm.throughput_ops(),
+            frequency_hz: umm.design.freq_hz,
+            dsp_util: umm.resources.dsp_util,
+            clb_util: umm.resources.clb_util,
+            bram_util: umm.resources.bram_util,
+            uram_util: umm.resources.uram_util,
+            sram_util: umm.resources.sram_util(device),
+        }
+    }
+
+    fn from_lcmm(lcmm: &LcmmResult, device: &Device) -> Self {
+        Self {
+            latency: lcmm.latency,
+            throughput_ops: lcmm.throughput_ops(),
+            frequency_hz: lcmm.design.freq_hz,
+            dsp_util: lcmm.resources.dsp_util,
+            clb_util: lcmm.resources.clb_util,
+            bram_util: lcmm.resources.bram_util,
+            uram_util: lcmm.resources.uram_util,
+            sram_util: lcmm.resources.sram_util(device),
+        }
+    }
+}
+
+/// One benchmark × precision record: everything Table 1 and Table 2
+/// print about the pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRecord {
+    /// Network name.
+    pub model: String,
+    /// Precision label (`8-bit`, ...).
+    pub precision: String,
+    /// The UMM baseline.
+    pub umm: DesignRecord,
+    /// The LCMM design.
+    pub lcmm: DesignRecord,
+    /// `umm.latency / lcmm.latency`.
+    pub speedup: f64,
+    /// Memory-bound layer count (UMM profile).
+    pub memory_bound_layers: usize,
+    /// POL: fraction of memory-bound layers that benefit.
+    pub pol: f64,
+    /// Number of allocated tensor buffers.
+    pub buffers: usize,
+    /// Total allocated tensor-buffer bytes.
+    pub buffer_bytes: u64,
+    /// Accepted buffer-splitting iterations.
+    pub split_iterations: usize,
+}
+
+/// Runs the comparison and collects the record.
+#[must_use]
+pub fn comparison_record(
+    graph: &Graph,
+    device: &Device,
+    precision: Precision,
+) -> ComparisonRecord {
+    let (umm, lcmm) = compare(graph, device, precision);
+    ComparisonRecord {
+        model: graph.name().to_string(),
+        precision: precision.label().to_string(),
+        umm: DesignRecord::from_umm(&umm, device),
+        lcmm: DesignRecord::from_lcmm(&lcmm, device),
+        speedup: lcmm.speedup_over(umm.latency),
+        memory_bound_layers: lcmm.memory_bound_layers,
+        pol: lcmm.pol(),
+        buffers: lcmm.allocated_buffer_sizes().len(),
+        buffer_bytes: lcmm.allocated_buffer_sizes().iter().sum(),
+        split_iterations: lcmm.split_iterations,
+    }
+}
+
+/// The full Table 1/2 dataset: one record per benchmark × precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// All records, in suite × precision order.
+    pub records: Vec<ComparisonRecord>,
+}
+
+impl SuiteReport {
+    /// Runs the whole benchmark suite.
+    #[must_use]
+    pub fn run(device: &Device) -> Self {
+        let mut records = Vec::new();
+        for graph in lcmm_graph::zoo::benchmark_suite() {
+            for precision in Precision::ALL {
+                records.push(comparison_record(&graph, device, precision));
+            }
+        }
+        Self { records }
+    }
+
+    /// Geometric-free average speedup (arithmetic mean, as the paper
+    /// reports it).
+    #[must_use]
+    pub fn average_speedup(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.speedup).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn record_is_consistent() {
+        let g = zoo::googlenet();
+        let device = Device::vu9p();
+        let r = comparison_record(&g, &device, Precision::Fix16);
+        assert_eq!(r.model, "googlenet");
+        assert!((r.speedup - r.umm.latency / r.lcmm.latency).abs() < 1e-12);
+        assert!(r.pol >= 0.0 && r.pol <= 1.0);
+        assert!(r.buffers > 0);
+        assert!(r.buffer_bytes > 0);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let g = zoo::alexnet();
+        let device = Device::vu9p();
+        let r = comparison_record(&g, &device, Precision::Fix8);
+        let json = serde_json::to_string(&r).expect("serialises");
+        let back: ComparisonRecord = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, r);
+    }
+}

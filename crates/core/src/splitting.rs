@@ -1,0 +1,253 @@
+//! Buffer splitting (§3.4): undoing harmful buffer sharing.
+//!
+//! Coloring fuses disjoint-lifespan tensors into one virtual buffer
+//! sized by the largest member. If DNNK then spills that buffer, *every*
+//! member goes off-chip — including small tensors with large latency
+//! value that would easily have fit on their own ("misspilling"). The
+//! splitting pass adds a *false* lifespan-overlap edge inside the worst
+//! spilled buffer, forcing a re-color to separate the size-defining
+//! tensor from a valuable small member, and retries allocation. Each
+//! iteration is kept only if end-to-end latency improves.
+
+use crate::alloc::{AllocOutcome, AllocProblem};
+use crate::eval::{Evaluator, Residency};
+use crate::interference::{InterferenceGraph, VirtualBuffer};
+use crate::prefetch::PrefetchPlan;
+use crate::value::{ValueId, ValueKind};
+
+/// Configuration of the splitting loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitConfig {
+    /// Maximum accepted split iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self { max_iterations: 8 }
+    }
+}
+
+/// Result of the refinement loop.
+#[derive(Debug)]
+pub struct SplitResult {
+    /// The best allocation found.
+    pub outcome: AllocOutcome,
+    /// The buffer set matching `outcome.chosen`.
+    pub buffers: Vec<VirtualBuffer>,
+    /// Number of accepted split iterations.
+    pub iterations: usize,
+}
+
+/// The allocator callback used by the refinement loop.
+pub type AllocatorFn = fn(&AllocProblem<'_>) -> AllocOutcome;
+
+/// Runs allocation, then iteratively splits misspilled buffers while it
+/// helps.
+#[must_use]
+pub fn refine(
+    evaluator: &Evaluator<'_>,
+    budget_bytes: u64,
+    plan: &PrefetchPlan,
+    mut feature_graph: InterferenceGraph,
+    mut weight_graph: InterferenceGraph,
+    allocator: AllocatorFn,
+    config: SplitConfig,
+) -> SplitResult {
+    let color_all = |fg: &InterferenceGraph, wg: &InterferenceGraph| -> Vec<VirtualBuffer> {
+        let mut bufs = fg.color();
+        bufs.extend(wg.color());
+        bufs
+    };
+
+    let mut buffers = color_all(&feature_graph, &weight_graph);
+    let mut best = {
+        let problem = AllocProblem::new(evaluator, &buffers, budget_bytes, plan);
+        allocator(&problem)
+    };
+    let mut iterations = 0;
+
+    while iterations < config.max_iterations {
+        let Some((a, b)) = propose_split(evaluator, &buffers, &best) else {
+            break;
+        };
+        // Tentatively add the false edge in the owning graph.
+        let mut fg = feature_graph.clone();
+        let mut wg = weight_graph.clone();
+        match a.kind() {
+            ValueKind::Feature => fg.add_false_edge(a, b),
+            ValueKind::Weight => wg.add_false_edge(a, b),
+        }
+        let new_buffers = color_all(&fg, &wg);
+        let candidate = {
+            let problem = AllocProblem::new(evaluator, &new_buffers, budget_bytes, plan);
+            allocator(&problem)
+        };
+        if candidate.latency < best.latency {
+            best = candidate;
+            buffers = new_buffers;
+            feature_graph = fg;
+            weight_graph = wg;
+            iterations += 1;
+        } else {
+            break;
+        }
+    }
+
+    SplitResult { outcome: best, buffers, iterations }
+}
+
+/// Picks the next false edge to try: in the largest spilled multi-member
+/// buffer, separate the size-defining member from the co-member whose
+/// standalone latency value is largest (the misspilling victim).
+#[must_use]
+pub fn propose_split(
+    evaluator: &Evaluator<'_>,
+    buffers: &[VirtualBuffer],
+    outcome: &AllocOutcome,
+) -> Option<(ValueId, ValueId)> {
+    let empty = Residency::new();
+    let spilled = buffers
+        .iter()
+        .zip(&outcome.chosen)
+        .filter(|(b, &c)| !c && b.members.len() >= 2)
+        .map(|(b, _)| b)
+        .max_by_key(|b| b.bytes)?;
+    // The size-defining tensor.
+    let sizes: Vec<u64> = spilled
+        .members
+        .iter()
+        .map(|&m| member_bytes(evaluator, m))
+        .collect();
+    let (big_idx, _) = sizes.iter().enumerate().max_by_key(|(_, &s)| s)?;
+    let big = spilled.members[big_idx];
+    // The most valuable other member.
+    let victim = spilled
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| m != big)
+        .max_by(|&a, &b| {
+            let ga = evaluator.gain_of(&empty, &[a]);
+            let gb = evaluator.gain_of(&empty, &[b]);
+            ga.partial_cmp(&gb).expect("gains are finite")
+        })?;
+    Some((big, victim))
+}
+
+fn member_bytes(evaluator: &Evaluator<'_>, id: ValueId) -> u64 {
+    let graph = evaluator.graph();
+    match id {
+        ValueId::Feature(n) => graph.node(n).output_shape().elems(),
+        ValueId::Weight(n) => graph.node_weight_elems(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{dnnk, CAPACITY_UNIT_BYTES};
+    use crate::liveness::LiveInterval;
+    use lcmm_fpga::{AccelDesign, Device, Precision};
+    use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+
+    /// A graph engineered to missplill: a huge early tensor shares a
+    /// lifespan-disjoint buffer with a small but valuable late tensor.
+    fn misspill_graph() -> Graph {
+        let mut b = GraphBuilder::new("misspill");
+        let x = b.input(FeatureShape::new(256, 56, 56));
+        let c0 = b.conv("big", x, ConvParams::square(512, 3, 1, 1)).expect("big");
+        let c1 = b.conv("mid", c0, ConvParams::square(64, 3, 2, 1)).expect("mid");
+        let c2 = b.conv("small1", c1, ConvParams::square(512, 3, 2, 1)).expect("s1");
+        let c3 = b.conv("small2", c2, ConvParams::square(512, 3, 1, 1)).expect("s2");
+        b.finish(c3).expect("valid")
+    }
+
+    #[test]
+    fn refine_never_worse_than_plain_allocation() {
+        let g = misspill_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+
+        // Build feature interference where the big early tensor and a
+        // small late tensor share (disjoint lifespans).
+        let ids: Vec<ValueId> =
+            g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
+        let sizes: Vec<u64> =
+            g.conv_layers().map(|n| n.output_shape().elems() * 4).collect();
+        let fg = InterferenceGraph::new(vec![
+            (ids[0], sizes[0], LiveInterval::new(0, 1)),
+            (ids[1], sizes[1], LiveInterval::new(1, 2)),
+            (ids[2], sizes[2], LiveInterval::new(2, 3)),
+            (ids[3], sizes[3], LiveInterval::new(3, 4)),
+        ]);
+        let wg = InterferenceGraph::new(Vec::new());
+        let plan = PrefetchPlan::default();
+        // A budget that can hold the small tensors but not the big one.
+        let budget = 40 * CAPACITY_UNIT_BYTES;
+
+        let plain = {
+            let bufs = {
+                let mut b = fg.color();
+                b.extend(wg.color());
+                b
+            };
+            let problem = AllocProblem::new(&ev, &bufs, budget, &plan);
+            dnnk::allocate(&problem)
+        };
+        let refined = refine(
+            &ev,
+            budget,
+            &plan,
+            fg,
+            wg,
+            dnnk::allocate,
+            SplitConfig::default(),
+        );
+        assert!(refined.outcome.latency <= plain.latency + 1e-15);
+    }
+
+    #[test]
+    fn propose_split_targets_largest_spilled_buffer() {
+        let g = misspill_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+        let ids: Vec<ValueId> =
+            g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
+        let buffers = vec![VirtualBuffer {
+            members: vec![ids[0], ids[3]],
+            bytes: g.node(ids[0].node()).output_shape().elems() * 4,
+        }];
+        let outcome = {
+            let plan = PrefetchPlan::default();
+            let problem = AllocProblem::new(&ev, &buffers, 0, &plan);
+            AllocOutcome::from_chosen(&problem, vec![false])
+        };
+        let (big, victim) = propose_split(&ev, &buffers, &outcome).expect("split proposed");
+        assert_eq!(big, ids[0]);
+        assert_eq!(victim, ids[3]);
+    }
+
+    #[test]
+    fn no_split_when_everything_allocated() {
+        let g = misspill_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+        let buffers = vec![VirtualBuffer {
+            members: vec![ValueId::Feature(g.node_by_name("big").unwrap().id())],
+            bytes: 100,
+        }];
+        let plan = PrefetchPlan::default();
+        let problem = AllocProblem::new(&ev, &buffers, 1 << 30, &plan);
+        let outcome = AllocOutcome::from_chosen(&problem, vec![true]);
+        assert!(propose_split(&ev, &buffers, &outcome).is_none());
+    }
+
+    #[test]
+    fn default_config_caps_iterations() {
+        assert_eq!(SplitConfig::default().max_iterations, 8);
+    }
+}

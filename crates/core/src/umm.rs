@@ -1,0 +1,78 @@
+//! The UMM baseline: uniform memory management (paper §2.1, Fig. 1).
+//!
+//! Every tensor of every layer streams through DRAM tile by tile; the
+//! only on-chip storage is the double-buffered tile buffers. This is the
+//! design of \[18\] and the baseline of the paper's Table 1.
+
+use lcmm_fpga::{resources, AccelDesign, Device, GraphProfile, Precision, ResourceReport};
+use lcmm_graph::Graph;
+
+/// A fully evaluated UMM design point.
+#[derive(Debug, Clone)]
+pub struct UmmBaseline {
+    /// The accelerator design (array, clock, tile budget).
+    pub design: AccelDesign,
+    /// The operation latency table.
+    pub profile: GraphProfile,
+    /// End-to-end latency, seconds.
+    pub latency: f64,
+    /// Total operations of one inference (2 × MACs).
+    pub ops: u64,
+    /// Resource utilisation.
+    pub resources: ResourceReport,
+}
+
+impl UmmBaseline {
+    /// Builds and evaluates the UMM baseline for `graph`.
+    #[must_use]
+    pub fn build(graph: &Graph, device: &Device, precision: Precision) -> Self {
+        let design = AccelDesign::explore(graph, device, precision);
+        Self::from_design(graph, design)
+    }
+
+    /// Evaluates an existing design as a UMM baseline.
+    #[must_use]
+    pub fn from_design(graph: &Graph, design: AccelDesign) -> Self {
+        let profile = design.profile(graph);
+        let latency = profile.total_latency();
+        let ops = design.batch as u64 * 2 * graph.total_macs();
+        let resources = resources::report(&design, &[]);
+        Self { design, profile, latency, ops, resources }
+    }
+
+    /// Achieved throughput in ops/s.
+    #[must_use]
+    pub fn throughput_ops(&self) -> f64 {
+        self.ops as f64 / self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn baseline_throughput_below_peak() {
+        let g = zoo::googlenet();
+        let umm = UmmBaseline::build(&g, &Device::vu9p(), Precision::Fix16);
+        assert!(umm.throughput_ops() < umm.design.peak_ops());
+        assert!(umm.latency > 0.0);
+    }
+
+    #[test]
+    fn umm_uses_only_tile_buffers() {
+        let g = zoo::resnet152();
+        let umm = UmmBaseline::build(&g, &Device::vu9p(), Precision::Fix8);
+        // SRAM utilisation stays in the tile-buffer band (paper: 10-22%).
+        let sram = umm.resources.sram_util(&umm.design.device);
+        assert!(sram < 0.30, "got {sram}");
+    }
+
+    #[test]
+    fn latency_matches_profile_sum() {
+        let g = zoo::alexnet();
+        let umm = UmmBaseline::build(&g, &Device::vu9p(), Precision::Fix16);
+        assert!((umm.latency - umm.profile.total_latency()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,305 @@
+//! Tensor values: the allocation units of LCMM.
+//!
+//! A *value* is a tensor that physically holds bytes during inference:
+//! either the feature map materialised by one node, or the weights of
+//! one conv/FC layer. Concat outputs are not values — concatenation is
+//! address aliasing on this architecture, so "the concat's tensor" is
+//! the set of its source values (see
+//! `lcmm_fpga::resolved_sources`).
+//!
+//! The paper's tables (Fig. 7) index tensors as `t_d(i)` per node and
+//! data source; a feature value here unifies the producer's `of` tensor
+//! with every consumer's `if` view of the same data, which is what the
+//! hardware actually allocates.
+
+use lcmm_fpga::{GraphProfile, Precision};
+use lcmm_graph::{Graph, NodeId, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of data a value holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// A feature map (activation) tensor.
+    Feature,
+    /// A weight tensor.
+    Weight,
+}
+
+/// Identifier of a tensor value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueId {
+    /// The feature map produced by this node.
+    Feature(NodeId),
+    /// The weights owned by this node.
+    Weight(NodeId),
+}
+
+impl ValueId {
+    /// The node this value belongs to.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        match self {
+            ValueId::Feature(n) | ValueId::Weight(n) => n,
+        }
+    }
+
+    /// The value's kind.
+    #[must_use]
+    pub fn kind(self) -> ValueKind {
+        match self {
+            ValueId::Feature(_) => ValueKind::Feature,
+            ValueId::Weight(_) => ValueKind::Weight,
+        }
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueId::Feature(n) => write!(f, "f({n})"),
+            ValueId::Weight(n) => write!(f, "w({n})"),
+        }
+    }
+}
+
+/// One tensor value and everything the memory manager needs to know
+/// about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorValue {
+    /// The value's identity.
+    pub id: ValueId,
+    /// Size in bytes at the design's precision.
+    pub bytes: u64,
+    /// Nodes that read this value (resolved through concats). For a
+    /// weight value this is just the owning layer.
+    pub readers: Vec<NodeId>,
+    /// Whether the value may be placed on-chip at all. The network input
+    /// (arrives from the host via DRAM) and the final output (must be
+    /// returned via DRAM) are not allocatable.
+    pub allocatable: bool,
+    /// Whether any node touching this value is memory bound — the
+    /// paper's candidate filter: compute-bound tensors "are not included
+    /// in the interference graph".
+    pub touches_memory_bound: bool,
+}
+
+/// All values of a graph, with lookup by id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueTable {
+    values: Vec<TensorValue>,
+    index: HashMap<ValueId, usize>,
+}
+
+impl ValueTable {
+    /// Extracts the value set of `graph` at `precision` (batch 1), using
+    /// `profile` to mark which values touch memory-bound nodes.
+    #[must_use]
+    pub fn build(graph: &Graph, profile: &GraphProfile, precision: Precision) -> Self {
+        Self::build_batched(graph, profile, precision, 1)
+    }
+
+    /// Like [`ValueTable::build`] for a batched design: feature tensors
+    /// hold `batch` images' activations, weights are shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn build_batched(
+        graph: &Graph,
+        profile: &GraphProfile,
+        precision: Precision,
+        batch: usize,
+    ) -> Self {
+        assert!(batch > 0, "batch must be nonzero");
+        let mut values = Vec::new();
+        // Readers of each non-concat node's output, resolved through
+        // concats: start from the raw consumer lists and push reads
+        // through concat nodes.
+        let mut readers: Vec<Vec<NodeId>> = vec![Vec::new(); graph.len()];
+        for node in graph.iter() {
+            for source in lcmm_fpga::resolved_sources(graph, node) {
+                readers[source.index()].push(node.id());
+            }
+        }
+        let output_value = resolve_output_values(graph);
+        for node in graph.iter() {
+            if matches!(node.op(), OpKind::Concat) {
+                continue;
+            }
+            let id = ValueId::Feature(node.id());
+            let is_input = matches!(node.op(), OpKind::Input);
+            let is_output = output_value.contains(&node.id());
+            let node_readers = readers[node.id().index()].clone();
+            let touches_memory_bound = node_touches_memory_bound(graph, profile, node.id())
+                || node_readers
+                    .iter()
+                    .any(|&r| node_touches_memory_bound(graph, profile, r));
+            values.push(TensorValue {
+                id,
+                bytes: batch as u64 * precision.tensor_bytes(node.output_shape().elems()),
+                readers: node_readers,
+                allocatable: !is_input && !is_output,
+                touches_memory_bound,
+            });
+            if node.op().has_weights() {
+                values.push(TensorValue {
+                    id: ValueId::Weight(node.id()),
+                    bytes: precision.tensor_bytes(graph.node_weight_elems(node.id())),
+                    readers: vec![node.id()],
+                    allocatable: true,
+                    touches_memory_bound: node_touches_memory_bound(graph, profile, node.id()),
+                });
+            }
+        }
+        let index = values.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        Self { values, index }
+    }
+
+    /// Looks a value up by id.
+    #[must_use]
+    pub fn get(&self, id: ValueId) -> Option<&TensorValue> {
+        self.index.get(&id).map(|&i| &self.values[i])
+    }
+
+    /// Iterates over all values.
+    pub fn iter(&self) -> impl Iterator<Item = &TensorValue> {
+        self.values.iter()
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Allocatable feature values that touch a memory-bound node — the
+    /// candidates for feature buffer reuse (§3.1).
+    pub fn feature_candidates(&self) -> impl Iterator<Item = &TensorValue> {
+        self.values.iter().filter(|v| {
+            v.id.kind() == ValueKind::Feature && v.allocatable && v.touches_memory_bound
+        })
+    }
+
+    /// Weight values of memory-bound layers — the candidates for weight
+    /// prefetching and sharing (§3.2).
+    pub fn weight_candidates(&self) -> impl Iterator<Item = &TensorValue> {
+        self.values.iter().filter(|v| {
+            v.id.kind() == ValueKind::Weight && v.allocatable && v.touches_memory_bound
+        })
+    }
+}
+
+/// Nodes whose feature value constitutes (part of) the network output:
+/// the output node itself, or — when the output is a concat — the
+/// concat's resolved sources.
+fn resolve_output_values(graph: &Graph) -> Vec<NodeId> {
+    let out = graph.output_node();
+    if matches!(out.op(), OpKind::Concat) {
+        lcmm_fpga::resolved_sources(graph, out)
+    } else {
+        vec![out.id()]
+    }
+}
+
+fn node_touches_memory_bound(graph: &Graph, profile: &GraphProfile, id: NodeId) -> bool {
+    // Boundedness is meaningful for nodes that actually move data; for
+    // concat (free) it is always false.
+    let row = profile.node(id);
+    let _ = graph;
+    row.worst_transfer() > row.compute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_fpga::{AccelDesign, Device};
+    use lcmm_graph::zoo;
+
+    fn table(graph: &Graph) -> ValueTable {
+        let design = AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(graph);
+        ValueTable::build(graph, &profile, Precision::Fix16)
+    }
+
+    #[test]
+    fn concat_produces_no_value() {
+        let g = zoo::googlenet();
+        let t = table(&g);
+        let cat = g.node_by_name("inception_3a/output").unwrap().id();
+        assert!(t.get(ValueId::Feature(cat)).is_none());
+    }
+
+    #[test]
+    fn branch_values_read_by_next_module() {
+        let g = zoo::googlenet();
+        let t = table(&g);
+        let b1 = g.node_by_name("inception_3a/1x1").unwrap().id();
+        let v = t.get(ValueId::Feature(b1)).unwrap();
+        // 3a/1x1 feeds the concat, which is read by all of 3b's branch
+        // heads and 3b's pool.
+        assert!(v.readers.len() >= 4, "got {:?}", v.readers);
+    }
+
+    #[test]
+    fn input_and_output_not_allocatable() {
+        let g = zoo::alexnet();
+        let t = table(&g);
+        let input = g.node_by_name("input").unwrap().id();
+        assert!(!t.get(ValueId::Feature(input)).unwrap().allocatable);
+        let out = g.output_node().id();
+        assert!(!t.get(ValueId::Feature(out)).unwrap().allocatable);
+    }
+
+    #[test]
+    fn weights_exist_for_compute_layers_only() {
+        let g = zoo::alexnet();
+        let t = table(&g);
+        let conv1 = g.node_by_name("conv1").unwrap().id();
+        let pool1 = g.node_by_name("pool1").unwrap().id();
+        assert!(t.get(ValueId::Weight(conv1)).is_some());
+        assert!(t.get(ValueId::Weight(pool1)).is_none());
+    }
+
+    #[test]
+    fn value_sizes_follow_precision() {
+        let g = zoo::alexnet();
+        let design = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix8);
+        let profile = design.profile(&g);
+        let t8 = ValueTable::build(&g, &profile, Precision::Fix8);
+        let t32 = ValueTable::build(&g, &profile, Precision::Float32);
+        let conv1 = g.node_by_name("conv1").unwrap().id();
+        let b8 = t8.get(ValueId::Feature(conv1)).unwrap().bytes;
+        let b32 = t32.get(ValueId::Feature(conv1)).unwrap().bytes;
+        assert_eq!(b32, 4 * b8);
+    }
+
+    #[test]
+    fn candidates_are_subsets() {
+        let g = zoo::inception_v4();
+        let t = table(&g);
+        let features = t.feature_candidates().count();
+        let weights = t.weight_candidates().count();
+        assert!(features > 0 && weights > 0);
+        assert!(features + weights <= t.len());
+        for v in t.feature_candidates() {
+            assert!(v.allocatable && v.touches_memory_bound);
+        }
+    }
+
+    #[test]
+    fn value_id_accessors() {
+        let id = ValueId::Weight(NodeId::new(3));
+        assert_eq!(id.node().index(), 3);
+        assert_eq!(id.kind(), ValueKind::Weight);
+        assert_eq!(id.to_string(), "w(n3)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Characterises the benchmark suite on the VU9P performance model:
+//! chosen array, memory-bound fraction, UMM latency vs compute floor.
+//!
+//! ```text
+//! cargo run --release -p lcmm-fpga --example characterize
+//! ```
+
+use lcmm_fpga::{AccelDesign, Device, Precision};
+
+fn main() {
+    println!(
+        "{:14} {:7} {:18} {:>5} {:>8} {:>9} {:>9} {:>9}",
+        "network", "prec", "array (r x c x s)", "DSP%", "mb-frac", "UMM ms", "floor ms", "headroom"
+    );
+    for graph in lcmm_graph::zoo::benchmark_suite() {
+        for precision in Precision::ALL {
+            let design = AccelDesign::explore(&graph, &Device::vu9p(), precision);
+            let profile = design.profile(&graph);
+            let umm = profile.total_latency();
+            let floor = profile.compute_floor();
+            println!(
+                "{:14} {:7} {:>4}x{:<3}x{:<3}       {:>5.0} {:>8.2} {:>9.2} {:>9.2} {:>8.2}x",
+                graph.name(),
+                precision.label(),
+                design.array.rows,
+                design.array.cols,
+                design.array.simd,
+                design.dsp_utilization() * 100.0,
+                profile.memory_bound_fraction(&graph),
+                umm * 1e3,
+                floor * 1e3,
+                umm / floor
+            );
+        }
+    }
+    println!(
+        "\n`headroom` is the speedup a perfect memory manager could reach; LCMM's \
+         achieved speedups (see the lcmm CLI's table1) capture most of it."
+    );
+}

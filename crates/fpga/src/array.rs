@@ -1,0 +1,234 @@
+//! The systolic convolution array model (Wei et al., DAC'17 — ref. \[18\]).
+
+use crate::precision::Precision;
+use lcmm_graph::{FcParams, Graph, Node, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// A three-dimensionally unrolled systolic array.
+///
+/// Following the architecture template of \[18\], the PE grid unrolls:
+/// * `rows` over output channels (`M`),
+/// * `cols` over output-row positions (`W_o`),
+/// * `simd` over input channels (`C`) as the per-PE vector width.
+///
+/// One MAC executes per PE per cycle; a layer's cycle count is the
+/// product of the ceiling-quantised loop trip counts, which captures the
+/// efficiency loss when a layer's dimensions do not divide the array
+/// dimensions (the paper's "reduction of actual operations" effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystolicArray {
+    /// PEs along the output-channel dimension.
+    pub rows: usize,
+    /// PEs along the output-width dimension.
+    pub cols: usize,
+    /// Vector lanes per PE along the input-channel dimension.
+    pub simd: usize,
+}
+
+/// Fixed per-layer overhead in cycles: pipeline fill/drain plus control
+/// handshaking between layers.
+const LAYER_OVERHEAD_CYCLES: u64 = 2_000;
+
+impl SystolicArray {
+    /// Creates an array; all dimensions must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, simd: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && simd > 0, "array dims must be nonzero");
+        Self { rows, cols, simd }
+    }
+
+    /// MACs retired per cycle at full occupancy.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols * self.simd) as u64
+    }
+
+    /// DSP slices consumed at the given precision.
+    #[must_use]
+    pub fn dsp_cost(&self, precision: Precision) -> usize {
+        precision.dsp_cost(self.rows * self.cols * self.simd)
+    }
+
+    /// Cycle count for a convolution of `out_channels × out_h × out_w`
+    /// outputs over `in_channels` inputs with a `kernel_h × kernel_w`
+    /// filter.
+    #[must_use]
+    pub fn conv_cycles(
+        &self,
+        out_channels: usize,
+        out_h: usize,
+        out_w: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+    ) -> u64 {
+        let n_m = out_channels.div_ceil(self.rows) as u64;
+        let n_w = out_w.div_ceil(self.cols) as u64;
+        let n_c = in_channels.div_ceil(self.simd) as u64;
+        n_m * n_w * out_h as u64 * n_c * (kernel_h * kernel_w) as u64 + LAYER_OVERHEAD_CYCLES
+    }
+
+    /// Cycle count for one node of `graph`, or 0 for nodes that do not
+    /// run on the array (pool, concat, element-wise layers are executed
+    /// by dedicated lightweight units modelled in the latency pass).
+    #[must_use]
+    pub fn node_cycles(&self, graph: &Graph, node: &Node) -> u64 {
+        match node.op() {
+            OpKind::Conv(p) => {
+                let input = graph.node(node.inputs()[0]).output_shape();
+                let out = node.output_shape();
+                self.conv_cycles(
+                    out.channels,
+                    out.height,
+                    out.width,
+                    input.channels,
+                    p.kernel_h,
+                    p.kernel_w,
+                )
+            }
+            OpKind::Fc(FcParams { out_features }) => {
+                let input = graph.node(node.inputs()[0]).output_shape();
+                self.conv_cycles(*out_features, 1, 1, input.elems() as usize, 1, 1)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Occupancy of the array for a conv layer: useful MACs divided by
+    /// issued MAC slots. 1.0 means the layer divides the array exactly.
+    #[must_use]
+    pub fn efficiency(
+        &self,
+        out_channels: usize,
+        out_h: usize,
+        out_w: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+    ) -> f64 {
+        let useful = out_channels as u64
+            * (out_h * out_w) as u64
+            * in_channels as u64
+            * (kernel_h * kernel_w) as u64;
+        let cycles =
+            self.conv_cycles(out_channels, out_h, out_w, in_channels, kernel_h, kernel_w)
+                - LAYER_OVERHEAD_CYCLES;
+        useful as f64 / (cycles * self.macs_per_cycle()) as f64
+    }
+
+    /// Exhaustively explores array shapes and returns the one minimising
+    /// total compute cycles for `graph`, subject to
+    /// `dsp_cost(precision) <= dsp_budget`.
+    ///
+    /// The candidate set covers powers of two for `rows`/`simd` and the
+    /// divisor-friendly column counts that match common feature-map
+    /// widths, mirroring the DSE of \[18\].
+    #[must_use]
+    pub fn explore(graph: &Graph, precision: Precision, dsp_budget: usize) -> SystolicArray {
+        const ROWS: [usize; 5] = [8, 16, 32, 64, 96];
+        const COLS: [usize; 7] = [7, 8, 14, 16, 20, 22, 28];
+        const SIMD: [usize; 4] = [2, 4, 8, 16];
+        let mut best: Option<(u64, SystolicArray)> = None;
+        for &rows in &ROWS {
+            for &cols in &COLS {
+                for &simd in &SIMD {
+                    let arr = SystolicArray::new(rows, cols, simd);
+                    if arr.dsp_cost(precision) > dsp_budget {
+                        continue;
+                    }
+                    let total: u64 =
+                        graph.iter().map(|n| arr.node_cycles(graph, n)).sum();
+                    let better = match &best {
+                        None => true,
+                        Some((cycles, prev)) => {
+                            total < *cycles
+                                || (total == *cycles
+                                    && arr.dsp_cost(precision) < prev.dsp_cost(precision))
+                        }
+                    };
+                    if better {
+                        best = Some((total, arr));
+                    }
+                }
+            }
+        }
+        best.expect("candidate set always contains a feasible array").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn macs_and_dsp_cost() {
+        let a = SystolicArray::new(32, 22, 8);
+        assert_eq!(a.macs_per_cycle(), 5632);
+        assert_eq!(a.dsp_cost(Precision::Fix16), 5632);
+        assert_eq!(a.dsp_cost(Precision::Fix8), (5632 * 2usize).div_ceil(3));
+        assert_eq!(a.dsp_cost(Precision::Float32), 4 * 5632);
+    }
+
+    #[test]
+    fn conv_cycles_exact_fit() {
+        let a = SystolicArray::new(32, 16, 8);
+        // 32 maps, 16x16 out, 8 in-channels, 1x1 kernel: one pass per
+        // output row.
+        let c = a.conv_cycles(32, 16, 16, 8, 1, 1) - LAYER_OVERHEAD_CYCLES;
+        assert_eq!(c, 16);
+        let useful = 32u64 * 256 * 8;
+        assert_eq!(c * a.macs_per_cycle(), useful); // 100% efficiency
+        assert!((a.efficiency(32, 16, 16, 8, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_penalty() {
+        let a = SystolicArray::new(32, 22, 8);
+        // 17-wide output on 22 columns wastes 5/22 of the array.
+        let eff = a.efficiency(32, 17, 17, 8, 1, 1);
+        assert!((eff - 17.0 / 22.0).abs() < 1e-12, "got {eff}");
+    }
+
+    #[test]
+    fn fc_uses_rows_and_simd_only() {
+        let a = SystolicArray::new(32, 22, 8);
+        let c = a.conv_cycles(1000, 1, 1, 2048, 1, 1) - LAYER_OVERHEAD_CYCLES;
+        assert_eq!(c, 1000u64.div_ceil(32) * 2048u64.div_ceil(8));
+    }
+
+    #[test]
+    fn explore_respects_budget() {
+        let g = zoo::alexnet();
+        for p in Precision::ALL {
+            let a = SystolicArray::explore(&g, p, 5800);
+            assert!(a.dsp_cost(p) <= 5800, "{a:?} exceeds budget at {p}");
+        }
+    }
+
+    #[test]
+    fn explore_fp32_array_is_smaller() {
+        let g = zoo::googlenet();
+        let fx = SystolicArray::explore(&g, Precision::Fix16, 5800);
+        let fp = SystolicArray::explore(&g, Precision::Float32, 5800);
+        assert!(fp.macs_per_cycle() < fx.macs_per_cycle());
+    }
+
+    #[test]
+    fn node_cycles_zero_for_non_compute() {
+        let g = zoo::googlenet();
+        let a = SystolicArray::new(32, 22, 8);
+        let pool = g.node_by_name("pool1/3x3_s2").unwrap();
+        assert_eq!(a.node_cycles(&g, pool), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dim_panics() {
+        let _ = SystolicArray::new(0, 1, 1);
+    }
+}

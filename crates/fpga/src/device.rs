@@ -1,0 +1,258 @@
+//! FPGA device resources and the off-chip memory system.
+
+use serde::{Deserialize, Serialize};
+
+/// A 36-Kb BRAM block's capacity in bytes.
+pub const BRAM_BLOCK_BYTES: u64 = 36 * 1024 / 8;
+/// A 288-Kb URAM block's capacity in bytes.
+pub const URAM_BLOCK_BYTES: u64 = 288 * 1024 / 8;
+
+/// The DDR memory system attached to the FPGA.
+///
+/// The paper's setup: four DDR4 banks of 19.2 GB/s theoretical bandwidth,
+/// with the three tensor interfaces (input features, weights, output
+/// features) each assigned one third of the aggregate
+/// (`19.2 × 4 / 3 = 25.6 GB/s`, §2.2).
+///
+/// `access_efficiency` models the fraction of theoretical bandwidth that
+/// tiled tensor traffic actually sustains. Tile-by-tile accesses issue
+/// short, strided bursts that pay DRAM row-activation and bus-turnaround
+/// penalties on every tile row; published measurements for this access
+/// pattern on DDR4 land in the 15–35 % range, and the paper's own
+/// motivation (layers "needing 70 GB/s" against a 19.2 GB/s bank) only
+/// arises under such derating. The default, 0.21, is calibrated so that
+/// the Table 1 reproduction lands at the paper's 1.36× average speedup
+/// and a comparable memory-bound layer population; see DESIGN.md §2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrConfig {
+    /// Number of DDR banks.
+    pub banks: usize,
+    /// Theoretical bandwidth per bank, bytes per second.
+    pub bank_bandwidth: f64,
+    /// Fraction of aggregate bandwidth assigned to each of the three
+    /// tensor interfaces.
+    pub interface_share: f64,
+    /// Sustained fraction of theoretical bandwidth for tiled tensor
+    /// traffic.
+    pub access_efficiency: f64,
+}
+
+impl DdrConfig {
+    /// The paper's four-bank DDR4 configuration.
+    #[must_use]
+    pub fn ddr4_x4() -> Self {
+        Self {
+            banks: 4,
+            bank_bandwidth: 19.2e9,
+            interface_share: 1.0 / 3.0,
+            access_efficiency: 0.21,
+        }
+    }
+
+    /// Theoretical aggregate bandwidth across all banks, bytes/s.
+    #[must_use]
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        self.banks as f64 * self.bank_bandwidth
+    }
+
+    /// Theoretical bandwidth assigned to one tensor interface, bytes/s.
+    #[must_use]
+    pub fn interface_bandwidth(&self) -> f64 {
+        self.aggregate_bandwidth() * self.interface_share
+    }
+
+    /// Sustained (derated) bandwidth of one tensor interface, bytes/s —
+    /// the number every transfer-latency estimate divides by.
+    #[must_use]
+    pub fn effective_interface_bandwidth(&self) -> f64 {
+        self.interface_bandwidth() * self.access_efficiency
+    }
+
+    /// Access efficiency as a function of the contiguous chunk size of
+    /// a transfer: each chunk pays a fixed row-activation/turnaround
+    /// cost equivalent to [`DDR_CHUNK_OVERHEAD_BYTES`] of bus time, so
+    /// `eff = chunk / (chunk + overhead)`.
+    ///
+    /// This is the *granular* alternative to the flat
+    /// `access_efficiency` knob: a 112-byte feature row (56-wide fmap at
+    /// 16-bit) sustains ≈ 0.21 of peak — the calibrated uniform value —
+    /// while multi-KB weight streams approach 0.9.
+    #[must_use]
+    pub fn chunk_efficiency(&self, chunk_bytes: u64) -> f64 {
+        let c = chunk_bytes.max(1) as f64;
+        c / (c + DDR_CHUNK_OVERHEAD_BYTES)
+    }
+
+    /// Sustained bandwidth of one interface for transfers whose
+    /// contiguous chunks are `chunk_bytes` long.
+    #[must_use]
+    pub fn granular_interface_bandwidth(&self, chunk_bytes: u64) -> f64 {
+        self.interface_bandwidth() * self.chunk_efficiency(chunk_bytes)
+    }
+}
+
+/// Fixed per-chunk cost of a DRAM access in bus-byte equivalents
+/// (row activation + precharge + read latency + turnaround at DDR4
+/// timing, ≈ 17 ns on a 25.6 GB/s stream).
+pub const DDR_CHUNK_OVERHEAD_BYTES: f64 = 430.0;
+
+/// An FPGA device: compute and memory resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Device name, e.g. `"xcvu9p"`.
+    pub name: String,
+    /// Total DSP48 slices.
+    pub dsp_slices: usize,
+    /// Total 36-Kb BRAM blocks.
+    pub bram_blocks: usize,
+    /// Total 288-Kb URAM blocks.
+    pub uram_blocks: usize,
+    /// Total CLB LUTs (used only for the utilisation columns of the
+    /// report tables; the model never gates on logic).
+    pub clb_luts: usize,
+    /// The attached DDR system.
+    pub ddr: DdrConfig,
+}
+
+impl Device {
+    /// The Xilinx Virtex UltraScale+ VU9P used throughout the paper:
+    /// 6840 DSPs, 2160 BRAM36, 960 URAM288, ~1.18 M LUTs.
+    #[must_use]
+    pub fn vu9p() -> Self {
+        Self {
+            name: "xcvu9p".to_string(),
+            dsp_slices: 6840,
+            bram_blocks: 2160,
+            uram_blocks: 960,
+            clb_luts: 1_182_000,
+            ddr: DdrConfig::ddr4_x4(),
+        }
+    }
+
+    /// The Xilinx VU13P: the next device up (12288 DSPs, 2688 BRAM36,
+    /// 1280 URAM288) with the same four-bank DDR4 — more compute and
+    /// SRAM against unchanged bandwidth, so *more* layers go memory
+    /// bound and LCMM has more to recover.
+    #[must_use]
+    pub fn vu13p() -> Self {
+        Self {
+            name: "xcvu13p".to_string(),
+            dsp_slices: 12_288,
+            bram_blocks: 2688,
+            uram_blocks: 1280,
+            clb_luts: 1_728_000,
+            ddr: DdrConfig::ddr4_x4(),
+        }
+    }
+
+    /// The Xilinx ZU9EG (Zynq UltraScale+ MPSoC, embedded class):
+    /// 2520 DSPs, 912 BRAM36, **no URAM**, a single DDR4 channel. The
+    /// stress case for LCMM — barely 4 MiB of SRAM to allocate.
+    #[must_use]
+    pub fn zu9eg() -> Self {
+        Self {
+            name: "xczu9eg".to_string(),
+            dsp_slices: 2520,
+            bram_blocks: 912,
+            uram_blocks: 0,
+            clb_luts: 274_000,
+            ddr: DdrConfig {
+                banks: 1,
+                bank_bandwidth: 19.2e9,
+                interface_share: 1.0 / 3.0,
+                access_efficiency: 0.21,
+            },
+        }
+    }
+
+    /// Total BRAM capacity in bytes.
+    #[must_use]
+    pub fn bram_bytes(&self) -> u64 {
+        self.bram_blocks as u64 * BRAM_BLOCK_BYTES
+    }
+
+    /// Total URAM capacity in bytes.
+    #[must_use]
+    pub fn uram_bytes(&self) -> u64 {
+        self.uram_blocks as u64 * URAM_BLOCK_BYTES
+    }
+
+    /// Total on-chip SRAM (BRAM + URAM) in bytes.
+    ///
+    /// For the VU9P this is ≈ 43 MB — the "device limit (40 MB)" marked
+    /// in the paper's Fig. 2(b).
+    #[must_use]
+    pub fn sram_bytes(&self) -> u64 {
+        self.bram_bytes() + self.uram_bytes()
+    }
+
+    /// Peak MAC throughput in operations per second at `freq_hz` for a
+    /// design using `dsps` slices at `dsps_per_mac` cost
+    /// (2 ops — multiply and add — per MAC per cycle).
+    #[must_use]
+    pub fn peak_ops(&self, dsps: usize, dsps_per_mac: usize, freq_hz: f64) -> f64 {
+        (dsps / dsps_per_mac) as f64 * 2.0 * freq_hz
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::vu9p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vu9p_sram_near_43_mb() {
+        let d = Device::vu9p();
+        let mb = d.sram_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((42.0..45.0).contains(&mb), "got {mb} MiB");
+    }
+
+    #[test]
+    fn interface_bandwidth_is_25_6_gbps() {
+        let ddr = DdrConfig::ddr4_x4();
+        assert!((ddr.interface_bandwidth() - 25.6e9).abs() < 1e6);
+        assert!(ddr.effective_interface_bandwidth() < ddr.interface_bandwidth());
+    }
+
+    #[test]
+    fn peak_ops_matches_paper_2_7_tops() {
+        // 6840 DSPs x 2 ops x 200 MHz = 2.736 Tops, the paper's "up to
+        // 2.7 Tops under 200 MHz".
+        let d = Device::vu9p();
+        let tops = d.peak_ops(d.dsp_slices, 1, 200e6) / 1e12;
+        assert!((2.6..2.8).contains(&tops), "got {tops} Tops");
+    }
+
+    #[test]
+    fn float_peak_is_one_fifth() {
+        let d = Device::vu9p();
+        let fx = d.peak_ops(5000, 1, 200e6);
+        let fp = d.peak_ops(5000, 5, 200e6);
+        assert!((fx / fp - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_family_ordering() {
+        let zu = Device::zu9eg();
+        let vu9 = Device::vu9p();
+        let vu13 = Device::vu13p();
+        assert!(zu.dsp_slices < vu9.dsp_slices && vu9.dsp_slices < vu13.dsp_slices);
+        assert!(zu.sram_bytes() < vu9.sram_bytes() && vu9.sram_bytes() < vu13.sram_bytes());
+        assert_eq!(zu.uram_blocks, 0);
+        // Embedded part has a quarter of the DDR bandwidth.
+        assert!(
+            zu.ddr.aggregate_bandwidth() < vu9.ddr.aggregate_bandwidth() / 3.9
+        );
+    }
+
+    #[test]
+    fn block_capacities() {
+        assert_eq!(BRAM_BLOCK_BYTES, 4608);
+        assert_eq!(URAM_BLOCK_BYTES, 36 * 1024);
+    }
+}

@@ -1,0 +1,100 @@
+//! Numeric precision of the datapath.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Datapath precision, matching the three configurations the paper
+/// evaluates (Table 1).
+///
+/// The DSP cost follows the paper's §4.1: a fixed-point MAC costs one
+/// DSP48 slice, a single-precision floating-point MAC costs five.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit fixed point.
+    Fix8,
+    /// 16-bit fixed point.
+    Fix16,
+    /// 32-bit IEEE-754 single precision.
+    Float32,
+}
+
+impl Precision {
+    /// All three evaluated precisions, in the paper's table order.
+    pub const ALL: [Precision; 3] = [Precision::Fix8, Precision::Fix16, Precision::Float32];
+
+    /// Bytes per tensor element.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fix8 => 1,
+            Precision::Fix16 => 2,
+            Precision::Float32 => 4,
+        }
+    }
+
+    /// DSP48 slices consumed by `macs` MAC units.
+    ///
+    /// 16-bit MACs map one-to-one onto DSP48 slices. 8-bit MACs benefit
+    /// from partial INT8 operand packing — two multiplies share a DSP
+    /// when they share an operand — modelled as 1.5 MACs per slice.
+    /// fp32 MACs cost four slices (3 for the multiplier, shared logic
+    /// for the adder; the paper's §4.1 quotes five for an unfused
+    /// implementation).
+    #[must_use]
+    pub fn dsp_cost(self, macs: usize) -> usize {
+        match self {
+            Precision::Fix8 => (macs * 2).div_ceil(3),
+            Precision::Fix16 => macs,
+            Precision::Float32 => macs * 4,
+        }
+    }
+
+    /// Bytes of a tensor with `elems` elements at this precision.
+    #[must_use]
+    pub fn tensor_bytes(self, elems: u64) -> u64 {
+        elems * self.bytes()
+    }
+
+    /// Short label used in report rows (`8-bit`, `16-bit`, `32-bit`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fix8 => "8-bit",
+            Precision::Fix16 => "16-bit",
+            Precision::Float32 => "32-bit",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_dsps() {
+        assert_eq!(Precision::Fix8.bytes(), 1);
+        assert_eq!(Precision::Fix16.bytes(), 2);
+        assert_eq!(Precision::Float32.bytes(), 4);
+        assert_eq!(Precision::Fix8.dsp_cost(3), 2);
+        assert_eq!(Precision::Fix8.dsp_cost(4), 3); // rounds up
+        assert_eq!(Precision::Fix16.dsp_cost(100), 100);
+        assert_eq!(Precision::Float32.dsp_cost(10), 40);
+    }
+
+    #[test]
+    fn tensor_bytes_scales() {
+        assert_eq!(Precision::Fix16.tensor_bytes(1000), 2000);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        let labels: Vec<&str> = Precision::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["8-bit", "16-bit", "32-bit"]);
+    }
+}

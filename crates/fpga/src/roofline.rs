@@ -1,0 +1,161 @@
+//! Roofline characterisation of a network on a design (paper Fig. 2(a)).
+
+use crate::design::AccelDesign;
+use crate::latency::{Boundedness, GraphProfile};
+use lcmm_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One layer's point in the roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// The layer.
+    pub id: NodeId,
+    /// Operation intensity: ops per byte of DRAM traffic (including
+    /// tiling reloads).
+    pub intensity: f64,
+    /// Attainable performance in ops/s: ops divided by the layer's
+    /// latency with all tensors off-chip.
+    pub attainable_ops: f64,
+    /// DRAM bandwidth the layer would need to become compute bound,
+    /// bytes/s (the paper's "needs 70 GB/s" metric).
+    pub required_bandwidth: f64,
+    /// Compute- or memory-bound classification.
+    pub bound: Boundedness,
+}
+
+/// The roofline report for one network/design pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflineReport {
+    /// One point per compute layer, in topological order.
+    pub points: Vec<RooflinePoint>,
+    /// Design peak performance, ops/s.
+    pub peak_ops: f64,
+    /// Sustained per-interface bandwidth, bytes/s.
+    pub interface_bandwidth: f64,
+}
+
+impl RooflineReport {
+    /// Characterises every compute layer of `graph` under `design`.
+    #[must_use]
+    pub fn build(graph: &Graph, design: &AccelDesign) -> Self {
+        let profile = GraphProfile::build(graph, design);
+        Self::from_profile(graph, design, &profile)
+    }
+
+    /// Characterisation from an existing latency table.
+    #[must_use]
+    pub fn from_profile(graph: &Graph, design: &AccelDesign, profile: &GraphProfile) -> Self {
+        let bw = design.interface_bandwidth();
+        let points = graph
+            .compute_layers()
+            .map(|n| {
+                let row = profile.node(n.id());
+                let ops = 2 * graph.node_macs(n.id());
+                // Traffic implied by the transfer terms (they were
+                // computed as bytes/bw, so bytes = term * bw).
+                let bytes = (row.input_total() + row.weight + row.output) * bw;
+                let lat = row.off_chip_latency();
+                let transfer_bytes_worst = row.worst_transfer() * bw;
+                RooflinePoint {
+                    id: n.id(),
+                    intensity: if bytes > 0.0 { ops as f64 / bytes } else { f64::INFINITY },
+                    attainable_ops: if lat > 0.0 { ops as f64 / lat } else { 0.0 },
+                    required_bandwidth: if row.compute > 0.0 {
+                        transfer_bytes_worst / row.compute
+                    } else {
+                        0.0
+                    },
+                    bound: profile.boundedness(n.id()),
+                }
+            })
+            .collect();
+        Self {
+            points,
+            peak_ops: design.peak_ops(),
+            interface_bandwidth: bw,
+        }
+    }
+
+    /// Number of memory-bound layers.
+    #[must_use]
+    pub fn memory_bound_count(&self) -> usize {
+        self.points.iter().filter(|p| p.bound == Boundedness::Memory).count()
+    }
+
+    /// Fraction of layers that are memory bound.
+    #[must_use]
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.memory_bound_count() as f64 / self.points.len() as f64
+    }
+
+    /// Among memory-bound layers, the fraction whose required bandwidth
+    /// exceeds `bytes_per_sec` (the paper: ">60 % of them even need
+    /// 70 GB/s").
+    #[must_use]
+    pub fn fraction_needing_bandwidth(&self, bytes_per_sec: f64) -> f64 {
+        let mem: Vec<&RooflinePoint> =
+            self.points.iter().filter(|p| p.bound == Boundedness::Memory).collect();
+        if mem.is_empty() {
+            return 0.0;
+        }
+        mem.iter().filter(|p| p.required_bandwidth > bytes_per_sec).count() as f64
+            / mem.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, Precision};
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn report_has_one_point_per_compute_layer() {
+        let g = zoo::googlenet();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let r = RooflineReport::build(&g, &d);
+        assert_eq!(r.points.len(), g.compute_layers().count());
+    }
+
+    #[test]
+    fn attainable_never_exceeds_peak_materially() {
+        let g = zoo::resnet50();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix8);
+        let r = RooflineReport::build(&g, &d);
+        for p in &r.points {
+            assert!(
+                p.attainable_ops <= r.peak_ops * 1.0 + 1e-6,
+                "layer {} attains {} above peak {}",
+                p.id,
+                p.attainable_ops,
+                r.peak_ops
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_layers_have_high_required_bandwidth() {
+        let g = zoo::inception_v4();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix8);
+        let r = RooflineReport::build(&g, &d);
+        for p in &r.points {
+            if p.bound == Boundedness::Memory {
+                assert!(p.required_bandwidth > r.interface_bandwidth);
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let g = zoo::inception_v4();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix8);
+        let r = RooflineReport::build(&g, &d);
+        let f = r.memory_bound_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        let f70 = r.fraction_needing_bandwidth(70e9);
+        assert!((0.0..=1.0).contains(&f70));
+    }
+}

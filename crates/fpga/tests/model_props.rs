@@ -1,0 +1,92 @@
+//! Property tests over the performance-model substrate: tiling, array
+//! quantisation, latency tables.
+
+use lcmm_fpga::{AccelDesign, Device, Precision, SystolicArray, TileBudget};
+use lcmm_graph::{ConvParams, FeatureShape};
+use proptest::prelude::*;
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Fix8),
+        Just(Precision::Fix16),
+        Just(Precision::Float32)
+    ]
+}
+
+fn arb_conv_case() -> impl Strategy<Value = (FeatureShape, ConvParams)> {
+    (1usize..512, 4usize..64, 1usize..512, prop_oneof![Just(1usize), Just(3), Just(5), Just(7)])
+        .prop_map(|(c, hw, m, k)| {
+            let input = FeatureShape::new(c, hw, hw);
+            let params = ConvParams::square(m, k.min(hw), 1, (k.min(hw) - 1) / 2);
+            (input, params)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tiling always respects the buffer budget and never produces
+    /// reload factors below 1.
+    #[test]
+    fn tiling_respects_budget((input, params) in arb_conv_case(), precision in arb_precision()) {
+        let budget = TileBudget::default_umm();
+        let output = params.output_shape(input).expect("same-pad conv is valid");
+        let t = lcmm_fpga::choose_tiling(input, output, &params, precision, &budget);
+        prop_assert!(t.buffer_bytes[0] <= budget.ib_bytes);
+        prop_assert!(t.buffer_bytes[1] <= budget.wb_bytes);
+        prop_assert!(t.buffer_bytes[2] <= budget.ob_bytes);
+        prop_assert!(t.reload_if >= 1.0);
+        prop_assert!(t.reload_wt >= 1.0);
+        prop_assert!(t.reload_of >= 1.0);
+        prop_assert!(t.tm >= 1 && t.tc >= 1 && t.th >= 1);
+        prop_assert!(t.tm <= output.channels && t.tc <= input.channels && t.th <= output.height);
+    }
+
+    /// Array cycle counts are never below the ideal MAC count divided by
+    /// the array width, and the quantisation penalty is bounded by the
+    /// per-dimension ceilings.
+    #[test]
+    fn array_cycles_bounded((input, params) in arb_conv_case(),
+                            rows in prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
+                            cols in prop_oneof![Just(7usize), Just(14), Just(22)],
+                            simd in prop_oneof![Just(2usize), Just(4), Just(8)]) {
+        let output = params.output_shape(input).expect("valid");
+        let array = SystolicArray::new(rows, cols, simd);
+        let overhead = 2_000u64;
+        let cycles = array.conv_cycles(
+            output.channels, output.height, output.width,
+            input.channels, params.kernel_h, params.kernel_w,
+        ) - overhead;
+        let macs = params.macs(input, output);
+        let ideal = macs.div_ceil(array.macs_per_cycle());
+        prop_assert!(cycles >= ideal, "cycles {} below ideal {}", cycles, ideal);
+        // Ceiling quantisation can cost at most one extra tile per dim.
+        let worst = (output.channels.div_ceil(rows) as u64)
+            * (output.width.div_ceil(cols) as u64)
+            * output.height as u64
+            * (input.channels.div_ceil(simd) as u64)
+            * (params.kernel_h * params.kernel_w) as u64;
+        prop_assert_eq!(cycles, worst);
+    }
+
+    /// Per-node latency rows are finite, non-negative, and consistent:
+    /// doubling precision bytes never decreases transfer latencies.
+    #[test]
+    fn latency_rows_monotone_in_bytes(seed in 0u64..1000) {
+        let g = lcmm_graph::zoo::alexnet();
+        let device = Device::vu9p();
+        let _ = seed;
+        let d8 = AccelDesign::explore(&g, &device, Precision::Fix8);
+        let d32 = AccelDesign::explore(&g, &device, Precision::Float32);
+        let p8 = d8.profile(&g);
+        let p32 = d32.profile(&g);
+        for node in g.iter() {
+            let r8 = p8.node(node.id());
+            let r32 = p32.node(node.id());
+            prop_assert!(r8.compute.is_finite() && r8.compute >= 0.0);
+            prop_assert!(r32.weight + 1e-15 >= r8.weight);
+            prop_assert!(r32.output + 1e-15 >= r8.output);
+            prop_assert!(r32.input_total() + 1e-15 >= r8.input_total());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Workload-level accounting: per-layer element/operation summaries.
+//!
+//! These numbers feed the roofline characterisation (`lcmm-fpga`) and are
+//! also handy on their own for sanity-checking model-zoo constructions
+//! against published GFLOP counts.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Element/operation summary for one compute layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// The profiled node.
+    pub id: NodeId,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Input feature elements read (summed over all inputs).
+    pub input_elems: u64,
+    /// Weight elements.
+    pub weight_elems: u64,
+    /// Output feature elements written.
+    pub output_elems: u64,
+}
+
+impl LayerProfile {
+    /// Total tensor elements moved if every tensor goes through DRAM once.
+    #[must_use]
+    pub fn total_elems(&self) -> u64 {
+        self.input_elems + self.weight_elems + self.output_elems
+    }
+
+    /// Operations (2 × MACs) per element moved — the x-axis of the
+    /// paper's roofline (Fig. 2(a)) up to the per-byte precision factor,
+    /// which `lcmm-fpga` applies.
+    #[must_use]
+    pub fn ops_per_elem(&self) -> f64 {
+        if self.total_elems() == 0 {
+            return 0.0;
+        }
+        (2 * self.macs) as f64 / self.total_elems() as f64
+    }
+}
+
+/// Profiles every compute layer (conv + fc) of `graph` in topo order.
+///
+/// # Examples
+///
+/// ```
+/// let g = lcmm_graph::zoo::alexnet();
+/// let profiles = lcmm_graph::analysis::profile(&g);
+/// assert_eq!(profiles.len(), g.compute_layers().count());
+/// ```
+#[must_use]
+pub fn profile(graph: &Graph) -> Vec<LayerProfile> {
+    graph
+        .compute_layers()
+        .map(|n| LayerProfile {
+            id: n.id(),
+            macs: graph.node_macs(n.id()),
+            input_elems: graph.node_input_elems(n.id()),
+            weight_elems: graph.node_weight_elems(n.id()),
+            output_elems: n.output_shape().elems(),
+        })
+        .collect()
+}
+
+/// Network-level totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Number of nodes of any kind.
+    pub nodes: usize,
+    /// Number of convolution layers.
+    pub conv_layers: usize,
+    /// Number of compute layers (conv + fc).
+    pub compute_layers: usize,
+    /// Total MACs for one inference.
+    pub total_macs: u64,
+    /// Total weight elements.
+    pub total_weight_elems: u64,
+    /// Largest single feature tensor (elements).
+    pub max_feature_elems: u64,
+    /// Sum of all feature tensors (elements) — what "keep all activations
+    /// on chip" would cost.
+    pub total_feature_elems: u64,
+}
+
+/// Summarises a network.
+///
+/// # Examples
+///
+/// ```
+/// let g = lcmm_graph::zoo::googlenet();
+/// let s = lcmm_graph::analysis::summarize(&g);
+/// assert!(s.conv_layers > 50);
+/// ```
+#[must_use]
+pub fn summarize(graph: &Graph) -> NetworkSummary {
+    let mut max_feature_elems = 0;
+    let mut total_feature_elems = 0;
+    for n in graph.iter() {
+        if matches!(n.op(), OpKind::Input) {
+            continue;
+        }
+        let e = n.output_shape().elems();
+        max_feature_elems = max_feature_elems.max(e);
+        total_feature_elems += e;
+    }
+    NetworkSummary {
+        nodes: graph.len(),
+        conv_layers: graph.conv_layers().count(),
+        compute_layers: graph.compute_layers().count(),
+        total_macs: graph.total_macs(),
+        total_weight_elems: graph.total_weight_elems(),
+        max_feature_elems,
+        total_feature_elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::ConvParams;
+    use crate::tensor::FeatureShape;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input(FeatureShape::new(3, 16, 16));
+        let c = b.conv("c", x, ConvParams::square(8, 3, 1, 1)).unwrap();
+        let f = b.global_avg_pool("gap", c).unwrap();
+        let fc = b.fc("fc", f, 10).unwrap();
+        b.finish(fc).unwrap()
+    }
+
+    #[test]
+    fn profile_covers_compute_layers_only() {
+        let g = tiny();
+        let p = profile(&g);
+        assert_eq!(p.len(), 2); // conv + fc, not gap/input
+        assert_eq!(p[0].macs, 8 * 16 * 16 * 3 * 9);
+        assert_eq!(p[1].macs, 8 * 10);
+    }
+
+    #[test]
+    fn ops_per_elem_matches_hand_calc() {
+        let g = tiny();
+        let p = profile(&g);
+        let conv = p[0];
+        let total = conv.input_elems + conv.weight_elems + conv.output_elems;
+        assert_eq!(conv.total_elems(), total);
+        let expect = (2 * conv.macs) as f64 / total as f64;
+        assert!((conv.ops_per_elem() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let g = tiny();
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.conv_layers, 1);
+        assert_eq!(s.compute_layers, 2);
+        assert_eq!(s.max_feature_elems, 8 * 16 * 16);
+        // conv out + gap out + fc out
+        assert_eq!(s.total_feature_elems, 8 * 16 * 16 + 8 + 10);
+    }
+
+    #[test]
+    fn zero_elem_profile_has_zero_intensity() {
+        let p = LayerProfile { id: NodeId(0), macs: 0, input_elems: 0, weight_elems: 0, output_elems: 0 };
+        assert_eq!(p.ops_per_elem(), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a computation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Operator parameters are malformed (zero stride, kernel larger than
+    /// input, ...). The payload describes the offending parameter.
+    InvalidParams(String),
+    /// A node references an input id that does not exist in the graph.
+    UnknownNode(usize),
+    /// Input shapes are incompatible for the operator (e.g. concat of
+    /// different spatial extents, eltwise-add of different shapes).
+    ShapeMismatch(String),
+    /// The graph contains a cycle, or an op has the wrong arity.
+    Malformed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidParams(msg) => write!(f, "invalid operator parameters: {msg}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            GraphError::Malformed(msg) => write!(f, "malformed graph: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = GraphError::InvalidParams("stride 0".into());
+        assert_eq!(e.to_string(), "invalid operator parameters: stride 0");
+        assert_eq!(GraphError::UnknownNode(7).to_string(), "unknown node id 7");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

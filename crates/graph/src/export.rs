@@ -1,0 +1,150 @@
+//! Graph export: Graphviz DOT and JSON.
+//!
+//! `Graph` derives `serde::{Serialize, Deserialize}`, so JSON is the
+//! interchange format for saving custom models; DOT is for eyeballs.
+
+use crate::graph::Graph;
+use crate::GraphError;
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT format, one node per layer,
+    /// clustered by block label.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = lcmm_graph::zoo::alexnet();
+    /// let dot = g.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("conv1"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {:?} {{", self.name());
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        // Group nodes by block into subgraph clusters.
+        for (cluster, block) in self.blocks().iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{cluster} {{");
+            let _ = writeln!(out, "    label={block:?};");
+            for id in self.block_nodes(block) {
+                let node = self.node(id);
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\\n{} -> {}\"];",
+                    id.index(),
+                    node.name(),
+                    node.op(),
+                    node.output_shape()
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        // Unlabelled nodes at top level.
+        for node in self.iter().filter(|n| n.block().is_none()) {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\\n{} -> {}\"];",
+                node.id().index(),
+                node.name(),
+                node.op(),
+                node.output_shape()
+            );
+        }
+        for node in self.iter() {
+            for &input in node.inputs() {
+                let _ = writeln!(out, "  n{} -> n{};", input.index(), node.id().index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serialises the graph to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation fails (practically never for
+    /// this data model).
+    pub fn to_json(&self) -> Result<String, GraphError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| GraphError::Malformed(format!("serialisation failed: {e}")))
+    }
+
+    /// Restores a graph from [`Graph::to_json`] output, re-validating
+    /// the structure (consumer lists, acyclicity).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON or on a graph that fails
+    /// validation (cycles, dangling node ids).
+    pub fn from_json(json: &str) -> Result<Self, GraphError> {
+        let raw: Graph = serde_json::from_str(json)
+            .map_err(|e| GraphError::Malformed(format!("deserialisation failed: {e}")))?;
+        // Re-run the structural validation a builder would have done.
+        let name = raw.name().to_string();
+        let output = raw.output_node().id();
+        let nodes = raw.into_nodes();
+        Graph::from_parts(name, nodes, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let g = zoo::googlenet();
+        let dot = g.to_dot();
+        for node in g.iter() {
+            assert!(dot.contains(&format!("n{} ", node.id().index())), "{}", node.name());
+        }
+        let edges = g.iter().map(|n| n.inputs().len()).sum::<usize>();
+        assert_eq!(dot.matches(" -> n").count(), edges);
+    }
+
+    #[test]
+    fn dot_clusters_blocks() {
+        let g = zoo::resnet50();
+        let dot = g.to_dot();
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"stem\""));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_structure() {
+        let g = zoo::alexnet();
+        let json = g.to_json().expect("serialises");
+        let back = Graph::from_json(&json).expect("deserialises");
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.name(), g.name());
+        assert_eq!(back.total_macs(), g.total_macs());
+        for (a, b) in g.iter().zip(back.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.output_shape(), b.output_shape());
+            assert_eq!(a.inputs(), b.inputs());
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Graph::from_json("not json").is_err());
+        assert!(Graph::from_json("{\"name\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_cycles() {
+        // Hand-craft a cyclic graph JSON by round-tripping a valid one
+        // and corrupting an edge.
+        let g = zoo::alexnet();
+        let json = g.to_json().expect("serialises");
+        // conv1 (node 1) reads node 0; point it at the last node instead.
+        let corrupted = json.replacen("\"inputs\": [\n        0\n      ]", "\"inputs\": [\n        11\n      ]", 1);
+        assert_ne!(json, corrupted, "corruption must hit");
+        assert!(Graph::from_json(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Feature-map tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a feature-map tensor for a single inference (batch = 1),
+/// in `C × H × W` layout.
+///
+/// The LCMM paper works at batch size 1 (FPGA low-latency inference), so
+/// the batch dimension is implicit. Element counts are exact; byte sizes
+/// depend on the numeric precision and are computed by `lcmm-fpga`.
+///
+/// # Examples
+///
+/// ```
+/// use lcmm_graph::FeatureShape;
+///
+/// let s = FeatureShape::new(64, 56, 56);
+/// assert_eq!(s.elems(), 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FeatureShape {
+    /// Number of channels (feature maps).
+    pub channels: usize,
+    /// Spatial height of each feature map.
+    pub height: usize,
+    /// Spatial width of each feature map.
+    pub width: usize,
+}
+
+impl FeatureShape {
+    /// Creates a shape from channel count and spatial dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; a zero-sized tensor is always a
+    /// model-construction bug.
+    #[must_use]
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "feature shape dimensions must be nonzero: {channels}x{height}x{width}"
+        );
+        Self { channels, height, width }
+    }
+
+    /// Creates a `channels × 1 × 1` vector shape (e.g. a fully-connected
+    /// layer output or a globally pooled feature).
+    #[must_use]
+    pub fn vector(channels: usize) -> Self {
+        Self::new(channels, 1, 1)
+    }
+
+    /// Total number of elements, `C·H·W`.
+    #[must_use]
+    pub fn elems(&self) -> u64 {
+        self.channels as u64 * self.height as u64 * self.width as u64
+    }
+
+    /// Returns a copy with a different channel count and the same spatial
+    /// extent. Useful when concatenating branch outputs.
+    #[must_use]
+    pub fn with_channels(&self, channels: usize) -> Self {
+        Self::new(channels, self.height, self.width)
+    }
+
+    /// Whether two shapes agree on their spatial extent (`H×W`), which is
+    /// the requirement for channel concatenation and element-wise ops.
+    #[must_use]
+    pub fn same_spatial(&self, other: &Self) -> bool {
+        self.height == other.height && self.width == other.width
+    }
+}
+
+impl fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_multiplies_dimensions() {
+        assert_eq!(FeatureShape::new(3, 224, 224).elems(), 150_528);
+        assert_eq!(FeatureShape::vector(1000).elems(), 1000);
+    }
+
+    #[test]
+    fn elems_does_not_overflow_large_tensors() {
+        // 2048 channels at 4k resolution exceeds u32 but must fit u64.
+        let s = FeatureShape::new(2048, 4096, 4096);
+        assert_eq!(s.elems(), 2048u64 * 4096 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = FeatureShape::new(0, 8, 8);
+    }
+
+    #[test]
+    fn same_spatial_ignores_channels() {
+        let a = FeatureShape::new(64, 56, 56);
+        let b = FeatureShape::new(256, 56, 56);
+        let c = FeatureShape::new(64, 28, 28);
+        assert!(a.same_spatial(&b));
+        assert!(!a.same_spatial(&c));
+    }
+
+    #[test]
+    fn with_channels_preserves_spatial() {
+        let a = FeatureShape::new(64, 56, 56).with_channels(192);
+        assert_eq!(a, FeatureShape::new(192, 56, 56));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(FeatureShape::new(64, 56, 56).to_string(), "64x56x56");
+    }
+
+    #[test]
+    fn ordering_is_derived_lexicographically() {
+        // Ord exists so shapes can key BTreeMaps deterministically.
+        assert!(FeatureShape::new(1, 1, 1) < FeatureShape::new(2, 1, 1));
+    }
+}

@@ -1,0 +1,73 @@
+//! AlexNet (Krizhevsky et al., 2012), without LRN and without the
+//! historical two-GPU channel grouping.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder};
+
+/// Builds AlexNet at 224×224.
+///
+/// A linear-topology network: the kind of model for which the uniform
+/// double-buffer strategy (UMM) was originally adequate. Used by examples
+/// and ablations as the "simple" counterpoint.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture; construction
+/// errors would indicate a bug in the builder itself.
+#[must_use]
+pub fn alexnet() -> Graph {
+    let mut b = GraphBuilder::new("alexnet");
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    b.set_block("features");
+    // 224 -> (224 + 4 - 11)/4 + 1 = 55 with pad 2
+    let c1 = b.conv("conv1", x, ConvParams::square(96, 11, 4, 2)).expect("conv1");
+    let p1 = b.max_pool("pool1", c1, 3, 2, 0).expect("pool1"); // 27
+    let c2 = b.conv("conv2", p1, ConvParams::square(256, 5, 1, 2)).expect("conv2");
+    let p2 = b.max_pool("pool2", c2, 3, 2, 0).expect("pool2"); // 13
+    let c3 = b.conv("conv3", p2, ConvParams::square(384, 3, 1, 1)).expect("conv3");
+    let c4 = b.conv("conv4", c3, ConvParams::square(384, 3, 1, 1)).expect("conv4");
+    let c5 = b.conv("conv5", c4, ConvParams::square(256, 3, 1, 1)).expect("conv5");
+    let p5 = b.max_pool("pool5", c5, 3, 2, 0).expect("pool5"); // 6
+    b.set_block("classifier");
+    let f6 = b.fc("fc6", p5, 4096).expect("fc6");
+    let f7 = b.fc("fc7", f6, 4096).expect("fc7");
+    let f8 = b.fc("fc8", f7, 1000).expect("fc8");
+    b.finish(f8).expect("alexnet is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn layer_counts() {
+        let g = alexnet();
+        assert_eq!(g.conv_layers().count(), 5);
+        assert_eq!(g.compute_layers().count(), 8);
+    }
+
+    #[test]
+    fn feature_pipeline_shapes() {
+        let g = alexnet();
+        assert_eq!(g.node_by_name("conv1").unwrap().output_shape(), FeatureShape::new(96, 55, 55));
+        assert_eq!(g.node_by_name("pool2").unwrap().output_shape(), FeatureShape::new(256, 13, 13));
+        assert_eq!(g.node_by_name("pool5").unwrap().output_shape(), FeatureShape::new(256, 6, 6));
+        assert_eq!(g.output_node().output_shape(), FeatureShape::vector(1000));
+    }
+
+    #[test]
+    fn mac_count_near_published() {
+        // AlexNet (ungrouped) is ~0.7-1.2 GMACs for convs plus ~59M FC.
+        let s = summarize(&alexnet());
+        let gmacs = s.total_macs as f64 / 1e9;
+        assert!((0.8..2.0).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn fc_weights_dominate() {
+        // The classic AlexNet imbalance: fc6 alone is 256*6*6*4096 weights.
+        let g = alexnet();
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        assert_eq!(g.node_weight_elems(fc6), 256 * 6 * 6 * 4096);
+    }
+}

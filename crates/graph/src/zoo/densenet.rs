@@ -1,0 +1,164 @@
+//! DenseNet-121 (Huang et al., 2017).
+//!
+//! The LCMM paper's introduction names the dense block as one of the
+//! non-linear structures that break uniform double-buffer allocation:
+//! every layer of a dense block reads the concatenation of *all* its
+//! predecessors, so feature lifespans stretch across the whole block and
+//! the interference structure is far denser than in inception modules.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// Growth rate `k` of DenseNet-121.
+const GROWTH: usize = 32;
+
+/// One dense layer: 1×1 bottleneck to `4k` channels, then 3×3 to `k`.
+/// Returns the new feature's node; the caller concatenates.
+fn dense_layer(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    name: &str,
+) -> Result<NodeId, GraphError> {
+    let bottleneck = b.conv(
+        format!("{name}/1x1"),
+        from,
+        ConvParams::pointwise(4 * GROWTH),
+    )?;
+    b.conv(format!("{name}/3x3"), bottleneck, ConvParams::square(GROWTH, 3, 1, 1))
+}
+
+/// A dense block of `layers` layers starting from `from`.
+fn dense_block(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    block_idx: usize,
+    layers: usize,
+) -> Result<NodeId, GraphError> {
+    let mut state = from;
+    for l in 1..=layers {
+        b.set_block(format!("dense{block_idx}_{l}"));
+        let name = format!("dense{block_idx}/layer{l}");
+        let fresh = dense_layer(b, state, &name)?;
+        state = b.concat(format!("{name}/concat"), &[state, fresh])?;
+    }
+    Ok(state)
+}
+
+/// Transition: 1×1 conv halving channels, then 2×2/2 average pool.
+fn transition(b: &mut GraphBuilder, from: NodeId, idx: usize) -> Result<NodeId, GraphError> {
+    b.set_block(format!("transition{idx}"));
+    let channels = b.shape(from).expect("from exists").channels / 2;
+    let conv = b.conv(format!("transition{idx}/1x1"), from, ConvParams::pointwise(channels))?;
+    b.avg_pool(format!("transition{idx}/pool"), conv, 2, 2, 0)
+}
+
+/// Builds DenseNet-121 at 224×224 (blocks of 6, 12, 24, 16 layers,
+/// growth rate 32).
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn densenet121() -> Graph {
+    let mut b = GraphBuilder::new("densenet121");
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    b.set_block("stem");
+    let c1 = b.conv("conv1", x, ConvParams::square(2 * GROWTH, 7, 2, 3)).expect("conv1");
+    let p1 = b.max_pool("pool1", c1, 3, 2, 1).expect("pool1"); // 56x56, 64ch
+
+    let d1 = dense_block(&mut b, p1, 1, 6).expect("dense1"); // 256ch
+    let t1 = transition(&mut b, d1, 1).expect("t1"); // 128ch 28x28
+    let d2 = dense_block(&mut b, t1, 2, 12).expect("dense2"); // 512ch
+    let t2 = transition(&mut b, d2, 2).expect("t2"); // 256ch 14x14
+    let d3 = dense_block(&mut b, t2, 3, 24).expect("dense3"); // 1024ch
+    let t3 = transition(&mut b, d3, 3).expect("t3"); // 512ch 7x7
+    let d4 = dense_block(&mut b, t3, 4, 16).expect("dense4"); // 1024ch
+
+    b.set_block("classifier");
+    let gap = b.global_avg_pool("gap", d4).expect("gap");
+    let fc = b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish(fc).expect("densenet121 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+    use crate::OpKind;
+
+    #[test]
+    fn conv_counts() {
+        // 1 stem + 2 per dense layer x (6+12+24+16) + 3 transitions.
+        let g = densenet121();
+        assert_eq!(g.conv_layers().count(), 1 + 2 * 58 + 3);
+        // "121" counts weighted layers: 120 convs + 1 fc.
+        assert_eq!(g.compute_layers().count(), 121);
+    }
+
+    #[test]
+    fn block_channel_growth() {
+        let g = densenet121();
+        assert_eq!(
+            g.node_by_name("dense1/layer6/concat").unwrap().output_shape(),
+            FeatureShape::new(256, 56, 56)
+        );
+        assert_eq!(
+            g.node_by_name("dense3/layer24/concat").unwrap().output_shape(),
+            FeatureShape::new(1024, 14, 14)
+        );
+        assert_eq!(
+            g.node_by_name("dense4/layer16/concat").unwrap().output_shape(),
+            FeatureShape::new(1024, 7, 7)
+        );
+    }
+
+    #[test]
+    fn transitions_halve_channels_and_spatial() {
+        let g = densenet121();
+        assert_eq!(
+            g.node_by_name("transition1/pool").unwrap().output_shape(),
+            FeatureShape::new(128, 28, 28)
+        );
+        assert_eq!(
+            g.node_by_name("transition3/pool").unwrap().output_shape(),
+            FeatureShape::new(512, 7, 7)
+        );
+    }
+
+    #[test]
+    fn macs_and_params_near_published() {
+        // DenseNet-121 ≈ 2.9 GMACs, ≈ 8.0 M params.
+        let s = summarize(&densenet121());
+        let gmacs = s.total_macs as f64 / 1e9;
+        let params = s.total_weight_elems as f64 / 1e6;
+        assert!((2.4..3.4).contains(&gmacs), "got {gmacs} GMACs");
+        assert!((6.5..9.0).contains(&params), "got {params} M params");
+    }
+
+    #[test]
+    fn dense_layers_read_all_predecessors() {
+        // The last layer of block 1 reads a concat that resolves to the
+        // block input plus the five previous fresh features.
+        let g = densenet121();
+        let last_in = g.node_by_name("dense1/layer6/1x1").unwrap();
+        let concat = g.node(last_in.inputs()[0]);
+        assert!(matches!(concat.op(), OpKind::Concat));
+        let sources = lcmm_resolved_len(&g, last_in);
+        assert_eq!(sources, 6); // pool1 + 5 fresh 3x3 outputs
+    }
+
+    fn lcmm_resolved_len(g: &Graph, node: &crate::Node) -> usize {
+        // Local re-implementation of concat resolution (the real one
+        // lives in lcmm-fpga, which this crate cannot depend on).
+        let mut count = 0;
+        let mut stack: Vec<_> = node.inputs().to_vec();
+        while let Some(id) = stack.pop() {
+            let n = g.node(id);
+            if matches!(n.op(), OpKind::Concat) {
+                stack.extend(n.inputs().iter().copied());
+            } else {
+                count += 1;
+            }
+        }
+        count
+    }
+}

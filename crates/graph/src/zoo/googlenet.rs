@@ -1,0 +1,133 @@
+//! GoogLeNet (Szegedy et al., 2014) — the paper's `GN` benchmark.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// Channel plan of one inception module:
+/// `(#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj)`.
+type InceptionPlan = (usize, usize, usize, usize, usize, usize);
+
+/// The canonical GoogLeNet table (Szegedy et al., Table 1).
+const MODULES: [(&str, InceptionPlan); 9] = [
+    ("inception_3a", (64, 96, 128, 16, 32, 32)),
+    ("inception_3b", (128, 128, 192, 32, 96, 64)),
+    ("inception_4a", (192, 96, 208, 16, 48, 64)),
+    ("inception_4b", (160, 112, 224, 24, 64, 64)),
+    ("inception_4c", (128, 128, 256, 24, 64, 64)),
+    ("inception_4d", (112, 144, 288, 32, 64, 64)),
+    ("inception_4e", (256, 160, 320, 32, 128, 128)),
+    ("inception_5a", (256, 160, 320, 32, 128, 128)),
+    ("inception_5b", (384, 192, 384, 48, 128, 128)),
+];
+
+fn inception(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    name: &str,
+    plan: InceptionPlan,
+) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let (p1, p3r, p3, p5r, p5, pproj) = plan;
+    let b1 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(p1))?;
+    let b2r = b.conv(format!("{name}/3x3_reduce"), from, ConvParams::pointwise(p3r))?;
+    let b2 = b.conv(format!("{name}/3x3"), b2r, ConvParams::square(p3, 3, 1, 1))?;
+    let b3r = b.conv(format!("{name}/5x5_reduce"), from, ConvParams::pointwise(p5r))?;
+    let b3 = b.conv(format!("{name}/5x5"), b3r, ConvParams::square(p5, 5, 1, 2))?;
+    let bp = b.max_pool(format!("{name}/pool"), from, 3, 1, 1)?;
+    let bpp = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(pproj))?;
+    b.concat(format!("{name}/output"), &[b1, b2, b3, bpp])
+}
+
+/// Builds GoogLeNet at 224×224 (without the training-time auxiliary
+/// classifiers, which play no part in inference).
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn googlenet() -> Graph {
+    let mut b = GraphBuilder::new("googlenet");
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    b.set_block("stem");
+    let c1 = b.conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3)).expect("conv1");
+    let p1 = b.max_pool("pool1/3x3_s2", c1, 3, 2, 1).expect("pool1"); // 56
+    let c2r = b.conv("conv2/3x3_reduce", p1, ConvParams::pointwise(64)).expect("conv2r");
+    let c2 = b.conv("conv2/3x3", c2r, ConvParams::square(192, 3, 1, 1)).expect("conv2");
+    let p2 = b.max_pool("pool2/3x3_s2", c2, 3, 2, 1).expect("pool2"); // 28
+
+    let mut cur = p2;
+    for (name, plan) in &MODULES[0..2] {
+        cur = inception(&mut b, cur, name, *plan).expect("inception 3x");
+    }
+    b.clear_block();
+    cur = b.max_pool("pool3/3x3_s2", cur, 3, 2, 1).expect("pool3"); // 14
+    for (name, plan) in &MODULES[2..7] {
+        cur = inception(&mut b, cur, name, *plan).expect("inception 4x");
+    }
+    b.clear_block();
+    cur = b.max_pool("pool4/3x3_s2", cur, 3, 2, 1).expect("pool4"); // 7
+    for (name, plan) in &MODULES[7..9] {
+        cur = inception(&mut b, cur, name, *plan).expect("inception 5x");
+    }
+    b.set_block("classifier");
+    let gap = b.global_avg_pool("pool5/7x7_s1", cur).expect("gap");
+    let fc = b.fc("loss3/classifier", gap, 1000).expect("fc");
+    b.finish(fc).expect("googlenet is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn conv_count_is_57() {
+        // 3 stem convs + 9 modules x 6 convs.
+        assert_eq!(googlenet().conv_layers().count(), 57);
+    }
+
+    #[test]
+    fn nine_inception_blocks() {
+        let g = googlenet();
+        let blocks: Vec<&str> =
+            g.blocks().into_iter().filter(|b| b.starts_with("inception")).collect();
+        assert_eq!(blocks.len(), 9);
+        assert_eq!(blocks[0], "inception_3a");
+        assert_eq!(blocks[8], "inception_5b");
+    }
+
+    #[test]
+    fn module_output_channels() {
+        let g = googlenet();
+        assert_eq!(
+            g.node_by_name("inception_3a/output").unwrap().output_shape(),
+            FeatureShape::new(256, 28, 28)
+        );
+        assert_eq!(
+            g.node_by_name("inception_4e/output").unwrap().output_shape(),
+            FeatureShape::new(832, 14, 14)
+        );
+        assert_eq!(
+            g.node_by_name("inception_5b/output").unwrap().output_shape(),
+            FeatureShape::new(1024, 7, 7)
+        );
+    }
+
+    #[test]
+    fn macs_near_published_1_5g() {
+        // GoogLeNet ≈ 1.5 GMACs (~3 GFLOPs).
+        let gmacs = summarize(&googlenet()).total_macs as f64 / 1e9;
+        assert!((1.3..1.8).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn params_near_published_7m() {
+        let m = summarize(&googlenet()).total_weight_elems as f64 / 1e6;
+        assert!((5.5..8.0).contains(&m), "got {m} M params");
+    }
+
+    #[test]
+    fn inception_concat_reads_four_branches() {
+        let g = googlenet();
+        assert_eq!(g.node_by_name("inception_3a/output").unwrap().inputs().len(), 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Inception-ResNet-v2 (Szegedy et al., 2016 — the same paper the LCMM
+//! evaluation cites for Inception-v4).
+//!
+//! Residual connections *around* inception branches: every block ends
+//! in a linear 1×1 projection added back onto the block input, so the
+//! graph mixes the concat-heavy and add-heavy topologies that stress
+//! LCMM's liveness analysis in different ways.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+fn valid(out: usize, k: usize, s: usize) -> ConvParams {
+    ConvParams::square(out, k, s, 0)
+}
+
+fn same(out: usize, k: usize) -> ConvParams {
+    ConvParams::square(out, k, 1, (k - 1) / 2)
+}
+
+/// The Inception-v4 stem (299 → 35×35×384), shared by both networks of
+/// the reference paper.
+fn stem(b: &mut GraphBuilder, x: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("stem");
+    let c1 = b.conv("stem/conv1_3x3_s2_v", x, valid(32, 3, 2))?;
+    let c2 = b.conv("stem/conv2_3x3_v", c1, valid(32, 3, 1))?;
+    let c3 = b.conv("stem/conv3_3x3", c2, same(64, 3))?;
+    let p1 = b.max_pool("stem/pool1_3x3_s2_v", c3, 3, 2, 0)?;
+    let c4 = b.conv("stem/conv4_3x3_s2_v", c3, valid(96, 3, 2))?;
+    let cat1 = b.concat("stem/concat1", &[p1, c4])?;
+    let a1 = b.conv("stem/a_1x1", cat1, ConvParams::pointwise(64))?;
+    let a2 = b.conv("stem/a_3x3_v", a1, valid(96, 3, 1))?;
+    let b1 = b.conv("stem/b_1x1", cat1, ConvParams::pointwise(64))?;
+    let b2 = b.conv("stem/b_7x1", b1, ConvParams::rect(64, 7, 1))?;
+    let b3 = b.conv("stem/b_1x7", b2, ConvParams::rect(64, 1, 7))?;
+    let b4 = b.conv("stem/b_3x3_v", b3, valid(96, 3, 1))?;
+    let cat2 = b.concat("stem/concat2", &[a2, b4])?;
+    let c5 = b.conv("stem/conv5_3x3_s2_v", cat2, valid(192, 3, 2))?;
+    let p2 = b.max_pool("stem/pool2_3x3_s2_v", cat2, 3, 2, 0)?;
+    b.concat("stem/concat3", &[c5, p2])
+}
+
+/// Inception-ResNet-A: 35×35×384, three branches → 1×1 back to 384,
+/// residual add.
+fn block_a(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let b1 = b.conv(format!("{name}/b1_1x1"), from, ConvParams::pointwise(32))?;
+    let b2a = b.conv(format!("{name}/b2_1x1"), from, ConvParams::pointwise(32))?;
+    let b2 = b.conv(format!("{name}/b2_3x3"), b2a, same(32, 3))?;
+    let b3a = b.conv(format!("{name}/b3_1x1"), from, ConvParams::pointwise(32))?;
+    let b3b = b.conv(format!("{name}/b3_3x3a"), b3a, same(48, 3))?;
+    let b3 = b.conv(format!("{name}/b3_3x3b"), b3b, same(64, 3))?;
+    let cat = b.concat(format!("{name}/concat"), &[b1, b2, b3])?;
+    let up = b.conv(format!("{name}/up_1x1"), cat, ConvParams::pointwise(384))?;
+    b.eltwise_add(format!("{name}/add"), &[from, up])
+}
+
+/// Reduction-A: 35×35×384 → 17×17×1152.
+fn reduction_a(b: &mut GraphBuilder, from: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("reduction_a");
+    let p = b.max_pool("reduction_a/pool", from, 3, 2, 0)?;
+    let c1 = b.conv("reduction_a/3x3_s2_v", from, valid(384, 3, 2))?;
+    let t1 = b.conv("reduction_a/t_1x1", from, ConvParams::pointwise(256))?;
+    let t2 = b.conv("reduction_a/t_3x3", t1, same(256, 3))?;
+    let t3 = b.conv("reduction_a/t_3x3_s2_v", t2, valid(384, 3, 2))?;
+    b.concat("reduction_a/output", &[p, c1, t3])
+}
+
+/// Inception-ResNet-B: 17×17×1152.
+fn block_b(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let b1 = b.conv(format!("{name}/b1_1x1"), from, ConvParams::pointwise(192))?;
+    let b2a = b.conv(format!("{name}/b2_1x1"), from, ConvParams::pointwise(128))?;
+    let b2b = b.conv(format!("{name}/b2_1x7"), b2a, ConvParams::rect(160, 1, 7))?;
+    let b2 = b.conv(format!("{name}/b2_7x1"), b2b, ConvParams::rect(192, 7, 1))?;
+    let cat = b.concat(format!("{name}/concat"), &[b1, b2])?;
+    let up = b.conv(format!("{name}/up_1x1"), cat, ConvParams::pointwise(1152))?;
+    b.eltwise_add(format!("{name}/add"), &[from, up])
+}
+
+/// Reduction-B: 17×17×1152 → 8×8×2144.
+fn reduction_b(b: &mut GraphBuilder, from: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("reduction_b");
+    let p = b.max_pool("reduction_b/pool", from, 3, 2, 0)?;
+    let t1a = b.conv("reduction_b/t1_1x1", from, ConvParams::pointwise(256))?;
+    let t1 = b.conv("reduction_b/t1_3x3_s2_v", t1a, valid(384, 3, 2))?;
+    let t2a = b.conv("reduction_b/t2_1x1", from, ConvParams::pointwise(256))?;
+    let t2 = b.conv("reduction_b/t2_3x3_s2_v", t2a, valid(288, 3, 2))?;
+    let t3a = b.conv("reduction_b/t3_1x1", from, ConvParams::pointwise(256))?;
+    let t3b = b.conv("reduction_b/t3_3x3", t3a, same(288, 3))?;
+    let t3 = b.conv("reduction_b/t3_3x3_s2_v", t3b, valid(320, 3, 2))?;
+    b.concat("reduction_b/output", &[p, t1, t2, t3])
+}
+
+/// Inception-ResNet-C: 8×8×2144.
+fn block_c(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let b1 = b.conv(format!("{name}/b1_1x1"), from, ConvParams::pointwise(192))?;
+    let b2a = b.conv(format!("{name}/b2_1x1"), from, ConvParams::pointwise(192))?;
+    let b2b = b.conv(format!("{name}/b2_1x3"), b2a, ConvParams::rect(224, 1, 3))?;
+    let b2 = b.conv(format!("{name}/b2_3x1"), b2b, ConvParams::rect(256, 3, 1))?;
+    let cat = b.concat(format!("{name}/concat"), &[b1, b2])?;
+    let up = b.conv(format!("{name}/up_1x1"), cat, ConvParams::pointwise(2144))?;
+    b.eltwise_add(format!("{name}/add"), &[from, up])
+}
+
+/// Builds Inception-ResNet-v2 at 299×299: the Inception-v4 stem, 5
+/// IR-A, Reduction-A, 10 IR-B, Reduction-B, 5 IR-C blocks.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn inception_resnet_v2() -> Graph {
+    let mut b = GraphBuilder::new("inception_resnet_v2");
+    let x = b.input(FeatureShape::new(3, 299, 299));
+    let mut cur = stem(&mut b, x).expect("stem");
+    for i in 1..=5 {
+        cur = block_a(&mut b, cur, &format!("ir_a{i}")).expect("block_a");
+    }
+    cur = reduction_a(&mut b, cur).expect("reduction_a");
+    for i in 1..=10 {
+        cur = block_b(&mut b, cur, &format!("ir_b{i}")).expect("block_b");
+    }
+    cur = reduction_b(&mut b, cur).expect("reduction_b");
+    for i in 1..=5 {
+        cur = block_c(&mut b, cur, &format!("ir_c{i}")).expect("block_c");
+    }
+    b.set_block("classifier");
+    let head = b.conv("head_1x1", cur, ConvParams::pointwise(1536)).expect("head");
+    let gap = b.global_avg_pool("gap", head).expect("gap");
+    let fc = b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish(fc).expect("inception_resnet_v2 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn block_shapes() {
+        let g = inception_resnet_v2();
+        assert_eq!(
+            g.node_by_name("ir_a5/add").unwrap().output_shape(),
+            FeatureShape::new(384, 35, 35)
+        );
+        assert_eq!(
+            g.node_by_name("ir_b10/add").unwrap().output_shape(),
+            FeatureShape::new(1152, 17, 17)
+        );
+        assert_eq!(
+            g.node_by_name("ir_c5/add").unwrap().output_shape(),
+            FeatureShape::new(2144, 8, 8)
+        );
+    }
+
+    #[test]
+    fn conv_count() {
+        // stem 11 + A 7x5 + redA 4 + B 5x10 + redB 7 + C 5x5 + head 1.
+        let g = inception_resnet_v2();
+        assert_eq!(g.conv_layers().count(), 11 + 35 + 4 + 50 + 7 + 25 + 1);
+    }
+
+    #[test]
+    fn twenty_blocks_of_three_kinds() {
+        let g = inception_resnet_v2();
+        let ir: Vec<&str> =
+            g.blocks().into_iter().filter(|b| b.starts_with("ir_")).collect();
+        assert_eq!(ir.len(), 20);
+    }
+
+    #[test]
+    fn macs_and_params_plausible() {
+        // ~11 GMACs; ~35 M conv/FC params (the published 55.8 M total
+        // includes batch-norm statistics and auxiliary heads that this
+        // inference graph folds away).
+        let s = summarize(&inception_resnet_v2());
+        let gmacs = s.total_macs as f64 / 1e9;
+        let params = s.total_weight_elems as f64 / 1e6;
+        assert!((8.0..16.0).contains(&gmacs), "got {gmacs} GMACs");
+        assert!((28.0..45.0).contains(&params), "got {params} M params");
+    }
+
+    #[test]
+    fn residual_adds_join_block_input_and_projection() {
+        let g = inception_resnet_v2();
+        let add = g.node_by_name("ir_b3/add").unwrap();
+        assert_eq!(add.inputs().len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Inception-v4 (Szegedy et al., 2016) — the paper's `IN` benchmark.
+//!
+//! 299×299 input, the stem with its two internal concats, 4 Inception-A,
+//! Reduction-A, 7 Inception-B, Reduction-B, 3 Inception-C. The 14
+//! inception blocks (A1–A4, B1–B7, C1–C3) are labelled so the Fig. 2(b)
+//! design-space sweep can treat each block's residency as one decision.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// Valid (no-padding) square conv.
+fn valid(out: usize, k: usize, s: usize) -> ConvParams {
+    ConvParams::square(out, k, s, 0)
+}
+
+/// Same-padded square conv, stride 1.
+fn same(out: usize, k: usize) -> ConvParams {
+    ConvParams::square(out, k, 1, (k - 1) / 2)
+}
+
+fn stem(b: &mut GraphBuilder, x: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("stem");
+    // 299 -> 149 -> 147 -> 147
+    let c1 = b.conv("stem/conv1_3x3_s2_v", x, valid(32, 3, 2))?;
+    let c2 = b.conv("stem/conv2_3x3_v", c1, valid(32, 3, 1))?;
+    let c3 = b.conv("stem/conv3_3x3", c2, same(64, 3))?;
+    // First fork: maxpool vs stride-2 conv, both to 73x73, concat to 160ch.
+    let p1 = b.max_pool("stem/pool1_3x3_s2_v", c3, 3, 2, 0)?;
+    let c4 = b.conv("stem/conv4_3x3_s2_v", c3, valid(96, 3, 2))?;
+    let cat1 = b.concat("stem/concat1", &[p1, c4])?;
+    // Second fork: two conv towers, both ending 3x3 valid to 71x71, 96ch each.
+    let a1 = b.conv("stem/a_1x1", cat1, ConvParams::pointwise(64))?;
+    let a2 = b.conv("stem/a_3x3_v", a1, valid(96, 3, 1))?;
+    let b1 = b.conv("stem/b_1x1", cat1, ConvParams::pointwise(64))?;
+    let b2 = b.conv("stem/b_7x1", b1, ConvParams::rect(64, 7, 1))?;
+    let b3 = b.conv("stem/b_1x7", b2, ConvParams::rect(64, 1, 7))?;
+    let b4 = b.conv("stem/b_3x3_v", b3, valid(96, 3, 1))?;
+    let cat2 = b.concat("stem/concat2", &[a2, b4])?;
+    // Third fork: stride-2 conv vs maxpool, to 35x35, concat to 384ch.
+    let c5 = b.conv("stem/conv5_3x3_s2_v", cat2, valid(192, 3, 2))?;
+    let p2 = b.max_pool("stem/pool2_3x3_s2_v", cat2, 3, 2, 0)?;
+    b.concat("stem/concat3", &[c5, p2])
+}
+
+/// Inception-A: 384×35×35 in and out.
+fn inception_a(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
+    let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(96))?;
+    let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(96))?;
+    let b3a = b.conv(format!("{name}/3x3_reduce"), from, ConvParams::pointwise(64))?;
+    let b3 = b.conv(format!("{name}/3x3"), b3a, same(96, 3))?;
+    let b4a = b.conv(format!("{name}/d3x3_reduce"), from, ConvParams::pointwise(64))?;
+    let b4b = b.conv(format!("{name}/d3x3_1"), b4a, same(96, 3))?;
+    let b4 = b.conv(format!("{name}/d3x3_2"), b4b, same(96, 3))?;
+    b.concat(format!("{name}/output"), &[b1, b2, b3, b4])
+}
+
+/// Reduction-A: 384×35×35 -> 1024×17×17.
+fn reduction_a(b: &mut GraphBuilder, from: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("reduction_a");
+    let p = b.max_pool("reduction_a/pool", from, 3, 2, 0)?;
+    let c1 = b.conv("reduction_a/3x3_s2_v", from, valid(384, 3, 2))?;
+    let t1 = b.conv("reduction_a/t_1x1", from, ConvParams::pointwise(192))?;
+    let t2 = b.conv("reduction_a/t_3x3", t1, same(224, 3))?;
+    let t3 = b.conv("reduction_a/t_3x3_s2_v", t2, valid(256, 3, 2))?;
+    b.concat("reduction_a/output", &[p, c1, t3])
+}
+
+/// Inception-B: 1024×17×17 in and out.
+fn inception_b(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
+    let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(128))?;
+    let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(384))?;
+    let b3a = b.conv(format!("{name}/7x7_reduce"), from, ConvParams::pointwise(192))?;
+    let b3b = b.conv(format!("{name}/1x7"), b3a, ConvParams::rect(224, 1, 7))?;
+    let b3 = b.conv(format!("{name}/7x1"), b3b, ConvParams::rect(256, 7, 1))?;
+    let b4a = b.conv(format!("{name}/d7x7_reduce"), from, ConvParams::pointwise(192))?;
+    let b4b = b.conv(format!("{name}/d1x7_1"), b4a, ConvParams::rect(192, 1, 7))?;
+    let b4c = b.conv(format!("{name}/d7x1_1"), b4b, ConvParams::rect(224, 7, 1))?;
+    let b4d = b.conv(format!("{name}/d1x7_2"), b4c, ConvParams::rect(224, 1, 7))?;
+    let b4 = b.conv(format!("{name}/d7x1_2"), b4d, ConvParams::rect(256, 7, 1))?;
+    b.concat(format!("{name}/output"), &[b1, b2, b3, b4])
+}
+
+/// Reduction-B: 1024×17×17 -> 1536×8×8.
+fn reduction_b(b: &mut GraphBuilder, from: NodeId) -> Result<NodeId, GraphError> {
+    b.set_block("reduction_b");
+    let p = b.max_pool("reduction_b/pool", from, 3, 2, 0)?;
+    let c1a = b.conv("reduction_b/3x3_reduce", from, ConvParams::pointwise(192))?;
+    let c1 = b.conv("reduction_b/3x3_s2_v", c1a, valid(192, 3, 2))?;
+    let t1 = b.conv("reduction_b/t_1x1", from, ConvParams::pointwise(256))?;
+    let t2 = b.conv("reduction_b/t_1x7", t1, ConvParams::rect(256, 1, 7))?;
+    let t3 = b.conv("reduction_b/t_7x1", t2, ConvParams::rect(320, 7, 1))?;
+    let t4 = b.conv("reduction_b/t_3x3_s2_v", t3, valid(320, 3, 2))?;
+    b.concat("reduction_b/output", &[p, c1, t4])
+}
+
+/// Inception-C: 1536×8×8 in and out.
+fn inception_c(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
+    b.set_block(name);
+    let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
+    let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(256))?;
+    let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(256))?;
+    let b3a = b.conv(format!("{name}/split_reduce"), from, ConvParams::pointwise(384))?;
+    let b3l = b.conv(format!("{name}/split_1x3"), b3a, ConvParams::rect(256, 1, 3))?;
+    let b3r = b.conv(format!("{name}/split_3x1"), b3a, ConvParams::rect(256, 3, 1))?;
+    let b4a = b.conv(format!("{name}/dsplit_reduce"), from, ConvParams::pointwise(384))?;
+    let b4b = b.conv(format!("{name}/dsplit_1x3"), b4a, ConvParams::rect(448, 1, 3))?;
+    let b4c = b.conv(format!("{name}/dsplit_3x1"), b4b, ConvParams::rect(512, 3, 1))?;
+    let b4l = b.conv(format!("{name}/dsplit_out_3x1"), b4c, ConvParams::rect(256, 3, 1))?;
+    let b4r = b.conv(format!("{name}/dsplit_out_1x3"), b4c, ConvParams::rect(256, 1, 3))?;
+    b.concat(format!("{name}/output"), &[b1, b2, b3l, b3r, b4l, b4r])
+}
+
+/// Builds Inception-v4 at 299×299.
+///
+/// The deepest and most branch-heavy of the paper's benchmarks; its 14
+/// inception blocks define the 2^14-point design space of Fig. 2(b).
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn inception_v4() -> Graph {
+    let mut b = GraphBuilder::new("inception_v4");
+    let x = b.input(FeatureShape::new(3, 299, 299));
+    let mut cur = stem(&mut b, x).expect("stem");
+    for i in 1..=4 {
+        cur = inception_a(&mut b, cur, &format!("inception_a{i}")).expect("inception_a");
+    }
+    cur = reduction_a(&mut b, cur).expect("reduction_a");
+    for i in 1..=7 {
+        cur = inception_b(&mut b, cur, &format!("inception_b{i}")).expect("inception_b");
+    }
+    cur = reduction_b(&mut b, cur).expect("reduction_b");
+    for i in 1..=3 {
+        cur = inception_c(&mut b, cur, &format!("inception_c{i}")).expect("inception_c");
+    }
+    b.set_block("classifier");
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    let fc = b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish(fc).expect("inception_v4 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn stem_shapes() {
+        let g = inception_v4();
+        assert_eq!(
+            g.node_by_name("stem/concat1").unwrap().output_shape(),
+            FeatureShape::new(160, 73, 73)
+        );
+        assert_eq!(
+            g.node_by_name("stem/concat2").unwrap().output_shape(),
+            FeatureShape::new(192, 71, 71)
+        );
+        assert_eq!(
+            g.node_by_name("stem/concat3").unwrap().output_shape(),
+            FeatureShape::new(384, 35, 35)
+        );
+    }
+
+    #[test]
+    fn block_shapes_are_stationary() {
+        let g = inception_v4();
+        for i in 1..=4 {
+            assert_eq!(
+                g.node_by_name(&format!("inception_a{i}/output")).unwrap().output_shape(),
+                FeatureShape::new(384, 35, 35)
+            );
+        }
+        for i in 1..=7 {
+            assert_eq!(
+                g.node_by_name(&format!("inception_b{i}/output")).unwrap().output_shape(),
+                FeatureShape::new(1024, 17, 17)
+            );
+        }
+        for i in 1..=3 {
+            assert_eq!(
+                g.node_by_name(&format!("inception_c{i}/output")).unwrap().output_shape(),
+                FeatureShape::new(1536, 8, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_shapes() {
+        let g = inception_v4();
+        assert_eq!(
+            g.node_by_name("reduction_a/output").unwrap().output_shape(),
+            FeatureShape::new(1024, 17, 17)
+        );
+        assert_eq!(
+            g.node_by_name("reduction_b/output").unwrap().output_shape(),
+            FeatureShape::new(1536, 8, 8)
+        );
+    }
+
+    #[test]
+    fn fourteen_inception_blocks() {
+        let g = inception_v4();
+        let n = g.blocks().iter().filter(|b| b.starts_with("inception_")).count();
+        assert_eq!(n, 14);
+    }
+
+    #[test]
+    fn conv_layer_count() {
+        // stem 11 + A 7*4 + redA 4 + B 10*7 + redB 6 + C 10*3 = 149.
+        assert_eq!(inception_v4().conv_layers().count(), 149);
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // Inception-v4 ≈ 12.3 GMACs at 299².
+        let gmacs = summarize(&inception_v4()).total_macs as f64 / 1e9;
+        assert!((10.0..14.0).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn params_near_published_42m() {
+        let m = summarize(&inception_v4()).total_weight_elems as f64 / 1e6;
+        assert!((35.0..48.0).contains(&m), "got {m} M params");
+    }
+}

@@ -1,0 +1,78 @@
+//! Model zoo: the paper's benchmark networks, built layer by layer.
+//!
+//! The LCMM paper evaluates on ResNet-152 (`RN`), GoogLeNet (`GN`) and
+//! Inception-v4 (`IN`), and compares against prior art on ResNet-50.
+//! AlexNet and VGG-16 are included as the linear-topology counterpoints
+//! that the introduction argues uniform double-buffering was designed for.
+//!
+//! All builders produce batch-1 inference graphs at the canonical ImageNet
+//! input resolution (224×224, or 299×299 for Inception-v4), with ReLU and
+//! batch-norm folded into the convolutions.
+
+mod alexnet;
+mod densenet;
+mod googlenet;
+mod inception_resnet;
+mod inception_v4;
+mod resnet;
+mod squeezenet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use densenet::densenet121;
+pub use googlenet::googlenet;
+pub use inception_resnet::inception_resnet_v2;
+pub use inception_v4::inception_v4;
+pub use resnet::{resnet101, resnet152, resnet50};
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+
+use crate::Graph;
+
+/// The paper's Table 1 benchmark suite: ResNet-152, GoogLeNet,
+/// Inception-v4, in that order.
+#[must_use]
+pub fn benchmark_suite() -> Vec<Graph> {
+    vec![resnet152(), googlenet(), inception_v4()]
+}
+
+/// Builds a model by its short name, as used by the CLI.
+///
+/// Recognised names: `alexnet`, `vgg16`, `resnet50`, `resnet101`,
+/// `resnet152`, `googlenet`, `inception_v4` (aliases `rn`, `gn`, `in`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Graph> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet()),
+        "densenet121" | "densenet" | "dn" => Some(densenet121()),
+        "squeezenet" | "sq" => Some(squeezenet()),
+        "vgg16" | "vgg" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        "resnet101" => Some(resnet101()),
+        "resnet152" | "rn" => Some(resnet152()),
+        "googlenet" | "gn" => Some(googlenet()),
+        "inception_v4" | "inception-v4" | "in" => Some(inception_v4()),
+        "inception_resnet_v2" | "irv2" => Some(inception_resnet_v2()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_aliases() {
+        assert_eq!(by_name("RN").unwrap().name(), "resnet152");
+        assert_eq!(by_name("gn").unwrap().name(), "googlenet");
+        assert_eq!(by_name("in").unwrap().name(), "inception_v4");
+        assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn benchmark_suite_is_the_paper_trio() {
+        let names: Vec<String> =
+            benchmark_suite().iter().map(|g| g.name().to_string()).collect();
+        assert_eq!(names, ["resnet152", "googlenet", "inception_v4"]);
+    }
+}

@@ -1,0 +1,195 @@
+//! ResNet-50 / 101 / 152 (He et al., 2016), bottleneck variant.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// One bottleneck residual unit: 1×1 reduce → 3×3 → 1×1 expand, with an
+/// identity or projection shortcut, joined by element-wise addition.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    name: &str,
+    mid_channels: usize,
+    out_channels: usize,
+    stride: usize,
+    project: bool,
+) -> Result<NodeId, GraphError> {
+    // Original ResNet places the stride on the first 1x1 convolution.
+    let c1 = b.conv(
+        format!("{name}_branch2a"),
+        from,
+        ConvParams::square(mid_channels, 1, stride, 0),
+    )?;
+    let c2 = b.conv(format!("{name}_branch2b"), c1, ConvParams::square(mid_channels, 3, 1, 1))?;
+    let c3 = b.conv(format!("{name}_branch2c"), c2, ConvParams::pointwise(out_channels))?;
+    let shortcut = if project {
+        b.conv(
+            format!("{name}_branch1"),
+            from,
+            ConvParams::square(out_channels, 1, stride, 0),
+        )?
+    } else {
+        from
+    };
+    b.eltwise_add(format!("{name}_add"), &[c3, shortcut])
+}
+
+/// Stage of `units` bottlenecks; the first unit projects (and strides,
+/// except in stage 2 which follows the stem max-pool).
+fn stage(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    stage_idx: usize,
+    units: usize,
+    mid_channels: usize,
+    out_channels: usize,
+    first_stride: usize,
+) -> Result<NodeId, GraphError> {
+    let mut cur = from;
+    for u in 0..units {
+        b.set_block(format!("stage{stage_idx}_{}", u + 1));
+        let stride = if u == 0 { first_stride } else { 1 };
+        cur = bottleneck(
+            b,
+            cur,
+            &format!("res{stage_idx}{}", unit_label(u)),
+            mid_channels,
+            out_channels,
+            stride,
+            u == 0,
+        )?;
+    }
+    Ok(cur)
+}
+
+/// Caffe-style unit labels: a, b, c, ... then b1, b2, ... past 26 units
+/// (ResNet-152's stage 4 has 36 units).
+fn unit_label(u: usize) -> String {
+    if u < 26 {
+        char::from(b'a' + u as u8).to_string()
+    } else {
+        format!("b{}", u - 1)
+    }
+}
+
+fn resnet(name: &str, units: [usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    b.set_block("stem");
+    let c1 = b.conv("conv1", x, ConvParams::square(64, 7, 2, 3)).expect("conv1");
+    let p1 = b.max_pool("pool1", c1, 3, 2, 1).expect("pool1"); // 56x56
+    let s2 = stage(&mut b, p1, 2, units[0], 64, 256, 1).expect("stage2");
+    let s3 = stage(&mut b, s2, 3, units[1], 128, 512, 2).expect("stage3");
+    let s4 = stage(&mut b, s3, 4, units[2], 256, 1024, 2).expect("stage4");
+    let s5 = stage(&mut b, s4, 5, units[3], 512, 2048, 2).expect("stage5");
+    b.set_block("classifier");
+    let gap = b.global_avg_pool("gap", s5).expect("gap");
+    let fc = b.fc("fc1000", gap, 1000).expect("fc1000");
+    b.finish(fc).expect("resnet is acyclic by construction")
+}
+
+/// Builds ResNet-50 at 224×224 (stages of 3, 4, 6, 3 bottlenecks).
+///
+/// Used in the paper's Table 3 comparison against Cloud-DNN.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn resnet50() -> Graph {
+    resnet("resnet50", [3, 4, 6, 3])
+}
+
+/// Builds ResNet-101 at 224×224 (stages of 3, 4, 23, 3 bottlenecks).
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn resnet101() -> Graph {
+    resnet("resnet101", [3, 4, 23, 3])
+}
+
+/// Builds ResNet-152 at 224×224 (stages of 3, 8, 36, 3 bottlenecks) —
+/// the paper's `RN` benchmark.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn resnet152() -> Graph {
+    resnet("resnet152", [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn conv_counts_match_depth() {
+        // conv layers = 1 stem + sum(units)*3 + 4 projections.
+        assert_eq!(resnet50().conv_layers().count(), 1 + (3 + 4 + 6 + 3) * 3 + 4);
+        assert_eq!(resnet101().conv_layers().count(), 1 + (3 + 4 + 23 + 3) * 3 + 4);
+        assert_eq!(resnet152().conv_layers().count(), 1 + (3 + 8 + 36 + 3) * 3 + 4);
+    }
+
+    #[test]
+    fn named_depth_counts_weighted_layers() {
+        // "50" = 49 convs + 1 fc, etc.
+        assert_eq!(resnet50().compute_layers().count(), 54); // 50 + 4 projections
+        assert_eq!(resnet152().compute_layers().count(), 156); // 152 + 4 projections
+    }
+
+    #[test]
+    fn stage_output_shapes() {
+        let g = resnet152();
+        assert_eq!(
+            g.node_by_name("res2c_add").unwrap().output_shape(),
+            FeatureShape::new(256, 56, 56)
+        );
+        assert_eq!(
+            g.node_by_name("res5c_add").unwrap().output_shape(),
+            FeatureShape::new(2048, 7, 7)
+        );
+    }
+
+    #[test]
+    fn stage4_of_152_has_36_units() {
+        let g = resnet152();
+        // Last unit label of a 36-unit stage: index 35 -> "b34".
+        assert!(g.node_by_name("res4b34_add").is_some());
+        assert!(g.node_by_name("res4b35_add").is_none());
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // ResNet-50 ≈ 4.1 GMACs, ResNet-152 ≈ 11.5 GMACs at 224².
+        let g50 = summarize(&resnet50()).total_macs as f64 / 1e9;
+        let g152 = summarize(&resnet152()).total_macs as f64 / 1e9;
+        assert!((3.5..4.8).contains(&g50), "resnet50: {g50} GMACs");
+        assert!((10.5..12.5).contains(&g152), "resnet152: {g152} GMACs");
+    }
+
+    #[test]
+    fn params_near_published() {
+        // ResNet-152 ≈ 60 M params.
+        let p = summarize(&resnet152()).total_weight_elems as f64 / 1e6;
+        assert!((55.0..65.0).contains(&p), "got {p} M params");
+    }
+
+    #[test]
+    fn residual_adds_join_matching_shapes() {
+        // Spot-check that identity shortcuts really are identity-shaped:
+        // builder would have errored otherwise, so just confirm presence.
+        let g = resnet50();
+        let add = g.node_by_name("res2b_add").unwrap();
+        assert_eq!(add.inputs().len(), 2);
+    }
+
+    #[test]
+    fn blocks_cover_all_units() {
+        let g = resnet152();
+        // 3+8+36+3 = 50 residual blocks + stem + classifier.
+        assert_eq!(g.blocks().len(), 52);
+    }
+}

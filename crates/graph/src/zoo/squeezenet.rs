@@ -1,0 +1,96 @@
+//! SqueezeNet 1.0 (Iandola et al., 2016).
+//!
+//! Tiny parameter count with fire modules (squeeze 1×1 → parallel 1×1 /
+//! 3×3 expands → concat): the opposite corner of the design space from
+//! VGG — here *features* dominate traffic and weights are almost free.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// One fire module: squeeze to `s` channels, expand to `e1` 1×1 plus
+/// `e3` 3×3, concatenated.
+fn fire(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    idx: usize,
+    s: usize,
+    e1: usize,
+    e3: usize,
+) -> Result<NodeId, GraphError> {
+    b.set_block(format!("fire{idx}"));
+    let squeeze = b.conv(format!("fire{idx}/squeeze1x1"), from, ConvParams::pointwise(s))?;
+    let x1 = b.conv(format!("fire{idx}/expand1x1"), squeeze, ConvParams::pointwise(e1))?;
+    let x3 = b.conv(format!("fire{idx}/expand3x3"), squeeze, ConvParams::square(e3, 3, 1, 1))?;
+    b.concat(format!("fire{idx}/concat"), &[x1, x3])
+}
+
+/// Builds SqueezeNet 1.0 at 224×224.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn squeezenet() -> Graph {
+    let mut b = GraphBuilder::new("squeezenet");
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    b.set_block("stem");
+    let c1 = b.conv("conv1", x, ConvParams::square(96, 7, 2, 2)).expect("conv1"); // 110
+    let p1 = b.max_pool("pool1", c1, 3, 2, 0).expect("pool1"); // 54
+
+    let f2 = fire(&mut b, p1, 2, 16, 64, 64).expect("fire2");
+    let f3 = fire(&mut b, f2, 3, 16, 64, 64).expect("fire3");
+    let f4 = fire(&mut b, f3, 4, 32, 128, 128).expect("fire4");
+    b.clear_block();
+    let p4 = b.max_pool("pool4", f4, 3, 2, 0).expect("pool4"); // 26
+
+    let f5 = fire(&mut b, p4, 5, 32, 128, 128).expect("fire5");
+    let f6 = fire(&mut b, f5, 6, 48, 192, 192).expect("fire6");
+    let f7 = fire(&mut b, f6, 7, 48, 192, 192).expect("fire7");
+    let f8 = fire(&mut b, f7, 8, 64, 256, 256).expect("fire8");
+    b.clear_block();
+    let p8 = b.max_pool("pool8", f8, 3, 2, 0).expect("pool8"); // 12
+
+    let f9 = fire(&mut b, p8, 9, 64, 256, 256).expect("fire9");
+    b.set_block("classifier");
+    let c10 = b.conv("conv10", f9, ConvParams::pointwise(1000)).expect("conv10");
+    let gap = b.global_avg_pool("gap", c10).expect("gap");
+    b.finish(gap).expect("squeezenet is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn layer_counts() {
+        // 1 stem + 8 fires x 3 + conv10 = 26 convs, no FC.
+        let g = squeezenet();
+        assert_eq!(g.conv_layers().count(), 26);
+        assert_eq!(g.compute_layers().count(), 26);
+    }
+
+    #[test]
+    fn fire_output_channels() {
+        let g = squeezenet();
+        assert_eq!(
+            g.node_by_name("fire4/concat").unwrap().output_shape().channels,
+            256
+        );
+        assert_eq!(
+            g.node_by_name("fire9/concat").unwrap().output_shape().channels,
+            512
+        );
+    }
+
+    #[test]
+    fn params_near_published_1_2m() {
+        let m = summarize(&squeezenet()).total_weight_elems as f64 / 1e6;
+        assert!((1.0..1.6).contains(&m), "got {m} M params");
+    }
+
+    #[test]
+    fn output_is_class_vector() {
+        let g = squeezenet();
+        assert_eq!(g.output_node().output_shape(), FeatureShape::vector(1000));
+    }
+}

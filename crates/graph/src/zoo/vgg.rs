@@ -1,0 +1,81 @@
+//! VGG-16 (Simonyan & Zisserman, 2014), configuration D.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+fn stage(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    stage_idx: usize,
+    channels: usize,
+    convs: usize,
+) -> Result<NodeId, GraphError> {
+    b.set_block(format!("stage{stage_idx}"));
+    let mut cur = from;
+    for i in 1..=convs {
+        cur = b.conv(
+            format!("conv{stage_idx}_{i}"),
+            cur,
+            ConvParams::square(channels, 3, 1, 1),
+        )?;
+    }
+    b.max_pool(format!("pool{stage_idx}"), cur, 2, 2, 0)
+}
+
+/// Builds VGG-16 at 224×224.
+///
+/// Deep but strictly linear: 13 convolutions, 5 pools, 3 FC layers. With
+/// 138 M parameters it is the stress case for weight traffic.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn vgg16() -> Graph {
+    let mut b = GraphBuilder::new("vgg16");
+    let x = b.input(FeatureShape::new(3, 224, 224));
+    let s1 = stage(&mut b, x, 1, 64, 2).expect("stage1");
+    let s2 = stage(&mut b, s1, 2, 128, 2).expect("stage2");
+    let s3 = stage(&mut b, s2, 3, 256, 3).expect("stage3");
+    let s4 = stage(&mut b, s3, 4, 512, 3).expect("stage4");
+    let s5 = stage(&mut b, s4, 5, 512, 3).expect("stage5");
+    b.set_block("classifier");
+    let f6 = b.fc("fc6", s5, 4096).expect("fc6");
+    let f7 = b.fc("fc7", f6, 4096).expect("fc7");
+    let f8 = b.fc("fc8", f7, 1000).expect("fc8");
+    b.finish(f8).expect("vgg16 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+
+    #[test]
+    fn layer_counts() {
+        let g = vgg16();
+        assert_eq!(g.conv_layers().count(), 13);
+        assert_eq!(g.compute_layers().count(), 16);
+    }
+
+    #[test]
+    fn spatial_pyramid() {
+        let g = vgg16();
+        assert_eq!(g.node_by_name("pool1").unwrap().output_shape(), FeatureShape::new(64, 112, 112));
+        assert_eq!(g.node_by_name("pool5").unwrap().output_shape(), FeatureShape::new(512, 7, 7));
+    }
+
+    #[test]
+    fn macs_near_published_15_gflops() {
+        // VGG-16 is ~15.5 GMACs (30.9 GFLOPs at 2 ops per MAC).
+        let s = summarize(&vgg16());
+        let gmacs = s.total_macs as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn params_near_published_138m() {
+        let s = summarize(&vgg16());
+        let m = s.total_weight_elems as f64 / 1e6;
+        assert!((130.0..145.0).contains(&m), "got {m} M params");
+    }
+}

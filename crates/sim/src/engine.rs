@@ -1,0 +1,586 @@
+//! The schedule execution engine.
+
+use crate::channel::{Channel, ChannelKind};
+use lcmm_core::liveness::Schedule;
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::{Residency, ValueId};
+use lcmm_fpga::GraphProfile;
+use lcmm_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a resident weight buffer behaves across inferences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightClass {
+    /// The weight owns its buffer: loaded once, reused by every
+    /// inference — no steady-state traffic.
+    Persistent,
+    /// The weight shares its buffer with another layer's weight
+    /// (disjoint prefetch spans): it must be re-prefetched every
+    /// inference.
+    Shared,
+}
+
+/// One recorded simulation event (when `SimConfig::record_events`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// The node the event belongs to (for prefetches: the consumer).
+    pub node: NodeId,
+    /// Event start time, seconds.
+    pub start: f64,
+    /// Event end time, seconds.
+    pub end: f64,
+}
+
+/// Kind of a recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Array compute occupancy of a node.
+    Compute,
+    /// A demand transfer on a channel.
+    Transfer(ChannelKind),
+    /// A weight prefetch on the weight channel.
+    Prefetch,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of back-to-back inferences to run.
+    pub inferences: usize,
+    /// Whether persistent weights start loaded (steady state). With
+    /// `false`, the first inference pays all cold weight loads.
+    pub warm_start: bool,
+    /// Sharing class per resident weight. Weights absent from the map
+    /// default to [`WeightClass::Persistent`].
+    pub weight_classes: HashMap<NodeId, WeightClass>,
+    /// Prefetch plan: where each resident weight's (re-)load may begin.
+    pub prefetch: PrefetchPlan,
+    /// Record a detailed event log in the report (costs memory).
+    pub record_events: bool,
+    /// Model a DMA engine without cross-layer tile prefetch: each
+    /// streaming layer pays its first-tile load serially before compute
+    /// (`OpLatency::fill`). Off (default) = the paper's double-buffered
+    /// dataflow, which hides the fill behind the previous layer.
+    pub pipeline_fill: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            inferences: 1,
+            warm_start: true,
+            weight_classes: HashMap::new(),
+            prefetch: PrefetchPlan::default(),
+            record_events: false,
+            pipeline_fill: false,
+        }
+    }
+}
+
+/// Timing of one node in one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeTiming {
+    /// The node.
+    pub id: NodeId,
+    /// Time the node became eligible (previous node finished).
+    pub start: f64,
+    /// Time all of its compute and transfers finished.
+    pub end: f64,
+    /// Seconds spent stalled on transfers beyond the compute time.
+    pub transfer_stall: f64,
+}
+
+impl NodeTiming {
+    /// Node occupancy of the array pipeline.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock of the whole run (all inferences).
+    pub total_latency: f64,
+    /// Wall-clock of one steady-state inference (the last one).
+    pub steady_latency: f64,
+    /// Node timings of the last inference, in schedule order.
+    pub last_inference: Vec<NodeTiming>,
+    /// Traffic carried per channel, seconds of channel time.
+    pub channel_busy: HashMap<ChannelKind, f64>,
+    /// Seconds the array stalled waiting on late weight prefetches.
+    pub prefetch_stall: f64,
+    /// Detailed event log (empty unless `SimConfig::record_events`).
+    pub events: Vec<SimEvent>,
+}
+
+impl SimReport {
+    /// Utilisation of a channel over the whole run.
+    #[must_use]
+    pub fn channel_utilization(&self, kind: ChannelKind) -> f64 {
+        if self.total_latency <= 0.0 {
+            return 0.0;
+        }
+        (self.channel_busy.get(&kind).copied().unwrap_or(0.0) / self.total_latency).min(1.0)
+    }
+}
+
+/// The simulator: executes a graph's schedule against shared DMA
+/// channels.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    graph: &'a Graph,
+    profile: &'a GraphProfile,
+    schedule: Schedule,
+}
+
+impl<'a> Simulator<'a> {
+    /// The graph being simulated.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for one graph/latency-table pair.
+    #[must_use]
+    pub fn new(graph: &'a Graph, profile: &'a GraphProfile) -> Self {
+        Self { graph, profile, schedule: Schedule::new(graph) }
+    }
+
+    /// The schedule being executed.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Runs `config.inferences` back-to-back inferences under
+    /// `residency`.
+    #[must_use]
+    pub fn run(&self, residency: &Residency, config: &SimConfig) -> SimReport {
+        let mut if_ch = Channel::new();
+        let mut wt_ch = Channel::new();
+        let mut of_ch = Channel::new();
+        let mut prefetch_stall = 0.0;
+        let mut events: Vec<SimEvent> = Vec::new();
+        let mut t = 0.0f64;
+        let mut steady_latency = 0.0;
+        let mut last_inference = Vec::new();
+
+        // Cold start: persistent weights stream in before the first
+        // inference begins.
+        if !config.warm_start {
+            for v in residency.iter() {
+                if let ValueId::Weight(node) = v {
+                    let class = config
+                        .weight_classes
+                        .get(node)
+                        .copied()
+                        .unwrap_or(WeightClass::Persistent);
+                    if class == WeightClass::Persistent {
+                        t = t.max(wt_ch.enqueue(0.0, self.profile.node(*node).weight));
+                    }
+                }
+            }
+        }
+
+        for _inference in 0..config.inferences.max(1) {
+            let infer_start = t;
+            let mut timings = Vec::with_capacity(self.schedule.len());
+            // Completion time of each shared-weight prefetch this
+            // inference.
+            let mut prefetch_done: HashMap<NodeId, f64> = HashMap::new();
+            // Prefetches indexed by launch position.
+            let mut launches: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            for v in residency.iter() {
+                if let ValueId::Weight(node) = v {
+                    let class = config
+                        .weight_classes
+                        .get(node)
+                        .copied()
+                        .unwrap_or(WeightClass::Persistent);
+                    if class == WeightClass::Shared {
+                        let pos = config
+                            .prefetch
+                            .edge(*v)
+                            .map_or(0, |e| e.start);
+                        launches.entry(pos).or_default().push(*node);
+                    }
+                }
+            }
+
+            for pos in 0..self.schedule.len() {
+                let id = self.schedule.at(pos);
+                // Launch prefetches tied to this position (FIFO on the
+                // weight channel, behind whatever is already queued).
+                if let Some(nodes) = launches.get(&pos) {
+                    let mut nodes = nodes.clone();
+                    nodes.sort(); // deterministic order
+                    for n in nodes {
+                        let (ps, done) = wt_ch.enqueue_span(t, self.profile.node(n).weight);
+                        if config.record_events && done > ps {
+                            events.push(SimEvent {
+                                kind: EventKind::Prefetch,
+                                node: n,
+                                start: ps,
+                                end: done,
+                            });
+                        }
+                        prefetch_done.insert(n, done);
+                    }
+                }
+
+                let row = self.profile.node(id);
+                let start = t;
+
+                let if_dur: f64 = row
+                    .inputs
+                    .iter()
+                    .filter(|(src, _)| !residency.contains(ValueId::Feature(*src)))
+                    .map(|(_, d)| *d)
+                    .sum();
+                let (if_s, end_if) = if_ch.enqueue_span(start, if_dur);
+
+                let of_dur =
+                    if residency.contains(ValueId::Feature(id)) { 0.0 } else { row.output };
+                let (of_s, end_of) = of_ch.enqueue_span(start, of_dur);
+
+                let mut wt_span: Option<(f64, f64)> = None;
+                let end_wt = if residency.contains(ValueId::Weight(id)) {
+                    match prefetch_done.get(&id) {
+                        Some(&done) => done, // may stall if late
+                        None => start,       // persistent, already loaded
+                    }
+                } else {
+                    let span = wt_ch.enqueue_span(start, row.weight);
+                    wt_span = Some(span);
+                    span.1
+                };
+                if config.record_events {
+                    if row.compute > 0.0 {
+                        events.push(SimEvent {
+                            kind: EventKind::Compute,
+                            node: id,
+                            start,
+                            end: start + row.compute,
+                        });
+                    }
+                    if end_if > if_s {
+                        events.push(SimEvent {
+                            kind: EventKind::Transfer(ChannelKind::InputFeature),
+                            node: id,
+                            start: if_s,
+                            end: end_if,
+                        });
+                    }
+                    if end_of > of_s {
+                        events.push(SimEvent {
+                            kind: EventKind::Transfer(ChannelKind::OutputFeature),
+                            node: id,
+                            start: of_s,
+                            end: end_of,
+                        });
+                    }
+                    if let Some((ws, we)) = wt_span {
+                        if we > ws {
+                            events.push(SimEvent {
+                                kind: EventKind::Transfer(ChannelKind::Weight),
+                                node: id,
+                                start: ws,
+                                end: we,
+                            });
+                        }
+                    }
+                }
+
+                let streams = if_dur > 0.0
+                    || (!residency.contains(ValueId::Weight(id)) && row.weight > 0.0);
+                let fill = if config.pipeline_fill && streams { row.fill } else { 0.0 };
+                let compute_end = start + fill + row.compute;
+                let end = compute_end.max(end_if).max(end_wt).max(end_of);
+                if let Some(&done) = prefetch_done.get(&id) {
+                    prefetch_stall += (done - compute_end).max(0.0).min(end - compute_end);
+                }
+                timings.push(NodeTiming {
+                    id,
+                    start,
+                    end,
+                    transfer_stall: end - compute_end,
+                });
+                t = end;
+            }
+            steady_latency = t - infer_start;
+            last_inference = timings;
+        }
+
+        let mut channel_busy = HashMap::new();
+        channel_busy.insert(ChannelKind::InputFeature, if_ch.busy_total());
+        channel_busy.insert(ChannelKind::Weight, wt_ch.busy_total());
+        channel_busy.insert(ChannelKind::OutputFeature, of_ch.busy_total());
+
+        SimReport {
+            total_latency: t,
+            steady_latency,
+            last_inference,
+            channel_busy,
+            prefetch_stall,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_core::pipeline::compare;
+    use lcmm_fpga::{AccelDesign, Device, Precision};
+    use lcmm_graph::zoo;
+
+    fn setup(graph: &Graph, p: Precision) -> GraphProfile {
+        AccelDesign::explore(graph, &Device::vu9p(), p).profile(graph)
+    }
+
+    #[test]
+    fn umm_sim_close_to_analytic_sum() {
+        // With empty residency there is no prefetch traffic; the only
+        // divergence from the analytic per-layer max model is channel
+        // queueing across consecutive layers.
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let report = sim.run(&Residency::new(), &SimConfig::default());
+        let analytic = p.total_latency();
+        let ratio = report.total_latency / analytic;
+        assert!((0.99..1.5).contains(&ratio), "sim/analytic = {ratio}");
+    }
+
+    #[test]
+    fn residency_reduces_sim_latency() {
+        let g = zoo::googlenet();
+        let device = Device::vu9p();
+        let (umm, lcmm) = compare(&g, &device, Precision::Fix16);
+        let sim_umm = Simulator::new(&g, &umm.profile)
+            .run(&Residency::new(), &SimConfig::default());
+        let lcmm_profile = lcmm.design.profile(&g);
+        let config = SimConfig {
+            prefetch: lcmm.prefetch.clone(),
+            ..SimConfig::default()
+        };
+        let sim_lcmm =
+            Simulator::new(&g, &lcmm_profile).run(&lcmm.residency, &config);
+        assert!(
+            sim_lcmm.total_latency < sim_umm.total_latency,
+            "lcmm {} >= umm {}",
+            sim_lcmm.total_latency,
+            sim_umm.total_latency
+        );
+    }
+
+    #[test]
+    fn multiple_inferences_accumulate() {
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let one = sim.run(&Residency::new(), &SimConfig::default());
+        let three = sim.run(
+            &Residency::new(),
+            &SimConfig { inferences: 3, ..SimConfig::default() },
+        );
+        assert!(three.total_latency > 2.9 * one.total_latency);
+        assert!((three.steady_latency - one.steady_latency).abs() / one.steady_latency < 0.01);
+    }
+
+    #[test]
+    fn cold_start_pays_persistent_loads() {
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let mut residency = Residency::new();
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        residency.insert(ValueId::Weight(fc6));
+        let warm = sim.run(&residency, &SimConfig::default());
+        let cold = sim.run(
+            &residency,
+            &SimConfig { warm_start: false, ..SimConfig::default() },
+        );
+        assert!(cold.total_latency > warm.total_latency);
+    }
+
+    #[test]
+    fn shared_weights_cost_traffic_every_inference() {
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let fc7 = g.node_by_name("fc7").unwrap().id();
+        let mut residency = Residency::new();
+        residency.insert(ValueId::Weight(fc7));
+        let persistent = sim.run(&residency, &SimConfig::default());
+        let mut classes = HashMap::new();
+        classes.insert(fc7, WeightClass::Shared);
+        let shared = sim.run(
+            &residency,
+            &SimConfig { weight_classes: classes, ..SimConfig::default() },
+        );
+        let p_wt = persistent.channel_busy[&ChannelKind::Weight];
+        let s_wt = shared.channel_busy[&ChannelKind::Weight];
+        assert!(s_wt > p_wt, "shared weights must re-stream: {s_wt} <= {p_wt}");
+    }
+
+    #[test]
+    fn node_timings_are_monotone() {
+        let g = zoo::googlenet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let report = sim.run(&Residency::new(), &SimConfig::default());
+        let mut last_end = 0.0;
+        for t in &report.last_inference {
+            assert!(t.start >= last_end - 1e-12);
+            assert!(t.end >= t.start);
+            assert!(t.transfer_stall >= -1e-12);
+            last_end = t.end;
+        }
+        assert_eq!(report.last_inference.len(), g.len());
+    }
+
+    #[test]
+    fn event_log_is_consistent() {
+        let g = zoo::googlenet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let config = SimConfig { record_events: true, ..SimConfig::default() };
+        let report = sim.run(&Residency::new(), &config);
+        assert!(!report.events.is_empty());
+
+        // Per-channel transfer events never overlap (FIFO channels).
+        for kind in [ChannelKind::InputFeature, ChannelKind::Weight, ChannelKind::OutputFeature] {
+            let mut spans: Vec<(f64, f64)> = report
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Transfer(kind))
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12, "{kind:?} events overlap: {w:?}");
+            }
+            // Total event time equals the channel busy accounting.
+            let total: f64 = spans.iter().map(|(s, e)| e - s).sum();
+            assert!((total - report.channel_busy[&kind]).abs() < 1e-9);
+        }
+
+        // Compute events are sequential (one array).
+        let mut compute: Vec<(f64, f64)> = report
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Compute)
+            .map(|e| (e.start, e.end))
+            .collect();
+        compute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in compute.windows(2) {
+            assert!(w[1].0 >= w[0].1 - 1e-12, "compute events overlap");
+        }
+    }
+
+    #[test]
+    fn pipeline_fill_adds_bounded_overhead() {
+        let g = zoo::inception_v4();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let base = sim.run(&Residency::new(), &SimConfig::default());
+        let filled = sim.run(
+            &Residency::new(),
+            &SimConfig { pipeline_fill: true, ..SimConfig::default() },
+        );
+        assert!(filled.total_latency > base.total_latency);
+        // Removing the cross-layer double buffer costs real time, but
+        // bounded by one extra serial pass of the streams.
+        let overhead = filled.total_latency / base.total_latency - 1.0;
+        assert!(overhead < 0.60, "fill overhead {overhead:.3} implausible");
+    }
+
+    #[test]
+    fn residency_reduces_fill_exposure() {
+        // Fully resident layers stream nothing, so the no-prefetch DMA
+        // penalty shrinks as LCMM puts tensors on chip.
+        let g = zoo::googlenet();
+        let device = Device::vu9p();
+        let (_, lcmm) = compare(&g, &device, Precision::Fix16);
+        let profile = lcmm.design.profile(&g);
+        let sim = Simulator::new(&g, &profile);
+        let cfg = SimConfig { pipeline_fill: true, ..SimConfig::default() };
+        let umm_filled = sim.run(&Residency::new(), &cfg);
+        let lcmm_cfg = SimConfig {
+            pipeline_fill: true,
+            prefetch: lcmm.prefetch.clone(),
+            weight_classes: crate::validate::weight_classes(&lcmm),
+            ..SimConfig::default()
+        };
+        let lcmm_filled = sim.run(&lcmm.residency, &lcmm_cfg);
+        let umm_plain = sim.run(&Residency::new(), &SimConfig::default());
+        let lcmm_plain = sim.run(&lcmm.residency, &SimConfig {
+            prefetch: lcmm.prefetch.clone(),
+            weight_classes: crate::validate::weight_classes(&lcmm),
+            ..SimConfig::default()
+        });
+        let umm_overhead = umm_filled.total_latency - umm_plain.total_latency;
+        let lcmm_overhead = lcmm_filled.total_latency - lcmm_plain.total_latency;
+        // Noteworthy asymmetry: under UMM the fill hides beneath the
+        // dominant transfer term of memory-bound layers, while LCMM —
+        // having removed those transfers — exposes it on top of pure
+        // compute. Both must stay small, and LCMM must still win
+        // end-to-end even without cross-layer prefetch.
+        // Bounded by one fully serial pass of the streams (<= 2x).
+        assert!(umm_overhead / umm_plain.total_latency < 1.0);
+        assert!(lcmm_overhead / lcmm_plain.total_latency < 1.0);
+        assert!(umm_overhead > 0.0 && lcmm_overhead > 0.0);
+        assert!(lcmm_filled.total_latency < umm_filled.total_latency);
+    }
+
+    #[test]
+    fn events_empty_when_not_recording() {
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let report = Simulator::new(&g, &p).run(&Residency::new(), &SimConfig::default());
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn prefetch_events_precede_use() {
+        let g = zoo::resnet50();
+        let device = Device::vu9p();
+        let (_, lcmm) = compare(&g, &device, Precision::Fix16);
+        let profile = lcmm.design.profile(&g);
+        let sim = Simulator::new(&g, &profile);
+        let config = SimConfig {
+            record_events: true,
+            weight_classes: crate::validate::weight_classes(&lcmm),
+            prefetch: lcmm.prefetch.clone(),
+            ..SimConfig::default()
+        };
+        let report = sim.run(&lcmm.residency, &config);
+        let schedule = sim.schedule();
+        for e in report.events.iter().filter(|e| e.kind == EventKind::Prefetch) {
+            // The prefetch must start no later than its consumer ends.
+            let pos = schedule.position(e.node);
+            let consumer = report.last_inference[pos];
+            assert!(e.start <= consumer.end + 1e-12);
+        }
+    }
+
+    #[test]
+    fn channel_utilization_bounded() {
+        let g = zoo::vgg16();
+        let p = setup(&g, Precision::Fix8);
+        let sim = Simulator::new(&g, &p);
+        let report = sim.run(&Residency::new(), &SimConfig::default());
+        for kind in [ChannelKind::InputFeature, ChannelKind::Weight, ChannelKind::OutputFeature] {
+            let u = report.channel_utilization(kind);
+            assert!((0.0..=1.0).contains(&u), "{kind:?} = {u}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Memory-footprint traces (paper Fig. 3).
+//!
+//! Fig. 3 of the paper contrasts UMM and LCMM by drawing, over time,
+//! which tensors occupy on-chip buffers and which stream from DRAM.
+//! This module reconstructs that picture from a simulation run: each
+//! feature/weight tensor gets a row with its residency and the time
+//! span during which it exists.
+
+use crate::engine::SimReport;
+use lcmm_core::liveness::Schedule;
+use lcmm_core::prefetch::PrefetchPlan;
+use lcmm_core::{Residency, ValueId};
+use lcmm_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Where a tensor lives in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On-chip tensor buffer.
+    OnChip,
+    /// Streams through DRAM tile buffers.
+    OffChip,
+}
+
+/// One row of the footprint timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FootprintRow {
+    /// The tensor.
+    pub value: ValueId,
+    /// Human-readable owner layer name.
+    pub layer: String,
+    /// Residency.
+    pub placement: Placement,
+    /// Wall-clock when the tensor starts existing (feature: producer
+    /// start; weight: prefetch launch or demand stream start).
+    pub from: f64,
+    /// Wall-clock of the tensor's last use.
+    pub to: f64,
+    /// Tensor size in bytes (0 if unknown to the caller).
+    pub bytes: u64,
+}
+
+/// The footprint report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Footprint {
+    /// All rows, ordered by `from`.
+    pub rows: Vec<FootprintRow>,
+}
+
+impl Footprint {
+    /// Builds the footprint of the nodes in `focus` (e.g. one inception
+    /// block) from a simulation report.
+    #[must_use]
+    pub fn build(
+        graph: &Graph,
+        report: &SimReport,
+        residency: &Residency,
+        prefetch: &PrefetchPlan,
+        focus: &[NodeId],
+    ) -> Self {
+        let schedule = Schedule::new(graph);
+        let timing = |pos: usize| report.last_inference.get(pos);
+        let mut rows = Vec::new();
+        for &node in focus {
+            let pos = schedule.position(node);
+            let Some(t) = timing(pos) else { continue };
+            // Feature value: exists from producer start to last reader
+            // end (or producer end when unread within focus).
+            let feature = ValueId::Feature(node);
+            let readers_end = graph
+                .consumers(node)
+                .iter()
+                .map(|&c| timing(schedule.position(c)).map_or(t.end, |rt| rt.end))
+                .fold(t.end, f64::max);
+            rows.push(FootprintRow {
+                value: feature,
+                layer: graph.node(node).name().to_string(),
+                placement: if residency.contains(feature) {
+                    Placement::OnChip
+                } else {
+                    Placement::OffChip
+                },
+                from: t.start,
+                to: readers_end,
+                bytes: graph.node(node).output_shape().elems(),
+            });
+            if graph.node(node).op().has_weights() {
+                let weight = ValueId::Weight(node);
+                let from = prefetch
+                    .edge(weight)
+                    .and_then(|e| timing(e.start).map(|lt| lt.start))
+                    .unwrap_or(t.start);
+                rows.push(FootprintRow {
+                    value: weight,
+                    layer: graph.node(node).name().to_string(),
+                    placement: if residency.contains(weight) {
+                        Placement::OnChip
+                    } else {
+                        Placement::OffChip
+                    },
+                    from,
+                    to: t.end,
+                    bytes: graph.node_weight_elems(node),
+                });
+            }
+        }
+        rows.sort_by(|a, b| a.from.partial_cmp(&b.from).expect("times are finite"));
+        Self { rows }
+    }
+
+    /// Rows currently on chip.
+    #[must_use]
+    pub fn on_chip_rows(&self) -> Vec<&FootprintRow> {
+        self.rows.iter().filter(|r| r.placement == Placement::OnChip).collect()
+    }
+
+    /// Peak simultaneous on-chip bytes over the focus window.
+    #[must_use]
+    pub fn peak_on_chip_bytes(&self) -> u64 {
+        // Sweep over the row endpoints.
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for r in self.on_chip_rows() {
+            events.push((r.from, r.bytes as i64));
+            events.push((r.to, -(r.bytes as i64)));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(b.1.cmp(&a.1)));
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            cur += delta;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as u64
+    }
+}
+
+/// Converts a recorded event log into Chrome trace format (the JSON
+/// consumed by `chrome://tracing` / Perfetto): one track per resource
+/// (array, three DMA channels, prefetch engine).
+///
+/// # Examples
+///
+/// ```
+/// use lcmm_core::Residency;
+/// use lcmm_fpga::{AccelDesign, Device, Precision};
+/// use lcmm_sim::{trace, SimConfig, Simulator};
+///
+/// let graph = lcmm_graph::zoo::alexnet();
+/// let design = AccelDesign::explore(&graph, &Device::vu9p(), Precision::Fix16);
+/// let profile = design.profile(&graph);
+/// let sim = Simulator::new(&graph, &profile);
+/// let report = sim.run(
+///     &Residency::new(),
+///     &SimConfig { record_events: true, ..SimConfig::default() },
+/// );
+/// let json = trace::to_chrome_trace(&graph, &report.events);
+/// assert!(json.starts_with('['));
+/// ```
+#[must_use]
+pub fn to_chrome_trace(graph: &Graph, events: &[crate::SimEvent]) -> String {
+    use crate::{ChannelKind, EventKind};
+    #[derive(Serialize)]
+    struct ChromeEvent<'a> {
+        name: &'a str,
+        cat: &'static str,
+        ph: &'static str,
+        /// Microseconds.
+        ts: f64,
+        dur: f64,
+        pid: u32,
+        tid: u32,
+    }
+    let rows: Vec<ChromeEvent<'_>> = events
+        .iter()
+        .map(|e| {
+            let (cat, tid) = match e.kind {
+                EventKind::Compute => ("compute", 0),
+                EventKind::Transfer(ChannelKind::InputFeature) => ("dma-if", 1),
+                EventKind::Transfer(ChannelKind::Weight) => ("dma-wt", 2),
+                EventKind::Transfer(ChannelKind::OutputFeature) => ("dma-of", 3),
+                EventKind::Prefetch => ("prefetch", 4),
+            };
+            ChromeEvent {
+                name: graph.node(e.node).name(),
+                cat,
+                ph: "X",
+                ts: e.start * 1e6,
+                dur: (e.end - e.start) * 1e6,
+                pid: 1,
+                tid,
+            }
+        })
+        .collect();
+    serde_json::to_string(&rows).expect("chrome events always serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use lcmm_core::pipeline::compare;
+    use lcmm_fpga::{Device, Precision};
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn footprint_rows_cover_focus_block() {
+        let g = zoo::inception_v4();
+        let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = lcmm.design.profile(&g);
+        let sim = Simulator::new(&g, &profile);
+        let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+        let report = sim.run(&lcmm.residency, &config);
+        let focus = g.block_nodes("inception_c1");
+        let fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
+        // Every conv in the block has a feature and a weight row.
+        let convs = focus.iter().filter(|&&n| g.node(n).op().has_weights()).count();
+        assert!(fp.rows.len() >= focus.len() + convs - 2);
+        // Rows are time-ordered.
+        for w in fp.rows.windows(2) {
+            assert!(w[0].from <= w[1].from);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_events() {
+        let g = lcmm_graph::zoo::alexnet();
+        let design = lcmm_fpga::AccelDesign::explore(
+            &g,
+            &lcmm_fpga::Device::vu9p(),
+            lcmm_fpga::Precision::Fix16,
+        );
+        let profile = design.profile(&g);
+        let sim = Simulator::new(&g, &profile);
+        let report = sim.run(
+            &Residency::new(),
+            &SimConfig { record_events: true, ..SimConfig::default() },
+        );
+        let json = to_chrome_trace(&g, &report.events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        let rows = parsed.as_array().expect("array");
+        assert_eq!(rows.len(), report.events.len());
+        for row in rows {
+            assert!(row["dur"].as_f64().expect("dur") >= 0.0);
+            assert_eq!(row["ph"], "X");
+        }
+    }
+
+    #[test]
+    fn lcmm_footprint_has_more_on_chip_rows_than_umm() {
+        let g = zoo::inception_v4();
+        let (umm, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let focus = g.block_nodes("inception_c1");
+
+        let umm_sim = Simulator::new(&g, &umm.profile);
+        let umm_report = umm_sim.run(&Residency::new(), &SimConfig::default());
+        let umm_fp = Footprint::build(
+            &g,
+            &umm_report,
+            &Residency::new(),
+            &PrefetchPlan::default(),
+            &focus,
+        );
+
+        let profile = lcmm.design.profile(&g);
+        let sim = Simulator::new(&g, &profile);
+        let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+        let report = sim.run(&lcmm.residency, &config);
+        let lcmm_fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
+
+        assert_eq!(umm_fp.on_chip_rows().len(), 0, "UMM keeps nothing on chip");
+        assert!(!lcmm_fp.on_chip_rows().is_empty(), "LCMM must keep something on chip");
+        assert!(lcmm_fp.peak_on_chip_bytes() > 0);
+    }
+}

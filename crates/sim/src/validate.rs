@@ -1,0 +1,142 @@
+//! Analytic-model-vs-simulator validation (experiment A3).
+//!
+//! The analytic model assumes perfect per-layer overlap and contention-
+//! free channels; the simulator relaxes both. This module measures the
+//! drift so EXPERIMENTS.md can report how trustworthy the analytic
+//! numbers are.
+
+use crate::engine::{SimConfig, Simulator, WeightClass};
+use lcmm_core::{Evaluator, LcmmResult, Residency, UmmBaseline, ValueId};
+use lcmm_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Analytic and simulated latency for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationPoint {
+    /// Analytic end-to-end latency, seconds.
+    pub analytic: f64,
+    /// Simulated steady-state latency, seconds.
+    pub simulated: f64,
+}
+
+impl ValidationPoint {
+    /// `simulated / analytic` — 1.0 means perfect agreement; values
+    /// above 1 mean the analytic model is optimistic.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.simulated / self.analytic
+    }
+}
+
+/// UMM and LCMM validation for one network/precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Uniform memory management (empty residency).
+    pub umm: ValidationPoint,
+    /// Full LCMM allocation.
+    pub lcmm: ValidationPoint,
+}
+
+/// Derives the per-weight sharing classes from an LCMM result: weights
+/// in multi-member chosen buffers are [`WeightClass::Shared`].
+#[must_use]
+pub fn weight_classes(result: &LcmmResult) -> HashMap<lcmm_graph::NodeId, WeightClass> {
+    let mut classes = HashMap::new();
+    for (buf, &chosen) in result.buffers.iter().zip(&result.chosen) {
+        if !chosen {
+            continue;
+        }
+        let class = if buf.members.len() > 1 {
+            WeightClass::Shared
+        } else {
+            WeightClass::Persistent
+        };
+        for &m in &buf.members {
+            if let ValueId::Weight(n) = m {
+                classes.insert(n, class);
+            }
+        }
+    }
+    classes
+}
+
+/// Simulates an LCMM result with its prefetch plan and sharing classes.
+#[must_use]
+pub fn simulate_lcmm(graph: &Graph, result: &LcmmResult) -> f64 {
+    let profile = result.design.profile(graph);
+    let sim = Simulator::new(graph, &profile);
+    let config = SimConfig {
+        inferences: 2, // steady state after the first pass
+        warm_start: true,
+        weight_classes: weight_classes(result),
+        prefetch: result.prefetch.clone(),
+        record_events: false,
+        pipeline_fill: false,
+    };
+    sim.run(&result.residency, &config).steady_latency
+}
+
+/// Runs the full validation for one UMM/LCMM pair.
+#[must_use]
+pub fn validate(graph: &Graph, umm: &UmmBaseline, lcmm: &LcmmResult) -> ValidationReport {
+    let umm_sim = Simulator::new(graph, &umm.profile)
+        .run(&Residency::new(), &SimConfig::default());
+    let lcmm_profile = lcmm.design.profile(graph);
+    let lcmm_eval = Evaluator::new(graph, &lcmm_profile);
+    ValidationReport {
+        umm: ValidationPoint { analytic: umm.latency, simulated: umm_sim.steady_latency },
+        lcmm: ValidationPoint {
+            analytic: lcmm_eval.total_latency(&lcmm.residency),
+            simulated: simulate_lcmm(graph, lcmm),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_core::pipeline::compare;
+    use lcmm_fpga::{Device, Precision};
+    use lcmm_graph::zoo;
+
+    #[test]
+    fn analytic_model_within_band_of_simulator() {
+        let g = zoo::googlenet();
+        let (umm, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let report = validate(&g, &umm, &lcmm);
+        // The simulator adds contention, so it may only be slower —
+        // but not wildly so.
+        assert!(report.umm.ratio() >= 0.99, "umm ratio {}", report.umm.ratio());
+        assert!(report.umm.ratio() < 1.5, "umm ratio {}", report.umm.ratio());
+        assert!(report.lcmm.ratio() >= 0.99, "lcmm ratio {}", report.lcmm.ratio());
+        assert!(report.lcmm.ratio() < 1.6, "lcmm ratio {}", report.lcmm.ratio());
+    }
+
+    #[test]
+    fn simulated_speedup_preserved() {
+        // The paper's headline must survive simulation: LCMM beats UMM
+        // with contention modelled.
+        let g = zoo::googlenet();
+        let (umm, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let report = validate(&g, &umm, &lcmm);
+        let sim_speedup = report.umm.simulated / report.lcmm.simulated;
+        assert!(sim_speedup > 1.05, "simulated speedup only {sim_speedup}");
+    }
+
+    #[test]
+    fn weight_classes_follow_buffer_sharing() {
+        let g = zoo::resnet152();
+        let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
+        let classes = weight_classes(&lcmm);
+        // There must be at least one shared weight buffer in a network
+        // this deep, and classes only for resident weights.
+        for (node, _) in &classes {
+            assert!(lcmm.residency.contains(ValueId::Weight(*node)));
+        }
+        assert!(
+            classes.values().any(|&c| c == WeightClass::Shared),
+            "expected some shared weight buffers"
+        );
+    }
+}

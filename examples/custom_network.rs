@@ -1,0 +1,73 @@
+//! Bring-your-own-model: build a custom branchy CNN with the graph
+//! builder, characterise it, and let LCMM place its tensors.
+//!
+//! ```text
+//! cargo run --release --example custom_network
+//! ```
+
+use lcmm::fpga::roofline::RooflineReport;
+use lcmm::graph::GraphError;
+use lcmm::prelude::*;
+
+fn main() -> Result<(), GraphError> {
+    // A small detection-style backbone: a strided stem, two residual
+    // units, then a two-branch head joined by concatenation.
+    let mut b = GraphBuilder::new("custom_backbone");
+    let image = b.input(FeatureShape::new(3, 256, 256));
+    b.set_block("stem");
+    let stem = b.conv("stem/conv", image, ConvParams::square(64, 7, 2, 3))?;
+    let pooled = b.max_pool("stem/pool", stem, 3, 2, 1)?;
+
+    b.set_block("res1");
+    let r1a = b.conv("res1/a", pooled, ConvParams::square(64, 3, 1, 1))?;
+    let r1b = b.conv("res1/b", r1a, ConvParams::square(64, 3, 1, 1))?;
+    let r1 = b.eltwise_add("res1/add", &[pooled, r1b])?;
+
+    b.set_block("res2");
+    let r2a = b.conv("res2/a", r1, ConvParams::square(128, 3, 2, 1))?;
+    let r2b = b.conv("res2/b", r2a, ConvParams::square(128, 3, 1, 1))?;
+    let skip = b.conv("res2/skip", r1, ConvParams::square(128, 1, 2, 0))?;
+    let r2 = b.eltwise_add("res2/add", &[skip, r2b])?;
+
+    b.set_block("head");
+    let wide = b.conv("head/wide", r2, ConvParams::rect(256, 1, 7))?;
+    let tall = b.conv("head/tall", r2, ConvParams::rect(256, 7, 1))?;
+    let joined = b.concat("head/join", &[wide, tall])?;
+    let out = b.conv("head/out", joined, ConvParams::pointwise(255))?;
+    let network = b.finish(out)?;
+
+    println!("{network}");
+
+    let device = Device::vu9p();
+    let design = AccelDesign::explore(&network, &device, Precision::Fix8);
+    let roofline = RooflineReport::build(&network, &design);
+    println!(
+        "memory-bound layers: {} of {} ({:.0}%)",
+        roofline.memory_bound_count(),
+        roofline.points.len(),
+        roofline.memory_bound_fraction() * 100.0
+    );
+
+    let umm = UmmBaseline::from_design(&network, design);
+    let lcmm = Pipeline::new(LcmmOptions::default())
+        .run_with_design(&network, umm.design.clone());
+    println!(
+        "UMM {:.3} ms -> LCMM {:.3} ms ({:.2}x)",
+        umm.latency * 1e3,
+        lcmm.latency * 1e3,
+        lcmm.speedup_over(umm.latency)
+    );
+
+    // Show where each tensor ended up.
+    println!("\nresident tensors:");
+    let mut resident: Vec<String> = lcmm
+        .residency
+        .iter()
+        .map(|v| format!("  {:9} {}", format!("{v}"), network.node(v.node()).name()))
+        .collect();
+    resident.sort();
+    for line in resident {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Fig. 2(b) in miniature: sweep every block-level residency choice of
+//! GoogLeNet's nine inception modules and show that more SRAM does not
+//! monotonically mean more performance — then let DNNK find a better
+//! point at tensor granularity.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use lcmm::core::design_space::{inception_blocks, sweep};
+use lcmm::core::value::ValueTable;
+use lcmm::prelude::*;
+
+fn main() {
+    let network = lcmm::graph::zoo::googlenet();
+    let device = Device::vu9p();
+    let precision = Precision::Fix16;
+
+    let umm = UmmBaseline::build(&network, &device, precision);
+    let evaluator = Evaluator::new(&network, &umm.profile);
+    let values = ValueTable::build(&network, &umm.profile, precision);
+
+    let blocks = inception_blocks(&network);
+    println!("sweeping 2^{} = {} block residency choices", blocks.len(), 1 << blocks.len());
+    let space = sweep(&network, &evaluator, &values, &blocks);
+
+    // Bucket by SRAM spend and print the best latency per bucket: the
+    // staircase is visibly non-monotone.
+    let budget = umm.design.tensor_sram_budget();
+    println!("\n  SRAM bucket      best latency   (mask)");
+    for bucket in 0..12 {
+        let lo = bucket * (budget / 10) as u64;
+        let hi = lo + (budget / 10) as u64;
+        let best = space
+            .points
+            .iter()
+            .filter(|p| p.sram_bytes >= lo && p.sram_bytes < hi)
+            .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite"));
+        if let Some(p) = best {
+            println!(
+                "  {:5.1}-{:4.1} MiB   {:8.3} ms    {:#06x}",
+                lo as f64 / (1 << 20) as f64,
+                hi as f64 / (1 << 20) as f64,
+                p.latency * 1e3,
+                p.mask
+            );
+        }
+    }
+
+    let feasible_best = space
+        .feasible(budget)
+        .into_iter()
+        .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("finite"))
+        .expect("nonempty");
+    println!(
+        "\nbest feasible block-level point : {:.3} ms using {:.1} MiB",
+        feasible_best.latency * 1e3,
+        feasible_best.sram_bytes as f64 / (1 << 20) as f64
+    );
+    println!("non-monotone in SRAM spend      : {}", space.is_non_monotone());
+
+    // DNNK at tensor granularity beats the best block-level point.
+    let lcmm = Pipeline::new(LcmmOptions::default())
+        .run_with_design(&network, umm.design.clone());
+    println!(
+        "LCMM (tensor-level DNNK)        : {:.3} ms using {:.1} MiB",
+        lcmm.latency * 1e3,
+        lcmm.allocated_buffer_sizes().iter().sum::<u64>() as f64 / (1 << 20) as f64
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: UMM baseline vs LCMM on GoogLeNet at 16-bit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lcmm::prelude::*;
+
+fn main() {
+    let network = lcmm::graph::zoo::googlenet();
+    let device = Device::vu9p();
+    let precision = Precision::Fix16;
+
+    println!("network : {} ({} layers)", network.name(), network.len());
+    println!("device  : {} ({} DSPs, {:.1} MiB SRAM)",
+        device.name,
+        device.dsp_slices,
+        device.sram_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    // Baseline: the uniform memory management of prior accelerators —
+    // every tensor of every layer streams through DRAM tile buffers.
+    let umm = UmmBaseline::build(&network, &device, precision);
+    println!(
+        "\nUMM  : {:7.3} ms  ({:.3} Tops)",
+        umm.latency * 1e3,
+        umm.throughput_ops() / 1e12
+    );
+
+    // LCMM: liveness-driven feature buffer reuse, weight prefetching,
+    // DNNK knapsack allocation, buffer splitting.
+    let lcmm = Pipeline::new(LcmmOptions::default())
+        .run_with_design(&network, umm.design.clone());
+    println!(
+        "LCMM : {:7.3} ms  ({:.3} Tops)",
+        lcmm.latency * 1e3,
+        lcmm.throughput_ops() / 1e12
+    );
+
+    println!("\nspeedup            : {:.2}x", lcmm.speedup_over(umm.latency));
+    println!("tensors on chip    : {}", lcmm.residency.len());
+    println!("buffers allocated  : {}", lcmm.allocated_buffer_sizes().len());
+    println!(
+        "on-chip bytes      : {:.1} MiB of {:.1} MiB budget",
+        lcmm.allocated_buffer_sizes().iter().sum::<u64>() as f64 / (1 << 20) as f64,
+        lcmm.design.tensor_sram_budget() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "POL (layers helped): {:.0}% of {} memory-bound layers",
+        lcmm.pol() * 100.0,
+        lcmm.memory_bound_layers
+    );
+
+    // Cross-check the analytic result against the event-driven
+    // simulator (shared DMA channels, real prefetch timing).
+    let report = lcmm::sim::validate::validate(&network, &umm, &lcmm);
+    println!(
+        "\nsimulator check    : UMM {:.3} ms (model {:.3}), LCMM {:.3} ms (model {:.3})",
+        report.umm.simulated * 1e3,
+        report.umm.analytic * 1e3,
+        report.lcmm.simulated * 1e3,
+        report.lcmm.analytic * 1e3,
+    );
+}

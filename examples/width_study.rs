@@ -1,0 +1,43 @@
+//! Width study: scale a network's channel counts and watch the machine
+//! balance move — the workload-side counterpart of the precision study.
+//!
+//! ```text
+//! cargo run --release --example width_study
+//! ```
+
+use lcmm::core::pipeline::compare;
+use lcmm::graph::transform::scale_channels;
+use lcmm::graph::GraphError;
+use lcmm::prelude::*;
+
+fn main() -> Result<(), GraphError> {
+    let device = Device::vu9p();
+    let base = lcmm::graph::zoo::googlenet();
+    println!(
+        "{:>8} {:>9} {:>10} {:>10} {:>10} {:>8}",
+        "width", "GMACs", "params M", "UMM ms", "LCMM ms", "speedup"
+    );
+    for (num, den) in [(1usize, 4usize), (1, 2), (3, 4), (1, 1), (3, 2), (2, 1)] {
+        let scaled = scale_channels(&base, num, den)?;
+        let summary = lcmm::graph::analysis::summarize(&scaled);
+        let (umm, lcmm) = compare(&scaled, &device, Precision::Fix16);
+        println!(
+            "{:>7.2}x {:>9.2} {:>10.1} {:>10.3} {:>10.3} {:>7.2}x",
+            num as f64 / den as f64,
+            summary.total_macs as f64 / 1e9,
+            summary.total_weight_elems as f64 / 1e6,
+            umm.latency * 1e3,
+            lcmm.latency * 1e3,
+            lcmm.speedup_over(umm.latency)
+        );
+    }
+    println!(
+        "\nThe advantage is an inverted U peaking at the native width: very narrow\n\
+         variants under-fill the systolic array (ceiling-quantised channel tiles)\n\
+         and turn compute-bound, while very wide variants grow MACs quadratically\n\
+         against linear feature traffic and also turn compute-bound. GoogLeNet's\n\
+         published width sits near the worst case for uniform memory management —\n\
+         exactly where layer-conscious allocation pays most."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # LCMM — Layer Conscious Memory Management for FPGA DNN accelerators
+//!
+//! A from-scratch Rust reproduction of *"Overcoming Data Transfer
+//! Bottlenecks in FPGA-based DNN Accelerators via Layer Conscious
+//! Memory Management"* (Wei, Liang, Cong — DAC 2019), including every
+//! substrate the paper depends on:
+//!
+//! * [`graph`] — DNN computation-graph IR and the model zoo
+//!   (ResNet-50/101/152, GoogLeNet, Inception-v4, VGG-16, AlexNet);
+//! * [`fpga`] — the VU9P device model and the systolic-array
+//!   performance model of Wei et al. (DAC'17), producing the per-layer
+//!   compute/transfer latency tables LCMM optimises;
+//! * [`core`] — the paper's contribution: liveness-driven feature
+//!   buffer reuse, weight prefetching with a prefetch dependence graph,
+//!   the DNNK knapsack allocator with pivot compensation, and buffer
+//!   splitting;
+//! * [`sim`] — a cycle-approximate event-driven simulator that executes
+//!   schedules against shared DMA channels, validating the analytic
+//!   model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcmm::prelude::*;
+//!
+//! let network = lcmm::graph::zoo::googlenet();
+//! let device = Device::vu9p();
+//!
+//! // Baseline: uniform memory management (every tensor through DRAM).
+//! let umm = UmmBaseline::build(&network, &device, Precision::Fix16);
+//!
+//! // LCMM: feature reuse + weight prefetching + DNNK + splitting.
+//! let lcmm = Pipeline::new(LcmmOptions::default())
+//!     .run_with_design(&network, umm.design.clone());
+//!
+//! let speedup = lcmm.speedup_over(umm.latency);
+//! assert!(speedup > 1.0);
+//! println!("GoogLeNet 16-bit: {speedup:.2}x over UMM");
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record, and the `lcmm` binary (`crates/cli`) to
+//! regenerate every table and figure.
+
+#![warn(missing_docs)]
+
+pub use lcmm_core as core;
+pub use lcmm_fpga as fpga;
+pub use lcmm_graph as graph;
+pub use lcmm_sim as sim;
+
+/// The most commonly used types, re-exported for one-line imports.
+pub mod prelude {
+    pub use lcmm_core::{
+        Evaluator, LcmmOptions, LcmmResult, Pipeline, Residency, UmmBaseline, ValueId,
+    };
+    pub use lcmm_fpga::{AccelDesign, Device, Precision};
+    pub use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+    pub use lcmm_sim::{SimConfig, Simulator};
+}

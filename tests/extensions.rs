@@ -1,0 +1,167 @@
+//! Integration coverage of the features this repository adds beyond the
+//! paper's core flow: batching, device scaling, extra networks, the
+//! liveness-aware scheduler, the future-work strategy, and exports.
+
+use lcmm::core::liveness::Schedule;
+use lcmm::core::pipeline::compare;
+use lcmm::core::report::{comparison_record, SuiteReport};
+use lcmm::core::strategies::{tgpa_like, tgpa_plus_lcmm};
+use lcmm::prelude::*;
+
+#[test]
+fn batching_shrinks_the_lcmm_advantage() {
+    let graph = lcmm::graph::zoo::resnet152();
+    let device = Device::vu9p();
+    let speedup_at = |batch: usize| {
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16).with_batch(batch);
+        let umm = UmmBaseline::from_design(&graph, design.clone());
+        let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, design);
+        lcmm.speedup_over(umm.latency)
+    };
+    let s1 = speedup_at(1);
+    let s8 = speedup_at(8);
+    assert!(s1 > 1.0 && s8 > 1.0);
+    assert!(
+        s8 < s1,
+        "weight amortisation should shrink the advantage: batch8 {s8:.2} vs batch1 {s1:.2}"
+    );
+}
+
+#[test]
+fn umm_throughput_rises_with_batch() {
+    let graph = lcmm::graph::zoo::googlenet();
+    let device = Device::vu9p();
+    let tput = |batch: usize| {
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16).with_batch(batch);
+        UmmBaseline::from_design(&graph, design).throughput_ops()
+    };
+    assert!(tput(8) > tput(1));
+}
+
+#[test]
+fn device_scaling_is_monotone() {
+    let graph = lcmm::graph::zoo::googlenet();
+    let speedup_on = |device: &Device| {
+        let (umm, lcmm) = compare(&graph, device, Precision::Fix16);
+        lcmm.speedup_over(umm.latency)
+    };
+    let zu = speedup_on(&Device::zu9eg());
+    let vu9 = speedup_on(&Device::vu9p());
+    let vu13 = speedup_on(&Device::vu13p());
+    assert!(zu >= 1.0, "even the embedded part must not lose: {zu:.2}");
+    assert!(vu13 > vu9, "bigger array, same DRAM => more to recover");
+    assert!(vu9 > zu, "the SRAM-starved part gains least");
+}
+
+#[test]
+fn extra_networks_run_end_to_end() {
+    let device = Device::vu9p();
+    for name in ["densenet121", "squeezenet", "resnet101", "inception_resnet_v2"] {
+        let graph = lcmm::graph::zoo::by_name(name).expect("model exists");
+        let (umm, lcmm) = compare(&graph, &device, Precision::Fix16);
+        assert!(
+            lcmm.latency <= umm.latency,
+            "{name}: LCMM lost ({} vs {})",
+            lcmm.latency,
+            umm.latency
+        );
+    }
+}
+
+#[test]
+fn densenet_exercises_dense_liveness() {
+    // Dense blocks keep every layer's output live to the block end:
+    // the feature interference graph must reflect that (few sharing
+    // opportunities within a block, many across blocks).
+    let graph = lcmm::graph::zoo::densenet121();
+    let device = Device::vu9p();
+    let (_, lcmm) = compare(&graph, &device, Precision::Fix16);
+    assert!(lcmm.residency.len() > 10, "expected a rich allocation");
+}
+
+#[test]
+fn liveness_schedule_valid_on_all_models() {
+    for name in ["alexnet", "squeezenet", "googlenet", "densenet121", "inception_v4"] {
+        let graph = lcmm::graph::zoo::by_name(name).expect("model exists");
+        let schedule = Schedule::minimizing_liveness(&graph);
+        assert!(schedule.is_valid_for(&graph), "{name}");
+    }
+}
+
+#[test]
+fn future_work_strategy_improves_density() {
+    let graph = lcmm::graph::zoo::resnet50();
+    let device = Device::vu9p();
+    let plain = tgpa_like(&graph, &device, Precision::Fix16);
+    let combined = tgpa_plus_lcmm(&graph, &device, Precision::Fix16);
+    assert!(combined.latency <= plain.latency);
+    assert!(combined.perf_density() >= plain.perf_density());
+}
+
+#[test]
+fn suite_report_aggregates() {
+    // Smoke the machine-readable report on a single cheap record plus
+    // the average helper.
+    let device = Device::vu9p();
+    let graph = lcmm::graph::zoo::alexnet();
+    let rec = comparison_record(&graph, &device, Precision::Fix16);
+    let suite = SuiteReport { records: vec![rec.clone(), rec] };
+    assert!((suite.average_speedup() - suite.records[0].speedup).abs() < 1e-12);
+}
+
+#[test]
+fn graph_exports_work_from_facade() {
+    let graph = lcmm::graph::zoo::squeezenet();
+    let dot = graph.to_dot();
+    assert!(dot.contains("fire9/concat"));
+    let json = graph.to_json().expect("serialises");
+    let back = lcmm::graph::Graph::from_json(&json).expect("round trips");
+    assert_eq!(back.total_macs(), graph.total_macs());
+}
+
+#[test]
+fn width_scaling_shifts_machine_balance() {
+    // The width-multiplier transform: conv MACs scale quadratically but
+    // feature bytes only linearly, so narrower networks are more
+    // feature-transfer bound and LCMM still wins at every width.
+    use lcmm::graph::transform::scale_channels;
+    let device = Device::vu9p();
+    let full = lcmm::graph::zoo::googlenet();
+    let half = scale_channels(&full, 1, 2).expect("valid");
+    let (u_full, l_full) = compare(&full, &device, Precision::Fix16);
+    let (u_half, l_half) = compare(&half, &device, Precision::Fix16);
+    assert!(l_full.speedup_over(u_full.latency) > 1.0);
+    assert!(l_half.speedup_over(u_half.latency) > 1.0);
+    // Narrow network is strictly faster in absolute terms.
+    assert!(u_half.latency < u_full.latency);
+}
+
+#[test]
+fn calibration_is_reproducible_from_the_facade() {
+    use lcmm::core::calibrate::fit_access_efficiency;
+    let workloads = vec![(lcmm::graph::zoo::googlenet(), Precision::Fix16)];
+    let device = Device::vu9p();
+    let fit = fit_access_efficiency(&workloads, &device, 1.5, 0.05, 8);
+    assert!(fit.access_efficiency > 0.05 && fit.access_efficiency < 1.0);
+    assert!((fit.achieved_speedup - 1.5).abs() < 0.2, "{fit:?}");
+}
+
+#[test]
+fn energy_accounting_spans_the_suite() {
+    use lcmm::core::energy::{estimate, EnergyModel};
+    let device = Device::vu9p();
+    let model = EnergyModel::default();
+    for graph in lcmm::graph::zoo::benchmark_suite() {
+        let (umm, lcmm_r) = compare(&graph, &device, Precision::Fix16);
+        let umm_eval = Evaluator::new(&graph, &umm.profile);
+        let e_umm = estimate(&umm_eval, &umm.design, &Residency::new(), &model);
+        let profile = lcmm_r.design.profile(&graph);
+        let eval = Evaluator::new(&graph, &profile);
+        let e_lcmm = estimate(&eval, &lcmm_r.design, &lcmm_r.residency, &model);
+        assert!(
+            e_lcmm.total_j() < e_umm.total_j(),
+            "{}: energy must drop",
+            graph.name()
+        );
+    }
+}

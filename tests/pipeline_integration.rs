@@ -1,0 +1,148 @@
+//! Cross-crate integration: the full pipeline on every zoo model, with
+//! structural invariants checked on the outputs.
+
+use lcmm::core::liveness::{feature_lifespans, Schedule};
+use lcmm::core::value::{ValueKind, ValueTable};
+use lcmm::core::pipeline::compare;
+use lcmm::prelude::*;
+
+fn all_models() -> Vec<Graph> {
+    vec![
+        lcmm::graph::zoo::alexnet(),
+        lcmm::graph::zoo::vgg16(),
+        lcmm::graph::zoo::resnet50(),
+        lcmm::graph::zoo::googlenet(),
+        lcmm::graph::zoo::inception_v4(),
+    ]
+}
+
+#[test]
+fn pipeline_runs_on_every_model() {
+    let device = Device::vu9p();
+    for network in all_models() {
+        let (umm, lcmm) = compare(&network, &device, Precision::Fix16);
+        assert!(lcmm.latency > 0.0);
+        assert!(
+            lcmm.latency <= umm.latency + 1e-12,
+            "{}: LCMM worse than UMM",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn residency_only_contains_allocatable_values() {
+    let device = Device::vu9p();
+    for network in [lcmm::graph::zoo::googlenet(), lcmm::graph::zoo::resnet50()] {
+        let (umm, lcmm) = compare(&network, &device, Precision::Fix16);
+        let values = ValueTable::build(&network, &umm.profile, Precision::Fix16);
+        for &v in lcmm.residency.iter() {
+            let tv = values.get(v).expect("resident value exists in table");
+            assert!(tv.allocatable, "{}: {v} is not allocatable", network.name());
+        }
+    }
+}
+
+#[test]
+fn chosen_buffers_fit_budget_and_members_do_not_interfere() {
+    let device = Device::vu9p();
+    let network = lcmm::graph::zoo::inception_v4();
+    let (umm, lcmm) = compare(&network, &device, Precision::Fix16);
+
+    // Budget.
+    let total: u64 = lcmm.allocated_buffer_sizes().iter().sum();
+    assert!(total <= lcmm.design.tensor_sram_budget());
+
+    // Feature members of one buffer must have disjoint lifespans.
+    let values = ValueTable::build(&network, &umm.profile, Precision::Fix16);
+    let schedule = Schedule::new(&network);
+    let spans = feature_lifespans(&schedule, values.iter());
+    for (buf, &chosen) in lcmm.buffers.iter().zip(&lcmm.chosen) {
+        if !chosen {
+            continue;
+        }
+        let feats: Vec<_> = buf
+            .members
+            .iter()
+            .filter(|m| m.kind() == ValueKind::Feature)
+            .collect();
+        for (i, &&a) in feats.iter().enumerate() {
+            for &&b in &feats[i + 1..] {
+                assert!(
+                    !spans[&a].overlaps(&spans[&b]),
+                    "buffer shares overlapping features {a} and {b}"
+                );
+            }
+        }
+        // Buffer size covers every member.
+        for &m in &buf.members {
+            assert!(values.get(m).expect("member exists").bytes <= buf.bytes);
+        }
+    }
+}
+
+#[test]
+fn weight_shares_follow_prefetch_spans() {
+    let device = Device::vu9p();
+    let network = lcmm::graph::zoo::resnet152();
+    let (_, lcmm) = compare(&network, &device, Precision::Fix16);
+    for (buf, &chosen) in lcmm.buffers.iter().zip(&lcmm.chosen) {
+        if !chosen {
+            continue;
+        }
+        let weights: Vec<_> = buf
+            .members
+            .iter()
+            .filter(|m| m.kind() == ValueKind::Weight)
+            .collect();
+        for (i, &&a) in weights.iter().enumerate() {
+            for &&b in &weights[i + 1..] {
+                let ea = lcmm.prefetch.edge(a).expect("resident weight has an edge");
+                let eb = lcmm.prefetch.edge(b).expect("resident weight has an edge");
+                assert!(
+                    !ea.interval().overlaps(&eb.interval()),
+                    "shared weight buffer with overlapping prefetch spans: {a} {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linear_networks_also_benefit() {
+    // AlexNet/VGG have the classic FC weight wall; LCMM should at least
+    // recover some of it even though the paper targets branchy nets.
+    let device = Device::vu9p();
+    for network in [lcmm::graph::zoo::alexnet(), lcmm::graph::zoo::vgg16()] {
+        let (umm, lcmm) = compare(&network, &device, Precision::Fix16);
+        assert!(
+            lcmm.latency < umm.latency,
+            "{}: no benefit on a linear network",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let device = Device::vu9p();
+    let network = lcmm::graph::zoo::googlenet();
+    let (_, a) = compare(&network, &device, Precision::Fix16);
+    let (_, b) = compare(&network, &device, Precision::Fix16);
+    assert_eq!(a.latency.to_bits(), b.latency.to_bits(), "nondeterministic pipeline");
+    assert_eq!(a.chosen, b.chosen);
+}
+
+#[test]
+fn facade_prelude_compiles_and_works() {
+    // Exercise the re-exports end to end at a smaller scale.
+    let mut b = GraphBuilder::new("prelude_net");
+    let x = b.input(FeatureShape::new(8, 16, 16));
+    let c = b.conv("c", x, ConvParams::square(16, 3, 1, 1)).expect("valid");
+    let network = b.finish(c).expect("valid");
+    let design = AccelDesign::explore(&network, &Device::vu9p(), Precision::Fix8);
+    let profile = design.profile(&network);
+    let sim = Simulator::new(&network, &profile);
+    let report = sim.run(&Residency::new(), &SimConfig::default());
+    assert!(report.total_latency > 0.0);
+}

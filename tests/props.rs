@@ -1,0 +1,225 @@
+//! Property-based tests over randomly generated (but always valid)
+//! computation graphs: the invariants that every pass of the stack must
+//! preserve regardless of topology.
+
+use lcmm::core::alloc::{dnnk, exhaustive, greedy, AllocProblem};
+use lcmm::core::interference::{InterferenceGraph, VirtualBuffer};
+use lcmm::core::liveness::{feature_lifespans, LiveInterval, Schedule};
+use lcmm::core::prefetch::PrefetchPlan;
+use lcmm::core::value::{ValueKind, ValueTable};
+use lcmm::prelude::*;
+use proptest::prelude::*;
+
+/// One randomly chosen construction step.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Extend the chain with a conv (channels, kernel selector).
+    Conv(u8, u8),
+    /// Max-pool 2x2/2 if the spatial extent allows.
+    Pool,
+    /// Fork into two stride-1 convs and concat them.
+    Fork(u8, u8),
+    /// Residual: same-shape conv + eltwise add.
+    Residual,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u8..48, 0u8..3).prop_map(|(c, k)| Step::Conv(c, k)),
+        Just(Step::Pool),
+        (1u8..24, 1u8..24).prop_map(|(a, b)| Step::Fork(a, b)),
+        Just(Step::Residual),
+    ]
+}
+
+fn kernel_of(sel: u8) -> (usize, usize) {
+    match sel % 3 {
+        0 => (1, 0),
+        1 => (3, 1),
+        _ => (5, 2),
+    }
+}
+
+/// Builds a valid graph from a step list; invalid steps are skipped.
+fn build_graph(steps: &[Step]) -> Graph {
+    let mut b = GraphBuilder::new("random");
+    let mut cur = b.input(FeatureShape::new(8, 16, 16));
+    let mut idx = 0usize;
+    for step in steps {
+        idx += 1;
+        let shape = b.shape(cur).expect("current node exists");
+        match *step {
+            Step::Conv(c, k) => {
+                let (kernel, pad) = kernel_of(k);
+                let p = ConvParams::square(c as usize, kernel, 1, pad);
+                cur = b.conv(format!("conv{idx}"), cur, p).expect("same-pad conv is valid");
+            }
+            Step::Pool => {
+                if shape.height >= 4 {
+                    cur = b.max_pool(format!("pool{idx}"), cur, 2, 2, 0).expect("valid pool");
+                }
+            }
+            Step::Fork(ca, cb) => {
+                let pa = ConvParams::square(ca as usize, 3, 1, 1);
+                let pb = ConvParams::pointwise(cb as usize);
+                let left = b.conv(format!("fork{idx}l"), cur, pa).expect("valid");
+                let right = b.conv(format!("fork{idx}r"), cur, pb).expect("valid");
+                cur = b.concat(format!("fork{idx}cat"), &[left, right]).expect("same spatial");
+            }
+            Step::Residual => {
+                let p = ConvParams::square(shape.channels, 3, 1, 1);
+                let conv = b.conv(format!("res{idx}"), cur, p).expect("valid");
+                cur = b.eltwise_add(format!("res{idx}add"), &[cur, conv]).expect("same shape");
+            }
+        }
+    }
+    b.finish(cur).expect("constructed graphs are acyclic")
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(arb_step(), 1..14).prop_map(|steps| build_graph(&steps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Topological order respects every edge, covers every node.
+    #[test]
+    fn topo_order_is_valid(graph in arb_graph()) {
+        let order = graph.topo_order();
+        prop_assert_eq!(order.len(), graph.len());
+        let mut pos = vec![usize::MAX; graph.len()];
+        for (rank, id) in order.iter().enumerate() {
+            pos[id.index()] = rank;
+        }
+        for node in graph.iter() {
+            for &input in node.inputs() {
+                prop_assert!(pos[input.index()] < pos[node.id().index()]);
+            }
+        }
+    }
+
+    /// Schedule positions are a bijection.
+    #[test]
+    fn schedule_is_bijective(graph in arb_graph()) {
+        let schedule = Schedule::new(&graph);
+        for rank in 0..schedule.len() {
+            prop_assert_eq!(schedule.position(schedule.at(rank)), rank);
+        }
+    }
+
+    /// Coloring never co-locates interfering values and never uses more
+    /// bytes than not sharing at all.
+    #[test]
+    fn coloring_invariants(graph in arb_graph()) {
+        let device = Device::vu9p();
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+        let profile = design.profile(&graph);
+        let values = ValueTable::build(&graph, &profile, Precision::Fix16);
+        let schedule = Schedule::new(&graph);
+        let spans = feature_lifespans(&schedule, values.iter());
+        let items: Vec<(lcmm::core::ValueId, u64, LiveInterval)> = values
+            .iter()
+            .filter(|v| v.id.kind() == ValueKind::Feature && v.allocatable)
+            .map(|v| (v.id, v.bytes, spans[&v.id]))
+            .collect();
+        let no_sharing: u64 = items.iter().map(|(_, b, _)| *b).sum();
+        let ig = InterferenceGraph::new(items);
+        let buffers = ig.color();
+        let shared: u64 = buffers.iter().map(|b| b.bytes).sum();
+        prop_assert!(shared <= no_sharing);
+        for buf in &buffers {
+            for (i, &a) in buf.members.iter().enumerate() {
+                for &b in &buf.members[i + 1..] {
+                    prop_assert!(!ig.interferes(a, b), "{} and {} share a buffer", a, b);
+                }
+            }
+        }
+    }
+
+    /// Adding residency never increases total latency (Eq. 1 is a max
+    /// of non-negative terms; residency only removes terms).
+    #[test]
+    fn residency_is_monotone(graph in arb_graph(), picks in prop::collection::vec(any::<prop::sample::Index>(), 1..8)) {
+        let device = Device::vu9p();
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+        let profile = design.profile(&graph);
+        let evaluator = Evaluator::new(&graph, &profile);
+        let values = ValueTable::build(&graph, &profile, Precision::Fix16);
+        let all: Vec<_> = values.iter().filter(|v| v.allocatable).map(|v| v.id).collect();
+        prop_assume!(!all.is_empty());
+        let mut residency = Residency::new();
+        let mut last = evaluator.total_latency(&residency);
+        for pick in picks {
+            residency.insert(*pick.get(&all));
+            let now = evaluator.total_latency(&residency);
+            prop_assert!(now <= last + 1e-12);
+            last = now;
+        }
+    }
+
+    /// DNNK always fits the budget and never loses to the empty
+    /// allocation; on small instances it is close to exhaustive.
+    #[test]
+    fn allocators_are_sound(graph in arb_graph(), budget_mb in 1u64..24) {
+        let device = Device::vu9p();
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+        let profile = design.profile(&graph);
+        let evaluator = Evaluator::new(&graph, &profile);
+        let values = ValueTable::build(&graph, &profile, Precision::Fix16);
+        // Singleton buffers over all allocatable values, capped so the
+        // exhaustive allocator stays feasible.
+        let buffers: Vec<VirtualBuffer> = values
+            .iter()
+            .filter(|v| v.allocatable && v.bytes > 0)
+            .take(12)
+            .map(|v| VirtualBuffer { members: vec![v.id], bytes: v.bytes })
+            .collect();
+        prop_assume!(!buffers.is_empty());
+        let budget = budget_mb << 20;
+        let plan = PrefetchPlan::default();
+        let problem = AllocProblem::new(&evaluator, &buffers, budget, &plan);
+
+        let empty_latency = problem.latency_of(&vec![false; buffers.len()]);
+        for allocate in [dnnk::allocate, greedy::allocate] {
+            let out = allocate(&problem);
+            prop_assert!(out.bytes <= budget);
+            prop_assert!(out.latency <= empty_latency + 1e-12);
+        }
+        let exact = exhaustive::allocate(&problem);
+        let dn = dnnk::allocate(&problem);
+        prop_assert!(exact.latency <= dn.latency + 1e-12);
+        let exact_gain = empty_latency - exact.latency;
+        let dnnk_gain = empty_latency - dn.latency;
+        prop_assert!(dnnk_gain >= 0.6 * exact_gain - 1e-12,
+            "dnnk gain {} far below exact {}", dnnk_gain, exact_gain);
+    }
+
+    /// The simulator is never faster than the analytic model under UMM
+    /// (it adds queueing, removes nothing).
+    #[test]
+    fn sim_at_least_analytic(graph in arb_graph()) {
+        let device = Device::vu9p();
+        let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+        let profile = design.profile(&graph);
+        let sim = Simulator::new(&graph, &profile);
+        let report = sim.run(&Residency::new(), &SimConfig::default());
+        prop_assert!(report.total_latency >= profile.total_latency() - 1e-12);
+    }
+
+    /// The full pipeline never loses to UMM on any random graph.
+    #[test]
+    fn pipeline_never_loses(graph in arb_graph()) {
+        let device = Device::vu9p();
+        let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
+        let lcmm = Pipeline::new(LcmmOptions::default())
+            .run_with_design(&graph, umm.design.clone());
+        // Note: the LCMM design is clocked lower (180 vs 190 MHz), so
+        // "never loses" is a real statement about recovered transfers,
+        // not an artefact. Compare against the UMM latency re-evaluated
+        // at the LCMM clock to isolate the memory effect...
+        let lcmm_profile = lcmm.design.profile(&graph);
+        let umm_at_lcmm_clock: f64 = lcmm_profile.total_latency();
+        prop_assert!(lcmm.latency <= umm_at_lcmm_clock + 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment A3: analytic model vs event-driven simulator, across the
+//! benchmark suite and all precisions.
+
+use lcmm::core::pipeline::compare;
+use lcmm::prelude::*;
+use lcmm::sim::validate::validate;
+
+#[test]
+fn model_within_band_across_suite() {
+    let device = Device::vu9p();
+    for network in lcmm::graph::zoo::benchmark_suite() {
+        for precision in Precision::ALL {
+            let (umm, lcmm) = compare(&network, &device, precision);
+            let report = validate(&network, &umm, &lcmm);
+            // The simulator adds channel queueing and real prefetch
+            // timing: it can only be slower than the analytic model,
+            // and should stay within ~50%.
+            for (label, point) in [("umm", report.umm), ("lcmm", report.lcmm)] {
+                let r = point.ratio();
+                assert!(
+                    (0.99..1.5).contains(&r),
+                    "{} {} {label}: sim/model = {r:.3}",
+                    network.name(),
+                    precision
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_speedups_hold() {
+    let device = Device::vu9p();
+    for network in lcmm::graph::zoo::benchmark_suite() {
+        let (umm, lcmm) = compare(&network, &device, Precision::Fix16);
+        let report = validate(&network, &umm, &lcmm);
+        let sim_speedup = report.umm.simulated / report.lcmm.simulated;
+        let model_speedup = lcmm.speedup_over(umm.latency);
+        assert!(
+            sim_speedup > 1.0,
+            "{}: simulated speedup {sim_speedup:.2} lost",
+            network.name()
+        );
+        // The simulator should confirm the model's story to within a
+        // third of the claimed gain.
+        assert!(
+            (sim_speedup - model_speedup).abs() / model_speedup < 0.35,
+            "{}: sim {sim_speedup:.2} vs model {model_speedup:.2}",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn prefetch_stalls_are_bounded() {
+    // Even with shared weight buffers re-prefetched every inference,
+    // stalls should be a small fraction of total time.
+    let device = Device::vu9p();
+    let network = lcmm::graph::zoo::resnet152();
+    let (_, lcmm) = compare(&network, &device, Precision::Fix16);
+    let profile = lcmm.design.profile(&network);
+    let sim = Simulator::new(&network, &profile);
+    let config = SimConfig {
+        inferences: 2,
+        weight_classes: lcmm::sim::validate::weight_classes(&lcmm),
+        prefetch: lcmm.prefetch.clone(),
+        ..SimConfig::default()
+    };
+    let report = sim.run(&lcmm.residency, &config);
+    assert!(
+        report.prefetch_stall < 0.25 * report.total_latency,
+        "prefetch stalls {} vs total {}",
+        report.prefetch_stall,
+        report.total_latency
+    );
+}
