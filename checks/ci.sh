@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repo root:
+#
+#   ./checks/ci.sh          # format + lints + tier-1 build/test
+#   ./checks/ci.sh --quick  # skip the release build (debug test only)
+#
+# Everything runs offline against the vendored crates; no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=false
+[[ "${1:-}" == "--quick" ]] && quick=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if $quick; then
+  echo "==> cargo test (debug)"
+  cargo test --offline --workspace -q
+else
+  echo "==> tier-1: cargo build --release && cargo test -q"
+  cargo build --offline --release
+  cargo test --offline -q
+fi
+
+echo "==> determinism: report output must be byte-identical across --jobs"
+bin=target/debug/lcmm
+[[ -x "$bin" ]] || cargo build --offline -p lcmm-cli
+for cmd in summary table1 fig8; do
+  "$bin" "$cmd" --jobs 1 >/tmp/ci_j1.out 2>/dev/null
+  "$bin" "$cmd" --jobs 4 >/tmp/ci_j4.out 2>/dev/null
+  if ! cmp -s /tmp/ci_j1.out /tmp/ci_j4.out; then
+    echo "FAIL: '$cmd' output differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+  fi
+done
+
+echo "CI green."

@@ -12,8 +12,13 @@ use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
 fn small_graph() -> Graph {
     let mut b = GraphBuilder::new("alloc_bench");
     let mut cur = b.input(FeatureShape::new(512, 7, 7));
-    for (i, out) in [512usize, 640, 768, 512, 640, 768, 896, 512].iter().enumerate() {
-        cur = b.conv(format!("c{i}"), cur, ConvParams::pointwise(*out)).expect("valid");
+    for (i, out) in [512usize, 640, 768, 512, 640, 768, 896, 512]
+        .iter()
+        .enumerate()
+    {
+        cur = b
+            .conv(format!("c{i}"), cur, ConvParams::pointwise(*out))
+            .expect("valid");
     }
     b.finish(cur).expect("valid")
 }
@@ -97,8 +102,7 @@ fn bench(c: &mut Criterion) {
             bytes: big.node_weight_elems(n.id()) * 2,
         })
         .collect();
-    let big_problem =
-        AllocProblem::new(&big_eval, &big_buffers, 30 << 20, &plan);
+    let big_problem = AllocProblem::new(&big_eval, &big_buffers, 30 << 20, &plan);
     c.bench_function("alloc/dnnk_149_buffers_inception_v4", |b| {
         b.iter(|| black_box(dnnk::allocate(&big_problem)))
     });

@@ -63,7 +63,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(evaluator.total_latency(&residency)))
     });
     c.bench_function("algo/gain_of_one_value", |b| {
-        let target = [ValueId::Weight(graph.node_by_name("inception_b1/1x1").unwrap().id())];
+        let target = [ValueId::Weight(
+            graph.node_by_name("inception_b1/1x1").unwrap().id(),
+        )];
         b.iter(|| black_box(evaluator.gain_of(&residency, &target)))
     });
     c.bench_function("algo/schedule_minimizing_liveness", |b| {
@@ -83,10 +85,7 @@ fn bench(c: &mut Criterion) {
         let model = lcmm_core::energy::EnergyModel::default();
         b.iter(|| {
             black_box(lcmm_core::energy::estimate(
-                &evaluator,
-                &design,
-                &residency,
-                &model,
+                &evaluator, &design, &residency, &model,
             ))
         })
     });

@@ -16,9 +16,18 @@ fn bench(c: &mut Criterion) {
 
     // Print the figure's punchline once.
     let lcmm_profile = lcmm.design.profile(&graph);
-    let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+    let config = SimConfig {
+        prefetch: lcmm.prefetch.clone(),
+        ..SimConfig::default()
+    };
     let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
-    let fp = Footprint::build(&graph, &lcmm_report, &lcmm.residency, &lcmm.prefetch, &focus);
+    let fp = Footprint::build(
+        &graph,
+        &lcmm_report,
+        &lcmm.residency,
+        &lcmm.prefetch,
+        &focus,
+    );
     println!(
         "[fig3] inception_c1: LCMM keeps {} of {} tensors on chip (UMM: 0); peak {:.0} KiB",
         fp.on_chip_rows().len(),

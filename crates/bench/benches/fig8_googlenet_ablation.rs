@@ -47,9 +47,7 @@ fn bench(c: &mut Criterion) {
         ("full_lcmm", LcmmOptions::default()),
     ] {
         group.bench_with_input(BenchmarkId::new("pipeline", name), &opts, |b, o| {
-            b.iter(|| {
-                black_box(Pipeline::new(*o).run_with_design(&graph, umm.design.clone()))
-            })
+            b.iter(|| black_box(Pipeline::new(*o).run_with_design(&graph, umm.design.clone())))
         });
     }
     group.finish();

@@ -33,8 +33,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table2/lcmm_pipeline_resnet152_16bit", |b| {
         b.iter(|| {
             black_box(
-                Pipeline::new(LcmmOptions::default())
-                    .run_with_design(&graph, umm.design.clone()),
+                Pipeline::new(LcmmOptions::default()).run_with_design(&graph, umm.design.clone()),
             )
         })
     });

@@ -17,7 +17,10 @@
 //! lcmm all                         everything above, in order
 //! ```
 //!
-//! Options: `--model <name>`, `--precision <8|16|32>` where relevant.
+//! Options: `--model <name>`, `--precision <8|16|32>` where relevant;
+//! `--jobs <N>` sizes the parallel evaluation harness (output is
+//! byte-identical for any `N`) and `--profile` dumps per-pass
+//! timing/counter JSON on stderr.
 
 mod opts;
 mod report;
@@ -38,33 +41,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // One shared harness per invocation: the grid reports fan out over
+    // `--jobs` threads and share memoized designs/profiles/results.
+    let harness = lcmm_core::Harness::new(opts.jobs());
     let result = match command.as_str() {
         "roofline" => report::fig2a::run(&opts),
         "design-space" => report::fig2b::run(&opts),
         "footprint" => report::fig3::run(&opts),
-        "table1" => report::table1::run(&opts),
-        "table2" => report::table2::run(&opts),
-        "table3" => report::table3::run(&opts),
+        "table1" => report::table1::run(&opts, &harness),
+        "table2" => report::table2::run(&opts, &harness),
+        "table3" => report::table3::run(&opts, &harness),
         "fig7" => report::fig7::run(&opts),
-        "fig8" => report::fig8::run(&opts),
+        "fig8" => report::fig8::run(&opts, &harness),
         "validate" => report::validate::run(&opts),
         "ablation" => report::ablation::run(&opts),
-        "sensitivity" => report::sensitivity::run_bandwidth(&opts),
-        "batch-study" => report::sensitivity::run_batch(&opts),
-        "devices" => report::sensitivity::run_devices(&opts),
-        "granular" => report::sensitivity::run_granular(&opts),
+        "sensitivity" => report::sensitivity::run_bandwidth(&opts, &harness),
+        "batch-study" => report::sensitivity::run_batch(&opts, &harness),
+        "devices" => report::sensitivity::run_devices(&opts, &harness),
+        "granular" => report::sensitivity::run_granular(&opts, &harness),
         "energy" => report::energy_cmd::run(&opts),
         "calibrate" => report::calibrate_cmd::run(&opts),
-        "summary" => report::summary::run(&opts),
+        "summary" => report::summary::run(&opts, &harness),
         "export" => report::export::run(&opts),
         "manifest" => report::manifest_cmd::run(&opts),
         "trace" => report::trace_cmd::run(&opts),
-        "all" => report::all(&opts),
+        "all" => report::all(&opts, &harness),
         _ => {
             eprintln!("error: unknown command {command:?}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.profile {
+        // Stderr, so `--json` stdout stays byte-identical with and
+        // without profiling.
+        match serde_json::to_string_pretty(&harness.profile_report()) {
+            Ok(json) => eprintln!("{json}"),
+            Err(e) => eprintln!("error: profile report failed to serialise: {e}"),
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -75,6 +89,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: lcmm <command> [--model <name>] [--precision <8|16|32>]
+                    [--jobs <N>] [--profile] [--json]
+
+options:
+  --model <name>       restrict grid reports to one model
+  --precision <8|16|32> restrict grid reports to one precision
+  --jobs <N>           harness worker threads (default: all cores);
+                       output is byte-identical for any N
+  --profile            per-pass timing/counter JSON on stderr
+  --json               machine-readable output where supported
 
 commands:
   roofline      Fig. 2(a)  per-layer roofline characterisation

@@ -14,6 +14,10 @@ pub struct Opts {
     pub block: Option<String>,
     /// `--json` — emit machine-readable output where supported.
     pub json: bool,
+    /// `--jobs <N>` — harness worker threads (default: all cores).
+    pub jobs: Option<usize>,
+    /// `--profile` — per-pass timing/counter JSON on stderr.
+    pub profile: bool,
 }
 
 impl Opts {
@@ -24,8 +28,7 @@ impl Opts {
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--model" => {
-                    opts.model =
-                        Some(it.next().ok_or("--model needs a value")?.clone());
+                    opts.model = Some(it.next().ok_or("--model needs a value")?.clone());
                 }
                 "--precision" => {
                     let v = it.next().ok_or("--precision needs a value")?;
@@ -37,10 +40,20 @@ impl Opts {
                     });
                 }
                 "--block" => {
-                    opts.block =
-                        Some(it.next().ok_or("--block needs a value")?.clone());
+                    opts.block = Some(it.next().ok_or("--block needs a value")?.clone());
                 }
                 "--json" => opts.json = true,
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--jobs needs a positive integer, got {v:?}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    opts.jobs = Some(n);
+                }
+                "--profile" => opts.profile = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -57,6 +70,32 @@ impl Opts {
     pub fn precision_or(&self, default: Precision) -> Precision {
         self.precision.unwrap_or(default)
     }
+
+    /// Resolves `--jobs`, defaulting to the machine's core count.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    }
+
+    /// The models to report on: `--model` or the whole benchmark suite.
+    pub fn models_or_suite(&self) -> Result<Vec<lcmm_graph::Graph>, String> {
+        match &self.model {
+            Some(name) => {
+                Ok(vec![lcmm_graph::zoo::by_name(name)
+                    .ok_or_else(|| format!("unknown model {name:?}"))?])
+            }
+            None => Ok(lcmm_graph::zoo::benchmark_suite()),
+        }
+    }
+
+    /// The precisions to report on: `--precision` or all three.
+    pub fn precisions_or_all(&self) -> Vec<Precision> {
+        match self.precision {
+            Some(p) => vec![p],
+            None => Precision::ALL.to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -69,10 +108,23 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let o = Opts::parse(&s(&["--model", "googlenet", "--precision", "8", "--json"])).unwrap();
+        let o = Opts::parse(&s(&[
+            "--model",
+            "googlenet",
+            "--precision",
+            "8",
+            "--json",
+            "--jobs",
+            "3",
+            "--profile",
+        ]))
+        .unwrap();
         assert_eq!(o.model.as_deref(), Some("googlenet"));
         assert_eq!(o.precision, Some(Precision::Fix8));
         assert!(o.json);
+        assert_eq!(o.jobs, Some(3));
+        assert_eq!(o.jobs(), 3);
+        assert!(o.profile);
     }
 
     #[test]
@@ -80,6 +132,15 @@ mod tests {
         assert!(Opts::parse(&s(&["--frob"])).is_err());
         assert!(Opts::parse(&s(&["--precision", "7"])).is_err());
         assert!(Opts::parse(&s(&["--model"])).is_err());
+        assert!(Opts::parse(&s(&["--jobs"])).is_err());
+        assert!(Opts::parse(&s(&["--jobs", "0"])).is_err());
+        assert!(Opts::parse(&s(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_cores() {
+        let o = Opts::default();
+        assert!(o.jobs() >= 1);
     }
 
     #[test]

@@ -10,20 +10,25 @@ use lcmm_fpga::{Device, Precision};
 pub fn run(opts: &Opts) -> Result<(), String> {
     let device = Device::vu9p();
     let models = match &opts.model {
-        Some(name) => vec![lcmm_graph::zoo::by_name(name)
-            .ok_or_else(|| format!("unknown model {name:?}"))?],
+        Some(name) => {
+            vec![lcmm_graph::zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?]
+        }
         None => lcmm_graph::zoo::benchmark_suite(),
     };
     let precision = opts.precision_or(Precision::Fix16);
 
     println!("--- A1: allocator choice ({precision}) ---\n");
     let mut table = Table::new([
-        "benchmark", "UMM ms", "DNNK ms", "DNNK-iter ms", "greedy ms", "greedy vs DNNK",
+        "benchmark",
+        "UMM ms",
+        "DNNK ms",
+        "DNNK-iter ms",
+        "greedy ms",
+        "greedy vs DNNK",
     ]);
     for graph in &models {
         let umm = UmmBaseline::build(graph, &device, precision);
-        let dnnk = Pipeline::new(LcmmOptions::default())
-            .run_with_design(graph, umm.design.clone());
+        let dnnk = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
         let iterated = Pipeline::new(LcmmOptions {
             allocator: AllocatorKind::DnnkIterative,
             ..LcmmOptions::default()
@@ -49,8 +54,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let mut table = Table::new(["benchmark", "no split ms", "split ms", "gain", "iterations"]);
     for graph in &models {
         let umm = UmmBaseline::build(graph, &device, precision);
-        let with = Pipeline::new(LcmmOptions::default())
-            .run_with_design(graph, umm.design.clone());
+        let with = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
         let without = Pipeline::new(LcmmOptions {
             splitting: false,
             ..LcmmOptions::default()

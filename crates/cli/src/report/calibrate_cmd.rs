@@ -30,7 +30,10 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         "\nfitted efficiency : {:.3}   (repository default: 0.21)",
         fit.access_efficiency
     );
-    println!("achieved speedup  : {:.3}x (target {target}x)", fit.achieved_speedup);
+    println!(
+        "achieved speedup  : {:.3}x (target {target}x)",
+        fit.achieved_speedup
+    );
     println!("iterations        : {}", fit.iterations);
     println!(
         "\nThis is the procedure behind DESIGN.md's calibration record: one knob,\n\

@@ -19,7 +19,14 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let model = EnergyModel::default();
     println!("energy per inference ({precision}), mJ:\n");
     let mut table = Table::new([
-        "benchmark", "design", "compute", "DRAM", "SRAM", "static", "total", "saving",
+        "benchmark",
+        "design",
+        "compute",
+        "DRAM",
+        "SRAM",
+        "static",
+        "total",
+        "saving",
     ]);
     for graph in lcmm_graph::zoo::benchmark_suite() {
         let (umm, lcmm) = compare(&graph, &device, precision);
@@ -29,7 +36,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         let lcmm_eval = Evaluator::new(&graph, &lcmm_profile);
         let e_lcmm = estimate(&lcmm_eval, &lcmm.design, &lcmm.residency, &model);
         table.row([
-            format!("{}", graph.name()),
+            graph.name().to_string(),
             "UMM".to_string(),
             mj(e_umm.compute_j),
             mj(e_umm.dram_j),

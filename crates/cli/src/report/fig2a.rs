@@ -2,8 +2,8 @@
 
 use crate::opts::Opts;
 use crate::table::{pct, Table};
-use lcmm_fpga::{AccelDesign, Boundedness, Device, Precision};
 use lcmm_fpga::roofline::RooflineReport;
+use lcmm_fpga::{AccelDesign, Boundedness, Device, Precision};
 
 /// Prints the roofline points and the memory-boundedness summary.
 pub fn run(opts: &Opts) -> Result<(), String> {

@@ -14,7 +14,10 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let graph = opts.model_or("inception_v4")?;
     let precision = opts.precision_or(Precision::Fix16);
     let device = Device::vu9p();
-    let block = opts.block.clone().unwrap_or_else(|| "inception_c1".to_string());
+    let block = opts
+        .block
+        .clone()
+        .unwrap_or_else(|| "inception_c1".to_string());
     let focus = graph.block_nodes(&block);
     if focus.is_empty() {
         return Err(format!(
@@ -37,12 +40,24 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     );
 
     let lcmm_profile = lcmm.design.profile(&graph);
-    let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+    let config = SimConfig {
+        prefetch: lcmm.prefetch.clone(),
+        ..SimConfig::default()
+    };
     let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
-    let lcmm_fp = Footprint::build(&graph, &lcmm_report, &lcmm.residency, &lcmm.prefetch, &focus);
+    let lcmm_fp = Footprint::build(
+        &graph,
+        &lcmm_report,
+        &lcmm.residency,
+        &lcmm.prefetch,
+        &focus,
+    );
 
     for (title, fp) in [("UMM", &umm_fp), ("LCMM", &lcmm_fp)] {
-        println!("\n--- {title} footprint of {block} ({} {precision}) ---", graph.name());
+        println!(
+            "\n--- {title} footprint of {block} ({} {precision}) ---",
+            graph.name()
+        );
         let mut table = Table::new(["tensor", "placement", "from us", "to us", "KiB"]);
         for row in &fp.rows {
             table.row([

@@ -19,7 +19,10 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let graph = opts.model_or("inception_v4")?;
     let precision = opts.precision_or(Precision::Fix16);
     let device = Device::vu9p();
-    let block = opts.block.clone().unwrap_or_else(|| "inception_c1".to_string());
+    let block = opts
+        .block
+        .clone()
+        .unwrap_or_else(|| "inception_c1".to_string());
     let focus = graph.block_nodes(&block);
     if focus.is_empty() {
         return Err(format!(
@@ -119,7 +122,11 @@ pub fn run(opts: &Opts) -> Result<(), String> {
             start.to_string(),
             end.to_string(),
             buf.members.len().to_string(),
-            if chosen { "yes".to_string() } else { "spilled".to_string() },
+            if chosen {
+                "yes".to_string()
+            } else {
+                "spilled".to_string()
+            },
         ]);
     }
     buf_table.print();

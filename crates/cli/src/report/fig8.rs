@@ -3,26 +3,30 @@
 use crate::opts::Opts;
 use crate::table::Table;
 use lcmm_core::pipeline::{block_latency, block_ops};
-use lcmm_core::{Evaluator, LcmmOptions, Pipeline, Residency, UmmBaseline};
+use lcmm_core::{Evaluator, Harness, LcmmOptions};
 use lcmm_fpga::{Device, Precision};
 
 /// Prints per-inception-block throughput for UMM, feature-reuse-only,
 /// weight-prefetch-only and full LCMM (Fig. 8 (a), (b), (c)).
-pub fn run(opts: &Opts) -> Result<(), String> {
+///
+/// The three ablation variants run through the shared harness in
+/// parallel and derate to the *same* design, so its latency table is
+/// profiled once and shared — previously every per-block row re-ran
+/// `design.profile(graph)` per variant.
+pub fn run(opts: &Opts, harness: &Harness) -> Result<(), String> {
     let graph = opts.model_or("googlenet")?;
     let precision = opts.precision_or(Precision::Fix16);
     let device = Device::vu9p();
-    let umm = UmmBaseline::build(&graph, &device, precision);
+    let umm = harness.baseline(&graph, &device, precision);
 
     let variants = [
         ("feature reuse", LcmmOptions::feature_reuse_only()),
         ("wt prefetch", LcmmOptions::weight_prefetch_only()),
         ("full LCMM", LcmmOptions::default()),
     ];
-    let results: Vec<_> = variants
-        .iter()
-        .map(|(_, o)| Pipeline::new(*o).run_with_design(&graph, umm.design.clone()))
-        .collect();
+    let results = harness.par_map(&variants, |&(_, options)| {
+        harness.lcmm_with_design(&graph, &umm.design, options)
+    });
 
     let umm_eval = Evaluator::new(&graph, &umm.profile);
     let blocks: Vec<String> = graph
@@ -35,18 +39,25 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         return Err(format!("model {} has no inception blocks", graph.name()));
     }
 
-    println!("{} {} — per-block throughput in Gops:\n", graph.name(), precision);
-    let mut table = Table::new([
-        "block", "UMM", "feature reuse", "wt prefetch", "full LCMM",
-    ]);
+    // One memoized profile (and evaluator) per distinct derated design.
+    let profiles: Vec<_> = results
+        .iter()
+        .map(|r| harness.profile(&graph, &r.design))
+        .collect();
+    let evals: Vec<Evaluator<'_>> = profiles.iter().map(|p| Evaluator::new(&graph, p)).collect();
+
+    println!(
+        "{} {} — per-block throughput in Gops:\n",
+        graph.name(),
+        precision
+    );
+    let mut table = Table::new(["block", "UMM", "feature reuse", "wt prefetch", "full LCMM"]);
     for block in &blocks {
         let ops = block_ops(&graph, block) as f64;
-        let umm_lat = block_latency(&graph, &umm_eval, &Residency::new(), block);
+        let umm_lat = block_latency(&graph, &umm_eval, &lcmm_core::Residency::new(), block);
         let mut cells = vec![block.clone(), format!("{:.1}", ops / umm_lat / 1e9)];
-        for r in &results {
-            let profile = r.design.profile(&graph);
-            let ev = Evaluator::new(&graph, &profile);
-            let lat = block_latency(&graph, &ev, &r.residency, block);
+        for (r, ev) in results.iter().zip(&evals) {
+            let lat = block_latency(&graph, ev, &r.residency, block);
             cells.push(format!("{:.1}", ops / lat / 1e9));
         }
         table.row(cells);

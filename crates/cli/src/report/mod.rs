@@ -5,12 +5,12 @@ pub mod calibrate_cmd;
 pub mod energy_cmd;
 pub mod export;
 pub mod fig2a;
-pub mod sensitivity;
 pub mod fig2b;
 pub mod fig3;
 pub mod fig7;
-pub mod manifest_cmd;
 pub mod fig8;
+pub mod manifest_cmd;
+pub mod sensitivity;
 pub mod summary;
 pub mod table1;
 pub mod table2;
@@ -19,29 +19,47 @@ pub mod trace_cmd;
 pub mod validate;
 
 use crate::opts::Opts;
+use lcmm_core::Harness;
 
-/// Runs every report in paper order.
-pub fn all(opts: &Opts) -> Result<(), String> {
-    for (name, f) in [
-        ("summary", summary::run as fn(&Opts) -> Result<(), String>),
-        ("roofline (Fig. 2a)", fig2a::run),
-        ("design space (Fig. 2b)", fig2b::run),
-        ("footprint (Fig. 3)", fig3::run),
-        ("metric tables (Fig. 7)", fig7::run),
-        ("Table 1", table1::run),
-        ("Table 2", table2::run),
-        ("Fig. 8", fig8::run),
-        ("Table 3", table3::run),
-        ("validation (A3)", validate::run),
-        ("ablations (A1/A2)", ablation::run),
-        ("bandwidth sensitivity (S1)", sensitivity::run_bandwidth),
-        ("batch study (S2)", sensitivity::run_batch),
-        ("device scaling (S3)", sensitivity::run_devices),
-        ("granular DRAM model (S4)", sensitivity::run_granular),
-        ("energy study (S5)", energy_cmd::run),
+/// Runs every report in paper order; grid reports share one harness
+/// (the Table 1/2 comparisons, Fig. 8 variants and sensitivity sweeps
+/// all hit the same memoized designs and profiles).
+pub fn all(opts: &Opts, harness: &Harness) -> Result<(), String> {
+    type Plain = fn(&Opts) -> Result<(), String>;
+    type Shared = fn(&Opts, &Harness) -> Result<(), String>;
+    enum Cmd {
+        Plain(Plain),
+        Shared(Shared),
+    }
+    for (name, cmd) in [
+        ("summary", Cmd::Shared(summary::run)),
+        ("roofline (Fig. 2a)", Cmd::Plain(fig2a::run)),
+        ("design space (Fig. 2b)", Cmd::Plain(fig2b::run)),
+        ("footprint (Fig. 3)", Cmd::Plain(fig3::run)),
+        ("metric tables (Fig. 7)", Cmd::Plain(fig7::run)),
+        ("Table 1", Cmd::Shared(table1::run)),
+        ("Table 2", Cmd::Shared(table2::run)),
+        ("Fig. 8", Cmd::Shared(fig8::run)),
+        ("Table 3", Cmd::Shared(table3::run)),
+        ("validation (A3)", Cmd::Plain(validate::run)),
+        ("ablations (A1/A2)", Cmd::Plain(ablation::run)),
+        (
+            "bandwidth sensitivity (S1)",
+            Cmd::Shared(sensitivity::run_bandwidth),
+        ),
+        ("batch study (S2)", Cmd::Shared(sensitivity::run_batch)),
+        ("device scaling (S3)", Cmd::Shared(sensitivity::run_devices)),
+        (
+            "granular DRAM model (S4)",
+            Cmd::Shared(sensitivity::run_granular),
+        ),
+        ("energy study (S5)", Cmd::Plain(energy_cmd::run)),
     ] {
         println!("\n================ {name} ================\n");
-        f(opts)?;
+        match cmd {
+            Cmd::Plain(f) => f(opts)?,
+            Cmd::Shared(f) => f(opts, harness)?,
+        }
     }
     Ok(())
 }

@@ -6,39 +6,56 @@
 //! headline survive the calibration knob, and how does the mechanism
 //! behave when the machine balance is moved by batching or by changing
 //! the device?
+//!
+//! All four studies fan their grids out through the shared harness:
+//! rows come back in sweep order, so output is byte-identical at any
+//! `--jobs` count.
 
 use crate::opts::Opts;
 use crate::table::{ms, pct, Table};
-use lcmm_core::pipeline::compare;
-use lcmm_core::{LcmmOptions, Pipeline, UmmBaseline};
-use lcmm_fpga::{Device, Precision};
+use lcmm_core::{Harness, LcmmOptions};
+use lcmm_fpga::Device;
+use lcmm_graph::Graph;
 
 /// Sweeps the DDR access-efficiency calibration knob and reports the
 /// suite-average speedup at each setting.
-pub fn run_bandwidth(opts: &Opts) -> Result<(), String> {
-    let precision = opts.precision_or(Precision::Fix16);
+pub fn run_bandwidth(opts: &Opts, harness: &Harness) -> Result<(), String> {
+    let precision = opts.precision_or(lcmm_fpga::Precision::Fix16);
     println!("DDR access efficiency sweep ({precision}; repo default 0.21):\n");
     let mut table = Table::new([
-        "efficiency", "GB/s per stream", "RN speedup", "GN speedup", "IN speedup", "average",
+        "efficiency",
+        "GB/s per stream",
+        "RN speedup",
+        "GN speedup",
+        "IN speedup",
+        "average",
     ]);
-    for eff in [0.12, 0.17, 0.21, 0.28, 0.40, 0.60, 1.00] {
+    let suite = lcmm_graph::zoo::benchmark_suite();
+    let efficiencies = [0.12, 0.17, 0.21, 0.28, 0.40, 0.60, 1.00];
+    let grid: Vec<(f64, &Graph)> = efficiencies
+        .iter()
+        .flat_map(|&eff| suite.iter().map(move |g| (eff, g)))
+        .collect();
+    let speedups = harness.par_map(&grid, |&(eff, graph)| {
+        let mut device = Device::vu9p();
+        device.ddr.access_efficiency = eff;
+        let (umm, lcmm) = harness.compare(graph, &device, precision);
+        lcmm.speedup_over(umm.latency)
+    });
+    for (i, &eff) in efficiencies.iter().enumerate() {
         let mut device = Device::vu9p();
         device.ddr.access_efficiency = eff;
         let mut row = vec![
             format!("{eff:.2}"),
             format!("{:.1}", device.ddr.effective_interface_bandwidth() / 1e9),
         ];
-        let mut speedups = Vec::new();
-        for graph in lcmm_graph::zoo::benchmark_suite() {
-            let (umm, lcmm) = compare(&graph, &device, precision);
-            speedups.push(lcmm.speedup_over(umm.latency));
-        }
-        for s in &speedups {
+        let row_speedups = &speedups[i * suite.len()..(i + 1) * suite.len()];
+        for s in row_speedups {
             row.push(format!("{s:.2}x"));
         }
         row.push(format!(
             "{:.2}x",
-            speedups.iter().sum::<f64>() / speedups.len() as f64
+            row_speedups.iter().sum::<f64>() / row_speedups.len() as f64
         ));
         table.row(row);
     }
@@ -53,19 +70,31 @@ pub fn run_bandwidth(opts: &Opts) -> Result<(), String> {
 
 /// Batch-size study: weight traffic amortises across a batch, so the
 /// weight wall (and with it part of LCMM's win) shrinks as batch grows.
-pub fn run_batch(opts: &Opts) -> Result<(), String> {
+pub fn run_batch(opts: &Opts, harness: &Harness) -> Result<(), String> {
     let graph = opts.model_or("resnet152")?;
-    let precision = opts.precision_or(Precision::Fix16);
+    let precision = opts.precision_or(lcmm_fpga::Precision::Fix16);
     let device = Device::vu9p();
     println!("batch study: {} {precision}\n", graph.name());
     let mut table = Table::new([
-        "batch", "UMM ms/img", "LCMM ms/img", "speedup", "UMM Tops", "LCMM Tops",
+        "batch",
+        "UMM ms/img",
+        "LCMM ms/img",
+        "speedup",
+        "UMM Tops",
+        "LCMM Tops",
     ]);
-    for batch in [1usize, 2, 4, 8, 16] {
-        let design = lcmm_fpga::AccelDesign::explore(&graph, &device, precision)
+    let batches = [1usize, 2, 4, 8, 16];
+    let rows = harness.par_map(&batches, |&batch| {
+        let design = harness
+            .design(&graph, &device, precision)
+            .as_ref()
+            .clone()
             .with_batch(batch);
-        let umm = UmmBaseline::from_design(&graph, design.clone());
-        let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, design);
+        let umm = harness.baseline_from_design(&graph, &design);
+        let lcmm = harness.lcmm_with_design(&graph, &design, LcmmOptions::default());
+        (umm, lcmm)
+    });
+    for (&batch, (umm, lcmm)) in batches.iter().zip(&rows) {
         table.row([
             batch.to_string(),
             ms(umm.latency / batch as f64),
@@ -87,21 +116,32 @@ pub fn run_batch(opts: &Opts) -> Result<(), String> {
 /// Uniform vs granularity-derived DRAM efficiency: does the headline
 /// survive when per-tensor efficiency is computed from contiguous chunk
 /// sizes instead of the flat calibrated knob?
-pub fn run_granular(opts: &Opts) -> Result<(), String> {
-    let precision = opts.precision_or(Precision::Fix16);
+pub fn run_granular(opts: &Opts, harness: &Harness) -> Result<(), String> {
+    let precision = opts.precision_or(lcmm_fpga::Precision::Fix16);
     let device = Device::vu9p();
     println!(
         "uniform (flat 0.21) vs granular (eff = chunk/(chunk+430B)) DRAM model ({precision}):\n"
     );
     let mut table = Table::new([
-        "benchmark", "uniform UMM ms", "uniform speedup", "granular UMM ms", "granular speedup",
+        "benchmark",
+        "uniform UMM ms",
+        "uniform speedup",
+        "granular UMM ms",
+        "granular speedup",
     ]);
-    for graph in lcmm_graph::zoo::benchmark_suite() {
-        let (u_umm, u_lcmm) = compare(&graph, &device, precision);
-        let g_design = lcmm_fpga::AccelDesign::explore(&graph, &device, precision)
+    let suite = lcmm_graph::zoo::benchmark_suite();
+    let rows = harness.par_map(&suite, |graph| {
+        let (u_umm, u_lcmm) = harness.compare(graph, &device, precision);
+        let g_design = harness
+            .design(graph, &device, precision)
+            .as_ref()
+            .clone()
             .with_granular_ddr();
-        let g_umm = UmmBaseline::from_design(&graph, g_design.clone());
-        let g_lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, g_design);
+        let g_umm = harness.baseline_from_design(graph, &g_design);
+        let g_lcmm = harness.lcmm_with_design(graph, &g_design, LcmmOptions::default());
+        (u_umm, u_lcmm, g_umm, g_lcmm)
+    });
+    for (graph, (u_umm, u_lcmm, g_umm, g_lcmm)) in suite.iter().zip(&rows) {
         table.row([
             graph.name().to_string(),
             ms(u_umm.latency),
@@ -124,15 +164,25 @@ pub fn run_granular(opts: &Opts) -> Result<(), String> {
 
 /// Device scaling: the same networks on an embedded part (ZU9EG), the
 /// paper's VU9P, and the larger VU13P.
-pub fn run_devices(opts: &Opts) -> Result<(), String> {
-    let precision = opts.precision_or(Precision::Fix16);
+pub fn run_devices(opts: &Opts, harness: &Harness) -> Result<(), String> {
+    let precision = opts.precision_or(lcmm_fpga::Precision::Fix16);
     let graph = opts.model_or("googlenet")?;
     println!("device scaling: {} {precision}\n", graph.name());
     let mut table = Table::new([
-        "device", "DSPs", "SRAM MiB", "streams GB/s", "UMM ms", "LCMM ms", "speedup", "SRAM %",
+        "device",
+        "DSPs",
+        "SRAM MiB",
+        "streams GB/s",
+        "UMM ms",
+        "LCMM ms",
+        "speedup",
+        "SRAM %",
     ]);
-    for device in [Device::zu9eg(), Device::vu9p(), Device::vu13p()] {
-        let (umm, lcmm) = compare(&graph, &device, precision);
+    let devices = [Device::zu9eg(), Device::vu9p(), Device::vu13p()];
+    let rows = harness.par_map(&devices, |device| {
+        harness.compare(&graph, device, precision)
+    });
+    for (device, (umm, lcmm)) in devices.iter().zip(&rows) {
         table.row([
             device.name.clone(),
             device.dsp_slices.to_string(),
@@ -141,7 +191,7 @@ pub fn run_devices(opts: &Opts) -> Result<(), String> {
             ms(umm.latency),
             ms(lcmm.latency),
             format!("{:.2}x", lcmm.speedup_over(umm.latency)),
-            pct(lcmm.resources.sram_util(&device)),
+            pct(lcmm.resources.sram_util(device)),
         ]);
     }
     table.print();

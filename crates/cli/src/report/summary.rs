@@ -2,13 +2,16 @@
 
 use crate::opts::Opts;
 use crate::table::Table;
+use lcmm_core::Harness;
 use lcmm_graph::analysis::summarize;
 
-/// Prints per-model workload statistics.
-pub fn run(opts: &Opts) -> Result<(), String> {
+/// Prints per-model workload statistics. Summaries are computed through
+/// the harness worker pool; rows print in the fixed model order.
+pub fn run(opts: &Opts, harness: &Harness) -> Result<(), String> {
     let models = match &opts.model {
-        Some(name) => vec![lcmm_graph::zoo::by_name(name)
-            .ok_or_else(|| format!("unknown model {name:?}"))?],
+        Some(name) => {
+            vec![lcmm_graph::zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?]
+        }
         None => vec![
             lcmm_graph::zoo::alexnet(),
             lcmm_graph::zoo::vgg16(),
@@ -21,11 +24,17 @@ pub fn run(opts: &Opts) -> Result<(), String> {
             lcmm_graph::zoo::inception_v4(),
         ],
     };
+    let summaries = harness.par_map(&models, summarize);
     let mut table = Table::new([
-        "model", "nodes", "convs", "GMACs", "params M", "features M", "max fmap K",
+        "model",
+        "nodes",
+        "convs",
+        "GMACs",
+        "params M",
+        "features M",
+        "max fmap K",
     ]);
-    for graph in &models {
-        let s = summarize(graph);
+    for (graph, s) in models.iter().zip(&summaries) {
         table.row([
             graph.name().to_string(),
             s.nodes.to_string(),

@@ -2,29 +2,30 @@
 
 use crate::opts::Opts;
 use crate::table::{ms, pct, tops, Table};
-use lcmm_core::pipeline::compare;
+use lcmm_core::Harness;
 use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
 
 /// Prints the full Table 1 (latency, throughput, clock, utilisation,
 /// speedup) for ResNet-152 / GoogLeNet / Inception-v4 × 8/16/32-bit.
-pub fn run(opts: &Opts) -> Result<(), String> {
+///
+/// Every cell goes through the shared harness: the grid fans out over
+/// `--jobs` threads and the per-cell records come back in grid order,
+/// so the table is byte-identical at any job count.
+pub fn run(opts: &Opts, harness: &Harness) -> Result<(), String> {
     let device = Device::vu9p();
+    let models = opts.models_or_suite()?;
+    let precisions = opts.precisions_or_all();
+    let grid: Vec<(&Graph, Precision)> = models
+        .iter()
+        .flat_map(|g| precisions.iter().map(move |&p| (g, p)))
+        .collect();
+
     if opts.json {
-        let mut records = Vec::new();
-        let models = match &opts.model {
-            Some(name) => vec![lcmm_graph::zoo::by_name(name)
-                .ok_or_else(|| format!("unknown model {name:?}"))?],
-            None => lcmm_graph::zoo::benchmark_suite(),
-        };
-        let precisions = match opts.precision {
-            Some(p) => vec![p],
-            None => Precision::ALL.to_vec(),
-        };
-        for graph in &models {
-            for &precision in &precisions {
-                records.push(lcmm_core::report::comparison_record(graph, &device, precision));
-            }
-        }
+        let records = harness.par_map(&grid, |&(graph, precision)| {
+            let (umm, lcmm) = harness.compare(graph, &device, precision);
+            lcmm_core::report::record_from_comparison(graph, &device, precision, &umm, &lcmm)
+        });
         let suite = lcmm_core::report::SuiteReport { records };
         println!(
             "{}",
@@ -32,62 +33,62 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         );
         return Ok(());
     }
-    let models = match &opts.model {
-        Some(name) => vec![lcmm_graph::zoo::by_name(name)
-            .ok_or_else(|| format!("unknown model {name:?}"))?],
-        None => lcmm_graph::zoo::benchmark_suite(),
-    };
-    let precisions = match opts.precision {
-        Some(p) => vec![p],
-        None => Precision::ALL.to_vec(),
-    };
+
+    let cells = harness.par_map(&grid, |&(graph, precision)| {
+        harness.compare(graph, &device, precision)
+    });
 
     let mut table = Table::new([
-        "benchmark", "design", "latency ms", "Tops", "MHz", "DSP %", "CLB %", "SRAM %",
-        "speedup", "paper",
+        "benchmark",
+        "design",
+        "latency ms",
+        "Tops",
+        "MHz",
+        "DSP %",
+        "CLB %",
+        "SRAM %",
+        "speedup",
+        "paper",
     ]);
     let mut speedups = Vec::new();
     let mut measured = Vec::new();
-    for graph in &models {
-        for &precision in &precisions {
-            let (umm, lcmm) = compare(graph, &device, precision);
-            let speedup = lcmm.speedup_over(umm.latency);
-            speedups.push(speedup);
-            let paper = lcmm_core::paper::table1_row(graph.name(), precision);
-            measured.push((
-                graph.name().to_string(),
-                match precision {
-                    Precision::Fix8 => 8u8,
-                    Precision::Fix16 => 16,
-                    Precision::Float32 => 32,
-                },
-                speedup,
-            ));
-            table.row([
-                format!("{} {}", graph.name(), precision),
-                "UMM".to_string(),
-                ms(umm.latency),
-                tops(umm.throughput_ops()),
-                format!("{:.0}", umm.design.freq_hz / 1e6),
-                pct(umm.resources.dsp_util),
-                pct(umm.resources.clb_util),
-                pct(umm.resources.sram_util(&device)),
-                String::new(),
-                String::new(),
-            ]);
-            table.row([
-                String::new(),
-                "LCMM".to_string(),
-                ms(lcmm.latency),
-                tops(lcmm.throughput_ops()),
-                format!("{:.0}", lcmm.design.freq_hz / 1e6),
-                pct(lcmm.resources.dsp_util),
-                pct(lcmm.resources.clb_util),
-                pct(lcmm.resources.sram_util(&device)),
-                format!("{speedup:.2}x"),
-                paper.map_or(String::new(), |r| format!("{:.2}x", r.speedup)),
-            ]);
-        }
+    for (&(graph, precision), (umm, lcmm)) in grid.iter().zip(&cells) {
+        let speedup = lcmm.speedup_over(umm.latency);
+        speedups.push(speedup);
+        let paper = lcmm_core::paper::table1_row(graph.name(), precision);
+        measured.push((
+            graph.name().to_string(),
+            match precision {
+                Precision::Fix8 => 8u8,
+                Precision::Fix16 => 16,
+                Precision::Float32 => 32,
+            },
+            speedup,
+        ));
+        table.row([
+            format!("{} {}", graph.name(), precision),
+            "UMM".to_string(),
+            ms(umm.latency),
+            tops(umm.throughput_ops()),
+            format!("{:.0}", umm.design.freq_hz / 1e6),
+            pct(umm.resources.dsp_util),
+            pct(umm.resources.clb_util),
+            pct(umm.resources.sram_util(&device)),
+            String::new(),
+            String::new(),
+        ]);
+        table.row([
+            String::new(),
+            "LCMM".to_string(),
+            ms(lcmm.latency),
+            tops(lcmm.throughput_ops()),
+            format!("{:.0}", lcmm.design.freq_hz / 1e6),
+            pct(lcmm.resources.dsp_util),
+            pct(lcmm.resources.clb_util),
+            pct(lcmm.resources.sram_util(&device)),
+            format!("{speedup:.2}x"),
+            paper.map_or(String::new(), |r| format!("{:.2}x", r.speedup)),
+        ]);
     }
     table.print();
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;

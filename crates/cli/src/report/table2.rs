@@ -2,46 +2,50 @@
 
 use crate::opts::Opts;
 use crate::table::{pct, Table};
-use lcmm_core::pipeline::compare;
+use lcmm_core::Harness;
 use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
 
 /// Prints BRAM/URAM utilisation for UMM and LCMM, plus the POL metric
-/// (percentage of memory-bound layers that benefit from LCMM).
-pub fn run(opts: &Opts) -> Result<(), String> {
+/// (percentage of memory-bound layers that benefit from LCMM). Cells
+/// are evaluated through the shared harness in grid order.
+pub fn run(opts: &Opts, harness: &Harness) -> Result<(), String> {
     let device = Device::vu9p();
-    let models = match &opts.model {
-        Some(name) => vec![lcmm_graph::zoo::by_name(name)
-            .ok_or_else(|| format!("unknown model {name:?}"))?],
-        None => lcmm_graph::zoo::benchmark_suite(),
-    };
-    let precisions = match opts.precision {
-        Some(p) => vec![p],
-        None => Precision::ALL.to_vec(),
-    };
+    let models = opts.models_or_suite()?;
+    let precisions = opts.precisions_or_all();
+    let grid: Vec<(&Graph, Precision)> = models
+        .iter()
+        .flat_map(|g| precisions.iter().map(move |&p| (g, p)))
+        .collect();
+    let cells = harness.par_map(&grid, |&(graph, precision)| {
+        harness.compare(graph, &device, precision)
+    });
 
     let mut table = Table::new([
-        "benchmark", "design", "BRAM %", "URAM %", "buffers", "POL %",
+        "benchmark",
+        "design",
+        "BRAM %",
+        "URAM %",
+        "buffers",
+        "POL %",
     ]);
-    for graph in &models {
-        for &precision in &precisions {
-            let (umm, lcmm) = compare(graph, &device, precision);
-            table.row([
-                format!("{} {}", graph.name(), precision),
-                "UMM".to_string(),
-                pct(umm.resources.bram_util),
-                pct(umm.resources.uram_util),
-                "0".to_string(),
-                String::new(),
-            ]);
-            table.row([
-                String::new(),
-                "LCMM".to_string(),
-                pct(lcmm.resources.bram_util),
-                pct(lcmm.resources.uram_util),
-                lcmm.allocated_buffer_sizes().len().to_string(),
-                pct(lcmm.pol()),
-            ]);
-        }
+    for (&(graph, precision), (umm, lcmm)) in grid.iter().zip(&cells) {
+        table.row([
+            format!("{} {}", graph.name(), precision),
+            "UMM".to_string(),
+            pct(umm.resources.bram_util),
+            pct(umm.resources.uram_util),
+            "0".to_string(),
+            String::new(),
+        ]);
+        table.row([
+            String::new(),
+            "LCMM".to_string(),
+            pct(lcmm.resources.bram_util),
+            pct(lcmm.resources.uram_util),
+            lcmm.allocated_buffer_sizes().len().to_string(),
+            pct(lcmm.pol()),
+        ]);
     }
     table.print();
     println!("\npaper POL: RN 94/94/84, GN 83/82/61, IN 78/79/66 (%)");

@@ -2,8 +2,8 @@
 
 use crate::opts::Opts;
 use crate::table::{ms, pct, tops, Table};
-use lcmm_core::pipeline::compare;
 use lcmm_core::strategies::{cloud_dnn_like, tgpa_like, tgpa_plus_lcmm, StrategyResult};
+use lcmm_core::Harness;
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::Graph;
 
@@ -23,10 +23,16 @@ fn strategy_row(table: &mut crate::table::Table, device: &Device, s: &StrategyRe
     ]);
 }
 
-fn compare_on(device: &Device, graph: &Graph, rival: &StrategyResult) {
-    let (_, lcmm) = compare(graph, device, Precision::Fix16);
+fn compare_on(harness: &Harness, device: &Device, graph: &Graph, rival: &StrategyResult) {
+    let (_, lcmm) = harness.compare(graph, device, Precision::Fix16);
     let mut table = Table::new([
-        "design", "MHz", "DSP %", "SRAM %", "Tops", "ms/image", "ops/DSP/cyc",
+        "design",
+        "MHz",
+        "DSP %",
+        "SRAM %",
+        "Tops",
+        "ms/image",
+        "ops/DSP/cyc",
     ]);
     strategy_row(&mut table, device, rival);
     table.row([
@@ -38,7 +44,11 @@ fn compare_on(device: &Device, graph: &Graph, rival: &StrategyResult) {
         ms(lcmm.latency),
         format!(
             "{:.2}",
-            perf_density(lcmm.throughput_ops(), lcmm.resources.dsp_used, lcmm.design.freq_hz)
+            perf_density(
+                lcmm.throughput_ops(),
+                lcmm.resources.dsp_used,
+                lcmm.design.freq_hz
+            )
         ),
     ]);
     table.print();
@@ -50,24 +60,31 @@ fn compare_on(device: &Device, graph: &Graph, rival: &StrategyResult) {
 }
 
 /// Prints the two Table 3 comparisons: ResNet-50 vs the Cloud-DNN
-/// analogue and ResNet-152 vs the TGPA analogue, at 16-bit.
-pub fn run(_opts: &Opts) -> Result<(), String> {
+/// analogue and ResNet-152 vs the TGPA analogue, at 16-bit. The LCMM
+/// sides go through the shared harness (memoized with Table 1's cells).
+pub fn run(_opts: &Opts, harness: &Harness) -> Result<(), String> {
     let device = Device::vu9p();
 
     println!("--- ResNet-50, 16-bit (paper: LCMM 1.35x over Cloud-DNN [3]) ---\n");
     let rn50 = lcmm_graph::zoo::resnet50();
     let cloud = cloud_dnn_like(&rn50, &device, Precision::Fix16);
-    compare_on(&device, &rn50, &cloud);
+    compare_on(harness, &device, &rn50, &cloud);
 
     println!("--- ResNet-152, 16-bit (paper: LCMM 1.12x over TGPA [17]) ---\n");
     let rn152 = lcmm_graph::zoo::resnet152();
     let tgpa = tgpa_like(&rn152, &device, Precision::Fix16);
-    compare_on(&device, &rn152, &tgpa);
+    compare_on(harness, &device, &rn152, &tgpa);
 
     println!("--- Future work (paper §4.2): TGPA streaming + LCMM weights ---\n");
     let combined = tgpa_plus_lcmm(&rn152, &device, Precision::Fix16);
     let mut table = Table::new([
-        "design", "MHz", "DSP %", "SRAM %", "Tops", "ms/image", "ops/DSP/cyc",
+        "design",
+        "MHz",
+        "DSP %",
+        "SRAM %",
+        "Tops",
+        "ms/image",
+        "ops/DSP/cyc",
     ]);
     strategy_row(&mut table, &device, &tgpa);
     strategy_row(&mut table, &device, &combined);

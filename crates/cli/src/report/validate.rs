@@ -10,8 +10,9 @@ use lcmm_sim::validate::validate;
 pub fn run(opts: &Opts) -> Result<(), String> {
     let device = Device::vu9p();
     let models = match &opts.model {
-        Some(name) => vec![lcmm_graph::zoo::by_name(name)
-            .ok_or_else(|| format!("unknown model {name:?}"))?],
+        Some(name) => {
+            vec![lcmm_graph::zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?]
+        }
         None => lcmm_graph::zoo::benchmark_suite(),
     };
     let precisions = match opts.precision {

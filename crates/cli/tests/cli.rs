@@ -69,7 +69,14 @@ fn export_json_round_trips() {
 #[test]
 fn table1_json_is_machine_readable() {
     let out = lcmm()
-        .args(["table1", "--model", "googlenet", "--precision", "16", "--json"])
+        .args([
+            "table1",
+            "--model",
+            "googlenet",
+            "--precision",
+            "16",
+            "--json",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

@@ -15,9 +15,14 @@
 //! re-scored with the exact evaluator.
 
 use super::{AllocOutcome, AllocProblem, CAPACITY_UNIT_BYTES};
+use crate::profiling;
 use crate::value::ValueId;
 use lcmm_graph::NodeId;
 use std::collections::HashMap;
+
+/// Widest relevant-buffer set whose choice bits fit the `u64` gain-cache
+/// key without colliding (bit 63 is left unused as a sanity margin).
+const GAIN_CACHE_KEY_BITS: usize = 62;
 
 /// Per-node latency terms, with each term tagged by the value whose
 /// residency controls it (the paper's operation latency table rows).
@@ -51,7 +56,11 @@ impl OpTerms {
             }
             None => 0.0,
         };
-        let of_term = if on_chip(self.output.0) { 0.0 } else { self.output.1 };
+        let of_term = if on_chip(self.output.0) {
+            0.0
+        } else {
+            self.output.1
+        };
         self.compute.max(if_term).max(wt_term).max(of_term)
     }
 }
@@ -137,9 +146,15 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
             }
             note(t.output.0);
         }
-        relevant.truncate(62); // cache key capacity; beyond this, collide
+        // The cache key has one bit per relevant buffer. When the
+        // relevant set does not fit, the cache is skipped and the gain
+        // recomputed exactly per column — truncating the set would make
+        // distinct residency contexts silently share one key (a wrong
+        // gain, not just a slow one).
+        let use_cache = relevant.len() <= GAIN_CACHE_KEY_BITS;
 
         let mut gain_cache: HashMap<u64, f64> = HashMap::new();
+        profiling::add_dnnk_dp_cells((units + 1) as u64);
         for j in 0..=units {
             let l0 = prev_l[j];
             if s > j || s == 0 {
@@ -148,21 +163,14 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
             }
             // Residency context at this capacity (the pbuf_table
             // approximation of Alg. 1).
-            let mut key = 0u64;
-            for (bit, &r) in relevant.iter().enumerate() {
-                if choice[r * (units + 1) + j] {
-                    key |= 1 << bit;
-                }
-            }
-            let gain = *gain_cache.entry(key).or_insert_with(|| {
+            let compute_gain = || -> f64 {
                 let ctx_on = |v: ValueId| -> bool {
                     owner
                         .get(&v)
                         .is_some_and(|&o| o < i && choice[o * (units + 1) + j])
                 };
-                let with_i = |v: ValueId| -> bool {
-                    ctx_on(v) || problem.buffers[i].members.contains(&v)
-                };
+                let with_i =
+                    |v: ValueId| -> bool { ctx_on(v) || problem.buffers[i].members.contains(&v) };
                 touched[i]
                     .iter()
                     .map(|&op| {
@@ -170,7 +178,27 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
                         t.latency(&ctx_on) - t.latency(&with_i)
                     })
                     .sum()
-            });
+            };
+            let gain = if use_cache {
+                let mut key = 0u64;
+                for (bit, &r) in relevant.iter().enumerate() {
+                    if choice[r * (units + 1) + j] {
+                        key |= 1 << bit;
+                    }
+                }
+                if let Some(&g) = gain_cache.get(&key) {
+                    profiling::count_gain_cache_hit();
+                    g
+                } else {
+                    profiling::count_gain_cache_miss();
+                    let g = compute_gain();
+                    gain_cache.insert(key, g);
+                    g
+                }
+            } else {
+                profiling::count_gain_exact_recompute();
+                compute_gain()
+            };
             let l1 = prev_l[j - s] + gain;
             if l1 > l0 {
                 cur_l[j] = l1;
@@ -219,8 +247,7 @@ mod tests {
         let (_, p) = setup(&g);
         let ev = Evaluator::new(&g, &p);
         let bufs = singleton_buffers(&g, &ev);
-        let problem =
-            AllocProblem::new(&ev, &bufs, 16 << 20, &PrefetchPlan::default());
+        let problem = AllocProblem::new(&ev, &bufs, 16 << 20, &PrefetchPlan::default());
         let out = allocate(&problem);
         let empty = problem.latency_of(&vec![false; bufs.len()]);
         assert!(out.latency < empty, "DNNK found no improvement");
@@ -250,7 +277,56 @@ mod tests {
         // With unbounded room the latency must reach the best possible
         // full-residency value.
         let all = problem.latency_of(&vec![true; bufs.len()]);
-        assert!((out.latency - all).abs() / all < 0.05, "{} vs {}", out.latency, all);
+        assert!(
+            (out.latency - all).abs() / all < 0.05,
+            "{} vs {}",
+            out.latency,
+            all
+        );
+    }
+
+    /// Regression test for the silent cache-key collision: with more
+    /// than 62 relevant buffers the key used to be truncated, letting
+    /// distinct residency contexts share one cached gain. The allocator
+    /// must now bypass the cache (exact per-column recomputation) and
+    /// stay sound.
+    #[test]
+    fn wide_fanout_skips_gain_cache_instead_of_colliding() {
+        use lcmm_graph::{ConvParams, FeatureShape, GraphBuilder};
+        let mut b = GraphBuilder::new("fanout");
+        let x = b.input(FeatureShape::new(8, 4, 4));
+        let branches: Vec<_> = (0..64)
+            .map(|i| {
+                b.conv(format!("b{i}"), x, ConvParams::pointwise(4))
+                    .expect("valid conv")
+            })
+            .collect();
+        let cat = b.concat("cat", &branches).expect("same spatial");
+        let out = b
+            .conv("out", cat, ConvParams::pointwise(8))
+            .expect("valid conv");
+        let g = b.finish(out).expect("valid graph");
+
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        // 65 convs × (weight + feature): the concat's last input sees 63
+        // earlier feature owners plus its own weight — past the 62-bit
+        // key capacity.
+        assert!(bufs.len() > 2 * GAIN_CACHE_KEY_BITS);
+        let budget = 64 * CAPACITY_UNIT_BYTES;
+        let problem = AllocProblem::new(&ev, &bufs, budget, &PrefetchPlan::default());
+
+        crate::profiling::reset_counters();
+        let out = allocate(&problem);
+        let counters = crate::profiling::snapshot_counters();
+        assert!(
+            counters.gain_exact_recomputes > 0,
+            "wide relevant sets must bypass the gain cache"
+        );
+        assert!(out.bytes <= budget, "{} > {}", out.bytes, budget);
+        let empty = problem.latency_of(&vec![false; bufs.len()]);
+        assert!(out.latency <= empty + 1e-12);
     }
 
     #[test]

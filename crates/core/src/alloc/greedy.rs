@@ -16,16 +16,16 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     loop {
         let residency = problem.residency_for(&chosen);
         let mut best: Option<(f64, usize)> = None;
-        for i in 0..n {
-            if chosen[i] || problem.buffers[i].bytes > remaining {
+        for (i, buffer) in problem.buffers.iter().enumerate() {
+            if chosen[i] || buffer.bytes > remaining {
                 continue;
             }
-            let gain = problem.evaluator.gain_of(&residency, &problem.buffers[i].members);
+            let gain = problem.evaluator.gain_of(&residency, &buffer.members);
             if gain <= 0.0 {
                 continue;
             }
-            let density = gain / problem.buffers[i].bytes.max(1) as f64;
-            if best.map_or(true, |(d, _)| density > d) {
+            let density = gain / buffer.bytes.max(1) as f64;
+            if best.is_none_or(|(d, _)| density > d) {
                 best = Some((density, i));
             }
         }
@@ -68,8 +68,7 @@ mod tests {
         let bufs = singleton_buffers(&g, &ev);
         // Tiny budget below the smallest buffer.
         let smallest = bufs.iter().map(|b| b.bytes).min().unwrap();
-        let problem =
-            AllocProblem::new(&ev, &bufs, smallest - 1, &PrefetchPlan::default());
+        let problem = AllocProblem::new(&ev, &bufs, smallest - 1, &PrefetchPlan::default());
         let out = allocate(&problem);
         assert!(out.residency.is_empty());
     }

@@ -55,7 +55,12 @@ impl<'a> AllocProblem<'a> {
             .filter(|(_, e)| !e.fully_hidden())
             .map(|(&id, e)| (id, e.exposed_seconds))
             .collect();
-        Self { evaluator, buffers, budget_bytes, exposure }
+        Self {
+            evaluator,
+            buffers,
+            budget_bytes,
+            exposure,
+        }
     }
 
     /// Materialises the residency implied by a chosen buffer set.
@@ -65,8 +70,7 @@ impl<'a> AllocProblem<'a> {
         for (buf, _) in self.buffers.iter().zip(chosen).filter(|(_, &c)| c) {
             for &member in &buf.members {
                 r.insert(member);
-                if let (ValueId::Weight(node), Some(&exp)) = (member, self.exposure.get(&member))
-                {
+                if let (ValueId::Weight(node), Some(&exp)) = (member, self.exposure.get(&member)) {
                     r.set_exposed_weight(node, exp);
                 }
             }
@@ -124,7 +128,12 @@ impl AllocOutcome {
         let residency = problem.residency_for(&chosen);
         let latency = problem.evaluator.total_latency(&residency);
         let bytes = problem.bytes_of(&chosen);
-        Self { chosen, residency, latency, bytes }
+        Self {
+            chosen,
+            residency,
+            latency,
+            bytes,
+        }
     }
 
     /// Indices of the allocated buffers.

@@ -58,7 +58,10 @@ pub fn fit_access_efficiency(
     tolerance: f64,
     max_iterations: usize,
 ) -> Calibration {
-    assert!(!workloads.is_empty(), "calibration needs at least one workload");
+    assert!(
+        !workloads.is_empty(),
+        "calibration needs at least one workload"
+    );
     assert!(target_speedup > 0.0, "target speedup must be positive");
     let (mut lo, mut hi) = (0.05f64, 1.0f64);
     let mut best = Calibration {
@@ -101,7 +104,10 @@ mod tests {
         let device = Device::vu9p();
         let hi_bw = average_speedup_at(&workloads, &device, 0.6);
         let lo_bw = average_speedup_at(&workloads, &device, 0.15);
-        assert!(lo_bw > hi_bw, "scarce bandwidth must help LCMM: {lo_bw} vs {hi_bw}");
+        assert!(
+            lo_bw > hi_bw,
+            "scarce bandwidth must help LCMM: {lo_bw} vs {hi_bw}"
+        );
     }
 
     #[test]

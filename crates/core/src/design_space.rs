@@ -55,7 +55,11 @@ pub fn sweep(
     values: &ValueTable,
     blocks: &[String],
 ) -> DesignSpace {
-    assert!(blocks.len() <= 20, "exhaustive sweep capped at 20 blocks, got {}", blocks.len());
+    assert!(
+        blocks.len() <= 20,
+        "exhaustive sweep capped at 20 blocks, got {}",
+        blocks.len()
+    );
     // Per-block value lists and naive sizes.
     let mut block_values: Vec<Vec<ValueId>> = Vec::with_capacity(blocks.len());
     let mut block_bytes: Vec<u64> = Vec::with_capacity(blocks.len());
@@ -123,14 +127,22 @@ impl DesignSpace {
         *self
             .points
             .iter()
-            .min_by(|a, b| a.latency.partial_cmp(&b.latency).expect("latencies are finite"))
+            .min_by(|a, b| {
+                a.latency
+                    .partial_cmp(&b.latency)
+                    .expect("latencies are finite")
+            })
             .expect("design space is never empty")
     }
 
     /// Points that fit `sram_limit` bytes.
     #[must_use]
     pub fn feasible(&self, sram_limit: u64) -> Vec<DesignPoint> {
-        self.points.iter().copied().filter(|p| p.sram_bytes <= sram_limit).collect()
+        self.points
+            .iter()
+            .copied()
+            .filter(|p| p.sram_bytes <= sram_limit)
+            .collect()
     }
 
     /// Whether performance is non-monotone in SRAM spend: some point
@@ -142,7 +154,9 @@ impl DesignSpace {
         // sort by latency.
         let mut by_sram: Vec<&DesignPoint> = self.points.iter().collect();
         by_sram.sort_by_key(|p| p.sram_bytes);
-        by_sram.windows(2).any(|w| w[1].latency > w[0].latency + 1e-15)
+        by_sram
+            .windows(2)
+            .any(|w| w[1].latency > w[0].latency + 1e-15)
     }
 }
 
@@ -192,7 +206,12 @@ mod tests {
         let blocks = inception_blocks(&g);
         let space = sweep(&g, &ev, &values, &blocks);
         let empty = space.points.iter().find(|pt| pt.mask == 0).unwrap().latency;
-        let full = space.points.iter().find(|pt| pt.mask == 511).unwrap().latency;
+        let full = space
+            .points
+            .iter()
+            .find(|pt| pt.mask == 511)
+            .unwrap()
+            .latency;
         assert!(full < empty);
         assert!(space.best().latency <= full);
     }
@@ -207,7 +226,12 @@ mod tests {
         let space = sweep(&g, &ev, &values, &blocks);
         let singles: u64 = (0..blocks.len())
             .map(|b| {
-                space.points.iter().find(|pt| pt.mask == 1 << b).unwrap().sram_bytes
+                space
+                    .points
+                    .iter()
+                    .find(|pt| pt.mask == 1 << b)
+                    .unwrap()
+                    .sram_bytes
             })
             .sum();
         let full = space.points.iter().find(|pt| pt.mask == 511).unwrap();

@@ -157,8 +157,14 @@ mod tests {
         let lcmm_profile = lcmm.design.profile(&g);
         let lcmm_eval = Evaluator::new(&g, &lcmm_profile);
         let lcmm_energy = estimate(&lcmm_eval, &lcmm.design, &lcmm.residency, &model);
-        assert!(lcmm_energy.dram_j < umm_energy.dram_j, "DRAM energy must drop");
-        assert!(lcmm_energy.total_j() < umm_energy.total_j(), "total energy must drop");
+        assert!(
+            lcmm_energy.dram_j < umm_energy.dram_j,
+            "DRAM energy must drop"
+        );
+        assert!(
+            lcmm_energy.total_j() < umm_energy.total_j(),
+            "total energy must drop"
+        );
         assert!(lcmm_energy.edp() < umm_energy.edp(), "EDP must drop");
         // Spared DRAM traffic reappears as SRAM traffic.
         assert!(lcmm_energy.sram_j > umm_energy.sram_j);
@@ -174,9 +180,7 @@ mod tests {
         for term in [e.compute_j, e.dram_j, e.sram_j, e.static_j] {
             assert!(term > 0.0);
         }
-        assert!(
-            (e.total_j() - (e.compute_j + e.dram_j + e.sram_j + e.static_j)).abs() < 1e-15
-        );
+        assert!((e.total_j() - (e.compute_j + e.dram_j + e.sram_j + e.static_j)).abs() < 1e-15);
     }
 
     #[test]

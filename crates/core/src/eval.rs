@@ -28,7 +28,7 @@ use std::collections::HashSet;
 /// For weight values, an optional *exposed* residual transfer time can
 /// be recorded: when a weight's prefetch window is shorter than its load
 /// time, the uncovered remainder still stalls the layer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Residency {
     on_chip: HashSet<ValueId>,
     exposed_weight_seconds: HashMap<NodeId, f64>,
@@ -73,7 +73,10 @@ impl Residency {
     /// The still-exposed weight load time of `node`, if any.
     #[must_use]
     pub fn exposed_weight(&self, node: NodeId) -> f64 {
-        self.exposed_weight_seconds.get(&node).copied().unwrap_or(0.0)
+        self.exposed_weight_seconds
+            .get(&node)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Iterates over resident values.
@@ -131,7 +134,11 @@ impl<'a> Evaluator<'a> {
                 readers[src.index()].push(node.id());
             }
         }
-        Self { graph, profile, readers }
+        Self {
+            graph,
+            profile,
+            readers,
+        }
     }
 
     /// The graph under evaluation.
@@ -161,7 +168,11 @@ impl<'a> Evaluator<'a> {
         } else {
             row.weight
         };
-        let of_term = if residency.contains(ValueId::Feature(id)) { 0.0 } else { row.output };
+        let of_term = if residency.contains(ValueId::Feature(id)) {
+            0.0
+        } else {
+            row.output
+        };
         row.compute.max(if_term).max(wt_term).max(of_term)
     }
 
@@ -185,6 +196,7 @@ impl<'a> Evaluator<'a> {
     /// ```
     #[must_use]
     pub fn total_latency(&self, residency: &Residency) -> f64 {
+        crate::profiling::count_evaluator_call();
         self.graph
             .iter()
             .map(|n| self.node_latency(n.id(), residency))
@@ -195,8 +207,12 @@ impl<'a> Evaluator<'a> {
     /// (non-negative; only the nodes touching the values are revisited).
     #[must_use]
     pub fn gain_of(&self, residency: &Residency, values: &[ValueId]) -> f64 {
+        crate::profiling::count_evaluator_call();
         let touched = self.touched_nodes(values);
-        let before: f64 = touched.iter().map(|&n| self.node_latency(n, residency)).sum();
+        let before: f64 = touched
+            .iter()
+            .map(|&n| self.node_latency(n, residency))
+            .sum();
         let mut with = residency.clone();
         with.extend(values.iter().copied());
         let after: f64 = touched.iter().map(|&n| self.node_latency(n, &with)).sum();

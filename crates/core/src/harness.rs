@@ -1,0 +1,448 @@
+//! The evaluation harness: parallel, memoized, instrumented runs of the
+//! zoo × precision × allocator × ablation grid.
+//!
+//! The CLI report commands all walk the same grid and recompute the
+//! same expensive shared artefacts — explored [`AccelDesign`]s,
+//! [`GraphProfile`]s, UMM baselines, LCMM results. The harness gives
+//! them three things:
+//!
+//! 1. **Memoization** — every artefact is cached behind a concurrent
+//!    map keyed by a deterministic JSON fingerprint of its inputs, so
+//!    e.g. the three Fig. 8 ablation variants share one profile of the
+//!    common derated design.
+//! 2. **Parallelism** — [`Harness::par_map`] fans a work list out over
+//!    `jobs` OS threads while preserving input order, so report output
+//!    is byte-identical between `--jobs 1` and any parallel run (the
+//!    cached artefacts themselves are deterministic values; only *who*
+//!    computes them varies).
+//! 3. **Instrumentation** — each pipeline run's [`PassStats`] is
+//!    recorded under a human-readable label, and cache hit/miss
+//!    counters are tracked per artefact kind ([`Harness::profile_report`]).
+//!
+//! Thread fan-out uses `std::thread::scope`; the crate deliberately has
+//! no external runtime dependency (the build environment is offline).
+
+use crate::pipeline::{LcmmOptions, LcmmResult, Pipeline};
+use crate::profiling::PassStats;
+use crate::umm::UmmBaseline;
+use lcmm_fpga::{AccelDesign, Device, GraphProfile, Precision};
+use lcmm_graph::Graph;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A concurrent memo table: one `OnceLock` per key so a value is
+/// computed exactly once even when several workers request it at the
+/// same moment (late arrivals block on the in-flight computation
+/// instead of redoing it).
+struct Cache<T> {
+    map: Mutex<HashMap<String, Arc<OnceLock<Arc<T>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<T> Cache<T> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: String, compute: impl FnOnce() -> T) -> Arc<T> {
+        let cell = {
+            let mut map = self.map.lock().expect("cache lock poisoned");
+            map.entry(key)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(compute())
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Hit/miss counters of every artefact cache, for `--profile`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Explored-design cache hits.
+    pub design_hits: usize,
+    /// Explored-design cache misses (designs actually explored).
+    pub design_misses: usize,
+    /// Profile cache hits.
+    pub profile_hits: usize,
+    /// Profile cache misses (latency tables actually built).
+    pub profile_misses: usize,
+    /// UMM-baseline cache hits.
+    pub baseline_hits: usize,
+    /// UMM-baseline cache misses.
+    pub baseline_misses: usize,
+    /// LCMM-result cache hits.
+    pub result_hits: usize,
+    /// LCMM-result cache misses (pipelines actually run).
+    pub result_misses: usize,
+}
+
+/// One recorded pipeline run for the `--profile` report.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// `model|precision|options` label of the run.
+    pub label: String,
+    /// Its per-pass timings and counters.
+    pub stats: PassStats,
+}
+
+/// The machine-readable `--profile` report.
+#[derive(Debug, Clone, Serialize)]
+pub struct HarnessProfile {
+    /// Worker-thread count the harness was created with.
+    pub jobs: usize,
+    /// Artefact-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Every pipeline run, sorted by label for stable output.
+    pub runs: Vec<RunRecord>,
+}
+
+/// The parallel, memoized evaluation harness.
+pub struct Harness {
+    jobs: usize,
+    designs: Cache<AccelDesign>,
+    profiles: Cache<GraphProfile>,
+    baselines: Cache<UmmBaseline>,
+    results: Cache<LcmmResult>,
+    runs: Mutex<Vec<RunRecord>>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("jobs", &self.jobs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Deterministic JSON fingerprint of a cache-key part. The vendored
+/// serializer emits maps and sets in sorted order, so equal values
+/// always fingerprint identically.
+fn fp<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("<unserializable:{e}>"))
+}
+
+/// Short human label for one pipeline run.
+fn run_label(graph: &Graph, design: &AccelDesign, options: &LcmmOptions) -> String {
+    format!(
+        "{}|{}|fr={} wp={} sp={} alloc={:?}",
+        graph.name(),
+        design.precision.label(),
+        options.feature_reuse,
+        options.weight_prefetch,
+        options.splitting,
+        options.allocator,
+    )
+}
+
+impl Harness {
+    /// Creates a harness that fans work out over `jobs` threads
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            designs: Cache::new(),
+            profiles: Cache::new(),
+            baselines: Cache::new(),
+            results: Cache::new(),
+            runs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `f` over `items` using up to `jobs` worker threads,
+    /// returning results in input order. With `jobs == 1` this is a
+    /// plain serial map — the parallel path produces the same vector
+    /// because workers write into per-index slots.
+    pub fn par_map<T: Sync, U: Send>(&self, items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    /// The explored (UMM) design for a graph/device/precision triple,
+    /// memoized.
+    pub fn design(&self, graph: &Graph, device: &Device, precision: Precision) -> Arc<AccelDesign> {
+        let key = format!("{}\u{1}{}\u{1}{}", fp(graph), fp(device), fp(&precision));
+        self.designs
+            .get_or_compute(key, || AccelDesign::explore(graph, device, precision))
+    }
+
+    /// The operation latency table of `design` on `graph`, memoized.
+    pub fn profile(&self, graph: &Graph, design: &AccelDesign) -> Arc<GraphProfile> {
+        let key = format!("{}\u{1}{}", fp(graph), fp(design));
+        self.profiles.get_or_compute(key, || design.profile(graph))
+    }
+
+    /// The UMM baseline for a graph/device/precision triple, memoized
+    /// (the explored design is shared through the design cache).
+    pub fn baseline(
+        &self,
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+    ) -> Arc<UmmBaseline> {
+        let design = self.design(graph, device, precision);
+        self.baseline_from_design(graph, &design)
+    }
+
+    /// The UMM baseline of an explicit design (batch studies, granular
+    /// DDR variants), memoized.
+    pub fn baseline_from_design(&self, graph: &Graph, design: &AccelDesign) -> Arc<UmmBaseline> {
+        let key = format!("{}\u{1}{}", fp(graph), fp(design));
+        self.baselines
+            .get_or_compute(key, || UmmBaseline::from_design(graph, design.clone()))
+    }
+
+    /// The LCMM result for a graph/device/precision triple under
+    /// `options`, memoized end to end.
+    pub fn lcmm(
+        &self,
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+        options: LcmmOptions,
+    ) -> Arc<LcmmResult> {
+        let design = self.design(graph, device, precision);
+        self.lcmm_with_design(graph, &design, options)
+    }
+
+    /// The LCMM result starting from an explored design, memoized. The
+    /// derated design's profile comes from the shared profile cache, so
+    /// ablation variants of one design profile the graph only once.
+    pub fn lcmm_with_design(
+        &self,
+        graph: &Graph,
+        base: &AccelDesign,
+        options: LcmmOptions,
+    ) -> Arc<LcmmResult> {
+        let pipeline = Pipeline::new(options);
+        let design = pipeline.lcmm_design(base.clone());
+        let key = format!("{}\u{1}{}\u{1}{}", fp(graph), fp(&design), fp(&options));
+        self.results.get_or_compute(key, || {
+            let profile = self.profile(graph, &design);
+            let result = pipeline.run_with_profile(graph, design.clone(), &profile);
+            self.runs
+                .lock()
+                .expect("runs lock poisoned")
+                .push(RunRecord {
+                    label: run_label(graph, &design, &options),
+                    stats: result.stats,
+                });
+            result
+        })
+    }
+
+    /// UMM baseline and full-LCMM result side by side (the memoized
+    /// equivalent of [`crate::pipeline::compare`]).
+    pub fn compare(
+        &self,
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+    ) -> (Arc<UmmBaseline>, Arc<LcmmResult>) {
+        let umm = self.baseline(graph, device, precision);
+        let lcmm = self.lcmm_with_design(graph, &umm.design, LcmmOptions::default());
+        (umm, lcmm)
+    }
+
+    /// Cache hit/miss counters so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let (design_hits, design_misses) = self.designs.counts();
+        let (profile_hits, profile_misses) = self.profiles.counts();
+        let (baseline_hits, baseline_misses) = self.baselines.counts();
+        let (result_hits, result_misses) = self.results.counts();
+        CacheStats {
+            design_hits,
+            design_misses,
+            profile_hits,
+            profile_misses,
+            baseline_hits,
+            baseline_misses,
+            result_hits,
+            result_misses,
+        }
+    }
+
+    /// The full `--profile` report: cache counters plus every recorded
+    /// pipeline run, sorted by label for stable output.
+    #[must_use]
+    pub fn profile_report(&self) -> HarnessProfile {
+        let mut runs = self.runs.lock().expect("runs lock poisoned").clone();
+        runs.sort_by(|a, b| a.label.cmp(&b.label));
+        HarnessProfile {
+            jobs: self.jobs,
+            cache: self.cache_stats(),
+            runs,
+        }
+    }
+}
+
+// par_map shares the harness across worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Harness>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_graph::zoo;
+
+    fn small_graph() -> Graph {
+        zoo::alexnet()
+    }
+
+    #[test]
+    fn memoizes_designs_and_profiles() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let device = Device::vu9p();
+        let d1 = h.design(&g, &device, Precision::Fix16);
+        let d2 = h.design(&g, &device, Precision::Fix16);
+        assert!(Arc::ptr_eq(&d1, &d2), "same key must share one artefact");
+        let stats = h.cache_stats();
+        assert_eq!(stats.design_misses, 1);
+        assert_eq!(stats.design_hits, 1);
+    }
+
+    #[test]
+    fn ablation_variants_share_one_profile() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let device = Device::vu9p();
+        let base = h.design(&g, &device, Precision::Fix16);
+        // All three default-clock variants derate to the same design.
+        for options in [
+            LcmmOptions::default(),
+            LcmmOptions::feature_reuse_only(),
+            LcmmOptions::weight_prefetch_only(),
+        ] {
+            let _ = h.lcmm_with_design(&g, &base, options);
+        }
+        let stats = h.cache_stats();
+        assert_eq!(stats.profile_misses, 1, "one shared derated profile");
+        assert_eq!(stats.result_misses, 3, "three distinct option sets");
+        assert_eq!(h.profile_report().runs.len(), 3);
+    }
+
+    #[test]
+    fn harness_result_matches_direct_pipeline() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let device = Device::vu9p();
+        let direct = Pipeline::new(LcmmOptions::default()).run(&g, &device, Precision::Fix16);
+        let via = h.lcmm(&g, &device, Precision::Fix16, LcmmOptions::default());
+        assert_eq!(via.latency, direct.latency);
+        assert_eq!(via.residency, direct.residency);
+        assert_eq!(via.chosen, direct.chosen);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        for jobs in [1, 2, 5] {
+            let h = Harness::new(jobs);
+            let items: Vec<u64> = (0..23).collect();
+            let out = h.par_map(&items, |&x| x * x);
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_compares_agree() {
+        let g = small_graph();
+        let device = Device::vu9p();
+        let grid: Vec<Precision> = Precision::ALL.to_vec();
+
+        let serial = Harness::new(1);
+        let s: Vec<(f64, f64)> = serial.par_map(&grid, |&p| {
+            let (umm, lcmm) = serial.compare(&g, &device, p);
+            (umm.latency, lcmm.latency)
+        });
+        let parallel = Harness::new(4);
+        let r: Vec<(f64, f64)> = parallel.par_map(&grid, |&p| {
+            let (umm, lcmm) = parallel.compare(&g, &device, p);
+            (umm.latency, lcmm.latency)
+        });
+        assert_eq!(s, r);
+    }
+
+    #[test]
+    fn pass_stats_are_populated() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let lcmm = h.lcmm(
+            &g,
+            &Device::vu9p(),
+            Precision::Fix16,
+            LcmmOptions::default(),
+        );
+        let s = lcmm.stats;
+        assert!(s.total_seconds > 0.0);
+        assert!(s.evaluator_calls > 0, "evaluator must be consulted");
+        assert!(s.allocator_invocations > 0, "allocator must run");
+        assert!(s.dnnk_dp_cells > 0, "DNNK DP must visit cells");
+        let report = h.profile_report();
+        assert_eq!(report.runs.len(), 1);
+        assert!(report.runs[0].label.starts_with("alexnet|"));
+        // The report serializes (what --profile prints).
+        let json = serde_json::to_string_pretty(&report).expect("serialises");
+        assert!(json.contains("dnnk_dp_cells"));
+    }
+}

@@ -28,7 +28,11 @@ impl InterferenceGraph {
     pub fn new(values: Vec<(ValueId, u64, LiveInterval)>) -> Self {
         let nodes = values.iter().map(|&(id, bytes, _)| (id, bytes)).collect();
         let intervals = values.into_iter().map(|(id, _, iv)| (id, iv)).collect();
-        Self { nodes, intervals, false_edges: HashSet::new() }
+        Self {
+            nodes,
+            intervals,
+            false_edges: HashSet::new(),
+        }
     }
 
     /// Adds a false lifespan-overlap edge (used by buffer splitting).
@@ -88,7 +92,7 @@ impl InterferenceGraph {
                 // Since we process in decreasing size order, the buffer
                 // is at least as large as this value: waste = buf - v.
                 let waste = buf.bytes - bytes.min(buf.bytes);
-                if best.map_or(true, |(w, _)| waste < w) {
+                if best.is_none_or(|(w, _)| waste < w) {
                     best = Some((waste, i));
                 }
             }
@@ -97,7 +101,10 @@ impl InterferenceGraph {
                     buffers[i].members.push(id);
                     buffers[i].bytes = buffers[i].bytes.max(bytes);
                 }
-                None => buffers.push(VirtualBuffer { members: vec![id], bytes }),
+                None => buffers.push(VirtualBuffer {
+                    members: vec![id],
+                    bytes,
+                }),
             }
         }
         buffers
@@ -147,7 +154,7 @@ impl InterferenceGraph {
                 // slack left when this value is smaller than it.
                 let new_size = buf.bytes.max(bytes);
                 let waste = (new_size - buf.bytes) + (new_size - bytes);
-                if best.map_or(true, |(w, _)| waste < w) {
+                if best.is_none_or(|(w, _)| waste < w) {
                     best = Some((waste, i));
                 }
             }
@@ -156,7 +163,10 @@ impl InterferenceGraph {
                     buffers[i].members.push(id);
                     buffers[i].bytes = buffers[i].bytes.max(bytes);
                 }
-                None => buffers.push(VirtualBuffer { members: vec![id], bytes }),
+                None => buffers.push(VirtualBuffer {
+                    members: vec![id],
+                    bytes,
+                }),
             }
         }
         buffers
@@ -229,13 +239,17 @@ mod tests {
     #[test]
     fn coloring_never_places_interfering_values_together() {
         // A chain with staggered overlaps.
-        let spans: Vec<(usize, u64, usize, usize)> =
-            (0..20).map(|i| (i, (20 - i) as u64 * 10, i, i + 3)).collect();
+        let spans: Vec<(usize, u64, usize, usize)> = (0..20)
+            .map(|i| (i, (20 - i) as u64 * 10, i, i + 3))
+            .collect();
         let g = graph_of(&spans);
         for buf in g.color() {
             for (ai, &a) in buf.members.iter().enumerate() {
                 for &b in &buf.members[ai + 1..] {
-                    assert!(!g.interferes(a, b), "{a} and {b} share a buffer but interfere");
+                    assert!(
+                        !g.interferes(a, b),
+                        "{a} and {b} share a buffer but interfere"
+                    );
                 }
             }
         }
@@ -243,8 +257,9 @@ mod tests {
 
     #[test]
     fn total_bytes_never_exceed_no_sharing() {
-        let spans: Vec<(usize, u64, usize, usize)> =
-            (0..12).map(|i| (i, 100 + (i as u64 * 37) % 300, i * 2, i * 2 + 5)).collect();
+        let spans: Vec<(usize, u64, usize, usize)> = (0..12)
+            .map(|i| (i, 100 + (i as u64 * 37) % 300, i * 2, i * 2 + 5))
+            .collect();
         let g = graph_of(&spans);
         let shared: u64 = g.color().iter().map(|b| b.bytes).sum();
         let unshared: u64 = spans.iter().map(|s| s.1).sum();
@@ -281,8 +296,9 @@ mod tests {
 
     #[test]
     fn chaitin_coloring_is_also_conflict_free() {
-        let spans: Vec<(usize, u64, usize, usize)> =
-            (0..24).map(|i| (i, 50 + (i as u64 * 91) % 400, i, i + 4)).collect();
+        let spans: Vec<(usize, u64, usize, usize)> = (0..24)
+            .map(|i| (i, 50 + (i as u64 * 91) % 400, i, i + 4))
+            .collect();
         let g = graph_of(&spans);
         for buf in g.color_chaitin() {
             for (ai, &a) in buf.members.iter().enumerate() {
@@ -298,14 +314,19 @@ mod tests {
         use crate::liveness::{feature_lifespans, Schedule};
         use crate::value::ValueTable;
         use lcmm_fpga::{AccelDesign, Device, Precision};
-        for g in [lcmm_graph::zoo::googlenet(), lcmm_graph::zoo::inception_v4()] {
+        for g in [
+            lcmm_graph::zoo::googlenet(),
+            lcmm_graph::zoo::inception_v4(),
+        ] {
             let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
             let p = d.profile(&g);
             let t = ValueTable::build(&g, &p, Precision::Fix16);
             let s = Schedule::new(&g);
             let spans = feature_lifespans(&s, t.feature_candidates());
             let ig = InterferenceGraph::new(
-                t.feature_candidates().map(|v| (v.id, v.bytes, spans[&v.id])).collect(),
+                t.feature_candidates()
+                    .map(|v| (v.id, v.bytes, spans[&v.id]))
+                    .collect(),
             );
             let bfd: u64 = ig.color().iter().map(|b| b.bytes).sum();
             let chaitin: u64 = ig.color_chaitin().iter().map(|b| b.bytes).sum();

@@ -39,12 +39,14 @@ pub mod calibrate;
 pub mod design_space;
 pub mod energy;
 pub mod eval;
+pub mod harness;
 pub mod interference;
 pub mod liveness;
 pub mod manifest;
 pub mod paper;
 pub mod pipeline;
 pub mod prefetch;
+pub mod profiling;
 pub mod report;
 pub mod splitting;
 pub mod strategies;
@@ -52,6 +54,8 @@ pub mod umm;
 pub mod value;
 
 pub use eval::{Evaluator, Residency};
+pub use harness::Harness;
 pub use pipeline::{LcmmOptions, LcmmResult, Pipeline};
+pub use profiling::PassStats;
 pub use umm::UmmBaseline;
 pub use value::{TensorValue, ValueId, ValueKind, ValueTable};

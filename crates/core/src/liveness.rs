@@ -120,7 +120,11 @@ impl Schedule {
                 }
             }
         }
-        assert_eq!(order.len(), graph.len(), "graph is acyclic, so all nodes schedule");
+        assert_eq!(
+            order.len(),
+            graph.len(),
+            "graph is acyclic, so all nodes schedule"
+        );
         Self::from_order(graph, order)
     }
 
@@ -252,7 +256,10 @@ mod tests {
         let spans = feature_lifespans(&s, table.iter());
         let b1 = spans[&ValueId::Feature(g.node_by_name("inception_3a/1x1").unwrap().id())];
         let b2 = spans[&ValueId::Feature(g.node_by_name("inception_3a/3x3").unwrap().id())];
-        assert!(b1.overlaps(&b2), "parallel branches are simultaneously live");
+        assert!(
+            b1.overlaps(&b2),
+            "parallel branches are simultaneously live"
+        );
     }
 
     #[test]
@@ -275,7 +282,9 @@ mod tests {
         // immediately.
         let mut b = GraphBuilder::new("adversarial");
         let x = b.input(crate::liveness::tests::shape(64, 56));
-        let big = b.conv("big", x, ConvParams::square(512, 3, 1, 1)).expect("big");
+        let big = b
+            .conv("big", x, ConvParams::square(512, 3, 1, 1))
+            .expect("big");
         // Long unrelated chain of *large* tensors from the input: under
         // id order, `big` stays live across all of them.
         let mut chain = x;
@@ -285,7 +294,9 @@ mod tests {
                 .expect("chain");
         }
         // The big tensor's only consumer, inserted last.
-        let sink = b.conv("sink", big, ConvParams::square(32, 3, 2, 1)).expect("sink");
+        let sink = b
+            .conv("sink", big, ConvParams::square(32, 3, 2, 1))
+            .expect("sink");
         let merged = b
             .conv("post", sink, ConvParams::pointwise(32))
             .expect("post");

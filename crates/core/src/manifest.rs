@@ -95,10 +95,7 @@ impl AllocationManifest {
                     if let Some(edge) = result.prefetch.edge(m) {
                         prefetches.push(PrefetchEntry {
                             value: m,
-                            trigger_layer: graph
-                                .node(schedule.at(edge.start))
-                                .name()
-                                .to_string(),
+                            trigger_layer: graph.node(schedule.at(edge.start)).name().to_string(),
                             buffer: name.clone(),
                             bytes: member_bytes(graph, result, m),
                             exposed_seconds: edge.exposed_seconds,
@@ -107,7 +104,12 @@ impl AllocationManifest {
                     let _ = node;
                 }
             }
-            buffers.push(BufferEntry { name, base, bytes: buf.bytes, tensors });
+            buffers.push(BufferEntry {
+                name,
+                base,
+                bytes: buf.bytes,
+                tensors,
+            });
             base += buf.bytes;
         }
         prefetches.sort_by(|a, b| {
@@ -201,8 +203,7 @@ mod tests {
     #[test]
     fn manifest_round_trips_json() {
         let (_, m) = manifest_for("alexnet");
-        let back: AllocationManifest =
-            serde_json::from_str(&m.to_json()).expect("valid json");
+        let back: AllocationManifest = serde_json::from_str(&m.to_json()).expect("valid json");
         assert_eq!(back, m);
     }
 }

@@ -35,15 +35,114 @@ pub struct PaperTable1Row {
 
 /// The paper's Table 1 + the POL column of Table 2.
 pub const TABLE1: [PaperTable1Row; 9] = [
-    PaperTable1Row { model: "RN", zoo_name: "resnet152", precision_bits: 8, umm_latency_ms: 18.806, umm_tops: 1.227, lcmm_latency_ms: 13.258, lcmm_tops: 1.747, speedup: 1.42, lcmm_sram_pct: 86.0, pol_pct: 94.0 },
-    PaperTable1Row { model: "RN", zoo_name: "resnet152", precision_bits: 16, umm_latency_ms: 22.253, umm_tops: 1.126, lcmm_latency_ms: 15.243, lcmm_tops: 1.644, speedup: 1.46, lcmm_sram_pct: 85.0, pol_pct: 94.0 },
-    PaperTable1Row { model: "RN", zoo_name: "resnet152", precision_bits: 32, umm_latency_ms: 125.720, umm_tops: 0.184, lcmm_latency_ms: 86.754, lcmm_tops: 0.266, speedup: 1.45, lcmm_sram_pct: 80.0, pol_pct: 84.0 },
-    PaperTable1Row { model: "GN", zoo_name: "googlenet", precision_bits: 8, umm_latency_ms: 5.589, umm_tops: 0.936, lcmm_latency_ms: 4.650, lcmm_tops: 1.148, speedup: 1.23, lcmm_sram_pct: 88.0, pol_pct: 83.0 },
-    PaperTable1Row { model: "GN", zoo_name: "googlenet", precision_bits: 16, umm_latency_ms: 6.366, umm_tops: 0.668, lcmm_latency_ms: 4.929, lcmm_tops: 0.863, speedup: 1.29, lcmm_sram_pct: 83.0, pol_pct: 82.0 },
-    PaperTable1Row { model: "GN", zoo_name: "googlenet", precision_bits: 32, umm_latency_ms: 24.454, umm_tops: 0.213, lcmm_latency_ms: 19.439, lcmm_tops: 0.269, speedup: 1.25, lcmm_sram_pct: 83.0, pol_pct: 61.0 },
-    PaperTable1Row { model: "IN", zoo_name: "inception_v4", precision_bits: 8, umm_latency_ms: 7.110, umm_tops: 1.293, lcmm_latency_ms: 6.030, lcmm_tops: 1.528, speedup: 1.17, lcmm_sram_pct: 89.0, pol_pct: 78.0 },
-    PaperTable1Row { model: "IN", zoo_name: "inception_v4", precision_bits: 16, umm_latency_ms: 9.595, umm_tops: 0.968, lcmm_latency_ms: 6.972, lcmm_tops: 1.319, speedup: 1.36, lcmm_sram_pct: 88.0, pol_pct: 79.0 },
-    PaperTable1Row { model: "IN", zoo_name: "inception_v4", precision_bits: 32, umm_latency_ms: 37.515, umm_tops: 0.213, lcmm_latency_ms: 28.255, lcmm_tops: 0.325, speedup: 1.33, lcmm_sram_pct: 81.0, pol_pct: 66.0 },
+    PaperTable1Row {
+        model: "RN",
+        zoo_name: "resnet152",
+        precision_bits: 8,
+        umm_latency_ms: 18.806,
+        umm_tops: 1.227,
+        lcmm_latency_ms: 13.258,
+        lcmm_tops: 1.747,
+        speedup: 1.42,
+        lcmm_sram_pct: 86.0,
+        pol_pct: 94.0,
+    },
+    PaperTable1Row {
+        model: "RN",
+        zoo_name: "resnet152",
+        precision_bits: 16,
+        umm_latency_ms: 22.253,
+        umm_tops: 1.126,
+        lcmm_latency_ms: 15.243,
+        lcmm_tops: 1.644,
+        speedup: 1.46,
+        lcmm_sram_pct: 85.0,
+        pol_pct: 94.0,
+    },
+    PaperTable1Row {
+        model: "RN",
+        zoo_name: "resnet152",
+        precision_bits: 32,
+        umm_latency_ms: 125.720,
+        umm_tops: 0.184,
+        lcmm_latency_ms: 86.754,
+        lcmm_tops: 0.266,
+        speedup: 1.45,
+        lcmm_sram_pct: 80.0,
+        pol_pct: 84.0,
+    },
+    PaperTable1Row {
+        model: "GN",
+        zoo_name: "googlenet",
+        precision_bits: 8,
+        umm_latency_ms: 5.589,
+        umm_tops: 0.936,
+        lcmm_latency_ms: 4.650,
+        lcmm_tops: 1.148,
+        speedup: 1.23,
+        lcmm_sram_pct: 88.0,
+        pol_pct: 83.0,
+    },
+    PaperTable1Row {
+        model: "GN",
+        zoo_name: "googlenet",
+        precision_bits: 16,
+        umm_latency_ms: 6.366,
+        umm_tops: 0.668,
+        lcmm_latency_ms: 4.929,
+        lcmm_tops: 0.863,
+        speedup: 1.29,
+        lcmm_sram_pct: 83.0,
+        pol_pct: 82.0,
+    },
+    PaperTable1Row {
+        model: "GN",
+        zoo_name: "googlenet",
+        precision_bits: 32,
+        umm_latency_ms: 24.454,
+        umm_tops: 0.213,
+        lcmm_latency_ms: 19.439,
+        lcmm_tops: 0.269,
+        speedup: 1.25,
+        lcmm_sram_pct: 83.0,
+        pol_pct: 61.0,
+    },
+    PaperTable1Row {
+        model: "IN",
+        zoo_name: "inception_v4",
+        precision_bits: 8,
+        umm_latency_ms: 7.110,
+        umm_tops: 1.293,
+        lcmm_latency_ms: 6.030,
+        lcmm_tops: 1.528,
+        speedup: 1.17,
+        lcmm_sram_pct: 89.0,
+        pol_pct: 78.0,
+    },
+    PaperTable1Row {
+        model: "IN",
+        zoo_name: "inception_v4",
+        precision_bits: 16,
+        umm_latency_ms: 9.595,
+        umm_tops: 0.968,
+        lcmm_latency_ms: 6.972,
+        lcmm_tops: 1.319,
+        speedup: 1.36,
+        lcmm_sram_pct: 88.0,
+        pol_pct: 79.0,
+    },
+    PaperTable1Row {
+        model: "IN",
+        zoo_name: "inception_v4",
+        precision_bits: 32,
+        umm_latency_ms: 37.515,
+        umm_tops: 0.213,
+        lcmm_latency_ms: 28.255,
+        lcmm_tops: 0.325,
+        speedup: 1.33,
+        lcmm_sram_pct: 81.0,
+        pol_pct: 66.0,
+    },
 ];
 
 /// The paper's headline: average speedup over UMM.
@@ -130,7 +229,11 @@ pub fn fidelity(measured: &[(String, u8, f64)]) -> Fidelity {
     Fidelity {
         sign_agreement: ratio(sign_hits, sign_total),
         trend_agreement: ratio(trend_hits, trend_total),
-        mean_relative_deviation: if dev_n == 0 { 0.0 } else { dev_sum / dev_n as f64 },
+        mean_relative_deviation: if dev_n == 0 {
+            0.0
+        } else {
+            dev_sum / dev_n as f64
+        },
     }
 }
 

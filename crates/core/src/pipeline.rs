@@ -6,12 +6,16 @@ use crate::eval::{Evaluator, Residency};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
 use crate::liveness::{feature_lifespans, Schedule};
 use crate::prefetch::PrefetchPlan;
+use crate::profiling::{self, PassStats};
 use crate::splitting::{refine, SplitConfig};
 use crate::umm::UmmBaseline;
 use crate::value::ValueTable;
-use lcmm_fpga::{resources, AccelDesign, Device, Precision, ResourceReport, TileBudget};
+use lcmm_fpga::{
+    resources, AccelDesign, Device, GraphProfile, Precision, ResourceReport, TileBudget,
+};
 use lcmm_graph::Graph;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which allocator the pipeline uses for the knapsack stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,13 +63,19 @@ impl LcmmOptions {
     /// Feature buffer reuse only (Fig. 8(a)).
     #[must_use]
     pub fn feature_reuse_only() -> Self {
-        Self { weight_prefetch: false, ..Self::default() }
+        Self {
+            weight_prefetch: false,
+            ..Self::default()
+        }
     }
 
     /// Weight prefetching only (Fig. 8(b)).
     #[must_use]
     pub fn weight_prefetch_only() -> Self {
-        Self { feature_reuse: false, ..Self::default() }
+        Self {
+            feature_reuse: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -103,6 +113,8 @@ pub struct LcmmResult {
     /// Memory-bound layers whose latency improved — the numerator of
     /// the paper's POL metric (Table 2).
     pub layers_benefiting: usize,
+    /// Per-pass timings and counters of this run.
+    pub stats: PassStats,
 }
 
 impl LcmmResult {
@@ -186,26 +198,56 @@ impl Pipeline {
         self.run_with_design(graph, umm_design)
     }
 
-    /// Runs the full flow starting from an explored (UMM) design: the
-    /// array shape is kept, the clock is derated and the tile buffers
-    /// shrunk per the paper's LCMM designs.
+    /// Derates an explored (UMM) design into its LCMM form: the array
+    /// shape is kept, the clock is derated and the tile buffers shrunk
+    /// per the paper's LCMM designs.
     #[must_use]
-    pub fn run_with_design(&self, graph: &Graph, base: AccelDesign) -> LcmmResult {
-        let precision = base.precision;
+    pub fn lcmm_design(&self, base: AccelDesign) -> AccelDesign {
         let freq = self
             .options
             .frequency_hz
-            .unwrap_or_else(|| default_lcmm_frequency(precision));
-        let design = base
-            .with_frequency(freq)
-            .with_tile_budget(TileBudget::default_lcmm());
+            .unwrap_or_else(|| default_lcmm_frequency(base.precision));
+        base.with_frequency(freq)
+            .with_tile_budget(TileBudget::default_lcmm())
+    }
 
+    /// Runs the full flow starting from an explored (UMM) design: the
+    /// design is derated via [`Pipeline::lcmm_design`], profiled, and
+    /// handed to [`Pipeline::run_with_profile`].
+    #[must_use]
+    pub fn run_with_design(&self, graph: &Graph, base: AccelDesign) -> LcmmResult {
+        let design = self.lcmm_design(base);
+        let t_profile = Instant::now();
         let profile = design.profile(graph);
-        let evaluator = Evaluator::new(graph, &profile);
-        let values = ValueTable::build_batched(graph, &profile, precision, design.batch);
+        let profile_seconds = t_profile.elapsed().as_secs_f64();
+        let mut result = self.run_with_profile(graph, design, &profile);
+        result.stats.profile_seconds = profile_seconds;
+        result.stats.total_seconds += profile_seconds;
+        result
+    }
+
+    /// Runs passes 1–4 against an already-derated design and its
+    /// latency table (`profile` must be `design.profile(graph)`).
+    ///
+    /// This is the memoization seam of the evaluation harness: the
+    /// profile is by far the most expensive shared artefact, and every
+    /// ablation variant of the same design can reuse one copy.
+    #[must_use]
+    pub fn run_with_profile(
+        &self,
+        graph: &Graph,
+        design: AccelDesign,
+        profile: &GraphProfile,
+    ) -> LcmmResult {
+        profiling::reset_counters();
+        let t_total = Instant::now();
+        let precision = design.precision;
+        let evaluator = Evaluator::new(graph, profile);
+        let values = ValueTable::build_batched(graph, profile, precision, design.batch);
         let schedule = Schedule::new(graph);
 
         // --- Pass 1: feature buffer reuse -------------------------------
+        let t_pass = Instant::now();
         let feature_graph = if self.options.feature_reuse {
             let spans = feature_lifespans(&schedule, values.feature_candidates());
             InterferenceGraph::new(
@@ -217,8 +259,10 @@ impl Pipeline {
         } else {
             InterferenceGraph::default()
         };
+        let liveness_seconds = t_pass.elapsed().as_secs_f64();
 
         // --- Pass 2: weight buffer prefetching ---------------------------
+        let t_pass = Instant::now();
         let (weight_graph, prefetch) = if self.options.weight_prefetch {
             let plan = PrefetchPlan::build(
                 &evaluator,
@@ -238,8 +282,10 @@ impl Pipeline {
         } else {
             (InterferenceGraph::default(), PrefetchPlan::default())
         };
+        let prefetch_seconds = t_pass.elapsed().as_secs_f64();
 
         // --- Pass 3 + 4: DNNK allocation with splitting ------------------
+        let t_pass = Instant::now();
         let allocator = match self.options.allocator {
             AllocatorKind::Dnnk => dnnk::allocate as fn(&AllocProblem<'_>) -> _,
             AllocatorKind::DnnkIterative => dnnk_iterative::allocate,
@@ -253,6 +299,7 @@ impl Pipeline {
         };
         let result = refine(
             &evaluator,
+            precision,
             design.tensor_sram_budget(),
             &prefetch,
             feature_graph,
@@ -260,8 +307,10 @@ impl Pipeline {
             allocator,
             split_config,
         );
+        let alloc_split_seconds = t_pass.elapsed().as_secs_f64();
 
         // --- Reporting ----------------------------------------------------
+        let t_pass = Instant::now();
         let empty = Residency::new();
         let memory_bound = profile.memory_bound_layers(graph);
         let layers_benefiting = memory_bound
@@ -282,6 +331,15 @@ impl Pipeline {
         let resources = resources::report(&design, &buffer_sizes);
 
         let ops = design.batch as u64 * 2 * graph.total_macs();
+        let reporting_seconds = t_pass.elapsed().as_secs_f64();
+
+        let mut stats = PassStats::from_counters(profiling::snapshot_counters());
+        stats.liveness_seconds = liveness_seconds;
+        stats.prefetch_seconds = prefetch_seconds;
+        stats.alloc_split_seconds = alloc_split_seconds;
+        stats.reporting_seconds = reporting_seconds;
+        stats.total_seconds = t_total.elapsed().as_secs_f64();
+
         LcmmResult {
             design,
             latency: result.outcome.latency,
@@ -294,6 +352,7 @@ impl Pipeline {
             resources,
             memory_bound_layers: memory_bound.len(),
             layers_benefiting,
+            stats,
         }
     }
 }
@@ -328,8 +387,7 @@ pub fn block_ops(graph: &Graph, block: &str) -> u64 {
 #[must_use]
 pub fn compare(graph: &Graph, device: &Device, precision: Precision) -> (UmmBaseline, LcmmResult) {
     let umm = UmmBaseline::build(graph, device, precision);
-    let lcmm = Pipeline::new(LcmmOptions::default())
-        .run_with_design(graph, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
     (umm, lcmm)
 }
 
@@ -352,8 +410,7 @@ mod tests {
         let g = zoo::googlenet();
         let device = Device::vu9p();
         let umm = UmmBaseline::build(&g, &device, Precision::Fix16);
-        let full = Pipeline::new(LcmmOptions::default())
-            .run_with_design(&g, umm.design.clone());
+        let full = Pipeline::new(LcmmOptions::default()).run_with_design(&g, umm.design.clone());
         let features_only = Pipeline::new(LcmmOptions::feature_reuse_only())
             .run_with_design(&g, umm.design.clone());
         let weights_only = Pipeline::new(LcmmOptions::weight_prefetch_only())
@@ -394,8 +451,11 @@ mod tests {
         let umm = UmmBaseline::build(&g, &Device::vu9p(), Precision::Fix16);
         let ev = Evaluator::new(&g, &umm.profile);
         let r = Residency::new();
-        let total_blocks: f64 =
-            g.blocks().iter().map(|b| block_latency(&g, &ev, &r, b)).sum();
+        let total_blocks: f64 = g
+            .blocks()
+            .iter()
+            .map(|b| block_latency(&g, &ev, &r, b))
+            .sum();
         // Some nodes (pools between stages) are unlabelled, so the block
         // sum is at most the total.
         assert!(total_blocks <= ev.total_latency(&r) + 1e-12);
@@ -405,7 +465,10 @@ mod tests {
     #[test]
     fn greedy_allocator_option_works() {
         let g = zoo::alexnet();
-        let opts = LcmmOptions { allocator: AllocatorKind::Greedy, ..LcmmOptions::default() };
+        let opts = LcmmOptions {
+            allocator: AllocatorKind::Greedy,
+            ..LcmmOptions::default()
+        };
         let lcmm = Pipeline::new(opts).run(&g, &Device::vu9p(), Precision::Fix16);
         assert!(lcmm.latency > 0.0);
     }

@@ -110,7 +110,12 @@ impl PrefetchPlan {
             }
             edges.insert(
                 value.id,
-                PrefetchEdge { start, end, load_seconds: load, exposed_seconds: needed.max(0.0) },
+                PrefetchEdge {
+                    start,
+                    end,
+                    load_seconds: load,
+                    exposed_seconds: needed.max(0.0),
+                },
             );
         }
         Self { edges }
@@ -142,7 +147,10 @@ impl PrefetchPlan {
     /// Occupancy spans for the weight interference graph.
     #[must_use]
     pub fn intervals(&self) -> HashMap<ValueId, LiveInterval> {
-        self.edges.iter().map(|(&id, e)| (id, e.interval())).collect()
+        self.edges
+            .iter()
+            .map(|(&id, e)| (id, e.interval()))
+            .collect()
     }
 }
 
@@ -151,7 +159,7 @@ mod tests {
     use super::*;
     use crate::value::ValueTable;
     use lcmm_fpga::{AccelDesign, Device, GraphProfile, Precision};
-    use lcmm_graph::{Graph, zoo};
+    use lcmm_graph::{zoo, Graph};
 
     fn setup(graph: &Graph) -> (GraphProfile, ValueTable, Schedule) {
         let d = AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16);
@@ -166,8 +174,7 @@ mod tests {
         let g = zoo::resnet152();
         let (p, t, s) = setup(&g);
         let ev = Evaluator::new(&g, &p);
-        let plan =
-            PrefetchPlan::build(&ev, &s, &Residency::new(), t.weight_candidates());
+        let plan = PrefetchPlan::build(&ev, &s, &Residency::new(), t.weight_candidates());
         assert_eq!(plan.len(), t.weight_candidates().count());
     }
 
@@ -182,8 +189,9 @@ mod tests {
             assert!(edge.start <= edge.end);
             if edge.fully_hidden() {
                 // Accumulated latency across the span must reach T.
-                let span: f64 =
-                    (edge.start..edge.end).map(|k| ev.node_latency(s.at(k), &r)).sum();
+                let span: f64 = (edge.start..edge.end)
+                    .map(|k| ev.node_latency(s.at(k), &r))
+                    .sum();
                 assert!(
                     span + 1e-12 >= edge.load_seconds,
                     "{id}: span {span} < load {}",
@@ -204,8 +212,10 @@ mod tests {
         let ev = Evaluator::new(&g, &p);
         let r = Residency::new();
         let plan = PrefetchPlan::build(&ev, &s, &r, t.weight_candidates());
-        let hidden: f64 =
-            plan.iter().map(|(_, e)| e.load_seconds - e.exposed_seconds).sum();
+        let hidden: f64 = plan
+            .iter()
+            .map(|(_, e)| e.load_seconds - e.exposed_seconds)
+            .sum();
         let idle: f64 = (0..s.len())
             .map(|pos| {
                 let n = s.at(pos);

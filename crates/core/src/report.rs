@@ -87,17 +87,27 @@ pub struct ComparisonRecord {
 
 /// Runs the comparison and collects the record.
 #[must_use]
-pub fn comparison_record(
+pub fn comparison_record(graph: &Graph, device: &Device, precision: Precision) -> ComparisonRecord {
+    let (umm, lcmm) = compare(graph, device, precision);
+    record_from_comparison(graph, device, precision, &umm, &lcmm)
+}
+
+/// Collects the record from an already-evaluated pair — the harness
+/// path, which reuses memoized baselines/results instead of recomputing
+/// them per record.
+#[must_use]
+pub fn record_from_comparison(
     graph: &Graph,
     device: &Device,
     precision: Precision,
+    umm: &UmmBaseline,
+    lcmm: &LcmmResult,
 ) -> ComparisonRecord {
-    let (umm, lcmm) = compare(graph, device, precision);
     ComparisonRecord {
         model: graph.name().to_string(),
         precision: precision.label().to_string(),
-        umm: DesignRecord::from_umm(&umm, device),
-        lcmm: DesignRecord::from_lcmm(&lcmm, device),
+        umm: DesignRecord::from_umm(umm, device),
+        lcmm: DesignRecord::from_lcmm(lcmm, device),
         speedup: lcmm.speedup_over(umm.latency),
         memory_bound_layers: lcmm.memory_bound_layers,
         pol: lcmm.pol(),

@@ -13,7 +13,10 @@ use crate::alloc::{AllocOutcome, AllocProblem};
 use crate::eval::{Evaluator, Residency};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
 use crate::prefetch::PrefetchPlan;
+use crate::profiling;
 use crate::value::{ValueId, ValueKind};
+use lcmm_fpga::Precision;
+use std::time::Instant;
 
 /// Configuration of the splitting loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,10 +46,13 @@ pub struct SplitResult {
 pub type AllocatorFn = fn(&AllocProblem<'_>) -> AllocOutcome;
 
 /// Runs allocation, then iteratively splits misspilled buffers while it
-/// helps.
+/// helps. `precision` sizes the split candidates (bytes, not element
+/// counts) so the decisions match the allocator's real buffer sizes.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn refine(
     evaluator: &Evaluator<'_>,
+    precision: Precision,
     budget_bytes: u64,
     plan: &PrefetchPlan,
     mut feature_graph: InterferenceGraph,
@@ -55,20 +61,23 @@ pub fn refine(
     config: SplitConfig,
 ) -> SplitResult {
     let color_all = |fg: &InterferenceGraph, wg: &InterferenceGraph| -> Vec<VirtualBuffer> {
+        let t = Instant::now();
         let mut bufs = fg.color();
         bufs.extend(wg.color());
+        profiling::add_coloring_seconds(t.elapsed().as_secs_f64());
         bufs
     };
 
     let mut buffers = color_all(&feature_graph, &weight_graph);
     let mut best = {
         let problem = AllocProblem::new(evaluator, &buffers, budget_bytes, plan);
+        profiling::count_allocator_invocation();
         allocator(&problem)
     };
     let mut iterations = 0;
 
     while iterations < config.max_iterations {
-        let Some((a, b)) = propose_split(evaluator, &buffers, &best) else {
+        let Some((a, b)) = propose_split(evaluator, precision, &buffers, &best) else {
             break;
         };
         // Tentatively add the false edge in the owning graph.
@@ -81,20 +90,27 @@ pub fn refine(
         let new_buffers = color_all(&fg, &wg);
         let candidate = {
             let problem = AllocProblem::new(evaluator, &new_buffers, budget_bytes, plan);
+            profiling::count_allocator_invocation();
             allocator(&problem)
         };
         if candidate.latency < best.latency {
+            profiling::count_split_accepted();
             best = candidate;
             buffers = new_buffers;
             feature_graph = fg;
             weight_graph = wg;
             iterations += 1;
         } else {
+            profiling::count_split_rejected();
             break;
         }
     }
 
-    SplitResult { outcome: best, buffers, iterations }
+    SplitResult {
+        outcome: best,
+        buffers,
+        iterations,
+    }
 }
 
 /// Picks the next false edge to try: in the largest spilled multi-member
@@ -103,6 +119,7 @@ pub fn refine(
 #[must_use]
 pub fn propose_split(
     evaluator: &Evaluator<'_>,
+    precision: Precision,
     buffers: &[VirtualBuffer],
     outcome: &AllocOutcome,
 ) -> Option<(ValueId, ValueId)> {
@@ -117,7 +134,7 @@ pub fn propose_split(
     let sizes: Vec<u64> = spilled
         .members
         .iter()
-        .map(|&m| member_bytes(evaluator, m))
+        .map(|&m| member_bytes(evaluator, precision, m))
         .collect();
     let (big_idx, _) = sizes.iter().enumerate().max_by_key(|(_, &s)| s)?;
     let big = spilled.members[big_idx];
@@ -135,12 +152,15 @@ pub fn propose_split(
     Some((big, victim))
 }
 
-fn member_bytes(evaluator: &Evaluator<'_>, id: ValueId) -> u64 {
+/// Byte size of one buffer member, comparable to `VirtualBuffer::bytes`
+/// (element counts alone would under-weigh wide-precision tensors).
+fn member_bytes(evaluator: &Evaluator<'_>, precision: Precision, id: ValueId) -> u64 {
     let graph = evaluator.graph();
-    match id {
+    let elems = match id {
         ValueId::Feature(n) => graph.node(n).output_shape().elems(),
         ValueId::Weight(n) => graph.node_weight_elems(n),
-    }
+    };
+    elems * precision.bytes()
 }
 
 #[cfg(test)]
@@ -156,10 +176,18 @@ mod tests {
     fn misspill_graph() -> Graph {
         let mut b = GraphBuilder::new("misspill");
         let x = b.input(FeatureShape::new(256, 56, 56));
-        let c0 = b.conv("big", x, ConvParams::square(512, 3, 1, 1)).expect("big");
-        let c1 = b.conv("mid", c0, ConvParams::square(64, 3, 2, 1)).expect("mid");
-        let c2 = b.conv("small1", c1, ConvParams::square(512, 3, 2, 1)).expect("s1");
-        let c3 = b.conv("small2", c2, ConvParams::square(512, 3, 1, 1)).expect("s2");
+        let c0 = b
+            .conv("big", x, ConvParams::square(512, 3, 1, 1))
+            .expect("big");
+        let c1 = b
+            .conv("mid", c0, ConvParams::square(64, 3, 2, 1))
+            .expect("mid");
+        let c2 = b
+            .conv("small1", c1, ConvParams::square(512, 3, 2, 1))
+            .expect("s1");
+        let c3 = b
+            .conv("small2", c2, ConvParams::square(512, 3, 1, 1))
+            .expect("s2");
         b.finish(c3).expect("valid")
     }
 
@@ -172,10 +200,11 @@ mod tests {
 
         // Build feature interference where the big early tensor and a
         // small late tensor share (disjoint lifespans).
-        let ids: Vec<ValueId> =
-            g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
-        let sizes: Vec<u64> =
-            g.conv_layers().map(|n| n.output_shape().elems() * 4).collect();
+        let ids: Vec<ValueId> = g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
+        let sizes: Vec<u64> = g
+            .conv_layers()
+            .map(|n| n.output_shape().elems() * 4)
+            .collect();
         let fg = InterferenceGraph::new(vec![
             (ids[0], sizes[0], LiveInterval::new(0, 1)),
             (ids[1], sizes[1], LiveInterval::new(1, 2)),
@@ -198,6 +227,7 @@ mod tests {
         };
         let refined = refine(
             &ev,
+            Precision::Float32,
             budget,
             &plan,
             fg,
@@ -214,8 +244,7 @@ mod tests {
         let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
         let p = d.profile(&g);
         let ev = Evaluator::new(&g, &p);
-        let ids: Vec<ValueId> =
-            g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
+        let ids: Vec<ValueId> = g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
         let buffers = vec![VirtualBuffer {
             members: vec![ids[0], ids[3]],
             bytes: g.node(ids[0].node()).output_shape().elems() * 4,
@@ -225,9 +254,46 @@ mod tests {
             let problem = AllocProblem::new(&ev, &buffers, 0, &plan);
             AllocOutcome::from_chosen(&problem, vec![false])
         };
-        let (big, victim) = propose_split(&ev, &buffers, &outcome).expect("split proposed");
+        let (big, victim) =
+            propose_split(&ev, Precision::Float32, &buffers, &outcome).expect("split proposed");
         assert_eq!(big, ids[0]);
         assert_eq!(victim, ids[3]);
+    }
+
+    /// Regression test for the element-count bug: `member_bytes` used to
+    /// return raw element counts, so the "size-defining member" was not
+    /// measured in the same unit as `VirtualBuffer::bytes`. After the
+    /// fix, sizes scale with the precision byte-width and the proposal
+    /// is stable across precisions.
+    #[test]
+    fn size_defining_member_is_stable_across_precisions() {
+        let g = misspill_graph();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Float32);
+        let p = d.profile(&g);
+        let ev = Evaluator::new(&g, &p);
+        let ids: Vec<ValueId> = g.conv_layers().map(|n| ValueId::Feature(n.id())).collect();
+        let big_elems = g.node(ids[0].node()).output_shape().elems();
+        let buffers = vec![VirtualBuffer {
+            members: vec![ids[0], ids[3]],
+            bytes: big_elems * 4,
+        }];
+        let plan = PrefetchPlan::default();
+        let problem = AllocProblem::new(&ev, &buffers, 0, &plan);
+        let outcome = AllocOutcome::from_chosen(&problem, vec![false]);
+        let mut picks = Vec::new();
+        for precision in [Precision::Fix8, Precision::Float32] {
+            let (big, victim) =
+                propose_split(&ev, precision, &buffers, &outcome).expect("split proposed");
+            // The proposed sizes now live in the buffer's unit: the
+            // size-defining member at this precision accounts for the
+            // buffer's byte size exactly at Float32 (4 B/elem).
+            if precision == Precision::Float32 {
+                assert_eq!(big_elems * precision.bytes(), buffers[0].bytes);
+            }
+            picks.push((big, victim));
+        }
+        assert_eq!(picks[0], picks[1], "precision must not change the split");
+        assert_eq!(picks[0].0, ids[0]);
     }
 
     #[test]
@@ -243,7 +309,7 @@ mod tests {
         let plan = PrefetchPlan::default();
         let problem = AllocProblem::new(&ev, &buffers, 1 << 30, &plan);
         let outcome = AllocOutcome::from_chosen(&problem, vec![true]);
-        assert!(propose_split(&ev, &buffers, &outcome).is_none());
+        assert!(propose_split(&ev, Precision::Float32, &buffers, &outcome).is_none());
     }
 
     #[test]

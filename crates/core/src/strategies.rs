@@ -148,7 +148,12 @@ pub fn tgpa_plus_lcmm(graph: &Graph, device: &Device, precision: Precision) -> S
 
     // Weight side: the full LCMM §3.2 + §3.3 treatment, with prefetch
     // hiding capacity computed on the streamed schedule.
-    let plan = PrefetchPlan::build(&evaluator, &schedule, &streaming, values.weight_candidates());
+    let plan = PrefetchPlan::build(
+        &evaluator,
+        &schedule,
+        &streaming,
+        values.weight_candidates(),
+    );
     let spans = plan.intervals();
     let weight_graph = InterferenceGraph::new(
         values
@@ -184,7 +189,8 @@ pub fn tgpa_plus_lcmm(graph: &Graph, device: &Device, precision: Precision) -> S
         .filter(|(_, &c)| c)
         .map(|(b, _)| b.bytes)
         .collect();
-    buffer_sizes.extend(std::iter::repeat(fifo_bytes).take(
+    buffer_sizes.extend(std::iter::repeat_n(
+        fifo_bytes,
         values
             .iter()
             .filter(|v| v.id.kind() == crate::value::ValueKind::Feature && v.allocatable)
@@ -238,8 +244,8 @@ mod tests {
         let device = Device::vu9p();
         let tgpa = tgpa_like(&g, &device, Precision::Fix16);
         let (_, lcmm) = compare(&g, &device, Precision::Fix16);
-        let lcmm_density = lcmm.throughput_ops()
-            / (lcmm.resources.dsp_used as f64 * lcmm.design.freq_hz);
+        let lcmm_density =
+            lcmm.throughput_ops() / (lcmm.resources.dsp_used as f64 * lcmm.design.freq_hz);
         assert!(tgpa.perf_density() > 0.0 && lcmm_density > 0.0);
     }
 
@@ -268,8 +274,8 @@ mod tests {
         let device = Device::vu9p();
         let combined = tgpa_plus_lcmm(&g, &device, Precision::Fix16);
         let (_, lcmm) = compare(&g, &device, Precision::Fix16);
-        let lcmm_density = lcmm.throughput_ops()
-            / (lcmm.resources.dsp_used as f64 * lcmm.design.freq_hz);
+        let lcmm_density =
+            lcmm.throughput_ops() / (lcmm.resources.dsp_used as f64 * lcmm.design.freq_hz);
         assert!(
             combined.perf_density() > lcmm_density,
             "combined density {} <= lcmm {}",

@@ -37,7 +37,13 @@ impl UmmBaseline {
         let latency = profile.total_latency();
         let ops = design.batch as u64 * 2 * graph.total_macs();
         let resources = resources::report(&design, &[]);
-        Self { design, profile, latency, ops, resources }
+        Self {
+            design,
+            profile,
+            latency,
+            ops,
+            resources,
+        }
     }
 
     /// Achieved throughput in ops/s.

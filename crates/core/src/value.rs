@@ -192,9 +192,9 @@ impl ValueTable {
     /// Weight values of memory-bound layers — the candidates for weight
     /// prefetching and sharing (§3.2).
     pub fn weight_candidates(&self) -> impl Iterator<Item = &TensorValue> {
-        self.values.iter().filter(|v| {
-            v.id.kind() == ValueKind::Weight && v.allocatable && v.touches_memory_bound
-        })
+        self.values
+            .iter()
+            .filter(|v| v.id.kind() == ValueKind::Weight && v.allocatable && v.touches_memory_bound)
     }
 }
 

@@ -20,12 +20,16 @@ fn build(steps: &[(u8, u8)]) -> Graph {
         let channels = 8 + (c as usize % 64) * 8;
         let shape = b.shape(cur).expect("exists");
         cur = match sel % 4 {
-            0 => b.conv(format!("c{i}"), cur, ConvParams::pointwise(channels)).expect("ok"),
+            0 => b
+                .conv(format!("c{i}"), cur, ConvParams::pointwise(channels))
+                .expect("ok"),
             1 => b
                 .conv(format!("c{i}"), cur, ConvParams::square(channels, 3, 1, 1))
                 .expect("ok"),
             2 => {
-                let l = b.conv(format!("l{i}"), cur, ConvParams::pointwise(channels)).expect("ok");
+                let l = b
+                    .conv(format!("l{i}"), cur, ConvParams::pointwise(channels))
+                    .expect("ok");
                 let r = b
                     .conv(format!("r{i}"), cur, ConvParams::square(channels, 3, 1, 1))
                     .expect("ok");
@@ -33,9 +37,14 @@ fn build(steps: &[(u8, u8)]) -> Graph {
             }
             _ => {
                 let f = b
-                    .conv(format!("f{i}"), cur, ConvParams::square(shape.channels, 3, 1, 1))
+                    .conv(
+                        format!("f{i}"),
+                        cur,
+                        ConvParams::square(shape.channels, 3, 1, 1),
+                    )
                     .expect("ok");
-                b.eltwise_add(format!("add{i}"), &[cur, f]).expect("same shape")
+                b.eltwise_add(format!("add{i}"), &[cur, f])
+                    .expect("same shape")
             }
         };
     }

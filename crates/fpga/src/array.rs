@@ -37,7 +37,10 @@ impl SystolicArray {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(rows: usize, cols: usize, simd: usize) -> Self {
-        assert!(rows > 0 && cols > 0 && simd > 0, "array dims must be nonzero");
+        assert!(
+            rows > 0 && cols > 0 && simd > 0,
+            "array dims must be nonzero"
+        );
         Self { rows, cols, simd }
     }
 
@@ -114,9 +117,8 @@ impl SystolicArray {
             * (out_h * out_w) as u64
             * in_channels as u64
             * (kernel_h * kernel_w) as u64;
-        let cycles =
-            self.conv_cycles(out_channels, out_h, out_w, in_channels, kernel_h, kernel_w)
-                - LAYER_OVERHEAD_CYCLES;
+        let cycles = self.conv_cycles(out_channels, out_h, out_w, in_channels, kernel_h, kernel_w)
+            - LAYER_OVERHEAD_CYCLES;
         useful as f64 / (cycles * self.macs_per_cycle()) as f64
     }
 
@@ -140,8 +142,7 @@ impl SystolicArray {
                     if arr.dsp_cost(precision) > dsp_budget {
                         continue;
                     }
-                    let total: u64 =
-                        graph.iter().map(|n| arr.node_cycles(graph, n)).sum();
+                    let total: u64 = graph.iter().map(|n| arr.node_cycles(graph, n)).sum();
                     let better = match &best {
                         None => true,
                         Some((cycles, prev)) => {
@@ -156,7 +157,8 @@ impl SystolicArray {
                 }
             }
         }
-        best.expect("candidate set always contains a feasible array").1
+        best.expect("candidate set always contains a feasible array")
+            .1
     }
 }
 

@@ -158,7 +158,12 @@ impl AccelDesign {
 
     /// Tiling decision for a conv-like layer.
     #[must_use]
-    pub fn tiling(&self, input: FeatureShape, output: FeatureShape, params: &ConvParams) -> TileChoice {
+    pub fn tiling(
+        &self,
+        input: FeatureShape,
+        output: FeatureShape,
+        params: &ConvParams,
+    ) -> TileChoice {
         choose_tiling(input, output, params, self.precision, &self.tile_budget)
     }
 
@@ -201,10 +206,16 @@ impl AccelDesign {
                     })
                     .collect();
                 let out = node.output_shape();
-                let obw =
-                    self.feature_bandwidth((out.width * out.height) as u64 * b, bw);
+                let obw = self.feature_bandwidth((out.width * out.height) as u64 * b, bw);
                 let output = n * (out.elems() * b) as f64 / obw;
-                OpLatency { id: node.id(), compute, inputs, weight: 0.0, output, fill: 0.0 }
+                OpLatency {
+                    id: node.id(),
+                    compute,
+                    inputs,
+                    weight: 0.0,
+                    output,
+                    fill: 0.0,
+                }
             }
         }
     }
@@ -272,7 +283,14 @@ impl AccelDesign {
             * output.height.div_ceil(tile.th)) as f64;
         let if_total: f64 = inputs.iter().map(|(_, t)| *t).sum();
         let fill = if_total.max(weight) / n_tiles.max(1.0);
-        OpLatency { id: node.id(), compute, inputs, weight, output: output_lat, fill }
+        OpLatency {
+            id: node.id(),
+            compute,
+            inputs,
+            weight,
+            output: output_lat,
+            fill,
+        }
     }
 }
 
@@ -362,11 +380,13 @@ mod tests {
         // weight-bound (huge weights vs tiny fmaps), so memory-bound
         // layers still exist even with efficient weight streaming.
         let g = zoo::resnet152();
-        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16)
-            .with_granular_ddr();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16).with_granular_ddr();
         let profile = d.profile(&g);
         let frac = profile.memory_bound_fraction(&g);
-        assert!(frac > 0.10, "granular mode erased all memory-bound layers: {frac}");
+        assert!(
+            frac > 0.10,
+            "granular mode erased all memory-bound layers: {frac}"
+        );
         // And small-spatial layers transfer slower per byte than the
         // theoretical interface.
         let res5 = g.node_by_name("res5c_branch2b").unwrap();

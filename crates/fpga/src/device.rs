@@ -245,9 +245,7 @@ mod tests {
         assert!(zu.sram_bytes() < vu9.sram_bytes() && vu9.sram_bytes() < vu13.sram_bytes());
         assert_eq!(zu.uram_blocks, 0);
         // Embedded part has a quarter of the DDR bandwidth.
-        assert!(
-            zu.ddr.aggregate_bandwidth() < vu9.ddr.aggregate_bandwidth() / 3.9
-        );
+        assert!(zu.ddr.aggregate_bandwidth() < vu9.ddr.aggregate_bandwidth() / 3.9);
     }
 
     #[test]

@@ -115,8 +115,8 @@ impl ResourceReport {
     /// "SRAM %" column of Table 1.
     #[must_use]
     pub fn sram_util(&self, device: &Device) -> f64 {
-        let used = self.bram_blocks as u64 * BRAM_BLOCK_BYTES
-            + self.uram_blocks as u64 * URAM_BLOCK_BYTES;
+        let used =
+            self.bram_blocks as u64 * BRAM_BLOCK_BYTES + self.uram_blocks as u64 * URAM_BLOCK_BYTES;
         used as f64 / device.sram_bytes() as f64
     }
 }
@@ -145,20 +145,28 @@ pub fn report(design: &AccelDesign, tensor_buffers: &[u64]) -> ResourceReport {
     let device = &design.device;
     // Tile buffers are double buffered: two physical copies of each.
     let tb = design.tile_budget;
-    let tile_sizes =
-        [tb.ib_bytes, tb.ib_bytes, tb.wb_bytes, tb.wb_bytes, tb.ob_bytes, tb.ob_bytes];
+    let tile_sizes = [
+        tb.ib_bytes,
+        tb.ib_bytes,
+        tb.wb_bytes,
+        tb.wb_bytes,
+        tb.ob_bytes,
+        tb.ob_bytes,
+    ];
     // PE-local register files / line buffers land in BRAM: modelled as a
     // quarter block per PE.
     let pe_local_bram = (design.array.rows * design.array.cols).div_ceil(4);
     let packing = MemoryPacking::pack(&tile_sizes)
         .plus(MemoryPacking::pack(tensor_buffers))
-        .plus(MemoryPacking { bram_blocks: pe_local_bram, uram_blocks: 0 })
+        .plus(MemoryPacking {
+            bram_blocks: pe_local_bram,
+            uram_blocks: 0,
+        })
         .rebalanced(device);
 
     let macs = design.array.macs_per_cycle() as usize;
-    let luts = BASE_LUTS
-        + macs * luts_per_mac(design.precision)
-        + tensor_buffers.len() * LUTS_PER_BUFFER;
+    let luts =
+        BASE_LUTS + macs * luts_per_mac(design.precision) + tensor_buffers.len() * LUTS_PER_BUFFER;
 
     ResourceReport {
         dsp_used: design.dsp_used(),
@@ -183,7 +191,7 @@ mod tests {
         let p = MemoryPacking::pack(&[URAM_BLOCK_BYTES + URAM_THRESHOLD_BYTES, 1, 0]);
         assert_eq!(p.uram_blocks, 3);
         assert_eq!(p.bram_blocks, 1);
-        assert!(p.capacity_bytes() >= URAM_BLOCK_BYTES + URAM_THRESHOLD_BYTES + 1);
+        assert!(p.capacity_bytes() > URAM_BLOCK_BYTES + URAM_THRESHOLD_BYTES);
     }
 
     #[test]
@@ -195,9 +203,21 @@ mod tests {
 
     #[test]
     fn plus_sums_fields() {
-        let a = MemoryPacking { bram_blocks: 3, uram_blocks: 5 };
-        let b = MemoryPacking { bram_blocks: 1, uram_blocks: 2 };
-        assert_eq!(a.plus(b), MemoryPacking { bram_blocks: 4, uram_blocks: 7 });
+        let a = MemoryPacking {
+            bram_blocks: 3,
+            uram_blocks: 5,
+        };
+        let b = MemoryPacking {
+            bram_blocks: 1,
+            uram_blocks: 2,
+        };
+        assert_eq!(
+            a.plus(b),
+            MemoryPacking {
+                bram_blocks: 4,
+                uram_blocks: 7
+            }
+        );
     }
 
     #[test]
@@ -225,8 +245,11 @@ mod tests {
     #[test]
     fn rebalance_spills_uram_overflow_to_bram() {
         let device = Device::vu9p();
-        let p = MemoryPacking { bram_blocks: 0, uram_blocks: device.uram_blocks + 10 }
-            .rebalanced(&device);
+        let p = MemoryPacking {
+            bram_blocks: 0,
+            uram_blocks: device.uram_blocks + 10,
+        }
+        .rebalanced(&device);
         assert_eq!(p.uram_blocks, device.uram_blocks);
         assert_eq!(p.bram_blocks, 10 * 8);
         assert!(p.fits(&device));
@@ -235,8 +258,11 @@ mod tests {
     #[test]
     fn rebalance_spills_bram_overflow_to_uram() {
         let device = Device::vu9p();
-        let p = MemoryPacking { bram_blocks: device.bram_blocks + 16, uram_blocks: 0 }
-            .rebalanced(&device);
+        let p = MemoryPacking {
+            bram_blocks: device.bram_blocks + 16,
+            uram_blocks: 0,
+        }
+        .rebalanced(&device);
         assert_eq!(p.bram_blocks, device.bram_blocks);
         assert_eq!(p.uram_blocks, 2);
     }
@@ -244,7 +270,15 @@ mod tests {
     #[test]
     fn fits_checks_both_kinds() {
         let device = Device::vu9p();
-        assert!(MemoryPacking { bram_blocks: 2160, uram_blocks: 960 }.fits(&device));
-        assert!(!MemoryPacking { bram_blocks: 2161, uram_blocks: 0 }.fits(&device));
+        assert!(MemoryPacking {
+            bram_blocks: 2160,
+            uram_blocks: 960
+        }
+        .fits(&device));
+        assert!(!MemoryPacking {
+            bram_blocks: 2161,
+            uram_blocks: 0
+        }
+        .fits(&device));
     }
 }

@@ -58,7 +58,11 @@ impl RooflineReport {
                 let transfer_bytes_worst = row.worst_transfer() * bw;
                 RooflinePoint {
                     id: n.id(),
-                    intensity: if bytes > 0.0 { ops as f64 / bytes } else { f64::INFINITY },
+                    intensity: if bytes > 0.0 {
+                        ops as f64 / bytes
+                    } else {
+                        f64::INFINITY
+                    },
                     attainable_ops: if lat > 0.0 { ops as f64 / lat } else { 0.0 },
                     required_bandwidth: if row.compute > 0.0 {
                         transfer_bytes_worst / row.compute
@@ -79,7 +83,10 @@ impl RooflineReport {
     /// Number of memory-bound layers.
     #[must_use]
     pub fn memory_bound_count(&self) -> usize {
-        self.points.iter().filter(|p| p.bound == Boundedness::Memory).count()
+        self.points
+            .iter()
+            .filter(|p| p.bound == Boundedness::Memory)
+            .count()
     }
 
     /// Fraction of layers that are memory bound.
@@ -96,12 +103,17 @@ impl RooflineReport {
     /// 70 GB/s").
     #[must_use]
     pub fn fraction_needing_bandwidth(&self, bytes_per_sec: f64) -> f64 {
-        let mem: Vec<&RooflinePoint> =
-            self.points.iter().filter(|p| p.bound == Boundedness::Memory).collect();
+        let mem: Vec<&RooflinePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.bound == Boundedness::Memory)
+            .collect();
         if mem.is_empty() {
             return 0.0;
         }
-        mem.iter().filter(|p| p.required_bandwidth > bytes_per_sec).count() as f64
+        mem.iter()
+            .filter(|p| p.required_bandwidth > bytes_per_sec)
+            .count() as f64
             / mem.len() as f64
     }
 }

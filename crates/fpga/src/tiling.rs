@@ -230,7 +230,13 @@ mod tests {
         let input = FeatureShape::new(64, 28, 28);
         let p = ConvParams::square(128, 3, 1, 1);
         let output = p.output_shape(input).unwrap();
-        let t = choose_tiling(input, output, &p, Precision::Fix16, &TileBudget::default_umm());
+        let t = choose_tiling(
+            input,
+            output,
+            &p,
+            Precision::Fix16,
+            &TileBudget::default_umm(),
+        );
         assert_eq!(t.reload_if, 1.0);
         assert_eq!(t.reload_wt, 1.0);
         assert_eq!(t.reload_of, 1.0);
@@ -245,7 +251,13 @@ mod tests {
         let input = FeatureShape::new(512, 7, 7);
         let p = ConvParams::square(512, 3, 1, 1);
         let output = p.output_shape(input).unwrap();
-        let t = choose_tiling(input, output, &p, Precision::Fix8, &TileBudget::default_umm());
+        let t = choose_tiling(
+            input,
+            output,
+            &p,
+            Precision::Fix8,
+            &TileBudget::default_umm(),
+        );
         assert!(t.tm < 512 || t.tc < 512);
         assert!(t.buffer_bytes[1] <= TileBudget::default_umm().wb_bytes);
         // The worst transfer should still be weights loaded exactly once
@@ -259,7 +271,13 @@ mod tests {
         let input = FeatureShape::new(64, 56, 56);
         let p = ConvParams::square(192, 3, 1, 1);
         let output = p.output_shape(input).unwrap();
-        let t = choose_tiling(input, output, &p, Precision::Fix16, &TileBudget::default_umm());
+        let t = choose_tiling(
+            input,
+            output,
+            &p,
+            Precision::Fix16,
+            &TileBudget::default_umm(),
+        );
         // Whatever the blocking, input traffic must not blow up: the
         // optimiser minimises the max interface.
         let if_traffic = input.elems() as f64 * 2.0 * t.reload_if;
@@ -288,7 +306,11 @@ mod tests {
     #[test]
     fn partial_sum_spill_counted() {
         // Force a tiny WB so Tc must split, and check OF reloads rise.
-        let budget = TileBudget { ib_bytes: 1 << 20, wb_bytes: 16 * 1024, ob_bytes: 1 << 20 };
+        let budget = TileBudget {
+            ib_bytes: 1 << 20,
+            wb_bytes: 16 * 1024,
+            ob_bytes: 1 << 20,
+        };
         let input = FeatureShape::new(512, 14, 14);
         let p = ConvParams::square(512, 3, 1, 1);
         let output = p.output_shape(input).unwrap();

@@ -14,7 +14,12 @@ fn arb_precision() -> impl Strategy<Value = Precision> {
 }
 
 fn arb_conv_case() -> impl Strategy<Value = (FeatureShape, ConvParams)> {
-    (1usize..512, 4usize..64, 1usize..512, prop_oneof![Just(1usize), Just(3), Just(5), Just(7)])
+    (
+        1usize..512,
+        4usize..64,
+        1usize..512,
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+    )
         .prop_map(|(c, hw, m, k)| {
             let input = FeatureShape::new(c, hw, hw);
             let params = ConvParams::square(m, k.min(hw), 1, (k.min(hw) - 1) / 2);

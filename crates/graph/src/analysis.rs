@@ -167,7 +167,13 @@ mod tests {
 
     #[test]
     fn zero_elem_profile_has_zero_intensity() {
-        let p = LayerProfile { id: NodeId(0), macs: 0, input_elems: 0, weight_elems: 0, output_elems: 0 };
+        let p = LayerProfile {
+            id: NodeId(0),
+            macs: 0,
+            input_elems: 0,
+            weight_elems: 0,
+            output_elems: 0,
+        };
         assert_eq!(p.ops_per_elem(), 0.0);
     }
 }

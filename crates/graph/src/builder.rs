@@ -75,7 +75,9 @@ impl GraphBuilder {
             }
         }
         if !self.names.insert(name.clone()) {
-            return Err(GraphError::Malformed(format!("duplicate layer name {name:?}")));
+            return Err(GraphError::Malformed(format!(
+                "duplicate layer name {name:?}"
+            )));
         }
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node {
@@ -142,7 +144,16 @@ impl GraphBuilder {
         stride: usize,
         pad: usize,
     ) -> Result<NodeId, GraphError> {
-        self.pool(name, from, PoolParams { kind: PoolKind::Max, kernel, stride, pad })
+        self.pool(
+            name,
+            from,
+            PoolParams {
+                kind: PoolKind::Max,
+                kernel,
+                stride,
+                pad,
+            },
+        )
     }
 
     /// Adds an average-pooling layer.
@@ -158,7 +169,16 @@ impl GraphBuilder {
         stride: usize,
         pad: usize,
     ) -> Result<NodeId, GraphError> {
-        self.pool(name, from, PoolParams { kind: PoolKind::Avg, kernel, stride, pad })
+        self.pool(
+            name,
+            from,
+            PoolParams {
+                kind: PoolKind::Avg,
+                kernel,
+                stride,
+                pad,
+            },
+        )
     }
 
     fn pool(
@@ -199,10 +219,17 @@ impl GraphBuilder {
         out_features: usize,
     ) -> Result<NodeId, GraphError> {
         if out_features == 0 {
-            return Err(GraphError::InvalidParams("fc out_features must be nonzero".into()));
+            return Err(GraphError::InvalidParams(
+                "fc out_features must be nonzero".into(),
+            ));
         }
         let output = FeatureShape::vector(out_features);
-        self.push(name.into(), OpKind::Fc(FcParams { out_features }), vec![from], output)
+        self.push(
+            name.into(),
+            OpKind::Fc(FcParams { out_features }),
+            vec![from],
+            output,
+        )
     }
 
     /// Adds a channel-concatenation node joining `from` (≥ 2 inputs with
@@ -211,9 +238,15 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns an error on arity < 2 or mismatched spatial shapes.
-    pub fn concat(&mut self, name: impl Into<String>, from: &[NodeId]) -> Result<NodeId, GraphError> {
+    pub fn concat(
+        &mut self,
+        name: impl Into<String>,
+        from: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
         if from.len() < 2 {
-            return Err(GraphError::Malformed("concat needs at least two inputs".into()));
+            return Err(GraphError::Malformed(
+                "concat needs at least two inputs".into(),
+            ));
         }
         let first = self.shape_of(from[0])?;
         let mut channels = 0usize;
@@ -242,7 +275,9 @@ impl GraphBuilder {
         from: &[NodeId],
     ) -> Result<NodeId, GraphError> {
         if from.len() < 2 {
-            return Err(GraphError::Malformed("eltwise add needs at least two inputs".into()));
+            return Err(GraphError::Malformed(
+                "eltwise add needs at least two inputs".into(),
+            ));
         }
         let first = self.shape_of(from[0])?;
         for &id in from {
@@ -311,8 +346,14 @@ mod tests {
         let x = b.input(FeatureShape::new(3, 8, 8));
         let a = b.conv("a", x, ConvParams::pointwise(4)).unwrap();
         let small = b.conv("s", x, ConvParams::square(4, 3, 2, 1)).unwrap();
-        assert!(matches!(b.concat("c1", &[a]), Err(GraphError::Malformed(_))));
-        assert!(matches!(b.concat("c2", &[a, small]), Err(GraphError::ShapeMismatch(_))));
+        assert!(matches!(
+            b.concat("c1", &[a]),
+            Err(GraphError::Malformed(_))
+        ));
+        assert!(matches!(
+            b.concat("c2", &[a, small]),
+            Err(GraphError::ShapeMismatch(_))
+        ));
     }
 
     #[test]
@@ -321,7 +362,10 @@ mod tests {
         let x = b.input(FeatureShape::new(3, 8, 8));
         let a = b.conv("a", x, ConvParams::pointwise(4)).unwrap();
         let c = b.conv("c", x, ConvParams::pointwise(8)).unwrap();
-        assert!(matches!(b.eltwise_add("e", &[a, c]), Err(GraphError::ShapeMismatch(_))));
+        assert!(matches!(
+            b.eltwise_add("e", &[a, c]),
+            Err(GraphError::ShapeMismatch(_))
+        ));
     }
 
     #[test]
@@ -338,7 +382,10 @@ mod tests {
     fn fc_zero_features_rejected() {
         let mut b = GraphBuilder::new("g");
         let x = b.input(FeatureShape::new(4, 1, 1));
-        assert!(matches!(b.fc("fc", x, 0), Err(GraphError::InvalidParams(_))));
+        assert!(matches!(
+            b.fc("fc", x, 0),
+            Err(GraphError::InvalidParams(_))
+        ));
     }
 
     #[test]

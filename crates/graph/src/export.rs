@@ -101,7 +101,11 @@ mod tests {
         let g = zoo::googlenet();
         let dot = g.to_dot();
         for node in g.iter() {
-            assert!(dot.contains(&format!("n{} ", node.id().index())), "{}", node.name());
+            assert!(
+                dot.contains(&format!("n{} ", node.id().index())),
+                "{}",
+                node.name()
+            );
         }
         let edges = g.iter().map(|n| n.inputs().len()).sum::<usize>();
         assert_eq!(dot.matches(" -> n").count(), edges);
@@ -143,7 +147,11 @@ mod tests {
         let g = zoo::alexnet();
         let json = g.to_json().expect("serialises");
         // conv1 (node 1) reads node 0; point it at the last node instead.
-        let corrupted = json.replacen("\"inputs\": [\n        0\n      ]", "\"inputs\": [\n        11\n      ]", 1);
+        let corrupted = json.replacen(
+            "\"inputs\": [\n        0\n      ]",
+            "\"inputs\": [\n        11\n      ]",
+            1,
+        );
         assert_ne!(json, corrupted, "corruption must hit");
         assert!(Graph::from_json(&corrupted).is_err());
     }

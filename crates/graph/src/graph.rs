@@ -120,7 +120,12 @@ impl Graph {
         if output.0 >= nodes.len() {
             return Err(GraphError::UnknownNode(output.0));
         }
-        let graph = Self { name, nodes, consumers, output };
+        let graph = Self {
+            name,
+            nodes,
+            consumers,
+            output,
+        };
         graph.check_acyclic()?;
         Ok(graph)
     }
@@ -248,7 +253,9 @@ impl Graph {
 
     /// Iterate over convolution layers only.
     pub fn conv_layers(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(|n| matches!(n.op, OpKind::Conv(_)))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Conv(_)))
     }
 
     /// Multiply-accumulate count of one node (0 for non-compute ops).
@@ -298,13 +305,17 @@ impl Graph {
     /// Total MACs of the whole network.
     #[must_use]
     pub fn total_macs(&self) -> u64 {
-        (0..self.nodes.len()).map(|i| self.node_macs(NodeId(i))).sum()
+        (0..self.nodes.len())
+            .map(|i| self.node_macs(NodeId(i)))
+            .sum()
     }
 
     /// Total weight elements of the whole network.
     #[must_use]
     pub fn total_weight_elems(&self) -> u64 {
-        (0..self.nodes.len()).map(|i| self.node_weight_elems(NodeId(i))).sum()
+        (0..self.nodes.len())
+            .map(|i| self.node_weight_elems(NodeId(i)))
+            .sum()
     }
 
     /// Distinct block labels in first-appearance order.
@@ -367,7 +378,9 @@ mod tests {
         // input -> a -> {b, c} -> concat
         let mut gb = GraphBuilder::new("diamond");
         let input = gb.input(FeatureShape::new(3, 32, 32));
-        let a = gb.conv("a", input, ConvParams::square(16, 3, 1, 1)).unwrap();
+        let a = gb
+            .conv("a", input, ConvParams::square(16, 3, 1, 1))
+            .unwrap();
         let b = gb.conv("b", a, ConvParams::square(8, 1, 1, 0)).unwrap();
         let c = gb.conv("c", a, ConvParams::square(8, 3, 1, 1)).unwrap();
         let d = gb.concat("d", &[b, c]).unwrap();
@@ -397,7 +410,12 @@ mod tests {
         };
         for n in g.iter() {
             for &i in n.inputs() {
-                assert!(pos[i.index()] < pos[n.id().index()], "edge {} -> {} violated", i, n.id());
+                assert!(
+                    pos[i.index()] < pos[n.id().index()],
+                    "edge {} -> {} violated",
+                    i,
+                    n.id()
+                );
             }
         }
     }
@@ -415,7 +433,10 @@ mod tests {
     #[test]
     fn concat_output_sums_channels() {
         let g = diamond();
-        assert_eq!(g.output_node().output_shape(), FeatureShape::new(16, 32, 32));
+        assert_eq!(
+            g.output_node().output_shape(),
+            FeatureShape::new(16, 32, 32)
+        );
     }
 
     #[test]

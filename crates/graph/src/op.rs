@@ -289,7 +289,12 @@ mod tests {
 
     #[test]
     fn pool_output_shape() {
-        let p = PoolParams { kind: PoolKind::Max, kernel: 3, stride: 2, pad: 1 };
+        let p = PoolParams {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         let out = p.output_shape(FeatureShape::new(64, 112, 112)).unwrap();
         assert_eq!(out, FeatureShape::new(64, 56, 56));
     }
@@ -299,8 +304,13 @@ mod tests {
         assert!(OpKind::Conv(ConvParams::pointwise(8)).has_weights());
         assert!(OpKind::Fc(FcParams { out_features: 10 }).has_weights());
         assert!(!OpKind::Concat.has_weights());
-        assert!(!OpKind::Pool(PoolParams { kind: PoolKind::Avg, kernel: 2, stride: 2, pad: 0 })
-            .is_compute());
+        assert!(!OpKind::Pool(PoolParams {
+            kind: PoolKind::Avg,
+            kernel: 2,
+            stride: 2,
+            pad: 0
+        })
+        .is_compute());
     }
 
     #[test]

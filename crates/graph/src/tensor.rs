@@ -41,7 +41,11 @@ impl FeatureShape {
             channels > 0 && height > 0 && width > 0,
             "feature shape dimensions must be nonzero: {channels}x{height}x{width}"
         );
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Creates a `channels × 1 × 1` vector shape (e.g. a fully-connected

@@ -41,14 +41,12 @@ pub fn scale_channels(
     numerator: usize,
     denominator: usize,
 ) -> Result<Graph, GraphError> {
-    assert!(numerator > 0 && denominator > 0, "scale ratio must be nonzero");
+    assert!(
+        numerator > 0 && denominator > 0,
+        "scale ratio must be nonzero"
+    );
     let scale = |c: usize| -> usize { (c * numerator / denominator).max(1) };
-    let mut b = GraphBuilder::new(format!(
-        "{}_w{}_{}",
-        graph.name(),
-        numerator,
-        denominator
-    ));
+    let mut b = GraphBuilder::new(format!("{}_w{}_{}", graph.name(), numerator, denominator));
     let mut map: Vec<Option<NodeId>> = vec![None; graph.len()];
     let mut last_block: Option<String> = None;
     for node in graph.iter() {
@@ -121,8 +119,16 @@ mod tests {
     fn half_width_scales_channels_and_macs() {
         let g = zoo::resnet50();
         let half = scale_channels(&g, 1, 2).expect("valid");
-        let full_c = g.node_by_name("res2a_branch2b").unwrap().output_shape().channels;
-        let half_c = half.node_by_name("res2a_branch2b").unwrap().output_shape().channels;
+        let full_c = g
+            .node_by_name("res2a_branch2b")
+            .unwrap()
+            .output_shape()
+            .channels;
+        let half_c = half
+            .node_by_name("res2a_branch2b")
+            .unwrap()
+            .output_shape()
+            .channels;
         assert_eq!(half_c, full_c / 2);
         // Conv MACs scale ~quadratically in width (stem input excluded).
         let ratio = half.total_macs() as f64 / g.total_macs() as f64;
@@ -137,8 +143,8 @@ mod tests {
             ("densenet121", zoo::densenet121()),
         ] {
             for (n, d) in [(1usize, 2usize), (3, 4), (2, 1)] {
-                let scaled = scale_channels(&g, n, d)
-                    .unwrap_or_else(|e| panic!("{name} x{n}/{d}: {e}"));
+                let scaled =
+                    scale_channels(&g, n, d).unwrap_or_else(|e| panic!("{name} x{n}/{d}: {e}"));
                 assert_eq!(scaled.len(), g.len(), "{name}");
             }
         }
@@ -156,7 +162,11 @@ mod tests {
         let g = zoo::alexnet();
         let skinny = scale_channels(&g, 1, 100_000).expect("valid");
         assert_eq!(
-            skinny.node_by_name("conv1").unwrap().output_shape().channels,
+            skinny
+                .node_by_name("conv1")
+                .unwrap()
+                .output_shape()
+                .channels,
             1
         );
     }

@@ -19,13 +19,23 @@ pub fn alexnet() -> Graph {
     let x = b.input(FeatureShape::new(3, 224, 224));
     b.set_block("features");
     // 224 -> (224 + 4 - 11)/4 + 1 = 55 with pad 2
-    let c1 = b.conv("conv1", x, ConvParams::square(96, 11, 4, 2)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(96, 11, 4, 2))
+        .expect("conv1");
     let p1 = b.max_pool("pool1", c1, 3, 2, 0).expect("pool1"); // 27
-    let c2 = b.conv("conv2", p1, ConvParams::square(256, 5, 1, 2)).expect("conv2");
+    let c2 = b
+        .conv("conv2", p1, ConvParams::square(256, 5, 1, 2))
+        .expect("conv2");
     let p2 = b.max_pool("pool2", c2, 3, 2, 0).expect("pool2"); // 13
-    let c3 = b.conv("conv3", p2, ConvParams::square(384, 3, 1, 1)).expect("conv3");
-    let c4 = b.conv("conv4", c3, ConvParams::square(384, 3, 1, 1)).expect("conv4");
-    let c5 = b.conv("conv5", c4, ConvParams::square(256, 3, 1, 1)).expect("conv5");
+    let c3 = b
+        .conv("conv3", p2, ConvParams::square(384, 3, 1, 1))
+        .expect("conv3");
+    let c4 = b
+        .conv("conv4", c3, ConvParams::square(384, 3, 1, 1))
+        .expect("conv4");
+    let c5 = b
+        .conv("conv5", c4, ConvParams::square(256, 3, 1, 1))
+        .expect("conv5");
     let p5 = b.max_pool("pool5", c5, 3, 2, 0).expect("pool5"); // 6
     b.set_block("classifier");
     let f6 = b.fc("fc6", p5, 4096).expect("fc6");
@@ -49,9 +59,18 @@ mod tests {
     #[test]
     fn feature_pipeline_shapes() {
         let g = alexnet();
-        assert_eq!(g.node_by_name("conv1").unwrap().output_shape(), FeatureShape::new(96, 55, 55));
-        assert_eq!(g.node_by_name("pool2").unwrap().output_shape(), FeatureShape::new(256, 13, 13));
-        assert_eq!(g.node_by_name("pool5").unwrap().output_shape(), FeatureShape::new(256, 6, 6));
+        assert_eq!(
+            g.node_by_name("conv1").unwrap().output_shape(),
+            FeatureShape::new(96, 55, 55)
+        );
+        assert_eq!(
+            g.node_by_name("pool2").unwrap().output_shape(),
+            FeatureShape::new(256, 13, 13)
+        );
+        assert_eq!(
+            g.node_by_name("pool5").unwrap().output_shape(),
+            FeatureShape::new(256, 6, 6)
+        );
         assert_eq!(g.output_node().output_shape(), FeatureShape::vector(1000));
     }
 

@@ -13,17 +13,17 @@ const GROWTH: usize = 32;
 
 /// One dense layer: 1×1 bottleneck to `4k` channels, then 3×3 to `k`.
 /// Returns the new feature's node; the caller concatenates.
-fn dense_layer(
-    b: &mut GraphBuilder,
-    from: NodeId,
-    name: &str,
-) -> Result<NodeId, GraphError> {
+fn dense_layer(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, GraphError> {
     let bottleneck = b.conv(
         format!("{name}/1x1"),
         from,
         ConvParams::pointwise(4 * GROWTH),
     )?;
-    b.conv(format!("{name}/3x3"), bottleneck, ConvParams::square(GROWTH, 3, 1, 1))
+    b.conv(
+        format!("{name}/3x3"),
+        bottleneck,
+        ConvParams::square(GROWTH, 3, 1, 1),
+    )
 }
 
 /// A dense block of `layers` layers starting from `from`.
@@ -47,7 +47,11 @@ fn dense_block(
 fn transition(b: &mut GraphBuilder, from: NodeId, idx: usize) -> Result<NodeId, GraphError> {
     b.set_block(format!("transition{idx}"));
     let channels = b.shape(from).expect("from exists").channels / 2;
-    let conv = b.conv(format!("transition{idx}/1x1"), from, ConvParams::pointwise(channels))?;
+    let conv = b.conv(
+        format!("transition{idx}/1x1"),
+        from,
+        ConvParams::pointwise(channels),
+    )?;
     b.avg_pool(format!("transition{idx}/pool"), conv, 2, 2, 0)
 }
 
@@ -62,7 +66,9 @@ pub fn densenet121() -> Graph {
     let mut b = GraphBuilder::new("densenet121");
     let x = b.input(FeatureShape::new(3, 224, 224));
     b.set_block("stem");
-    let c1 = b.conv("conv1", x, ConvParams::square(2 * GROWTH, 7, 2, 3)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(2 * GROWTH, 7, 2, 3))
+        .expect("conv1");
     let p1 = b.max_pool("pool1", c1, 3, 2, 1).expect("pool1"); // 56x56, 64ch
 
     let d1 = dense_block(&mut b, p1, 1, 6).expect("dense1"); // 256ch
@@ -76,7 +82,8 @@ pub fn densenet121() -> Graph {
     b.set_block("classifier");
     let gap = b.global_avg_pool("gap", d4).expect("gap");
     let fc = b.fc("fc1000", gap, 1000).expect("fc");
-    b.finish(fc).expect("densenet121 is acyclic by construction")
+    b.finish(fc)
+        .expect("densenet121 is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -98,15 +105,21 @@ mod tests {
     fn block_channel_growth() {
         let g = densenet121();
         assert_eq!(
-            g.node_by_name("dense1/layer6/concat").unwrap().output_shape(),
+            g.node_by_name("dense1/layer6/concat")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(256, 56, 56)
         );
         assert_eq!(
-            g.node_by_name("dense3/layer24/concat").unwrap().output_shape(),
+            g.node_by_name("dense3/layer24/concat")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(1024, 14, 14)
         );
         assert_eq!(
-            g.node_by_name("dense4/layer16/concat").unwrap().output_shape(),
+            g.node_by_name("dense4/layer16/concat")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(1024, 7, 7)
         );
     }

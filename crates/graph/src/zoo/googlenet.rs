@@ -28,12 +28,24 @@ fn inception(
     b.set_block(name);
     let (p1, p3r, p3, p5r, p5, pproj) = plan;
     let b1 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(p1))?;
-    let b2r = b.conv(format!("{name}/3x3_reduce"), from, ConvParams::pointwise(p3r))?;
+    let b2r = b.conv(
+        format!("{name}/3x3_reduce"),
+        from,
+        ConvParams::pointwise(p3r),
+    )?;
     let b2 = b.conv(format!("{name}/3x3"), b2r, ConvParams::square(p3, 3, 1, 1))?;
-    let b3r = b.conv(format!("{name}/5x5_reduce"), from, ConvParams::pointwise(p5r))?;
+    let b3r = b.conv(
+        format!("{name}/5x5_reduce"),
+        from,
+        ConvParams::pointwise(p5r),
+    )?;
     let b3 = b.conv(format!("{name}/5x5"), b3r, ConvParams::square(p5, 5, 1, 2))?;
     let bp = b.max_pool(format!("{name}/pool"), from, 3, 1, 1)?;
-    let bpp = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(pproj))?;
+    let bpp = b.conv(
+        format!("{name}/pool_proj"),
+        bp,
+        ConvParams::pointwise(pproj),
+    )?;
     b.concat(format!("{name}/output"), &[b1, b2, b3, bpp])
 }
 
@@ -48,10 +60,16 @@ pub fn googlenet() -> Graph {
     let mut b = GraphBuilder::new("googlenet");
     let x = b.input(FeatureShape::new(3, 224, 224));
     b.set_block("stem");
-    let c1 = b.conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3)).expect("conv1");
+    let c1 = b
+        .conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3))
+        .expect("conv1");
     let p1 = b.max_pool("pool1/3x3_s2", c1, 3, 2, 1).expect("pool1"); // 56
-    let c2r = b.conv("conv2/3x3_reduce", p1, ConvParams::pointwise(64)).expect("conv2r");
-    let c2 = b.conv("conv2/3x3", c2r, ConvParams::square(192, 3, 1, 1)).expect("conv2");
+    let c2r = b
+        .conv("conv2/3x3_reduce", p1, ConvParams::pointwise(64))
+        .expect("conv2r");
+    let c2 = b
+        .conv("conv2/3x3", c2r, ConvParams::square(192, 3, 1, 1))
+        .expect("conv2");
     let p2 = b.max_pool("pool2/3x3_s2", c2, 3, 2, 1).expect("pool2"); // 28
 
     let mut cur = p2;
@@ -88,8 +106,11 @@ mod tests {
     #[test]
     fn nine_inception_blocks() {
         let g = googlenet();
-        let blocks: Vec<&str> =
-            g.blocks().into_iter().filter(|b| b.starts_with("inception")).collect();
+        let blocks: Vec<&str> = g
+            .blocks()
+            .into_iter()
+            .filter(|b| b.starts_with("inception"))
+            .collect();
         assert_eq!(blocks.len(), 9);
         assert_eq!(blocks[0], "inception_3a");
         assert_eq!(blocks[8], "inception_5b");
@@ -99,15 +120,21 @@ mod tests {
     fn module_output_channels() {
         let g = googlenet();
         assert_eq!(
-            g.node_by_name("inception_3a/output").unwrap().output_shape(),
+            g.node_by_name("inception_3a/output")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(256, 28, 28)
         );
         assert_eq!(
-            g.node_by_name("inception_4e/output").unwrap().output_shape(),
+            g.node_by_name("inception_4e/output")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(832, 14, 14)
         );
         assert_eq!(
-            g.node_by_name("inception_5b/output").unwrap().output_shape(),
+            g.node_by_name("inception_5b/output")
+                .unwrap()
+                .output_shape(),
             FeatureShape::new(1024, 7, 7)
         );
     }
@@ -128,6 +155,12 @@ mod tests {
     #[test]
     fn inception_concat_reads_four_branches() {
         let g = googlenet();
-        assert_eq!(g.node_by_name("inception_3a/output").unwrap().inputs().len(), 4);
+        assert_eq!(
+            g.node_by_name("inception_3a/output")
+                .unwrap()
+                .inputs()
+                .len(),
+            4
+        );
     }
 }

@@ -125,10 +125,13 @@ pub fn inception_resnet_v2() -> Graph {
         cur = block_c(&mut b, cur, &format!("ir_c{i}")).expect("block_c");
     }
     b.set_block("classifier");
-    let head = b.conv("head_1x1", cur, ConvParams::pointwise(1536)).expect("head");
+    let head = b
+        .conv("head_1x1", cur, ConvParams::pointwise(1536))
+        .expect("head");
     let gap = b.global_avg_pool("gap", head).expect("gap");
     let fc = b.fc("fc1000", gap, 1000).expect("fc");
-    b.finish(fc).expect("inception_resnet_v2 is acyclic by construction")
+    b.finish(fc)
+        .expect("inception_resnet_v2 is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -163,8 +166,11 @@ mod tests {
     #[test]
     fn twenty_blocks_of_three_kinds() {
         let g = inception_resnet_v2();
-        let ir: Vec<&str> =
-            g.blocks().into_iter().filter(|b| b.starts_with("ir_")).collect();
+        let ir: Vec<&str> = g
+            .blocks()
+            .into_iter()
+            .filter(|b| b.starts_with("ir_"))
+            .collect();
         assert_eq!(ir.len(), 20);
     }
 

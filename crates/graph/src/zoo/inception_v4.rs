@@ -47,9 +47,17 @@ fn inception_a(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId,
     let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
     let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(96))?;
     let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(96))?;
-    let b3a = b.conv(format!("{name}/3x3_reduce"), from, ConvParams::pointwise(64))?;
+    let b3a = b.conv(
+        format!("{name}/3x3_reduce"),
+        from,
+        ConvParams::pointwise(64),
+    )?;
     let b3 = b.conv(format!("{name}/3x3"), b3a, same(96, 3))?;
-    let b4a = b.conv(format!("{name}/d3x3_reduce"), from, ConvParams::pointwise(64))?;
+    let b4a = b.conv(
+        format!("{name}/d3x3_reduce"),
+        from,
+        ConvParams::pointwise(64),
+    )?;
     let b4b = b.conv(format!("{name}/d3x3_1"), b4a, same(96, 3))?;
     let b4 = b.conv(format!("{name}/d3x3_2"), b4b, same(96, 3))?;
     b.concat(format!("{name}/output"), &[b1, b2, b3, b4])
@@ -72,10 +80,18 @@ fn inception_b(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId,
     let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
     let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(128))?;
     let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(384))?;
-    let b3a = b.conv(format!("{name}/7x7_reduce"), from, ConvParams::pointwise(192))?;
+    let b3a = b.conv(
+        format!("{name}/7x7_reduce"),
+        from,
+        ConvParams::pointwise(192),
+    )?;
     let b3b = b.conv(format!("{name}/1x7"), b3a, ConvParams::rect(224, 1, 7))?;
     let b3 = b.conv(format!("{name}/7x1"), b3b, ConvParams::rect(256, 7, 1))?;
-    let b4a = b.conv(format!("{name}/d7x7_reduce"), from, ConvParams::pointwise(192))?;
+    let b4a = b.conv(
+        format!("{name}/d7x7_reduce"),
+        from,
+        ConvParams::pointwise(192),
+    )?;
     let b4b = b.conv(format!("{name}/d1x7_1"), b4a, ConvParams::rect(192, 1, 7))?;
     let b4c = b.conv(format!("{name}/d7x1_1"), b4b, ConvParams::rect(224, 7, 1))?;
     let b4d = b.conv(format!("{name}/d1x7_2"), b4c, ConvParams::rect(224, 1, 7))?;
@@ -102,14 +118,46 @@ fn inception_c(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId,
     let bp = b.avg_pool(format!("{name}/pool"), from, 3, 1, 1)?;
     let b1 = b.conv(format!("{name}/pool_proj"), bp, ConvParams::pointwise(256))?;
     let b2 = b.conv(format!("{name}/1x1"), from, ConvParams::pointwise(256))?;
-    let b3a = b.conv(format!("{name}/split_reduce"), from, ConvParams::pointwise(384))?;
-    let b3l = b.conv(format!("{name}/split_1x3"), b3a, ConvParams::rect(256, 1, 3))?;
-    let b3r = b.conv(format!("{name}/split_3x1"), b3a, ConvParams::rect(256, 3, 1))?;
-    let b4a = b.conv(format!("{name}/dsplit_reduce"), from, ConvParams::pointwise(384))?;
-    let b4b = b.conv(format!("{name}/dsplit_1x3"), b4a, ConvParams::rect(448, 1, 3))?;
-    let b4c = b.conv(format!("{name}/dsplit_3x1"), b4b, ConvParams::rect(512, 3, 1))?;
-    let b4l = b.conv(format!("{name}/dsplit_out_3x1"), b4c, ConvParams::rect(256, 3, 1))?;
-    let b4r = b.conv(format!("{name}/dsplit_out_1x3"), b4c, ConvParams::rect(256, 1, 3))?;
+    let b3a = b.conv(
+        format!("{name}/split_reduce"),
+        from,
+        ConvParams::pointwise(384),
+    )?;
+    let b3l = b.conv(
+        format!("{name}/split_1x3"),
+        b3a,
+        ConvParams::rect(256, 1, 3),
+    )?;
+    let b3r = b.conv(
+        format!("{name}/split_3x1"),
+        b3a,
+        ConvParams::rect(256, 3, 1),
+    )?;
+    let b4a = b.conv(
+        format!("{name}/dsplit_reduce"),
+        from,
+        ConvParams::pointwise(384),
+    )?;
+    let b4b = b.conv(
+        format!("{name}/dsplit_1x3"),
+        b4a,
+        ConvParams::rect(448, 1, 3),
+    )?;
+    let b4c = b.conv(
+        format!("{name}/dsplit_3x1"),
+        b4b,
+        ConvParams::rect(512, 3, 1),
+    )?;
+    let b4l = b.conv(
+        format!("{name}/dsplit_out_3x1"),
+        b4c,
+        ConvParams::rect(256, 3, 1),
+    )?;
+    let b4r = b.conv(
+        format!("{name}/dsplit_out_1x3"),
+        b4c,
+        ConvParams::rect(256, 1, 3),
+    )?;
     b.concat(format!("{name}/output"), &[b1, b2, b3l, b3r, b4l, b4r])
 }
 
@@ -140,7 +188,8 @@ pub fn inception_v4() -> Graph {
     b.set_block("classifier");
     let gap = b.global_avg_pool("gap", cur).expect("gap");
     let fc = b.fc("fc1000", gap, 1000).expect("fc");
-    b.finish(fc).expect("inception_v4 is acyclic by construction")
+    b.finish(fc)
+        .expect("inception_v4 is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -170,19 +219,25 @@ mod tests {
         let g = inception_v4();
         for i in 1..=4 {
             assert_eq!(
-                g.node_by_name(&format!("inception_a{i}/output")).unwrap().output_shape(),
+                g.node_by_name(&format!("inception_a{i}/output"))
+                    .unwrap()
+                    .output_shape(),
                 FeatureShape::new(384, 35, 35)
             );
         }
         for i in 1..=7 {
             assert_eq!(
-                g.node_by_name(&format!("inception_b{i}/output")).unwrap().output_shape(),
+                g.node_by_name(&format!("inception_b{i}/output"))
+                    .unwrap()
+                    .output_shape(),
                 FeatureShape::new(1024, 17, 17)
             );
         }
         for i in 1..=3 {
             assert_eq!(
-                g.node_by_name(&format!("inception_c{i}/output")).unwrap().output_shape(),
+                g.node_by_name(&format!("inception_c{i}/output"))
+                    .unwrap()
+                    .output_shape(),
                 FeatureShape::new(1536, 8, 8)
             );
         }
@@ -204,7 +259,11 @@ mod tests {
     #[test]
     fn fourteen_inception_blocks() {
         let g = inception_v4();
-        let n = g.blocks().iter().filter(|b| b.starts_with("inception_")).count();
+        let n = g
+            .blocks()
+            .iter()
+            .filter(|b| b.starts_with("inception_"))
+            .count();
         assert_eq!(n, 14);
     }
 

@@ -71,8 +71,10 @@ mod tests {
 
     #[test]
     fn benchmark_suite_is_the_paper_trio() {
-        let names: Vec<String> =
-            benchmark_suite().iter().map(|g| g.name().to_string()).collect();
+        let names: Vec<String> = benchmark_suite()
+            .iter()
+            .map(|g| g.name().to_string())
+            .collect();
         assert_eq!(names, ["resnet152", "googlenet", "inception_v4"]);
     }
 }

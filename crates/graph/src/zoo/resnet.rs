@@ -19,8 +19,16 @@ fn bottleneck(
         from,
         ConvParams::square(mid_channels, 1, stride, 0),
     )?;
-    let c2 = b.conv(format!("{name}_branch2b"), c1, ConvParams::square(mid_channels, 3, 1, 1))?;
-    let c3 = b.conv(format!("{name}_branch2c"), c2, ConvParams::pointwise(out_channels))?;
+    let c2 = b.conv(
+        format!("{name}_branch2b"),
+        c1,
+        ConvParams::square(mid_channels, 3, 1, 1),
+    )?;
+    let c3 = b.conv(
+        format!("{name}_branch2c"),
+        c2,
+        ConvParams::pointwise(out_channels),
+    )?;
     let shortcut = if project {
         b.conv(
             format!("{name}_branch1"),
@@ -75,7 +83,9 @@ fn resnet(name: &str, units: [usize; 4]) -> Graph {
     let mut b = GraphBuilder::new(name);
     let x = b.input(FeatureShape::new(3, 224, 224));
     b.set_block("stem");
-    let c1 = b.conv("conv1", x, ConvParams::square(64, 7, 2, 3)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(64, 7, 2, 3))
+        .expect("conv1");
     let p1 = b.max_pool("pool1", c1, 3, 2, 1).expect("pool1"); // 56x56
     let s2 = stage(&mut b, p1, 2, units[0], 64, 256, 1).expect("stage2");
     let s3 = stage(&mut b, s2, 3, units[1], 128, 512, 2).expect("stage3");
@@ -128,9 +138,18 @@ mod tests {
     #[test]
     fn conv_counts_match_depth() {
         // conv layers = 1 stem + sum(units)*3 + 4 projections.
-        assert_eq!(resnet50().conv_layers().count(), 1 + (3 + 4 + 6 + 3) * 3 + 4);
-        assert_eq!(resnet101().conv_layers().count(), 1 + (3 + 4 + 23 + 3) * 3 + 4);
-        assert_eq!(resnet152().conv_layers().count(), 1 + (3 + 8 + 36 + 3) * 3 + 4);
+        assert_eq!(
+            resnet50().conv_layers().count(),
+            1 + (3 + 4 + 6 + 3) * 3 + 4
+        );
+        assert_eq!(
+            resnet101().conv_layers().count(),
+            1 + (3 + 4 + 23 + 3) * 3 + 4
+        );
+        assert_eq!(
+            resnet152().conv_layers().count(),
+            1 + (3 + 8 + 36 + 3) * 3 + 4
+        );
     }
 
     #[test]

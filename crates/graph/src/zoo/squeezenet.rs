@@ -17,9 +17,21 @@ fn fire(
     e3: usize,
 ) -> Result<NodeId, GraphError> {
     b.set_block(format!("fire{idx}"));
-    let squeeze = b.conv(format!("fire{idx}/squeeze1x1"), from, ConvParams::pointwise(s))?;
-    let x1 = b.conv(format!("fire{idx}/expand1x1"), squeeze, ConvParams::pointwise(e1))?;
-    let x3 = b.conv(format!("fire{idx}/expand3x3"), squeeze, ConvParams::square(e3, 3, 1, 1))?;
+    let squeeze = b.conv(
+        format!("fire{idx}/squeeze1x1"),
+        from,
+        ConvParams::pointwise(s),
+    )?;
+    let x1 = b.conv(
+        format!("fire{idx}/expand1x1"),
+        squeeze,
+        ConvParams::pointwise(e1),
+    )?;
+    let x3 = b.conv(
+        format!("fire{idx}/expand3x3"),
+        squeeze,
+        ConvParams::square(e3, 3, 1, 1),
+    )?;
     b.concat(format!("fire{idx}/concat"), &[x1, x3])
 }
 
@@ -33,7 +45,9 @@ pub fn squeezenet() -> Graph {
     let mut b = GraphBuilder::new("squeezenet");
     let x = b.input(FeatureShape::new(3, 224, 224));
     b.set_block("stem");
-    let c1 = b.conv("conv1", x, ConvParams::square(96, 7, 2, 2)).expect("conv1"); // 110
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(96, 7, 2, 2))
+        .expect("conv1"); // 110
     let p1 = b.max_pool("pool1", c1, 3, 2, 0).expect("pool1"); // 54
 
     let f2 = fire(&mut b, p1, 2, 16, 64, 64).expect("fire2");
@@ -51,9 +65,12 @@ pub fn squeezenet() -> Graph {
 
     let f9 = fire(&mut b, p8, 9, 64, 256, 256).expect("fire9");
     b.set_block("classifier");
-    let c10 = b.conv("conv10", f9, ConvParams::pointwise(1000)).expect("conv10");
+    let c10 = b
+        .conv("conv10", f9, ConvParams::pointwise(1000))
+        .expect("conv10");
     let gap = b.global_avg_pool("gap", c10).expect("gap");
-    b.finish(gap).expect("squeezenet is acyclic by construction")
+    b.finish(gap)
+        .expect("squeezenet is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -73,11 +90,17 @@ mod tests {
     fn fire_output_channels() {
         let g = squeezenet();
         assert_eq!(
-            g.node_by_name("fire4/concat").unwrap().output_shape().channels,
+            g.node_by_name("fire4/concat")
+                .unwrap()
+                .output_shape()
+                .channels,
             256
         );
         assert_eq!(
-            g.node_by_name("fire9/concat").unwrap().output_shape().channels,
+            g.node_by_name("fire9/concat")
+                .unwrap()
+                .output_shape()
+                .channels,
             512
         );
     }

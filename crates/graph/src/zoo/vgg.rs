@@ -60,8 +60,14 @@ mod tests {
     #[test]
     fn spatial_pyramid() {
         let g = vgg16();
-        assert_eq!(g.node_by_name("pool1").unwrap().output_shape(), FeatureShape::new(64, 112, 112));
-        assert_eq!(g.node_by_name("pool5").unwrap().output_shape(), FeatureShape::new(512, 7, 7));
+        assert_eq!(
+            g.node_by_name("pool1").unwrap().output_shape(),
+            FeatureShape::new(64, 112, 112)
+        );
+        assert_eq!(
+            g.node_by_name("pool5").unwrap().output_shape(),
+            FeatureShape::new(512, 7, 7)
+        );
     }
 
     #[test]

@@ -72,13 +72,24 @@ impl Channel {
         self.jobs
     }
 
-    /// Channel utilisation over a horizon.
+    /// Channel utilisation over a horizon: the *raw* busy/horizon
+    /// ratio. A FIFO channel never overlaps jobs, so a ratio above 1.0
+    /// means the horizon is shorter than the carried traffic — clamping
+    /// here would silently hide such a bandwidth-accounting bug. Clamp
+    /// at the presentation layer ([`Channel::utilization_clamped`]) if
+    /// a bounded number is needed.
     #[must_use]
     pub fn utilization(&self, horizon: f64) -> f64 {
         if horizon <= 0.0 {
             return 0.0;
         }
-        (self.busy_total / horizon).min(1.0)
+        self.busy_total / horizon
+    }
+
+    /// [`Channel::utilization`] clamped to `[0, 1]` for display.
+    #[must_use]
+    pub fn utilization_clamped(&self, horizon: f64) -> f64 {
+        self.utilization(horizon).min(1.0)
     }
 }
 
@@ -107,12 +118,16 @@ mod tests {
     }
 
     #[test]
-    fn utilization_is_bounded() {
+    fn utilization_is_the_raw_ratio() {
         let mut c = Channel::new();
         c.enqueue(0.0, 4.0);
         assert!((c.utilization(8.0) - 0.5).abs() < 1e-12);
         assert_eq!(c.utilization(0.0), 0.0);
-        assert_eq!(c.utilization(1.0), 1.0);
+        // Intentional semantic change: a horizon shorter than the
+        // carried traffic reports > 1.0 instead of being clamped.
+        assert_eq!(c.utilization(1.0), 4.0);
+        assert_eq!(c.utilization_clamped(1.0), 1.0);
+        assert_eq!(c.utilization_clamped(8.0), 0.5);
     }
 
     #[test]

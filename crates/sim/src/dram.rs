@@ -142,7 +142,12 @@ impl DramModel {
 /// of a tiled tensor (chunk = contiguous run, stride = the jump to the
 /// next run).
 #[must_use]
-pub fn stream_efficiency(timing: DramTiming, chunk_bytes: u64, stride_bytes: u64, chunks: u64) -> f64 {
+pub fn stream_efficiency(
+    timing: DramTiming,
+    chunk_bytes: u64,
+    stride_bytes: u64,
+    chunks: u64,
+) -> f64 {
     let mut model = DramModel::new(timing);
     let mut addr = 0u64;
     for _ in 0..chunks.max(1) {

@@ -119,13 +119,47 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Utilisation of a channel over the whole run.
+    /// Utilisation of a channel over the whole run: the *raw*
+    /// busy/latency ratio. The FIFO channel model guarantees this is at
+    /// most 1.0, so a larger value is a bandwidth-accounting bug —
+    /// clamping used to hide exactly that, hence the `debug_assert` and
+    /// the [`SimReport::oversubscribed_channels`] warning counter.
     #[must_use]
     pub fn channel_utilization(&self, kind: ChannelKind) -> f64 {
         if self.total_latency <= 0.0 {
             return 0.0;
         }
-        (self.channel_busy.get(&kind).copied().unwrap_or(0.0) / self.total_latency).min(1.0)
+        let ratio = self.channel_busy.get(&kind).copied().unwrap_or(0.0) / self.total_latency;
+        debug_assert!(
+            ratio <= 1.0 + 1e-9,
+            "{kind:?} carried more traffic than the run lasted: {ratio}"
+        );
+        ratio
+    }
+
+    /// [`SimReport::channel_utilization`] clamped to `[0, 1]` for
+    /// display (the presentation layer's clamp).
+    #[must_use]
+    pub fn channel_utilization_clamped(&self, kind: ChannelKind) -> f64 {
+        self.channel_utilization(kind).min(1.0)
+    }
+
+    /// Warning counter: how many channels report a raw utilisation
+    /// above 1.0 (always 0 unless the accounting is broken).
+    #[must_use]
+    pub fn oversubscribed_channels(&self) -> usize {
+        [
+            ChannelKind::InputFeature,
+            ChannelKind::Weight,
+            ChannelKind::OutputFeature,
+        ]
+        .into_iter()
+        .filter(|&kind| {
+            self.total_latency > 0.0
+                && self.channel_busy.get(&kind).copied().unwrap_or(0.0)
+                    > self.total_latency * (1.0 + 1e-9)
+        })
+        .count()
     }
 }
 
@@ -150,7 +184,11 @@ impl<'a> Simulator<'a> {
     /// Creates a simulator for one graph/latency-table pair.
     #[must_use]
     pub fn new(graph: &'a Graph, profile: &'a GraphProfile) -> Self {
-        Self { graph, profile, schedule: Schedule::new(graph) }
+        Self {
+            graph,
+            profile,
+            schedule: Schedule::new(graph),
+        }
     }
 
     /// The schedule being executed.
@@ -205,10 +243,7 @@ impl<'a> Simulator<'a> {
                         .copied()
                         .unwrap_or(WeightClass::Persistent);
                     if class == WeightClass::Shared {
-                        let pos = config
-                            .prefetch
-                            .edge(*v)
-                            .map_or(0, |e| e.start);
+                        let pos = config.prefetch.edge(*v).map_or(0, |e| e.start);
                         launches.entry(pos).or_default().push(*node);
                     }
                 }
@@ -246,8 +281,11 @@ impl<'a> Simulator<'a> {
                     .sum();
                 let (if_s, end_if) = if_ch.enqueue_span(start, if_dur);
 
-                let of_dur =
-                    if residency.contains(ValueId::Feature(id)) { 0.0 } else { row.output };
+                let of_dur = if residency.contains(ValueId::Feature(id)) {
+                    0.0
+                } else {
+                    row.output
+                };
                 let (of_s, end_of) = of_ch.enqueue_span(start, of_dur);
 
                 let mut wt_span: Option<(f64, f64)> = None;
@@ -298,9 +336,13 @@ impl<'a> Simulator<'a> {
                     }
                 }
 
-                let streams = if_dur > 0.0
-                    || (!residency.contains(ValueId::Weight(id)) && row.weight > 0.0);
-                let fill = if config.pipeline_fill && streams { row.fill } else { 0.0 };
+                let streams =
+                    if_dur > 0.0 || (!residency.contains(ValueId::Weight(id)) && row.weight > 0.0);
+                let fill = if config.pipeline_fill && streams {
+                    row.fill
+                } else {
+                    0.0
+                };
                 let compute_end = start + fill + row.compute;
                 let end = compute_end.max(end_if).max(end_wt).max(end_of);
                 if let Some(&done) = prefetch_done.get(&id) {
@@ -364,15 +406,14 @@ mod tests {
         let g = zoo::googlenet();
         let device = Device::vu9p();
         let (umm, lcmm) = compare(&g, &device, Precision::Fix16);
-        let sim_umm = Simulator::new(&g, &umm.profile)
-            .run(&Residency::new(), &SimConfig::default());
+        let sim_umm =
+            Simulator::new(&g, &umm.profile).run(&Residency::new(), &SimConfig::default());
         let lcmm_profile = lcmm.design.profile(&g);
         let config = SimConfig {
             prefetch: lcmm.prefetch.clone(),
             ..SimConfig::default()
         };
-        let sim_lcmm =
-            Simulator::new(&g, &lcmm_profile).run(&lcmm.residency, &config);
+        let sim_lcmm = Simulator::new(&g, &lcmm_profile).run(&lcmm.residency, &config);
         assert!(
             sim_lcmm.total_latency < sim_umm.total_latency,
             "lcmm {} >= umm {}",
@@ -389,7 +430,10 @@ mod tests {
         let one = sim.run(&Residency::new(), &SimConfig::default());
         let three = sim.run(
             &Residency::new(),
-            &SimConfig { inferences: 3, ..SimConfig::default() },
+            &SimConfig {
+                inferences: 3,
+                ..SimConfig::default()
+            },
         );
         assert!(three.total_latency > 2.9 * one.total_latency);
         assert!((three.steady_latency - one.steady_latency).abs() / one.steady_latency < 0.01);
@@ -406,7 +450,10 @@ mod tests {
         let warm = sim.run(&residency, &SimConfig::default());
         let cold = sim.run(
             &residency,
-            &SimConfig { warm_start: false, ..SimConfig::default() },
+            &SimConfig {
+                warm_start: false,
+                ..SimConfig::default()
+            },
         );
         assert!(cold.total_latency > warm.total_latency);
     }
@@ -424,11 +471,17 @@ mod tests {
         classes.insert(fc7, WeightClass::Shared);
         let shared = sim.run(
             &residency,
-            &SimConfig { weight_classes: classes, ..SimConfig::default() },
+            &SimConfig {
+                weight_classes: classes,
+                ..SimConfig::default()
+            },
         );
         let p_wt = persistent.channel_busy[&ChannelKind::Weight];
         let s_wt = shared.channel_busy[&ChannelKind::Weight];
-        assert!(s_wt > p_wt, "shared weights must re-stream: {s_wt} <= {p_wt}");
+        assert!(
+            s_wt > p_wt,
+            "shared weights must re-stream: {s_wt} <= {p_wt}"
+        );
     }
 
     #[test]
@@ -452,12 +505,19 @@ mod tests {
         let g = zoo::googlenet();
         let p = setup(&g, Precision::Fix16);
         let sim = Simulator::new(&g, &p);
-        let config = SimConfig { record_events: true, ..SimConfig::default() };
+        let config = SimConfig {
+            record_events: true,
+            ..SimConfig::default()
+        };
         let report = sim.run(&Residency::new(), &config);
         assert!(!report.events.is_empty());
 
         // Per-channel transfer events never overlap (FIFO channels).
-        for kind in [ChannelKind::InputFeature, ChannelKind::Weight, ChannelKind::OutputFeature] {
+        for kind in [
+            ChannelKind::InputFeature,
+            ChannelKind::Weight,
+            ChannelKind::OutputFeature,
+        ] {
             let mut spans: Vec<(f64, f64)> = report
                 .events
                 .iter()
@@ -494,7 +554,10 @@ mod tests {
         let base = sim.run(&Residency::new(), &SimConfig::default());
         let filled = sim.run(
             &Residency::new(),
-            &SimConfig { pipeline_fill: true, ..SimConfig::default() },
+            &SimConfig {
+                pipeline_fill: true,
+                ..SimConfig::default()
+            },
         );
         assert!(filled.total_latency > base.total_latency);
         // Removing the cross-layer double buffer costs real time, but
@@ -512,7 +575,10 @@ mod tests {
         let (_, lcmm) = compare(&g, &device, Precision::Fix16);
         let profile = lcmm.design.profile(&g);
         let sim = Simulator::new(&g, &profile);
-        let cfg = SimConfig { pipeline_fill: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            pipeline_fill: true,
+            ..SimConfig::default()
+        };
         let umm_filled = sim.run(&Residency::new(), &cfg);
         let lcmm_cfg = SimConfig {
             pipeline_fill: true,
@@ -522,11 +588,14 @@ mod tests {
         };
         let lcmm_filled = sim.run(&lcmm.residency, &lcmm_cfg);
         let umm_plain = sim.run(&Residency::new(), &SimConfig::default());
-        let lcmm_plain = sim.run(&lcmm.residency, &SimConfig {
-            prefetch: lcmm.prefetch.clone(),
-            weight_classes: crate::validate::weight_classes(&lcmm),
-            ..SimConfig::default()
-        });
+        let lcmm_plain = sim.run(
+            &lcmm.residency,
+            &SimConfig {
+                prefetch: lcmm.prefetch.clone(),
+                weight_classes: crate::validate::weight_classes(&lcmm),
+                ..SimConfig::default()
+            },
+        );
         let umm_overhead = umm_filled.total_latency - umm_plain.total_latency;
         let lcmm_overhead = lcmm_filled.total_latency - lcmm_plain.total_latency;
         // Noteworthy asymmetry: under UMM the fill hides beneath the
@@ -564,7 +633,11 @@ mod tests {
         };
         let report = sim.run(&lcmm.residency, &config);
         let schedule = sim.schedule();
-        for e in report.events.iter().filter(|e| e.kind == EventKind::Prefetch) {
+        for e in report
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Prefetch)
+        {
             // The prefetch must start no later than its consumer ends.
             let pos = schedule.position(e.node);
             let consumer = report.last_inference[pos];
@@ -578,9 +651,15 @@ mod tests {
         let p = setup(&g, Precision::Fix8);
         let sim = Simulator::new(&g, &p);
         let report = sim.run(&Residency::new(), &SimConfig::default());
-        for kind in [ChannelKind::InputFeature, ChannelKind::Weight, ChannelKind::OutputFeature] {
+        for kind in [
+            ChannelKind::InputFeature,
+            ChannelKind::Weight,
+            ChannelKind::OutputFeature,
+        ] {
             let u = report.channel_utilization(kind);
             assert!((0.0..=1.0).contains(&u), "{kind:?} = {u}");
+            assert_eq!(u, report.channel_utilization_clamped(kind));
         }
+        assert_eq!(report.oversubscribed_channels(), 0);
     }
 }

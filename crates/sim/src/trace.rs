@@ -111,7 +111,10 @@ impl Footprint {
     /// Rows currently on chip.
     #[must_use]
     pub fn on_chip_rows(&self) -> Vec<&FootprintRow> {
-        self.rows.iter().filter(|r| r.placement == Placement::OnChip).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.placement == Placement::OnChip)
+            .collect()
     }
 
     /// Peak simultaneous on-chip bytes over the focus window.
@@ -208,12 +211,18 @@ mod tests {
         let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
         let profile = lcmm.design.profile(&g);
         let sim = Simulator::new(&g, &profile);
-        let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+        let config = SimConfig {
+            prefetch: lcmm.prefetch.clone(),
+            ..SimConfig::default()
+        };
         let report = sim.run(&lcmm.residency, &config);
         let focus = g.block_nodes("inception_c1");
         let fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
         // Every conv in the block has a feature and a weight row.
-        let convs = focus.iter().filter(|&&n| g.node(n).op().has_weights()).count();
+        let convs = focus
+            .iter()
+            .filter(|&&n| g.node(n).op().has_weights())
+            .count();
         assert!(fp.rows.len() >= focus.len() + convs - 2);
         // Rows are time-ordered.
         for w in fp.rows.windows(2) {
@@ -233,7 +242,10 @@ mod tests {
         let sim = Simulator::new(&g, &profile);
         let report = sim.run(
             &Residency::new(),
-            &SimConfig { record_events: true, ..SimConfig::default() },
+            &SimConfig {
+                record_events: true,
+                ..SimConfig::default()
+            },
         );
         let json = to_chrome_trace(&g, &report.events);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
@@ -263,12 +275,18 @@ mod tests {
 
         let profile = lcmm.design.profile(&g);
         let sim = Simulator::new(&g, &profile);
-        let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+        let config = SimConfig {
+            prefetch: lcmm.prefetch.clone(),
+            ..SimConfig::default()
+        };
         let report = sim.run(&lcmm.residency, &config);
         let lcmm_fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
 
         assert_eq!(umm_fp.on_chip_rows().len(), 0, "UMM keeps nothing on chip");
-        assert!(!lcmm_fp.on_chip_rows().is_empty(), "LCMM must keep something on chip");
+        assert!(
+            !lcmm_fp.on_chip_rows().is_empty(),
+            "LCMM must keep something on chip"
+        );
         assert!(lcmm_fp.peak_on_chip_bytes() > 0);
     }
 }

@@ -80,12 +80,14 @@ pub fn simulate_lcmm(graph: &Graph, result: &LcmmResult) -> f64 {
 /// Runs the full validation for one UMM/LCMM pair.
 #[must_use]
 pub fn validate(graph: &Graph, umm: &UmmBaseline, lcmm: &LcmmResult) -> ValidationReport {
-    let umm_sim = Simulator::new(graph, &umm.profile)
-        .run(&Residency::new(), &SimConfig::default());
+    let umm_sim = Simulator::new(graph, &umm.profile).run(&Residency::new(), &SimConfig::default());
     let lcmm_profile = lcmm.design.profile(graph);
     let lcmm_eval = Evaluator::new(graph, &lcmm_profile);
     ValidationReport {
-        umm: ValidationPoint { analytic: umm.latency, simulated: umm_sim.steady_latency },
+        umm: ValidationPoint {
+            analytic: umm.latency,
+            simulated: umm_sim.steady_latency,
+        },
         lcmm: ValidationPoint {
             analytic: lcmm_eval.total_latency(&lcmm.residency),
             simulated: simulate_lcmm(graph, lcmm),
@@ -107,10 +109,22 @@ mod tests {
         let report = validate(&g, &umm, &lcmm);
         // The simulator adds contention, so it may only be slower —
         // but not wildly so.
-        assert!(report.umm.ratio() >= 0.99, "umm ratio {}", report.umm.ratio());
+        assert!(
+            report.umm.ratio() >= 0.99,
+            "umm ratio {}",
+            report.umm.ratio()
+        );
         assert!(report.umm.ratio() < 1.5, "umm ratio {}", report.umm.ratio());
-        assert!(report.lcmm.ratio() >= 0.99, "lcmm ratio {}", report.lcmm.ratio());
-        assert!(report.lcmm.ratio() < 1.6, "lcmm ratio {}", report.lcmm.ratio());
+        assert!(
+            report.lcmm.ratio() >= 0.99,
+            "lcmm ratio {}",
+            report.lcmm.ratio()
+        );
+        assert!(
+            report.lcmm.ratio() < 1.6,
+            "lcmm ratio {}",
+            report.lcmm.ratio()
+        );
     }
 
     #[test]
@@ -131,7 +145,7 @@ mod tests {
         let classes = weight_classes(&lcmm);
         // There must be at least one shared weight buffer in a network
         // this deep, and classes only for resident weights.
-        for (node, _) in &classes {
+        for node in classes.keys() {
             assert!(lcmm.residency.contains(ValueId::Weight(*node)));
         }
         assert!(

@@ -49,8 +49,7 @@ fn main() -> Result<(), GraphError> {
     );
 
     let umm = UmmBaseline::from_design(&network, design);
-    let lcmm = Pipeline::new(LcmmOptions::default())
-        .run_with_design(&network, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
     println!(
         "UMM {:.3} ms -> LCMM {:.3} ms ({:.2}x)",
         umm.latency * 1e3,

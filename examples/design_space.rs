@@ -21,7 +21,11 @@ fn main() {
     let values = ValueTable::build(&network, &umm.profile, precision);
 
     let blocks = inception_blocks(&network);
-    println!("sweeping 2^{} = {} block residency choices", blocks.len(), 1 << blocks.len());
+    println!(
+        "sweeping 2^{} = {} block residency choices",
+        blocks.len(),
+        1 << blocks.len()
+    );
     let space = sweep(&network, &evaluator, &values, &blocks);
 
     // Bucket by SRAM spend and print the best latency per bucket: the
@@ -57,11 +61,13 @@ fn main() {
         feasible_best.latency * 1e3,
         feasible_best.sram_bytes as f64 / (1 << 20) as f64
     );
-    println!("non-monotone in SRAM spend      : {}", space.is_non_monotone());
+    println!(
+        "non-monotone in SRAM spend      : {}",
+        space.is_non_monotone()
+    );
 
     // DNNK at tensor granularity beats the best block-level point.
-    let lcmm = Pipeline::new(LcmmOptions::default())
-        .run_with_design(&network, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
     println!(
         "LCMM (tensor-level DNNK)        : {:.3} ms using {:.1} MiB",
         lcmm.latency * 1e3,

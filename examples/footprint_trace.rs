@@ -13,11 +13,18 @@ use lcmm::sim::trace::{Footprint, Placement};
 
 fn print_footprint(title: &str, fp: &Footprint) {
     println!("\n{title}");
-    println!("  {:30} {:9} {:>10} {:>10} {:>9}", "tensor", "placement", "from(us)", "to(us)", "KiB");
+    println!(
+        "  {:30} {:9} {:>10} {:>10} {:>9}",
+        "tensor", "placement", "from(us)", "to(us)", "KiB"
+    );
     for row in &fp.rows {
         println!(
             "  {:30} {:9} {:10.1} {:10.1} {:9.1}",
-            format!("{}[{}]", row.layer, format!("{}", row.value).chars().next().unwrap_or('?')),
+            format!(
+                "{}[{}]",
+                row.layer,
+                format!("{}", row.value).chars().next().unwrap_or('?')
+            ),
             match row.placement {
                 Placement::OnChip => "on-chip",
                 Placement::OffChip => "off-chip",
@@ -54,7 +61,10 @@ fn main() {
     // LCMM: the DNNK-selected tensors live on chip.
     let profile = lcmm.design.profile(&network);
     let sim = Simulator::new(&network, &profile);
-    let config = SimConfig { prefetch: lcmm.prefetch.clone(), ..SimConfig::default() };
+    let config = SimConfig {
+        prefetch: lcmm.prefetch.clone(),
+        ..SimConfig::default()
+    };
     let report = sim.run(&lcmm.residency, &config);
     let lcmm_fp = Footprint::build(&network, &report, &lcmm.residency, &lcmm.prefetch, &focus);
     print_footprint("LCMM (layer conscious memory management)", &lcmm_fp);

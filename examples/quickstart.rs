@@ -12,7 +12,8 @@ fn main() {
     let precision = Precision::Fix16;
 
     println!("network : {} ({} layers)", network.name(), network.len());
-    println!("device  : {} ({} DSPs, {:.1} MiB SRAM)",
+    println!(
+        "device  : {} ({} DSPs, {:.1} MiB SRAM)",
         device.name,
         device.dsp_slices,
         device.sram_bytes() as f64 / (1 << 20) as f64,
@@ -29,17 +30,22 @@ fn main() {
 
     // LCMM: liveness-driven feature buffer reuse, weight prefetching,
     // DNNK knapsack allocation, buffer splitting.
-    let lcmm = Pipeline::new(LcmmOptions::default())
-        .run_with_design(&network, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
     println!(
         "LCMM : {:7.3} ms  ({:.3} Tops)",
         lcmm.latency * 1e3,
         lcmm.throughput_ops() / 1e12
     );
 
-    println!("\nspeedup            : {:.2}x", lcmm.speedup_over(umm.latency));
+    println!(
+        "\nspeedup            : {:.2}x",
+        lcmm.speedup_over(umm.latency)
+    );
     println!("tensors on chip    : {}", lcmm.residency.len());
-    println!("buffers allocated  : {}", lcmm.allocated_buffer_sizes().len());
+    println!(
+        "buffers allocated  : {}",
+        lcmm.allocated_buffer_sizes().len()
+    );
     println!(
         "on-chip bytes      : {:.1} MiB of {:.1} MiB budget",
         lcmm.allocated_buffer_sizes().iter().sum::<u64>() as f64 / (1 << 20) as f64,

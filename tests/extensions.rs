@@ -56,7 +56,12 @@ fn device_scaling_is_monotone() {
 #[test]
 fn extra_networks_run_end_to_end() {
     let device = Device::vu9p();
-    for name in ["densenet121", "squeezenet", "resnet101", "inception_resnet_v2"] {
+    for name in [
+        "densenet121",
+        "squeezenet",
+        "resnet101",
+        "inception_resnet_v2",
+    ] {
         let graph = lcmm::graph::zoo::by_name(name).expect("model exists");
         let (umm, lcmm) = compare(&graph, &device, Precision::Fix16);
         assert!(
@@ -81,7 +86,13 @@ fn densenet_exercises_dense_liveness() {
 
 #[test]
 fn liveness_schedule_valid_on_all_models() {
-    for name in ["alexnet", "squeezenet", "googlenet", "densenet121", "inception_v4"] {
+    for name in [
+        "alexnet",
+        "squeezenet",
+        "googlenet",
+        "densenet121",
+        "inception_v4",
+    ] {
         let graph = lcmm::graph::zoo::by_name(name).expect("model exists");
         let schedule = Schedule::minimizing_liveness(&graph);
         assert!(schedule.is_valid_for(&graph), "{name}");
@@ -105,7 +116,9 @@ fn suite_report_aggregates() {
     let device = Device::vu9p();
     let graph = lcmm::graph::zoo::alexnet();
     let rec = comparison_record(&graph, &device, Precision::Fix16);
-    let suite = SuiteReport { records: vec![rec.clone(), rec] };
+    let suite = SuiteReport {
+        records: vec![rec.clone(), rec],
+    };
     assert!((suite.average_speedup() - suite.records[0].speedup).abs() < 1e-12);
 }
 

@@ -92,11 +92,17 @@ fn inception_v4_memory_bound_fraction() {
     let design = AccelDesign::explore(&network, &device, Precision::Fix8);
     let roofline = RooflineReport::build(&network, &design);
     let frac = roofline.memory_bound_fraction();
-    assert!((0.30..=0.70).contains(&frac), "memory-bound fraction {frac:.2}");
+    assert!(
+        (0.30..=0.70).contains(&frac),
+        "memory-bound fraction {frac:.2}"
+    );
     // ">60% of them even need 70 GB/s": a majority of memory-bound
     // layers need well beyond one interface's theoretical bandwidth.
     let needing = roofline.fraction_needing_bandwidth(2.0 * roofline.interface_bandwidth);
-    assert!(needing > 0.3, "only {needing:.2} need 2x interface bandwidth");
+    assert!(
+        needing > 0.3,
+        "only {needing:.2} need 2x interface bandwidth"
+    );
 }
 
 /// Fig. 2(b): performance is non-monotone in SRAM spend, and the best
@@ -119,8 +125,7 @@ fn design_space_non_monotone_and_dnnk_wins() {
         .into_iter()
         .map(|p| p.latency)
         .fold(f64::INFINITY, f64::min);
-    let lcmm = Pipeline::new(LcmmOptions::default())
-        .run_with_design(&network, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
     assert!(
         lcmm.latency <= best_block * 1.02,
         "DNNK ({:.4} ms) should at least match the best block-level point ({:.4} ms)",
@@ -184,15 +189,20 @@ fn ablations_compose() {
     let network = lcmm::graph::zoo::googlenet();
     let device = Device::vu9p();
     let umm = UmmBaseline::build(&network, &device, Precision::Fix16);
-    let full = Pipeline::new(LcmmOptions::default())
-        .run_with_design(&network, umm.design.clone());
+    let full = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
     let features = Pipeline::new(LcmmOptions::feature_reuse_only())
         .run_with_design(&network, umm.design.clone());
     let weights = Pipeline::new(LcmmOptions::weight_prefetch_only())
         .run_with_design(&network, umm.design.clone());
 
-    assert!(features.latency < umm.latency, "feature reuse alone must help");
-    assert!(weights.latency < umm.latency, "weight prefetching alone must help");
+    assert!(
+        features.latency < umm.latency,
+        "feature reuse alone must help"
+    );
+    assert!(
+        weights.latency < umm.latency,
+        "weight prefetching alone must help"
+    );
     assert!(full.latency <= features.latency + 1e-12);
     assert!(full.latency <= weights.latency + 1e-12);
 }

@@ -2,8 +2,8 @@
 //! structural invariants checked on the outputs.
 
 use lcmm::core::liveness::{feature_lifespans, Schedule};
-use lcmm::core::value::{ValueKind, ValueTable};
 use lcmm::core::pipeline::compare;
+use lcmm::core::value::{ValueKind, ValueTable};
 use lcmm::prelude::*;
 
 fn all_models() -> Vec<Graph> {
@@ -129,7 +129,11 @@ fn results_are_deterministic() {
     let network = lcmm::graph::zoo::googlenet();
     let (_, a) = compare(&network, &device, Precision::Fix16);
     let (_, b) = compare(&network, &device, Precision::Fix16);
-    assert_eq!(a.latency.to_bits(), b.latency.to_bits(), "nondeterministic pipeline");
+    assert_eq!(
+        a.latency.to_bits(),
+        b.latency.to_bits(),
+        "nondeterministic pipeline"
+    );
     assert_eq!(a.chosen, b.chosen);
 }
 
@@ -138,7 +142,9 @@ fn facade_prelude_compiles_and_works() {
     // Exercise the re-exports end to end at a smaller scale.
     let mut b = GraphBuilder::new("prelude_net");
     let x = b.input(FeatureShape::new(8, 16, 16));
-    let c = b.conv("c", x, ConvParams::square(16, 3, 1, 1)).expect("valid");
+    let c = b
+        .conv("c", x, ConvParams::square(16, 3, 1, 1))
+        .expect("valid");
     let network = b.finish(c).expect("valid");
     let design = AccelDesign::explore(&network, &Device::vu9p(), Precision::Fix8);
     let profile = design.profile(&network);

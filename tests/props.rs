@@ -52,11 +52,15 @@ fn build_graph(steps: &[Step]) -> Graph {
             Step::Conv(c, k) => {
                 let (kernel, pad) = kernel_of(k);
                 let p = ConvParams::square(c as usize, kernel, 1, pad);
-                cur = b.conv(format!("conv{idx}"), cur, p).expect("same-pad conv is valid");
+                cur = b
+                    .conv(format!("conv{idx}"), cur, p)
+                    .expect("same-pad conv is valid");
             }
             Step::Pool => {
                 if shape.height >= 4 {
-                    cur = b.max_pool(format!("pool{idx}"), cur, 2, 2, 0).expect("valid pool");
+                    cur = b
+                        .max_pool(format!("pool{idx}"), cur, 2, 2, 0)
+                        .expect("valid pool");
                 }
             }
             Step::Fork(ca, cb) => {
@@ -64,12 +68,16 @@ fn build_graph(steps: &[Step]) -> Graph {
                 let pb = ConvParams::pointwise(cb as usize);
                 let left = b.conv(format!("fork{idx}l"), cur, pa).expect("valid");
                 let right = b.conv(format!("fork{idx}r"), cur, pb).expect("valid");
-                cur = b.concat(format!("fork{idx}cat"), &[left, right]).expect("same spatial");
+                cur = b
+                    .concat(format!("fork{idx}cat"), &[left, right])
+                    .expect("same spatial");
             }
             Step::Residual => {
                 let p = ConvParams::square(shape.channels, 3, 1, 1);
                 let conv = b.conv(format!("res{idx}"), cur, p).expect("valid");
-                cur = b.eltwise_add(format!("res{idx}add"), &[cur, conv]).expect("same shape");
+                cur = b
+                    .eltwise_add(format!("res{idx}add"), &[cur, conv])
+                    .expect("same shape");
             }
         }
     }

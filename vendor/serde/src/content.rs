@@ -1,0 +1,502 @@
+//! JSON text layer and decode helpers for the [`Content`] tree.
+//!
+//! Lives in `serde` (rather than the `serde_json` facade) because map
+//! keys serialize through the same stringification as whole documents,
+//! and the derive macros call the `as_map`/`decode_field` helpers.
+
+use crate::{Content, Deserialize, Error};
+
+/// Stringifies a content value for use as a JSON object key.
+///
+/// Plain strings and integers keep their natural form; anything
+/// structured (e.g. a newtype-variant enum key) becomes its compact
+/// JSON encoding, which [`key_value`] knows to parse back.
+pub fn key_string(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        Content::U64(n) => n.to_string(),
+        Content::I64(n) => n.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => write_compact(other),
+    }
+}
+
+/// Rebuilds a map key from its string form: first as a bare string
+/// (covers string-like and unit-enum keys), then as embedded JSON
+/// (covers integer and structured keys).
+pub fn key_value<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_content(&Content::Str(key.to_string())) {
+        return Ok(k);
+    }
+    let parsed =
+        parse(key).map_err(|e| Error::custom(format!("unparseable map key {key:?}: {e}")))?;
+    K::from_content(&parsed)
+}
+
+/// Expects `c` to be a map; used by derived `Deserialize` impls.
+pub fn as_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Content)], Error> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(Error::custom(format!(
+            "expected {ty} object, got {other:?}"
+        ))),
+    }
+}
+
+/// Decodes a required struct field; a missing key is an error.
+pub fn decode_field<T: Deserialize>(
+    fields: &[(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| Error::custom(format!("field {ty}.{name}: {e}")))
+        }
+        None => Err(Error::custom(format!("missing field {ty}.{name}"))),
+    }
+}
+
+/// Decodes an `Option` struct field; a missing key reads as `null`.
+pub fn decode_field_or_null<T: Deserialize>(
+    fields: &[(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| Error::custom(format!("field {ty}.{name}: {e}")))
+        }
+        None => T::from_content(&Content::Null),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Formats an `f64` the way serde_json does: shortest round-trip form,
+/// with a `.0` suffix on finite integral values so they read back as
+/// floats. Non-finite values have no JSON form and print as `null`.
+fn write_f64(out: &mut String, x: f64) {
+    use std::fmt::Write;
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 1e16 {
+        let _ = write!(out, "{x:.1}");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact (no whitespace) JSON encoding.
+pub fn write_compact(c: &Content) -> String {
+    let mut out = String::new();
+    write_compact_into(&mut out, c);
+    out
+}
+
+fn write_compact_into(out: &mut String, c: &Content) {
+    use std::fmt::Write;
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Content::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Content::F64(x) => write_f64(out, *x),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact_into(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact_into(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty JSON encoding with two-space indentation (serde_json style).
+pub fn write_pretty(c: &Content) -> String {
+    let mut out = String::new();
+    write_pretty_into(&mut out, c, 0);
+    out
+}
+
+fn write_pretty_into(out: &mut String, c: &Content, indent: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty_into(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty_into(out, v, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        leaf => write_compact_into(out, leaf),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent JSON parser into a [`Content`] tree.
+pub fn parse(text: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Content::Null),
+            Some(b't') => self.literal("true", Content::Bool(true)),
+            Some(b'f') => self.literal("false", Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                let code = 0x10000
+                                    + ((hi - 0xd800) << 10)
+                                    + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                ch.ok_or_else(|| Error::custom("invalid \\u escape".to_string()))?,
+                            );
+                            // hex4 leaves pos after the digits; continue
+                            // without the shared += 1 below.
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape {other:?} at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid UTF-8".to_string()))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(Error::custom("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape".to_string()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid \\u escape".to_string()))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| Error::custom("invalid \\u escape".to_string()))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number".to_string()))?;
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(Content::I64)
+                .or_else(|| text.parse::<f64>().ok().map(Content::F64))
+                .ok_or_else(|| Error::custom(format!("invalid number {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .or_else(|_| text.parse::<f64>().map(Content::F64))
+                .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let doc = Content::Map(vec![
+            ("a".to_string(), Content::U64(3)),
+            ("b".to_string(), Content::F64(0.1)),
+            ("c".to_string(), Content::F64(2.0)),
+            (
+                "d".to_string(),
+                Content::Seq(vec![Content::Null, Content::Bool(true)]),
+            ),
+            ("e".to_string(), Content::Str("x\"\\\n".to_string())),
+            ("f".to_string(), Content::I64(-7)),
+        ]);
+        let compact = write_compact(&doc);
+        assert_eq!(
+            compact,
+            "{\"a\":3,\"b\":0.1,\"c\":2.0,\"d\":[null,true],\"e\":\"x\\\"\\\\\\n\",\"f\":-7}"
+        );
+        assert_eq!(parse(&compact).unwrap(), doc);
+        assert_eq!(parse(&write_pretty(&doc)).unwrap(), doc);
+    }
+
+    #[test]
+    fn floats_round_trip_losslessly() {
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123456.789, 1e20, -0.0, 5.0] {
+            let mut s = String::new();
+            write_f64(&mut s, x);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back, x, "{x} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "1 2", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde` (+ the JSON text layer used by the
+//! vendored `serde_json` facade).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! replaces the real serde with a deliberately small model: values
+//! serialize into a [`Content`] tree and deserialize back out of one.
+//! The surface covers exactly what this workspace uses — derived
+//! structs/enums, the std containers, and JSON text in/out.
+//!
+//! Two properties matter to the rest of the workspace:
+//!
+//! * **Determinism.** `HashMap`/`HashSet` serialization sorts entries,
+//!   so equal values always produce byte-identical JSON. The harness
+//!   relies on this both for memo-cache fingerprints and for the
+//!   byte-identical serial-vs-parallel report guarantee.
+//! * **Lossless floats.** Finite non-integral floats use Rust's
+//!   shortest-roundtrip `Display`; integral floats print with a
+//!   trailing `.0` (like serde_json), so JSON round-trips preserve
+//!   `f64` bit patterns.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content;
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+
+/// The serialized form of any value: a JSON-shaped tree.
+///
+/// Maps preserve entry order as written; producers that want
+/// deterministic output (all the impls in this crate) sort first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization error (also used by the `serde_json` facade).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can turn itself into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    Content::F64(x) if *x >= 0.0 && x.fract() == 0.0 => *x as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    Content::F64(x) if x.fract() == 0.0 => *x as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(x) => Ok(*x),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the decoded string. Real serde borrows from the input;
+    /// this model owns its `Content` tree, so `'static` is only
+    /// reachable by leaking. Used for embedded reference tables
+    /// (`&'static str` fields) in round-trip tests — bounded data.
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == N => {
+                let decoded: Vec<T> = items
+                    .iter()
+                    .map(T::from_content)
+                    .collect::<Result<_, _>>()?;
+                decoded
+                    .try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+            other => Err(Error::custom(format!(
+                "expected array of length {N}, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == 3 => Ok((
+                A::from_content(&items[0])?,
+                B::from_content(&items[1])?,
+                C::from_content(&items[2])?,
+            )),
+            other => Err(Error::custom(format!("expected 3-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (content::key_string(&k.to_content()), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((content::key_value::<K>(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by_key(content::write_compact);
+        Content::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+static NULL: Content = Content::Null;
+
+/// `serde_json::Value`-style accessors, so the facade can re-export
+/// `Content` as `Value` directly.
+impl Content {
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(n) => Some(*n),
+            Content::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl std::fmt::Display for Content {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&content::write_compact(self))
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace vendors a minimal `serde` (see `crates/compat/serde`)
+//! because the build environment has no network access to crates.io.
+//! The derive macros here cover exactly the shapes the workspace uses:
+//!
+//! * non-generic structs with named fields,
+//! * newtype (single-field tuple) structs,
+//! * non-generic enums whose variants are unit or newtype.
+//!
+//! Anything else (generics, struct variants, multi-field tuples) panics
+//! at macro-expansion time with a clear message, so an unsupported shape
+//! fails the build loudly instead of serialising wrongly.
+//!
+//! The macros are hand-rolled over `proc_macro::TokenStream` — no `syn`
+//! or `quote`, since those cannot be fetched either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field of a struct.
+struct Field {
+    name: String,
+    /// Whether the declared type's leading ident is `Option` — those
+    /// fields tolerate a missing key on deserialisation (serde's
+    /// behaviour for `Option` fields).
+    is_option: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    /// `true` for `Variant(Inner)`, `false` for a unit variant.
+    newtype: bool,
+}
+
+/// The supported shapes of a derive input.
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` (the vendored simplified trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Newtype => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    if v.newtype {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Serialize::to_content(inner))]),",
+                            name = name,
+                            v = v.name
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{v}\")),",
+                            name = name,
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored simplified trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics, shape) = parse_input(input);
+    assert!(
+        generics.is_empty(),
+        "serde_derive: cannot derive Deserialize for generic type {name}{generics}: \
+         the vendored serde owns its Content tree, so borrowed fields cannot be produced"
+    );
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.is_option {
+                        "decode_field_or_null"
+                    } else {
+                        "decode_field"
+                    };
+                    format!(
+                        "{0}: ::serde::content::{getter}(fields, \"{0}\", \"{name}\")?,",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = ::serde::content::as_map(c, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(value)?)),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {units}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                    format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, value) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {newtypes}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                    format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                    format!(\"expected variant of {name}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                newtypes = newtype_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+/// Parses the derive input down to `(type name, generics, shape)`.
+///
+/// `generics` is either empty or a lifetime-only parameter list like
+/// `<'a>` (type parameters are rejected — the generated impls have no
+/// way to add `Serialize` bounds without a real parser).
+fn parse_input(input: TokenStream) -> (String, String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    let kind: String;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // An attribute (including doc comments): swallow `[...]`.
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    t => panic!("serde_derive: malformed attribute near {t:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                kind = id.to_string();
+                break;
+            }
+            t => panic!("serde_derive: unsupported item near {t:?}"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(n)) => n.to_string(),
+        t => panic!("serde_derive: expected type name, found {t:?}"),
+    };
+    let mut generics = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1i32;
+        let mut params = String::new();
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            params.push_str(&tt.to_string());
+        }
+        for param in params.split(',') {
+            assert!(
+                param.trim_start().starts_with('\''),
+                "serde_derive: type {name} has non-lifetime generic parameter \
+                 {param:?}, which is not supported"
+            );
+        }
+        generics = format!("<{params}>");
+    }
+    let shape = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream(), &name))
+            } else {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "serde_derive: bad input for {name}");
+            let fields = count_tuple_fields(g.stream());
+            assert_eq!(
+                fields, 1,
+                "serde_derive: tuple struct {name} must be a newtype (1 field), has {fields}"
+            );
+            Shape::Newtype
+        }
+        t => panic!("serde_derive: unsupported body for {name}: {t:?}"),
+    };
+    (name, generics, shape)
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes and
+/// visibility, tracking `<...>` depth so generic commas don't split.
+fn parse_named_fields(ts: TokenStream, owner: &str) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter, owner);
+        skip_visibility(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(fname) = tt else {
+            panic!("serde_derive: expected field name in {owner}, found {tt:?}")
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde_derive: expected ':' after {owner}.{fname}, found {t:?}"),
+        }
+        let mut depth = 0i32;
+        let mut first_ty_ident: Option<String> = None;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Ident(id) if first_ty_ident.is_none() => {
+                    first_ty_ident = Some(id.to_string());
+                }
+                _ => {}
+            }
+        }
+        out.push(Field {
+            name: fname.to_string(),
+            is_option: first_ty_ident.as_deref() == Some("Option"),
+        });
+    }
+    out
+}
+
+/// Parses enum variants; only unit and single-field tuple variants are
+/// supported.
+fn parse_variants(ts: TokenStream, owner: &str) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter, owner);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(vname) = tt else {
+            panic!("serde_derive: expected variant name in {owner}, found {tt:?}")
+        };
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let fields = count_tuple_fields(g.stream());
+                    assert_eq!(
+                        fields, 1,
+                        "serde_derive: variant {owner}::{vname} must carry exactly one field"
+                    );
+                    newtype = true;
+                    iter.next();
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive: struct variant {owner}::{vname} is not supported")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        out.push(Variant {
+            name: vname.to_string(),
+            newtype,
+        });
+    }
+    out
+}
+
+/// Counts top-level comma-separated fields inside a paren group.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn skip_attributes(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    owner: &str,
+) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(_)) => {}
+            t => panic!("serde_derive: malformed attribute in {owner} near {t:?}"),
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                iter.next();
+            }
+        }
+    }
+}

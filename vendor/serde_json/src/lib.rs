@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`: a thin facade over the JSON text
+//! layer that lives in the vendored `serde` crate (`serde::content`).
+//!
+//! `Value` is a re-export of `serde::Content`, which carries the
+//! `serde_json::Value`-style accessors (`as_array`, `as_f64`,
+//! indexing by `&str`/`usize`, comparison with `&str`).
+
+pub use serde::Content as Value;
+pub use serde::Error;
+
+use serde::{content, Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(content::write_compact(&value.to_content()))
+}
+
+/// Serializes `value` as pretty JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(content::write_pretty(&value.to_content()))
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_content(&content::parse(text)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
+    from_str(text)
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Rebuilds a typed value out of a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_content(value)
+}
