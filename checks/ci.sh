@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Repo CI gate. Run from the repo root:
 #
-#   ./checks/ci.sh          # format + lints + tier-1 build/test
-#   ./checks/ci.sh --quick  # skip the release build (debug test only)
+#   ./checks/ci.sh                  # format + lints + tier-1 build/test + gates
+#   ./checks/ci.sh --quick          # skip the release build (debug test only)
+#   ./checks/ci.sh --write-budgets  # full run, then refresh checks/pass_budgets.json
 #
 # Everything runs offline against the vendored crates; no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=false
+write_budgets=false
 [[ "${1:-}" == "--quick" ]] && quick=true
+[[ "${1:-}" == "--write-budgets" ]] && write_budgets=true
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -37,5 +40,16 @@ for cmd in summary table1 fig8; do
     exit 1
   fi
 done
+
+if ! $quick; then
+  # Pass-budget gate: the pipeline's per-pass wall clock on a
+  # thousand-node synthetic graph must stay inside
+  # checks/pass_budgets.json (see docs/PERF.md). Budgets are refreshed
+  # with --write-budgets after a deliberate performance change.
+  mode="--check"
+  $write_budgets && mode="--write-budgets"
+  echo "==> pass budgets (scaling_passes $mode)"
+  cargo bench --offline -p lcmm-bench --bench scaling_passes -- "$mode"
+fi
 
 echo "CI green."

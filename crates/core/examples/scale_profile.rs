@@ -1,0 +1,50 @@
+//! Prints per-pass timings of the pipeline on a synthetic scale graph.
+//!
+//! Usage: `cargo run --release -p lcmm-core --example scale_profile [depth]`
+
+use lcmm_core::{LcmmOptions, Pipeline};
+use lcmm_fpga::{Device, Precision};
+use std::time::Instant;
+
+fn main() {
+    let depth: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let t = Instant::now();
+    let g = lcmm_graph::zoo::synthetic(depth, 4, 7);
+    println!("build graph ({} nodes): {:?}", g.len(), t.elapsed());
+
+    let t = Instant::now();
+    let design = lcmm_fpga::AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+    println!("explore design: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let result = Pipeline::new(LcmmOptions::default()).run_with_design(&g, design);
+    println!("pipeline: {:?}", t.elapsed());
+    let s = result.stats;
+    println!("  profile_seconds     = {:.4}", s.profile_seconds);
+    println!("  liveness_seconds    = {:.4}", s.liveness_seconds);
+    println!("  prefetch_seconds    = {:.4}", s.prefetch_seconds);
+    println!("  alloc_split_seconds = {:.4}", s.alloc_split_seconds);
+    println!("  coloring_seconds    = {:.4}", s.coloring_seconds);
+    println!("  reporting_seconds   = {:.4}", s.reporting_seconds);
+    println!("  total_seconds       = {:.4}", s.total_seconds);
+    println!("  evaluator_calls     = {}", s.evaluator_calls);
+    println!("  dnnk_dp_cells       = {}", s.dnnk_dp_cells);
+    println!("  allocator_invocations = {}", s.allocator_invocations);
+    println!(
+        "  gain cache: hits={} misses={} exact={}",
+        s.gain_cache_hits, s.gain_cache_misses, s.gain_exact_recomputes
+    );
+
+    let schedule = lcmm_core::liveness::Schedule::new(&g);
+    let t = Instant::now();
+    let min = lcmm_core::liveness::Schedule::minimizing_liveness(&g);
+    println!(
+        "minimizing_liveness: {:?} ({} steps)",
+        t.elapsed(),
+        min.len()
+    );
+    drop(schedule);
+}

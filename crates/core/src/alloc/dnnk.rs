@@ -18,7 +18,6 @@ use super::{AllocOutcome, AllocProblem, CAPACITY_UNIT_BYTES};
 use crate::profiling;
 use crate::value::ValueId;
 use lcmm_graph::NodeId;
-use std::collections::HashMap;
 
 /// Widest relevant-buffer set whose choice bits fit the `u64` gain-cache
 /// key without colliding (bit 63 is left unused as a sanity margin).
@@ -38,8 +37,9 @@ struct OpTerms {
 }
 
 impl OpTerms {
-    /// Eq. 1 with residency decided by `on_chip`.
-    fn latency(&self, on_chip: &dyn Fn(ValueId) -> bool) -> f64 {
+    /// Eq. 1 with residency decided by `on_chip`. Generic (not `dyn`)
+    /// so the membership probes inline into the DP's hot loop.
+    fn latency<F: Fn(ValueId) -> bool>(&self, on_chip: &F) -> f64 {
         let if_term: f64 = self
             .inputs
             .iter()
@@ -65,6 +65,29 @@ impl OpTerms {
     }
 }
 
+/// One latency term compiled for the DP's hot loop: the cache-key bit
+/// of the buffer owning the controlling value (`u32::MAX` when the
+/// context cannot hold it), whether the value belongs to the buffer
+/// currently being placed, and the term's transfer seconds.
+#[derive(Debug, Clone, Copy)]
+struct Term {
+    bit: u32,
+    member: bool,
+    seconds: f64,
+}
+
+/// [`OpTerms`] with every value probe pre-resolved against one buffer's
+/// DP row; input terms live in a shared arena indexed by range.
+#[derive(Debug, Clone, Copy)]
+struct OpCompact {
+    compute: f64,
+    in_start: u32,
+    in_len: u32,
+    /// `(term, exposed-when-resident seconds)`.
+    weight: Option<(Term, f64)>,
+    output: Term,
+}
+
 /// Runs DNNK and returns the allocation.
 #[must_use]
 pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
@@ -75,14 +98,29 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     }
 
     // --- Static tables -------------------------------------------------
-    let owner: HashMap<ValueId, usize> = problem
-        .buffers
-        .iter()
-        .enumerate()
-        .flat_map(|(i, b)| b.members.iter().map(move |&m| (m, i)))
-        .collect();
-
     let graph = problem.evaluator.graph();
+    // Owning buffer per value, dense by node: coloring partitions values
+    // across buffers, so one slot per (node, tensor kind) suffices. The
+    // DP probes ownership once per latency term per column — a HashMap
+    // here is the allocator's hottest line on thousand-node graphs.
+    const NO_OWNER: u32 = u32::MAX;
+    let mut feature_owner: Vec<u32> = vec![NO_OWNER; graph.len()];
+    let mut weight_owner: Vec<u32> = vec![NO_OWNER; graph.len()];
+    for (i, b) in problem.buffers.iter().enumerate() {
+        for &m in &b.members {
+            match m {
+                ValueId::Feature(node) => feature_owner[node.index()] = i as u32,
+                ValueId::Weight(node) => weight_owner[node.index()] = i as u32,
+            }
+        }
+    }
+    let owner_of = |v: ValueId| -> Option<usize> {
+        let o = match v {
+            ValueId::Feature(node) => feature_owner[node.index()],
+            ValueId::Weight(node) => weight_owner[node.index()],
+        };
+        (o != NO_OWNER).then_some(o as usize)
+    };
     let profile = problem.evaluator.profile();
     let op_terms: Vec<OpTerms> = graph
         .iter()
@@ -124,36 +162,146 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     let mut prev_l = vec![0.0f64; units + 1];
     let mut cur_l = vec![0.0f64; units + 1];
 
+    // Key-bit slot per buffer while processing one row of the DP;
+    // reset after each row by walking the (short) relevant list.
+    const NO_BIT: u32 = u32::MAX;
+    let mut bit_of: Vec<u32> = vec![NO_BIT; n];
+
     for i in 0..n {
         let s = sizes[i];
+        // Membership probes in `compute_gain` run once per latency term
+        // per cache miss; colored buffers can hold hundreds of members,
+        // so a linear `contains` there dominates the whole DP.
+        let mut members_sorted: Vec<ValueId> = problem.buffers[i].members.clone();
+        members_sorted.sort_unstable();
         // Which buffers interact with buffer i (own tensors at the same
-        // ops)? Their choice bits at column j form the cache key.
+        // ops)? Their choice bits at column j form the cache key. The
+        // same sweep records per op the key bits of its *own* term
+        // owners (`op_masks[p]`): an op's latency under the column
+        // context depends only on those bits, so per-op deltas can be
+        // memoized under the masked key. Bits are assigned in first-
+        // encounter order, exactly as a plain de-duplicating scan would.
+        //
+        // Each term is also compiled down to `(bit, member, seconds)`
+        // so that a cache miss evaluates straight-line float code — the
+        // membership probe and owner lookup are paid once per (buffer,
+        // term) here instead of once per evaluated column.
         let mut relevant: Vec<usize> = Vec::new();
+        let mut op_masks: Vec<u64> = Vec::with_capacity(touched[i].len());
+        let mut ops_compact: Vec<OpCompact> = Vec::with_capacity(touched[i].len());
+        let mut in_terms: Vec<Term> = Vec::new();
         for &op in &touched[i] {
             let t = &op_terms[op.index()];
-            let mut note = |v: ValueId| {
-                if let Some(&o) = owner.get(&v) {
-                    if o < i && !relevant.contains(&o) {
-                        relevant.push(o);
+            let mut mask = 0u64;
+            let mut term_of = |v: ValueId, seconds: f64, mask: &mut u64| -> Term {
+                let mut bit = NO_BIT;
+                if let Some(o) = owner_of(v) {
+                    if o < i {
+                        bit = bit_of[o];
+                        if bit == NO_BIT {
+                            bit = relevant.len() as u32;
+                            bit_of[o] = bit;
+                            relevant.push(o);
+                        }
+                        if bit < 64 {
+                            *mask |= 1 << bit;
+                        }
                     }
                 }
+                Term {
+                    bit,
+                    member: members_sorted.binary_search(&v).is_ok(),
+                    seconds,
+                }
             };
-            for &(v, _) in &t.inputs {
-                note(v);
+            let in_start = in_terms.len() as u32;
+            for &(v, seconds) in &t.inputs {
+                let term = term_of(v, seconds, &mut mask);
+                in_terms.push(term);
             }
-            if let Some((v, _, _)) = t.weight {
-                note(v);
-            }
-            note(t.output.0);
+            let weight = t
+                .weight
+                .map(|(v, seconds, exposed)| (term_of(v, seconds, &mut mask), exposed));
+            let output = term_of(t.output.0, t.output.1, &mut mask);
+            ops_compact.push(OpCompact {
+                compute: t.compute,
+                in_start,
+                in_len: in_terms.len() as u32 - in_start,
+                weight,
+                output,
+            });
+            op_masks.push(mask);
+        }
+        for &r in &relevant {
+            bit_of[r] = NO_BIT;
         }
         // The cache key has one bit per relevant buffer. When the
         // relevant set does not fit, the cache is skipped and the gain
         // recomputed exactly per column — truncating the set would make
         // distinct residency contexts silently share one key (a wrong
-        // gain, not just a slow one).
+        // gain, not just a slow one), and the masks go unused.
         let use_cache = relevant.len() <= GAIN_CACHE_KEY_BITS;
+        // Per-op memo of latency deltas under the op's masked key. A
+        // handful of distinct masked keys show up per op across the
+        // whole row, so a linear scan beats hashing.
+        let mut op_memo: Vec<Vec<(u64, f64)>> = vec![Vec::new(); op_masks.len()];
+        // Eq. 1 twice — once under the column context, once with buffer
+        // i's members added — from the compiled terms. Same addends in
+        // the same order as `OpTerms::latency`, so bit-identical.
+        let delta_of = |p: usize, rk: u64| -> f64 {
+            let oc = &ops_compact[p];
+            let on = |t: Term| t.bit != NO_BIT && (rk >> t.bit) & 1 == 1;
+            let mut if_ctx = 0.0f64;
+            let mut if_with = 0.0f64;
+            for &t in &in_terms[oc.in_start as usize..(oc.in_start + oc.in_len) as usize] {
+                if !on(t) {
+                    if_ctx += t.seconds;
+                    if !t.member {
+                        if_with += t.seconds;
+                    }
+                }
+            }
+            let (wt_ctx, wt_with) = match oc.weight {
+                Some((t, exposed)) => {
+                    let c = on(t);
+                    (
+                        if c { exposed } else { t.seconds },
+                        if c || t.member { exposed } else { t.seconds },
+                    )
+                }
+                None => (0.0, 0.0),
+            };
+            let out = oc.output;
+            let c = on(out);
+            let of_ctx = if c { 0.0 } else { out.seconds };
+            let of_with = if c || out.member { 0.0 } else { out.seconds };
+            let lat_ctx = oc.compute.max(if_ctx).max(wt_ctx).max(of_ctx);
+            let lat_with = oc.compute.max(if_with).max(wt_with).max(of_with);
+            lat_ctx - lat_with
+        };
 
-        let mut gain_cache: HashMap<u64, f64> = HashMap::new();
+        // Context key per column, built by transposing the chosen rows
+        // (sequential sweeps) instead of gathering `relevant.len()`
+        // scattered bits per cell.
+        let keys: Vec<u64> = if use_cache {
+            let mut keys = vec![0u64; units + 1];
+            for (bit, &r) in relevant.iter().enumerate() {
+                let row = &choice[r * (units + 1)..(r + 1) * (units + 1)];
+                for (k, &c) in keys.iter_mut().zip(row) {
+                    if c {
+                        *k |= 1 << bit;
+                    }
+                }
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+
+        // Distinct context keys per buffer are few (the DP fills columns
+        // left to right, so the same prefix choices repeat); a linear
+        // scan over a tiny vec beats any hash map here.
+        let mut gain_cache: Vec<(u64, f64)> = Vec::new();
         profiling::add_dnnk_dp_cells((units + 1) as u64);
         for j in 0..=units {
             let l0 = prev_l[j];
@@ -163,14 +311,35 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
             }
             // Residency context at this capacity (the pbuf_table
             // approximation of Alg. 1).
-            let compute_gain = || -> f64 {
-                let ctx_on = |v: ValueId| -> bool {
-                    owner
-                        .get(&v)
-                        .is_some_and(|&o| o < i && choice[o * (units + 1) + j])
-                };
-                let with_i =
-                    |v: ValueId| -> bool { ctx_on(v) || problem.buffers[i].members.contains(&v) };
+            let ctx_on = |v: ValueId| -> bool {
+                owner_of(v).is_some_and(|o| o < i && choice[o * (units + 1) + j])
+            };
+            let with_i =
+                |v: ValueId| -> bool { ctx_on(v) || members_sorted.binary_search(&v).is_ok() };
+            let gain = if use_cache {
+                let key = keys[j];
+                if let Some(&(_, g)) = gain_cache.iter().find(|&&(k, _)| k == key) {
+                    profiling::count_gain_cache_hit();
+                    g
+                } else {
+                    profiling::count_gain_cache_miss();
+                    let g: f64 = (0..touched[i].len())
+                        .map(|p| {
+                            let rk = key & op_masks[p];
+                            if let Some(&(_, d)) = op_memo[p].iter().find(|&&(k, _)| k == rk) {
+                                d
+                            } else {
+                                let d = delta_of(p, rk);
+                                op_memo[p].push((rk, d));
+                                d
+                            }
+                        })
+                        .sum();
+                    gain_cache.push((key, g));
+                    g
+                }
+            } else {
+                profiling::count_gain_exact_recompute();
                 touched[i]
                     .iter()
                     .map(|&op| {
@@ -178,26 +347,6 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
                         t.latency(&ctx_on) - t.latency(&with_i)
                     })
                     .sum()
-            };
-            let gain = if use_cache {
-                let mut key = 0u64;
-                for (bit, &r) in relevant.iter().enumerate() {
-                    if choice[r * (units + 1) + j] {
-                        key |= 1 << bit;
-                    }
-                }
-                if let Some(&g) = gain_cache.get(&key) {
-                    profiling::count_gain_cache_hit();
-                    g
-                } else {
-                    profiling::count_gain_cache_miss();
-                    let g = compute_gain();
-                    gain_cache.insert(key, g);
-                    g
-                }
-            } else {
-                profiling::count_gain_exact_recompute();
-                compute_gain()
             };
             let l1 = prev_l[j - s] + gain;
             if l1 > l0 {

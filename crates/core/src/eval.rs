@@ -16,12 +16,11 @@
 //! compute through double buffering, so the max of the terms governs
 //! each layer).
 
+use crate::fast_hash::{FxHashMap, FxHashSet};
 use crate::value::ValueId;
 use lcmm_fpga::GraphProfile;
 use lcmm_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::collections::HashSet;
 
 /// The set of values resident in on-chip SRAM.
 ///
@@ -30,8 +29,10 @@ use std::collections::HashSet;
 /// time, the uncovered remainder still stalls the layer.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Residency {
-    on_chip: HashSet<ValueId>,
-    exposed_weight_seconds: HashMap<NodeId, f64>,
+    // Fx-hashed: `contains` runs once per latency term per evaluated
+    // node, the hottest probe in the evaluator.
+    on_chip: FxHashSet<ValueId>,
+    exposed_weight_seconds: FxHashMap<NodeId, f64>,
 }
 
 impl Residency {
@@ -223,22 +224,24 @@ impl<'a> Evaluator<'a> {
     /// residency: producers and readers.
     #[must_use]
     pub fn touched_nodes(&self, values: &[ValueId]) -> Vec<NodeId> {
+        // Dedup via a dense seen-array: colored buffers hand in hundreds
+        // of members, and a `Vec::contains` per insert is quadratic.
+        // Insertion order is preserved.
+        let mut seen = vec![false; self.graph.len()];
         let mut out: Vec<NodeId> = Vec::new();
+        let mut push = |out: &mut Vec<NodeId>, n: NodeId| {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                out.push(n);
+            }
+        };
         for v in values {
             match v {
-                ValueId::Weight(n) => {
-                    if !out.contains(n) {
-                        out.push(*n);
-                    }
-                }
+                ValueId::Weight(n) => push(&mut out, *n),
                 ValueId::Feature(n) => {
-                    if !out.contains(n) {
-                        out.push(*n);
-                    }
+                    push(&mut out, *n);
                     for &reader in &self.readers[n.index()] {
-                        if !out.contains(&reader) {
-                            out.push(reader);
-                        }
+                        push(&mut out, reader);
                     }
                 }
             }

@@ -5,11 +5,35 @@
 //! this change). We use best-fit-decreasing: process values largest
 //! first and put each into the compatible buffer where it wastes the
 //! least capacity, opening a new buffer when none is compatible.
+//!
+//! # Scaling
+//!
+//! The paper's networks top out around 150 layers, where a quadratic
+//! coloring is invisible; thousand-node graphs (see
+//! `lcmm_graph::zoo::synthetic`) are not so forgiving. The production
+//! paths therefore never scan buffer members pairwise:
+//!
+//! * [`InterferenceGraph::color`] indexes each open buffer by a sorted
+//!   vector of its occupied intervals (disjoint by construction, so a
+//!   placement probe is one binary search) plus a dense member bitset
+//!   intersected against per-value false-edge bitset rows.
+//! * [`InterferenceGraph::color_chaitin`] materialises the overlap
+//!   adjacency once with an O(n log n + E) sweep line and runs the
+//!   simplify phase on a bucket queue with incrementally maintained
+//!   degrees — O((n + E) log n) instead of the O(n³) re-count.
+//!
+//! The original pairwise implementations survive as
+//! [`InterferenceGraph::color_reference`] and
+//! [`InterferenceGraph::color_chaitin_reference`]: they are the
+//! executable specification. Property tests assert the fast paths
+//! return byte-identical buffers, and the scaling bench measures the
+//! gap.
 
 use crate::liveness::LiveInterval;
 use crate::value::ValueId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// An interference graph over tensor values.
 ///
@@ -77,10 +101,65 @@ impl InterferenceGraph {
 
     /// Colors the graph into virtual buffers minimising total bytes
     /// (best-fit decreasing).
+    ///
+    /// Placement probes run against the interval index, not the member
+    /// lists; the result is byte-identical to
+    /// [`InterferenceGraph::color_reference`] (property-tested).
     #[must_use]
     pub fn color(&self) -> Vec<VirtualBuffer> {
+        let index = DenseIndex::build(self);
         let mut order: Vec<(ValueId, u64)> = self.nodes.clone();
         // Deterministic: sort by size descending, then id.
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut buffers: Vec<VirtualBuffer> = Vec::new();
+        let mut open: Vec<OpenBuffer> = Vec::new();
+        for (id, bytes) in order {
+            let idx = index.index_of(id);
+            let interval = index.intervals[idx as usize];
+            let mut best: Option<(u64, usize)> = None;
+            for (i, buf) in buffers.iter().enumerate() {
+                if open[i].conflicts(idx, interval, &index) {
+                    continue;
+                }
+                // Since we process in decreasing size order, the buffer
+                // is at least as large as this value: waste = buf - v.
+                let waste = buf.bytes - bytes.min(buf.bytes);
+                if best.is_none_or(|(w, _)| waste < w) {
+                    best = Some((waste, i));
+                    if waste == 0 {
+                        break; // nothing can beat a perfect fit
+                    }
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    buffers[i].members.push(id);
+                    buffers[i].bytes = buffers[i].bytes.max(bytes);
+                    open[i].insert(idx, interval);
+                }
+                None => {
+                    buffers.push(VirtualBuffer {
+                        members: vec![id],
+                        bytes,
+                    });
+                    let mut o = OpenBuffer::new(index.words);
+                    o.insert(idx, interval);
+                    open.push(o);
+                }
+            }
+        }
+        buffers
+    }
+
+    /// The original pairwise best-fit-decreasing coloring, kept as the
+    /// executable specification of [`InterferenceGraph::color`]. Every
+    /// placement probe scans the buffer's members through
+    /// [`InterferenceGraph::interferes`], so it is O(n·m) probes —
+    /// fine at paper scale, quadratic on thousand-node graphs. Used by
+    /// property tests and the scaling bench only.
+    #[must_use]
+    pub fn color_reference(&self) -> Vec<VirtualBuffer> {
+        let mut order: Vec<(ValueId, u64)> = self.nodes.clone();
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut buffers: Vec<VirtualBuffer> = Vec::new();
         for (id, bytes) in order {
@@ -89,8 +168,6 @@ impl InterferenceGraph {
                 if buf.members.iter().any(|&m| self.interferes(id, m)) {
                     continue;
                 }
-                // Since we process in decreasing size order, the buffer
-                // is at least as large as this value: waste = buf - v.
                 let waste = buf.bytes - bytes.min(buf.bytes);
                 if best.is_none_or(|(w, _)| waste < w) {
                     best = Some((waste, i));
@@ -111,6 +188,125 @@ impl InterferenceGraph {
     }
 }
 
+/// Dense, sorted view of an [`InterferenceGraph`] backing the fast
+/// coloring paths. Values sorted by [`ValueId`] get dense indices (so
+/// index order *is* id order, which the Chaitin tie-break relies on),
+/// intervals live in a flat vector instead of a hash map, and false
+/// edges become bitset rows.
+struct DenseIndex {
+    /// Value ids sorted ascending; position = dense index.
+    ids: Vec<ValueId>,
+    /// Lifespan per dense index (`None` = unknown, conservative).
+    intervals: Vec<Option<LiveInterval>>,
+    /// False-edge bitset rows, only for values that have false edges.
+    false_rows: HashMap<u32, Box<[u64]>>,
+    /// Words per member bitset.
+    words: usize,
+}
+
+impl DenseIndex {
+    fn build(g: &InterferenceGraph) -> Self {
+        let mut ids: Vec<ValueId> = g.nodes.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        let intervals: Vec<Option<LiveInterval>> =
+            ids.iter().map(|id| g.intervals.get(id).copied()).collect();
+        let words = ids.len().div_ceil(64).max(1);
+        let mut false_rows: HashMap<u32, Box<[u64]>> = HashMap::new();
+        for &(a, b) in &g.false_edges {
+            // Edges to values outside the graph cannot affect placement.
+            let (Ok(ia), Ok(ib)) = (ids.binary_search(&a), ids.binary_search(&b)) else {
+                continue;
+            };
+            let mut set = |row: usize, bit: usize| {
+                false_rows
+                    .entry(row as u32)
+                    .or_insert_with(|| vec![0u64; words].into_boxed_slice())[bit / 64] |=
+                    1 << (bit % 64);
+            };
+            set(ia, ib);
+            set(ib, ia);
+        }
+        Self {
+            ids,
+            intervals,
+            false_rows,
+            words,
+        }
+    }
+
+    fn index_of(&self, id: ValueId) -> u32 {
+        self.ids
+            .binary_search(&id)
+            .expect("value came from this graph's node list") as u32
+    }
+}
+
+/// Placement index of one buffer being grown by a coloring pass: the
+/// occupied lifespan intervals (disjoint by construction, sorted by
+/// start) and a member bitset for false-edge intersection.
+struct OpenBuffer {
+    occupied: Vec<LiveInterval>,
+    members: Box<[u64]>,
+    has_unknown: bool,
+    nonempty: bool,
+}
+
+impl OpenBuffer {
+    fn new(words: usize) -> Self {
+        Self {
+            occupied: Vec::new(),
+            members: vec![0u64; words].into_boxed_slice(),
+            has_unknown: false,
+            nonempty: false,
+        }
+    }
+
+    /// Whether placing the value would violate an interference edge —
+    /// exactly `members.iter().any(|m| g.interferes(id, m))`, without
+    /// the member scan.
+    fn conflicts(&self, idx: u32, interval: Option<LiveInterval>, index: &DenseIndex) -> bool {
+        // A member with unknown lifespan conservatively interferes with
+        // everything (and vice versa for an unknown candidate).
+        if self.has_unknown {
+            return true;
+        }
+        match interval {
+            None => {
+                if self.nonempty {
+                    return true;
+                }
+            }
+            Some(iv) => {
+                // Occupied intervals are disjoint, so sorted-by-start is
+                // also sorted-by-end: the only possible overlap is the
+                // first interval ending at or after our start.
+                let p = self.occupied.partition_point(|o| o.end < iv.start);
+                if p < self.occupied.len() && self.occupied[p].start <= iv.end {
+                    return true;
+                }
+            }
+        }
+        if let Some(row) = index.false_rows.get(&idx) {
+            if row.iter().zip(self.members.iter()).any(|(r, m)| r & m != 0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, idx: u32, interval: Option<LiveInterval>) {
+        match interval {
+            None => self.has_unknown = true,
+            Some(iv) => {
+                let p = self.occupied.partition_point(|o| o.start < iv.start);
+                self.occupied.insert(p, iv);
+            }
+        }
+        self.members[(idx / 64) as usize] |= 1 << (idx % 64);
+        self.nonempty = true;
+    }
+}
+
 impl InterferenceGraph {
     /// Chaitin-style coloring: repeatedly remove the lowest-degree
     /// value from the graph (the classic simplify phase), then assign
@@ -120,8 +316,105 @@ impl InterferenceGraph {
     /// Provided for comparison with the default best-fit-decreasing
     /// [`InterferenceGraph::color`]; the paper builds on register
     /// allocation \[4, 6\], where this ordering is the standard one.
+    ///
+    /// The simplify phase maintains degrees incrementally in a bucket
+    /// queue over an adjacency built by one interval sweep — the peel
+    /// order (min `(degree, id)` each round) and therefore the output
+    /// match [`InterferenceGraph::color_chaitin_reference`] exactly.
     #[must_use]
     pub fn color_chaitin(&self) -> Vec<VirtualBuffer> {
+        let index = DenseIndex::build(self);
+        let n = index.ids.len();
+        let adj = self.adjacency(&index);
+
+        // Simplify: peel minimum-(degree, id) nodes off a bucket queue,
+        // decrementing surviving neighbours' degrees as we go. Dense
+        // indices are id-sorted, so the per-bucket BTreeSet minimum is
+        // the smallest ValueId of that degree.
+        let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+        let mut buckets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n.max(1)];
+        for (i, &d) in degree.iter().enumerate() {
+            buckets[d].insert(i as u32);
+        }
+        let mut removed = vec![false; n];
+        let mut stack: Vec<ValueId> = Vec::with_capacity(n);
+        let mut cur = 0usize;
+        for _ in 0..n {
+            while buckets[cur].is_empty() {
+                cur += 1;
+            }
+            let i = *buckets[cur].iter().next().expect("bucket is nonempty");
+            buckets[cur].remove(&i);
+            removed[i as usize] = true;
+            stack.push(index.ids[i as usize]);
+            for &j in &adj[i as usize] {
+                if removed[j as usize] {
+                    continue;
+                }
+                let d = degree[j as usize];
+                buckets[d].remove(&j);
+                degree[j as usize] = d - 1;
+                buckets[d - 1].insert(j);
+                if d - 1 < cur {
+                    cur = d - 1;
+                }
+            }
+        }
+
+        // Select: assign in reverse removal order with indexed probes.
+        let mut sizes: Vec<u64> = vec![0; n];
+        for &(id, bytes) in &self.nodes {
+            sizes[index.index_of(id) as usize] = bytes;
+        }
+        let mut buffers: Vec<VirtualBuffer> = Vec::new();
+        let mut open: Vec<OpenBuffer> = Vec::new();
+        while let Some(id) = stack.pop() {
+            let idx = index.index_of(id);
+            let interval = index.intervals[idx as usize];
+            let bytes = sizes[idx as usize];
+            let mut best: Option<(u64, usize)> = None;
+            for (i, buf) in buffers.iter().enumerate() {
+                if open[i].conflicts(idx, interval, &index) {
+                    continue;
+                }
+                // Waste if placed here: growth of the buffer plus the
+                // slack left when this value is smaller than it.
+                let new_size = buf.bytes.max(bytes);
+                let waste = (new_size - buf.bytes) + (new_size - bytes);
+                if best.is_none_or(|(w, _)| waste < w) {
+                    best = Some((waste, i));
+                    if waste == 0 {
+                        break; // exact fit: no later buffer can win
+                    }
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    buffers[i].members.push(id);
+                    buffers[i].bytes = buffers[i].bytes.max(bytes);
+                    open[i].insert(idx, interval);
+                }
+                None => {
+                    buffers.push(VirtualBuffer {
+                        members: vec![id],
+                        bytes,
+                    });
+                    let mut o = OpenBuffer::new(index.words);
+                    o.insert(idx, interval);
+                    open.push(o);
+                }
+            }
+        }
+        buffers
+    }
+
+    /// The original Chaitin coloring, kept as the executable
+    /// specification of [`InterferenceGraph::color_chaitin`]: the
+    /// simplify phase re-counts every remaining pair per peel (O(n³)
+    /// interference probes). Used by property tests and the scaling
+    /// bench only.
+    #[must_use]
+    pub fn color_chaitin_reference(&self) -> Vec<VirtualBuffer> {
         // Simplify: peel minimum-degree nodes.
         let mut remaining: Vec<ValueId> = self.nodes.iter().map(|&(id, _)| id).collect();
         let mut stack: Vec<ValueId> = Vec::with_capacity(remaining.len());
@@ -150,8 +443,6 @@ impl InterferenceGraph {
                 if buf.members.iter().any(|&m| self.interferes(id, m)) {
                     continue;
                 }
-                // Waste if placed here: growth of the buffer plus the
-                // slack left when this value is smaller than it.
                 let new_size = buf.bytes.max(bytes);
                 let waste = (new_size - buf.bytes) + (new_size - bytes);
                 if best.is_none_or(|(w, _)| waste < w) {
@@ -170,6 +461,75 @@ impl InterferenceGraph {
             }
         }
         buffers
+    }
+
+    /// Materialises the full interference adjacency (overlap edges via
+    /// an O(n log n + E) sweep line, plus unknown-lifespan values that
+    /// conservatively touch everything, plus false edges) as dense
+    /// neighbour lists. Each undirected edge appears once per endpoint.
+    fn adjacency(&self, index: &DenseIndex) -> Vec<Vec<u32>> {
+        let n = index.ids.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // Overlap edges: sweep known intervals by start; the active set
+        // (a min-heap by end) holds exactly the earlier-starting
+        // intervals a new one can still overlap.
+        let mut by_start: Vec<u32> = (0..n as u32)
+            .filter(|&i| index.intervals[i as usize].is_some())
+            .collect();
+        by_start.sort_unstable_by_key(|&i| {
+            let iv = index.intervals[i as usize].expect("filtered to known");
+            (iv.start, i)
+        });
+        let mut active: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
+        for &i in &by_start {
+            let iv = index.intervals[i as usize].expect("filtered to known");
+            while let Some(&Reverse((end, _))) = active.peek() {
+                if end < iv.start {
+                    active.pop();
+                } else {
+                    break;
+                }
+            }
+            for &Reverse((_, j)) in &active {
+                adj[i as usize].push(j);
+                adj[j as usize].push(i);
+            }
+            active.push(Reverse((iv.end, i)));
+        }
+
+        // Unknown lifespans: conservatively adjacent to everything.
+        let unknowns: Vec<u32> = (0..n as u32)
+            .filter(|&i| index.intervals[i as usize].is_none())
+            .collect();
+        for (k, &u) in unknowns.iter().enumerate() {
+            for v in 0..n as u32 {
+                if v != u && index.intervals[v as usize].is_some() {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+            }
+            for &u2 in &unknowns[k + 1..] {
+                adj[u as usize].push(u2);
+                adj[u2 as usize].push(u);
+            }
+        }
+
+        // False edges not already implied by overlap or unknown-ness.
+        for &(a, b) in &self.false_edges {
+            let (Ok(ia), Ok(ib)) = (index.ids.binary_search(&a), index.ids.binary_search(&b))
+            else {
+                continue;
+            };
+            match (index.intervals[ia], index.intervals[ib]) {
+                (Some(x), Some(y)) if !x.overlaps(&y) => {
+                    adj[ia].push(ib as u32);
+                    adj[ib].push(ia as u32);
+                }
+                _ => {} // already adjacent via overlap or unknown
+            }
+        }
+        adj
     }
 }
 
@@ -346,5 +706,74 @@ mod tests {
         g.nodes.push((f(9), 50));
         assert!(g.interferes(f(1), f(9)));
         assert!(!g.interferes(f(1), f(1)));
+    }
+
+    /// The indexed fast paths are drop-in replacements: byte-identical
+    /// output, including member order inside each buffer.
+    #[test]
+    fn indexed_coloring_matches_reference_on_zoo_graphs() {
+        use crate::liveness::{feature_lifespans, Schedule};
+        use crate::value::ValueTable;
+        use lcmm_fpga::{AccelDesign, Device, Precision};
+        for g in [
+            lcmm_graph::zoo::googlenet(),
+            lcmm_graph::zoo::resnet50(),
+            lcmm_graph::zoo::synthetic(160, 4, 7),
+        ] {
+            let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+            let p = d.profile(&g);
+            let t = ValueTable::build(&g, &p, Precision::Fix16);
+            let s = Schedule::new(&g);
+            let spans = feature_lifespans(&s, t.feature_candidates());
+            let mut ig = InterferenceGraph::new(
+                t.feature_candidates()
+                    .map(|v| (v.id, v.bytes, spans[&v.id]))
+                    .collect(),
+            );
+            assert_eq!(ig.color(), ig.color_reference(), "{}", g.name());
+            assert_eq!(
+                ig.color_chaitin(),
+                ig.color_chaitin_reference(),
+                "{}",
+                g.name()
+            );
+            // Force splits with false edges between same-buffer members
+            // and re-check (mirrors what splitting::refine does).
+            let bufs = ig.color();
+            let mut added = 0;
+            for buf in &bufs {
+                if buf.members.len() >= 2 {
+                    ig.add_false_edge(buf.members[0], buf.members[1]);
+                    added += 1;
+                    if added == 4 {
+                        break;
+                    }
+                }
+            }
+            assert!(added > 0, "{}: zoo graph should share buffers", g.name());
+            assert_eq!(
+                ig.color(),
+                ig.color_reference(),
+                "{} + false edges",
+                g.name()
+            );
+            assert_eq!(
+                ig.color_chaitin(),
+                ig.color_chaitin_reference(),
+                "{} + false edges",
+                g.name()
+            );
+        }
+    }
+
+    /// Unknown lifespans must behave identically in both paths too.
+    #[test]
+    fn indexed_coloring_matches_reference_with_unknown_intervals() {
+        let mut g = graph_of(&[(1, 200, 0, 2), (2, 100, 3, 5), (3, 150, 6, 8)]);
+        g.nodes.push((f(9), 50));
+        g.nodes.push((f(10), 300));
+        g.add_false_edge(f(2), f(3));
+        assert_eq!(g.color(), g.color_reference());
+        assert_eq!(g.color_chaitin(), g.color_chaitin_reference());
     }
 }

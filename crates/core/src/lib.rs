@@ -53,6 +53,8 @@ pub mod strategies;
 pub mod umm;
 pub mod value;
 
+pub use lcmm_graph::fast_hash;
+
 pub use eval::{Evaluator, Residency};
 pub use harness::Harness;
 pub use pipeline::{LcmmOptions, LcmmResult, Pipeline};

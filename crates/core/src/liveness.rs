@@ -6,9 +6,11 @@
 //! a buffer exactly when their intervals do not overlap.
 
 use crate::value::{TensorValue, ValueId};
+use lcmm_fpga::Precision;
 use lcmm_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A closed interval of schedule positions during which a value is live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -69,10 +71,134 @@ impl Schedule {
     /// the one that frees the most feature bytes net of the bytes it
     /// creates. Shorter lifespans mean a sparser interference graph and
     /// smaller colored buffers, which gives DNNK more slack.
+    ///
+    /// Scores are in feature *bytes* at [`Precision::Fix16`]; use
+    /// [`Schedule::minimizing_liveness_for`] to score at another
+    /// precision. The feature precision is uniform across a graph, so
+    /// the chosen schedule is the same for every precision — scaling
+    /// all scores by a constant byte-width preserves every argmax —
+    /// but the score unit now matches what the docs promise.
     #[must_use]
     pub fn minimizing_liveness(graph: &Graph) -> Self {
+        Self::minimizing_liveness_for(graph, Precision::Fix16)
+    }
+
+    /// [`Schedule::minimizing_liveness`] with an explicit feature
+    /// precision for the bytes-freed score.
+    ///
+    /// A ready node's score only grows while it waits (a source starts
+    /// counting as "freed" exactly when its remaining-reader count
+    /// drops to one, and counts never come back up), so the ready set
+    /// is a max-heap with eager score updates: when a source hits one
+    /// remaining reader, that unique reader's cached score is bumped
+    /// and re-pushed; popped entries whose score does not match the
+    /// cache are stale and skipped. This replaces the reference
+    /// implementation's O(ready²) rescan per step with O((V+E) log V)
+    /// total while choosing the identical node each step.
+    #[must_use]
+    pub fn minimizing_liveness_for(graph: &Graph, precision: Precision) -> Self {
+        let n = graph.len();
+        let elem_bytes = i128::from(precision.bytes());
+        let bytes_of =
+            |id: NodeId| -> i128 { graph.node(id).output_shape().elems() as i128 * elem_bytes };
+        // Concat-resolved sources per node, computed once: the scheduler
+        // revisits a node's sources every time it becomes ready and again
+        // when it runs, and re-resolving through concats allocates each
+        // time.
+        let sources: Vec<Vec<NodeId>> = graph
+            .iter()
+            .map(|node| lcmm_fpga::resolved_sources(graph, node))
+            .collect();
         // Readers per value (resolved through concats, matching the
-        // liveness model).
+        // liveness model), plus the reverse map used to find the one
+        // remaining reader when a count hits one.
+        let mut remaining_readers = vec![0usize; n];
+        let mut readers_of: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for node in graph.iter() {
+            for &src in &sources[node.id().index()] {
+                remaining_readers[src.index()] += 1;
+                readers_of[src.index()].push(node.id());
+            }
+        }
+        let created_of = |id: NodeId| -> i128 {
+            if matches!(graph.node(id).op(), lcmm_graph::OpKind::Concat) {
+                0
+            } else {
+                bytes_of(id)
+            }
+        };
+        // Score of a node at the moment it becomes ready; later source
+        // expiries arrive as increments.
+        let fresh_score = |id: NodeId, remaining_readers: &[usize]| -> i128 {
+            let freed: i128 = lcmm_fpga::resolved_sources(graph, graph.node(id))
+                .into_iter()
+                .filter(|s| remaining_readers[s.index()] == 1)
+                .map(bytes_of)
+                .sum();
+            freed - created_of(id)
+        };
+        let mut indegree: Vec<usize> = graph.iter().map(|n| n.inputs().len()).collect();
+        let mut heap: BinaryHeap<(i128, Reverse<NodeId>)> = BinaryHeap::new();
+        let mut cur_score: Vec<i128> = vec![i128::MIN; n];
+        let mut scheduled = vec![false; n];
+        for node in graph.iter() {
+            if node.inputs().is_empty() {
+                let s = fresh_score(node.id(), &remaining_readers);
+                cur_score[node.id().index()] = s;
+                heap.push((s, Reverse(node.id())));
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        while let Some((score, Reverse(id))) = heap.pop() {
+            if scheduled[id.index()] || score != cur_score[id.index()] {
+                continue; // superseded by a later, larger score
+            }
+            scheduled[id.index()] = true;
+            order.push(id);
+            for src in lcmm_fpga::resolved_sources(graph, graph.node(id)) {
+                remaining_readers[src.index()] -= 1;
+                if remaining_readers[src.index()] != 1 {
+                    continue;
+                }
+                // Exactly one read of `src` is left; the node holding
+                // it now frees those bytes by running. (If `id` itself
+                // read `src` twice, the leftover read is its own and
+                // no unscheduled reader exists — nothing to bump.)
+                let reader = readers_of[src.index()]
+                    .iter()
+                    .copied()
+                    .find(|r| !scheduled[r.index()]);
+                if let Some(reader) = reader {
+                    if cur_score[reader.index()] != i128::MIN {
+                        cur_score[reader.index()] += bytes_of(src);
+                        heap.push((cur_score[reader.index()], Reverse(reader)));
+                    }
+                }
+            }
+            for &consumer in graph.consumers(id) {
+                indegree[consumer.index()] -= 1;
+                if indegree[consumer.index()] == 0 {
+                    let s = fresh_score(consumer, &remaining_readers);
+                    cur_score[consumer.index()] = s;
+                    heap.push((s, Reverse(consumer)));
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            graph.len(),
+            "graph is acyclic, so all nodes schedule"
+        );
+        Self::from_order(graph, order)
+    }
+
+    /// The original ready-set scan, kept as the executable
+    /// specification of [`Schedule::minimizing_liveness_for`]: every
+    /// step rescans all ready nodes and re-sums their sources, O(ready²)
+    /// work per step. Used by property tests and the scaling bench only.
+    #[must_use]
+    pub fn minimizing_liveness_reference(graph: &Graph, precision: Precision) -> Self {
+        let elem_bytes = i128::from(precision.bytes());
         let mut remaining_readers = vec![0usize; graph.len()];
         for node in graph.iter() {
             for src in lcmm_fpga::resolved_sources(graph, node) {
@@ -97,14 +223,14 @@ impl Schedule {
                     let freed: i128 = lcmm_fpga::resolved_sources(graph, node)
                         .into_iter()
                         .filter(|s| remaining_readers[s.index()] == 1)
-                        .map(|s| graph.node(s).output_shape().elems() as i128)
+                        .map(|s| graph.node(s).output_shape().elems() as i128 * elem_bytes)
                         .sum();
                     let created = if matches!(node.op(), lcmm_graph::OpKind::Concat) {
                         0
                     } else {
-                        node.output_shape().elems() as i128
+                        node.output_shape().elems() as i128 * elem_bytes
                     };
-                    (i, (freed - created, std::cmp::Reverse(id)))
+                    (i, (freed - created, Reverse(id)))
                 })
                 .max_by_key(|&(_, score)| score)
                 .expect("ready set is nonempty");
@@ -195,6 +321,37 @@ where
             (v.id, LiveInterval::new(def, last_use))
         })
         .collect()
+}
+
+/// Peak simultaneously-live feature bytes under `spans`, via one
+/// O(n log n) event sweep: each value contributes an allocate event at
+/// `start` and a free event at `end + 1`, and the running sum's maximum
+/// is the peak. Frees sort before allocations at the same step, so a
+/// value ending at step *t* never inflates the peak against one
+/// starting at *t* (closed intervals touching at a boundary already
+/// overlap and both count).
+///
+/// Values missing from `spans` (e.g. weights when `spans` covers
+/// features only) are ignored.
+#[must_use]
+pub fn peak_live_bytes<'a, I>(spans: &HashMap<ValueId, LiveInterval>, values: I) -> u64
+where
+    I: IntoIterator<Item = &'a TensorValue>,
+{
+    let mut deltas: Vec<(usize, i128)> = Vec::new();
+    for v in values {
+        if let Some(iv) = spans.get(&v.id) {
+            deltas.push((iv.start, i128::from(v.bytes)));
+            deltas.push((iv.end + 1, -i128::from(v.bytes)));
+        }
+    }
+    deltas.sort_unstable();
+    let (mut cur, mut peak) = (0i128, 0i128);
+    for (_, d) in deltas {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    u64::try_from(peak).expect("live bytes are a sum of u64 sizes")
 }
 
 #[cfg(test)]
@@ -310,19 +467,7 @@ mod tests {
                 .filter(|v| v.id.kind() == crate::value::ValueKind::Feature)
                 .collect();
             let spans = feature_lifespans(schedule, features.iter().copied());
-            let mut deltas: Vec<(usize, i64)> = Vec::new();
-            for v in &features {
-                let iv = spans[&v.id];
-                deltas.push((iv.start, v.bytes as i64));
-                deltas.push((iv.end + 1, -(v.bytes as i64)));
-            }
-            deltas.sort_unstable();
-            let (mut cur, mut peak) = (0i64, 0i64);
-            for (_, d) in deltas {
-                cur += d;
-                peak = peak.max(cur);
-            }
-            peak as u64
+            peak_live_bytes(&spans, features.iter().copied())
         };
         let topo_peak = peak(&Schedule::new(&g));
         let min_peak = peak(&Schedule::minimizing_liveness(&g));
@@ -336,21 +481,9 @@ mod tests {
     fn minimizing_liveness_never_hurts_peak_on_zoo() {
         for g in [zoo::googlenet(), zoo::inception_v4()] {
             let table = value_table(&g);
-            let peak = |schedule: &Schedule| -> i64 {
+            let peak = |schedule: &Schedule| -> u64 {
                 let spans = feature_lifespans(schedule, table.feature_candidates());
-                let mut deltas: Vec<(usize, i64)> = Vec::new();
-                for v in table.feature_candidates() {
-                    let iv = spans[&v.id];
-                    deltas.push((iv.start, v.bytes as i64));
-                    deltas.push((iv.end + 1, -(v.bytes as i64)));
-                }
-                deltas.sort_unstable();
-                let (mut cur, mut pk) = (0i64, 0i64);
-                for (_, d) in deltas {
-                    cur += d;
-                    pk = pk.max(cur);
-                }
-                pk
+                peak_live_bytes(&spans, table.feature_candidates())
             };
             assert!(
                 peak(&Schedule::minimizing_liveness(&g)) <= peak(&Schedule::new(&g)),
@@ -358,6 +491,68 @@ mod tests {
                 g.name()
             );
         }
+    }
+
+    #[test]
+    fn heap_scheduler_matches_reference_scan() {
+        for g in [
+            zoo::googlenet(),
+            zoo::inception_v4(),
+            zoo::resnet50(),
+            zoo::densenet121(),
+            zoo::synthetic(300, 5, 11),
+        ] {
+            for precision in [Precision::Fix8, Precision::Fix16, Precision::Float32] {
+                let fast = Schedule::minimizing_liveness_for(&g, precision);
+                let slow = Schedule::minimizing_liveness_reference(&g, precision);
+                assert!(
+                    (0..fast.len()).all(|i| fast.at(i) == slow.at(i)),
+                    "{} @ {precision:?}: heap scheduler diverged from reference",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_invariant_under_precision() {
+        // The score unit is bytes, but feature precision is uniform, so
+        // scaling cannot change any argmax: Fix8 and Float32 must yield
+        // the same order (the PR-1 member_bytes unit-bug shape, caught
+        // here at the scheduler level).
+        for g in [zoo::googlenet(), zoo::synthetic(200, 4, 7)] {
+            let a = Schedule::minimizing_liveness_for(&g, Precision::Fix8);
+            let b = Schedule::minimizing_liveness_for(&g, Precision::Float32);
+            assert!(
+                (0..a.len()).all(|i| a.at(i) == b.at(i)),
+                "{}: schedule depends on precision",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn peak_live_bytes_sweep_matches_hand_computation() {
+        // Three values: A [0,2] 100 B, B [1,3] 50 B, C [3,5] 70 B.
+        // Peak is steps 1–2 where A and B overlap: 150. At step 3 the
+        // free of A (end+1 = 3) lands before the allocation of C.
+        let mk = |i: usize, bytes: u64| crate::value::TensorValue {
+            id: ValueId::Feature(lcmm_graph::NodeId::new(i)),
+            bytes,
+            readers: Vec::new(),
+            allocatable: true,
+            touches_memory_bound: false,
+        };
+        let values = [mk(0, 100), mk(1, 50), mk(2, 70)];
+        let spans: HashMap<ValueId, LiveInterval> = [
+            (values[0].id, LiveInterval::new(0, 2)),
+            (values[1].id, LiveInterval::new(1, 3)),
+            (values[2].id, LiveInterval::new(3, 5)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(peak_live_bytes(&spans, values.iter()), 150);
+        assert_eq!(peak_live_bytes(&spans, std::iter::empty()), 0);
     }
 
     fn value_table(g: &Graph) -> ValueTable {

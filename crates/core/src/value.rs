@@ -13,9 +13,9 @@
 //! hardware actually allocates.
 
 use lcmm_fpga::{GraphProfile, Precision};
+use lcmm_graph::fast_hash::FxHashMap;
 use lcmm_graph::{Graph, NodeId, OpKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// What kind of data a value holds.
@@ -89,7 +89,7 @@ pub struct TensorValue {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ValueTable {
     values: Vec<TensorValue>,
-    index: HashMap<ValueId, usize>,
+    index: FxHashMap<ValueId, usize>,
 }
 
 impl ValueTable {
@@ -125,6 +125,12 @@ impl ValueTable {
             }
         }
         let output_value = resolve_output_values(graph);
+        // Boundedness per node, computed once: the per-reader probe
+        // below would otherwise re-derive it once per edge.
+        let memory_bound: Vec<bool> = graph
+            .iter()
+            .map(|n| node_touches_memory_bound(graph, profile, n.id()))
+            .collect();
         for node in graph.iter() {
             if matches!(node.op(), OpKind::Concat) {
                 continue;
@@ -132,11 +138,11 @@ impl ValueTable {
             let id = ValueId::Feature(node.id());
             let is_input = matches!(node.op(), OpKind::Input);
             let is_output = output_value.contains(&node.id());
-            let node_readers = readers[node.id().index()].clone();
-            let touches_memory_bound = node_touches_memory_bound(graph, profile, node.id())
-                || node_readers
-                    .iter()
-                    .any(|&r| node_touches_memory_bound(graph, profile, r));
+            // The reader lists are consumed here; taking them avoids a
+            // clone per value.
+            let node_readers = std::mem::take(&mut readers[node.id().index()]);
+            let touches_memory_bound = memory_bound[node.id().index()]
+                || node_readers.iter().any(|&r| memory_bound[r.index()]);
             values.push(TensorValue {
                 id,
                 bytes: batch as u64 * precision.tensor_bytes(node.output_shape().elems()),
@@ -150,7 +156,7 @@ impl ValueTable {
                     bytes: precision.tensor_bytes(graph.node_weight_elems(node.id())),
                     readers: vec![node.id()],
                     allocatable: true,
-                    touches_memory_bound: node_touches_memory_bound(graph, profile, node.id()),
+                    touches_memory_bound: memory_bound[node.id().index()],
                 });
             }
         }

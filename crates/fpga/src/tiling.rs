@@ -7,12 +7,14 @@
 //! much of the memory-boundedness of large layers comes from.
 
 use crate::precision::Precision;
+use lcmm_graph::fast_hash::FxHashMap;
 use lcmm_graph::{ConvParams, FeatureShape};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Single-buffer (not double-buffered) capacities of the three tile
 /// buffers, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TileBudget {
     /// Input feature tile buffer (IB).
     pub ib_bytes: u64,
@@ -105,14 +107,62 @@ impl TileChoice {
     }
 }
 
+/// Memoization key for [`choose_tiling`]: the full argument tuple. Deep
+/// networks repeat a handful of layer configurations hundreds of times
+/// (every residual block of a stage shares shapes), so the enumeration
+/// below is worth caching.
+type TilingKey = (
+    FeatureShape,
+    FeatureShape,
+    ConvParams,
+    Precision,
+    TileBudget,
+);
+
+thread_local! {
+    /// Per-thread tiling cache. `choose_tiling` is a pure function of
+    /// its arguments, so threads computing the same key independently
+    /// still agree — parallel harness runs stay deterministic.
+    static TILING_CACHE: RefCell<FxHashMap<TilingKey, TileChoice>> =
+        RefCell::new(FxHashMap::default());
+}
+
 /// Chooses a tiling for a convolution layer.
 ///
 /// Enumerates a small candidate lattice of `(Tm, Tc, Th)` tiles that fit
 /// `budget`, evaluates both loop orders, and returns the choice that
 /// minimises the worst per-interface transfer time (interfaces run in
 /// parallel, so the max is what shows up in the layer's latency).
+///
+/// Results are memoized per thread by the full argument tuple; use
+/// [`choose_tiling_uncached`] to force the enumeration (benchmarks).
 #[must_use]
 pub fn choose_tiling(
+    input: FeatureShape,
+    output: FeatureShape,
+    params: &ConvParams,
+    precision: Precision,
+    budget: &TileBudget,
+) -> TileChoice {
+    let key = (input, output, *params, precision, *budget);
+    if let Some(hit) = TILING_CACHE.with(|c| c.borrow().get(&key).copied()) {
+        return hit;
+    }
+    let choice = choose_tiling_uncached(input, output, params, precision, budget);
+    TILING_CACHE.with(|c| c.borrow_mut().insert(key, choice));
+    choice
+}
+
+/// Number of distinct layer configurations cached on this thread.
+/// Diagnostic for benchmarks sizing the memoization win.
+#[must_use]
+pub fn tiling_cache_entries() -> usize {
+    TILING_CACHE.with(|c| c.borrow().len())
+}
+
+/// The uncached tiling enumeration behind [`choose_tiling`].
+#[must_use]
+pub fn choose_tiling_uncached(
     input: FeatureShape,
     output: FeatureShape,
     params: &ConvParams,
@@ -127,36 +177,66 @@ pub fn choose_tiling(
     let wt_bytes = params.weight_elems(c) * b;
     let of_bytes = output.elems() * b;
 
+    // Candidate lists and every per-candidate quantity that does not
+    // involve all three tile extents are loop invariants; hoisting them
+    // to the loop level where they are determined keeps the deep-network
+    // profile pass cheap. The visit order and the exact float
+    // expressions (values and association) are unchanged, so the chosen
+    // tiling is bit-identical to the naive nesting.
+    let tms = dim_candidates(m);
+    let tcs = dim_candidates(c);
+    let ths = dim_candidates(oh);
+    // Per-Th invariants: halo'd input rows, spatial tile count, and the
+    // input-stationary weight traffic `wt_bytes * n_s`.
+    let th_rows: Vec<u64> = ths
+        .iter()
+        .map(|&th| {
+            let ih = (th - 1) * params.stride_h + params.kernel_h;
+            (ih.min(input.height) * input.width) as u64
+        })
+        .collect();
+    let th_n_s: Vec<f64> = ths.iter().map(|&th| oh.div_ceil(th) as f64).collect();
+    let th_wt_is: Vec<f64> = th_n_s.iter().map(|&n_s| wt_bytes as f64 * n_s).collect();
+    // `x * 1.0` is exact for finite floats, so the reload-1 traffic is
+    // just the tensor size.
+    let wt_ws = wt_bytes as f64;
+    let if_is = if_bytes as f64;
     let mut best: Option<(f64, TileChoice)> = None;
-    for tm in dim_candidates(m) {
-        for tc in dim_candidates(c) {
+    for &tm in &tms {
+        let n_m = m.div_ceil(tm) as f64;
+        let if_ws = if_bytes as f64 * n_m;
+        for &tc in &tcs {
             let wb_use = (tm * tc) as u64 * k_elems * b;
             if wb_use > budget.wb_bytes {
                 continue;
             }
-            for th in dim_candidates(oh) {
-                // Input rows needed for `th` output rows (with halo).
-                let ih = (th - 1) * params.stride_h + params.kernel_h;
-                let ib_use = tc as u64 * (ih.min(input.height) * input.width) as u64 * b;
+            let n_c = c.div_ceil(tc) as f64;
+            let reload_of = if n_c > 1.0 { 2.0 * n_c - 1.0 } else { 1.0 };
+            let of_t = of_bytes as f64 * reload_of;
+            // Every candidate under this `tc` scores at least `of_t`
+            // (the max includes it and the tie-break term is ≥ 0), so
+            // once a better incumbent exists the whole Th × order block
+            // is a strict loss — skipping it cannot change the winner.
+            if let Some((score, _)) = &best {
+                if of_t > *score {
+                    continue;
+                }
+            }
+            for (ti, &th) in ths.iter().enumerate() {
+                let ib_use = tc as u64 * th_rows[ti] * b;
                 let ob_use = (tm * th * ow) as u64 * b;
                 if ib_use > budget.ib_bytes || ob_use > budget.ob_bytes {
                     continue;
                 }
-                let n_m = m.div_ceil(tm) as f64;
-                let n_c = c.div_ceil(tc) as f64;
-                let n_s = oh.div_ceil(th) as f64;
-                let reload_of = if n_c > 1.0 { 2.0 * n_c - 1.0 } else { 1.0 };
+                let n_s = th_n_s[ti];
                 for order in [LoopOrder::WeightStationary, LoopOrder::InputStationary] {
-                    let (reload_if, reload_wt) = match order {
-                        LoopOrder::WeightStationary => (n_m, 1.0),
-                        LoopOrder::InputStationary => (1.0, n_s),
+                    let (reload_if, reload_wt, if_t, wt_t) = match order {
+                        LoopOrder::WeightStationary => (n_m, 1.0, if_ws, wt_ws),
+                        LoopOrder::InputStationary => (1.0, n_s, if_is, th_wt_is[ti]),
                     };
                     // Interfaces are parallel; the max governs latency.
                     // A small total-traffic term breaks ties: secondary
                     // interfaces still burn bandwidth others could use.
-                    let if_t = if_bytes as f64 * reload_if;
-                    let wt_t = wt_bytes as f64 * reload_wt;
-                    let of_t = of_bytes as f64 * reload_of;
                     let worst = if_t.max(wt_t).max(of_t) + (if_t + wt_t + of_t) * 1e-3;
                     // Ties go to the larger tile: fewer tile iterations
                     // means less control overhead and fuller bursts.
@@ -318,6 +398,23 @@ mod tests {
         assert!(t.tc < 512 || t.tm * t.tc * 9 * 2 <= 16 * 1024);
         if t.tc < 512 {
             assert!(t.reload_of > 1.0);
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let budget = TileBudget::default_umm();
+        for (c, hw, m, k) in [(64, 56, 192, 3), (512, 7, 512, 3), (1024, 17, 384, 1)] {
+            let input = FeatureShape::new(c, hw, hw);
+            let p = ConvParams::square(m, k, 1, k / 2);
+            let output = p.output_shape(input).unwrap();
+            for precision in [Precision::Fix8, Precision::Fix16, Precision::Float32] {
+                let cached = choose_tiling(input, output, &p, precision, &budget);
+                let again = choose_tiling(input, output, &p, precision, &budget);
+                let direct = choose_tiling_uncached(input, output, &p, precision, &budget);
+                assert_eq!(cached, direct);
+                assert_eq!(again, direct);
+            }
         }
     }
 

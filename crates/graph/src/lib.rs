@@ -40,6 +40,7 @@ mod op;
 mod tensor;
 
 pub mod analysis;
+pub mod fast_hash;
 pub mod transform;
 pub mod zoo;
 

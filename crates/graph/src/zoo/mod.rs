@@ -16,6 +16,7 @@ mod inception_resnet;
 mod inception_v4;
 mod resnet;
 mod squeezenet;
+mod synthetic;
 mod vgg;
 
 pub use alexnet::alexnet;
@@ -25,6 +26,7 @@ pub use inception_resnet::inception_resnet_v2;
 pub use inception_v4::inception_v4;
 pub use resnet::{resnet101, resnet152, resnet50};
 pub use squeezenet::squeezenet;
+pub use synthetic::synthetic;
 pub use vgg::vgg16;
 
 use crate::Graph;
@@ -39,9 +41,24 @@ pub fn benchmark_suite() -> Vec<Graph> {
 /// Builds a model by its short name, as used by the CLI.
 ///
 /// Recognised names: `alexnet`, `vgg16`, `resnet50`, `resnet101`,
-/// `resnet152`, `googlenet`, `inception_v4` (aliases `rn`, `gn`, `in`).
+/// `resnet152`, `googlenet`, `inception_v4` (aliases `rn`, `gn`, `in`),
+/// plus parameterised scale workloads `synthetic:<depth>x<branching>x<seed>`
+/// (e.g. `synthetic:1024x4x7`).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Graph> {
+    if let Some(spec) = name
+        .strip_prefix("synthetic:")
+        .or_else(|| name.strip_prefix("synthetic_"))
+    {
+        let mut parts = spec.split('x');
+        let depth: usize = parts.next()?.parse().ok()?;
+        let branching: usize = parts.next()?.parse().ok()?;
+        let seed: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || depth == 0 {
+            return None;
+        }
+        return Some(synthetic(depth, branching, seed));
+    }
     match name.to_ascii_lowercase().as_str() {
         "alexnet" => Some(alexnet()),
         "densenet121" | "densenet" | "dn" => Some(densenet121()),
@@ -67,6 +84,17 @@ mod tests {
         assert_eq!(by_name("gn").unwrap().name(), "googlenet");
         assert_eq!(by_name("in").unwrap().name(), "inception_v4");
         assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn by_name_parses_synthetic_specs() {
+        let g = by_name("synthetic:128x4x7").unwrap();
+        assert_eq!(g.name(), "synthetic_128x4x7");
+        assert!(g.len() >= 128);
+        assert!(by_name("synthetic:128x4").is_none(), "missing seed");
+        assert!(by_name("synthetic:0x4x7").is_none(), "zero depth");
+        assert!(by_name("synthetic:ax4x7").is_none(), "non-numeric");
+        assert!(by_name("synthetic:1x2x3x4").is_none(), "extra field");
     }
 
     #[test]

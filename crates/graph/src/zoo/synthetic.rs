@@ -1,0 +1,231 @@
+//! Deterministic synthetic inception-style graphs for scale testing.
+//!
+//! The paper's zoo tops out around 150 compute layers; the analysis
+//! passes (liveness, interference coloring, prefetch planning) must
+//! also hold up on thousand-node graphs. [`synthetic`] grows a graph
+//! of inception modules, residual blocks and plain convolutions to a
+//! requested node count from a seeded PRNG, so benchmarks and property
+//! tests can sweep graph size without shipping giant model builders.
+//!
+//! Everything is a pure function of `(depth, branching, seed)` — no
+//! global RNG, no time — so two processes always build byte-identical
+//! graphs and harness memoization keys stay stable.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::op::ConvParams;
+use crate::tensor::FeatureShape;
+
+/// SplitMix64: tiny, deterministic, good-enough mixing for structure
+/// choices. Not cryptographic; never used for anything but topology.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixed point.
+        Self(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Builds a deterministic inception-style graph with roughly `depth`
+/// nodes (the generator stops adding modules once the builder reaches
+/// `depth`, so the final count lands within one module of it).
+///
+/// `branching` caps the number of parallel branches per inception
+/// module (clamped to `2..=8`); `seed` selects the topology. Channel
+/// widths and spatial extents stay small so the FPGA profile of even a
+/// ~4k-node instance is cheap to compute — these graphs exercise the
+/// *passes*, not the latency model.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let g = lcmm_graph::zoo::synthetic(256, 4, 7);
+/// assert!(g.len() >= 256);
+/// assert_eq!(g.name(), "synthetic_256x4x7");
+/// let again = lcmm_graph::zoo::synthetic(256, 4, 7);
+/// assert_eq!(g.len(), again.len());
+/// ```
+#[must_use]
+pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
+    assert!(depth > 0, "synthetic graph needs at least one node");
+    let branching = branching.clamp(2, 8);
+    let mut rng = Rng::new(
+        seed ^ (depth as u64).wrapping_mul(0x100_0000_01b3) ^ (branching as u64).rotate_left(17),
+    );
+    let mut b = GraphBuilder::new(format!("synthetic_{depth}x{branching}x{seed}"));
+    let x = b.input(FeatureShape::new(16, 32, 32));
+    let mut cur = b
+        .conv("stem", x, ConvParams::square(24, 3, 1, 1))
+        .expect("stem conv is same-padded");
+
+    let mut module = 0usize;
+    let mut pools = 0usize;
+    while b.len() < depth {
+        module += 1;
+        b.set_block(format!("module{module}"));
+        cur = match rng.below(10) {
+            // Inception module: parallel branches joined by a concat.
+            0..=4 => inception(&mut b, &mut rng, cur, module, branching),
+            // Residual block: conv + eltwise add back onto the trunk.
+            5..=6 => residual(&mut b, &mut rng, cur, module),
+            // Plain conv, sometimes strided via a max-pool first.
+            _ => {
+                let shape = b.shape(cur).expect("trunk node exists");
+                if pools < 3 && shape.height >= 16 && rng.below(4) == 0 {
+                    pools += 1;
+                    cur = b
+                        .max_pool(format!("m{module}/pool"), cur, 2, 2, 0)
+                        .expect("spatial >= 16 pools cleanly");
+                }
+                let out = pick_channels(&mut rng);
+                b.conv(
+                    format!("m{module}/conv"),
+                    cur,
+                    ConvParams::square(out, 3, 1, 1),
+                )
+                .expect("same-padded conv is valid")
+            }
+        };
+    }
+    b.clear_block();
+    let gap = b
+        .global_avg_pool("gap", cur)
+        .expect("trunk node exists for gap");
+    let fc = b.fc("fc", gap, 64).expect("nonzero fc width");
+    b.finish(fc)
+        .expect("generator graphs are acyclic by construction")
+}
+
+/// Channel widths stay in a narrow band: wide enough to make distinct
+/// buffer sizes, narrow enough that profiles stay cheap at 4k nodes.
+fn pick_channels(rng: &mut Rng) -> usize {
+    8 + 8 * rng.below(9) as usize // 8, 16, …, 72
+}
+
+fn inception(
+    b: &mut GraphBuilder,
+    rng: &mut Rng,
+    from: NodeId,
+    module: usize,
+    branching: usize,
+) -> NodeId {
+    let branches = 2 + rng.below(branching as u64 - 1) as usize;
+    let mut outs = Vec::with_capacity(branches);
+    for br in 0..branches {
+        let mid = pick_channels(rng);
+        let out = pick_channels(rng);
+        let reduce = b
+            .conv(
+                format!("m{module}/b{br}/reduce"),
+                from,
+                ConvParams::pointwise(mid),
+            )
+            .expect("pointwise conv is always valid");
+        let node = match rng.below(3) {
+            0 => reduce,
+            1 => b
+                .conv(
+                    format!("m{module}/b{br}/3x3"),
+                    reduce,
+                    ConvParams::square(out, 3, 1, 1),
+                )
+                .expect("same-padded 3x3 is valid"),
+            _ => b
+                .conv(
+                    format!("m{module}/b{br}/5x5"),
+                    reduce,
+                    ConvParams::square(out, 5, 1, 2),
+                )
+                .expect("same-padded 5x5 is valid"),
+        };
+        outs.push(node);
+    }
+    b.concat(format!("m{module}/concat"), &outs)
+        .expect("branches share the input's spatial extent")
+}
+
+fn residual(b: &mut GraphBuilder, rng: &mut Rng, from: NodeId, module: usize) -> NodeId {
+    let shape = b.shape(from).expect("trunk node exists");
+    let mid = pick_channels(rng);
+    let squeeze = b
+        .conv(
+            format!("m{module}/squeeze"),
+            from,
+            ConvParams::pointwise(mid),
+        )
+        .expect("pointwise conv is always valid");
+    let expand = b
+        .conv(
+            format!("m{module}/expand"),
+            squeeze,
+            ConvParams::square(shape.channels, 3, 1, 1),
+        )
+        .expect("same-padded conv restores the trunk width");
+    b.eltwise_add(format!("m{module}/add"), &[from, expand])
+        .expect("expand restores the trunk shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = synthetic(300, 4, 7);
+        let c = synthetic(300, 4, 7);
+        assert_eq!(a.len(), c.len());
+        let names_a: Vec<&str> = a.iter().map(crate::Node::name).collect();
+        let names_c: Vec<&str> = c.iter().map(crate::Node::name).collect();
+        assert_eq!(names_a, names_c);
+    }
+
+    #[test]
+    fn seed_changes_topology() {
+        let a = synthetic(300, 4, 7);
+        let c = synthetic(300, 4, 8);
+        let names_a: Vec<&str> = a.iter().map(crate::Node::name).collect();
+        let names_c: Vec<&str> = c.iter().map(crate::Node::name).collect();
+        assert_ne!(names_a, names_c, "different seeds must differ");
+    }
+
+    #[test]
+    fn reaches_requested_depth() {
+        for depth in [64, 500, 1024] {
+            let g = synthetic(depth, 4, 7);
+            assert!(g.len() >= depth, "{} < {depth}", g.len());
+            assert!(g.len() < depth + 40, "overshoot: {}", g.len());
+        }
+    }
+
+    #[test]
+    fn branching_is_clamped_and_valid() {
+        for branching in [0, 1, 2, 6, 20] {
+            let g = synthetic(128, branching, 3);
+            assert!(g.len() >= 128);
+        }
+    }
+
+    #[test]
+    fn four_k_nodes_build_quickly() {
+        let g = synthetic(4096, 4, 7);
+        assert!(g.len() >= 4096);
+    }
+}

@@ -23,8 +23,26 @@ pub struct ValidationPoint {
 impl ValidationPoint {
     /// `simulated / analytic` — 1.0 means perfect agreement; values
     /// above 1 mean the analytic model is optimistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both latencies are positive finite numbers. A
+    /// zero or negative analytic latency would otherwise turn the
+    /// drift ratio into `inf`/`NaN`, which serialises into the
+    /// experiment tables as a plausible-looking column instead of
+    /// failing the run that produced it.
     #[must_use]
     pub fn ratio(&self) -> f64 {
+        assert!(
+            self.analytic.is_finite() && self.analytic > 0.0,
+            "analytic latency must be positive and finite, got {}",
+            self.analytic
+        );
+        assert!(
+            self.simulated.is_finite() && self.simulated > 0.0,
+            "simulated latency must be positive and finite, got {}",
+            self.simulated
+        );
         self.simulated / self.analytic
     }
 }
@@ -136,6 +154,35 @@ mod tests {
         let report = validate(&g, &umm, &lcmm);
         let sim_speedup = report.umm.simulated / report.lcmm.simulated;
         assert!(sim_speedup > 1.05, "simulated speedup only {sim_speedup}");
+    }
+
+    #[test]
+    fn ratio_of_valid_point() {
+        let p = ValidationPoint {
+            analytic: 0.004,
+            simulated: 0.005,
+        };
+        assert!((p.ratio() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "analytic latency must be positive")]
+    fn ratio_rejects_zero_analytic() {
+        let p = ValidationPoint {
+            analytic: 0.0,
+            simulated: 0.005,
+        };
+        let _ = p.ratio();
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated latency must be positive")]
+    fn ratio_rejects_nan_simulated() {
+        let p = ValidationPoint {
+            analytic: 0.004,
+            simulated: f64::NAN,
+        };
+        let _ = p.ratio();
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Property-based tests for the evaluation harness: parallel execution
-//! must be invisible (bit-identical results at any worker count), and
-//! the pipeline must respect the SRAM budget under every allocator.
+//! must be invisible (bit-identical results at any worker count), the
+//! pipeline must respect the SRAM budget under every allocator, and the
+//! interval-indexed scaling paths must be byte-identical to their
+//! pairwise reference implementations.
 
+use lcmm::core::interference::InterferenceGraph;
+use lcmm::core::liveness::{LiveInterval, Schedule};
 use lcmm::core::pipeline::AllocatorKind;
 use lcmm::core::Harness;
+use lcmm::graph::NodeId;
 use lcmm::prelude::*;
 use proptest::prelude::*;
 
@@ -80,6 +85,42 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
     prop::collection::vec(arb_step(), 1..10).prop_map(|steps| build_graph(&steps))
 }
 
+/// A random interference instance: values with random sizes and
+/// lifespans, plus random false edges (the splitting pass adds those at
+/// arbitrary points, so the coloring must hold up under any set).
+fn arb_interference() -> impl Strategy<Value = InterferenceGraph> {
+    let value = (1u64..6, 0usize..40, 0usize..8);
+    let values = prop::collection::vec(value, 1..40);
+    // Index pairs over a fixed range, reduced mod the instance size —
+    // the vendored proptest has no `prop_flat_map`.
+    let pairs = prop::collection::vec((0usize..64, 0usize..64), 0..25);
+    (values, pairs).prop_map(|(vals, pairs)| {
+        let n = vals.len();
+        let values: Vec<(ValueId, u64, LiveInterval)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, start, len))| {
+                // Mix both value kinds; ids are distinct by index.
+                let id = if i % 3 == 0 {
+                    ValueId::Weight(NodeId::new(i))
+                } else {
+                    ValueId::Feature(NodeId::new(i))
+                };
+                (id, size * 1024, LiveInterval::new(start, start + len))
+            })
+            .collect();
+        let ids: Vec<ValueId> = values.iter().map(|v| v.0).collect();
+        let mut g = InterferenceGraph::new(values);
+        for (a, b) in pairs {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                g.add_false_edge(ids[a], ids[b]);
+            }
+        }
+        g
+    })
+}
+
 /// Every non-exhaustive allocator (exhaustive is exponential and only
 /// for tiny instances).
 const ALLOCATORS: [AllocatorKind; 3] = [
@@ -138,6 +179,67 @@ proptest! {
                 total <= lcmm.design.tensor_sram_budget(),
                 "{:?}: allocated {} > budget {}",
                 kind, total, lcmm.design.tensor_sram_budget()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both colorings are conflict-free on random instances with random
+    /// false edges: no two members of one buffer may interfere, every
+    /// value lands in exactly one buffer, and a buffer is exactly as
+    /// large as its largest member.
+    #[test]
+    fn coloring_with_random_false_edges_is_conflict_free(g in arb_interference()) {
+        for buffers in [g.color(), g.color_chaitin()] {
+            let mut placed = 0usize;
+            for buf in &buffers {
+                prop_assert!(!buf.members.is_empty());
+                let max = buf.members.iter()
+                    .map(|&m| g.values().iter().find(|&&(id, _)| id == m).unwrap().1)
+                    .max()
+                    .unwrap();
+                prop_assert_eq!(buf.bytes, max);
+                placed += buf.members.len();
+                for (i, &a) in buf.members.iter().enumerate() {
+                    for &b in &buf.members[i + 1..] {
+                        prop_assert!(
+                            !g.interferes(a, b),
+                            "{a} and {b} share a buffer but interfere"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(placed, g.values().len());
+        }
+    }
+
+    /// The interval-indexed colorings agree byte-for-byte with the
+    /// pairwise reference implementations on random instances — same
+    /// buffers, same member order.
+    #[test]
+    fn fast_coloring_matches_pairwise_reference(g in arb_interference()) {
+        prop_assert_eq!(g.color(), g.color_reference());
+        prop_assert_eq!(g.color_chaitin(), g.color_chaitin_reference());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The heap-based liveness-minimising scheduler visits nodes in
+    /// exactly the order of the reference rescan on random graphs.
+    #[test]
+    fn heap_scheduler_matches_reference_on_random_graphs(graph in arb_graph()) {
+        for precision in [Precision::Fix8, Precision::Fix16, Precision::Float32] {
+            let fast = Schedule::minimizing_liveness_for(&graph, precision);
+            let slow = Schedule::minimizing_liveness_reference(&graph, precision);
+            prop_assert_eq!(fast.len(), slow.len());
+            prop_assert!(
+                (0..fast.len()).all(|i| fast.at(i) == slow.at(i)),
+                "diverged at {:?}", precision
             );
         }
     }
