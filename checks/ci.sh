@@ -41,6 +41,9 @@ for cmd in summary table1 fig8; do
   fi
 done
 
+echo "==> differential audit: grid + repro corpus + 8 random seeds"
+"$bin" audit --seeds 8 --json >/tmp/ci_audit.out 2>/dev/null
+
 if ! $quick; then
   # Pass-budget gate: the pipeline's per-pass wall clock on a
   # thousand-node synthetic graph must stay inside

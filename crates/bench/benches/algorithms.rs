@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let residency: Residency = values
+    let mut residency: Residency = values
         .iter()
         .filter(|v| v.allocatable)
         .map(|v| v.id)
@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
         let target = [ValueId::Weight(
             graph.node_by_name("inception_b1/1x1").unwrap().id(),
         )];
-        b.iter(|| black_box(evaluator.gain_of(&residency, &target)))
+        b.iter(|| black_box(evaluator.gain_of(&mut residency, &target)))
     });
     c.bench_function("algo/schedule_minimizing_liveness", |b| {
         b.iter(|| black_box(Schedule::minimizing_liveness(&graph)))

@@ -12,6 +12,7 @@
 //! lcmm table3                      vs state-of-the-art analogues
 //! lcmm fig8           Fig. 8:    GoogLeNet per-block pass ablation
 //! lcmm validate       A3:        analytic model vs simulator
+//! lcmm audit          A4:        differential audit with repro shrinking
 //! lcmm ablation       A1/A2:     allocators and splitting
 //! lcmm summary                     model zoo statistics
 //! lcmm all                         everything above, in order
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "fig7" => report::fig7::run(&opts),
         "fig8" => report::fig8::run(&opts, &harness),
         "validate" => report::validate::run(&opts),
+        "audit" => report::audit_cmd::run(&opts),
         "ablation" => report::ablation::run(&opts),
         "sensitivity" => report::sensitivity::run_bandwidth(&opts, &harness),
         "batch-study" => report::sensitivity::run_batch(&opts, &harness),
@@ -98,6 +100,8 @@ options:
                        output is byte-identical for any N
   --profile            per-pass timing/counter JSON on stderr
   --json               machine-readable output where supported
+  --seeds <N>          audit: number of seeded random graphs (default 8)
+  --repros <dir>       audit: repro corpus directory (default checks/repros)
 
 commands:
   roofline      Fig. 2(a)  per-layer roofline characterisation
@@ -109,6 +113,10 @@ commands:
   fig7          Fig. 7     DNNK metric tables (buffers/tensors/ops)
   fig8          Fig. 8     GoogLeNet per-block pass ablation
   validate      A3         analytic model vs event-driven simulator
+  audit         A4         differential audit: invariants + classified
+                           model-vs-simulator divergences over a grid;
+                           failing random graphs are shrunk into
+                           checks/repros/ (see --seeds, --repros)
   ablation      A1/A2      allocator and splitting ablations
   sensitivity   S1         DDR-efficiency calibration sweep
   batch-study   S2         batch-size scaling of the LCMM advantage

@@ -18,6 +18,10 @@ pub struct Opts {
     pub jobs: Option<usize>,
     /// `--profile` — per-pass timing/counter JSON on stderr.
     pub profile: bool,
+    /// `--seeds <N>` — random audit graphs (audit command).
+    pub seeds: Option<usize>,
+    /// `--repros <dir>` — repro corpus directory (audit command).
+    pub repros: Option<String>,
 }
 
 impl Opts {
@@ -54,6 +58,16 @@ impl Opts {
                     opts.jobs = Some(n);
                 }
                 "--profile" => opts.profile = true,
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--seeds needs a non-negative integer, got {v:?}"))?;
+                    opts.seeds = Some(n);
+                }
+                "--repros" => {
+                    opts.repros = Some(it.next().ok_or("--repros needs a value")?.clone());
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -117,6 +131,10 @@ mod tests {
             "--jobs",
             "3",
             "--profile",
+            "--seeds",
+            "4",
+            "--repros",
+            "checks/repros",
         ]))
         .unwrap();
         assert_eq!(o.model.as_deref(), Some("googlenet"));
@@ -125,6 +143,8 @@ mod tests {
         assert_eq!(o.jobs, Some(3));
         assert_eq!(o.jobs(), 3);
         assert!(o.profile);
+        assert_eq!(o.seeds, Some(4));
+        assert_eq!(o.repros.as_deref(), Some("checks/repros"));
     }
 
     #[test]
@@ -135,6 +155,9 @@ mod tests {
         assert!(Opts::parse(&s(&["--jobs"])).is_err());
         assert!(Opts::parse(&s(&["--jobs", "0"])).is_err());
         assert!(Opts::parse(&s(&["--jobs", "many"])).is_err());
+        assert!(Opts::parse(&s(&["--seeds"])).is_err());
+        assert!(Opts::parse(&s(&["--seeds", "-1"])).is_err());
+        assert!(Opts::parse(&s(&["--repros"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! `lcmm audit` — differential audit of the analytic model vs the
+//! simulator, plus structural invariants, over a model grid.
+//!
+//! Fails (non-zero exit) when any grid cell, repro replay or seeded
+//! random graph produces a finding. A failing random graph is
+//! minimised by the generator-space shrinker and written into the
+//! repro corpus so subsequent runs replay it.
+
+use crate::opts::Opts;
+use crate::table::Table;
+use lcmm_core::pipeline::AllocatorKind;
+use lcmm_fpga::Precision;
+use lcmm_graph::zoo;
+use lcmm_sim::audit::{
+    audit_case, default_grid, load_corpus, random_spec, shrink, write_repro, CaseReport,
+    ToleranceBands,
+};
+use serde::Serialize;
+use std::path::Path;
+
+/// Random seeds audited when `--seeds` is not given.
+const DEFAULT_SEEDS: usize = 8;
+
+/// Machine-readable output of one audit run (`--json`).
+#[derive(Serialize)]
+struct AuditOutput {
+    cases: Vec<CaseReport>,
+    repros_written: Vec<String>,
+}
+
+/// Runs the audit.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let bands = ToleranceBands::default();
+    let grid: Vec<(String, Precision, AllocatorKind)> = match &opts.model {
+        Some(name) => {
+            zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+            vec![(
+                name.clone(),
+                opts.precision_or(Precision::Fix16),
+                AllocatorKind::Dnnk,
+            )]
+        }
+        None => {
+            let mut grid = default_grid();
+            if let Some(p) = opts.precision {
+                grid.retain(|&(_, gp, _)| gp == p);
+            }
+            grid
+        }
+    };
+
+    let mut cases = Vec::new();
+    for (model, precision, allocator) in grid {
+        let graph = zoo::by_name(&model).ok_or_else(|| format!("unknown model {model:?}"))?;
+        eprintln!("audit: {model} {precision} {allocator:?}");
+        cases.push(audit_case(&graph, precision, allocator, &bands));
+    }
+
+    // Replay the repro corpus: previously minimised failures are
+    // permanent regression cases.
+    let repro_dir = opts
+        .repros
+        .clone()
+        .unwrap_or_else(|| "checks/repros".to_string());
+    let corpus = load_corpus(Path::new(&repro_dir)).map_err(|e| format!("repro corpus: {e}"))?;
+    for spec in &corpus {
+        eprintln!("audit: replay {}", spec.file_stem());
+        cases.push(spec.audit(&bands));
+    }
+
+    // Seeded random graphs; a failure is shrunk and joins the corpus.
+    let mut repros_written = Vec::new();
+    for i in 0..opts.seeds.unwrap_or(DEFAULT_SEEDS) {
+        let spec = random_spec(i);
+        eprintln!("audit: seed {i} ({})", spec.file_stem());
+        let report = spec.audit(&bands);
+        if report.passed() {
+            cases.push(report);
+            continue;
+        }
+        eprintln!("audit: seed {i} failed, shrinking");
+        let minimal = shrink(spec, |s| !s.audit(&bands).passed());
+        let final_report = minimal.audit(&bands);
+        let path = write_repro(Path::new(&repro_dir), &minimal, &final_report.findings)
+            .map_err(|e| format!("write repro: {e}"))?;
+        eprintln!("audit: minimised to {}", path.display());
+        repros_written.push(path.display().to_string());
+        cases.push(final_report);
+    }
+
+    let failures = cases.iter().filter(|c| !c.passed()).count();
+    if opts.json {
+        let out = AuditOutput {
+            cases,
+            repros_written,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        let mut table = Table::new([
+            "model", "prec", "alloc", "umm", "lcmm", "fill", "probe", "status",
+        ]);
+        for c in &cases {
+            let ratio = |label: &str| {
+                c.points
+                    .iter()
+                    .find(|p| p.label == label)
+                    .map_or_else(|| "-".to_string(), |p| format!("{:.3}", p.ratio()))
+            };
+            table.row([
+                c.model.clone(),
+                c.precision.to_string(),
+                format!("{:?}", c.allocator),
+                ratio("umm"),
+                ratio("lcmm"),
+                ratio("lcmm+fill"),
+                ratio("no-plan-probe"),
+                if c.passed() {
+                    "ok".to_string()
+                } else {
+                    format!("{} finding(s)", c.findings.len())
+                },
+            ]);
+        }
+        table.print();
+        for c in cases.iter().filter(|c| !c.passed()) {
+            for f in &c.findings {
+                println!(
+                    "FAIL {} {} {:?} [{}] {}",
+                    c.model, c.precision, c.allocator, f.check, f.message
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("audit failed: {failures} case(s) with findings"));
+    }
+    Ok(())
+}

@@ -37,7 +37,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let evaluator = Evaluator::new(&graph, &profile);
     let values = ValueTable::build(&graph, &profile, precision);
     let schedule = Schedule::new(&graph);
-    let empty = Residency::new();
+    let mut empty = Residency::new();
 
     // --- (c) operation latency table -----------------------------------
     println!("--- Fig. 7(c): operation latency table for {block} (µs) ---\n");
@@ -66,7 +66,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
             if !v.allocatable {
                 continue;
             }
-            let gain = evaluator.gain_of(&empty, &[id]);
+            let gain = evaluator.gain_of(&mut empty, &[id]);
             metric_table.row([
                 format!("{id}"),
                 match id {

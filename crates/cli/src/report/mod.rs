@@ -1,6 +1,7 @@
 //! One module per paper artefact.
 
 pub mod ablation;
+pub mod audit_cmd;
 pub mod calibrate_cmd;
 pub mod energy_cmd;
 pub mod export;

@@ -42,7 +42,7 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
                 for &m in &buf.members {
                     without.remove(m);
                 }
-                problem.evaluator.gain_of(&without, &buf.members)
+                problem.evaluator.gain_of(&mut without, &buf.members)
             })
             .collect();
 

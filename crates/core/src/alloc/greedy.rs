@@ -14,13 +14,13 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     let mut chosen = vec![false; n];
     let mut remaining = problem.budget_bytes;
     loop {
-        let residency = problem.residency_for(&chosen);
+        let mut residency = problem.residency_for(&chosen);
         let mut best: Option<(f64, usize)> = None;
         for (i, buffer) in problem.buffers.iter().enumerate() {
             if chosen[i] || buffer.bytes > remaining {
                 continue;
             }
-            let gain = problem.evaluator.gain_of(&residency, &buffer.members);
+            let gain = problem.evaluator.gain_of(&mut residency, &buffer.members);
             if gain <= 0.0 {
                 continue;
             }

@@ -42,9 +42,17 @@ impl Residency {
         Self::default()
     }
 
-    /// Marks a value resident.
+    /// Marks a value resident. Inserting a weight clears any recorded
+    /// exposure for it: a freshly resident weight is fully hidden until
+    /// [`Residency::set_exposed_weight`] says otherwise. Without this,
+    /// an exposure recorded while the weight was *not* resident (where
+    /// it is dead weight — the evaluator charges the full load time)
+    /// would silently spring back to life on a later insert.
     pub fn insert(&mut self, id: ValueId) {
         self.on_chip.insert(id);
+        if let ValueId::Weight(n) = id {
+            self.exposed_weight_seconds.remove(&n);
+        }
     }
 
     /// Removes a value.
@@ -206,8 +214,62 @@ impl<'a> Evaluator<'a> {
 
     /// Marginal latency reduction of adding `values` to `residency`
     /// (non-negative; only the nodes touching the values are revisited).
+    ///
+    /// The residency is used as scratch state — `values` are inserted,
+    /// the touched nodes re-scored, and every mutation undone — so the
+    /// set is bit-identical to its input state on return. This replaces
+    /// a full clone of the residency per call, which dominated the
+    /// allocator hot path on thousand-node graphs where the resident
+    /// set holds hundreds of values. [`Evaluator::gain_of_reference`]
+    /// keeps the clone-based formulation as the executable spec.
     #[must_use]
-    pub fn gain_of(&self, residency: &Residency, values: &[ValueId]) -> f64 {
+    pub fn gain_of(&self, residency: &mut Residency, values: &[ValueId]) -> f64 {
+        crate::profiling::count_evaluator_call();
+        let touched = self.touched_nodes(values);
+        let before: f64 = touched
+            .iter()
+            .map(|&n| self.node_latency(n, residency))
+            .sum();
+        // Insert-then-undo: record (value, was resident, prior exposure)
+        // before each insert. Replayed in reverse, the first record of a
+        // duplicated value wins, restoring the original state exactly.
+        let mut undo: Vec<(ValueId, bool, f64)> = Vec::with_capacity(values.len());
+        for &v in values {
+            let was_resident = residency.contains(v);
+            let prior_exposure = match v {
+                ValueId::Weight(n) => residency.exposed_weight(n),
+                ValueId::Feature(_) => 0.0,
+            };
+            undo.push((v, was_resident, prior_exposure));
+            residency.insert(v);
+        }
+        let after: f64 = touched
+            .iter()
+            .map(|&n| self.node_latency(n, residency))
+            .sum();
+        for &(v, was_resident, prior_exposure) in undo.iter().rev() {
+            if !was_resident {
+                residency.remove(v);
+            }
+            if let ValueId::Weight(n) = v {
+                // `insert`/`remove` both cleared the exposure entry;
+                // re-set it (a stale entry recorded while non-resident
+                // is restored too — scratch means *exact* restoration).
+                if prior_exposure > 0.0 {
+                    residency.set_exposed_weight(n, prior_exposure);
+                }
+            }
+        }
+        before - after
+    }
+
+    /// Clone-based reference implementation of [`Evaluator::gain_of`]:
+    /// copies the residency, extends it with `values` and re-scores the
+    /// touched nodes. Kept as the executable specification the in-place
+    /// fast path is property-tested against (bit-identical results, so
+    /// allocator decisions cannot drift).
+    #[must_use]
+    pub fn gain_of_reference(&self, residency: &Residency, values: &[ValueId]) -> f64 {
         crate::profiling::count_evaluator_call();
         let touched = self.touched_nodes(values);
         let before: f64 = touched
@@ -324,15 +386,97 @@ mod tests {
         let g = zoo::googlenet();
         let (_, p) = setup(&g);
         let ev = Evaluator::new(&g, &p);
-        let r = Residency::new();
+        let mut r = Residency::new();
         let conv = g.node_by_name("inception_4a/3x3").unwrap().id();
         let vals = vec![ValueId::Weight(conv), ValueId::Feature(conv)];
-        let gain = ev.gain_of(&r, &vals);
+        let gain = ev.gain_of(&mut r, &vals);
         let mut with = r.clone();
         with.extend(vals.iter().copied());
         let full_gain = ev.total_latency(&r) - ev.total_latency(&with);
         assert!((gain - full_gain).abs() < 1e-12);
         assert!(gain >= 0.0);
+    }
+
+    #[test]
+    fn gain_restores_scratch_residency_exactly() {
+        let g = zoo::googlenet();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let a = g.node_by_name("inception_3a/3x3").unwrap().id();
+        let b = g.node_by_name("inception_4a/3x3").unwrap().id();
+        let mut r = Residency::new();
+        r.insert(ValueId::Weight(a));
+        r.set_exposed_weight(a, 2e-4);
+        r.insert(ValueId::Feature(a));
+        let snapshot = r.clone();
+        // Values overlapping the resident set, duplicated, with a weight
+        // whose exposure must survive the round trip.
+        let vals = vec![
+            ValueId::Weight(a),
+            ValueId::Weight(b),
+            ValueId::Feature(b),
+            ValueId::Weight(b),
+        ];
+        let fast = ev.gain_of(&mut r, &vals);
+        assert_eq!(r, snapshot, "scratch residency must be restored");
+        let reference = ev.gain_of_reference(&snapshot, &vals);
+        assert_eq!(fast.to_bits(), reference.to_bits(), "{fast} vs {reference}");
+    }
+
+    #[test]
+    fn gain_fast_path_is_bit_identical_to_reference() {
+        // Residency states drawn from a real pipeline-like sweep: every
+        // prefix of the weight set, probed with each next buffer. The
+        // fast path must agree with the clone-based spec to the last
+        // bit, or allocator decisions could drift.
+        let g = zoo::resnet50();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let mut r = Residency::new();
+        for node in g.compute_layers().take(30) {
+            let vals = [ValueId::Weight(node.id()), ValueId::Feature(node.id())];
+            let reference = ev.gain_of_reference(&r, &vals);
+            let fast = ev.gain_of(&mut r, &vals);
+            assert_eq!(fast.to_bits(), reference.to_bits());
+            r.insert(ValueId::Weight(node.id()));
+        }
+    }
+
+    #[test]
+    fn stale_exposure_cleared_on_insert() {
+        // Regression: set_exposed_weight on a non-resident weight left a
+        // stale entry that sprang back to life on a later insert.
+        let g = zoo::vgg16();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        let mut r = Residency::new();
+        r.set_exposed_weight(fc6, 1.0); // not resident: dead entry
+        r.insert(ValueId::Weight(fc6));
+        assert_eq!(r.exposed_weight(fc6), 0.0, "stale exposure survived");
+        let mut fresh = Residency::new();
+        fresh.insert(ValueId::Weight(fc6));
+        assert_eq!(ev.node_latency(fc6, &r), ev.node_latency(fc6, &fresh));
+    }
+
+    #[test]
+    fn insert_set_remove_insert_returns_to_hidden_latency() {
+        let g = zoo::vgg16();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        let mut r = Residency::new();
+        r.insert(ValueId::Weight(fc6));
+        let hidden = ev.node_latency(fc6, &r);
+        r.set_exposed_weight(fc6, 1.0);
+        assert!(ev.node_latency(fc6, &r) > hidden);
+        r.remove(ValueId::Weight(fc6));
+        r.insert(ValueId::Weight(fc6));
+        assert_eq!(
+            ev.node_latency(fc6, &r),
+            hidden,
+            "re-inserted weight must start fully hidden"
+        );
     }
 
     #[test]

@@ -123,7 +123,7 @@ pub fn propose_split(
     buffers: &[VirtualBuffer],
     outcome: &AllocOutcome,
 ) -> Option<(ValueId, ValueId)> {
-    let empty = Residency::new();
+    let mut empty = Residency::new();
     let spilled = buffers
         .iter()
         .zip(&outcome.chosen)
@@ -145,8 +145,8 @@ pub fn propose_split(
         .copied()
         .filter(|&m| m != big)
         .max_by(|&a, &b| {
-            let ga = evaluator.gain_of(&empty, &[a]);
-            let gb = evaluator.gain_of(&empty, &[b]);
+            let ga = evaluator.gain_of(&mut empty, &[a]);
+            let gb = evaluator.gain_of(&mut empty, &[b]);
             ga.partial_cmp(&gb).expect("gains are finite")
         })?;
     Some((big, victim))

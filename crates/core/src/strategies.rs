@@ -174,7 +174,9 @@ pub fn tgpa_plus_lcmm(graph: &Graph, device: &Device, precision: Precision) -> S
         residency.insert(*v);
     }
     for (buf, &chosen) in buffers.iter().zip(&outcome.chosen) {
-        if chosen {
+        // Only shared (multi-member) buffers reload per inference and
+        // pay exposure; single-member buffers are persistent.
+        if chosen && buf.members.len() > 1 {
             for &m in &buf.members {
                 if let crate::value::ValueId::Weight(node) = m {
                     residency.set_exposed_weight(node, problem.exposure_of(m));

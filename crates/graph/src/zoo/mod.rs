@@ -26,7 +26,7 @@ pub use inception_resnet::inception_resnet_v2;
 pub use inception_v4::inception_v4;
 pub use resnet::{resnet101, resnet152, resnet50};
 pub use squeezenet::squeezenet;
-pub use synthetic::synthetic;
+pub use synthetic::{synthetic, synthetic_scaled};
 pub use vgg::vgg16;
 
 use crate::Graph;
@@ -38,26 +38,50 @@ pub fn benchmark_suite() -> Vec<Graph> {
     vec![resnet152(), googlenet(), inception_v4()]
 }
 
+/// Every named model in the zoo, smallest first — the audit grid walks
+/// this list so a divergence in a cheap linear model fails fast before
+/// the expensive inception builds run.
+#[must_use]
+pub fn full_zoo() -> Vec<Graph> {
+    vec![
+        alexnet(),
+        squeezenet(),
+        vgg16(),
+        googlenet(),
+        densenet121(),
+        resnet50(),
+        resnet101(),
+        resnet152(),
+        inception_v4(),
+        inception_resnet_v2(),
+    ]
+}
+
 /// Builds a model by its short name, as used by the CLI.
 ///
 /// Recognised names: `alexnet`, `vgg16`, `resnet50`, `resnet101`,
 /// `resnet152`, `googlenet`, `inception_v4` (aliases `rn`, `gn`, `in`),
 /// plus parameterised scale workloads `synthetic:<depth>x<branching>x<seed>`
-/// (e.g. `synthetic:1024x4x7`).
+/// (e.g. `synthetic:1024x4x7`), optionally width-scaled with an
+/// `@<percent>` suffix (e.g. `synthetic:1024x4x7@50`).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Graph> {
     if let Some(spec) = name
         .strip_prefix("synthetic:")
         .or_else(|| name.strip_prefix("synthetic_"))
     {
+        let (spec, width_percent) = match spec.split_once('@') {
+            Some((head, scale)) => (head, scale.parse().ok()?),
+            None => (spec, 100),
+        };
         let mut parts = spec.split('x');
         let depth: usize = parts.next()?.parse().ok()?;
         let branching: usize = parts.next()?.parse().ok()?;
         let seed: u64 = parts.next()?.parse().ok()?;
-        if parts.next().is_some() || depth == 0 {
+        if parts.next().is_some() || depth == 0 || width_percent == 0 {
             return None;
         }
-        return Some(synthetic(depth, branching, seed));
+        return Some(synthetic_scaled(depth, branching, seed, width_percent));
     }
     match name.to_ascii_lowercase().as_str() {
         "alexnet" => Some(alexnet()),
@@ -95,6 +119,25 @@ mod tests {
         assert!(by_name("synthetic:0x4x7").is_none(), "zero depth");
         assert!(by_name("synthetic:ax4x7").is_none(), "non-numeric");
         assert!(by_name("synthetic:1x2x3x4").is_none(), "extra field");
+    }
+
+    #[test]
+    fn by_name_parses_width_scaled_synthetic_specs() {
+        let g = by_name("synthetic:128x4x7@50").unwrap();
+        assert_eq!(g.name(), "synthetic_128x4x7@50");
+        assert!(by_name("synthetic:128x4x7@0").is_none(), "zero scale");
+        assert!(by_name("synthetic:128x4x7@").is_none(), "empty scale");
+        assert!(by_name("synthetic:128x4x7@abc").is_none(), "non-numeric");
+    }
+
+    #[test]
+    fn full_zoo_covers_every_named_model() {
+        let zoo = full_zoo();
+        assert_eq!(zoo.len(), 10);
+        for g in &zoo {
+            let again = by_name(g.name()).expect("zoo models resolve by name");
+            assert_eq!(again.len(), g.len());
+        }
     }
 
     #[test]

@@ -65,12 +65,43 @@ impl Rng {
 /// ```
 #[must_use]
 pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
+    synthetic_scaled(depth, branching, seed, 100)
+}
+
+/// [`synthetic`] with every module channel width scaled to
+/// `width_percent`% (floored at one channel). Scale 100 is exactly
+/// [`synthetic`] — the PRNG draw sequence does not depend on the scale,
+/// so a scaled graph keeps the topology of its unscaled twin and only
+/// shrinks (or grows) tensor sizes. The audit shrinker's "halve-tensor"
+/// pass relies on this to minimise failing graphs without changing
+/// their shape.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `width_percent == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let full = lcmm_graph::zoo::synthetic(128, 4, 7);
+/// let half = lcmm_graph::zoo::synthetic_scaled(128, 4, 7, 50);
+/// assert_eq!(full.len(), half.len());
+/// assert_eq!(half.name(), "synthetic_128x4x7@50");
+/// ```
+#[must_use]
+pub fn synthetic_scaled(depth: usize, branching: usize, seed: u64, width_percent: usize) -> Graph {
     assert!(depth > 0, "synthetic graph needs at least one node");
+    assert!(width_percent > 0, "width scale must be positive");
     let branching = branching.clamp(2, 8);
     let mut rng = Rng::new(
         seed ^ (depth as u64).wrapping_mul(0x100_0000_01b3) ^ (branching as u64).rotate_left(17),
     );
-    let mut b = GraphBuilder::new(format!("synthetic_{depth}x{branching}x{seed}"));
+    let name = if width_percent == 100 {
+        format!("synthetic_{depth}x{branching}x{seed}")
+    } else {
+        format!("synthetic_{depth}x{branching}x{seed}@{width_percent}")
+    };
+    let mut b = GraphBuilder::new(name);
     let x = b.input(FeatureShape::new(16, 32, 32));
     let mut cur = b
         .conv("stem", x, ConvParams::square(24, 3, 1, 1))
@@ -83,9 +114,9 @@ pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
         b.set_block(format!("module{module}"));
         cur = match rng.below(10) {
             // Inception module: parallel branches joined by a concat.
-            0..=4 => inception(&mut b, &mut rng, cur, module, branching),
+            0..=4 => inception(&mut b, &mut rng, cur, module, branching, width_percent),
             // Residual block: conv + eltwise add back onto the trunk.
-            5..=6 => residual(&mut b, &mut rng, cur, module),
+            5..=6 => residual(&mut b, &mut rng, cur, module, width_percent),
             // Plain conv, sometimes strided via a max-pool first.
             _ => {
                 let shape = b.shape(cur).expect("trunk node exists");
@@ -95,7 +126,7 @@ pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
                         .max_pool(format!("m{module}/pool"), cur, 2, 2, 0)
                         .expect("spatial >= 16 pools cleanly");
                 }
-                let out = pick_channels(&mut rng);
+                let out = pick_channels(&mut rng, width_percent);
                 b.conv(
                     format!("m{module}/conv"),
                     cur,
@@ -116,8 +147,11 @@ pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
 
 /// Channel widths stay in a narrow band: wide enough to make distinct
 /// buffer sizes, narrow enough that profiles stay cheap at 4k nodes.
-fn pick_channels(rng: &mut Rng) -> usize {
-    8 + 8 * rng.below(9) as usize // 8, 16, …, 72
+/// The PRNG draw happens before scaling so the draw sequence is the
+/// same at every `width_percent`.
+fn pick_channels(rng: &mut Rng, width_percent: usize) -> usize {
+    let base = 8 + 8 * rng.below(9) as usize; // 8, 16, …, 72
+    (base * width_percent / 100).max(1)
 }
 
 fn inception(
@@ -126,12 +160,13 @@ fn inception(
     from: NodeId,
     module: usize,
     branching: usize,
+    width_percent: usize,
 ) -> NodeId {
     let branches = 2 + rng.below(branching as u64 - 1) as usize;
     let mut outs = Vec::with_capacity(branches);
     for br in 0..branches {
-        let mid = pick_channels(rng);
-        let out = pick_channels(rng);
+        let mid = pick_channels(rng, width_percent);
+        let out = pick_channels(rng, width_percent);
         let reduce = b
             .conv(
                 format!("m{module}/b{br}/reduce"),
@@ -162,9 +197,15 @@ fn inception(
         .expect("branches share the input's spatial extent")
 }
 
-fn residual(b: &mut GraphBuilder, rng: &mut Rng, from: NodeId, module: usize) -> NodeId {
+fn residual(
+    b: &mut GraphBuilder,
+    rng: &mut Rng,
+    from: NodeId,
+    module: usize,
+    width_percent: usize,
+) -> NodeId {
     let shape = b.shape(from).expect("trunk node exists");
-    let mid = pick_channels(rng);
+    let mid = pick_channels(rng, width_percent);
     let squeeze = b
         .conv(
             format!("m{module}/squeeze"),
@@ -227,5 +268,37 @@ mod tests {
     fn four_k_nodes_build_quickly() {
         let g = synthetic(4096, 4, 7);
         assert!(g.len() >= 4096);
+    }
+
+    #[test]
+    fn scale_100_is_the_unscaled_graph() {
+        let a = synthetic(200, 4, 7);
+        let s = synthetic_scaled(200, 4, 7, 100);
+        assert_eq!(a.name(), s.name());
+        assert_eq!(a.len(), s.len());
+        for (na, ns) in a.iter().zip(s.iter()) {
+            assert_eq!(na.name(), ns.name());
+            assert_eq!(na.output_shape(), ns.output_shape());
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_topology_and_shrinks_tensors() {
+        let full = synthetic(200, 4, 7);
+        let half = synthetic_scaled(200, 4, 7, 50);
+        assert_eq!(full.len(), half.len());
+        let full_elems: u64 = full.iter().map(|n| n.output_shape().elems()).sum();
+        let half_elems: u64 = half.iter().map(|n| n.output_shape().elems()).sum();
+        assert!(half_elems < full_elems, "{half_elems} !< {full_elems}");
+        let names_full: Vec<&str> = full.iter().map(crate::Node::name).collect();
+        let names_half: Vec<&str> = half.iter().map(crate::Node::name).collect();
+        assert_eq!(names_full, names_half, "scale must not change topology");
+    }
+
+    #[test]
+    fn tiny_scale_floors_at_one_channel() {
+        let g = synthetic_scaled(64, 2, 3, 1);
+        assert!(g.len() >= 64);
+        assert_eq!(g.name(), "synthetic_64x2x3@1");
     }
 }

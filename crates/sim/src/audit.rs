@@ -1,0 +1,877 @@
+//! Differential audit: cross-checks the analytic evaluator against the
+//! event-driven simulator and verifies structural invariants of LCMM
+//! results over a grid of models, precisions and allocators.
+//!
+//! The analytic model (Eq. 1) and the simulator evolve independently,
+//! so they drift apart silently: a missing prefetch launch makes the
+//! simulator optimistic, a stale exposure makes the evaluator
+//! pessimistic, and both bugs hide inside "the models just disagree a
+//! bit". The audit pins the relationship down:
+//!
+//! * **Structural invariants** — the allocation fits the SRAM budget,
+//!   co-located buffer members never overlap in time, every prefetch
+//!   edge launches strictly before its consumer (or is exposed at the
+//!   graph head), and recorded exposure never exceeds the weight load.
+//! * **Differential checks** — `simulated / analytic` must sit inside a
+//!   per-configuration tolerance band; a violation is *classified*
+//!   ([`DivergenceClass`]) so the failure says which mechanism drifted,
+//!   not just that something did.
+//! * **Shrinking** — a failing seeded random graph is minimised in
+//!   generator space (delete-node / narrow / halve-tensor passes over
+//!   `zoo::synthetic_scaled` parameters) into a [`ReproSpec`] small
+//!   enough to debug, and the spec is written under `checks/repros/`
+//!   so CI replays the corpus forever.
+
+use crate::engine::{SimConfig, SimReport, Simulator, WeightClass};
+use crate::validate::weight_classes;
+use lcmm_core::liveness::{feature_lifespans, LiveInterval, Schedule};
+use lcmm_core::pipeline::{AllocatorKind, LcmmOptions, Pipeline};
+use lcmm_core::{Evaluator, LcmmResult, Residency, UmmBaseline, ValueId, ValueTable};
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::{zoo, Graph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Per-class tolerance bands on the `simulated / analytic` ratio.
+///
+/// The simulator models contention the analytic model assumes away, so
+/// it may only be *slower* (ratio ≥ ~1); how much slower depends on
+/// what the run exercises. The bands are deliberately loose — they
+/// catch mechanism bugs (a free prefetch, double-counted traffic), not
+/// model refinements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceBands {
+    /// Lower bound on every ratio: below this the simulator finished
+    /// work the analytic model says must be paid for.
+    pub floor: f64,
+    /// Upper bound for UMM runs, where only channel FIFO contention
+    /// separates the models.
+    pub umm_ceiling: f64,
+    /// Upper bound for full LCMM runs, which add prefetch timing.
+    pub lcmm_ceiling: f64,
+    /// Upper bound with `pipeline_fill`, which adds fill overhead.
+    pub fill_ceiling: f64,
+    /// Lower bound for the missing-plan probe (see [`audit_case`]):
+    /// with an empty plan and every resident weight demand-loaded, the
+    /// simulator cannot beat the analytic demand-load floor.
+    pub probe_floor: f64,
+    /// Upper bound for the missing-plan probe. Demand loads enqueue at
+    /// their consumers, exactly what the analytic floor assumes, so
+    /// the probe tracks the floor tightly; a simulator that *moves*
+    /// unplanned loads (e.g. launching them at the schedule head)
+    /// displaces the channel FIFO and drifts well above it.
+    pub probe_ceiling: f64,
+}
+
+impl Default for ToleranceBands {
+    fn default() -> Self {
+        Self {
+            floor: 0.98,
+            umm_ceiling: 1.5,
+            lcmm_ceiling: 1.65,
+            fill_ceiling: 2.3,
+            probe_floor: 0.95,
+            probe_ceiling: 1.1,
+        }
+    }
+}
+
+/// Which divergence mechanism a failed differential check points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceClass {
+    /// Prefetch launches/stalls disagree with the plan's exposure
+    /// accounting (e.g. a weight loaded earlier or later than planned).
+    PrefetchTiming,
+    /// Channel FIFO contention diverges from the per-layer max model.
+    ChannelContention,
+    /// Pipeline fill overhead outside its expected bound.
+    Fill,
+}
+
+impl fmt::Display for DivergenceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::PrefetchTiming => "prefetch-timing",
+            Self::ChannelContention => "channel-contention",
+            Self::Fill => "fill",
+        })
+    }
+}
+
+/// One audit failure: an invariant violation or a classified
+/// divergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which check failed, e.g. `invariant/budget` or
+    /// `divergence/prefetch-timing`.
+    pub check: String,
+    /// The divergence mechanism, when the check is differential.
+    pub class: Option<DivergenceClass>,
+    /// Human-readable detail with the offending numbers.
+    pub message: String,
+}
+
+impl Finding {
+    fn invariant(which: &str, message: String) -> Self {
+        Self {
+            check: format!("invariant/{which}"),
+            class: None,
+            message,
+        }
+    }
+
+    fn divergence(class: DivergenceClass, message: String) -> Self {
+        Self {
+            check: format!("divergence/{class}"),
+            class: Some(class),
+            message,
+        }
+    }
+}
+
+/// One analytic-vs-simulated measurement inside a case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CasePoint {
+    /// Which run: `umm`, `lcmm`, `lcmm+fill` or `no-plan-probe`.
+    pub label: String,
+    /// Analytic latency, seconds.
+    pub analytic: f64,
+    /// Simulated steady-state latency, seconds.
+    pub simulated: f64,
+}
+
+impl CasePoint {
+    /// `simulated / analytic`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.simulated / self.analytic
+    }
+}
+
+/// The audit outcome for one `(model, precision, allocator)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// Model name as accepted by `zoo::by_name`.
+    pub model: String,
+    /// Arithmetic precision of the run.
+    pub precision: Precision,
+    /// Allocator used for the knapsack stage.
+    pub allocator: AllocatorKind,
+    /// All differential measurements taken.
+    pub points: Vec<CasePoint>,
+    /// Everything that failed; empty means the cell is clean.
+    pub findings: Vec<Finding>,
+}
+
+impl CaseReport {
+    /// Whether every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs the full audit for one model: LCMM pipeline, structural
+/// invariants, then four differential measurements.
+///
+/// The fourth measurement is the *missing-plan probe*: the LCMM
+/// residency is re-simulated with an **empty** prefetch plan and every
+/// resident weight marked [`WeightClass::Shared`]. Nothing can be
+/// preloaded, so the steady state must not dip below the analytic
+/// demand-load floor (features resident, all weights streamed at
+/// their consumers). A simulator that quietly launches unplanned
+/// prefetches "for free" fails exactly here, classified
+/// [`DivergenceClass::PrefetchTiming`].
+#[must_use]
+pub fn audit_case(
+    graph: &Graph,
+    precision: Precision,
+    allocator: AllocatorKind,
+    bands: &ToleranceBands,
+) -> CaseReport {
+    let device = Device::vu9p();
+    let umm = UmmBaseline::build(graph, &device, precision);
+    let options = LcmmOptions {
+        allocator,
+        ..LcmmOptions::default()
+    };
+    let result = Pipeline::new(options).run_with_design(graph, umm.design.clone());
+    let profile = result.design.profile(graph);
+    let schedule = Schedule::new(graph);
+
+    let mut findings = Vec::new();
+    check_invariants(graph, &result, &profile, &schedule, &mut findings);
+
+    let mut points = Vec::new();
+
+    // UMM: empty residency against the UMM profile. Only channel
+    // contention separates the models here.
+    let umm_sim = Simulator::new(graph, &umm.profile).run(&Residency::new(), &SimConfig::default());
+    diff_point(
+        &mut points,
+        &mut findings,
+        "umm",
+        umm.latency,
+        &umm_sim,
+        (bands.floor, bands.umm_ceiling),
+        false,
+    );
+
+    // Full LCMM: the pipeline's own residency, plan and classes.
+    let sim = Simulator::new(graph, &profile);
+    let lcmm_config = SimConfig {
+        inferences: 2, // steady state after the first pass
+        warm_start: true,
+        weight_classes: weight_classes(&result),
+        prefetch: result.prefetch.clone(),
+        record_events: false,
+        pipeline_fill: false,
+    };
+    let lcmm_sim = sim.run(&result.residency, &lcmm_config);
+    diff_point(
+        &mut points,
+        &mut findings,
+        "lcmm",
+        result.latency,
+        &lcmm_sim,
+        (bands.floor, bands.lcmm_ceiling),
+        true,
+    );
+
+    // LCMM with pipeline fill: the same run plus fill overhead.
+    let fill_config = SimConfig {
+        pipeline_fill: true,
+        ..lcmm_config.clone()
+    };
+    let fill_sim = sim.run(&result.residency, &fill_config);
+    let fill_point = CasePoint {
+        label: "lcmm+fill".into(),
+        analytic: result.latency,
+        simulated: fill_sim.steady_latency,
+    };
+    let fill_ratio = fill_point.ratio();
+    if fill_ratio > bands.fill_ceiling {
+        findings.push(Finding::divergence(
+            DivergenceClass::Fill,
+            format!(
+                "lcmm+fill ratio {fill_ratio:.4} above fill ceiling {}",
+                bands.fill_ceiling
+            ),
+        ));
+    } else if fill_ratio < bands.floor {
+        findings.push(Finding::divergence(
+            DivergenceClass::PrefetchTiming,
+            format!(
+                "lcmm+fill ratio {fill_ratio:.4} below floor {} — fill run beat the analytic model",
+                bands.floor
+            ),
+        ));
+    }
+    points.push(fill_point);
+
+    // Missing-plan probe.
+    let evaluator = Evaluator::new(graph, &profile);
+    let mut features_only = Residency::new();
+    for v in result.residency.iter() {
+        if matches!(v, ValueId::Feature(_)) {
+            features_only.insert(*v);
+        }
+    }
+    let demand_floor = evaluator.total_latency(&features_only);
+    let all_shared: HashMap<_, _> = result
+        .residency
+        .iter()
+        .filter_map(|v| match v {
+            ValueId::Weight(n) => Some((*n, WeightClass::Shared)),
+            ValueId::Feature(_) => None,
+        })
+        .collect();
+    let probe_config = SimConfig {
+        inferences: 2,
+        warm_start: true,
+        weight_classes: all_shared,
+        prefetch: lcmm_core::prefetch::PrefetchPlan::default(),
+        record_events: false,
+        pipeline_fill: false,
+    };
+    let probe_sim = sim.run(&result.residency, &probe_config);
+    let probe_point = CasePoint {
+        label: "no-plan-probe".into(),
+        analytic: demand_floor,
+        simulated: probe_sim.steady_latency,
+    };
+    // The probe is banded on both sides: below the floor the simulator
+    // hid loads the model says must be paid for; above the ceiling it
+    // moved unplanned loads away from their consumers (the pre-fix
+    // engine launched them at the schedule head, displacing the FIFO).
+    let probe_ratio = probe_point.ratio();
+    if probe_ratio < bands.probe_floor {
+        findings.push(Finding::divergence(
+            DivergenceClass::PrefetchTiming,
+            format!(
+                "no-plan probe ratio {probe_ratio:.4} below floor {}: the simulator hid \
+                 weight loads that have no prefetch edge",
+                bands.probe_floor
+            ),
+        ));
+    } else if probe_ratio > bands.probe_ceiling {
+        findings.push(Finding::divergence(
+            DivergenceClass::PrefetchTiming,
+            format!(
+                "no-plan probe ratio {probe_ratio:.4} above ceiling {}: the simulator \
+                 launched weight loads that have no prefetch edge away from their consumers",
+                bands.probe_ceiling
+            ),
+        ));
+    }
+    points.push(probe_point);
+
+    CaseReport {
+        model: graph.name().to_string(),
+        precision,
+        allocator,
+        points,
+        findings,
+    }
+}
+
+/// Measures one differential point and classifies any band violation.
+fn diff_point(
+    points: &mut Vec<CasePoint>,
+    findings: &mut Vec<Finding>,
+    label: &str,
+    analytic: f64,
+    sim: &SimReport,
+    (floor, ceiling): (f64, f64),
+    has_prefetch: bool,
+) {
+    let point = CasePoint {
+        label: label.into(),
+        analytic,
+        simulated: sim.steady_latency,
+    };
+    let ratio = point.ratio();
+    if ratio < floor {
+        // The simulator beat a model that already assumes perfect
+        // overlap: work was skipped. On a run with a prefetch plan the
+        // usual culprit is a load hidden outside its planned window.
+        let class = if has_prefetch {
+            DivergenceClass::PrefetchTiming
+        } else {
+            DivergenceClass::ChannelContention
+        };
+        findings.push(Finding::divergence(
+            class,
+            format!("{label} ratio {ratio:.4} below floor {floor}"),
+        ));
+    } else if ratio > ceiling {
+        // Over-runs are prefetch-timing when stalls explain the gap,
+        // channel contention otherwise.
+        let gap = sim.steady_latency - analytic;
+        let class = if has_prefetch && sim.prefetch_stall > 0.5 * gap {
+            DivergenceClass::PrefetchTiming
+        } else {
+            DivergenceClass::ChannelContention
+        };
+        findings.push(Finding::divergence(
+            class,
+            format!(
+                "{label} ratio {ratio:.4} above ceiling {ceiling} (stall {:.2e}s of {gap:.2e}s gap)",
+                sim.prefetch_stall
+            ),
+        ));
+    }
+    points.push(point);
+}
+
+/// Verifies the structural invariants of one LCMM result.
+fn check_invariants(
+    graph: &Graph,
+    result: &LcmmResult,
+    profile: &lcmm_fpga::GraphProfile,
+    schedule: &Schedule,
+    findings: &mut Vec<Finding>,
+) {
+    // 1. The chosen buffers fit the design's tensor SRAM budget.
+    let allocated: u64 = result.allocated_buffer_sizes().iter().sum();
+    let budget = result.design.tensor_sram_budget();
+    if allocated > budget {
+        findings.push(Finding::invariant(
+            "budget",
+            format!("allocated {allocated} B exceeds SRAM budget {budget} B"),
+        ));
+    }
+
+    // 2. Co-located buffer members are interference-free: their
+    // lifespans (feature liveness or prefetch occupancy spans) must be
+    // pairwise disjoint even after splitting rewrote the coloring.
+    let values =
+        ValueTable::build_batched(graph, profile, result.design.precision, result.design.batch);
+    let feature_spans = feature_lifespans(schedule, values.feature_candidates());
+    let weight_spans = result.prefetch.intervals();
+    let span_of = |id: ValueId| -> Option<LiveInterval> {
+        match id {
+            ValueId::Feature(_) => feature_spans.get(&id).copied(),
+            ValueId::Weight(_) => weight_spans.get(&id).copied(),
+        }
+    };
+    for buf in &result.buffers {
+        for (i, &a) in buf.members.iter().enumerate() {
+            for &b in &buf.members[i + 1..] {
+                if let (Some(sa), Some(sb)) = (span_of(a), span_of(b)) {
+                    if sa.overlaps(&sb) {
+                        findings.push(Finding::invariant(
+                            "interference",
+                            format!(
+                                "buffer members {a} [{},{}] and {b} [{},{}] overlap",
+                                sa.start, sa.end, sb.start, sb.end
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Every prefetch edge launches strictly before its consumer; a
+    // degenerate `start == end` span is only legal at the graph head,
+    // where exposure is the declared escape hatch.
+    for (&id, edge) in result.prefetch.iter() {
+        let consumer = schedule.position(id.node());
+        if edge.end != consumer {
+            findings.push(Finding::invariant(
+                "prefetch-edge",
+                format!(
+                    "{id}: edge ends at position {} but the consumer runs at {consumer}",
+                    edge.end
+                ),
+            ));
+        }
+        if edge.start > edge.end {
+            findings.push(Finding::invariant(
+                "prefetch-edge",
+                format!(
+                    "{id}: edge starts at {} after its end {}",
+                    edge.start, edge.end
+                ),
+            ));
+        }
+        if edge.start == edge.end && edge.end != 0 {
+            findings.push(Finding::invariant(
+                "prefetch-edge",
+                format!(
+                    "{id}: edge launches at its consumer (position {}) with no hiding window",
+                    edge.end
+                ),
+            ));
+        }
+        if edge.exposed_seconds < 0.0 || edge.exposed_seconds > edge.load_seconds + 1e-12 {
+            findings.push(Finding::invariant(
+                "prefetch-edge",
+                format!(
+                    "{id}: exposure {} outside [0, load {}]",
+                    edge.exposed_seconds, edge.load_seconds
+                ),
+            ));
+        }
+    }
+
+    // 4. Recorded exposure is attached to resident weights and bounded
+    // by the weight's own load time.
+    for node in graph.iter() {
+        let exposed = result.residency.exposed_weight(node.id());
+        if exposed <= 0.0 {
+            continue;
+        }
+        if !result.residency.contains(ValueId::Weight(node.id())) {
+            findings.push(Finding::invariant(
+                "exposure",
+                format!(
+                    "{}: exposure {exposed} on a non-resident weight",
+                    node.name()
+                ),
+            ));
+        }
+        let load = profile.node(node.id()).weight;
+        if exposed > load + 1e-9 {
+            findings.push(Finding::invariant(
+                "exposure",
+                format!(
+                    "{}: exposure {exposed} exceeds weight load {load}",
+                    node.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// A minimised failing configuration, serialisable as a repro file.
+///
+/// The spec lives in *generator space*: instead of shipping a graph
+/// JSON, it records the `zoo::synthetic_scaled` parameters that rebuild
+/// the graph byte-identically, so a repro stays a few lines and the
+/// shrinker can move through the space with structural passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReproSpec {
+    /// Requested node count of the synthetic graph.
+    pub depth: usize,
+    /// Branch cap per inception module.
+    pub branching: usize,
+    /// Topology seed.
+    pub seed: u64,
+    /// Channel width scale in percent (100 = unscaled).
+    pub width_percent: usize,
+    /// Arithmetic precision of the audited run.
+    pub precision: Precision,
+    /// Allocator of the audited run.
+    pub allocator: AllocatorKind,
+}
+
+impl ReproSpec {
+    /// Rebuilds the graph this spec describes.
+    #[must_use]
+    pub fn graph(&self) -> Graph {
+        zoo::synthetic_scaled(self.depth, self.branching, self.seed, self.width_percent)
+    }
+
+    /// Runs the audit for this spec.
+    #[must_use]
+    pub fn audit(&self, bands: &ToleranceBands) -> CaseReport {
+        audit_case(&self.graph(), self.precision, self.allocator, bands)
+    }
+
+    /// Stable file stem, e.g. `synthetic_64x2x5@50-fix16-dnnk`.
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        let precision = match self.precision {
+            Precision::Fix8 => "fix8",
+            Precision::Fix16 => "fix16",
+            Precision::Float32 => "float32",
+        };
+        let allocator = match self.allocator {
+            AllocatorKind::Dnnk => "dnnk",
+            AllocatorKind::DnnkIterative => "dnnk-iterative",
+            AllocatorKind::Greedy => "greedy",
+            AllocatorKind::Exhaustive => "exhaustive",
+        };
+        format!("{}-{precision}-{allocator}", self.graph_name())
+    }
+
+    fn graph_name(&self) -> String {
+        if self.width_percent == 100 {
+            format!("synthetic_{}x{}x{}", self.depth, self.branching, self.seed)
+        } else {
+            format!(
+                "synthetic_{}x{}x{}@{}",
+                self.depth, self.branching, self.seed, self.width_percent
+            )
+        }
+    }
+}
+
+/// The deterministic random-graph grid: spec for audit seed `index`.
+/// Depth, branching, precision and allocator all rotate with different
+/// periods so a handful of seeds still covers the cross-product's
+/// corners.
+#[must_use]
+pub fn random_spec(index: usize) -> ReproSpec {
+    const DEPTHS: [usize; 4] = [96, 128, 192, 256];
+    const PRECISIONS: [Precision; 3] = [Precision::Fix16, Precision::Fix8, Precision::Float32];
+    const ALLOCATORS: [AllocatorKind; 3] = [
+        AllocatorKind::Dnnk,
+        AllocatorKind::DnnkIterative,
+        AllocatorKind::Greedy,
+    ];
+    ReproSpec {
+        depth: DEPTHS[index % DEPTHS.len()],
+        branching: 2 + index % 3,
+        seed: 0xA0D1 + index as u64,
+        width_percent: 100,
+        precision: PRECISIONS[index % PRECISIONS.len()],
+        allocator: ALLOCATORS[(index / 2) % ALLOCATORS.len()],
+    }
+}
+
+/// Minimises a failing spec with greedy structural passes, keeping a
+/// candidate only while `still_fails` reproduces the failure:
+///
+/// * **delete-node** — halve `depth`, dropping whole modules;
+/// * **narrow** — decrement the branch cap;
+/// * **halve-tensor** — halve the channel width scale.
+///
+/// Runs the passes to a fixed point. Each pass walks monotonically, so
+/// the loop terminates after `O(log depth + branching + log width)`
+/// audit runs.
+pub fn shrink<F>(mut spec: ReproSpec, mut still_fails: F) -> ReproSpec
+where
+    F: FnMut(&ReproSpec) -> bool,
+{
+    loop {
+        let mut shrunk = false;
+        while spec.depth / 2 >= 8 {
+            let candidate = ReproSpec {
+                depth: spec.depth / 2,
+                ..spec
+            };
+            if still_fails(&candidate) {
+                spec = candidate;
+                shrunk = true;
+            } else {
+                break;
+            }
+        }
+        while spec.branching > 2 {
+            let candidate = ReproSpec {
+                branching: spec.branching - 1,
+                ..spec
+            };
+            if still_fails(&candidate) {
+                spec = candidate;
+                shrunk = true;
+            } else {
+                break;
+            }
+        }
+        while spec.width_percent / 2 >= 13 {
+            let candidate = ReproSpec {
+                width_percent: spec.width_percent / 2,
+                ..spec
+            };
+            if still_fails(&candidate) {
+                spec = candidate;
+                shrunk = true;
+            } else {
+                break;
+            }
+        }
+        if !shrunk {
+            return spec;
+        }
+    }
+}
+
+/// A repro file: the minimised spec plus the findings captured when it
+/// was minimised (context for whoever opens the file, not replayed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repro {
+    /// The minimised failing configuration.
+    pub spec: ReproSpec,
+    /// Finding messages at capture time.
+    pub findings: Vec<String>,
+}
+
+/// Writes a minimised repro under `dir`, returning its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, write).
+pub fn write_repro(dir: &Path, spec: &ReproSpec, findings: &[Finding]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let repro = Repro {
+        spec: *spec,
+        findings: findings.iter().map(|f| f.message.clone()).collect(),
+    };
+    let path = dir.join(format!("{}.json", spec.file_stem()));
+    let json = serde_json::to_string_pretty(&repro).map_err(io::Error::other)?;
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Loads every `*.json` repro spec under `dir`, sorted by file name so
+/// replay order is stable. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and malformed repro files.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<ReproSpec>> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(iter) => iter
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    entries.sort();
+    let mut specs = Vec::with_capacity(entries.len());
+    for path in entries {
+        let text = fs::read_to_string(&path)?;
+        let repro: Repro = serde_json::from_str(&text)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+        specs.push(repro.spec);
+    }
+    Ok(specs)
+}
+
+/// The default audit grid: `(model, precision, allocator)` cells,
+/// cheap models first so a broken invariant fails fast.
+#[must_use]
+pub fn default_grid() -> Vec<(String, Precision, AllocatorKind)> {
+    let mut grid = Vec::new();
+    // Every zoo model under the default flow at the paper's headline
+    // precision.
+    for g in zoo::full_zoo() {
+        grid.push((g.name().to_string(), Precision::Fix16, AllocatorKind::Dnnk));
+    }
+    // The Table 1 trio across the remaining precisions.
+    for g in zoo::benchmark_suite() {
+        for precision in [Precision::Fix8, Precision::Float32] {
+            grid.push((g.name().to_string(), precision, AllocatorKind::Dnnk));
+        }
+    }
+    // Allocator variants on the trio.
+    for g in zoo::benchmark_suite() {
+        for allocator in [AllocatorKind::DnnkIterative, AllocatorKind::Greedy] {
+            grid.push((g.name().to_string(), Precision::Fix16, allocator));
+        }
+    }
+    // Fixed synthetic workloads: wide and deep.
+    grid.push((
+        "synthetic:256x4x7".to_string(),
+        Precision::Fix16,
+        AllocatorKind::Dnnk,
+    ));
+    grid.push((
+        "synthetic:512x2x11".to_string(),
+        Precision::Fix16,
+        AllocatorKind::Dnnk,
+    ));
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_case_on_a_real_model() {
+        let g = zoo::googlenet();
+        let bands = ToleranceBands::default();
+        let report = audit_case(&g, Precision::Fix16, AllocatorKind::Dnnk, &bands);
+        assert!(
+            report.passed(),
+            "googlenet audit found: {:?}",
+            report.findings
+        );
+        assert_eq!(report.points.len(), 4);
+        let labels: Vec<&str> = report.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["umm", "lcmm", "lcmm+fill", "no-plan-probe"]);
+    }
+
+    #[test]
+    fn clean_case_on_a_synthetic_model() {
+        let g = zoo::synthetic(128, 3, 5);
+        let bands = ToleranceBands::default();
+        let report = audit_case(&g, Precision::Fix16, AllocatorKind::Greedy, &bands);
+        assert!(report.passed(), "synthetic audit: {:?}", report.findings);
+    }
+
+    #[test]
+    fn impossible_bands_classify_divergences() {
+        // Squeeze the bands until everything fails, and check each
+        // point produced a *classified* finding, not a bare error.
+        let bands = ToleranceBands {
+            floor: 0.999_999,
+            umm_ceiling: 1.000_001,
+            lcmm_ceiling: 1.000_001,
+            fill_ceiling: 1.000_001,
+            probe_floor: 2.0,
+            probe_ceiling: 3.0,
+        };
+        let g = zoo::vgg16();
+        let report = audit_case(&g, Precision::Fix16, AllocatorKind::Dnnk, &bands);
+        assert!(!report.passed());
+        for finding in &report.findings {
+            assert!(
+                finding.check.starts_with("divergence/"),
+                "unexpected {:?}",
+                finding
+            );
+            assert!(finding.class.is_some());
+        }
+        // The probe floor of 2.0 is unreachable, so at least one
+        // prefetch-timing classification must appear.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.class == Some(DivergenceClass::PrefetchTiming)));
+    }
+
+    #[test]
+    fn shrink_minimises_while_failure_reproduces() {
+        let start = ReproSpec {
+            depth: 256,
+            branching: 5,
+            seed: 9,
+            width_percent: 100,
+            precision: Precision::Fix16,
+            allocator: AllocatorKind::Dnnk,
+        };
+        // A synthetic failure predicate: "fails" while depth ≥ 32 and
+        // width ≥ 50%. The shrinker must land on the boundary.
+        let shrunk = shrink(start, |s| s.depth >= 32 && s.width_percent >= 50);
+        assert_eq!(shrunk.depth, 32);
+        assert_eq!(shrunk.branching, 2);
+        assert_eq!(shrunk.width_percent, 50);
+    }
+
+    #[test]
+    fn shrink_keeps_an_unshrinkable_spec() {
+        let start = random_spec(0);
+        let shrunk = shrink(start, |_| false);
+        assert_eq!(shrunk, start);
+    }
+
+    #[test]
+    fn repro_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("lcmm-audit-test-{}", std::process::id()));
+        let spec = random_spec(3);
+        let finding = Finding::divergence(DivergenceClass::PrefetchTiming, "test".into());
+        let path = write_repro(&dir, &spec, &[finding]).expect("write repro");
+        assert!(path.ends_with(format!("{}.json", spec.file_stem())));
+        let corpus = load_corpus(&dir).expect("load corpus");
+        assert_eq!(corpus, vec![spec]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_corpus_dir_is_empty() {
+        let corpus = load_corpus(Path::new("/nonexistent/lcmm-audit")).expect("empty");
+        assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn random_specs_cover_the_grid_corners() {
+        let specs: Vec<ReproSpec> = (0..8).map(random_spec).collect();
+        // Deterministic.
+        assert_eq!(specs, (0..8).map(random_spec).collect::<Vec<_>>());
+        // All three precisions and allocators appear within 8 seeds.
+        for precision in Precision::ALL {
+            assert!(specs.iter().any(|s| s.precision == precision));
+        }
+        for allocator in [
+            AllocatorKind::Dnnk,
+            AllocatorKind::DnnkIterative,
+            AllocatorKind::Greedy,
+        ] {
+            assert!(specs.iter().any(|s| s.allocator == allocator));
+        }
+        // Specs build valid graphs.
+        assert!(specs[0].graph().len() >= specs[0].depth);
+    }
+
+    #[test]
+    fn default_grid_resolves_and_is_ordered_cheap_first() {
+        let grid = default_grid();
+        assert!(grid.len() >= 18, "grid too small: {}", grid.len());
+        for (model, _, _) in &grid {
+            assert!(zoo::by_name(model).is_some(), "unknown model {model}");
+        }
+        assert_eq!(grid[0].0, "alexnet");
+    }
+}

@@ -7,7 +7,7 @@ use lcmm_core::{Residency, ValueId};
 use lcmm_fpga::GraphProfile;
 use lcmm_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How a resident weight buffer behaves across inferences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -210,6 +210,30 @@ impl<'a> Simulator<'a> {
         let mut steady_latency = 0.0;
         let mut last_inference = Vec::new();
 
+        // Shared weights the plan has no edge for. These cannot have
+        // been loaded ahead of time, so they demand-load at their
+        // consumer (full stall). They used to default to a launch at
+        // position 0, which simulated a broken or missing plan as
+        // perfectly hidden. An entirely empty plan is a legitimate
+        // "no prefetching" configuration; a *partial* plan that skips
+        // some shared weight is a planning bug, hence the assert.
+        let shared_unplanned: HashSet<NodeId> = residency
+            .iter()
+            .filter_map(|v| match v {
+                ValueId::Weight(node)
+                    if config.weight_classes.get(node) == Some(&WeightClass::Shared)
+                        && config.prefetch.edge(*v).is_none() =>
+                {
+                    Some(*node)
+                }
+                _ => None,
+            })
+            .collect();
+        debug_assert!(
+            config.prefetch.is_empty() || shared_unplanned.is_empty(),
+            "prefetch plan misses shared weights: {shared_unplanned:?}"
+        );
+
         // Cold start: persistent weights stream in before the first
         // inference begins.
         if !config.warm_start {
@@ -243,8 +267,12 @@ impl<'a> Simulator<'a> {
                         .copied()
                         .unwrap_or(WeightClass::Persistent);
                     if class == WeightClass::Shared {
-                        let pos = config.prefetch.edge(*v).map_or(0, |e| e.start);
-                        launches.entry(pos).or_default().push(*node);
+                        // Only planned prefetches launch; a shared
+                        // weight without an edge demand-loads at its
+                        // consumer instead (see `shared_unplanned`).
+                        if let Some(e) = config.prefetch.edge(*v) {
+                            launches.entry(e.start).or_default().push(*node);
+                        }
                     }
                 }
             }
@@ -292,7 +320,15 @@ impl<'a> Simulator<'a> {
                 let end_wt = if residency.contains(ValueId::Weight(id)) {
                     match prefetch_done.get(&id) {
                         Some(&done) => done, // may stall if late
-                        None => start,       // persistent, already loaded
+                        // Shared but never prefetched: the buffer holds
+                        // another layer's weights by now, so the load
+                        // streams on demand and stalls in full.
+                        None if shared_unplanned.contains(&id) => {
+                            let span = wt_ch.enqueue_span(start, row.weight);
+                            wt_span = Some(span);
+                            span.1
+                        }
+                        None => start, // persistent, already loaded
                     }
                 } else {
                     let span = wt_ch.enqueue_span(start, row.weight);
@@ -481,6 +517,88 @@ mod tests {
         assert!(
             s_wt > p_wt,
             "shared weights must re-stream: {s_wt} <= {p_wt}"
+        );
+    }
+
+    #[test]
+    fn empty_plan_does_not_beat_umm_weight_timing() {
+        // Regression: a Shared weight with no prefetch edge used to
+        // launch at position 0, so an empty plan simulated as almost
+        // perfectly hidden. With the demand-load semantics, making
+        // every weight resident-but-shared under an empty plan buys
+        // nothing over streaming them from DRAM like UMM does.
+        let g = zoo::vgg16();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let steady = SimConfig {
+            inferences: 2,
+            ..SimConfig::default()
+        };
+        let umm = sim.run(&Residency::new(), &steady);
+        let mut residency = Residency::new();
+        let mut classes = HashMap::new();
+        for n in g.compute_layers() {
+            if p.node(n.id()).weight > 0.0 {
+                residency.insert(ValueId::Weight(n.id()));
+                classes.insert(n.id(), WeightClass::Shared);
+            }
+        }
+        let no_plan = sim.run(
+            &residency,
+            &SimConfig {
+                inferences: 2,
+                weight_classes: classes,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            no_plan.steady_latency >= 0.99 * umm.steady_latency,
+            "empty plan must demand-load: {} < {}",
+            no_plan.steady_latency,
+            umm.steady_latency
+        );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only")]
+    #[should_panic(expected = "prefetch plan misses shared weights")]
+    fn partial_plan_missing_a_shared_weight_asserts() {
+        use lcmm_core::prefetch::PrefetchPlan;
+        use lcmm_core::{Evaluator, ValueTable};
+
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let ev = Evaluator::new(&g, &p);
+        let sim = Simulator::new(&g, &p);
+        // A plan that covers only the first weight candidate.
+        let first = values
+            .weight_candidates()
+            .next()
+            .expect("alexnet has weights")
+            .clone();
+        let plan = PrefetchPlan::build(
+            &ev,
+            sim.schedule(),
+            &Residency::new(),
+            std::iter::once(&first),
+        );
+        assert!(!plan.is_empty());
+        // Two shared weights, one of them unknown to the plan.
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        let mut residency = Residency::new();
+        residency.insert(ValueId::Weight(first.id.node()));
+        residency.insert(ValueId::Weight(fc6));
+        let mut classes = HashMap::new();
+        classes.insert(first.id.node(), WeightClass::Shared);
+        classes.insert(fc6, WeightClass::Shared);
+        let _ = sim.run(
+            &residency,
+            &SimConfig {
+                weight_classes: classes,
+                prefetch: plan,
+                ..SimConfig::default()
+            },
         );
     }
 

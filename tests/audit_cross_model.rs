@@ -1,0 +1,95 @@
+//! Experiment A4: the differential audit as a cross-model property.
+//!
+//! Where `sim_vs_model.rs` samples the benchmark suite, this runs the
+//! full audit — structural invariants, classified divergence bands and
+//! the missing-plan probe — over every model in the zoo, and pins the
+//! tight-agreement property: when the prefetch plan fully hides every
+//! resident weight, the analytic model and the simulator must agree
+//! closely, not just within the loose band.
+
+use lcmm::core::pipeline::{compare, AllocatorKind};
+use lcmm::core::ValueId;
+use lcmm::prelude::*;
+use lcmm::sim::audit::{audit_case, ToleranceBands};
+
+#[test]
+fn full_zoo_audits_clean_at_fix16() {
+    let bands = ToleranceBands::default();
+    for network in lcmm::graph::zoo::full_zoo() {
+        let report = audit_case(&network, Precision::Fix16, AllocatorKind::Dnnk, &bands);
+        assert!(report.passed(), "{}: {:?}", network.name(), report.findings);
+        // The simulator only adds contention on top of the analytic
+        // model's perfect-overlap assumption: steady state may not be
+        // meaningfully faster than the model.
+        for point in &report.points {
+            assert!(
+                point.simulated >= 0.95 * point.analytic,
+                "{} {}: sim {} beat analytic {}",
+                network.name(),
+                point.label,
+                point.simulated,
+                point.analytic
+            );
+        }
+    }
+}
+
+#[test]
+fn allocator_sweep_audits_clean_on_the_suite() {
+    let bands = ToleranceBands::default();
+    for network in lcmm::graph::zoo::benchmark_suite() {
+        for allocator in [
+            AllocatorKind::Dnnk,
+            AllocatorKind::DnnkIterative,
+            AllocatorKind::Greedy,
+        ] {
+            let report = audit_case(&network, Precision::Fix16, allocator, &bands);
+            assert!(
+                report.passed(),
+                "{} {allocator:?}: {:?}",
+                network.name(),
+                report.findings
+            );
+        }
+    }
+}
+
+#[test]
+fn fully_hidden_plans_agree_tightly() {
+    // When every resident weight's prefetch is fully hidden (zero
+    // exposure recorded, zero exposed seconds planned), the analytic
+    // model has nothing left to approximate away except channel
+    // queueing, so sim/analytic must sit in a much narrower band than
+    // the audit's general ceiling.
+    let device = Device::vu9p();
+    let mut tight_cases = 0usize;
+    for network in lcmm::graph::zoo::full_zoo() {
+        let (_, lcmm) = compare(&network, &device, Precision::Fix16);
+        let fully_hidden = lcmm.residency.iter().all(|v| match *v {
+            ValueId::Weight(n) => {
+                lcmm.residency.exposed_weight(n) == 0.0
+                    && lcmm
+                        .prefetch
+                        .edge(*v)
+                        .is_none_or(lcmm::core::prefetch::PrefetchEdge::fully_hidden)
+            }
+            ValueId::Feature(_) => true,
+        });
+        if !fully_hidden {
+            continue;
+        }
+        tight_cases += 1;
+        let analytic = lcmm.latency;
+        let simulated = lcmm::sim::validate::simulate_lcmm(&network, &lcmm);
+        let ratio = simulated / analytic;
+        assert!(
+            (0.98..1.2).contains(&ratio),
+            "{}: fully-hidden plan but sim/analytic = {ratio:.3}",
+            network.name()
+        );
+    }
+    assert!(
+        tight_cases >= 3,
+        "only {tight_cases} fully-hidden zoo models — property under-exercised"
+    );
+}

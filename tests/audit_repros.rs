@@ -1,0 +1,29 @@
+//! Replays the minimised audit repro corpus under `checks/repros/`.
+//!
+//! Every file in the corpus was once a failing random graph that the
+//! audit shrinker minimised; after the underlying divergence was
+//! fixed, the spec stays behind as a permanent regression case. A
+//! failure here means an old model-vs-simulator bug came back.
+
+use lcmm::sim::audit::{load_corpus, ToleranceBands};
+use std::path::Path;
+
+#[test]
+fn repro_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("checks/repros");
+    let corpus = load_corpus(&dir).expect("repro corpus is readable");
+    assert!(
+        !corpus.is_empty(),
+        "checks/repros/ must hold at least the seed corpus"
+    );
+    let bands = ToleranceBands::default();
+    for spec in corpus {
+        let report = spec.audit(&bands);
+        assert!(
+            report.passed(),
+            "repro {} regressed: {:?}",
+            spec.file_stem(),
+            report.findings
+        );
+    }
+}
