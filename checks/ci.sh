@@ -20,6 +20,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny broken intra-doc links)"
+# First-party crates only: the vendored stand-ins are out of scope.
+RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --offline --no-deps -q \
+  -p lcmm -p lcmm-graph -p lcmm-fpga -p lcmm-core -p lcmm-sim -p lcmm-serve
+
 if $quick; then
   echo "==> cargo test (debug)"
   cargo test --offline --workspace -q
@@ -43,6 +48,51 @@ done
 
 echo "==> differential audit: grid + repro corpus + 8 random seeds"
 "$bin" audit --seeds 8 --json >/tmp/ci_audit.out 2>/dev/null
+
+# Serve smoke gate: boot the daemon on an ephemeral port, issue three
+# plan requests through the one-shot client, and diff the responses
+# against checks/golden/ (plan payloads are deterministic by design —
+# see docs/SERVE.md). A duplicate of the first request must then be a
+# byte-stable cache hit.
+echo "==> serve smoke: daemon + requests vs checks/golden"
+rm -f /tmp/ci_serve.out
+"$bin" serve --listen 127.0.0.1:0 --workers 2 >/tmp/ci_serve.out 2>/dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(awk '/^listening /{print $2; exit}' /tmp/ci_serve.out 2>/dev/null || true)
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "FAIL: serve daemon never reported a listening address" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+serve_reqs=(
+  '{"graph":"alexnet","precision":"8"}'
+  '{"graph":"googlenet","allocator":"greedy"}'
+  '{"graph":"synthetic:64x3x7","options":{"splitting":false}}'
+)
+i=0
+for req in "${serve_reqs[@]}"; do
+  i=$((i + 1))
+  "$bin" request --connect "$addr" "$req" >/tmp/ci_serve_req.out
+  if ! cmp -s /tmp/ci_serve_req.out "checks/golden/serve_$i.json"; then
+    echo "FAIL: serve response $i differs from checks/golden/serve_$i.json" >&2
+    diff "checks/golden/serve_$i.json" /tmp/ci_serve_req.out >&2 || true
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+done
+"$bin" request --connect "$addr" "${serve_reqs[0]}" >/tmp/ci_serve_dup.out
+if ! grep -q '"cached":true' /tmp/ci_serve_dup.out; then
+  echo "FAIL: duplicate serve request was not answered from the plan cache" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+"$bin" request --connect "$addr" --op shutdown >/dev/null
+wait "$serve_pid"
 
 if ! $quick; then
   # Pass-budget gate: the pipeline's per-pass wall clock on a

@@ -11,7 +11,7 @@ use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
 /// A weight-bound pointwise chain sized for exhaustive enumeration.
 fn small_graph() -> Graph {
     let mut b = GraphBuilder::new("alloc_bench");
-    let mut cur = b.input(FeatureShape::new(512, 7, 7));
+    let mut cur = b.input(FeatureShape::new(512, 7, 7)).expect("input");
     for (i, out) in [512usize, 640, 768, 512, 640, 768, 896, 512]
         .iter()
         .enumerate()

@@ -2,8 +2,8 @@
 //! weight prefetching (b) and their combination (c).
 
 use criterion::{black_box, BenchmarkId, Criterion};
-use lcmm_core::pipeline::{block_latency, block_ops, Pipeline};
-use lcmm_core::{Evaluator, LcmmOptions, Residency, UmmBaseline};
+use lcmm_core::pipeline::{block_latency, block_ops};
+use lcmm_core::{Evaluator, LcmmOptions, PlanRequest, Residency, UmmBaseline};
 use lcmm_fpga::{Device, Precision};
 
 fn print_series_once() {
@@ -18,7 +18,13 @@ fn print_series_once() {
     ];
     let results: Vec<_> = variants
         .iter()
-        .map(|(_, o)| Pipeline::new(*o).run_with_design(&graph, umm.design.clone()))
+        .map(|(_, o)| {
+            PlanRequest::new(&graph, &device, Precision::Fix16)
+                .options(*o)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("explored design is feasible")
+        })
         .collect();
     println!("[fig8] block          UMM  feat   wtpf   full   (Gops)");
     for block in graph.blocks().iter().filter(|b| b.starts_with("inception")) {
@@ -47,7 +53,15 @@ fn bench(c: &mut Criterion) {
         ("full_lcmm", LcmmOptions::default()),
     ] {
         group.bench_with_input(BenchmarkId::new("pipeline", name), &opts, |b, o| {
-            b.iter(|| black_box(Pipeline::new(*o).run_with_design(&graph, umm.design.clone())))
+            b.iter(|| {
+                black_box(
+                    PlanRequest::new(&graph, &device, Precision::Fix16)
+                        .options(*o)
+                        .with_design(umm.design.clone())
+                        .run()
+                        .expect("explored design is feasible"),
+                )
+            })
         });
     }
     group.finish();

@@ -23,7 +23,7 @@ use criterion::{black_box, Criterion};
 use lcmm_core::interference::InterferenceGraph;
 use lcmm_core::liveness::{feature_lifespans, Schedule};
 use lcmm_core::value::ValueTable;
-use lcmm_core::{LcmmOptions, PassStats, Pipeline};
+use lcmm_core::{PassStats, PlanRequest};
 use lcmm_fpga::{AccelDesign, Device, Precision};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -101,9 +101,12 @@ impl Budgets {
 fn gate_pipeline_stats() -> PassStats {
     let (depth, branching, seed) = GATE_GRAPH;
     let graph = lcmm_graph::zoo::synthetic(depth, branching, seed);
-    let design = AccelDesign::explore(&graph, &Device::vu9p(), Precision::Fix16);
-    Pipeline::new(LcmmOptions::default())
-        .run_with_design(&graph, design)
+    let device = Device::vu9p();
+    let design = AccelDesign::explore(&graph, &device, Precision::Fix16);
+    PlanRequest::new(&graph, &device, Precision::Fix16)
+        .with_design(design)
+        .run()
+        .expect("explored design is feasible")
         .stats
 }
 
@@ -198,7 +201,10 @@ fn bench(c: &mut Criterion) {
         c.bench_function(&format!("scaling/pipeline_synthetic_{depth}"), |b| {
             b.iter(|| {
                 black_box(
-                    Pipeline::new(LcmmOptions::default()).run_with_design(&graph, design.clone()),
+                    PlanRequest::new(&graph, &device, Precision::Fix16)
+                        .with_design(design.clone())
+                        .run()
+                        .expect("explored design is feasible"),
                 )
             })
         });

@@ -1,8 +1,9 @@
 //! Table 2: on-chip memory utilisation and the POL metric.
 
 use criterion::{black_box, Criterion};
-use lcmm_core::pipeline::{compare, Pipeline};
-use lcmm_core::{LcmmOptions, UmmBaseline};
+use lcmm_core::pipeline::compare;
+use lcmm_core::PlanRequest;
+use lcmm_core::UmmBaseline;
 use lcmm_fpga::{Device, Precision};
 
 fn print_table_once() {
@@ -33,7 +34,10 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table2/lcmm_pipeline_resnet152_16bit", |b| {
         b.iter(|| {
             black_box(
-                Pipeline::new(LcmmOptions::default()).run_with_design(&graph, umm.design.clone()),
+                PlanRequest::new(&graph, &device, Precision::Fix16)
+                    .with_design(umm.design.clone())
+                    .run()
+                    .expect("explored design is feasible"),
             )
         })
     });

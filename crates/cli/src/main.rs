@@ -25,6 +25,7 @@
 
 mod opts;
 mod report;
+mod serve_cmd;
 mod table;
 
 use std::process::ExitCode;
@@ -35,6 +36,21 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // The daemon/client subcommands have their own flag sets; dispatch
+    // them before the grid-report option parser sees (and rejects) them.
+    if let "serve" | "request" = command.as_str() {
+        let run = match command.as_str() {
+            "serve" => serve_cmd::run_serve(rest),
+            _ => serve_cmd::run_request(rest),
+        };
+        return match run {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match opts::Opts::parse(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -129,6 +145,13 @@ commands:
   manifest                 allocation manifest (buffers/addresses/prefetches)
   trace                    Chrome-trace JSON of one simulated inference
   all                      run every report in order
+  serve                    planning daemon (JSON-lines; see docs/SERVE.md):
+                           --stdio | --listen <addr> | --socket <path>,
+                           --workers <N> --queue <N> --cache <N>
+  request                  one-shot client for a running daemon:
+                           --connect <addr|path> and either a raw JSON
+                           line or --graph/--device/--precision/
+                           --allocator/--deadline-ms/--stats/--op
 
 models: alexnet squeezenet vgg16 resnet50 resnet101 resnet152 googlenet
         inception_v4 inception_resnet_v2 densenet121";

@@ -2,8 +2,8 @@
 
 use crate::opts::Opts;
 use crate::table::{ms, Table};
-use lcmm_core::pipeline::{AllocatorKind, LcmmOptions, Pipeline};
-use lcmm_core::UmmBaseline;
+use lcmm_core::pipeline::{AllocatorKind, LcmmOptions};
+use lcmm_core::{PlanRequest, UmmBaseline};
 use lcmm_fpga::{Device, Precision};
 
 /// Prints the allocator and splitting ablations over the suite.
@@ -28,17 +28,16 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     ]);
     for graph in &models {
         let umm = UmmBaseline::build(graph, &device, precision);
-        let dnnk = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
-        let iterated = Pipeline::new(LcmmOptions {
-            allocator: AllocatorKind::DnnkIterative,
-            ..LcmmOptions::default()
-        })
-        .run_with_design(graph, umm.design.clone());
-        let greedy = Pipeline::new(LcmmOptions {
-            allocator: AllocatorKind::Greedy,
-            ..LcmmOptions::default()
-        })
-        .run_with_design(graph, umm.design.clone());
+        let plan = |allocator: AllocatorKind| {
+            PlanRequest::new(graph, &device, precision)
+                .allocator(allocator)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("an explored design is always feasible")
+        };
+        let dnnk = plan(AllocatorKind::Dnnk);
+        let iterated = plan(AllocatorKind::DnnkIterative);
+        let greedy = plan(AllocatorKind::Greedy);
         table.row([
             graph.name().to_string(),
             ms(umm.latency),
@@ -54,12 +53,15 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let mut table = Table::new(["benchmark", "no split ms", "split ms", "gain", "iterations"]);
     for graph in &models {
         let umm = UmmBaseline::build(graph, &device, precision);
-        let with = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
-        let without = Pipeline::new(LcmmOptions {
-            splitting: false,
-            ..LcmmOptions::default()
-        })
-        .run_with_design(graph, umm.design.clone());
+        let with = PlanRequest::new(graph, &device, precision)
+            .with_design(umm.design.clone())
+            .run()
+            .expect("an explored design is always feasible");
+        let without = PlanRequest::new(graph, &device, precision)
+            .options(LcmmOptions::default().with_splitting(false))
+            .with_design(umm.design.clone())
+            .run()
+            .expect("an explored design is always feasible");
         table.row([
             graph.name().to_string(),
             ms(without.latency),

@@ -5,32 +5,20 @@
 //! random graph produces a finding. A failing random graph is
 //! minimised by the generator-space shrinker and written into the
 //! repro corpus so subsequent runs replay it.
+//!
+//! The sweep itself lives in [`lcmm_sim::audit::run_audit`]; this
+//! module only translates CLI flags into [`AuditOptions`] and renders
+//! the outcome.
 
 use crate::opts::Opts;
 use crate::table::Table;
 use lcmm_core::pipeline::AllocatorKind;
 use lcmm_fpga::Precision;
 use lcmm_graph::zoo;
-use lcmm_sim::audit::{
-    audit_case, default_grid, load_corpus, random_spec, shrink, write_repro, CaseReport,
-    ToleranceBands,
-};
-use serde::Serialize;
-use std::path::Path;
-
-/// Random seeds audited when `--seeds` is not given.
-const DEFAULT_SEEDS: usize = 8;
-
-/// Machine-readable output of one audit run (`--json`).
-#[derive(Serialize)]
-struct AuditOutput {
-    cases: Vec<CaseReport>,
-    repros_written: Vec<String>,
-}
+use lcmm_sim::audit::{default_grid, run_audit, AuditOptions};
 
 /// Runs the audit.
 pub fn run(opts: &Opts) -> Result<(), String> {
-    let bands = ToleranceBands::default();
     let grid: Vec<(String, Precision, AllocatorKind)> = match &opts.model {
         Some(name) => {
             zoo::by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?;
@@ -49,60 +37,27 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         }
     };
 
-    let mut cases = Vec::new();
-    for (model, precision, allocator) in grid {
-        let graph = zoo::by_name(&model).ok_or_else(|| format!("unknown model {model:?}"))?;
-        eprintln!("audit: {model} {precision} {allocator:?}");
-        cases.push(audit_case(&graph, precision, allocator, &bands));
+    let mut options = AuditOptions::default().with_grid(grid);
+    if let Some(seeds) = opts.seeds {
+        options = options.with_seeds(seeds);
+    }
+    if let Some(dir) = &opts.repros {
+        options = options.with_repro_dir(dir.clone());
     }
 
-    // Replay the repro corpus: previously minimised failures are
-    // permanent regression cases.
-    let repro_dir = opts
-        .repros
-        .clone()
-        .unwrap_or_else(|| "checks/repros".to_string());
-    let corpus = load_corpus(Path::new(&repro_dir)).map_err(|e| format!("repro corpus: {e}"))?;
-    for spec in &corpus {
-        eprintln!("audit: replay {}", spec.file_stem());
-        cases.push(spec.audit(&bands));
-    }
+    let outcome = run_audit(&options, |line| eprintln!("{line}"))?;
 
-    // Seeded random graphs; a failure is shrunk and joins the corpus.
-    let mut repros_written = Vec::new();
-    for i in 0..opts.seeds.unwrap_or(DEFAULT_SEEDS) {
-        let spec = random_spec(i);
-        eprintln!("audit: seed {i} ({})", spec.file_stem());
-        let report = spec.audit(&bands);
-        if report.passed() {
-            cases.push(report);
-            continue;
-        }
-        eprintln!("audit: seed {i} failed, shrinking");
-        let minimal = shrink(spec, |s| !s.audit(&bands).passed());
-        let final_report = minimal.audit(&bands);
-        let path = write_repro(Path::new(&repro_dir), &minimal, &final_report.findings)
-            .map_err(|e| format!("write repro: {e}"))?;
-        eprintln!("audit: minimised to {}", path.display());
-        repros_written.push(path.display().to_string());
-        cases.push(final_report);
-    }
-
-    let failures = cases.iter().filter(|c| !c.passed()).count();
+    let failures = outcome.failures();
     if opts.json {
-        let out = AuditOutput {
-            cases,
-            repros_written,
-        };
         println!(
             "{}",
-            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
         );
     } else {
         let mut table = Table::new([
             "model", "prec", "alloc", "umm", "lcmm", "fill", "probe", "status",
         ]);
-        for c in &cases {
+        for c in &outcome.cases {
             let ratio = |label: &str| {
                 c.points
                     .iter()
@@ -125,7 +80,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
             ]);
         }
         table.print();
-        for c in cases.iter().filter(|c| !c.passed()) {
+        for c in outcome.cases.iter().filter(|c| !c.passed()) {
             for f in &c.findings {
                 println!(
                     "FAIL {} {} {:?} [{}] {}",

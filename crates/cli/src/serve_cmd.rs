@@ -1,0 +1,172 @@
+//! The `lcmm serve` daemon and `lcmm request` client subcommands.
+//!
+//! These deliberately bypass the report-style [`crate::opts::Opts`]
+//! parser: a daemon has sizing flags (`--workers`, `--queue`,
+//! `--cache`) and a listen target, a client has an endpoint and a
+//! request to send — none of which overlap the grid-report options.
+
+use lcmm_serve::client::{request as send_request, Endpoint};
+use lcmm_serve::{serve_stdio, serve_tcp, serve_unix, ServerConfig};
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Where `lcmm serve` listens.
+enum Listen {
+    Stdio,
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+/// Runs `lcmm serve [--stdio | --listen <addr> | --socket <path>]
+/// [--workers N] [--queue N] [--cache N]`.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut listen = Listen::Stdio;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stdio" => listen = Listen::Stdio,
+            "--listen" => {
+                let addr = it.next().ok_or("--listen needs an address")?;
+                listen = Listen::Tcp(addr.clone());
+            }
+            "--socket" => {
+                let path = it.next().ok_or("--socket needs a path")?;
+                listen = Listen::Unix(PathBuf::from(path));
+            }
+            "--workers" => config = config.with_workers(count(&mut it, "--workers")?),
+            "--queue" => config = config.with_queue_capacity(count(&mut it, "--queue")?),
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cache needs a non-negative integer, got {v:?}"))?;
+                config = config.with_cache_capacity(n);
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let served = match listen {
+        Listen::Stdio => serve_stdio(config),
+        Listen::Tcp(addr) => serve_tcp(config, &addr),
+        Listen::Unix(path) => serve_unix(config, &path),
+    };
+    served.map_err(|e| format!("serve failed: {e}"))
+}
+
+/// Runs `lcmm request --connect <endpoint> (<json-line> | --graph <name>
+/// [--device <name>] [--precision <8|16|32>] [--allocator <name>]
+/// [--deadline-ms <N>] [--stats] | --op <ping|stats|shutdown>)`.
+pub fn run_request(args: &[String]) -> Result<(), String> {
+    let mut connect: Option<String> = None;
+    let mut raw: Option<String> = None;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(it.next().ok_or("--connect needs an endpoint")?.clone());
+            }
+            "--graph" => {
+                let name = it.next().ok_or("--graph needs a model name")?;
+                fields.push(("graph".to_string(), Value::Str(name.clone())));
+            }
+            "--device" => {
+                let name = it.next().ok_or("--device needs a device name")?;
+                fields.push(("device".to_string(), Value::Str(name.clone())));
+            }
+            "--precision" => {
+                let v = it.next().ok_or("--precision needs a value")?;
+                fields.push(("precision".to_string(), Value::Str(v.clone())));
+            }
+            "--allocator" => {
+                let v = it.next().ok_or("--allocator needs a name")?;
+                fields.push(("allocator".to_string(), Value::Str(v.clone())));
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms needs an integer, got {v:?}"))?;
+                fields.push(("deadline_ms".to_string(), Value::U64(ms)));
+            }
+            "--stats" => fields.push(("include_stats".to_string(), Value::Bool(true))),
+            "--op" => {
+                let op = it.next().ok_or("--op needs ping, stats or shutdown")?;
+                fields.push(("op".to_string(), Value::Str(op.clone())));
+            }
+            other if other.starts_with('{') => raw = Some(other.to_string()),
+            other => return Err(format!("unknown request flag {other:?}")),
+        }
+    }
+    let endpoint = Endpoint::parse(&connect.ok_or("request needs --connect <endpoint>")?);
+    let line = match (raw, fields.is_empty()) {
+        (Some(raw), true) => raw,
+        (Some(_), false) => {
+            return Err("pass either a raw JSON line or request flags, not both".to_string())
+        }
+        (None, true) => return Err("nothing to send: pass a JSON line or --graph/--op".to_string()),
+        (None, false) => serde_json::to_string(&Value::Map(fields))
+            .map_err(|e| format!("request failed to serialise: {e}"))?,
+    };
+    let response =
+        send_request(&endpoint, &line).map_err(|e| format!("request to {endpoint} failed: {e}"))?;
+    println!("{response}");
+    let ok = serde_json::from_str::<Value>(&response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Value::as_bool))
+        .unwrap_or(false);
+    if ok {
+        Ok(())
+    } else {
+        Err("daemon answered with an error (see response above)".to_string())
+    }
+}
+
+/// Parses a positive-integer flag value.
+fn count<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("{flag} needs a positive integer, got {v:?}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run_serve(&s(&["--frob"])).is_err());
+        assert!(run_serve(&s(&["--workers", "0"])).is_err());
+        assert!(run_serve(&s(&["--listen"])).is_err());
+        assert!(run_serve(&s(&["--cache", "lots"])).is_err());
+    }
+
+    #[test]
+    fn request_requires_connect_and_payload() {
+        assert!(run_request(&s(&["--graph", "alexnet"]))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(run_request(&s(&["--connect", "127.0.0.1:1"]))
+            .unwrap_err()
+            .contains("nothing to send"));
+        assert!(run_request(&s(&[
+            "--connect",
+            "127.0.0.1:1",
+            "{\"op\":\"ping\"}",
+            "--graph",
+            "alexnet"
+        ]))
+        .unwrap_err()
+        .contains("not both"));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p lcmm-core --example scale_profile [depth]`
 
-use lcmm_core::{LcmmOptions, Pipeline};
+use lcmm_core::PlanRequest;
 use lcmm_fpga::{Device, Precision};
 use std::time::Instant;
 
@@ -16,11 +16,15 @@ fn main() {
     println!("build graph ({} nodes): {:?}", g.len(), t.elapsed());
 
     let t = Instant::now();
-    let design = lcmm_fpga::AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+    let device = Device::vu9p();
+    let design = lcmm_fpga::AccelDesign::explore(&g, &device, Precision::Fix16);
     println!("explore design: {:?}", t.elapsed());
 
     let t = Instant::now();
-    let result = Pipeline::new(LcmmOptions::default()).run_with_design(&g, design);
+    let result = PlanRequest::new(&g, &device, Precision::Fix16)
+        .with_design(design)
+        .run()
+        .expect("explored design is feasible");
     println!("pipeline: {:?}", t.elapsed());
     let s = result.stats;
     println!("  profile_seconds     = {:.4}", s.profile_seconds);

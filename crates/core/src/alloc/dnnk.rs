@@ -443,7 +443,7 @@ mod tests {
     fn wide_fanout_skips_gain_cache_instead_of_colliding() {
         use lcmm_graph::{ConvParams, FeatureShape, GraphBuilder};
         let mut b = GraphBuilder::new("fanout");
-        let x = b.input(FeatureShape::new(8, 4, 4));
+        let x = b.input(FeatureShape::new(8, 4, 4)).expect("input");
         let branches: Vec<_> = (0..64)
             .map(|i| {
                 b.conv(format!("b{i}"), x, ConvParams::pointwise(4))

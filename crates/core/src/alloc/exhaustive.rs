@@ -51,7 +51,7 @@ mod tests {
         // Weight-bound pointwise chain with unequal weight sizes so the
         // knapsack has real choices to make.
         let mut b = GraphBuilder::new("small");
-        let mut cur = b.input(FeatureShape::new(512, 7, 7));
+        let mut cur = b.input(FeatureShape::new(512, 7, 7)).expect("input");
         for (i, out) in [512usize, 640, 768, 512, 640, 768].iter().enumerate() {
             cur = b
                 .conv(format!("c{i}"), cur, ConvParams::pointwise(*out))

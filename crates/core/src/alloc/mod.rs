@@ -175,7 +175,7 @@ pub(crate) mod test_support {
     /// spatial extent have far more weight bytes than arithmetic.
     pub fn chain_graph() -> Graph {
         let mut b = GraphBuilder::new("chain");
-        let mut cur = b.input(FeatureShape::new(512, 7, 7));
+        let mut cur = b.input(FeatureShape::new(512, 7, 7)).expect("input");
         for i in 0..10 {
             cur = b
                 .conv(format!("c{i}"), cur, ConvParams::pointwise(512))

@@ -1,0 +1,142 @@
+//! Cooperative cancellation for pipeline runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the
+//! party that wants a run stopped (a serve worker enforcing a deadline,
+//! a client disconnect) and the pipeline, which polls
+//! [`CancelToken::check`] between passes. Cancellation is cooperative:
+//! a pass that has already started runs to its next check point.
+
+use crate::error::LcmmError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never expires on its own; only [`CancelToken::cancel`]
+    /// trips it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally expires at `deadline`.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Trips the token; every subsequent [`CancelToken::check`] fails
+    /// with [`LcmmError::Cancelled`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The deadline, if one was set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Whether the deadline (if any) has passed.
+    #[must_use]
+    pub fn is_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cooperative check point: explicit cancellation wins over
+    /// deadline expiry when both apply.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::Cancelled`] after [`CancelToken::cancel`],
+    /// [`LcmmError::DeadlineExceeded`] once the deadline has passed.
+    pub fn check(&self) -> Result<(), LcmmError> {
+        if self.is_cancelled() {
+            return Err(LcmmError::Cancelled);
+        }
+        if self.is_expired() {
+            return Err(LcmmError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+/// Checks an optional token (the common pipeline-internal shape: `None`
+/// means an uncancellable legacy call).
+pub(crate) fn check_opt(token: Option<&CancelToken>) -> Result<(), LcmmError> {
+    match token {
+        Some(t) => t.check(),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        assert!(!t.is_expired());
+    }
+
+    #[test]
+    fn cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert_eq!(clone.check(), Err(LcmmError::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_reports_timeout() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.check(), Err(LcmmError::DeadlineExceeded));
+        // Explicit cancellation takes precedence over expiry.
+        t.cancel();
+        assert_eq!(t.check(), Err(LcmmError::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! The unified error type of the planning API.
+//!
+//! Every fallible entry point of the redesigned surface
+//! ([`crate::PlanRequest::run`], [`crate::Harness::try_lcmm_with_design`],
+//! the serve daemon) returns [`LcmmError`], so callers — in particular a
+//! long-running service — can map failures to stable error codes
+//! instead of dying on a `panic!`.
+
+use lcmm_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while planning one network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LcmmError {
+    /// The input graph failed validation (cycles, dangling ids,
+    /// malformed operator parameters).
+    Graph(GraphError),
+    /// A named model or synthetic spec did not resolve.
+    UnknownModel(String),
+    /// A named device did not resolve.
+    UnknownDevice(String),
+    /// No accelerator design fits the resource budget — e.g. a DSP
+    /// budget too small for even the smallest systolic array.
+    BudgetInfeasible(String),
+    /// The request itself is malformed (bad field values, impossible
+    /// combinations). The payload names the offending field.
+    InvalidRequest(String),
+    /// The run was cancelled cooperatively via [`crate::CancelToken`].
+    Cancelled,
+    /// The run exceeded its deadline and was abandoned at the next
+    /// cooperative cancellation check.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for LcmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcmmError::Graph(e) => write!(f, "graph validation failed: {e}"),
+            LcmmError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            LcmmError::UnknownDevice(name) => write!(f, "unknown device {name:?}"),
+            LcmmError::BudgetInfeasible(msg) => write!(f, "budget infeasible: {msg}"),
+            LcmmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            LcmmError::Cancelled => write!(f, "request cancelled"),
+            LcmmError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl Error for LcmmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LcmmError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for LcmmError {
+    fn from(e: GraphError) -> Self {
+        LcmmError::Graph(e)
+    }
+}
+
+impl LcmmError {
+    /// A stable machine-readable code for the wire protocol (HTTP-style
+    /// semantics: `timeout` maps to 408, admission errors to 429, and
+    /// so on — see `docs/SERVE.md`).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            LcmmError::Graph(_) => "bad_graph",
+            LcmmError::UnknownModel(_) => "unknown_model",
+            LcmmError::UnknownDevice(_) => "unknown_device",
+            LcmmError::BudgetInfeasible(_) => "infeasible",
+            LcmmError::InvalidRequest(_) => "bad_request",
+            LcmmError::Cancelled => "cancelled",
+            LcmmError::DeadlineExceeded => "timeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_display_is_specific() {
+        assert_eq!(LcmmError::DeadlineExceeded.code(), "timeout");
+        assert_eq!(LcmmError::Cancelled.code(), "cancelled");
+        let e = LcmmError::UnknownModel("lenet".into());
+        assert_eq!(e.code(), "unknown_model");
+        assert_eq!(e.to_string(), "unknown model \"lenet\"");
+        let g: LcmmError = GraphError::UnknownNode(3).into();
+        assert_eq!(g.code(), "bad_graph");
+        assert!(g.to_string().contains("unknown node id 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LcmmError>();
+    }
+}

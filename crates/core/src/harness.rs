@@ -22,6 +22,8 @@
 //! Thread fan-out uses `std::thread::scope`; the crate deliberately has
 //! no external runtime dependency (the build environment is offline).
 
+use crate::cancel::CancelToken;
+use crate::error::LcmmError;
 use crate::pipeline::{LcmmOptions, LcmmResult, Pipeline};
 use crate::profiling::PassStats;
 use crate::umm::UmmBaseline;
@@ -71,6 +73,34 @@ impl<T> Cache<T> {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         value
+    }
+
+    /// Fallible variant: a hit returns the cached value; a miss runs
+    /// `compute` and stores the value **only on success**, so errors
+    /// (cancellation, timeout) are never cached and a retry recomputes.
+    /// Concurrent misses may compute twice; artefacts are deterministic
+    /// values, so both threads still observe one shared `Arc`.
+    fn try_get_or_compute<E>(
+        &self,
+        key: String,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        let cell = {
+            let mut map = self.map.lock().expect("cache lock poisoned");
+            map.entry(key)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        if let Some(value) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value.clone());
+        }
+        let value = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match cell.set(value.clone()) {
+            Ok(()) => Ok(value),
+            Err(_) => Ok(cell.get().expect("cell observed as set").clone()),
+        }
     }
 
     fn counts(&self) -> (usize, usize) {
@@ -217,9 +247,24 @@ impl Harness {
     /// The explored (UMM) design for a graph/device/precision triple,
     /// memoized.
     pub fn design(&self, graph: &Graph, device: &Device, precision: Precision) -> Arc<AccelDesign> {
+        self.try_design(graph, device, precision)
+            .expect("device DSP budget admits no systolic array")
+    }
+
+    /// Fallible variant of [`Harness::design`]: an infeasible DSP
+    /// budget is [`LcmmError::BudgetInfeasible`] instead of a panic.
+    /// Failures are not cached, so a later feasible request with the
+    /// same graph recomputes.
+    pub fn try_design(
+        &self,
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+    ) -> Result<Arc<AccelDesign>, LcmmError> {
         let key = format!("{}\u{1}{}\u{1}{}", fp(graph), fp(device), fp(&precision));
-        self.designs
-            .get_or_compute(key, || AccelDesign::explore(graph, device, precision))
+        self.designs.try_get_or_compute(key, || {
+            AccelDesign::try_explore(graph, device, precision).map_err(LcmmError::BudgetInfeasible)
+        })
     }
 
     /// The operation latency table of `design` on `graph`, memoized.
@@ -261,6 +306,22 @@ impl Harness {
         self.lcmm_with_design(graph, &design, options)
     }
 
+    /// Fallible, cancellable variant of [`Harness::lcmm`]: the whole
+    /// chain (design exploration → profile → pipeline) reports errors
+    /// instead of panicking, and `cancel` is polled at every pass
+    /// boundary. This is the entry point the serve daemon uses.
+    pub fn try_lcmm(
+        &self,
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+        options: LcmmOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<LcmmResult>, LcmmError> {
+        let design = self.try_design(graph, device, precision)?;
+        self.try_lcmm_with_design(graph, &design, options, cancel)
+    }
+
     /// The LCMM result starting from an explored design, memoized. The
     /// derated design's profile comes from the shared profile cache, so
     /// ablation variants of one design profile the graph only once.
@@ -270,12 +331,27 @@ impl Harness {
         base: &AccelDesign,
         options: LcmmOptions,
     ) -> Arc<LcmmResult> {
+        self.try_lcmm_with_design(graph, base, options, None)
+            .expect("uncancellable run cannot fail")
+    }
+
+    /// Fallible, cancellable variant of [`Harness::lcmm_with_design`].
+    /// Cancellations and timeouts are **not** cached — a retry of the
+    /// same request recomputes from the shared design/profile caches.
+    pub fn try_lcmm_with_design(
+        &self,
+        graph: &Graph,
+        base: &AccelDesign,
+        options: LcmmOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<LcmmResult>, LcmmError> {
         let pipeline = Pipeline::new(options);
         let design = pipeline.lcmm_design(base.clone());
         let key = format!("{}\u{1}{}\u{1}{}", fp(graph), fp(&design), fp(&options));
-        self.results.get_or_compute(key, || {
+        self.results.try_get_or_compute(key, || {
             let profile = self.profile(graph, &design);
-            let result = pipeline.run_with_profile(graph, design.clone(), &profile);
+            let result =
+                pipeline.run_with_profile_checked(graph, design.clone(), &profile, cancel)?;
             self.runs
                 .lock()
                 .expect("runs lock poisoned")
@@ -283,7 +359,7 @@ impl Harness {
                     label: run_label(graph, &design, &options),
                     stats: result.stats,
                 });
-            result
+            Ok(result)
         })
     }
 
@@ -386,11 +462,50 @@ mod tests {
         let h = Harness::new(1);
         let g = small_graph();
         let device = Device::vu9p();
-        let direct = Pipeline::new(LcmmOptions::default()).run(&g, &device, Precision::Fix16);
+        let direct = crate::PlanRequest::new(&g, &device, Precision::Fix16)
+            .run()
+            .expect("feasible");
         let via = h.lcmm(&g, &device, Precision::Fix16, LcmmOptions::default());
         assert_eq!(via.latency, direct.latency);
         assert_eq!(via.residency, direct.residency);
         assert_eq!(via.chosen, direct.chosen);
+    }
+
+    #[test]
+    fn cancelled_runs_are_not_cached() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let device = Device::vu9p();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = h
+            .try_lcmm(
+                &g,
+                &device,
+                Precision::Fix16,
+                LcmmOptions::default(),
+                Some(&token),
+            )
+            .unwrap_err();
+        assert_eq!(err, LcmmError::Cancelled);
+        // The failure must not poison the result cache: a retry without
+        // the token recomputes (a miss, not a bogus hit).
+        let before = h.cache_stats();
+        assert_eq!(before.result_misses, 0);
+        h.try_lcmm(&g, &device, Precision::Fix16, LcmmOptions::default(), None)
+            .expect("retry succeeds");
+        let after = h.cache_stats();
+        assert_eq!(after.result_misses, 1);
+    }
+
+    #[test]
+    fn infeasible_design_is_an_error_not_a_panic() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let mut device = Device::vu9p();
+        device.dsp_slices = 1;
+        let err = h.try_design(&g, &device, Precision::Fix16).unwrap_err();
+        assert!(matches!(err, LcmmError::BudgetInfeasible(_)));
     }
 
     #[test]

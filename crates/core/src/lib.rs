@@ -20,13 +20,15 @@
 //! # Quick tour
 //!
 //! ```
-//! use lcmm_core::{LcmmOptions, Pipeline, UmmBaseline};
+//! use lcmm_core::{PlanRequest, UmmBaseline};
 //! use lcmm_fpga::{Device, Precision};
 //!
 //! let graph = lcmm_graph::zoo::googlenet();
 //! let device = Device::vu9p();
 //! let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
-//! let lcmm = Pipeline::new(LcmmOptions::default()).run(&graph, &device, Precision::Fix16);
+//! let lcmm = PlanRequest::new(&graph, &device, Precision::Fix16)
+//!     .run()
+//!     .expect("googlenet fits the VU9P DSP budget");
 //!
 //! assert!(lcmm.latency <= umm.latency, "LCMM must never lose to UMM");
 //! ```
@@ -36,8 +38,10 @@
 
 pub mod alloc;
 pub mod calibrate;
+pub mod cancel;
 pub mod design_space;
 pub mod energy;
+pub mod error;
 pub mod eval;
 pub mod harness;
 pub mod interference;
@@ -48,6 +52,7 @@ pub mod pipeline;
 pub mod prefetch;
 pub mod profiling;
 pub mod report;
+pub mod request;
 pub mod splitting;
 pub mod strategies;
 pub mod umm;
@@ -55,9 +60,12 @@ pub mod value;
 
 pub use lcmm_graph::fast_hash;
 
+pub use cancel::CancelToken;
+pub use error::LcmmError;
 pub use eval::{Evaluator, Residency};
 pub use harness::Harness;
-pub use pipeline::{LcmmOptions, LcmmResult, Pipeline};
+pub use pipeline::{AllocatorKind, LcmmOptions, LcmmResult, Pipeline};
 pub use profiling::PassStats;
+pub use request::PlanRequest;
 pub use umm::UmmBaseline;
 pub use value::{TensorValue, ValueId, ValueKind, ValueTable};

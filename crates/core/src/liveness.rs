@@ -438,7 +438,9 @@ mod tests {
         // whole time. The liveness-aware scheduler should consume it
         // immediately.
         let mut b = GraphBuilder::new("adversarial");
-        let x = b.input(crate::liveness::tests::shape(64, 56));
+        let x = b
+            .input(crate::liveness::tests::shape(64, 56))
+            .expect("input");
         let big = b
             .conv("big", x, ConvParams::square(512, 3, 1, 1))
             .expect("big");

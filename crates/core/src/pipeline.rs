@@ -2,6 +2,8 @@
 //! buffer prefetching → DNNK allocation → buffer splitting.
 
 use crate::alloc::{dnnk, dnnk_iterative, exhaustive, greedy, AllocProblem};
+use crate::cancel::{check_opt, CancelToken};
+use crate::error::LcmmError;
 use crate::eval::{Evaluator, Residency};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
 use crate::liveness::{feature_lifespans, Schedule};
@@ -32,7 +34,13 @@ pub enum AllocatorKind {
 
 /// Pipeline configuration. The defaults reproduce the full LCMM flow;
 /// the toggles drive the Fig. 8 ablations.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`LcmmOptions::default`] (or one of the ablation presets) and adapt
+/// it through the `with_*` builder methods, so new knobs can be added
+/// without breaking downstream callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct LcmmOptions {
     /// Enable feature buffer reuse (§3.1).
     pub feature_reuse: bool,
@@ -76,6 +84,42 @@ impl LcmmOptions {
             feature_reuse: false,
             ..Self::default()
         }
+    }
+
+    /// Returns a copy with feature buffer reuse toggled.
+    #[must_use]
+    pub fn with_feature_reuse(mut self, on: bool) -> Self {
+        self.feature_reuse = on;
+        self
+    }
+
+    /// Returns a copy with weight prefetching toggled.
+    #[must_use]
+    pub fn with_weight_prefetch(mut self, on: bool) -> Self {
+        self.weight_prefetch = on;
+        self
+    }
+
+    /// Returns a copy with buffer splitting toggled.
+    #[must_use]
+    pub fn with_splitting(mut self, on: bool) -> Self {
+        self.splitting = on;
+        self
+    }
+
+    /// Returns a copy using `allocator` for the knapsack stage.
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Returns a copy with an explicit LCMM clock (`None` restores the
+    /// per-precision default derate).
+    #[must_use]
+    pub fn with_frequency_hz(mut self, frequency_hz: Option<f64>) -> Self {
+        self.frequency_hz = frequency_hz;
+        self
     }
 }
 
@@ -172,30 +216,15 @@ impl Pipeline {
     }
 
     /// Runs the full flow for `graph`, exploring a fresh design.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use lcmm_core::{LcmmOptions, Pipeline};
-    /// use lcmm_fpga::{Device, Precision};
-    /// use lcmm_graph::{ConvParams, FeatureShape, GraphBuilder};
-    ///
-    /// # fn main() -> Result<(), lcmm_graph::GraphError> {
-    /// let mut b = GraphBuilder::new("tiny");
-    /// let x = b.input(FeatureShape::new(256, 7, 7));
-    /// let c = b.conv("c", x, ConvParams::pointwise(512))?;
-    /// let graph = b.finish(c)?;
-    ///
-    /// let result = Pipeline::new(LcmmOptions::default())
-    ///     .run(&graph, &Device::vu9p(), Precision::Fix16);
-    /// assert!(result.latency > 0.0);
-    /// # Ok(())
-    /// # }
-    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PlanRequest::new(graph, device, precision).options(..).run()`"
+    )]
     #[must_use]
     pub fn run(&self, graph: &Graph, device: &Device, precision: Precision) -> LcmmResult {
         let umm_design = AccelDesign::explore(graph, device, precision);
-        self.run_with_design(graph, umm_design)
+        self.run_with_design_checked(graph, umm_design, None)
+            .expect("uncancellable run cannot fail")
     }
 
     /// Derates an explored (UMM) design into its LCMM form: the array
@@ -211,27 +240,23 @@ impl Pipeline {
             .with_tile_budget(TileBudget::default_lcmm())
     }
 
-    /// Runs the full flow starting from an explored (UMM) design: the
-    /// design is derated via [`Pipeline::lcmm_design`], profiled, and
-    /// handed to [`Pipeline::run_with_profile`].
+    /// Runs the full flow starting from an explored (UMM) design.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PlanRequest::new(..).with_design(base).run()`"
+    )]
     #[must_use]
     pub fn run_with_design(&self, graph: &Graph, base: AccelDesign) -> LcmmResult {
-        let design = self.lcmm_design(base);
-        let t_profile = Instant::now();
-        let profile = design.profile(graph);
-        let profile_seconds = t_profile.elapsed().as_secs_f64();
-        let mut result = self.run_with_profile(graph, design, &profile);
-        result.stats.profile_seconds = profile_seconds;
-        result.stats.total_seconds += profile_seconds;
-        result
+        self.run_with_design_checked(graph, base, None)
+            .expect("uncancellable run cannot fail")
     }
 
     /// Runs passes 1–4 against an already-derated design and its
     /// latency table (`profile` must be `design.profile(graph)`).
-    ///
-    /// This is the memoization seam of the evaluation harness: the
-    /// profile is by far the most expensive shared artefact, and every
-    /// ablation variant of the same design can reuse one copy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PlanRequest::new(..).with_design(design).with_profile(profile).run()`"
+    )]
     #[must_use]
     pub fn run_with_profile(
         &self,
@@ -239,6 +264,56 @@ impl Pipeline {
         design: AccelDesign,
         profile: &GraphProfile,
     ) -> LcmmResult {
+        self.run_with_profile_checked(graph, design, profile, None)
+            .expect("uncancellable run cannot fail")
+    }
+
+    /// The checked engine behind [`crate::PlanRequest`]: derates `base`
+    /// via [`Pipeline::lcmm_design`], profiles it, and runs passes 1–4,
+    /// polling `cancel` at every pass boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::Cancelled`] / [`LcmmError::DeadlineExceeded`] when
+    /// `cancel` trips at a check point.
+    pub(crate) fn run_with_design_checked(
+        &self,
+        graph: &Graph,
+        base: AccelDesign,
+        cancel: Option<&CancelToken>,
+    ) -> Result<LcmmResult, LcmmError> {
+        check_opt(cancel)?;
+        let design = self.lcmm_design(base);
+        let t_profile = Instant::now();
+        let profile = design.profile(graph);
+        let profile_seconds = t_profile.elapsed().as_secs_f64();
+        let mut result = self.run_with_profile_checked(graph, design, &profile, cancel)?;
+        result.stats.profile_seconds = profile_seconds;
+        result.stats.total_seconds += profile_seconds;
+        Ok(result)
+    }
+
+    /// The checked engine for an already-derated design and its latency
+    /// table (the memoization seam of the evaluation harness: the
+    /// profile is by far the most expensive shared artefact, and every
+    /// ablation variant of the same design can reuse one copy).
+    ///
+    /// Cancellation is cooperative: `cancel` is polled before pass 1 and
+    /// after every pass, so a run is abandoned at the next pass boundary
+    /// after the token trips.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::Cancelled`] / [`LcmmError::DeadlineExceeded`] when
+    /// `cancel` trips at a check point.
+    pub(crate) fn run_with_profile_checked(
+        &self,
+        graph: &Graph,
+        design: AccelDesign,
+        profile: &GraphProfile,
+        cancel: Option<&CancelToken>,
+    ) -> Result<LcmmResult, LcmmError> {
+        check_opt(cancel)?;
         profiling::reset_counters();
         let t_total = Instant::now();
         let precision = design.precision;
@@ -260,6 +335,7 @@ impl Pipeline {
             InterferenceGraph::default()
         };
         let liveness_seconds = t_pass.elapsed().as_secs_f64();
+        check_opt(cancel)?;
 
         // --- Pass 2: weight buffer prefetching ---------------------------
         let t_pass = Instant::now();
@@ -283,6 +359,7 @@ impl Pipeline {
             (InterferenceGraph::default(), PrefetchPlan::default())
         };
         let prefetch_seconds = t_pass.elapsed().as_secs_f64();
+        check_opt(cancel)?;
 
         // --- Pass 3 + 4: DNNK allocation with splitting ------------------
         let t_pass = Instant::now();
@@ -308,6 +385,7 @@ impl Pipeline {
             split_config,
         );
         let alloc_split_seconds = t_pass.elapsed().as_secs_f64();
+        check_opt(cancel)?;
 
         // --- Reporting ----------------------------------------------------
         let t_pass = Instant::now();
@@ -340,7 +418,7 @@ impl Pipeline {
         stats.reporting_seconds = reporting_seconds;
         stats.total_seconds = t_total.elapsed().as_secs_f64();
 
-        LcmmResult {
+        Ok(LcmmResult {
             design,
             latency: result.outcome.latency,
             ops,
@@ -353,7 +431,7 @@ impl Pipeline {
             memory_bound_layers: memory_bound.len(),
             layers_benefiting,
             stats,
-        }
+        })
     }
 }
 
@@ -387,7 +465,9 @@ pub fn block_ops(graph: &Graph, block: &str) -> u64 {
 #[must_use]
 pub fn compare(graph: &Graph, device: &Device, precision: Precision) -> (UmmBaseline, LcmmResult) {
     let umm = UmmBaseline::build(graph, device, precision);
-    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(graph, umm.design.clone());
+    let lcmm = Pipeline::new(LcmmOptions::default())
+        .run_with_design_checked(graph, umm.design.clone(), None)
+        .expect("uncancellable run cannot fail");
     (umm, lcmm)
 }
 
@@ -410,11 +490,14 @@ mod tests {
         let g = zoo::googlenet();
         let device = Device::vu9p();
         let umm = UmmBaseline::build(&g, &device, Precision::Fix16);
-        let full = Pipeline::new(LcmmOptions::default()).run_with_design(&g, umm.design.clone());
-        let features_only = Pipeline::new(LcmmOptions::feature_reuse_only())
-            .run_with_design(&g, umm.design.clone());
-        let weights_only = Pipeline::new(LcmmOptions::weight_prefetch_only())
-            .run_with_design(&g, umm.design.clone());
+        let variant = |options: LcmmOptions| {
+            Pipeline::new(options)
+                .run_with_design_checked(&g, umm.design.clone(), None)
+                .expect("explored design is feasible")
+        };
+        let full = variant(LcmmOptions::default());
+        let features_only = variant(LcmmOptions::feature_reuse_only());
+        let weights_only = variant(LcmmOptions::weight_prefetch_only());
         assert!(full.latency <= features_only.latency + 1e-12);
         assert!(full.latency <= weights_only.latency + 1e-12);
     }
@@ -465,11 +548,12 @@ mod tests {
     #[test]
     fn greedy_allocator_option_works() {
         let g = zoo::alexnet();
-        let opts = LcmmOptions {
-            allocator: AllocatorKind::Greedy,
-            ..LcmmOptions::default()
-        };
-        let lcmm = Pipeline::new(opts).run(&g, &Device::vu9p(), Precision::Fix16);
+        let opts = LcmmOptions::default().with_allocator(AllocatorKind::Greedy);
+        let device = Device::vu9p();
+        let lcmm = crate::request::PlanRequest::new(&g, &device, Precision::Fix16)
+            .options(opts)
+            .run()
+            .expect("alexnet fits the VU9P budget");
         assert!(lcmm.latency > 0.0);
     }
 }

@@ -175,7 +175,7 @@ mod tests {
     /// lifespan-disjoint buffer with a small but valuable late tensor.
     fn misspill_graph() -> Graph {
         let mut b = GraphBuilder::new("misspill");
-        let x = b.input(FeatureShape::new(256, 56, 56));
+        let x = b.input(FeatureShape::new(256, 56, 56)).expect("input");
         let c0 = b
             .conv("big", x, ConvParams::square(512, 3, 1, 1))
             .expect("big");

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 /// Random valid graph: a chain with occasional forks and residuals.
 fn build(steps: &[(u8, u8)]) -> Graph {
     let mut b = GraphBuilder::new("prop");
-    let mut cur = b.input(FeatureShape::new(16, 14, 14));
+    let mut cur = b.input(FeatureShape::new(16, 14, 14)).expect("input");
     for (i, &(sel, c)) in steps.iter().enumerate() {
         let channels = 8 + (c as usize % 64) * 8;
         let shape = b.shape(cur).expect("exists");

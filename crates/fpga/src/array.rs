@@ -129,8 +129,27 @@ impl SystolicArray {
     /// The candidate set covers powers of two for `rows`/`simd` and the
     /// divisor-friendly column counts that match common feature-map
     /// widths, mirroring the DSE of \[18\].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no candidate array fits `dsp_budget`; use
+    /// [`SystolicArray::try_explore`] for a fallible variant.
     #[must_use]
     pub fn explore(graph: &Graph, precision: Precision, dsp_budget: usize) -> SystolicArray {
+        Self::try_explore(graph, precision, dsp_budget)
+            .expect("candidate set always contains a feasible array")
+    }
+
+    /// Like [`SystolicArray::explore`], but returns `None` when not even
+    /// the smallest candidate array fits `dsp_budget` — the infeasible-
+    /// budget case a planning service must surface as an error instead
+    /// of a panic.
+    #[must_use]
+    pub fn try_explore(
+        graph: &Graph,
+        precision: Precision,
+        dsp_budget: usize,
+    ) -> Option<SystolicArray> {
         const ROWS: [usize; 5] = [8, 16, 32, 64, 96];
         const COLS: [usize; 7] = [7, 8, 14, 16, 20, 22, 28];
         const SIMD: [usize; 4] = [2, 4, 8, 16];
@@ -157,8 +176,7 @@ impl SystolicArray {
                 }
             }
         }
-        best.expect("candidate set always contains a feasible array")
-            .1
+        best.map(|(_, arr)| arr)
     }
 }
 

@@ -51,14 +51,39 @@ impl AccelDesign {
     /// minimising total compute cycles for `graph` within the DSP
     /// budget, at the default clock for `precision`, with the UMM tile
     /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no array fits the device's DSP budget; a planning
+    /// service should use [`AccelDesign::try_explore`] instead.
     #[must_use]
     pub fn explore(graph: &Graph, device: &Device, precision: Precision) -> Self {
-        Self::explore_with_dsp_fraction(graph, device, precision, DSP_BUDGET_FRACTION)
+        Self::try_explore(graph, device, precision)
+            .expect("device DSP budget admits no systolic array")
+    }
+
+    /// Fallible variant of [`AccelDesign::explore`]: returns an error
+    /// naming the budget when not even the smallest candidate array fits
+    /// the device.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the infeasible DSP budget.
+    pub fn try_explore(
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+    ) -> Result<Self, String> {
+        Self::try_explore_with_dsp_fraction(graph, device, precision, DSP_BUDGET_FRACTION)
     }
 
     /// Like [`AccelDesign::explore`] but with an explicit DSP budget
     /// fraction — used to model comparison designs that deliberately
     /// spend fewer DSPs (e.g. TGPA's 60 % in the paper's Table 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no array fits the scaled DSP budget.
     #[must_use]
     pub fn explore_with_dsp_fraction(
         graph: &Graph,
@@ -66,9 +91,29 @@ impl AccelDesign {
         precision: Precision,
         dsp_fraction: f64,
     ) -> Self {
+        Self::try_explore_with_dsp_fraction(graph, device, precision, dsp_fraction)
+            .expect("DSP budget admits no systolic array")
+    }
+
+    /// Fallible variant of [`AccelDesign::explore_with_dsp_fraction`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the infeasible DSP budget.
+    pub fn try_explore_with_dsp_fraction(
+        graph: &Graph,
+        device: &Device,
+        precision: Precision,
+        dsp_fraction: f64,
+    ) -> Result<Self, String> {
         let budget = (device.dsp_slices as f64 * dsp_fraction) as usize;
-        let array = SystolicArray::explore(graph, precision, budget);
-        Self {
+        let array = SystolicArray::try_explore(graph, precision, budget).ok_or_else(|| {
+            format!(
+                "no systolic array fits {budget} DSP slices on {} at {precision}",
+                device.name
+            )
+        })?;
+        Ok(Self {
             device: device.clone(),
             precision,
             array,
@@ -76,7 +121,7 @@ impl AccelDesign {
             tile_budget: TileBudget::default_umm(),
             batch: 1,
             granular_ddr: false,
-        }
+        })
     }
 
     /// Returns a copy clocked at `freq_hz`.

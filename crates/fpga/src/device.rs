@@ -165,6 +165,20 @@ impl Device {
         }
     }
 
+    /// Resolves a device by its short CLI/wire name.
+    ///
+    /// Recognised names: `vu9p`/`xcvu9p`, `vu13p`/`xcvu13p`,
+    /// `zu9eg`/`xczu9eg` (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "vu9p" | "xcvu9p" => Some(Self::vu9p()),
+            "vu13p" | "xcvu13p" => Some(Self::vu13p()),
+            "zu9eg" | "xczu9eg" => Some(Self::zu9eg()),
+            _ => None,
+        }
+    }
+
     /// Total BRAM capacity in bytes.
     #[must_use]
     pub fn bram_bytes(&self) -> u64 {

@@ -37,7 +37,7 @@ pub mod roofline;
 
 pub use array::SystolicArray;
 pub use design::AccelDesign;
-pub use device::{DdrConfig, Device};
+pub use device::{DdrConfig, Device, DDR_CHUNK_OVERHEAD_BYTES};
 pub use latency::{resolved_sources, Boundedness, GraphProfile, OpLatency, TensorKind};
 pub use precision::Precision;
 pub use resources::{MemoryPacking, ResourceReport};

@@ -126,7 +126,7 @@ mod tests {
 
     fn tiny() -> Graph {
         let mut b = GraphBuilder::new("tiny");
-        let x = b.input(FeatureShape::new(3, 16, 16));
+        let x = b.input(FeatureShape::new(3, 16, 16)).expect("input");
         let c = b.conv("c", x, ConvParams::square(8, 3, 1, 1)).unwrap();
         let f = b.global_avg_pool("gap", c).unwrap();
         let fc = b.fc("fc", f, 10).unwrap();

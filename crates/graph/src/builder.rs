@@ -20,7 +20,7 @@ use std::collections::HashSet;
 ///
 /// # fn main() -> Result<(), lcmm_graph::GraphError> {
 /// let mut b = GraphBuilder::new("branchy");
-/// let x = b.input(FeatureShape::new(3, 32, 32));
+/// let x = b.input(FeatureShape::new(3, 32, 32))?;
 /// let stem = b.conv("stem", x, ConvParams::square(16, 3, 1, 1))?;
 /// let left = b.conv("left", stem, ConvParams::pointwise(8))?;
 /// let right = b.conv("right", stem, ConvParams::square(8, 3, 1, 1))?;
@@ -100,18 +100,18 @@ impl GraphBuilder {
 
     /// Adds the external input pseudo-node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called more than once — the paper's workloads are all
-    /// single-input classifiers, and allowing several inputs would
-    /// complicate liveness without exercising anything new.
-    pub fn input(&mut self, shape: FeatureShape) -> NodeId {
-        assert!(
-            !self.nodes.iter().any(|n| matches!(n.op, OpKind::Input)),
-            "graph already has an input node"
-        );
+    /// [`GraphError::Malformed`] if called more than once — the paper's
+    /// workloads are all single-input classifiers, and allowing several
+    /// inputs would complicate liveness without exercising anything new.
+    pub fn input(&mut self, shape: FeatureShape) -> Result<NodeId, GraphError> {
+        if self.nodes.iter().any(|n| matches!(n.op, OpKind::Input)) {
+            return Err(GraphError::Malformed(
+                "graph already has an input node".to_string(),
+            ));
+        }
         self.push("input".to_string(), OpKind::Input, Vec::new(), shape)
-            .expect("input name cannot collide in an empty graph")
     }
 
     /// Adds a convolution layer.
@@ -326,24 +326,25 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(3, 8, 8));
+        let x = b.input(FeatureShape::new(3, 8, 8)).expect("input");
         b.conv("c", x, ConvParams::pointwise(4)).unwrap();
         let err = b.conv("c", x, ConvParams::pointwise(4)).unwrap_err();
         assert!(matches!(err, GraphError::Malformed(_)));
     }
 
     #[test]
-    #[should_panic(expected = "already has an input")]
-    fn second_input_panics() {
+    fn second_input_is_an_error() {
         let mut b = GraphBuilder::new("g");
-        b.input(FeatureShape::new(3, 8, 8));
-        b.input(FeatureShape::new(3, 8, 8));
+        b.input(FeatureShape::new(3, 8, 8)).expect("first input");
+        let err = b.input(FeatureShape::new(3, 8, 8)).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed(_)));
+        assert!(err.to_string().contains("already has an input"));
     }
 
     #[test]
     fn concat_arity_and_shape_checks() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(3, 8, 8));
+        let x = b.input(FeatureShape::new(3, 8, 8)).expect("input");
         let a = b.conv("a", x, ConvParams::pointwise(4)).unwrap();
         let small = b.conv("s", x, ConvParams::square(4, 3, 2, 1)).unwrap();
         assert!(matches!(
@@ -359,7 +360,7 @@ mod tests {
     #[test]
     fn eltwise_requires_identical_shapes() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(3, 8, 8));
+        let x = b.input(FeatureShape::new(3, 8, 8)).expect("input");
         let a = b.conv("a", x, ConvParams::pointwise(4)).unwrap();
         let c = b.conv("c", x, ConvParams::pointwise(8)).unwrap();
         assert!(matches!(
@@ -371,7 +372,7 @@ mod tests {
     #[test]
     fn fc_flattens_input() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(512, 7, 7));
+        let x = b.input(FeatureShape::new(512, 7, 7)).expect("input");
         let gap = b.global_avg_pool("gap", x).unwrap();
         let fc = b.fc("fc", gap, 1000).unwrap();
         assert_eq!(b.shape(fc).unwrap(), FeatureShape::vector(1000));
@@ -381,7 +382,7 @@ mod tests {
     #[test]
     fn fc_zero_features_rejected() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(4, 1, 1));
+        let x = b.input(FeatureShape::new(4, 1, 1)).expect("input");
         assert!(matches!(
             b.fc("fc", x, 0),
             Err(GraphError::InvalidParams(_))
@@ -391,7 +392,7 @@ mod tests {
     #[test]
     fn block_labels_are_attached() {
         let mut b = GraphBuilder::new("g");
-        let x = b.input(FeatureShape::new(3, 8, 8));
+        let x = b.input(FeatureShape::new(3, 8, 8)).expect("input");
         b.set_block("stage1");
         let a = b.conv("a", x, ConvParams::pointwise(4)).unwrap();
         b.set_block("stage2");
@@ -407,7 +408,7 @@ mod tests {
     #[test]
     fn unknown_input_id_rejected() {
         let mut b = GraphBuilder::new("g");
-        let _x = b.input(FeatureShape::new(3, 8, 8));
+        let _x = b.input(FeatureShape::new(3, 8, 8)).expect("input");
         let bogus = NodeId(42);
         assert!(matches!(
             b.conv("c", bogus, ConvParams::pointwise(4)),

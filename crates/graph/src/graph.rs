@@ -377,7 +377,7 @@ mod tests {
     fn diamond() -> Graph {
         // input -> a -> {b, c} -> concat
         let mut gb = GraphBuilder::new("diamond");
-        let input = gb.input(FeatureShape::new(3, 32, 32));
+        let input = gb.input(FeatureShape::new(3, 32, 32)).expect("input");
         let a = gb
             .conv("a", input, ConvParams::square(16, 3, 1, 1))
             .unwrap();

@@ -13,7 +13,7 @@
 //!
 //! # fn main() -> Result<(), lcmm_graph::GraphError> {
 //! let mut b = GraphBuilder::new("tiny");
-//! let input = b.input(FeatureShape::new(3, 224, 224));
+//! let input = b.input(FeatureShape::new(3, 224, 224))?;
 //! let c1 = b.conv("conv1", input, ConvParams::square(64, 7, 2, 3))?;
 //! let p1 = b.max_pool("pool1", c1, 3, 2, 1)?;
 //! let c2 = b.conv("conv2", p1, ConvParams::square(128, 3, 1, 1))?;

@@ -65,7 +65,7 @@ pub fn scale_channels(
             .map(|&i| map[i.index()].expect("inputs precede consumers in id order"))
             .collect();
         let new_id = match node.op() {
-            OpKind::Input => b.input(node.output_shape()),
+            OpKind::Input => b.input(node.output_shape())?,
             OpKind::Conv(p) => {
                 let mut scaled = *p;
                 scaled.out_channels = scale(p.out_channels);

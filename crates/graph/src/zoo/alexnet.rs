@@ -16,7 +16,7 @@ use crate::{ConvParams, FeatureShape, Graph, GraphBuilder};
 #[must_use]
 pub fn alexnet() -> Graph {
     let mut b = GraphBuilder::new("alexnet");
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     b.set_block("features");
     // 224 -> (224 + 4 - 11)/4 + 1 = 55 with pad 2
     let c1 = b

@@ -64,7 +64,7 @@ fn transition(b: &mut GraphBuilder, from: NodeId, idx: usize) -> Result<NodeId, 
 #[must_use]
 pub fn densenet121() -> Graph {
     let mut b = GraphBuilder::new("densenet121");
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     b.set_block("stem");
     let c1 = b
         .conv("conv1", x, ConvParams::square(2 * GROWTH, 7, 2, 3))

@@ -58,7 +58,7 @@ fn inception(
 #[must_use]
 pub fn googlenet() -> Graph {
     let mut b = GraphBuilder::new("googlenet");
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     b.set_block("stem");
     let c1 = b
         .conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3))

@@ -111,7 +111,7 @@ fn block_c(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId, Gra
 #[must_use]
 pub fn inception_resnet_v2() -> Graph {
     let mut b = GraphBuilder::new("inception_resnet_v2");
-    let x = b.input(FeatureShape::new(3, 299, 299));
+    let x = b.input(FeatureShape::new(3, 299, 299)).expect("input");
     let mut cur = stem(&mut b, x).expect("stem");
     for i in 1..=5 {
         cur = block_a(&mut b, cur, &format!("ir_a{i}")).expect("block_a");

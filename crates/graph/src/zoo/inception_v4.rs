@@ -172,7 +172,7 @@ fn inception_c(b: &mut GraphBuilder, from: NodeId, name: &str) -> Result<NodeId,
 #[must_use]
 pub fn inception_v4() -> Graph {
     let mut b = GraphBuilder::new("inception_v4");
-    let x = b.input(FeatureShape::new(3, 299, 299));
+    let x = b.input(FeatureShape::new(3, 299, 299)).expect("input");
     let mut cur = stem(&mut b, x).expect("stem");
     for i in 1..=4 {
         cur = inception_a(&mut b, cur, &format!("inception_a{i}")).expect("inception_a");

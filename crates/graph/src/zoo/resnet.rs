@@ -81,7 +81,7 @@ fn unit_label(u: usize) -> String {
 
 fn resnet(name: &str, units: [usize; 4]) -> Graph {
     let mut b = GraphBuilder::new(name);
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     b.set_block("stem");
     let c1 = b
         .conv("conv1", x, ConvParams::square(64, 7, 2, 3))

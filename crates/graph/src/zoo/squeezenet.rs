@@ -43,7 +43,7 @@ fn fire(
 #[must_use]
 pub fn squeezenet() -> Graph {
     let mut b = GraphBuilder::new("squeezenet");
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     b.set_block("stem");
     let c1 = b
         .conv("conv1", x, ConvParams::square(96, 7, 2, 2))

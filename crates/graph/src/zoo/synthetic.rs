@@ -102,7 +102,7 @@ pub fn synthetic_scaled(depth: usize, branching: usize, seed: u64, width_percent
         format!("synthetic_{depth}x{branching}x{seed}@{width_percent}")
     };
     let mut b = GraphBuilder::new(name);
-    let x = b.input(FeatureShape::new(16, 32, 32));
+    let x = b.input(FeatureShape::new(16, 32, 32)).expect("input");
     let mut cur = b
         .conv("stem", x, ConvParams::square(24, 3, 1, 1))
         .expect("stem conv is same-padded");

@@ -32,7 +32,7 @@ fn stage(
 #[must_use]
 pub fn vgg16() -> Graph {
     let mut b = GraphBuilder::new("vgg16");
-    let x = b.input(FeatureShape::new(3, 224, 224));
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
     let s1 = stage(&mut b, x, 1, 64, 2).expect("stage1");
     let s2 = stage(&mut b, s1, 2, 128, 2).expect("stage2");
     let s3 = stage(&mut b, s2, 3, 256, 3).expect("stage3");

@@ -1,0 +1,170 @@
+//! The LRU plan cache.
+//!
+//! Keys are digests of the canonical JSON fingerprint of
+//! `(graph, device, precision, options)` — computed by the server from
+//! the *resolved* request, so `"googlenet"` and `"gn"` hit the same
+//! entry. Values are **pre-serialized** plan JSON strings: a hit
+//! replays the stored bytes verbatim, which is what makes duplicate
+//! responses byte-identical regardless of when they were computed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss/occupancy counters of the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (plans actually computed).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Maximum entries before LRU eviction.
+    pub capacity: usize,
+}
+
+impl CacheCounters {
+    /// `hits / (hits + misses)`, 0 when idle.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One stored plan: the serialized JSON and its recency stamp.
+struct Entry {
+    value: String,
+    stamp: u64,
+}
+
+/// A thread-safe LRU cache of pre-serialized plan JSON.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    map: Mutex<HashMap<String, Entry>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry").field("stamp", &self.stamp).finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (0 disables caching —
+    /// every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used
+    /// entry when past capacity. Re-inserting an existing key only
+    /// refreshes it (plan values for one key are deterministic).
+    pub fn put(&self, key: String, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        map.insert(key, Entry { value, stamp });
+        while map.len() > self.capacity {
+            let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            map.remove(&oldest);
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("plan cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_stored_bytes_verbatim() {
+        let c = PlanCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.put("k".to_string(), "{\"x\":1}".to_string());
+        assert_eq!(c.get("k").as_deref(), Some("{\"x\":1}"));
+        let s = c.counters();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = PlanCache::new(2);
+        c.put("a".into(), "A".into());
+        c.put("b".into(), "B".into());
+        assert!(c.get("a").is_some()); // refresh a; b is now LRU
+        c.put("c".into(), "C".into()); // evicts b
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.counters().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let c = PlanCache::new(0);
+        c.put("k".into(), "V".into());
+        assert_eq!(c.get("k"), None);
+        assert_eq!(c.counters().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let c = PlanCache::new(2);
+        c.put("a".into(), "A".into());
+        c.put("a".into(), "A".into());
+        assert_eq!(c.counters().entries, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! A one-shot client for the daemon: connect, send one request line,
+//! read one response line. This is what `lcmm request` wraps.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where a daemon is listening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address such as `127.0.0.1:4717`.
+    Tcp(String),
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Interprets a `--connect` argument: anything containing a `/` (or
+    /// starting with `.`) is a Unix socket path, everything else a TCP
+    /// `host:port` address.
+    #[must_use]
+    pub fn parse(spec: &str) -> Self {
+        if spec.contains('/') || spec.starts_with('.') {
+            Endpoint::Unix(PathBuf::from(spec))
+        } else {
+            Endpoint::Tcp(spec.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+        }
+    }
+}
+
+/// Sends one request line and returns the daemon's response line
+/// (without the trailing newline).
+///
+/// # Errors
+///
+/// Connection failures, write failures, or the daemon closing the
+/// stream without answering.
+pub fn request(endpoint: &Endpoint, line: &str) -> io::Result<String> {
+    match endpoint {
+        Endpoint::Tcp(addr) => exchange(TcpStream::connect(addr)?, line),
+        Endpoint::Unix(path) => exchange(UnixStream::connect(path)?, line),
+    }
+}
+
+fn exchange<S: io::Read + io::Write>(mut stream: S, line: &str) -> io::Result<String> {
+    stream.write_all(line.trim_end().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without answering",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_distinguishes_unix_and_tcp() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:4717"),
+            Endpoint::Tcp("127.0.0.1:4717".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/lcmm.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/lcmm.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("./lcmm.sock"),
+            Endpoint::Unix(PathBuf::from("./lcmm.sock"))
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Planning-as-a-service for LCMM: a long-running daemon that answers
+//! planning requests over a JSON-lines protocol.
+//!
+//! The batch CLI pays full pipeline cost per invocation; design-space
+//! explorations and CI loops issue many near-duplicate requests. The
+//! daemon amortises that: one process holds the memoized
+//! [`lcmm_core::Harness`] caches plus an LRU cache of finished plans,
+//! a fixed worker pool computes, and a bounded admission queue plus
+//! per-request deadlines keep latency predictable under load.
+//!
+//! * [`protocol`] — the wire types: [`WireRequest`], [`WireResponse`],
+//!   graph specs, and the deterministic plan summary;
+//! * [`server`] — [`Server`]: worker pool, admission control, plan
+//!   cache, cancellation, graceful shutdown;
+//! * [`transport`] — stdio / TCP / Unix-socket serving loops;
+//! * [`client`] — the one-shot client behind `lcmm request`;
+//! * [`cache`], [`histogram`] — the plan LRU and `/stats` latency
+//!   histograms.
+//!
+//! The wire protocol is documented in `docs/SERVE.md`. In-process use
+//! needs no socket at all:
+//!
+//! ```
+//! use lcmm_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default().with_workers(2));
+//! let response = server.handle_line(r#"{"graph":"alexnet"}"#);
+//! assert!(response.contains("\"ok\":true"));
+//! let replay = server.handle_line(r#"{"graph":"alexnet"}"#);
+//! assert!(replay.contains("\"cached\":true"));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod histogram;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use cache::{CacheCounters, PlanCache};
+pub use client::{request, Endpoint};
+pub use histogram::LatencyHistogram;
+pub use protocol::{GraphSpec, Op, WireRequest, WireResponse};
+pub use server::{Server, ServerConfig};
+pub use transport::{serve_stdio, serve_tcp, serve_unix};

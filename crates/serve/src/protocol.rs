@@ -1,0 +1,677 @@
+//! The JSON-lines wire protocol of the `lcmm serve` daemon.
+//!
+//! One request per line, one response per line, in order. The full
+//! schema — field tables, error codes, examples — is documented in
+//! `docs/SERVE.md`; this module is its executable form: parsing
+//! ([`WireRequest::from_line`]), resolution of graph/device/precision
+//! names into model types ([`WireRequest::resolve_plan`]), and
+//! deterministic response rendering ([`WireResponse`]).
+
+use lcmm_core::pipeline::AllocatorKind;
+use lcmm_core::{LcmmError, LcmmOptions, LcmmResult, PassStats, UmmBaseline};
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
+use serde_json::Value;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Run (or replay from cache) an LCMM plan.
+    Plan,
+    /// Report daemon statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown: drain queued work, then exit.
+    Shutdown,
+}
+
+/// Which graph a plan request is about.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// A zoo name (`"googlenet"`) or synthetic spec string
+    /// (`"synthetic:256x4x7"`, optionally `@<width%>`).
+    Named(String),
+    /// An explicit synthetic-generator parameterisation.
+    Synthetic {
+        /// Requested node count.
+        depth: usize,
+        /// Branch cap per inception module.
+        branching: usize,
+        /// Topology seed.
+        seed: u64,
+        /// Channel width scale in percent (100 = unscaled).
+        width_percent: usize,
+    },
+    /// A full inline graph, in the `lcmm export --json` encoding.
+    Inline(Box<Graph>),
+}
+
+impl GraphSpec {
+    /// Builds the graph this spec names.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::UnknownModel`] for unresolvable names.
+    pub fn resolve(&self) -> Result<Graph, LcmmError> {
+        match self {
+            GraphSpec::Named(name) => {
+                lcmm_graph::zoo::by_name(name).ok_or_else(|| LcmmError::UnknownModel(name.clone()))
+            }
+            GraphSpec::Synthetic {
+                depth,
+                branching,
+                seed,
+                width_percent,
+            } => {
+                if *depth == 0 || *width_percent == 0 {
+                    return Err(LcmmError::InvalidRequest(
+                        "synthetic depth and width_percent must be positive".to_string(),
+                    ));
+                }
+                Ok(lcmm_graph::zoo::synthetic_scaled(
+                    *depth,
+                    *branching,
+                    *seed,
+                    *width_percent,
+                ))
+            }
+            GraphSpec::Inline(graph) => Ok((**graph).clone()),
+        }
+    }
+}
+
+/// A parsed (but not yet resolved) request line.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The operation; defaults to [`Op::Plan`] when `graph` is present.
+    pub op: Op,
+    /// The graph to plan (required for [`Op::Plan`]).
+    pub graph: Option<GraphSpec>,
+    /// Device short name; defaults to `vu9p`.
+    pub device: Option<String>,
+    /// Precision name; defaults to 16-bit fixed point.
+    pub precision: Option<String>,
+    /// Allocator name; defaults to `dnnk`.
+    pub allocator: Option<String>,
+    /// Overrides `LcmmOptions::feature_reuse`.
+    pub feature_reuse: Option<bool>,
+    /// Overrides `LcmmOptions::weight_prefetch`.
+    pub weight_prefetch: Option<bool>,
+    /// Overrides `LcmmOptions::splitting`.
+    pub splitting: Option<bool>,
+    /// Per-request deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// Attach this run's `PassStats` to the response (computed plans
+    /// only; cache hits replay stored bytes and omit stats).
+    pub include_stats: bool,
+}
+
+/// A plan request resolved into model types, ready to run.
+#[derive(Debug, Clone)]
+pub struct ResolvedPlan {
+    /// The graph to plan.
+    pub graph: Graph,
+    /// The target device.
+    pub device: Device,
+    /// Datapath precision.
+    pub precision: Precision,
+    /// Pipeline options (allocator and pass toggles applied).
+    pub options: LcmmOptions,
+}
+
+impl WireRequest {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed JSON, non-object lines,
+    /// unknown `op` values, or ill-typed fields. The daemon maps these
+    /// to the `bad_request` error code.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| "request must be a JSON object".to_string())?;
+        for (key, _) in obj {
+            match key.as_str() {
+                "id" | "op" | "graph" | "device" | "precision" | "allocator" | "options"
+                | "deadline_ms" | "include_stats" => {}
+                other => return Err(format!("unknown request field {other:?}")),
+            }
+        }
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "id must be an unsigned integer".to_string())?,
+            ),
+        };
+        let op = match value.get("op") {
+            None => Op::Plan,
+            Some(v) => match v.as_str() {
+                Some("plan") => Op::Plan,
+                Some("stats") => Op::Stats,
+                Some("ping") => Op::Ping,
+                Some("shutdown") => Op::Shutdown,
+                Some(other) => return Err(format!("unknown op {other:?}")),
+                None => return Err("op must be a string".to_string()),
+            },
+        };
+        let graph = match value.get("graph") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(parse_graph_spec(v)?),
+        };
+        let str_field = |name: &str| -> Result<Option<String>, String> {
+            match value.get(name) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| format!("{name} must be a string")),
+            }
+        };
+        let device = str_field("device")?;
+        let precision = str_field("precision")?;
+        let allocator = str_field("allocator")?;
+        let (mut feature_reuse, mut weight_prefetch, mut splitting) = (None, None, None);
+        if let Some(options) = value.get("options") {
+            let entries = options
+                .as_object()
+                .ok_or_else(|| "options must be an object".to_string())?;
+            for (key, v) in entries {
+                let flag = v
+                    .as_bool()
+                    .ok_or_else(|| format!("options.{key} must be a boolean"))?;
+                match key.as_str() {
+                    "feature_reuse" => feature_reuse = Some(flag),
+                    "weight_prefetch" => weight_prefetch = Some(flag),
+                    "splitting" => splitting = Some(flag),
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+            }
+        }
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "deadline_ms must be an unsigned integer".to_string())?,
+            ),
+        };
+        let include_stats = match value.get("include_stats") {
+            None | Some(Value::Null) => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "include_stats must be a boolean".to_string())?,
+        };
+        Ok(Self {
+            id,
+            op,
+            graph,
+            device,
+            precision,
+            allocator,
+            feature_reuse,
+            weight_prefetch,
+            splitting,
+            deadline_ms,
+            include_stats,
+        })
+    }
+
+    /// Resolves the plan fields into model types.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::InvalidRequest`] for a missing graph or unknown
+    /// precision/allocator, [`LcmmError::UnknownModel`] /
+    /// [`LcmmError::UnknownDevice`] for unresolvable names.
+    pub fn resolve_plan(&self) -> Result<ResolvedPlan, LcmmError> {
+        let spec = self.graph.as_ref().ok_or_else(|| {
+            LcmmError::InvalidRequest("plan request needs a \"graph\" field".to_string())
+        })?;
+        let graph = spec.resolve()?;
+        let device_name = self.device.as_deref().unwrap_or("vu9p");
+        let device = Device::by_name(device_name)
+            .ok_or_else(|| LcmmError::UnknownDevice(device_name.to_string()))?;
+        let precision = parse_precision(self.precision.as_deref().unwrap_or("fix16"))?;
+        let mut options = LcmmOptions::default();
+        if let Some(name) = self.allocator.as_deref() {
+            options = options.with_allocator(parse_allocator(name)?);
+        }
+        if let Some(flag) = self.feature_reuse {
+            options = options.with_feature_reuse(flag);
+        }
+        if let Some(flag) = self.weight_prefetch {
+            options = options.with_weight_prefetch(flag);
+        }
+        if let Some(flag) = self.splitting {
+            options = options.with_splitting(flag);
+        }
+        Ok(ResolvedPlan {
+            graph,
+            device,
+            precision,
+            options,
+        })
+    }
+}
+
+/// Parses the `graph` field: a name string, a `{"zoo": ...}` /
+/// `{"synthetic": {...}}` / `{"inline": {...}}` object.
+fn parse_graph_spec(v: &Value) -> Result<GraphSpec, String> {
+    if let Some(name) = v.as_str() {
+        return Ok(GraphSpec::Named(name.to_string()));
+    }
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "graph must be a name string or an object".to_string())?;
+    if obj.len() != 1 {
+        return Err("graph object must have exactly one of: zoo, synthetic, inline".to_string());
+    }
+    let (key, inner) = &obj[0];
+    match key.as_str() {
+        "zoo" => inner
+            .as_str()
+            .map(|s| GraphSpec::Named(s.to_string()))
+            .ok_or_else(|| "graph.zoo must be a string".to_string()),
+        "synthetic" => {
+            let field = |name: &str, default: Option<u64>| -> Result<u64, String> {
+                match inner.get(name) {
+                    None | Some(Value::Null) => {
+                        default.ok_or_else(|| format!("graph.synthetic.{name} is required"))
+                    }
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| format!("graph.synthetic.{name} must be an integer")),
+                }
+            };
+            inner
+                .as_object()
+                .ok_or_else(|| "graph.synthetic must be an object".to_string())?;
+            Ok(GraphSpec::Synthetic {
+                depth: field("depth", None)? as usize,
+                branching: field("branching", Some(2))? as usize,
+                seed: field("seed", Some(7))?,
+                width_percent: field("width_percent", Some(100))? as usize,
+            })
+        }
+        "inline" => {
+            let graph: Graph = serde_json::from_value(inner)
+                .map_err(|e| format!("graph.inline does not decode as a graph: {e}"))?;
+            if graph.is_empty() {
+                return Err("graph.inline is empty".to_string());
+            }
+            Ok(GraphSpec::Inline(Box::new(graph)))
+        }
+        other => Err(format!("unknown graph spec kind {other:?}")),
+    }
+}
+
+/// Parses a precision name (`8`/`fix8`, `16`/`fix16`, `32`/`float32`…).
+fn parse_precision(name: &str) -> Result<Precision, LcmmError> {
+    match name.to_ascii_lowercase().as_str() {
+        "8" | "fix8" | "int8" | "8-bit" => Ok(Precision::Fix8),
+        "16" | "fix16" | "int16" | "16-bit" => Ok(Precision::Fix16),
+        "32" | "float32" | "fp32" | "32-bit" => Ok(Precision::Float32),
+        other => Err(LcmmError::InvalidRequest(format!(
+            "unknown precision {other:?} (use 8, 16 or 32)"
+        ))),
+    }
+}
+
+/// Parses an allocator name.
+fn parse_allocator(name: &str) -> Result<AllocatorKind, LcmmError> {
+    match name.to_ascii_lowercase().as_str() {
+        "dnnk" => Ok(AllocatorKind::Dnnk),
+        "dnnk-iterative" | "dnnk_iterative" | "iterative" => Ok(AllocatorKind::DnnkIterative),
+        "greedy" => Ok(AllocatorKind::Greedy),
+        "exhaustive" => Ok(AllocatorKind::Exhaustive),
+        other => Err(LcmmError::InvalidRequest(format!(
+            "unknown allocator {other:?} (use dnnk, dnnk-iterative, greedy or exhaustive)"
+        ))),
+    }
+}
+
+/// Canonical allocator name for summaries (inverse of the wire
+/// `allocator` field's parser).
+#[must_use]
+pub fn allocator_name(kind: AllocatorKind) -> &'static str {
+    match kind {
+        AllocatorKind::Dnnk => "dnnk",
+        AllocatorKind::DnnkIterative => "dnnk-iterative",
+        AllocatorKind::Greedy => "greedy",
+        AllocatorKind::Exhaustive => "exhaustive",
+    }
+}
+
+/// Canonical precision name for summaries.
+#[must_use]
+pub fn precision_name(precision: Precision) -> &'static str {
+    match precision {
+        Precision::Fix8 => "fix8",
+        Precision::Fix16 => "fix16",
+        Precision::Float32 => "float32",
+    }
+}
+
+/// Builds the deterministic plan summary embedded in responses (and
+/// stored in the plan cache). Every field is a pure function of the
+/// request, so byte-identity across duplicate requests holds; wall
+/// clock timings live in the separate `pass_stats` response field.
+#[must_use]
+pub fn plan_summary(resolved: &ResolvedPlan, result: &LcmmResult, umm: &UmmBaseline) -> Value {
+    let allocated: u64 = result.allocated_buffer_sizes().iter().sum();
+    let chosen = result.chosen.iter().filter(|&&c| c).count();
+    let design = Value::Map(vec![
+        (
+            "array_cols".to_string(),
+            Value::U64(result.design.array.cols as u64),
+        ),
+        (
+            "array_rows".to_string(),
+            Value::U64(result.design.array.rows as u64),
+        ),
+        (
+            "array_simd".to_string(),
+            Value::U64(result.design.array.simd as u64),
+        ),
+        ("batch".to_string(), Value::U64(result.design.batch as u64)),
+        (
+            "frequency_hz".to_string(),
+            Value::F64(result.design.freq_hz),
+        ),
+    ]);
+    Value::Map(vec![
+        ("allocated_bytes".to_string(), Value::U64(allocated)),
+        (
+            "allocator".to_string(),
+            Value::Str(allocator_name(resolved.options.allocator).to_string()),
+        ),
+        (
+            "buffers".to_string(),
+            Value::U64(result.buffers.len() as u64),
+        ),
+        ("chosen_buffers".to_string(), Value::U64(chosen as u64)),
+        ("design".to_string(), design),
+        (
+            "device".to_string(),
+            Value::Str(result.design.device.name.clone()),
+        ),
+        ("latency_seconds".to_string(), Value::F64(result.latency)),
+        (
+            "layers_benefiting".to_string(),
+            Value::U64(result.layers_benefiting as u64),
+        ),
+        (
+            "memory_bound_layers".to_string(),
+            Value::U64(result.memory_bound_layers as u64),
+        ),
+        (
+            "model".to_string(),
+            Value::Str(resolved.graph.name().to_string()),
+        ),
+        ("nodes".to_string(), Value::U64(resolved.graph.len() as u64)),
+        ("ops".to_string(), Value::U64(result.ops)),
+        ("pol".to_string(), Value::F64(result.pol())),
+        (
+            "precision".to_string(),
+            Value::Str(precision_name(resolved.precision).to_string()),
+        ),
+        (
+            "resident_values".to_string(),
+            Value::U64(result.residency.len() as u64),
+        ),
+        (
+            "speedup_over_umm".to_string(),
+            Value::F64(result.speedup_over(umm.latency)),
+        ),
+        (
+            "split_iterations".to_string(),
+            Value::U64(result.split_iterations as u64),
+        ),
+        ("umm_latency_seconds".to_string(), Value::F64(umm.latency)),
+    ])
+}
+
+/// JSON form of a `PassStats` (wall-clock fields — nondeterministic,
+/// never cached or goldened).
+#[must_use]
+pub fn pass_stats_value(stats: &PassStats) -> Value {
+    serde_json::to_value(stats).unwrap_or(Value::Null)
+}
+
+/// Response envelopes. Each renders to one JSON line with a fixed field
+/// order, so equal payloads are byte-identical lines.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// A successful plan: the summary, whether it came from the cache,
+    /// and (for computed plans that asked) the run's pass stats.
+    Plan {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The [`plan_summary`] payload.
+        plan: Value,
+        /// Whether the payload was replayed from the plan cache.
+        cached: bool,
+        /// `PassStats` of the computing run, when requested.
+        pass_stats: Option<Value>,
+    },
+    /// A `/stats` report.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The stats payload (see `docs/SERVE.md`).
+        stats: Value,
+    },
+    /// A ping reply.
+    Pong {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// Acknowledges a shutdown request.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// Any failure, with a stable machine-readable code.
+    Error {
+        /// Echoed request id (when the line parsed far enough to tell).
+        id: Option<u64>,
+        /// Stable error code (`bad_request`, `timeout`, `queue_full`…).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl WireResponse {
+    /// An error response from an [`LcmmError`].
+    #[must_use]
+    pub fn from_error(id: Option<u64>, err: &LcmmError) -> Self {
+        WireResponse::Error {
+            id,
+            code: err.code().to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Renders the response as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let id = match self {
+            WireResponse::Plan { id, .. }
+            | WireResponse::Stats { id, .. }
+            | WireResponse::Pong { id }
+            | WireResponse::Shutdown { id }
+            | WireResponse::Error { id, .. } => *id,
+        };
+        match self {
+            WireResponse::Plan {
+                plan,
+                cached,
+                pass_stats,
+                ..
+            } => {
+                fields.push(("cached".to_string(), Value::Bool(*cached)));
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                if let Some(stats) = pass_stats {
+                    fields.push(("pass_stats".to_string(), stats.clone()));
+                }
+                fields.push(("plan".to_string(), plan.clone()));
+            }
+            WireResponse::Stats { stats, .. } => {
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                fields.push(("stats".to_string(), stats.clone()));
+            }
+            WireResponse::Pong { .. } => {
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                fields.push(("pong".to_string(), Value::Bool(true)));
+            }
+            WireResponse::Shutdown { .. } => {
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                fields.push(("shutdown".to_string(), Value::Bool(true)));
+            }
+            WireResponse::Error { code, message, .. } => {
+                let error = Value::Map(vec![
+                    ("code".to_string(), Value::Str(code.clone())),
+                    ("message".to_string(), Value::Str(message.clone())),
+                ]);
+                fields.push(("error".to_string(), error));
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("ok".to_string(), Value::Bool(false)));
+            }
+        }
+        serde_json::to_string(&Value::Map(fields)).expect("response serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_plan_request() {
+        let r = WireRequest::from_line(r#"{"graph":"alexnet"}"#).expect("parses");
+        assert_eq!(r.op, Op::Plan);
+        assert!(matches!(r.graph, Some(GraphSpec::Named(ref n)) if n == "alexnet"));
+        let resolved = r.resolve_plan().expect("resolves");
+        assert_eq!(resolved.graph.name(), "alexnet");
+        assert_eq!(resolved.device.name, "xcvu9p");
+        assert_eq!(resolved.precision, Precision::Fix16);
+        assert_eq!(resolved.options.allocator, AllocatorKind::Dnnk);
+    }
+
+    #[test]
+    fn parses_the_full_field_set() {
+        let line = r#"{"id":7,"op":"plan","graph":{"synthetic":{"depth":64,"branching":3,"seed":5,"width_percent":50}},"device":"zu9eg","precision":"8","allocator":"greedy","options":{"splitting":false},"deadline_ms":250,"include_stats":true}"#;
+        let r = WireRequest::from_line(line).expect("parses");
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert!(r.include_stats);
+        let resolved = r.resolve_plan().expect("resolves");
+        assert_eq!(resolved.device.name, "xczu9eg");
+        assert_eq!(resolved.precision, Precision::Fix8);
+        assert_eq!(resolved.options.allocator, AllocatorKind::Greedy);
+        assert!(!resolved.options.splitting);
+        assert!(resolved.options.feature_reuse);
+    }
+
+    #[test]
+    fn inline_graphs_roundtrip() {
+        let g = lcmm_graph::zoo::alexnet();
+        let inline = serde_json::to_string(&g).expect("graph serialises");
+        let line = format!("{{\"graph\":{{\"inline\":{inline}}}}}");
+        let r = WireRequest::from_line(&line).expect("parses");
+        let resolved = r.resolve_plan().expect("resolves");
+        assert_eq!(resolved.graph.len(), g.len());
+        assert_eq!(resolved.graph.name(), "alexnet");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(WireRequest::from_line("not json").is_err());
+        assert!(WireRequest::from_line("[1,2]").is_err());
+        assert!(WireRequest::from_line(r#"{"op":"fry"}"#).is_err());
+        assert!(WireRequest::from_line(r#"{"graph":"a","bogus":1}"#).is_err());
+        assert!(WireRequest::from_line(r#"{"graph":"a","options":{"turbo":true}}"#).is_err());
+        assert!(WireRequest::from_line(r#"{"graph":"a","deadline_ms":"soon"}"#).is_err());
+        assert!(WireRequest::from_line(r#"{"graph":{"zoo":"a","inline":{}}}"#).is_err());
+    }
+
+    #[test]
+    fn resolve_reports_typed_errors() {
+        let missing = WireRequest::from_line(r#"{"op":"plan"}"#).unwrap();
+        assert!(matches!(
+            missing.resolve_plan(),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        let model = WireRequest::from_line(r#"{"graph":"nonexistent-net"}"#).unwrap();
+        assert!(matches!(
+            model.resolve_plan(),
+            Err(LcmmError::UnknownModel(_))
+        ));
+        let device = WireRequest::from_line(r#"{"graph":"alexnet","device":"asic"}"#).unwrap();
+        assert!(matches!(
+            device.resolve_plan(),
+            Err(LcmmError::UnknownDevice(_))
+        ));
+        let precision = WireRequest::from_line(r#"{"graph":"alexnet","precision":"11"}"#).unwrap();
+        assert!(matches!(
+            precision.resolve_plan(),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn responses_have_fixed_field_order() {
+        let pong = WireResponse::Pong { id: Some(3) }.to_line();
+        assert_eq!(pong, r#"{"id":3,"ok":true,"pong":true}"#);
+        let err = WireResponse::Error {
+            id: None,
+            code: "queue_full".to_string(),
+            message: "try later".to_string(),
+        }
+        .to_line();
+        assert_eq!(
+            err,
+            r#"{"error":{"code":"queue_full","message":"try later"},"ok":false}"#
+        );
+    }
+
+    #[test]
+    fn plan_summary_is_deterministic() {
+        let r = WireRequest::from_line(r#"{"graph":"alexnet"}"#).unwrap();
+        let resolved = r.resolve_plan().unwrap();
+        let umm = UmmBaseline::build(&resolved.graph, &resolved.device, resolved.precision);
+        let result =
+            lcmm_core::PlanRequest::new(&resolved.graph, &resolved.device, resolved.precision)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("feasible");
+        let a = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        let b = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"model\":\"alexnet\""));
+        assert!(a.contains("\"speedup_over_umm\""));
+        assert!(!a.contains("seconds\":0.0,\"total"), "no wall-clock stats");
+    }
+}

@@ -1,0 +1,572 @@
+//! The planning server: worker pool, bounded admission queue, plan
+//! cache, deadlines, and graceful shutdown.
+//!
+//! [`Server::handle_line`] is the transport-independent entry point —
+//! every transport (stdin, TCP, Unix socket, the in-process integration
+//! tests) feeds request lines through it and writes the returned
+//! response line back. Plan requests are admitted into a bounded queue
+//! and picked up by a fixed pool of worker threads sharing one
+//! memoized [`Harness`]; everything else (`ping`, `stats`, `shutdown`)
+//! is answered inline.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lcmm_core::{CancelToken, Harness, LcmmError, PassStats};
+use serde_json::Value;
+
+use crate::cache::PlanCache;
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{
+    pass_stats_value, plan_summary, Op, ResolvedPlan, WireRequest, WireResponse,
+};
+
+/// Sizing knobs of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Worker threads computing plans.
+    pub workers: usize,
+    /// Admission bound: a plan request is rejected with `queue_full`
+    /// when `queued + in_flight` would exceed this.
+    pub queue_capacity: usize,
+    /// Plan cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker pool size (at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission bound (at least 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the plan cache capacity (0 disables caching).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// The slot a blocked requester waits on until a worker fills it.
+type ResponseSlot = Arc<(Mutex<Option<String>>, Condvar)>;
+
+/// One admitted plan request.
+struct Job {
+    request: WireRequest,
+    cancel: CancelToken,
+    slot: ResponseSlot,
+}
+
+/// Queue state guarded by one mutex so the admission check
+/// (`queued + in_flight` against capacity) is exact, not racy.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+}
+
+/// Per-pass latency histograms, recorded for computed plans only.
+#[derive(Default)]
+struct Histograms {
+    liveness: LatencyHistogram,
+    prefetch: LatencyHistogram,
+    alloc_split: LatencyHistogram,
+    total: LatencyHistogram,
+}
+
+struct Inner {
+    harness: Harness,
+    cache: PlanCache,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    shutting_down: AtomicBool,
+    started: Instant,
+    queue_capacity: usize,
+    workers: usize,
+    plans_total: AtomicU64,
+    plans_completed: AtomicU64,
+    plans_errored: AtomicU64,
+    plans_rejected: AtomicU64,
+    histograms: Mutex<Histograms>,
+}
+
+/// A running planning daemon: worker pool + queue + caches.
+///
+/// Cheap to share (`Clone` clones a handle, not the state). Dropping
+/// the last handle without calling [`Server::shutdown`] detaches the
+/// workers; transports always shut down explicitly.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Starts the worker pool and returns a serving handle.
+    #[must_use]
+    pub fn start(config: ServerConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            harness: Harness::new(workers),
+            cache: PlanCache::new(config.cache_capacity),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+            }),
+            queue_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            queue_capacity: config.queue_capacity.max(1),
+            workers,
+            plans_total: AtomicU64::new(0),
+            plans_completed: AtomicU64::new(0),
+            plans_errored: AtomicU64::new(0),
+            plans_rejected: AtomicU64::new(0),
+            histograms: Mutex::new(Histograms::default()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+        Self {
+            inner,
+            handles: Arc::new(Mutex::new(handles)),
+        }
+    }
+
+    /// Handles one request line and returns one response line (no
+    /// trailing newline). Never panics and never returns non-JSON: any
+    /// failure becomes an `{"ok":false,"error":{...}}` envelope. Plan
+    /// requests block until a worker answers (or admission rejects).
+    pub fn handle_line(&self, line: &str) -> String {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return WireResponse::Error {
+                id: None,
+                code: "bad_request".to_string(),
+                message: "empty request line".to_string(),
+            }
+            .to_line();
+        }
+        let request = match WireRequest::from_line(trimmed) {
+            Ok(request) => request,
+            Err(message) => {
+                return WireResponse::Error {
+                    id: None,
+                    code: "bad_request".to_string(),
+                    message,
+                }
+                .to_line()
+            }
+        };
+        match request.op {
+            Op::Ping => WireResponse::Pong { id: request.id }.to_line(),
+            Op::Stats => WireResponse::Stats {
+                id: request.id,
+                stats: self.stats_value(),
+            }
+            .to_line(),
+            Op::Shutdown => {
+                let id = request.id;
+                self.begin_shutdown();
+                WireResponse::Shutdown { id }.to_line()
+            }
+            Op::Plan => self.submit_plan(request),
+        }
+    }
+
+    /// True once a shutdown has been requested (new plans are refused).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and wakes the workers; does not wait for them.
+    /// Queued work still drains — only *new* plan admissions refuse.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Graceful shutdown: refuse new plans, drain the queue, join the
+    /// workers. Idempotent; safe to call from any handle.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("server handle list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Admission control + blocking wait for the plan response.
+    fn submit_plan(&self, request: WireRequest) -> String {
+        let inner = &self.inner;
+        inner.plans_total.fetch_add(1, Ordering::Relaxed);
+        // The cancel token starts ticking at admission, so time spent
+        // waiting in the queue counts against the deadline.
+        let cancel = match request.deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let slot: ResponseSlot = Arc::new((Mutex::new(None), Condvar::new()));
+        {
+            let mut queue = inner.queue.lock().expect("serve queue poisoned");
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                inner.plans_rejected.fetch_add(1, Ordering::Relaxed);
+                return WireResponse::Error {
+                    id: request.id,
+                    code: "shutting_down".to_string(),
+                    message: "server is draining; no new plans accepted".to_string(),
+                }
+                .to_line();
+            }
+            if queue.jobs.len() + queue.in_flight >= inner.queue_capacity {
+                inner.plans_rejected.fetch_add(1, Ordering::Relaxed);
+                return WireResponse::Error {
+                    id: request.id,
+                    code: "queue_full".to_string(),
+                    message: format!(
+                        "admission queue at capacity ({}); retry later",
+                        inner.queue_capacity
+                    ),
+                }
+                .to_line();
+            }
+            queue.jobs.push_back(Job {
+                request,
+                cancel,
+                slot: Arc::clone(&slot),
+            });
+        }
+        inner.queue_cv.notify_one();
+        let (lock, cv) = &*slot;
+        let mut filled = lock.lock().expect("response slot poisoned");
+        while filled.is_none() {
+            filled = cv.wait(filled).expect("response slot poisoned");
+        }
+        filled.take().expect("slot observed as filled")
+    }
+
+    /// The `/stats` payload.
+    fn stats_value(&self) -> Value {
+        let inner = &self.inner;
+        let cache = inner.cache.counters();
+        let (depth, in_flight) = {
+            let queue = inner.queue.lock().expect("serve queue poisoned");
+            (queue.jobs.len(), queue.in_flight)
+        };
+        let histograms = {
+            let h = inner.histograms.lock().expect("histograms poisoned");
+            Value::Map(vec![
+                ("alloc_split".to_string(), h.alloc_split.to_value()),
+                ("liveness".to_string(), h.liveness.to_value()),
+                ("prefetch".to_string(), h.prefetch.to_value()),
+                ("total".to_string(), h.total.to_value()),
+            ])
+        };
+        Value::Map(vec![
+            (
+                "cache".to_string(),
+                Value::Map(vec![
+                    ("capacity".to_string(), Value::U64(cache.capacity as u64)),
+                    ("entries".to_string(), Value::U64(cache.entries as u64)),
+                    ("hit_rate".to_string(), Value::F64(cache.hit_rate())),
+                    ("hits".to_string(), Value::U64(cache.hits)),
+                    ("misses".to_string(), Value::U64(cache.misses)),
+                ]),
+            ),
+            ("histograms".to_string(), histograms),
+            (
+                "queue".to_string(),
+                Value::Map(vec![
+                    (
+                        "capacity".to_string(),
+                        Value::U64(inner.queue_capacity as u64),
+                    ),
+                    ("depth".to_string(), Value::U64(depth as u64)),
+                    ("in_flight".to_string(), Value::U64(in_flight as u64)),
+                ]),
+            ),
+            (
+                "requests".to_string(),
+                Value::Map(vec![
+                    (
+                        "completed".to_string(),
+                        Value::U64(inner.plans_completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors".to_string(),
+                        Value::U64(inner.plans_errored.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected".to_string(),
+                        Value::U64(inner.plans_rejected.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "total".to_string(),
+                        Value::U64(inner.plans_total.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "uptime_seconds".to_string(),
+                Value::F64(inner.started.elapsed().as_secs_f64()),
+            ),
+            ("workers".to_string(), Value::U64(inner.workers as u64)),
+        ])
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.inner.workers)
+            .field("queue_capacity", &self.inner.queue_capacity)
+            .field("shutting_down", &self.is_shutting_down())
+            .finish()
+    }
+}
+
+/// One worker: pop, compute, answer — until shutdown drains the queue.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("serve queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    queue.in_flight += 1;
+                    break job;
+                }
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).expect("serve queue poisoned");
+            }
+        };
+        // A panic inside the pipeline must never take the worker (and
+        // with it the daemon) down: surface it as `internal_error` and
+        // keep serving.
+        let line = catch_unwind(AssertUnwindSafe(|| process_plan(inner, &job))).unwrap_or_else(
+            |payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "pipeline panicked".to_string());
+                inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+                WireResponse::Error {
+                    id: job.request.id,
+                    code: "internal_error".to_string(),
+                    message,
+                }
+                .to_line()
+            },
+        );
+        let (lock, cv) = &*job.slot;
+        *lock.lock().expect("response slot poisoned") = Some(line);
+        cv.notify_all();
+        let mut queue = inner.queue.lock().expect("serve queue poisoned");
+        queue.in_flight -= 1;
+    }
+}
+
+/// Cache key: digest of the canonical JSON fingerprint of the resolved
+/// request. Two hex-encoded FNV-1a passes with independent offsets make
+/// accidental collisions (~2⁻¹²⁸) a non-concern while keeping keys
+/// small even for inline thousand-node graphs.
+fn cache_key(resolved: &ResolvedPlan) -> String {
+    let fingerprint = format!(
+        "{}\u{1}{}\u{1}{}\u{1}{}",
+        serde_json::to_string(&resolved.graph).unwrap_or_default(),
+        serde_json::to_string(&resolved.device).unwrap_or_default(),
+        serde_json::to_string(&resolved.precision).unwrap_or_default(),
+        serde_json::to_string(&resolved.options).unwrap_or_default(),
+    );
+    let fnv = |offset: u64| -> u64 {
+        let mut hash = offset;
+        for byte in fingerprint.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    };
+    format!(
+        "{:016x}{:016x}:{}",
+        fnv(0xcbf2_9ce4_8422_2325),
+        fnv(0x6c62_272e_07bb_0142),
+        fingerprint.len()
+    )
+}
+
+/// Runs one admitted plan request to a response line.
+fn process_plan(inner: &Inner, job: &Job) -> String {
+    let request = &job.request;
+    let answer_err = |err: &LcmmError| {
+        inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+        WireResponse::from_error(request.id, err).to_line()
+    };
+    // Deadline may already have passed while the job sat in the queue.
+    if let Err(err) = job.cancel.check() {
+        return answer_err(&err);
+    }
+    let resolved = match request.resolve_plan() {
+        Ok(resolved) => resolved,
+        Err(err) => return answer_err(&err),
+    };
+    if let Err(err) = job.cancel.check() {
+        return answer_err(&err);
+    }
+    let key = cache_key(&resolved);
+    if let Some(stored) = inner.cache.get(&key) {
+        let plan = match serde_json::from_str::<Value>(&stored) {
+            Ok(plan) => plan,
+            Err(_) => Value::Str(stored),
+        };
+        inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+        return WireResponse::Plan {
+            id: request.id,
+            plan,
+            cached: true,
+            pass_stats: None,
+        }
+        .to_line();
+    }
+    let design =
+        match inner
+            .harness
+            .try_design(&resolved.graph, &resolved.device, resolved.precision)
+        {
+            Ok(design) => design,
+            Err(err) => return answer_err(&err),
+        };
+    let umm = inner.harness.baseline_from_design(&resolved.graph, &design);
+    let result = match inner.harness.try_lcmm_with_design(
+        &resolved.graph,
+        &design,
+        resolved.options,
+        Some(&job.cancel),
+    ) {
+        Ok(result) => result,
+        Err(err) => return answer_err(&err),
+    };
+    record_pass_stats(inner, &result.stats);
+    let plan = plan_summary(&resolved, &result, &umm);
+    let stored = serde_json::to_string(&plan).expect("plan summary serialises");
+    inner.cache.put(key, stored);
+    inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+    WireResponse::Plan {
+        id: request.id,
+        plan,
+        cached: false,
+        pass_stats: request
+            .include_stats
+            .then(|| pass_stats_value(&result.stats)),
+    }
+    .to_line()
+}
+
+/// Folds one computed run's pass timings into the `/stats` histograms.
+fn record_pass_stats(inner: &Inner, stats: &PassStats) {
+    let mut h = inner.histograms.lock().expect("histograms poisoned");
+    h.liveness.record(stats.liveness_seconds);
+    h.prefetch.record(stats.prefetch_seconds);
+    h.alloc_split.record(stats.alloc_split_seconds);
+    h.total.record(stats.total_seconds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_of(line: &str) -> Value {
+        let v: Value = serde_json::from_str(line).expect("response is JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+        v.get("plan").cloned().expect("plan payload")
+    }
+
+    #[test]
+    fn plans_ping_stats_and_shutdown() {
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        assert_eq!(
+            server.handle_line(r#"{"op":"ping","id":1}"#),
+            r#"{"id":1,"ok":true,"pong":true}"#
+        );
+        let first = server.handle_line(r#"{"graph":"alexnet"}"#);
+        let plan = plan_of(&first);
+        assert_eq!(plan.get("model").and_then(Value::as_str), Some("alexnet"));
+        let stats_line = server.handle_line(r#"{"op":"stats"}"#);
+        let stats: Value = serde_json::from_str(&stats_line).unwrap();
+        let requests = stats.get("stats").and_then(|s| s.get("requests")).unwrap();
+        assert_eq!(requests.get("completed").and_then(Value::as_u64), Some(1));
+        let ack = server.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(ack.contains("\"shutdown\":true"));
+        server.shutdown();
+        // After shutdown, plans are refused but the handle still answers.
+        let refused = server.handle_line(r#"{"graph":"alexnet"}"#);
+        assert!(refused.contains("shutting_down"), "{refused}");
+    }
+
+    #[test]
+    fn duplicate_plans_are_byte_identical_cache_hits() {
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        let line = r#"{"graph":"alexnet","precision":"8"}"#;
+        let first = server.handle_line(line);
+        let second = server.handle_line(line);
+        let third = server.handle_line(line);
+        assert!(first.contains("\"cached\":false"));
+        assert!(second.contains("\"cached\":true"));
+        assert_eq!(second, third, "two cache hits are byte-identical");
+        assert_eq!(plan_of(&first), plan_of(&second));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_do_not_kill_the_daemon() {
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        let garbage = server.handle_line("][");
+        assert!(garbage.contains("bad_request"));
+        let model = server.handle_line(r#"{"graph":"not-a-net"}"#);
+        assert!(model.contains("unknown_model"));
+        let device = server.handle_line(r#"{"graph":"alexnet","device":"gpu"}"#);
+        assert!(device.contains("unknown_device"));
+        // Still serving after three failures.
+        let ok = server.handle_line(r#"{"graph":"alexnet"}"#);
+        assert!(ok.contains("\"ok\":true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        // A large unique synthetic graph with a 1 ms budget cannot finish.
+        let line = r#"{"graph":"synthetic:1024x4x99","deadline_ms":0}"#;
+        let resp = server.handle_line(line);
+        assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,177 @@
+//! Line-oriented transports over the transport-independent
+//! [`Server::handle_line`]: stdin/stdout (tests, pipelines), TCP, and
+//! Unix domain sockets.
+//!
+//! All three loops end the same way: a `{"op":"shutdown"}` request (or
+//! input EOF on stdio) flips the server into draining mode, queued work
+//! finishes, workers join, and the function returns.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::server::{Server, ServerConfig};
+
+/// How long the accept and read loops sleep/block between polls of the
+/// shutdown flag. Bounds shutdown latency, not request latency.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Serves JSON-lines over stdin/stdout until EOF or a shutdown request.
+/// Requests are answered in input order.
+///
+/// # Errors
+///
+/// Propagates stdin/stdout I/O failures.
+pub fn serve_stdio(config: ServerConfig) -> io::Result<()> {
+    let server = Server::start(config);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = server.handle_line(&line);
+        writeln!(out, "{response}")?;
+        out.flush()?;
+        if server.is_shutting_down() {
+            break;
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Serves JSON-lines over TCP. Binds `addr` (use port 0 for an
+/// ephemeral port) and prints one `listening <addr>` line to stdout so
+/// callers can discover the bound address. Each connection is handled
+/// on its own thread; requests on one connection are answered in order.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    println!("listening {}", listener.local_addr()?);
+    io::stdout().flush()?;
+    let server = Server::start(config);
+    accept_loop(&server, || match listener.accept() {
+        Ok((stream, _)) => Some(Box::new(stream) as Box<dyn Conn>),
+        Err(_) => None,
+    });
+    server.shutdown();
+    Ok(())
+}
+
+/// Serves JSON-lines over a Unix domain socket at `path` (an existing
+/// stale socket file is removed first, and the file is unlinked again
+/// on exit).
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_unix(config: ServerConfig, path: &Path) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    println!("listening {}", path.display());
+    io::stdout().flush()?;
+    let server = Server::start(config);
+    accept_loop(&server, || match listener.accept() {
+        Ok((stream, _)) => Some(Box::new(stream) as Box<dyn Conn>),
+        Err(_) => None,
+    });
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// The two stream types, unified for [`handle_conn`].
+trait Conn: io::Read + io::Write + Send {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+/// Accepts connections until shutdown. Handlers are joined by the
+/// enclosing thread scope; their read timeouts guarantee they notice
+/// the shutdown flag within one [`POLL`] tick even on idle connections,
+/// so the join cannot hang.
+fn accept_loop(server: &Server, mut accept: impl FnMut() -> Option<Box<dyn Conn>>) {
+    std::thread::scope(|scope| {
+        while !server.is_shutting_down() {
+            match accept() {
+                Some(conn) => {
+                    let server = server.clone();
+                    scope.spawn(move || {
+                        let _ = handle_conn(&server, conn);
+                    });
+                }
+                None => std::thread::sleep(POLL),
+            }
+        }
+    });
+}
+
+/// One connection: read request lines, write response lines, until the
+/// peer closes or the server shuts down. Read timeouts make the loop a
+/// shutdown-flag poll; a partially read line survives timeouts because
+/// `read_line` appends into the same buffer across retries.
+fn handle_conn(server: &Server, conn: Box<dyn Conn>) -> io::Result<()> {
+    conn.set_read_timeout_conn(POLL)?;
+    let mut writer = conn.try_clone_conn()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = server.handle_line(&line);
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                line.clear();
+                if server.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if server.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -25,8 +25,8 @@
 use crate::engine::{SimConfig, SimReport, Simulator, WeightClass};
 use crate::validate::weight_classes;
 use lcmm_core::liveness::{feature_lifespans, LiveInterval, Schedule};
-use lcmm_core::pipeline::{AllocatorKind, LcmmOptions, Pipeline};
-use lcmm_core::{Evaluator, LcmmResult, Residency, UmmBaseline, ValueId, ValueTable};
+use lcmm_core::pipeline::{AllocatorKind, LcmmOptions};
+use lcmm_core::{Evaluator, LcmmResult, PlanRequest, Residency, UmmBaseline, ValueId, ValueTable};
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::{zoo, Graph};
 use serde::{Deserialize, Serialize};
@@ -195,11 +195,11 @@ pub fn audit_case(
 ) -> CaseReport {
     let device = Device::vu9p();
     let umm = UmmBaseline::build(graph, &device, precision);
-    let options = LcmmOptions {
-        allocator,
-        ..LcmmOptions::default()
-    };
-    let result = Pipeline::new(options).run_with_design(graph, umm.design.clone());
+    let result = PlanRequest::new(graph, &device, precision)
+        .options(LcmmOptions::default().with_allocator(allocator))
+        .with_design(umm.design.clone())
+        .run()
+        .expect("an explored design is always feasible");
     let profile = result.design.profile(graph);
     let schedule = Schedule::new(graph);
 
@@ -744,9 +744,193 @@ pub fn default_grid() -> Vec<(String, Precision, AllocatorKind)> {
     grid
 }
 
+/// Random seeds audited when [`AuditOptions`] is left at its default.
+pub const DEFAULT_SEEDS: usize = 8;
+
+/// Configuration of a full [`run_audit`] sweep.
+///
+/// The struct is `#[non_exhaustive]` — build it with
+/// [`AuditOptions::default`] and the `with_*` methods so new knobs can
+/// land without breaking callers.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Tolerance bands applied to every differential point.
+    pub bands: ToleranceBands,
+    /// `(model, precision, allocator)` cells to audit.
+    pub grid: Vec<(String, Precision, AllocatorKind)>,
+    /// Number of seeded random graphs appended after the grid.
+    pub seeds: usize,
+    /// Repro-corpus directory: replayed after the grid, and failing
+    /// seeds are minimised into it.
+    pub repro_dir: PathBuf,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self {
+            bands: ToleranceBands::default(),
+            grid: default_grid(),
+            seeds: DEFAULT_SEEDS,
+            repro_dir: PathBuf::from("checks/repros"),
+        }
+    }
+}
+
+impl AuditOptions {
+    /// Replaces the tolerance bands.
+    #[must_use]
+    pub fn with_bands(mut self, bands: ToleranceBands) -> Self {
+        self.bands = bands;
+        self
+    }
+
+    /// Replaces the audit grid.
+    #[must_use]
+    pub fn with_grid(mut self, grid: Vec<(String, Precision, AllocatorKind)>) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the number of seeded random graphs.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: usize) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the repro-corpus directory.
+    #[must_use]
+    pub fn with_repro_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.repro_dir = dir.into();
+        self
+    }
+}
+
+/// The outcome of a full [`run_audit`] sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditOutcome {
+    /// Every audited cell: grid, corpus replays, then seeds.
+    pub cases: Vec<CaseReport>,
+    /// Paths of repro files written for failing seeds this run.
+    pub repros_written: Vec<String>,
+}
+
+impl AuditOutcome {
+    /// Number of cells with findings.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.cases.iter().filter(|c| !c.passed()).count()
+    }
+
+    /// Whether the whole sweep is clean.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+}
+
+/// Runs the full audit sweep: the grid, the repro corpus, then seeded
+/// random graphs (failures are shrunk and written into the corpus).
+/// `progress` receives one line per audited cell.
+///
+/// # Errors
+///
+/// Unknown grid models, unreadable corpus files and repro-write
+/// failures are reported as strings; findings are **not** errors — they
+/// come back inside [`AuditOutcome`].
+pub fn run_audit(
+    options: &AuditOptions,
+    mut progress: impl FnMut(&str),
+) -> Result<AuditOutcome, String> {
+    let mut cases = Vec::new();
+    for (model, precision, allocator) in &options.grid {
+        let graph = zoo::by_name(model).ok_or_else(|| format!("unknown model {model:?}"))?;
+        progress(&format!("audit: {model} {precision} {allocator:?}"));
+        cases.push(audit_case(&graph, *precision, *allocator, &options.bands));
+    }
+
+    // Replay the repro corpus: previously minimised failures are
+    // permanent regression cases.
+    let corpus = load_corpus(&options.repro_dir).map_err(|e| format!("repro corpus: {e}"))?;
+    for spec in &corpus {
+        progress(&format!("audit: replay {}", spec.file_stem()));
+        cases.push(spec.audit(&options.bands));
+    }
+
+    // Seeded random graphs; a failure is shrunk and joins the corpus.
+    let mut repros_written = Vec::new();
+    for i in 0..options.seeds {
+        let spec = random_spec(i);
+        progress(&format!("audit: seed {i} ({})", spec.file_stem()));
+        let report = spec.audit(&options.bands);
+        if report.passed() {
+            cases.push(report);
+            continue;
+        }
+        progress(&format!("audit: seed {i} failed, shrinking"));
+        let minimal = shrink(spec, |s| !s.audit(&options.bands).passed());
+        let final_report = minimal.audit(&options.bands);
+        let path = write_repro(&options.repro_dir, &minimal, &final_report.findings)
+            .map_err(|e| format!("write repro: {e}"))?;
+        progress(&format!("audit: minimised to {}", path.display()));
+        repros_written.push(path.display().to_string());
+        cases.push(final_report);
+    }
+
+    Ok(AuditOutcome {
+        cases,
+        repros_written,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn audit_options_builder_chains() {
+        let opts = AuditOptions::default()
+            .with_seeds(2)
+            .with_repro_dir("/tmp/nowhere")
+            .with_grid(vec![(
+                "alexnet".to_string(),
+                Precision::Fix16,
+                AllocatorKind::Dnnk,
+            )]);
+        assert_eq!(opts.seeds, 2);
+        assert_eq!(opts.repro_dir, PathBuf::from("/tmp/nowhere"));
+        assert_eq!(opts.grid.len(), 1);
+    }
+
+    #[test]
+    fn run_audit_sweeps_grid_and_seeds() {
+        let opts = AuditOptions::default()
+            .with_grid(vec![(
+                "alexnet".to_string(),
+                Precision::Fix16,
+                AllocatorKind::Dnnk,
+            )])
+            .with_seeds(1)
+            .with_repro_dir("/nonexistent/lcmm-audit-corpus");
+        let mut lines = Vec::new();
+        let outcome = run_audit(&opts, |l| lines.push(l.to_string())).expect("audit runs");
+        assert_eq!(outcome.cases.len(), 2, "one grid cell + one seed");
+        assert!(outcome.passed(), "clean sweep: {:?}", outcome.cases);
+        assert!(outcome.repros_written.is_empty());
+        assert!(lines.iter().any(|l| l.contains("alexnet")));
+    }
+
+    #[test]
+    fn run_audit_rejects_unknown_model() {
+        let opts = AuditOptions::default().with_grid(vec![(
+            "no-such-net".to_string(),
+            Precision::Fix16,
+            AllocatorKind::Dnnk,
+        )]);
+        let err = run_audit(&opts, |_| {}).unwrap_err();
+        assert!(err.contains("no-such-net"));
+    }
 
     #[test]
     fn clean_case_on_a_real_model() {

@@ -13,7 +13,7 @@ fn main() -> Result<(), GraphError> {
     // A small detection-style backbone: a strided stem, two residual
     // units, then a two-branch head joined by concatenation.
     let mut b = GraphBuilder::new("custom_backbone");
-    let image = b.input(FeatureShape::new(3, 256, 256));
+    let image = b.input(FeatureShape::new(3, 256, 256)).expect("input");
     b.set_block("stem");
     let stem = b.conv("stem/conv", image, ConvParams::square(64, 7, 2, 3))?;
     let pooled = b.max_pool("stem/pool", stem, 3, 2, 1)?;
@@ -49,7 +49,10 @@ fn main() -> Result<(), GraphError> {
     );
 
     let umm = UmmBaseline::from_design(&network, design);
-    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
+    let lcmm = PlanRequest::new(&network, &device, Precision::Fix8)
+        .with_design(umm.design.clone())
+        .run()
+        .expect("the explored design is feasible");
     println!(
         "UMM {:.3} ms -> LCMM {:.3} ms ({:.2}x)",
         umm.latency * 1e3,

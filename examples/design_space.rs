@@ -67,7 +67,10 @@ fn main() {
     );
 
     // DNNK at tensor granularity beats the best block-level point.
-    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
+    let lcmm = PlanRequest::new(&network, &device, precision)
+        .with_design(umm.design.clone())
+        .run()
+        .expect("explored design is feasible");
     println!(
         "LCMM (tensor-level DNNK)        : {:.3} ms using {:.1} MiB",
         lcmm.latency * 1e3,

@@ -30,7 +30,10 @@ fn main() {
 
     // LCMM: liveness-driven feature buffer reuse, weight prefetching,
     // DNNK knapsack allocation, buffer splitting.
-    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
+    let lcmm = PlanRequest::new(&network, &device, precision)
+        .with_design(umm.design.clone())
+        .run()
+        .expect("explored design is feasible");
     println!(
         "LCMM : {:7.3} ms  ({:.3} Tops)",
         lcmm.latency * 1e3,

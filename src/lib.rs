@@ -30,13 +30,18 @@
 //! let umm = UmmBaseline::build(&network, &device, Precision::Fix16);
 //!
 //! // LCMM: feature reuse + weight prefetching + DNNK + splitting.
-//! let lcmm = Pipeline::new(LcmmOptions::default())
-//!     .run_with_design(&network, umm.design.clone());
+//! let lcmm = PlanRequest::new(&network, &device, Precision::Fix16)
+//!     .with_design(umm.design.clone())
+//!     .run()
+//!     .expect("the explored design is feasible");
 //!
 //! let speedup = lcmm.speedup_over(umm.latency);
 //! assert!(speedup > 1.0);
 //! println!("GoogLeNet 16-bit: {speedup:.2}x over UMM");
 //! ```
+//!
+//! For a long-running planning service — plan cache, admission control,
+//! deadlines — see [`serve`] and `docs/SERVE.md`.
 //!
 //! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
 //! paper-vs-measured record, and the `lcmm` binary (`crates/cli`) to
@@ -47,14 +52,17 @@
 pub use lcmm_core as core;
 pub use lcmm_fpga as fpga;
 pub use lcmm_graph as graph;
+pub use lcmm_serve as serve;
 pub use lcmm_sim as sim;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use lcmm_core::{
-        Evaluator, LcmmOptions, LcmmResult, Pipeline, Residency, UmmBaseline, ValueId,
+        AllocatorKind, CancelToken, Evaluator, Harness, LcmmError, LcmmOptions, LcmmResult,
+        Pipeline, PlanRequest, Residency, UmmBaseline, ValueId,
     };
     pub use lcmm_fpga::{AccelDesign, Device, Precision};
     pub use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+    pub use lcmm_serve::{Server, ServerConfig, WireRequest, WireResponse};
     pub use lcmm_sim::{SimConfig, Simulator};
 }

@@ -15,7 +15,10 @@ fn batching_shrinks_the_lcmm_advantage() {
     let speedup_at = |batch: usize| {
         let design = AccelDesign::explore(&graph, &device, Precision::Fix16).with_batch(batch);
         let umm = UmmBaseline::from_design(&graph, design.clone());
-        let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&graph, design);
+        let lcmm = PlanRequest::new(&graph, &device, Precision::Fix16)
+            .with_design(design)
+            .run()
+            .expect("explored design is feasible");
         lcmm.speedup_over(umm.latency)
     };
     let s1 = speedup_at(1);

@@ -40,7 +40,7 @@ fn kernel_of(sel: u8) -> (usize, usize) {
 
 fn build_graph(steps: &[Step]) -> Graph {
     let mut b = GraphBuilder::new("random");
-    let mut cur = b.input(FeatureShape::new(8, 16, 16));
+    let mut cur = b.input(FeatureShape::new(8, 16, 16)).expect("input");
     let mut idx = 0usize;
     for step in steps {
         idx += 1;
@@ -172,7 +172,7 @@ proptest! {
         let device = Device::vu9p();
         let harness = Harness::new(2);
         for kind in ALLOCATORS {
-            let options = LcmmOptions { allocator: kind, ..LcmmOptions::default() };
+            let options = LcmmOptions::default().with_allocator(kind);
             let lcmm = harness.lcmm(&graph, &device, Precision::Fix16, options);
             let total = allocated_bytes(&lcmm);
             prop_assert!(
@@ -253,10 +253,7 @@ fn allocators_respect_budget_across_zoo() {
     let harness = Harness::new(2);
     for graph in lcmm::graph::zoo::benchmark_suite() {
         for kind in ALLOCATORS {
-            let options = LcmmOptions {
-                allocator: kind,
-                ..LcmmOptions::default()
-            };
+            let options = LcmmOptions::default().with_allocator(kind);
             let lcmm = harness.lcmm(&graph, &device, Precision::Fix16, options);
             let total = allocated_bytes(&lcmm);
             assert!(

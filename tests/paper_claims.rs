@@ -125,7 +125,10 @@ fn design_space_non_monotone_and_dnnk_wins() {
         .into_iter()
         .map(|p| p.latency)
         .fold(f64::INFINITY, f64::min);
-    let lcmm = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
+    let lcmm = PlanRequest::new(&network, &device, Precision::Fix16)
+        .with_design(umm.design.clone())
+        .run()
+        .expect("explored design is feasible");
     assert!(
         lcmm.latency <= best_block * 1.02,
         "DNNK ({:.4} ms) should at least match the best block-level point ({:.4} ms)",
@@ -189,11 +192,16 @@ fn ablations_compose() {
     let network = lcmm::graph::zoo::googlenet();
     let device = Device::vu9p();
     let umm = UmmBaseline::build(&network, &device, Precision::Fix16);
-    let full = Pipeline::new(LcmmOptions::default()).run_with_design(&network, umm.design.clone());
-    let features = Pipeline::new(LcmmOptions::feature_reuse_only())
-        .run_with_design(&network, umm.design.clone());
-    let weights = Pipeline::new(LcmmOptions::weight_prefetch_only())
-        .run_with_design(&network, umm.design.clone());
+    let plan = |options: LcmmOptions| {
+        PlanRequest::new(&network, &device, Precision::Fix16)
+            .options(options)
+            .with_design(umm.design.clone())
+            .run()
+            .expect("explored design is feasible")
+    };
+    let full = plan(LcmmOptions::default());
+    let features = plan(LcmmOptions::feature_reuse_only());
+    let weights = plan(LcmmOptions::weight_prefetch_only());
 
     assert!(
         features.latency < umm.latency,

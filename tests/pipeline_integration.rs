@@ -141,7 +141,7 @@ fn results_are_deterministic() {
 fn facade_prelude_compiles_and_works() {
     // Exercise the re-exports end to end at a smaller scale.
     let mut b = GraphBuilder::new("prelude_net");
-    let x = b.input(FeatureShape::new(8, 16, 16));
+    let x = b.input(FeatureShape::new(8, 16, 16)).expect("input");
     let c = b
         .conv("c", x, ConvParams::square(16, 3, 1, 1))
         .expect("valid");

@@ -43,7 +43,7 @@ fn kernel_of(sel: u8) -> (usize, usize) {
 /// Builds a valid graph from a step list; invalid steps are skipped.
 fn build_graph(steps: &[Step]) -> Graph {
     let mut b = GraphBuilder::new("random");
-    let mut cur = b.input(FeatureShape::new(8, 16, 16));
+    let mut cur = b.input(FeatureShape::new(8, 16, 16)).expect("input");
     let mut idx = 0usize;
     for step in steps {
         idx += 1;
@@ -220,8 +220,10 @@ proptest! {
     fn pipeline_never_loses(graph in arb_graph()) {
         let device = Device::vu9p();
         let umm = UmmBaseline::build(&graph, &device, Precision::Fix16);
-        let lcmm = Pipeline::new(LcmmOptions::default())
-            .run_with_design(&graph, umm.design.clone());
+        let lcmm = PlanRequest::new(&graph, &device, Precision::Fix16)
+            .with_design(umm.design.clone())
+            .run()
+            .expect("explored design is feasible");
         // Note: the LCMM design is clocked lower (180 vs 190 MHz), so
         // "never loses" is a real statement about recovered transfers,
         // not an artefact. Compare against the UMM latency re-evaluated
