@@ -23,7 +23,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc (deny broken intra-doc links)"
 # First-party crates only: the vendored stand-ins are out of scope.
 RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --offline --no-deps -q \
-  -p lcmm -p lcmm-graph -p lcmm-fpga -p lcmm-core -p lcmm-sim -p lcmm-serve
+  -p lcmm -p lcmm-graph -p lcmm-fpga -p lcmm-core -p lcmm-sim -p lcmm-multi -p lcmm-serve
 
 if $quick; then
   echo "==> cargo test (debug)"
@@ -48,6 +48,23 @@ done
 
 echo "==> differential audit: grid + repro corpus + 8 random seeds"
 "$bin" audit --seeds 8 --json >/tmp/ci_audit.out 2>/dev/null
+
+# Multi-tenant smoke gate: co-plan two zoo networks through the split
+# search, require byte-identical output across --jobs, and diff the
+# summary against its golden (deterministic by design — docs/MULTI.md).
+echo "==> multi smoke: co-plan vs checks/golden/multi_1.json"
+multi_args=(--models mobilenet,alexnet --steps 4 --json)
+"$bin" multi "${multi_args[@]}" --jobs 1 >/tmp/ci_multi_j1.json 2>/dev/null
+"$bin" multi "${multi_args[@]}" --jobs 4 >/tmp/ci_multi_j4.json 2>/dev/null
+if ! cmp -s /tmp/ci_multi_j1.json /tmp/ci_multi_j4.json; then
+  echo "FAIL: 'multi' output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! cmp -s /tmp/ci_multi_j1.json checks/golden/multi_1.json; then
+  echo "FAIL: co-plan summary differs from checks/golden/multi_1.json" >&2
+  diff checks/golden/multi_1.json /tmp/ci_multi_j1.json >&2 || true
+  exit 1
+fi
 
 # Serve smoke gate: boot the daemon on an ephemeral port, issue three
 # plan requests through the one-shot client, and diff the responses
@@ -91,6 +108,27 @@ if ! grep -q '"cached":true' /tmp/ci_serve_dup.out; then
   kill "$serve_pid" 2>/dev/null || true
   exit 1
 fi
+
+# Registry invalidation gate: a cached co-plan must be recomputed once
+# the tenant set changes.
+echo "==> serve registry: registering a tenant invalidates the co-plan cache"
+serve_expect() { # <pattern> <request-json>
+  "$bin" request --connect "$addr" "$2" >/tmp/ci_serve_multi.out
+  if ! grep -q "$1" /tmp/ci_serve_multi.out; then
+    echo "FAIL: expected $1 answering $2" >&2
+    cat /tmp/ci_serve_multi.out >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+}
+serve_expect '"models":1' '{"op":"register","model":"axn","graph":"alexnet","share":0.4}'
+serve_expect '"models":2' '{"op":"register","model":"sqz","graph":"squeezenet","share":0.4}'
+serve_expect '"cached":false' '{"op":"coplan"}'
+serve_expect '"cached":true' '{"op":"coplan"}'
+serve_expect '"model":"sqz"' '{"op":"route","model":"sqz"}'
+serve_expect '"models":3' '{"op":"register","model":"mbn","graph":"mobilenet","share":0.2}'
+serve_expect '"cached":false' '{"op":"coplan"}'
+
 "$bin" request --connect "$addr" --op shutdown >/dev/null
 wait "$serve_pid"
 

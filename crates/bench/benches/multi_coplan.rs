@@ -1,0 +1,52 @@
+//! Multi-tenant co-planning cost: one explicit split of two networks,
+//! and the full share-grid search — the price of the second-level
+//! capacity DP plus per-tenant finalisation on top of single-model
+//! planning.
+
+use criterion::{black_box, Criterion};
+use lcmm_core::Harness;
+use lcmm_fpga::{Device, Precision};
+use lcmm_multi::{coplan, share_grid, CoplanOptions, TenantSpec};
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("mobilenet", lcmm_graph::zoo::mobilenet(), Precision::Fix16),
+        TenantSpec::new("alexnet", lcmm_graph::zoo::alexnet(), Precision::Fix16),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let device = Device::vu9p();
+
+    c.bench_function("multi/share_grid_4_tenants_16_steps", |b| {
+        b.iter(|| black_box(share_grid(4, 16)))
+    });
+
+    c.bench_function("multi/explicit_split_mobilenet_alexnet", |b| {
+        // A fresh harness per iteration: measure the real planning cost,
+        // not a memoized replay.
+        b.iter(|| {
+            let harness = Harness::new(1);
+            let tenants: Vec<TenantSpec> =
+                tenants().into_iter().map(|t| t.with_share(0.5)).collect();
+            black_box(
+                coplan(&harness, &device, &tenants, &CoplanOptions::default())
+                    .expect("half-and-half fits"),
+            )
+        })
+    });
+
+    c.bench_function("multi/search_4_steps_mobilenet_alexnet", |b| {
+        b.iter(|| {
+            let harness = Harness::new(1);
+            let opts = CoplanOptions::default().with_search_steps(4);
+            black_box(coplan(&harness, &device, &tenants(), &opts).expect("search finds a split"))
+        })
+    });
+}
+
+fn main() {
+    let mut c = lcmm_bench::criterion_micro();
+    bench(&mut c);
+    c.final_summary();
+}

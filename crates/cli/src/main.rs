@@ -23,6 +23,7 @@
 //! byte-identical for any `N`) and `--profile` dumps per-pass
 //! timing/counter JSON on stderr.
 
+mod multi_cmd;
 mod opts;
 mod report;
 mod serve_cmd;
@@ -38,9 +39,10 @@ fn main() -> ExitCode {
     };
     // The daemon/client subcommands have their own flag sets; dispatch
     // them before the grid-report option parser sees (and rejects) them.
-    if let "serve" | "request" = command.as_str() {
+    if let "serve" | "request" | "multi" = command.as_str() {
         let run = match command.as_str() {
             "serve" => serve_cmd::run_serve(rest),
+            "multi" => multi_cmd::run(rest),
             _ => serve_cmd::run_request(rest),
         };
         return match run {
@@ -152,6 +154,10 @@ commands:
                            --connect <addr|path> and either a raw JSON
                            line or --graph/--device/--precision/
                            --allocator/--deadline-ms/--stats/--op
+  multi                    co-plan several networks on one device:
+                           --models <a,b,...> [--shares <s,s,...>]
+                           [--device <name>] [--precision <8|16|32>]
+                           [--steps <N>] [--jobs <N>] [--json]
 
-models: alexnet squeezenet vgg16 resnet50 resnet101 resnet152 googlenet
+models: alexnet mobilenet squeezenet vgg16 resnet50 resnet101 resnet152 googlenet
         inception_v4 inception_resnet_v2 densenet121";

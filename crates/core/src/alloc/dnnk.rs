@@ -96,6 +96,45 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     if n == 0 || units == 0 {
         return AllocOutcome::from_chosen(problem, vec![false; n]);
     }
+    let (choice, _values, sizes) = dp(problem, units);
+
+    // --- Backtrace -------------------------------------------------------
+    let mut chosen = vec![false; n];
+    let mut j = units;
+    for i in (0..n).rev() {
+        if choice[i * (units + 1) + j] {
+            chosen[i] = true;
+            j -= sizes[i];
+        }
+    }
+    AllocOutcome::from_chosen(problem, chosen)
+}
+
+/// The DNNK value curve: entry `u` is the best achievable latency
+/// *reduction* (seconds, under the pivot-compensated pbuf approximation
+/// of Alg. 1) when the capacity is `u` URAM units. Entry 0 is always
+/// `0.0` and the curve is non-decreasing.
+///
+/// Multi-tenant co-planning combines one curve per tenant in a
+/// second-level capacity DP: because tenants' buffers never touch the
+/// same ops, the joint knapsack over the union of all buffers decomposes
+/// exactly into per-tenant curves plus a split of the shared capacity.
+#[must_use]
+pub fn gain_curve(problem: &AllocProblem<'_>) -> Vec<f64> {
+    let n = problem.buffers.len();
+    let units = (problem.budget_bytes / CAPACITY_UNIT_BYTES) as usize;
+    if n == 0 || units == 0 {
+        return vec![0.0; units + 1];
+    }
+    dp(problem, units).1
+}
+
+/// The shared DP over `units` capacity columns. Returns the full
+/// `choice` table (row-major, `n × (units+1)`; doubles as the paper's
+/// pbuf_table), the final value row (best gain per capacity), and the
+/// per-buffer sizes in units.
+fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usize>) {
+    let n = problem.buffers.len();
 
     // --- Static tables -------------------------------------------------
     let graph = problem.evaluator.graph();
@@ -359,16 +398,7 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
         std::mem::swap(&mut prev_l, &mut cur_l);
     }
 
-    // --- Backtrace -------------------------------------------------------
-    let mut chosen = vec![false; n];
-    let mut j = units;
-    for i in (0..n).rev() {
-        if choice[i * (units + 1) + j] {
-            chosen[i] = true;
-            j -= sizes[i];
-        }
-    }
-    AllocOutcome::from_chosen(problem, chosen)
+    (choice, prev_l, sizes)
 }
 
 #[cfg(test)]
@@ -476,6 +506,48 @@ mod tests {
         assert!(out.bytes <= budget, "{} > {}", out.bytes, budget);
         let empty = problem.latency_of(&vec![false; bufs.len()]);
         assert!(out.latency <= empty + 1e-12);
+    }
+
+    #[test]
+    fn gain_curve_is_anchored_and_nonnegative() {
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let budget = 16 << 20;
+        let problem = AllocProblem::new(&ev, &bufs, budget, &PrefetchPlan::default());
+        let curve = gain_curve(&problem);
+        let units = (budget / CAPACITY_UNIT_BYTES) as usize;
+        assert_eq!(curve.len(), units + 1);
+        assert_eq!(curve[0], 0.0);
+        assert!(curve.iter().all(|&v| v >= 0.0));
+        assert!(
+            *curve.last().unwrap() > 0.0,
+            "a generous budget must find some gain"
+        );
+    }
+
+    #[test]
+    fn gain_curve_final_value_matches_allocate_choice() {
+        // The DP behind gain_curve is the one allocate backtraces, so
+        // the curve's final entry must equal the DP value of allocate's
+        // chosen set under the same pbuf approximation (which in turn is
+        // within re-scoring distance of the exact outcome latency).
+        let g = chain_graph();
+        let (_, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        let budget = 16 << 20;
+        let problem = AllocProblem::new(&ev, &bufs, budget, &PrefetchPlan::default());
+        let curve = gain_curve(&problem);
+        let out = allocate(&problem);
+        let empty = problem.latency_of(&vec![false; bufs.len()]);
+        let exact_gain = empty - out.latency;
+        let dp_gain = *curve.last().unwrap();
+        assert!(
+            (dp_gain - exact_gain).abs() / exact_gain.max(1e-12) < 0.2,
+            "dp {dp_gain} vs exact {exact_gain}"
+        );
     }
 
     #[test]

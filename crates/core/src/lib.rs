@@ -39,6 +39,7 @@
 pub mod alloc;
 pub mod calibrate;
 pub mod cancel;
+pub mod coplan;
 pub mod design_space;
 pub mod energy;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod value;
 pub use lcmm_graph::fast_hash;
 
 pub use cancel::CancelToken;
+pub use coplan::{tenant_gain_curve, GainCurve};
 pub use error::LcmmError;
 pub use eval::{Evaluator, Residency};
 pub use harness::Harness;

@@ -53,6 +53,11 @@ pub struct LcmmOptions {
     /// Clock derate relative to the UMM baseline: the extra buffers and
     /// muxing cost timing slack (Table 1: 190 → 180 MHz).
     pub frequency_hz: Option<f64>,
+    /// Explicit tensor SRAM budget in bytes for the knapsack stage,
+    /// clamped to the design's own [`AccelDesign::tensor_sram_budget`].
+    /// `None` (the default) uses the full design budget; multi-tenant
+    /// co-planning sets this to the tenant's share of the shared pool.
+    pub tensor_budget: Option<u64>,
 }
 
 impl Default for LcmmOptions {
@@ -63,6 +68,7 @@ impl Default for LcmmOptions {
             splitting: true,
             allocator: AllocatorKind::Dnnk,
             frequency_hz: None,
+            tensor_budget: None,
         }
     }
 }
@@ -119,6 +125,14 @@ impl LcmmOptions {
     #[must_use]
     pub fn with_frequency_hz(mut self, frequency_hz: Option<f64>) -> Self {
         self.frequency_hz = frequency_hz;
+        self
+    }
+
+    /// Returns a copy with an explicit tensor SRAM budget for the
+    /// knapsack stage (`None` restores the full design budget).
+    #[must_use]
+    pub fn with_tensor_budget(mut self, tensor_budget: Option<u64>) -> Self {
+        self.tensor_budget = tensor_budget;
         self
     }
 }
@@ -215,18 +229,6 @@ impl Pipeline {
         &self.options
     }
 
-    /// Runs the full flow for `graph`, exploring a fresh design.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `PlanRequest::new(graph, device, precision).options(..).run()`"
-    )]
-    #[must_use]
-    pub fn run(&self, graph: &Graph, device: &Device, precision: Precision) -> LcmmResult {
-        let umm_design = AccelDesign::explore(graph, device, precision);
-        self.run_with_design_checked(graph, umm_design, None)
-            .expect("uncancellable run cannot fail")
-    }
-
     /// Derates an explored (UMM) design into its LCMM form: the array
     /// shape is kept, the clock is derated and the tile buffers shrunk
     /// per the paper's LCMM designs.
@@ -238,34 +240,6 @@ impl Pipeline {
             .unwrap_or_else(|| default_lcmm_frequency(base.precision));
         base.with_frequency(freq)
             .with_tile_budget(TileBudget::default_lcmm())
-    }
-
-    /// Runs the full flow starting from an explored (UMM) design.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `PlanRequest::new(..).with_design(base).run()`"
-    )]
-    #[must_use]
-    pub fn run_with_design(&self, graph: &Graph, base: AccelDesign) -> LcmmResult {
-        self.run_with_design_checked(graph, base, None)
-            .expect("uncancellable run cannot fail")
-    }
-
-    /// Runs passes 1–4 against an already-derated design and its
-    /// latency table (`profile` must be `design.profile(graph)`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `PlanRequest::new(..).with_design(design).with_profile(profile).run()`"
-    )]
-    #[must_use]
-    pub fn run_with_profile(
-        &self,
-        graph: &Graph,
-        design: AccelDesign,
-        profile: &GraphProfile,
-    ) -> LcmmResult {
-        self.run_with_profile_checked(graph, design, profile, None)
-            .expect("uncancellable run cannot fail")
     }
 
     /// The checked engine behind [`crate::PlanRequest`]: derates `base`
@@ -374,10 +348,14 @@ impl Pipeline {
         } else {
             SplitConfig { max_iterations: 0 }
         };
+        let budget = match self.options.tensor_budget {
+            Some(b) => b.min(design.tensor_sram_budget()),
+            None => design.tensor_sram_budget(),
+        };
         let result = refine(
             &evaluator,
             precision,
-            design.tensor_sram_budget(),
+            budget,
             &prefetch,
             feature_graph,
             weight_graph,

@@ -163,18 +163,20 @@ mod tests {
     use lcmm_graph::zoo;
 
     #[test]
-    fn request_matches_legacy_run_bit_identically() {
+    fn request_matches_explicit_explore_bit_identically() {
         let g = zoo::alexnet();
         let device = Device::vu9p();
-        #[allow(deprecated)]
-        let legacy = Pipeline::new(LcmmOptions::default()).run(&g, &device, Precision::Fix16);
+        let base = AccelDesign::explore(&g, &device, Precision::Fix16);
+        let explicit = Pipeline::new(LcmmOptions::default())
+            .run_with_design_checked(&g, base, None)
+            .expect("explored design is feasible");
         let new = PlanRequest::new(&g, &device, Precision::Fix16)
             .run()
             .expect("feasible");
-        assert_eq!(new.latency, legacy.latency);
-        assert_eq!(new.residency, legacy.residency);
-        assert_eq!(new.chosen, legacy.chosen);
-        assert_eq!(new.split_iterations, legacy.split_iterations);
+        assert_eq!(new.latency, explicit.latency);
+        assert_eq!(new.residency, explicit.residency);
+        assert_eq!(new.chosen, explicit.chosen);
+        assert_eq!(new.split_iterations, explicit.split_iterations);
     }
 
     #[test]

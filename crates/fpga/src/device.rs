@@ -207,6 +207,34 @@ impl Device {
     pub fn peak_ops(&self, dsps: usize, dsps_per_mac: usize, freq_hz: f64) -> f64 {
         (dsps / dsps_per_mac) as f64 * 2.0 * freq_hz
     }
+
+    /// A tenant's view of this device in a multi-tenant co-plan: DSP
+    /// slices and DDR banks are scaled by `share` (rounded down, but a
+    /// tenant always keeps at least one bank so the transfer model stays
+    /// finite); name and SRAM blocks are unchanged, because SRAM is
+    /// partitioned at byte granularity by the joint knapsack, not by the
+    /// device view.
+    ///
+    /// `share == 1.0` returns the device unchanged (bit-identical), so
+    /// the single-tenant case degenerates exactly to the whole device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `share` is not in `(0.0, 1.0]`.
+    #[must_use]
+    pub fn partition(&self, share: f64) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0,
+            "partition share {share} out of (0, 1]"
+        );
+        if share == 1.0 {
+            return self.clone();
+        }
+        let mut part = self.clone();
+        part.dsp_slices = ((self.dsp_slices as f64 * share) as usize).max(1);
+        part.ddr.banks = ((self.ddr.banks as f64 * share) as usize).max(1);
+        part
+    }
 }
 
 impl Default for Device {
@@ -260,6 +288,33 @@ mod tests {
         assert_eq!(zu.uram_blocks, 0);
         // Embedded part has a quarter of the DDR bandwidth.
         assert!(zu.ddr.aggregate_bandwidth() < vu9.ddr.aggregate_bandwidth() / 3.9);
+    }
+
+    #[test]
+    fn partition_full_share_is_identity() {
+        let d = Device::vu9p();
+        assert_eq!(d.partition(1.0), d);
+    }
+
+    #[test]
+    fn partition_scales_dsp_and_banks() {
+        let d = Device::vu9p();
+        let half = d.partition(0.5);
+        assert_eq!(half.dsp_slices, 3420);
+        assert_eq!(half.ddr.banks, 2);
+        // SRAM is split by the joint knapsack, not the device view.
+        assert_eq!(half.sram_bytes(), d.sram_bytes());
+        assert_eq!(half.name, d.name);
+        // Tiny shares keep at least one bank.
+        let sliver = d.partition(0.05);
+        assert_eq!(sliver.ddr.banks, 1);
+        assert!(sliver.dsp_slices >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn partition_rejects_zero_share() {
+        let _ = Device::vu9p().partition(0.0);
     }
 
     #[test]

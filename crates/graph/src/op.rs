@@ -5,11 +5,14 @@ use crate::GraphError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Parameters of a (possibly non-square) 2-D convolution.
+/// Parameters of a (possibly non-square, possibly grouped) 2-D
+/// convolution.
 ///
-/// Grouped and depthwise convolutions are intentionally out of scope: none
-/// of the paper's benchmark networks (ResNet-152, GoogLeNet, Inception-v4)
-/// use them.
+/// `groups` partitions the input and output channels into independent
+/// convolutions (`groups == in_channels` with matching `out_channels`
+/// is a depthwise convolution, as in MobileNet's separable blocks).
+/// The paper's benchmark networks (ResNet-152, GoogLeNet, Inception-v4)
+/// all use `groups == 1`.
 ///
 /// # Examples
 ///
@@ -20,6 +23,12 @@ use std::fmt;
 /// let p = ConvParams::square(64, 3, 1, 1);
 /// assert_eq!(p.kernel_h, 3);
 /// assert_eq!(p.kernel_w, 3);
+/// assert_eq!(p.groups, 1);
+///
+/// // Depthwise 3x3 over 64 channels: 64 groups of one map each.
+/// let dw = ConvParams::depthwise(64, 3, 1, 1);
+/// assert_eq!(dw.groups, 64);
+/// assert_eq!(dw.weight_elems(64), 64 * 9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConvParams {
@@ -37,6 +46,9 @@ pub struct ConvParams {
     pub pad_h: usize,
     /// Horizontal zero padding (applied to both left and right).
     pub pad_w: usize,
+    /// Channel groups: each group convolves `C/groups` input maps into
+    /// `M/groups` output maps (1 = dense convolution).
+    pub groups: usize,
 }
 
 impl ConvParams {
@@ -52,6 +64,17 @@ impl ConvParams {
             stride_w: stride,
             pad_h: pad,
             pad_w: pad,
+            groups: 1,
+        }
+    }
+
+    /// Depthwise convolution: one filter per channel (`groups ==
+    /// out_channels == in_channels`), the MobileNet building block.
+    #[must_use]
+    pub fn depthwise(channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            groups: channels,
+            ..Self::square(channels, kernel, stride, pad)
         }
     }
 
@@ -68,6 +91,7 @@ impl ConvParams {
             stride_w: 1,
             pad_h: (kernel_h - 1) / 2,
             pad_w: (kernel_w - 1) / 2,
+            groups: 1,
         }
     }
 
@@ -81,24 +105,44 @@ impl ConvParams {
     ///
     /// # Errors
     ///
-    /// Returns an error when the kernel does not fit the (padded) input
-    /// or a stride/kernel is zero.
+    /// Returns an error when the kernel does not fit the (padded) input,
+    /// a stride/kernel is zero, or `groups` does not evenly divide both
+    /// the input and output channel counts.
     pub fn output_shape(&self, input: FeatureShape) -> Result<FeatureShape, GraphError> {
+        if self.groups == 0 {
+            return Err(GraphError::InvalidParams(
+                "conv groups must be nonzero".to_string(),
+            ));
+        }
+        if !input.channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
+            return Err(GraphError::InvalidParams(format!(
+                "groups {} must divide input channels {} and output channels {}",
+                self.groups, input.channels, self.out_channels
+            )));
+        }
         let out_h = conv_dim(input.height, self.kernel_h, self.stride_h, self.pad_h)?;
         let out_w = conv_dim(input.width, self.kernel_w, self.stride_w, self.pad_w)?;
         Ok(FeatureShape::new(self.out_channels, out_h, out_w))
     }
 
-    /// Weight tensor element count: `M·C·Kh·Kw`.
+    /// Weight tensor element count: `M·(C/g)·Kh·Kw`.
     #[must_use]
     pub fn weight_elems(&self, in_channels: usize) -> u64 {
-        self.out_channels as u64 * in_channels as u64 * self.kernel_h as u64 * self.kernel_w as u64
+        self.out_channels as u64
+            * (in_channels / self.groups.max(1)) as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
     }
 
-    /// Multiply-accumulate count: `M·C·Ho·Wo·Kh·Kw`.
+    /// Multiply-accumulate count: `M·(C/g)·Ho·Wo·Kh·Kw`.
     #[must_use]
     pub fn macs(&self, input: FeatureShape, output: FeatureShape) -> u64 {
-        output.elems() * input.channels as u64 * self.kernel_h as u64 * self.kernel_w as u64
+        output.elems()
+            * (input.channels / self.groups.max(1)) as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
     }
 }
 
@@ -219,6 +263,11 @@ impl OpKind {
 impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            OpKind::Conv(p) if p.groups > 1 => write!(
+                f,
+                "conv {}x{}/{} g{} -> {}",
+                p.kernel_h, p.kernel_w, p.stride_h, p.groups, p.out_channels
+            ),
             OpKind::Conv(p) => write!(
                 f,
                 "conv {}x{}/{} -> {}",
@@ -288,6 +337,27 @@ mod tests {
     }
 
     #[test]
+    fn depthwise_macs_and_weights() {
+        let p = ConvParams::depthwise(32, 3, 1, 1);
+        let input = FeatureShape::new(32, 56, 56);
+        let output = p.output_shape(input).unwrap();
+        assert_eq!(output, FeatureShape::new(32, 56, 56));
+        assert_eq!(p.weight_elems(32), 32 * 9);
+        assert_eq!(p.macs(input, output), 32 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn grouped_conv_validates_divisibility() {
+        let mut p = ConvParams::square(64, 3, 1, 1);
+        p.groups = 3;
+        assert!(p.output_shape(FeatureShape::new(32, 8, 8)).is_err());
+        p.groups = 0;
+        assert!(p.output_shape(FeatureShape::new(32, 8, 8)).is_err());
+        p.groups = 4;
+        assert!(p.output_shape(FeatureShape::new(32, 8, 8)).is_ok());
+    }
+
+    #[test]
     fn pool_output_shape() {
         let p = PoolParams {
             kind: PoolKind::Max,
@@ -317,6 +387,8 @@ mod tests {
     fn display_formats() {
         let c = OpKind::Conv(ConvParams::square(64, 3, 1, 1));
         assert_eq!(c.to_string(), "conv 3x3/1 -> 64");
+        let dw = OpKind::Conv(ConvParams::depthwise(64, 3, 2, 1));
+        assert_eq!(dw.to_string(), "conv 3x3/2 g64 -> 64");
         assert_eq!(OpKind::Concat.to_string(), "concat");
     }
 }

@@ -1,0 +1,123 @@
+//! MobileNet v1 (Howard et al., 2017).
+//!
+//! Thirteen depthwise-separable blocks (3×3 depthwise conv → 1×1
+//! pointwise conv): the smallest real network in the zoo and the
+//! latency-critical tenant in multi-model co-planning scenarios —
+//! almost all of its ~4.2 M weights sit in the pointwise convs and the
+//! final classifier, so weight traffic is cheap but the depthwise
+//! layers are badly compute-starved on a dense systolic array.
+
+use crate::{ConvParams, FeatureShape, Graph, GraphBuilder, GraphError, NodeId};
+
+/// One depthwise-separable block: 3×3 depthwise at `stride` over the
+/// incoming channels, then 1×1 pointwise to `out` channels.
+fn separable(
+    b: &mut GraphBuilder,
+    from: NodeId,
+    idx: usize,
+    in_channels: usize,
+    out: usize,
+    stride: usize,
+) -> Result<NodeId, GraphError> {
+    b.set_block(format!("sep{idx}"));
+    let dw = b.conv(
+        format!("sep{idx}/dw3x3"),
+        from,
+        ConvParams::depthwise(in_channels, 3, stride, 1),
+    )?;
+    b.conv(format!("sep{idx}/pw1x1"), dw, ConvParams::pointwise(out))
+}
+
+/// Builds MobileNet v1 (width multiplier 1.0) at 224×224.
+///
+/// # Panics
+///
+/// Never panics for this fixed, known-valid architecture.
+#[must_use]
+pub fn mobilenet() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet");
+    let x = b.input(FeatureShape::new(3, 224, 224)).expect("input");
+    b.set_block("stem");
+    let mut cur = b
+        .conv("conv1", x, ConvParams::square(32, 3, 2, 1))
+        .expect("conv1"); // 112
+
+    // (out_channels, stride) for the 13 separable blocks.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2), // 56
+        (128, 1),
+        (256, 2), // 28
+        (256, 1),
+        (512, 2), // 14
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2), // 7
+        (1024, 1),
+    ];
+    let mut channels = 32;
+    for (idx, &(out, stride)) in blocks.iter().enumerate() {
+        cur = separable(&mut b, cur, idx + 1, channels, out, stride)
+            .unwrap_or_else(|e| panic!("sep{}: {e}", idx + 1));
+        channels = out;
+    }
+
+    b.set_block("classifier");
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    let fc = b.fc("fc1000", gap, 1000).expect("fc1000");
+    b.finish(fc).expect("mobilenet is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize;
+    use crate::OpKind;
+
+    #[test]
+    fn layer_counts() {
+        // 1 stem + 13 blocks x 2 convs = 27 convs, plus 1 FC.
+        let g = mobilenet();
+        assert_eq!(g.conv_layers().count(), 27);
+        assert_eq!(g.compute_layers().count(), 28);
+    }
+
+    #[test]
+    fn depthwise_layers_are_grouped() {
+        let g = mobilenet();
+        let dw = g.node_by_name("sep1/dw3x3").unwrap();
+        match dw.op {
+            OpKind::Conv(p) => assert_eq!(p.groups, 32),
+            ref other => panic!("expected conv, got {other}"),
+        }
+        assert_eq!(dw.output_shape(), FeatureShape::new(32, 112, 112));
+    }
+
+    #[test]
+    fn feature_resolution_ladder() {
+        let g = mobilenet();
+        assert_eq!(
+            g.node_by_name("sep2/pw1x1").unwrap().output_shape(),
+            FeatureShape::new(128, 56, 56)
+        );
+        assert_eq!(
+            g.node_by_name("sep13/pw1x1").unwrap().output_shape(),
+            FeatureShape::new(1024, 7, 7)
+        );
+    }
+
+    #[test]
+    fn params_near_published_4_2m() {
+        let m = summarize(&mobilenet()).total_weight_elems as f64 / 1e6;
+        assert!((3.9..4.5).contains(&m), "got {m} M params");
+    }
+
+    #[test]
+    fn output_is_class_vector() {
+        let g = mobilenet();
+        assert_eq!(g.output_node().output_shape(), FeatureShape::vector(1000));
+    }
+}

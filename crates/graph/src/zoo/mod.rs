@@ -14,6 +14,7 @@ mod densenet;
 mod googlenet;
 mod inception_resnet;
 mod inception_v4;
+mod mobilenet;
 mod resnet;
 mod squeezenet;
 mod synthetic;
@@ -24,6 +25,7 @@ pub use densenet::densenet121;
 pub use googlenet::googlenet;
 pub use inception_resnet::inception_resnet_v2;
 pub use inception_v4::inception_v4;
+pub use mobilenet::mobilenet;
 pub use resnet::{resnet101, resnet152, resnet50};
 pub use squeezenet::squeezenet;
 pub use synthetic::{synthetic, synthetic_scaled};
@@ -45,6 +47,7 @@ pub fn benchmark_suite() -> Vec<Graph> {
 pub fn full_zoo() -> Vec<Graph> {
     vec![
         alexnet(),
+        mobilenet(),
         squeezenet(),
         vgg16(),
         googlenet(),
@@ -86,6 +89,7 @@ pub fn by_name(name: &str) -> Option<Graph> {
     match name.to_ascii_lowercase().as_str() {
         "alexnet" => Some(alexnet()),
         "densenet121" | "densenet" | "dn" => Some(densenet121()),
+        "mobilenet" | "mn" => Some(mobilenet()),
         "squeezenet" | "sq" => Some(squeezenet()),
         "vgg16" | "vgg" => Some(vgg16()),
         "resnet50" => Some(resnet50()),
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn full_zoo_covers_every_named_model() {
         let zoo = full_zoo();
-        assert_eq!(zoo.len(), 10);
+        assert_eq!(zoo.len(), 11);
         for g in &zoo {
             let again = by_name(g.name()).expect("zoo models resolve by name");
             assert_eq!(again.len(), g.len());

@@ -1,0 +1,230 @@
+//! Evaluating one split: partition → joint knapsack → finalise →
+//! contention.
+
+use crate::{Coplan, CoplanOptions, Objective, SplitPoint, TenantPlan, TenantSpec};
+use lcmm_core::coplan::{tenant_gain_curve, GainCurve, CAPACITY_UNIT_BYTES};
+use lcmm_core::{Harness, LcmmError, Pipeline};
+use lcmm_fpga::{AccelDesign, Device};
+use lcmm_sim::{cross_tenant_contention, tenant_load};
+
+/// The shared tensor-SRAM pool for a set of derated tenant designs:
+/// the device cap minus *every* tenant's double-buffered tile budget.
+///
+/// Derived without re-stating the cap fraction: each design's
+/// `tensor_sram_budget()` is `cap − tile_t` (partitioning leaves SRAM
+/// untouched), so the pool is the first design's budget minus the
+/// remaining tile budgets. With a single tenant this is exactly
+/// `designs[0].tensor_sram_budget()` — the invariant the bit-identity
+/// guarantee rests on.
+#[must_use]
+pub fn pool_bytes(designs: &[&AccelDesign]) -> u64 {
+    let Some((first, rest)) = designs.split_first() else {
+        return 0;
+    };
+    let tiles: u64 = rest
+        .iter()
+        .map(|d| d.tile_budget.total_double_buffered())
+        .sum();
+    first.tensor_sram_budget().saturating_sub(tiles)
+}
+
+/// Second-level capacity DP: assigns `units` knapsack units across the
+/// tenants' weighted value curves. Returns the per-tenant unit grants
+/// (smallest grant on value ties, so the split is deterministic).
+///
+/// This *is* the joint DNNK knapsack over the union of all tenants'
+/// virtual buffers: buffers of different tenants couple only through
+/// capacity, so the union DP factors into per-tenant curves combined
+/// here — pivot compensation stays per-tenant by construction.
+fn joint_capacity_dp(curves: &[(f64, GainCurve)], units: usize) -> Vec<usize> {
+    let t = curves.len();
+    let mut dp = vec![0.0f64; units + 1];
+    let mut grant = vec![0u32; t * (units + 1)];
+    for (k, (weight, curve)) in curves.iter().enumerate() {
+        let mut next = vec![f64::NEG_INFINITY; units + 1];
+        for u in 0..=units {
+            for g in 0..=u.min(curve.units()) {
+                let v = dp[u - g] + weight * curve.value_at(g);
+                if v > next[u] {
+                    next[u] = v;
+                    grant[k * (units + 1) + u] = g as u32;
+                }
+            }
+        }
+        dp = next;
+    }
+    let mut grants = vec![0usize; t];
+    let mut u = units;
+    for k in (0..t).rev() {
+        let g = grant[k * (units + 1) + u] as usize;
+        grants[k] = g;
+        u -= g;
+    }
+    grants
+}
+
+/// Plans one explicit split. Returns the co-plan and its aggregate
+/// scores as an (unmarked) frontier point.
+///
+/// # Errors
+///
+/// Any error of the underlying single-model pipeline — most commonly
+/// [`LcmmError::BudgetInfeasible`] when a share leaves a tenant too few
+/// DSPs.
+pub fn plan_with_shares(
+    harness: &Harness,
+    device: &Device,
+    tenants: &[TenantSpec],
+    shares: &[f64],
+    opts: &CoplanOptions,
+) -> Result<(Coplan, SplitPoint), LcmmError> {
+    assert_eq!(tenants.len(), shares.len(), "one share per tenant");
+    let pipeline = Pipeline::new(opts.options);
+
+    // Partitioned base designs and their derated LCMM forms.
+    let mut bases = Vec::with_capacity(tenants.len());
+    let mut derated = Vec::with_capacity(tenants.len());
+    for (t, &share) in tenants.iter().zip(shares) {
+        let part = device.partition(share);
+        let base = harness.try_design(&t.graph, &part, t.precision)?;
+        derated.push(pipeline.lcmm_design((*base).clone()));
+        bases.push(base);
+    }
+
+    // Joint knapsack over the shared pool.
+    let derated_refs: Vec<&AccelDesign> = derated.iter().collect();
+    let pool = pool_bytes(&derated_refs);
+    let units = (pool / CAPACITY_UNIT_BYTES) as usize;
+    let curves: Vec<(f64, GainCurve)> = tenants
+        .iter()
+        .zip(&derated)
+        .map(|(t, d)| {
+            let profile = harness.profile(&t.graph, d);
+            (
+                t.weight,
+                tenant_gain_curve(&t.graph, &profile, d, &opts.options, pool),
+            )
+        })
+        .collect();
+    let mut grants = joint_capacity_dp(&curves, units);
+    // Unclaimed units and the sub-unit remainder go to the first
+    // tenant: they are free (a larger budget never hurts DNNK), and
+    // granting them keeps the single-tenant case handing the pipeline
+    // exactly `tensor_sram_budget()` bytes — the bit-identity anchor.
+    let claimed: usize = grants.iter().sum();
+    grants[0] += units - claimed;
+    let mut budgets: Vec<u64> = grants
+        .iter()
+        .map(|&g| g as u64 * CAPACITY_UNIT_BYTES)
+        .collect();
+    budgets[0] += pool - units as u64 * CAPACITY_UNIT_BYTES;
+
+    // Finalise each tenant with the full pipeline under its grant.
+    let mut plans = Vec::with_capacity(tenants.len());
+    let mut loads = Vec::with_capacity(tenants.len());
+    for ((t, base), (&share, &budget)) in
+        tenants.iter().zip(&bases).zip(shares.iter().zip(&budgets))
+    {
+        let options = opts.options.with_tensor_budget(Some(budget));
+        let result = harness.try_lcmm_with_design(&t.graph, base, options, None)?;
+        let load = tenant_load(&t.graph, &result);
+        plans.push(TenantPlan {
+            name: t.name.clone(),
+            share,
+            sram_budget: budget,
+            result: (*result).clone(),
+            steady_latency: load.steady_latency,
+            contended_latency: 0.0, // filled from the contention report
+            slowdown: 1.0,
+        });
+        loads.push(load);
+    }
+
+    let contention = cross_tenant_contention(device.ddr.banks, &loads);
+    for (plan, (&s, &l)) in plans.iter_mut().zip(
+        contention
+            .slowdown
+            .iter()
+            .zip(&contention.contended_latency),
+    ) {
+        plan.slowdown = s;
+        plan.contended_latency = l;
+    }
+
+    let weighted_latency: f64 = tenants
+        .iter()
+        .zip(&plans)
+        .map(|(t, p)| t.weight * p.contended_latency)
+        .sum();
+    let throughput: f64 = plans.iter().map(|p| 1.0 / p.contended_latency).sum();
+    let objective_value = match opts.objective {
+        Objective::WeightedLatency => weighted_latency,
+        Objective::MaxSloViolation => tenants
+            .iter()
+            .zip(&plans)
+            .filter_map(|(t, p)| t.slo_seconds.map(|slo| p.contended_latency / slo))
+            .fold(0.0f64, f64::max),
+    };
+    let point = SplitPoint {
+        shares: shares.to_vec(),
+        weighted_latency,
+        throughput,
+        objective_value,
+        pareto: false,
+    };
+    let plan = Coplan {
+        device: device.clone(),
+        tenants: plans,
+        pool_bytes: pool,
+        contention,
+        objective_value,
+        frontier: Vec::new(),
+    };
+    Ok((plan, point))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(values: Vec<f64>) -> GainCurve {
+        GainCurve::from_values(values)
+    }
+
+    #[test]
+    fn dp_splits_capacity_by_marginal_value() {
+        // Tenant A saturates after 1 unit; tenant B keeps gaining.
+        let curves = vec![
+            (1.0, curve(vec![0.0, 5.0, 5.0, 5.0])),
+            (1.0, curve(vec![0.0, 2.0, 4.0, 6.0])),
+        ];
+        let grants = joint_capacity_dp(&curves, 3);
+        assert_eq!(grants, vec![1, 2]);
+    }
+
+    #[test]
+    fn dp_respects_objective_weights() {
+        // Equal curves, but tenant B counts double: B gets the unit.
+        let curves = vec![(1.0, curve(vec![0.0, 3.0])), (2.0, curve(vec![0.0, 3.0]))];
+        let grants = joint_capacity_dp(&curves, 1);
+        assert_eq!(grants, vec![0, 1]);
+    }
+
+    #[test]
+    fn dp_single_tenant_takes_peak_value() {
+        let curves = vec![(1.0, curve(vec![0.0, 1.0, 4.0, 4.5]))];
+        let grants = joint_capacity_dp(&curves, 3);
+        assert_eq!(grants, vec![3]);
+    }
+
+    #[test]
+    fn dp_prefers_smaller_grants_on_ties() {
+        // Flat beyond 1 unit: the DP must not hoard capacity.
+        let curves = vec![
+            (1.0, curve(vec![0.0, 5.0, 5.0])),
+            (1.0, curve(vec![0.0, 0.0, 0.0])),
+        ];
+        let grants = joint_capacity_dp(&curves, 2);
+        assert_eq!(grants, vec![1, 0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic wire/report summary of a co-plan.
+
+use crate::Coplan;
+use lcmm_sim::contention::CHANNEL_KINDS;
+use lcmm_sim::ChannelKind;
+use serde_json::Value;
+
+fn channel_name(kind: ChannelKind) -> &'static str {
+    match kind {
+        ChannelKind::InputFeature => "input_feature",
+        ChannelKind::Weight => "weight",
+        ChannelKind::OutputFeature => "output_feature",
+    }
+}
+
+/// A fixed-field-order JSON summary of a co-plan — the payload of the
+/// serve daemon's `coplan` response and the CLI's `--json` output, and
+/// what `checks/golden/multi_*.json` diffs against. Field order (and
+/// the channel order of `demand`) is explicit so re-serialisation is
+/// byte-stable.
+#[must_use]
+pub fn coplan_summary(plan: &Coplan) -> Value {
+    let tenants: Vec<Value> = plan
+        .tenants
+        .iter()
+        .map(|t| {
+            Value::Map(vec![
+                (
+                    "allocated_bytes".to_string(),
+                    Value::U64(t.result.allocated_buffer_sizes().iter().sum()),
+                ),
+                (
+                    "contended_latency_seconds".to_string(),
+                    Value::F64(t.contended_latency),
+                ),
+                ("model".to_string(), Value::Str(t.name.clone())),
+                ("share".to_string(), Value::F64(t.share)),
+                ("slowdown".to_string(), Value::F64(t.slowdown)),
+                ("sram_budget_bytes".to_string(), Value::U64(t.sram_budget)),
+                (
+                    "steady_latency_seconds".to_string(),
+                    Value::F64(t.steady_latency),
+                ),
+            ])
+        })
+        .collect();
+
+    let demand: Vec<(String, Value)> = CHANNEL_KINDS
+        .iter()
+        .map(|&k| {
+            (
+                channel_name(k).to_string(),
+                Value::F64(plan.contention.demand.get(&k).copied().unwrap_or(0.0)),
+            )
+        })
+        .collect();
+    let contention = Value::Map(vec![
+        ("demand".to_string(), Value::Map(demand)),
+        (
+            "oversubscribed_channels".to_string(),
+            Value::U64(plan.contention.oversubscribed_channels as u64),
+        ),
+        ("shared".to_string(), Value::Bool(plan.contention.shared)),
+    ]);
+
+    let frontier: Vec<Value> = plan
+        .frontier
+        .iter()
+        .map(|p| {
+            Value::Map(vec![
+                ("objective_value".to_string(), Value::F64(p.objective_value)),
+                ("pareto".to_string(), Value::Bool(p.pareto)),
+                (
+                    "shares".to_string(),
+                    Value::Seq(p.shares.iter().map(|&s| Value::F64(s)).collect()),
+                ),
+                ("throughput".to_string(), Value::F64(p.throughput)),
+                (
+                    "weighted_latency_seconds".to_string(),
+                    Value::F64(p.weighted_latency),
+                ),
+            ])
+        })
+        .collect();
+
+    Value::Map(vec![
+        ("contention".to_string(), contention),
+        ("device".to_string(), Value::Str(plan.device.name.clone())),
+        ("frontier".to_string(), Value::Seq(frontier)),
+        (
+            "objective_value".to_string(),
+            Value::F64(plan.objective_value),
+        ),
+        ("pool_bytes".to_string(), Value::U64(plan.pool_bytes)),
+        ("tenants".to_string(), Value::Seq(tenants)),
+    ])
+}

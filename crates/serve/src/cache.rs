@@ -22,6 +22,10 @@ pub struct CacheCounters {
     pub entries: usize,
     /// Maximum entries before LRU eviction.
     pub capacity: usize,
+    /// Entries dropped by LRU eviction at capacity.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation (registry changes).
+    pub invalidations: u64,
 }
 
 impl CacheCounters {
@@ -51,6 +55,8 @@ pub struct PlanCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl std::fmt::Debug for Entry {
@@ -70,6 +76,8 @@ impl PlanCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -109,7 +117,27 @@ impl PlanCache {
                 break;
             };
             map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Drops every entry whose key starts with `prefix` and returns how
+    /// many were removed. The server invalidates `coplan:`-prefixed
+    /// entries on registry changes; their keys also carry the registry
+    /// digest, so this reclaims space rather than preventing stale hits.
+    pub fn invalidate_prefix(&self, prefix: &str) -> usize {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        let stale: Vec<String> = map
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for key in &stale {
+            map.remove(key);
+        }
+        self.invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
     }
 
     /// Current counters.
@@ -120,6 +148,8 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().expect("plan cache poisoned").len(),
             capacity: self.capacity,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,7 +179,27 @@ mod tests {
         assert!(c.get("b").is_none());
         assert!(c.get("a").is_some());
         assert!(c.get("c").is_some());
-        assert_eq!(c.counters().entries, 2);
+        let s = c.counters();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.invalidations, 0);
+    }
+
+    #[test]
+    fn prefix_invalidation_counts_and_spares_other_keys() {
+        let c = PlanCache::new(8);
+        c.put("coplan:x".into(), "X".into());
+        c.put("coplan:y".into(), "Y".into());
+        c.put("plan:z".into(), "Z".into());
+        assert_eq!(c.invalidate_prefix("coplan:"), 2);
+        assert!(c.get("coplan:x").is_none());
+        assert!(c.get("plan:z").is_some());
+        let s = c.counters();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.entries, 1);
+        // Idempotent: nothing left to drop.
+        assert_eq!(c.invalidate_prefix("coplan:"), 0);
     }
 
     #[test]

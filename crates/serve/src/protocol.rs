@@ -18,6 +18,14 @@ use serde_json::Value;
 pub enum Op {
     /// Run (or replay from cache) an LCMM plan.
     Plan,
+    /// Register (or re-register) a model in the tenant registry.
+    Register,
+    /// Remove a model from the tenant registry.
+    Unregister,
+    /// Co-plan every registered model jointly on one device.
+    Coplan,
+    /// Route one registered model's slice out of the active co-plan.
+    Route,
     /// Report daemon statistics.
     Stats,
     /// Liveness probe.
@@ -107,6 +115,13 @@ pub struct WireRequest {
     /// Attach this run's `PassStats` to the response (computed plans
     /// only; cache hits replay stored bytes and omit stats).
     pub include_stats: bool,
+    /// Registry model name ([`Op::Register`] / [`Op::Unregister`] /
+    /// [`Op::Route`]).
+    pub model: Option<String>,
+    /// Objective weight of a registered tenant ([`Op::Register`]).
+    pub weight: Option<f64>,
+    /// Explicit compute share of a registered tenant ([`Op::Register`]).
+    pub share: Option<f64>,
 }
 
 /// A plan request resolved into model types, ready to run.
@@ -139,7 +154,7 @@ impl WireRequest {
         for (key, _) in obj {
             match key.as_str() {
                 "id" | "op" | "graph" | "device" | "precision" | "allocator" | "options"
-                | "deadline_ms" | "include_stats" => {}
+                | "deadline_ms" | "include_stats" | "model" | "weight" | "share" => {}
                 other => return Err(format!("unknown request field {other:?}")),
             }
         }
@@ -154,6 +169,10 @@ impl WireRequest {
             None => Op::Plan,
             Some(v) => match v.as_str() {
                 Some("plan") => Op::Plan,
+                Some("register") => Op::Register,
+                Some("unregister") => Op::Unregister,
+                Some("coplan") => Op::Coplan,
+                Some("route") => Op::Route,
                 Some("stats") => Op::Stats,
                 Some("ping") => Op::Ping,
                 Some("shutdown") => Op::Shutdown,
@@ -207,6 +226,18 @@ impl WireRequest {
                 .as_bool()
                 .ok_or_else(|| "include_stats must be a boolean".to_string())?,
         };
+        let model = str_field("model")?;
+        let f64_field = |name: &str| -> Result<Option<f64>, String> {
+            match value.get(name) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{name} must be a number")),
+            }
+        };
+        let weight = f64_field("weight")?;
+        let share = f64_field("share")?;
         Ok(Self {
             id,
             op,
@@ -219,6 +250,9 @@ impl WireRequest {
             splitting,
             deadline_ms,
             include_stats,
+            model,
+            weight,
+            share,
         })
     }
 
@@ -238,6 +272,21 @@ impl WireRequest {
         let device = Device::by_name(device_name)
             .ok_or_else(|| LcmmError::UnknownDevice(device_name.to_string()))?;
         let precision = parse_precision(self.precision.as_deref().unwrap_or("fix16"))?;
+        Ok(ResolvedPlan {
+            graph,
+            device,
+            precision,
+            options: self.resolve_options()?,
+        })
+    }
+
+    /// Resolves just the allocator and pass-toggle fields — shared by
+    /// plan and co-plan requests.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::InvalidRequest`] for an unknown allocator name.
+    pub(crate) fn resolve_options(&self) -> Result<LcmmOptions, LcmmError> {
         let mut options = LcmmOptions::default();
         if let Some(name) = self.allocator.as_deref() {
             options = options.with_allocator(parse_allocator(name)?);
@@ -251,12 +300,7 @@ impl WireRequest {
         if let Some(flag) = self.splitting {
             options = options.with_splitting(flag);
         }
-        Ok(ResolvedPlan {
-            graph,
-            device,
-            precision,
-            options,
-        })
+        Ok(options)
     }
 }
 
@@ -312,7 +356,7 @@ fn parse_graph_spec(v: &Value) -> Result<GraphSpec, String> {
 }
 
 /// Parses a precision name (`8`/`fix8`, `16`/`fix16`, `32`/`float32`…).
-fn parse_precision(name: &str) -> Result<Precision, LcmmError> {
+pub(crate) fn parse_precision(name: &str) -> Result<Precision, LcmmError> {
     match name.to_ascii_lowercase().as_str() {
         "8" | "fix8" | "int8" | "8-bit" => Ok(Precision::Fix8),
         "16" | "fix16" | "int16" | "16-bit" => Ok(Precision::Fix16),
@@ -467,6 +511,17 @@ pub enum WireResponse {
         /// The stats payload (see `docs/SERVE.md`).
         stats: Value,
     },
+    /// Acknowledges a registry mutation (`register` / `unregister`).
+    Registry {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// `"register"` or `"unregister"`.
+        action: String,
+        /// The model the action applied to.
+        model: String,
+        /// Registered models after the action.
+        models: u64,
+    },
     /// A ping reply.
     Pong {
         /// Echoed request id.
@@ -506,6 +561,7 @@ impl WireResponse {
         let id = match self {
             WireResponse::Plan { id, .. }
             | WireResponse::Stats { id, .. }
+            | WireResponse::Registry { id, .. }
             | WireResponse::Pong { id }
             | WireResponse::Shutdown { id }
             | WireResponse::Error { id, .. } => *id,
@@ -533,6 +589,20 @@ impl WireResponse {
                 }
                 fields.push(("ok".to_string(), Value::Bool(true)));
                 fields.push(("stats".to_string(), stats.clone()));
+            }
+            WireResponse::Registry {
+                action,
+                model,
+                models,
+                ..
+            } => {
+                fields.push(("action".to_string(), Value::Str(action.clone())));
+                if let Some(id) = id {
+                    fields.push(("id".to_string(), Value::U64(id)));
+                }
+                fields.push(("model".to_string(), Value::Str(model.clone())));
+                fields.push(("models".to_string(), Value::U64(*models)));
+                fields.push(("ok".to_string(), Value::Bool(true)));
             }
             WireResponse::Pong { .. } => {
                 if let Some(id) = id {

@@ -9,7 +9,7 @@
 //! memoized [`Harness`]; everything else (`ping`, `stats`, `shutdown`)
 //! is answered inline.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -17,6 +17,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lcmm_core::{CancelToken, Harness, LcmmError, PassStats};
+use lcmm_fpga::{Device, Precision};
+use lcmm_graph::Graph;
+use lcmm_multi::{coplan, coplan_summary, CoplanOptions, TenantSpec};
 use serde_json::Value;
 
 use crate::cache::PlanCache;
@@ -97,9 +100,20 @@ struct Histograms {
     total: LatencyHistogram,
 }
 
+/// One registered tenant: the resolved graph plus its co-planning
+/// parameters, keyed by model name in the registry.
+#[derive(Clone)]
+struct Registered {
+    graph: Graph,
+    precision: Precision,
+    weight: f64,
+    share: Option<f64>,
+}
+
 struct Inner {
     harness: Harness,
     cache: PlanCache,
+    registry: Mutex<BTreeMap<String, Registered>>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     shutting_down: AtomicBool,
@@ -132,6 +146,7 @@ impl Server {
         let inner = Arc::new(Inner {
             harness: Harness::new(workers),
             cache: PlanCache::new(config.cache_capacity),
+            registry: Mutex::new(BTreeMap::new()),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 in_flight: 0,
@@ -195,8 +210,103 @@ impl Server {
                 self.begin_shutdown();
                 WireResponse::Shutdown { id }.to_line()
             }
-            Op::Plan => self.submit_plan(request),
+            Op::Register => self.handle_register(&request),
+            Op::Unregister => self.handle_unregister(&request),
+            // Co-planning is as expensive as planning: both go through
+            // admission control and the worker pool, as does routing
+            // (a route may have to compute the co-plan it routes from).
+            Op::Plan | Op::Coplan | Op::Route => self.submit_plan(request),
         }
+    }
+
+    /// Registers (or re-registers) a model for co-planning. Any change
+    /// to the tenant set invalidates every cached co-plan.
+    fn handle_register(&self, request: &WireRequest) -> String {
+        let answer_err = |err: &LcmmError| WireResponse::from_error(request.id, err).to_line();
+        let Some(model) = request.model.clone().filter(|m| !m.is_empty()) else {
+            return answer_err(&LcmmError::InvalidRequest(
+                "register needs a non-empty \"model\" field".to_string(),
+            ));
+        };
+        let Some(spec) = request.graph.as_ref() else {
+            return answer_err(&LcmmError::InvalidRequest(
+                "register needs a \"graph\" field".to_string(),
+            ));
+        };
+        let graph = match spec.resolve() {
+            Ok(graph) => graph,
+            Err(err) => return answer_err(&err),
+        };
+        let precision =
+            match crate::protocol::parse_precision(request.precision.as_deref().unwrap_or("fix16"))
+            {
+                Ok(precision) => precision,
+                Err(err) => return answer_err(&err),
+            };
+        let weight = request.weight.unwrap_or(1.0);
+        if !(weight.is_finite() && weight > 0.0) {
+            return answer_err(&LcmmError::InvalidRequest(format!(
+                "weight {weight} must be positive and finite"
+            )));
+        }
+        if let Some(share) = request.share {
+            if !(share.is_finite() && share > 0.0 && share <= 1.0) {
+                return answer_err(&LcmmError::InvalidRequest(format!(
+                    "share {share} outside (0, 1]"
+                )));
+            }
+        }
+        let models = {
+            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            registry.insert(
+                model.clone(),
+                Registered {
+                    graph,
+                    precision,
+                    weight,
+                    share: request.share,
+                },
+            );
+            registry.len() as u64
+        };
+        self.inner.cache.invalidate_prefix(COPLAN_KEY_PREFIX);
+        WireResponse::Registry {
+            id: request.id,
+            action: "register".to_string(),
+            model,
+            models,
+        }
+        .to_line()
+    }
+
+    /// Removes a model from the registry, invalidating cached co-plans.
+    fn handle_unregister(&self, request: &WireRequest) -> String {
+        let Some(model) = request.model.clone().filter(|m| !m.is_empty()) else {
+            return WireResponse::from_error(
+                request.id,
+                &LcmmError::InvalidRequest(
+                    "unregister needs a non-empty \"model\" field".to_string(),
+                ),
+            )
+            .to_line();
+        };
+        let removed = {
+            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            let removed = registry.remove(&model).is_some();
+            (removed, registry.len() as u64)
+        };
+        let (removed, models) = removed;
+        if !removed {
+            return WireResponse::from_error(request.id, &LcmmError::UnknownModel(model)).to_line();
+        }
+        self.inner.cache.invalidate_prefix(COPLAN_KEY_PREFIX);
+        WireResponse::Registry {
+            id: request.id,
+            action: "unregister".to_string(),
+            model,
+            models,
+        }
+        .to_line()
     }
 
     /// True once a shutdown has been requested (new plans are refused).
@@ -289,18 +399,25 @@ impl Server {
                 ("total".to_string(), h.total.to_value()),
             ])
         };
+        let models = self.inner.registry.lock().expect("registry poisoned").len();
         Value::Map(vec![
             (
                 "cache".to_string(),
                 Value::Map(vec![
                     ("capacity".to_string(), Value::U64(cache.capacity as u64)),
                     ("entries".to_string(), Value::U64(cache.entries as u64)),
+                    ("evictions".to_string(), Value::U64(cache.evictions)),
                     ("hit_rate".to_string(), Value::F64(cache.hit_rate())),
                     ("hits".to_string(), Value::U64(cache.hits)),
+                    ("invalidations".to_string(), Value::U64(cache.invalidations)),
                     ("misses".to_string(), Value::U64(cache.misses)),
                 ]),
             ),
             ("histograms".to_string(), histograms),
+            (
+                "registry".to_string(),
+                Value::Map(vec![("models".to_string(), Value::U64(models as u64))]),
+            ),
             (
                 "queue".to_string(),
                 Value::Map(vec![
@@ -395,18 +512,15 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
-/// Cache key: digest of the canonical JSON fingerprint of the resolved
-/// request. Two hex-encoded FNV-1a passes with independent offsets make
-/// accidental collisions (~2⁻¹²⁸) a non-concern while keeping keys
-/// small even for inline thousand-node graphs.
-fn cache_key(resolved: &ResolvedPlan) -> String {
-    let fingerprint = format!(
-        "{}\u{1}{}\u{1}{}\u{1}{}",
-        serde_json::to_string(&resolved.graph).unwrap_or_default(),
-        serde_json::to_string(&resolved.device).unwrap_or_default(),
-        serde_json::to_string(&resolved.precision).unwrap_or_default(),
-        serde_json::to_string(&resolved.options).unwrap_or_default(),
-    );
+/// Key prefix of cached co-plans — the namespace registry changes
+/// invalidate.
+const COPLAN_KEY_PREFIX: &str = "coplan:";
+
+/// Digest of a canonical fingerprint string. Two hex-encoded FNV-1a
+/// passes with independent offsets make accidental collisions (~2⁻¹²⁸)
+/// a non-concern while keeping keys small even for inline
+/// thousand-node graphs.
+fn digest(fingerprint: &str) -> String {
     let fnv = |offset: u64| -> u64 {
         let mut hash = offset;
         for byte in fingerprint.as_bytes() {
@@ -423,6 +537,60 @@ fn cache_key(resolved: &ResolvedPlan) -> String {
     )
 }
 
+/// Cache key of a single-model plan: digest of the canonical JSON
+/// fingerprint of the resolved request.
+fn cache_key(resolved: &ResolvedPlan) -> String {
+    let fingerprint = format!(
+        "{}\u{1}{}\u{1}{}\u{1}{}",
+        serde_json::to_string(&resolved.graph).unwrap_or_default(),
+        serde_json::to_string(&resolved.device).unwrap_or_default(),
+        serde_json::to_string(&resolved.precision).unwrap_or_default(),
+        serde_json::to_string(&resolved.options).unwrap_or_default(),
+    );
+    digest(&fingerprint)
+}
+
+/// Cache key of a co-plan: covers the *full tenant set* — every
+/// registered model's name, graph, precision, weight and share — plus
+/// the device and options, so any registry change resolves to a new
+/// key (a forced miss) even before the explicit prefix invalidation
+/// reclaims the stale entries.
+fn coplan_cache_key(
+    registry: &[(String, Registered)],
+    device: &Device,
+    opts: &CoplanOptions,
+) -> String {
+    let mut fingerprint = String::new();
+    for (name, r) in registry {
+        fingerprint.push_str(&format!(
+            "{}\u{1}{}\u{1}{}\u{1}{}\u{1}{:?}\u{2}",
+            name,
+            serde_json::to_string(&r.graph).unwrap_or_default(),
+            serde_json::to_string(&r.precision).unwrap_or_default(),
+            r.weight,
+            r.share,
+        ));
+    }
+    fingerprint.push_str(&format!(
+        "{}\u{1}{}",
+        serde_json::to_string(device).unwrap_or_default(),
+        serde_json::to_string(opts).unwrap_or_default(),
+    ));
+    format!("{COPLAN_KEY_PREFIX}{}", digest(&fingerprint))
+}
+
+/// The routed slice of a co-plan summary: the entry of `tenants` whose
+/// `model` field is `model`.
+fn tenant_slice(summary: &Value, model: &str) -> Option<Value> {
+    match summary.get("tenants")? {
+        Value::Seq(items) => items
+            .iter()
+            .find(|t| t.get("model").and_then(Value::as_str) == Some(model))
+            .cloned(),
+        _ => None,
+    }
+}
+
 /// Runs one admitted plan request to a response line.
 fn process_plan(inner: &Inner, job: &Job) -> String {
     let request = &job.request;
@@ -433,6 +601,9 @@ fn process_plan(inner: &Inner, job: &Job) -> String {
     // Deadline may already have passed while the job sat in the queue.
     if let Err(err) = job.cancel.check() {
         return answer_err(&err);
+    }
+    if matches!(request.op, Op::Coplan | Op::Route) {
+        return process_coplan(inner, job);
     }
     let resolved = match request.resolve_plan() {
         Ok(resolved) => resolved,
@@ -486,6 +657,110 @@ fn process_plan(inner: &Inner, job: &Job) -> String {
         pass_stats: request
             .include_stats
             .then(|| pass_stats_value(&result.stats)),
+    }
+    .to_line()
+}
+
+/// Runs one admitted co-plan or route request to a response line.
+///
+/// Both compute (or replay from cache) the co-plan of the *entire*
+/// current registry; a route then answers with just the named tenant's
+/// slice of it. The cached payload is always the full summary, so a
+/// co-plan and the routes against it share one entry.
+fn process_coplan(inner: &Inner, job: &Job) -> String {
+    let request = &job.request;
+    let answer_err = |err: &LcmmError| {
+        inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+        WireResponse::from_error(request.id, err).to_line()
+    };
+    let registry: Vec<(String, Registered)> = {
+        let registry = inner.registry.lock().expect("registry poisoned");
+        registry
+            .iter()
+            .map(|(name, r)| (name.clone(), r.clone()))
+            .collect()
+    };
+    if registry.is_empty() {
+        return answer_err(&LcmmError::InvalidRequest(
+            "no models registered; register tenants before co-planning".to_string(),
+        ));
+    }
+    let route_model = match request.op {
+        Op::Route => match request.model.as_deref().filter(|m| !m.is_empty()) {
+            Some(m) if registry.iter().any(|(name, _)| name == m) => Some(m.to_string()),
+            Some(m) => return answer_err(&LcmmError::UnknownModel(m.to_string())),
+            None => {
+                return answer_err(&LcmmError::InvalidRequest(
+                    "route needs a non-empty \"model\" field".to_string(),
+                ))
+            }
+        },
+        _ => None,
+    };
+    let device_name = request.device.as_deref().unwrap_or("vu9p");
+    let Some(device) = Device::by_name(device_name) else {
+        return answer_err(&LcmmError::UnknownDevice(device_name.to_string()));
+    };
+    let options = match request.resolve_options() {
+        Ok(options) => options,
+        Err(err) => return answer_err(&err),
+    };
+    let opts = CoplanOptions::default().with_options(options);
+    let key = coplan_cache_key(&registry, &device, &opts);
+    if let Some(stored) = inner.cache.get(&key) {
+        let full: Value = match serde_json::from_str(&stored) {
+            Ok(full) => full,
+            Err(_) => Value::Str(stored),
+        };
+        let plan = match &route_model {
+            Some(m) => match tenant_slice(&full, m) {
+                Some(slice) => slice,
+                None => {
+                    return answer_err(&LcmmError::UnknownModel(m.clone()));
+                }
+            },
+            None => full,
+        };
+        inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+        return WireResponse::Plan {
+            id: request.id,
+            plan,
+            cached: true,
+            pass_stats: None,
+        }
+        .to_line();
+    }
+    if let Err(err) = job.cancel.check() {
+        return answer_err(&err);
+    }
+    let tenants: Vec<TenantSpec> = registry
+        .iter()
+        .map(|(name, r)| {
+            let mut tenant =
+                TenantSpec::new(name.clone(), r.graph.clone(), r.precision).with_weight(r.weight);
+            if let Some(share) = r.share {
+                tenant = tenant.with_share(share);
+            }
+            tenant
+        })
+        .collect();
+    let plan = match coplan(&inner.harness, &device, &tenants, &opts) {
+        Ok(plan) => plan,
+        Err(err) => return answer_err(&err),
+    };
+    let summary = coplan_summary(&plan);
+    let stored = serde_json::to_string(&summary).expect("co-plan summary serialises");
+    inner.cache.put(key, stored);
+    inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+    let payload = match &route_model {
+        Some(m) => tenant_slice(&summary, m).expect("routed model is a tenant"),
+        None => summary,
+    };
+    WireResponse::Plan {
+        id: request.id,
+        plan: payload,
+        cached: false,
+        pass_stats: None,
     }
     .to_line()
 }
@@ -557,6 +832,60 @@ mod tests {
         // Still serving after three failures.
         let ok = server.handle_line(r#"{"graph":"alexnet"}"#);
         assert!(ok.contains("\"ok\":true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn registry_mutations_acknowledge_and_validate() {
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        let ack = server.handle_line(r#"{"op":"register","model":"a","graph":"alexnet","id":1}"#);
+        assert_eq!(
+            ack,
+            r#"{"action":"register","id":1,"model":"a","models":1,"ok":true}"#
+        );
+        // Re-registering overwrites in place: still one model.
+        let again = server
+            .handle_line(r#"{"op":"register","model":"a","graph":"squeezenet","weight":2.0}"#);
+        assert!(again.contains("\"models\":1"), "{again}");
+        // Bad registrations are typed errors.
+        let missing = server.handle_line(r#"{"op":"register","graph":"alexnet"}"#);
+        assert!(missing.contains("bad_request"), "{missing}");
+        let model = server.handle_line(r#"{"op":"register","model":"b","graph":"nope"}"#);
+        assert!(model.contains("unknown_model"), "{model}");
+        let share =
+            server.handle_line(r#"{"op":"register","model":"b","graph":"alexnet","share":1.5}"#);
+        assert!(share.contains("bad_request"), "{share}");
+        // Unregister removes; a second attempt is unknown.
+        let gone = server.handle_line(r#"{"op":"unregister","model":"a"}"#);
+        assert_eq!(
+            gone,
+            r#"{"action":"unregister","model":"a","models":0,"ok":true}"#
+        );
+        let repeat = server.handle_line(r#"{"op":"unregister","model":"a"}"#);
+        assert!(repeat.contains("unknown_model"), "{repeat}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn coplan_routes_and_replays_from_cache() {
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        // No tenants yet: co-planning is a typed error.
+        let empty = server.handle_line(r#"{"op":"coplan"}"#);
+        assert!(empty.contains("bad_request"), "{empty}");
+        // Explicit shares keep the test off the (slower) split search.
+        server.handle_line(r#"{"op":"register","model":"axn","graph":"alexnet","share":0.5}"#);
+        server.handle_line(r#"{"op":"register","model":"sqz","graph":"squeezenet","share":0.5}"#);
+        let first = server.handle_line(r#"{"op":"coplan"}"#);
+        assert!(first.contains("\"cached\":false"), "{first}");
+        let replay = server.handle_line(r#"{"op":"coplan"}"#);
+        assert!(replay.contains("\"cached\":true"), "{replay}");
+        // Routing shares the cached entry and answers one tenant's slice.
+        let routed = server.handle_line(r#"{"op":"route","model":"sqz"}"#);
+        assert!(routed.contains("\"cached\":true"), "{routed}");
+        assert!(routed.contains("\"model\":\"sqz\""), "{routed}");
+        assert!(!routed.contains("\"model\":\"axn\""), "{routed}");
+        let unknown = server.handle_line(r#"{"op":"route","model":"vgg"}"#);
+        assert!(unknown.contains("unknown_model"), "{unknown}");
         server.shutdown();
     }
 

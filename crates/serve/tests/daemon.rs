@@ -195,6 +195,74 @@ fn shutdown_drains_in_flight_work() {
     server.shutdown();
 }
 
+/// Registry changes force co-plan cache misses, the invalidation
+/// counter tracks reclaimed entries, and a recomputed co-plan over the
+/// same tenant set is byte-identical.
+#[test]
+fn registry_changes_invalidate_cached_coplans() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    // Explicit shares keep the test off the (slower) split search.
+    let reg = |model: &str, graph: &str, share: f64| {
+        let v = parse(&server.handle_line(&format!(
+            r#"{{"op":"register","model":"{model}","graph":"{graph}","share":{share}}}"#
+        )));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    };
+    reg("axn", "alexnet", 0.5);
+    reg("sqz", "squeezenet", 0.5);
+    assert_eq!(stat_u64(&server, "registry", "models"), 2);
+
+    let first = server.handle_line(r#"{"op":"coplan"}"#);
+    let first_v = parse(&first);
+    assert_eq!(first_v.get("cached").and_then(Value::as_bool), Some(false));
+    let replay = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    assert_eq!(replay.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(replay.get("plan"), first_v.get("plan"));
+    // Routes share the cached co-plan entry.
+    let routed = parse(&server.handle_line(r#"{"op":"route","model":"axn"}"#));
+    assert_eq!(routed.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        routed
+            .get("plan")
+            .and_then(|p| p.get("model"))
+            .and_then(Value::as_str),
+        Some("axn")
+    );
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 0);
+
+    // Registering a third tenant drops the stale co-plan...
+    reg("mbn", "mobilenet", 0.0001);
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 1);
+    // ...and restoring the original tenant set still recomputes (the
+    // entry is gone), deterministically reproducing the first payload.
+    let removed = parse(&server.handle_line(r#"{"op":"unregister","model":"mbn"}"#));
+    assert_eq!(removed.get("models").and_then(Value::as_u64), Some(2));
+    let recomputed = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    assert_eq!(
+        recomputed.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "registry change must force a cache miss"
+    );
+    assert_eq!(recomputed.get("plan"), first_v.get("plan"));
+    server.shutdown();
+}
+
+/// The `/stats` cache section reports LRU evictions.
+#[test]
+fn stats_report_cache_evictions() {
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(1),
+    );
+    assert_eq!(stat_u64(&server, "cache", "evictions"), 0);
+    server.handle_line(r#"{"graph":"alexnet"}"#);
+    server.handle_line(r#"{"graph":"squeezenet"}"#);
+    assert_eq!(stat_u64(&server, "cache", "evictions"), 1);
+    assert_eq!(stat_u64(&server, "cache", "entries"), 1);
+    server.shutdown();
+}
+
 /// Malformed and unresolvable requests get typed errors and never take
 /// the daemon down.
 #[test]

@@ -204,7 +204,14 @@ pub fn audit_case(
     let schedule = Schedule::new(graph);
 
     let mut findings = Vec::new();
-    check_invariants(graph, &result, &profile, &schedule, &mut findings);
+    check_invariants(
+        graph,
+        &result,
+        &profile,
+        &schedule,
+        result.design.tensor_sram_budget(),
+        &mut findings,
+    );
 
     let mut points = Vec::new();
 
@@ -388,17 +395,34 @@ fn diff_point(
     points.push(point);
 }
 
+/// Verifies the structural invariants of one LCMM result against an
+/// explicit SRAM budget and returns the findings.
+///
+/// For a single-tenant result the budget is the design's own
+/// [`lcmm_fpga::AccelDesign::tensor_sram_budget`]; for a tenant of a
+/// multi-model co-plan it is that tenant's share of the shared pool,
+/// which is what makes the per-tenant budget invariant checkable at
+/// all (each tenant's design still reports the whole device's budget).
+#[must_use]
+pub fn check_result_invariants(graph: &Graph, result: &LcmmResult, budget: u64) -> Vec<Finding> {
+    let profile = result.design.profile(graph);
+    let schedule = Schedule::new(graph);
+    let mut findings = Vec::new();
+    check_invariants(graph, result, &profile, &schedule, budget, &mut findings);
+    findings
+}
+
 /// Verifies the structural invariants of one LCMM result.
 fn check_invariants(
     graph: &Graph,
     result: &LcmmResult,
     profile: &lcmm_fpga::GraphProfile,
     schedule: &Schedule,
+    budget: u64,
     findings: &mut Vec<Finding>,
 ) {
-    // 1. The chosen buffers fit the design's tensor SRAM budget.
+    // 1. The chosen buffers fit the SRAM budget.
     let allocated: u64 = result.allocated_buffer_sizes().iter().sum();
-    let budget = result.design.tensor_sram_budget();
     if allocated > budget {
         findings.push(Finding::invariant(
             "budget",

@@ -30,10 +30,12 @@
 
 pub mod audit;
 mod channel;
+pub mod contention;
 pub mod dram;
 mod engine;
 pub mod trace;
 pub mod validate;
 
 pub use channel::{Channel, ChannelKind};
+pub use contention::{cross_tenant_contention, tenant_load, ContentionReport, TenantLoad};
 pub use engine::{EventKind, NodeTiming, SimConfig, SimEvent, SimReport, Simulator, WeightClass};

@@ -16,7 +16,10 @@
 //!   splitting;
 //! * [`sim`] — a cycle-approximate event-driven simulator that executes
 //!   schedules against shared DMA channels, validating the analytic
-//!   model.
+//!   model;
+//! * [`multi`] — multi-tenant co-planning: N networks sharing one
+//!   device through partitioned resources, a joint DNNK knapsack over
+//!   the shared SRAM pool, and cross-tenant DRAM-contention estimates.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 pub use lcmm_core as core;
 pub use lcmm_fpga as fpga;
 pub use lcmm_graph as graph;
+pub use lcmm_multi as multi;
 pub use lcmm_serve as serve;
 pub use lcmm_sim as sim;
 
@@ -63,6 +67,7 @@ pub mod prelude {
     };
     pub use lcmm_fpga::{AccelDesign, Device, Precision};
     pub use lcmm_graph::{ConvParams, FeatureShape, Graph, GraphBuilder};
+    pub use lcmm_multi::{coplan, Coplan, CoplanOptions, TenantSpec};
     pub use lcmm_serve::{Server, ServerConfig, WireRequest, WireResponse};
     pub use lcmm_sim::{SimConfig, Simulator};
 }
