@@ -3,7 +3,7 @@
 #
 #   ./checks/ci.sh                  # format + lints + tier-1 build/test + gates
 #   ./checks/ci.sh --quick          # skip the release build (debug test only)
-#   ./checks/ci.sh --write-budgets  # full run, then refresh checks/pass_budgets.json
+#   ./checks/ci.sh --write-budgets  # full run, then refresh checks/{pass,delta}_budgets.json
 #
 # Everything runs offline against the vendored crates; no network.
 set -euo pipefail
@@ -65,6 +65,27 @@ if ! cmp -s /tmp/ci_multi_j1.json checks/golden/multi_1.json; then
   diff checks/golden/multi_1.json /tmp/ci_multi_j1.json >&2 || true
   exit 1
 fi
+
+# Delta-equivalence gate: replaying cached pass 1–2 artifacts through
+# the share-grid search must be byte-identical to planning every grid
+# point from scratch (--no-delta), at any --jobs, on both a 2- and a
+# 3-tenant set (see docs/DELTA.md).
+echo "==> delta equivalence: multi --no-delta is byte-identical"
+for models in "mobilenet,alexnet:4" "mobilenet,alexnet,squeezenet:6"; do
+  set=${models%:*}
+  steps=${models#*:}
+  for jobs in 1 4; do
+    "$bin" multi --models "$set" --steps "$steps" --json --jobs "$jobs" \
+      >/tmp/ci_delta_on.json 2>/dev/null
+    "$bin" multi --models "$set" --steps "$steps" --json --jobs "$jobs" --no-delta \
+      >/tmp/ci_delta_off.json 2>/dev/null
+    if ! cmp -s /tmp/ci_delta_on.json /tmp/ci_delta_off.json; then
+      echo "FAIL: delta replan diverges from scratch ($set, steps $steps, jobs $jobs)" >&2
+      diff /tmp/ci_delta_off.json /tmp/ci_delta_on.json >&2 || true
+      exit 1
+    fi
+  done
+done
 
 # Serve smoke gate: boot the daemon on an ephemeral port, issue three
 # plan requests through the one-shot client, and diff the responses
@@ -141,6 +162,8 @@ if ! $quick; then
   $write_budgets && mode="--write-budgets"
   echo "==> pass budgets (scaling_passes $mode)"
   cargo bench --offline -p lcmm-bench --bench scaling_passes -- "$mode"
+  echo "==> delta budgets (delta_replan $mode)"
+  cargo bench --offline -p lcmm-bench --bench delta_replan -- "$mode"
 fi
 
 echo "CI green."

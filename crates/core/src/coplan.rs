@@ -16,12 +16,8 @@
 //! the chosen share.
 
 use crate::alloc::{dnnk, AllocProblem};
-use crate::eval::{Evaluator, Residency};
-use crate::interference::InterferenceGraph;
-use crate::liveness::{feature_lifespans, Schedule};
-use crate::pipeline::LcmmOptions;
-use crate::prefetch::PrefetchPlan;
-use crate::value::ValueTable;
+use crate::eval::Evaluator;
+use crate::pipeline::{build_front_end, FrontEnd, LcmmOptions};
 use lcmm_fpga::{AccelDesign, GraphProfile};
 use lcmm_graph::Graph;
 
@@ -81,50 +77,42 @@ pub fn tenant_gain_curve(
     options: &LcmmOptions,
     pool_bytes: u64,
 ) -> GainCurve {
-    let precision = design.precision;
     let evaluator = Evaluator::new(graph, profile);
-    let values = ValueTable::build_batched(graph, profile, precision, design.batch);
-    let schedule = Schedule::new(graph);
+    let front = build_front_end(graph, profile, &evaluator, design, options, None)
+        .expect("the front end is infallible without a cancel token");
+    curve_from_front_end(&evaluator, &front, pool_bytes)
+}
 
-    // Pass 1: feature buffer reuse (mirrors Pipeline::run_with_profile_checked).
-    let feature_graph = if options.feature_reuse {
-        let spans = feature_lifespans(&schedule, values.feature_candidates());
-        InterferenceGraph::new(
-            values
-                .feature_candidates()
-                .map(|v| (v.id, v.bytes, spans[&v.id]))
-                .collect(),
-        )
-    } else {
-        InterferenceGraph::default()
-    };
+/// Initial buffer coloring of prebuilt pass 1–2 artifacts, as in
+/// `splitting::refine` before any split. Pool-independent, so
+/// [`crate::delta::PlanArtifacts`] computes it once per artifact set.
+pub(crate) fn initial_coloring(front: &FrontEnd) -> Vec<crate::interference::VirtualBuffer> {
+    let mut buffers = front.feature_graph.color();
+    buffers.extend(front.weight_graph.color());
+    buffers
+}
 
-    // Pass 2: weight buffer prefetching.
-    let (weight_graph, prefetch) = if options.weight_prefetch {
-        let plan = PrefetchPlan::build(
-            &evaluator,
-            &schedule,
-            &Residency::new(),
-            values.weight_candidates(),
-        );
-        let spans = plan.intervals();
-        let graph = InterferenceGraph::new(
-            values
-                .weight_candidates()
-                .filter(|v| spans.contains_key(&v.id))
-                .map(|v| (v.id, v.bytes, spans[&v.id]))
-                .collect(),
-        );
-        (graph, plan)
-    } else {
-        (InterferenceGraph::default(), PrefetchPlan::default())
-    };
+/// Builds the DNNK value curve from prebuilt pass 1–2 artifacts.
+/// [`tenant_gain_curve`] and the artifact replays of [`crate::delta`]
+/// both route through here, so the two are bit-identical by
+/// construction.
+pub(crate) fn curve_from_front_end(
+    evaluator: &Evaluator<'_>,
+    front: &FrontEnd,
+    pool_bytes: u64,
+) -> GainCurve {
+    let buffers = initial_coloring(front);
+    curve_from_buffers(evaluator, front, &buffers, pool_bytes)
+}
 
-    // Initial coloring, as in splitting::refine before any split.
-    let mut buffers = feature_graph.color();
-    buffers.extend(weight_graph.color());
-
-    let problem = AllocProblem::new(&evaluator, &buffers, pool_bytes, &prefetch);
+/// The DNNK value curve of an already-colored buffer set.
+pub(crate) fn curve_from_buffers(
+    evaluator: &Evaluator<'_>,
+    front: &FrontEnd,
+    buffers: &[crate::interference::VirtualBuffer],
+    pool_bytes: u64,
+) -> GainCurve {
+    let problem = AllocProblem::new(evaluator, buffers, pool_bytes, &front.prefetch);
     GainCurve {
         values: dnnk::gain_curve(&problem),
     }

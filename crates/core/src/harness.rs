@@ -23,6 +23,7 @@
 //! no external runtime dependency (the build environment is offline).
 
 use crate::cancel::CancelToken;
+use crate::delta::PlanArtifacts;
 use crate::error::LcmmError;
 use crate::pipeline::{LcmmOptions, LcmmResult, Pipeline};
 use crate::profiling::PassStats;
@@ -103,6 +104,17 @@ impl<T> Cache<T> {
         }
     }
 
+    /// Drops every entry whose key starts with `prefix`, returning how
+    /// many were removed. Every harness key starts with the graph's
+    /// fingerprint followed by `\u{1}`, so a graph-fingerprint prefix
+    /// evicts exactly that graph's artefacts.
+    fn remove_prefix(&self, prefix: &str) -> usize {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        let before = map.len();
+        map.retain(|key, _| !key.starts_with(prefix));
+        before - map.len()
+    }
+
     fn counts(&self) -> (usize, usize) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -130,6 +142,11 @@ pub struct CacheStats {
     pub result_hits: usize,
     /// LCMM-result cache misses (pipelines actually run).
     pub result_misses: usize,
+    /// Delta-plan artifact cache hits (budget-only replans that reused
+    /// passes 1–2).
+    pub artifact_hits: usize,
+    /// Delta-plan artifact cache misses (front ends actually built).
+    pub artifact_misses: usize,
 }
 
 /// One recorded pipeline run for the `--profile` report.
@@ -159,6 +176,7 @@ pub struct Harness {
     profiles: Cache<GraphProfile>,
     baselines: Cache<UmmBaseline>,
     results: Cache<LcmmResult>,
+    artifacts: Cache<PlanArtifacts>,
     runs: Mutex<Vec<RunRecord>>,
 }
 
@@ -201,6 +219,7 @@ impl Harness {
             profiles: Cache::new(),
             baselines: Cache::new(),
             results: Cache::new(),
+            artifacts: Cache::new(),
             runs: Mutex::new(Vec::new()),
         }
     }
@@ -363,6 +382,95 @@ impl Harness {
         })
     }
 
+    /// Budget-invariant delta-plan artifacts (passes 1–2 + gain-curve
+    /// memo) for `graph` on the derated form of `base` under `options`,
+    /// memoized. The key normalises `options.tensor_budget` to `None`,
+    /// so every budget variant of a request shares one artifact set —
+    /// the cache key is effectively `(graph digest, design point,
+    /// precision, allocator, pass toggles)`.
+    pub fn try_artifacts(
+        &self,
+        graph: &Graph,
+        base: &AccelDesign,
+        options: LcmmOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<PlanArtifacts>, LcmmError> {
+        let options = options.with_tensor_budget(None);
+        let design = Pipeline::new(options).lcmm_design(base.clone());
+        let key = format!("{}\u{1}{}\u{1}{}", fp(graph), fp(&design), fp(&options));
+        self.artifacts_keyed(key, graph, &design, options, cancel)
+    }
+
+    /// [`Harness::try_artifacts`] with a precomputed cache key, so
+    /// callers that already fingerprinted the request (the replan hot
+    /// path) do not serialise the graph and design a second time.
+    fn artifacts_keyed(
+        &self,
+        key: String,
+        graph: &Graph,
+        design: &AccelDesign,
+        options: LcmmOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<PlanArtifacts>, LcmmError> {
+        self.artifacts.try_get_or_compute(key, || {
+            let profile = self.profile(graph, design);
+            PlanArtifacts::from_parts(graph, design.clone(), profile, options, cancel)
+        })
+    }
+
+    /// Budget-only replan through the artifact cache: bit-identical to
+    /// [`Harness::try_lcmm_with_design`] with
+    /// `options.with_tensor_budget(budget)`, and cached under the
+    /// **same** result key, so the two entry points interoperate — a
+    /// replan can hit a result a scratch run cached and vice versa.
+    pub fn try_replan_with_budget(
+        &self,
+        graph: &Graph,
+        base: &AccelDesign,
+        options: LcmmOptions,
+        budget: Option<u64>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<LcmmResult>, LcmmError> {
+        let options = options.with_tensor_budget(budget);
+        let normalised = options.with_tensor_budget(None);
+        // The derated design is budget-independent, so one derate (and
+        // one graph/design fingerprint) serves both the result key and
+        // the artifact key — fingerprinting is the replan hot path's
+        // only per-call cost once the artifact cache is warm.
+        let design = Pipeline::new(options).lcmm_design(base.clone());
+        let graph_fp = fp(graph);
+        let design_fp = fp(&design);
+        let key = format!("{graph_fp}\u{1}{design_fp}\u{1}{}", fp(&options));
+        let artifact_key = format!("{graph_fp}\u{1}{design_fp}\u{1}{}", fp(&normalised));
+        self.results.try_get_or_compute(key, || {
+            let artifacts =
+                self.artifacts_keyed(artifact_key, graph, &design, normalised, cancel)?;
+            let result = artifacts.replan_with_budget(graph, budget, cancel)?;
+            self.runs
+                .lock()
+                .expect("runs lock poisoned")
+                .push(RunRecord {
+                    label: run_label(graph, &design, &options),
+                    stats: result.stats,
+                });
+            Ok(result)
+        })
+    }
+
+    /// Evicts every cached artefact derived from `graph` — designs,
+    /// profiles, baselines, results, and delta-plan artifacts —
+    /// returning how many entries were dropped. The serve daemon calls
+    /// this when a registered model's graph *content* changes, so a
+    /// re-registered digest never serves stale artifacts.
+    pub fn invalidate_graph(&self, graph: &Graph) -> usize {
+        let prefix = format!("{}\u{1}", fp(graph));
+        self.designs.remove_prefix(&prefix)
+            + self.profiles.remove_prefix(&prefix)
+            + self.baselines.remove_prefix(&prefix)
+            + self.results.remove_prefix(&prefix)
+            + self.artifacts.remove_prefix(&prefix)
+    }
+
     /// UMM baseline and full-LCMM result side by side (the memoized
     /// equivalent of [`crate::pipeline::compare`]).
     pub fn compare(
@@ -383,6 +491,7 @@ impl Harness {
         let (profile_hits, profile_misses) = self.profiles.counts();
         let (baseline_hits, baseline_misses) = self.baselines.counts();
         let (result_hits, result_misses) = self.results.counts();
+        let (artifact_hits, artifact_misses) = self.artifacts.counts();
         CacheStats {
             design_hits,
             design_misses,
@@ -392,6 +501,8 @@ impl Harness {
             baseline_misses,
             result_hits,
             result_misses,
+            artifact_hits,
+            artifact_misses,
         }
     }
 
@@ -536,6 +647,88 @@ mod tests {
             (umm.latency, lcmm.latency)
         });
         assert_eq!(s, r);
+    }
+
+    #[test]
+    fn replans_share_one_artifact_set() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let base = h.design(&g, &Device::vu9p(), Precision::Fix16);
+        let full = base.tensor_sram_budget();
+        for budget in [None, Some(full / 2), Some(full / 4)] {
+            h.try_replan_with_budget(&g, &base, LcmmOptions::default(), budget, None)
+                .expect("replan succeeds");
+        }
+        let stats = h.cache_stats();
+        assert_eq!(stats.artifact_misses, 1, "one front end for all budgets");
+        assert_eq!(stats.artifact_hits, 2);
+        assert_eq!(stats.result_misses, 3, "three distinct budgets");
+    }
+
+    #[test]
+    fn replan_and_scratch_share_the_result_cache() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let base = h.design(&g, &Device::vu9p(), Precision::Fix16);
+        let full = base.tensor_sram_budget();
+        let opts = LcmmOptions::default();
+        let scratch = h
+            .try_lcmm_with_design(&g, &base, opts.with_tensor_budget(Some(full / 2)), None)
+            .unwrap();
+        let replay = h
+            .try_replan_with_budget(&g, &base, opts, Some(full / 2), None)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&scratch, &replay),
+            "same key, same cached result"
+        );
+        let stats = h.cache_stats();
+        assert_eq!(stats.result_misses, 1);
+        assert_eq!(stats.result_hits, 1);
+        assert_eq!(stats.artifact_misses, 0, "replay hit the result cache");
+    }
+
+    #[test]
+    fn invalidate_graph_forces_recompute_with_identical_results() {
+        let h = Harness::new(1);
+        let g = small_graph();
+        let base = h.design(&g, &Device::vu9p(), Precision::Fix16);
+        let before = h
+            .try_replan_with_budget(&g, &base, LcmmOptions::default(), None, None)
+            .unwrap();
+        let dropped = h.invalidate_graph(&g);
+        assert!(dropped >= 3, "design + profile + result + artifacts");
+        let after = h
+            .try_replan_with_budget(&g, &base, LcmmOptions::default(), None, None)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "entry was really evicted");
+        assert_eq!(before.latency.to_bits(), after.latency.to_bits());
+        assert_eq!(before.chosen, after.chosen);
+        // Unrelated graphs are untouched.
+        let other = zoo::squeezenet();
+        h.try_replan_with_budget(
+            &other,
+            &h.design(&other, &Device::vu9p(), Precision::Fix16),
+            LcmmOptions::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        let misses = h.cache_stats().artifact_misses;
+        h.invalidate_graph(&g);
+        h.try_replan_with_budget(
+            &other,
+            &h.design(&other, &Device::vu9p(), Precision::Fix16),
+            LcmmOptions::default(),
+            Some(1 << 20),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            h.cache_stats().artifact_misses,
+            misses,
+            "other graph's artifacts survived the invalidation"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod alloc;
 pub mod calibrate;
 pub mod cancel;
 pub mod coplan;
+pub mod delta;
 pub mod design_space;
 pub mod energy;
 pub mod error;
@@ -63,6 +64,7 @@ pub use lcmm_graph::fast_hash;
 
 pub use cancel::CancelToken;
 pub use coplan::{tenant_gain_curve, GainCurve};
+pub use delta::PlanArtifacts;
 pub use error::LcmmError;
 pub use eval::{Evaluator, Residency};
 pub use harness::Harness;

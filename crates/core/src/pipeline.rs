@@ -290,127 +290,216 @@ impl Pipeline {
         check_opt(cancel)?;
         profiling::reset_counters();
         let t_total = Instant::now();
-        let precision = design.precision;
         let evaluator = Evaluator::new(graph, profile);
-        let values = ValueTable::build_batched(graph, profile, precision, design.batch);
-        let schedule = Schedule::new(graph);
-
-        // --- Pass 1: feature buffer reuse -------------------------------
-        let t_pass = Instant::now();
-        let feature_graph = if self.options.feature_reuse {
-            let spans = feature_lifespans(&schedule, values.feature_candidates());
-            InterferenceGraph::new(
-                values
-                    .feature_candidates()
-                    .map(|v| (v.id, v.bytes, spans[&v.id]))
-                    .collect(),
-            )
-        } else {
-            InterferenceGraph::default()
-        };
-        let liveness_seconds = t_pass.elapsed().as_secs_f64();
-        check_opt(cancel)?;
-
-        // --- Pass 2: weight buffer prefetching ---------------------------
-        let t_pass = Instant::now();
-        let (weight_graph, prefetch) = if self.options.weight_prefetch {
-            let plan = PrefetchPlan::build(
-                &evaluator,
-                &schedule,
-                &Residency::new(),
-                values.weight_candidates(),
-            );
-            let spans = plan.intervals();
-            let graph = InterferenceGraph::new(
-                values
-                    .weight_candidates()
-                    .filter(|v| spans.contains_key(&v.id))
-                    .map(|v| (v.id, v.bytes, spans[&v.id]))
-                    .collect(),
-            );
-            (graph, plan)
-        } else {
-            (InterferenceGraph::default(), PrefetchPlan::default())
-        };
-        let prefetch_seconds = t_pass.elapsed().as_secs_f64();
-        check_opt(cancel)?;
-
-        // --- Pass 3 + 4: DNNK allocation with splitting ------------------
-        let t_pass = Instant::now();
-        let allocator = match self.options.allocator {
-            AllocatorKind::Dnnk => dnnk::allocate as fn(&AllocProblem<'_>) -> _,
-            AllocatorKind::DnnkIterative => dnnk_iterative::allocate,
-            AllocatorKind::Greedy => greedy::allocate,
-            AllocatorKind::Exhaustive => exhaustive::allocate,
-        };
-        let split_config = if self.options.splitting {
-            SplitConfig::default()
-        } else {
-            SplitConfig { max_iterations: 0 }
-        };
-        let budget = match self.options.tensor_budget {
-            Some(b) => b.min(design.tensor_sram_budget()),
-            None => design.tensor_sram_budget(),
-        };
-        let result = refine(
-            &evaluator,
-            precision,
-            budget,
-            &prefetch,
-            feature_graph,
-            weight_graph,
-            allocator,
-            split_config,
-        );
-        let alloc_split_seconds = t_pass.elapsed().as_secs_f64();
-        check_opt(cancel)?;
-
-        // --- Reporting ----------------------------------------------------
-        let t_pass = Instant::now();
-        let empty = Residency::new();
-        let memory_bound = profile.memory_bound_layers(graph);
-        let layers_benefiting = memory_bound
-            .iter()
-            .filter(|&&n| {
-                evaluator.node_latency(n, &result.outcome.residency)
-                    < evaluator.node_latency(n, &empty) - 1e-15
-            })
-            .count();
-
-        let buffer_sizes: Vec<u64> = result
-            .buffers
-            .iter()
-            .zip(&result.outcome.chosen)
-            .filter(|(_, &c)| c)
-            .map(|(b, _)| b.bytes)
-            .collect();
-        let resources = resources::report(&design, &buffer_sizes);
-
-        let ops = design.batch as u64 * 2 * graph.total_macs();
-        let reporting_seconds = t_pass.elapsed().as_secs_f64();
-
-        let mut stats = PassStats::from_counters(profiling::snapshot_counters());
-        stats.liveness_seconds = liveness_seconds;
-        stats.prefetch_seconds = prefetch_seconds;
-        stats.alloc_split_seconds = alloc_split_seconds;
-        stats.reporting_seconds = reporting_seconds;
-        stats.total_seconds = t_total.elapsed().as_secs_f64();
-
-        Ok(LcmmResult {
+        let front = build_front_end(graph, profile, &evaluator, &design, &self.options, cancel)?;
+        run_back_end(
+            graph,
             design,
-            latency: result.outcome.latency,
-            ops,
-            residency: result.outcome.residency,
-            buffers: result.buffers,
-            chosen: result.outcome.chosen,
-            prefetch,
-            split_iterations: result.iterations,
-            resources,
-            memory_bound_layers: memory_bound.len(),
-            layers_benefiting,
-            stats,
-        })
+            profile,
+            &evaluator,
+            &self.options,
+            front,
+            t_total,
+            cancel,
+        )
     }
+}
+
+/// The budget-invariant intermediates of passes 1–2: liveness intervals
+/// folded into the feature interference graph, prefetch spans folded
+/// into the weight interference graph, and the prefetch plan itself.
+/// These depend only on `(graph, profile, design, options − tensor_budget)`
+/// — the invariance [`crate::delta`] builds on.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontEnd {
+    /// Feature-tensor interference graph (pass 1).
+    pub feature_graph: InterferenceGraph,
+    /// Weight-tensor interference graph (pass 2).
+    pub weight_graph: InterferenceGraph,
+    /// The weight prefetch plan (pass 2).
+    pub prefetch: PrefetchPlan,
+    /// Wall clock of pass 1, seconds.
+    pub liveness_seconds: f64,
+    /// Wall clock of pass 2, seconds.
+    pub prefetch_seconds: f64,
+}
+
+/// Runs passes 1–2 exactly as the full pipeline does. Shared by the
+/// pipeline itself, [`crate::coplan::tenant_gain_curve`], and the
+/// artifact builds of [`crate::delta`], so all three produce
+/// byte-identical interference graphs and prefetch plans by
+/// construction.
+pub(crate) fn build_front_end(
+    graph: &Graph,
+    profile: &GraphProfile,
+    evaluator: &Evaluator<'_>,
+    design: &AccelDesign,
+    options: &LcmmOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<FrontEnd, LcmmError> {
+    let values = ValueTable::build_batched(graph, profile, design.precision, design.batch);
+    let schedule = Schedule::new(graph);
+
+    // --- Pass 1: feature buffer reuse -------------------------------
+    let t_pass = Instant::now();
+    let feature_graph = if options.feature_reuse {
+        let spans = feature_lifespans(&schedule, values.feature_candidates());
+        InterferenceGraph::new(
+            values
+                .feature_candidates()
+                .map(|v| (v.id, v.bytes, spans[&v.id]))
+                .collect(),
+        )
+    } else {
+        InterferenceGraph::default()
+    };
+    let liveness_seconds = t_pass.elapsed().as_secs_f64();
+    check_opt(cancel)?;
+
+    // --- Pass 2: weight buffer prefetching ---------------------------
+    let t_pass = Instant::now();
+    let (weight_graph, prefetch) = if options.weight_prefetch {
+        let plan = PrefetchPlan::build(
+            evaluator,
+            &schedule,
+            &Residency::new(),
+            values.weight_candidates(),
+        );
+        let spans = plan.intervals();
+        let graph = InterferenceGraph::new(
+            values
+                .weight_candidates()
+                .filter(|v| spans.contains_key(&v.id))
+                .map(|v| (v.id, v.bytes, spans[&v.id]))
+                .collect(),
+        );
+        (graph, plan)
+    } else {
+        (InterferenceGraph::default(), PrefetchPlan::default())
+    };
+    let prefetch_seconds = t_pass.elapsed().as_secs_f64();
+    check_opt(cancel)?;
+
+    Ok(FrontEnd {
+        feature_graph,
+        weight_graph,
+        prefetch,
+        liveness_seconds,
+        prefetch_seconds,
+    })
+}
+
+/// The allocator callback for `kind`, shared by the pipeline and the
+/// delta replay so both resolve options identically.
+pub(crate) fn allocator_fn(kind: AllocatorKind) -> crate::splitting::AllocatorFn {
+    match kind {
+        AllocatorKind::Dnnk => dnnk::allocate as fn(&AllocProblem<'_>) -> _,
+        AllocatorKind::DnnkIterative => dnnk_iterative::allocate,
+        AllocatorKind::Greedy => greedy::allocate,
+        AllocatorKind::Exhaustive => exhaustive::allocate,
+    }
+}
+
+/// The effective knapsack budget: an explicit `tensor_budget` clamped to
+/// the design's own SRAM budget, or the full design budget.
+pub(crate) fn effective_budget(options: &LcmmOptions, design: &AccelDesign) -> u64 {
+    match options.tensor_budget {
+        Some(b) => b.min(design.tensor_sram_budget()),
+        None => design.tensor_sram_budget(),
+    }
+}
+
+/// Runs passes 3–4 and reporting on prebuilt front-end artifacts — the
+/// budget-dependent tail of the pipeline. `t_total` anchors the run's
+/// `total_seconds` (the caller started the clock before the front end,
+/// or before the replay for a delta replan). The caller must have reset
+/// the profiling counters at the same anchor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_back_end(
+    graph: &Graph,
+    design: AccelDesign,
+    profile: &GraphProfile,
+    evaluator: &Evaluator<'_>,
+    options: &LcmmOptions,
+    front: FrontEnd,
+    t_total: Instant,
+    cancel: Option<&CancelToken>,
+) -> Result<LcmmResult, LcmmError> {
+    let FrontEnd {
+        feature_graph,
+        weight_graph,
+        prefetch,
+        liveness_seconds,
+        prefetch_seconds,
+    } = front;
+
+    // --- Pass 3 + 4: DNNK allocation with splitting ------------------
+    let t_pass = Instant::now();
+    let allocator = allocator_fn(options.allocator);
+    let split_config = if options.splitting {
+        SplitConfig::default()
+    } else {
+        SplitConfig { max_iterations: 0 }
+    };
+    let budget = effective_budget(options, &design);
+    let result = refine(
+        evaluator,
+        design.precision,
+        budget,
+        &prefetch,
+        feature_graph,
+        weight_graph,
+        allocator,
+        split_config,
+    );
+    let alloc_split_seconds = t_pass.elapsed().as_secs_f64();
+    check_opt(cancel)?;
+
+    // --- Reporting ----------------------------------------------------
+    let t_pass = Instant::now();
+    let empty = Residency::new();
+    let memory_bound = profile.memory_bound_layers(graph);
+    let layers_benefiting = memory_bound
+        .iter()
+        .filter(|&&n| {
+            evaluator.node_latency(n, &result.outcome.residency)
+                < evaluator.node_latency(n, &empty) - 1e-15
+        })
+        .count();
+
+    let buffer_sizes: Vec<u64> = result
+        .buffers
+        .iter()
+        .zip(&result.outcome.chosen)
+        .filter(|(_, &c)| c)
+        .map(|(b, _)| b.bytes)
+        .collect();
+    let resources = resources::report(&design, &buffer_sizes);
+
+    let ops = design.batch as u64 * 2 * graph.total_macs();
+    let reporting_seconds = t_pass.elapsed().as_secs_f64();
+
+    let mut stats = PassStats::from_counters(profiling::snapshot_counters());
+    stats.liveness_seconds = liveness_seconds;
+    stats.prefetch_seconds = prefetch_seconds;
+    stats.alloc_split_seconds = alloc_split_seconds;
+    stats.reporting_seconds = reporting_seconds;
+    stats.total_seconds = t_total.elapsed().as_secs_f64();
+
+    Ok(LcmmResult {
+        design,
+        latency: result.outcome.latency,
+        ops,
+        residency: result.outcome.residency,
+        buffers: result.buffers,
+        chosen: result.outcome.chosen,
+        prefetch,
+        split_iterations: result.iterations,
+        resources,
+        memory_bound_layers: memory_bound.len(),
+        layers_benefiting,
+        stats,
+    })
 }
 
 /// Per-block latency of a graph under a residency (drives Fig. 8): the

@@ -74,6 +74,16 @@ impl<'a> PlanRequest<'a> {
         self
     }
 
+    /// Sets the knapsack-stage SRAM budget (shorthand for adapting
+    /// [`LcmmOptions`]). This is the one option a
+    /// [`crate::delta::PlanArtifacts`] replay can vary without
+    /// rebuilding artifacts.
+    #[must_use]
+    pub fn tensor_budget(mut self, budget: Option<u64>) -> Self {
+        self.options = self.options.with_tensor_budget(budget);
+        self
+    }
+
     /// Starts from an already-explored (UMM) base design instead of
     /// running design-space exploration — the equivalent of the retired
     /// `Pipeline::run_with_design`.

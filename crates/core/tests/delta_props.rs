@@ -1,0 +1,205 @@
+//! Property tests for incremental delta-planning: a budget-only replan
+//! through [`lcmm_core::PlanArtifacts`] must be **bit-identical** to a
+//! from-scratch [`lcmm_core::PlanRequest`] on every graph, option
+//! variant, and budget — and the harness's artifact cache must behave
+//! identically at any `--jobs` setting and never serve stale artifacts
+//! across an invalidation.
+
+use lcmm_core::{AllocatorKind, Harness, LcmmOptions, LcmmResult, PlanArtifacts, PlanRequest};
+use lcmm_fpga::{AccelDesign, Device, Precision};
+use lcmm_graph::{zoo, Graph};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn base(graph: &Graph) -> AccelDesign {
+    AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16)
+}
+
+/// Everything observable about a result, bit-for-bit. Latency goes in
+/// as raw bits (`-0.0 != 0.0` here, deliberately); the plan structures
+/// without `PartialEq` go through their canonical JSON.
+fn fingerprint(r: &LcmmResult) -> String {
+    format!(
+        "{:016x}|{}|{}|{}|{}|{}|{}",
+        r.latency.to_bits(),
+        r.split_iterations,
+        serde_json::to_string(&r.chosen).expect("chosen serialises"),
+        serde_json::to_string(&r.buffers).expect("buffers serialise"),
+        serde_json::to_string(&r.residency).expect("residency serialises"),
+        serde_json::to_string(&r.prefetch).expect("prefetch serialises"),
+        serde_json::to_string(&r.resources).expect("resources serialise"),
+    )
+}
+
+/// One of the pass/allocator variants whose front ends differ.
+fn options_variant(sel: u8) -> LcmmOptions {
+    match sel % 5 {
+        0 => LcmmOptions::default(),
+        1 => LcmmOptions::feature_reuse_only(),
+        2 => LcmmOptions::weight_prefetch_only(),
+        3 => LcmmOptions::default().with_allocator(AllocatorKind::Greedy),
+        _ => LcmmOptions::default().with_splitting(false),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core tentpole property: for random graphs, random option
+    /// variants, and a budget sweep spanning zero, sub-saturation,
+    /// exact, and past-saturation budgets, replaying cached artifacts
+    /// is byte-for-byte the scratch pipeline.
+    #[test]
+    fn replan_is_bit_identical_to_scratch(
+        depth in 2usize..7,
+        branching in 1usize..4,
+        seed in any::<u64>(),
+        sel in any::<u8>(),
+    ) {
+        let g = zoo::synthetic(depth, branching, seed);
+        let options = options_variant(sel);
+        let artifacts = PlanArtifacts::build(&g, base(&g), options, None).unwrap();
+        let full = artifacts.design().tensor_sram_budget();
+        let budgets = [
+            None,
+            Some(0),
+            Some(1),
+            Some(full / 3 + 1),
+            Some(full),
+            Some(full.saturating_mul(2)),
+        ];
+        for budget in budgets {
+            let delta = artifacts.replan_with_budget(&g, budget, None).unwrap();
+            let scratch = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(options.with_tensor_budget(budget))
+                .with_design(base(&g))
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                fingerprint(&delta),
+                fingerprint(&scratch),
+                "budget {:?} diverged on {}-node graph (variant {})",
+                budget,
+                g.len(),
+                sel % 5
+            );
+        }
+    }
+}
+
+/// The artifact cache is oblivious to the worker count: a single-job
+/// harness replanning sequentially and a 4-job harness replanning
+/// through `par_map` produce bit-identical results from exactly one
+/// front-end build each.
+#[test]
+fn replans_are_deterministic_across_jobs() {
+    let g = zoo::alexnet();
+    let serial = Harness::new(1);
+    let threaded = Harness::new(4);
+    let design = serial
+        .try_design(&g, &Device::vu9p(), Precision::Fix16)
+        .unwrap();
+    let full = {
+        // Budgets are against the derated design, same as the CLI path.
+        let artifacts =
+            PlanArtifacts::build(&g, (*design).clone(), LcmmOptions::default(), None).unwrap();
+        artifacts.design().tensor_sram_budget()
+    };
+    let budgets: Vec<Option<u64>> = vec![
+        None,
+        Some(0),
+        Some(full / 4),
+        Some(full / 2),
+        Some(3 * full / 4),
+        Some(full),
+    ];
+    let from_serial: Vec<String> = budgets
+        .iter()
+        .map(|&b| {
+            let r = serial
+                .try_replan_with_budget(&g, &design, LcmmOptions::default(), b, None)
+                .unwrap();
+            fingerprint(&r)
+        })
+        .collect();
+    let design4 = threaded
+        .try_design(&g, &Device::vu9p(), Precision::Fix16)
+        .unwrap();
+    let from_threads: Vec<String> = threaded
+        .par_map(&budgets, |&b| {
+            let r = threaded
+                .try_replan_with_budget(&g, &design4, LcmmOptions::default(), b, None)
+                .unwrap();
+            fingerprint(&r)
+        })
+        .into_iter()
+        .collect();
+    assert_eq!(from_serial, from_threads, "jobs=1 and jobs=4 diverged");
+    let stats = serial.cache_stats();
+    assert_eq!(
+        stats.artifact_misses, 1,
+        "every budget must share the single artifact build"
+    );
+    assert_eq!(stats.artifact_hits, budgets.len() - 1);
+    // Concurrent first-misses may legitimately build twice (the cache
+    // deduplicates the stored Arc, not the computation), but every
+    // lookup is accounted for and most are hits.
+    let stats = threaded.cache_stats();
+    assert!(stats.artifact_misses >= 1);
+    assert_eq!(stats.artifact_hits + stats.artifact_misses, budgets.len());
+}
+
+/// After `invalidate_graph`, the harness rebuilds the artifacts rather
+/// than serving the dropped ones — reproducing the same bits — while
+/// artifacts of other graphs survive untouched.
+#[test]
+fn invalidation_never_serves_stale_artifacts() {
+    let g = zoo::alexnet();
+    let other = zoo::squeezenet();
+    let harness = Harness::new(2);
+    let design = harness
+        .try_design(&g, &Device::vu9p(), Precision::Fix16)
+        .unwrap();
+    let other_design = harness
+        .try_design(&other, &Device::vu9p(), Precision::Fix16)
+        .unwrap();
+    let before = harness
+        .try_replan_with_budget(&g, &design, LcmmOptions::default(), Some(1 << 20), None)
+        .unwrap();
+    let other_before = harness
+        .try_replan_with_budget(&other, &other_design, LcmmOptions::default(), None, None)
+        .unwrap();
+    assert_eq!(harness.cache_stats().artifact_misses, 2);
+
+    let dropped = harness.invalidate_graph(&g);
+    assert!(dropped > 0, "alexnet entries must be evicted");
+
+    // Same request again: a fresh Arc (recomputed, not replayed) with
+    // identical bits.
+    let design_again = harness
+        .try_design(&g, &Device::vu9p(), Precision::Fix16)
+        .unwrap();
+    let after = harness
+        .try_replan_with_budget(
+            &g,
+            &design_again,
+            LcmmOptions::default(),
+            Some(1 << 20),
+            None,
+        )
+        .unwrap();
+    assert!(!Arc::ptr_eq(&before, &after), "stale result served");
+    assert_eq!(fingerprint(&before), fingerprint(&after));
+    assert_eq!(
+        harness.cache_stats().artifact_misses,
+        3,
+        "the invalidated artifact set must be rebuilt"
+    );
+
+    // The other graph's caches were untouched: replaying is a pure hit.
+    let other_after = harness
+        .try_replan_with_budget(&other, &other_design, LcmmOptions::default(), None, None)
+        .unwrap();
+    assert!(Arc::ptr_eq(&other_before, &other_after));
+    assert_eq!(harness.cache_stats().artifact_misses, 3);
+}

@@ -217,6 +217,9 @@ impl Device {
     ///
     /// `share == 1.0` returns the device unchanged (bit-identical), so
     /// the single-tenant case degenerates exactly to the whole device.
+    /// This is the single-tenant view of [`Device::partition_set`]; use
+    /// the set form when partitioning for several tenants at once, so
+    /// the views are guaranteed to conserve the physical totals.
     ///
     /// # Panics
     ///
@@ -230,11 +233,121 @@ impl Device {
         if share == 1.0 {
             return self.clone();
         }
-        let mut part = self.clone();
-        part.dsp_slices = ((self.dsp_slices as f64 * share) as usize).max(1);
-        part.ddr.banks = ((self.ddr.banks as f64 * share) as usize).max(1);
-        part
+        self.partition_set(std::slice::from_ref(&share))
+            .expect("a single in-range share always fits")
+            .pop()
+            .expect("partition_set returns one view per share")
     }
+
+    /// Partitions the device across several tenants at once, conserving
+    /// the physical totals: the returned views' DSP slices and DDR banks
+    /// each sum to at most the parent device's.
+    ///
+    /// Each resource is apportioned by largest remainder: every tenant
+    /// gets `floor(total × share)` units, and the units lost to
+    /// flooring (up to `floor(total × Σ shares)`) go to the largest
+    /// fractional remainders (ties to the lower index). A tenant whose
+    /// quota floors to zero is still bumped to one unit — but only
+    /// while the sum fits, first from slack the shares left unclaimed,
+    /// then by taking a unit from the largest grant; when even that
+    /// cannot cover every tenant (more tenants than physical units) the
+    /// split is reported as infeasible instead of overclaiming.
+    ///
+    /// # Errors
+    ///
+    /// A share outside `(0, 1]`, shares summing past 1, or more tenants
+    /// than DSP slices / DDR banks.
+    pub fn partition_set(&self, shares: &[f64]) -> Result<Vec<Self>, String> {
+        for &share in shares {
+            if !(share.is_finite() && share > 0.0 && share <= 1.0) {
+                return Err(format!("partition share {share} out of (0, 1]"));
+            }
+        }
+        let sum: f64 = shares.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("partition shares sum to {sum:.6} > 1"));
+        }
+        let dsp = apportion(self.dsp_slices, shares).map_err(|need| {
+            format!(
+                "{need} tenants need {need} DSP slices; device has {}",
+                self.dsp_slices
+            )
+        })?;
+        let banks = apportion(self.ddr.banks, shares).map_err(|need| {
+            format!(
+                "{need} tenants need {need} DDR banks; device has {}",
+                self.ddr.banks
+            )
+        })?;
+        Ok(shares
+            .iter()
+            .enumerate()
+            .map(|(i, &share)| {
+                if share == 1.0 {
+                    return self.clone();
+                }
+                let mut part = self.clone();
+                part.dsp_slices = dsp[i];
+                part.ddr.banks = banks[i];
+                part
+            })
+            .collect())
+    }
+}
+
+/// Largest-remainder apportionment of `total` indivisible units over
+/// `shares` (each in `(0, 1]`, summing to at most 1): grants sum to at
+/// most `total`, every tenant gets at least one unit, and a tenant's
+/// grant never exceeds its quota by more than the one unit the floor /
+/// minimum rules move. `Err(n)` reports that the `n` tenants cannot all
+/// receive a unit.
+fn apportion(total: usize, shares: &[f64]) -> Result<Vec<usize>, usize> {
+    let n = shares.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n > total {
+        return Err(n);
+    }
+    let quotas: Vec<f64> = shares.iter().map(|&s| total as f64 * s).collect();
+    let mut grants: Vec<usize> = quotas.iter().map(|&q| q as usize).collect();
+    // The collective entitlement, rounded down (the 1e-9 band absorbs
+    // float noise in shares that sum to exactly 1).
+    let target = ((quotas.iter().sum::<f64>() + 1e-9).floor() as usize).min(total);
+    let mut granted: usize = grants.iter().sum();
+    if granted < target {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - grants[a] as f64;
+            let rb = quotas[b] - grants[b] as f64;
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in order.iter().cycle().take(target - granted) {
+            grants[i] += 1;
+        }
+        granted = target;
+    }
+    // Minimum-one floor, only while the sum fits: free units first,
+    // then a unit from the largest grant (first such index).
+    for i in 0..n {
+        if grants[i] > 0 {
+            continue;
+        }
+        if granted < total {
+            grants[i] = 1;
+            granted += 1;
+        } else {
+            let donor = (0..n)
+                .max_by(|&a, &b| grants[a].cmp(&grants[b]).then(b.cmp(&a)))
+                .filter(|&d| grants[d] > 1)
+                .ok_or(n)?;
+            grants[donor] -= 1;
+            grants[i] = 1;
+        }
+    }
+    Ok(grants)
 }
 
 impl Default for Device {
@@ -315,6 +428,86 @@ mod tests {
     #[should_panic(expected = "out of (0, 1]")]
     fn partition_rejects_zero_share() {
         let _ = Device::vu9p().partition(0.0);
+    }
+
+    #[test]
+    fn partition_set_conserves_totals() {
+        let d = Device::vu9p();
+        // Many small shares used to overclaim banks through the min-1
+        // floor (4 × max(1, floor(4 × 0.25-ε)) could exceed 4); the set
+        // form must never hand out more than the device has.
+        for shares in [
+            vec![0.25; 4],
+            vec![0.1, 0.1, 0.1, 0.1],
+            vec![0.375, 0.625],
+            vec![1.0 / 3.0; 3],
+            vec![0.05, 0.05, 0.45, 0.45],
+        ] {
+            let parts = d.partition_set(&shares).expect("feasible split");
+            let dsp: usize = parts.iter().map(|p| p.dsp_slices).sum();
+            let banks: usize = parts.iter().map(|p| p.ddr.banks).sum();
+            assert!(
+                dsp <= d.dsp_slices,
+                "{shares:?}: {dsp} DSPs > {}",
+                d.dsp_slices
+            );
+            assert!(
+                banks <= d.ddr.banks,
+                "{shares:?}: {banks} banks > {}",
+                d.ddr.banks
+            );
+            assert!(parts.iter().all(|p| p.dsp_slices >= 1 && p.ddr.banks >= 1));
+        }
+    }
+
+    #[test]
+    fn partition_set_uses_largest_remainders() {
+        let d = Device::vu9p();
+        // 3/8 and 5/8 of 4 banks floor to (1, 2); the flooring loss goes
+        // back to the largest remainder (tie → lower index) so the full
+        // entitlement of 4 banks is granted.
+        let parts = d.partition_set(&[0.375, 0.625]).expect("feasible");
+        assert_eq!([parts[0].ddr.banks, parts[1].ddr.banks], [2, 2]);
+        assert_eq!(parts[0].dsp_slices + parts[1].dsp_slices, d.dsp_slices);
+        // Exact quarters stay exact — the steps-4 grid is untouched.
+        let quarters = d.partition_set(&[0.25, 0.75]).expect("feasible");
+        assert_eq!([quarters[0].ddr.banks, quarters[1].ddr.banks], [1, 3]);
+        assert_eq!(quarters[0].dsp_slices, 1710);
+    }
+
+    #[test]
+    fn partition_set_min_one_only_while_it_fits() {
+        let d = Device::vu9p(); // 4 DDR banks
+                                // Four slivers: every tenant still gets its one bank because
+                                // the unclaimed slack covers the bumps.
+        let parts = d.partition_set(&[0.01; 4]).expect("fits exactly");
+        assert!(parts.iter().all(|p| p.ddr.banks == 1));
+        // Five tenants cannot all get a bank: explicit infeasibility,
+        // not phantom capacity.
+        let err = d.partition_set(&[0.01; 5]).unwrap_err();
+        assert!(err.contains("DDR banks"), "{err}");
+    }
+
+    #[test]
+    fn partition_matches_single_entry_partition_set() {
+        let d = Device::vu9p();
+        for share in [0.05, 0.25, 0.375, 0.5, 0.9, 1.0] {
+            let single = d.partition(share);
+            let via_set = d.partition_set(&[share]).expect("feasible")[0].clone();
+            assert_eq!(single, via_set, "share {share}");
+        }
+    }
+
+    #[test]
+    fn partition_set_rejects_bad_shares() {
+        let d = Device::vu9p();
+        assert!(d.partition_set(&[0.0, 0.5]).is_err());
+        assert!(d.partition_set(&[0.7, 0.7]).is_err());
+        assert!(d.partition_set(&[f64::NAN]).is_err());
+        assert!(d
+            .partition_set(&[])
+            .expect("empty is trivially fine")
+            .is_empty());
     }
 
     #[test]

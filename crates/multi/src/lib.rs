@@ -130,6 +130,14 @@ pub struct CoplanOptions {
     pub search_steps: usize,
     /// Objective the search minimises.
     pub objective: Objective,
+    /// Reuse budget-invariant pass artifacts across grid points and
+    /// finalisation runs ([`lcmm_core::delta`]). `None` means the
+    /// default (**on**) — the `Option` keeps older serialized requests
+    /// without the field deserializing. The delta path is bit-identical
+    /// to scratch planning, so turning it off exists only for A/B
+    /// verification (`lcmm multi --no-delta`, the CI delta-equivalence
+    /// gate). Read it through [`CoplanOptions::delta_replan`].
+    pub delta_replan: Option<bool>,
 }
 
 impl Default for CoplanOptions {
@@ -138,6 +146,7 @@ impl Default for CoplanOptions {
             options: LcmmOptions::default(),
             search_steps: 8,
             objective: Objective::WeightedLatency,
+            delta_replan: None,
         }
     }
 }
@@ -162,6 +171,19 @@ impl CoplanOptions {
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// Returns a copy with the delta-replan artifact reuse toggled.
+    #[must_use]
+    pub fn with_delta_replan(mut self, on: bool) -> Self {
+        self.delta_replan = Some(on);
+        self
+    }
+
+    /// Whether planning reuses delta artifacts (the unset default is on).
+    #[must_use]
+    pub fn delta_replan(&self) -> bool {
+        self.delta_replan.unwrap_or(true)
     }
 }
 

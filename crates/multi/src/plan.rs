@@ -36,18 +36,74 @@ pub fn pool_bytes(designs: &[&AccelDesign]) -> u64 {
 /// virtual buffers: buffers of different tenants couple only through
 /// capacity, so the union DP factors into per-tenant curves combined
 /// here — pivot compensation stays per-tenant by construction.
+/// Smallest grant after which `curve` is bitwise flat: every value at
+/// `s..=units()` has the same bit pattern as the last entry. Grants
+/// beyond the cap can never win the DP's strict-improvement test (the
+/// DP row is non-decreasing, so a larger grant with the same curve
+/// value reads an older, no-better row cell), so restricting the grant
+/// range to the cap is exactly equivalent — including tie-breaking.
+fn saturation_cap(curve: &GainCurve) -> usize {
+    let vals = curve.values();
+    let last = vals[vals.len() - 1].to_bits();
+    let mut s = vals.len() - 1;
+    while s > 0 && vals[s - 1].to_bits() == last {
+        s -= 1;
+    }
+    s
+}
+
 fn joint_capacity_dp(curves: &[(f64, GainCurve)], units: usize) -> Vec<usize> {
     let t = curves.len();
     let mut dp = vec![0.0f64; units + 1];
     let mut grant = vec![0u32; t * (units + 1)];
     for (k, (weight, curve)) in curves.iter().enumerate() {
+        // Three exact shortcuts keep this DP out of the delta-replan
+        // critical path (see docs/DELTA.md for the equivalence
+        // argument): grants are capped at the curve's bitwise
+        // saturation point; the first stage folds its all-zeros input
+        // row into a prefix-max scan; and the last stage fills only the
+        // one cell the backtrace reads.
+        let cap = saturation_cap(curve);
+        let last_stage = k + 1 == t;
         let mut next = vec![f64::NEG_INFINITY; units + 1];
-        for u in 0..=units {
-            for g in 0..=u.min(curve.units()) {
-                let v = dp[u - g] + weight * curve.value_at(g);
-                if v > next[u] {
-                    next[u] = v;
-                    grant[k * (units + 1) + u] = g as u32;
+        if k == 0 {
+            // dp[u-g] is 0.0 everywhere, so cell u is the running
+            // best over g ≤ min(u, cap) of `0.0 + weight * value(g)`
+            // (the explicit 0.0 + keeps -0.0 curve entries bit-exact),
+            // with the first strict achiever winning — a prefix max.
+            let top = cap.min(units);
+            let mut best_v = vec![f64::NEG_INFINITY; top + 1];
+            let mut best_g = vec![0u32; top + 1];
+            let mut v = f64::NEG_INFINITY;
+            let mut g_at = 0u32;
+            for (g, (bv, bg)) in best_v.iter_mut().zip(&mut best_g).enumerate() {
+                let cand = 0.0 + weight * curve.value_at(g);
+                if cand > v {
+                    v = cand;
+                    g_at = g as u32;
+                }
+                *bv = v;
+                *bg = g_at;
+            }
+            let cells = if last_stage { units..=units } else { 0..=units };
+            for u in cells {
+                let j = u.min(top);
+                next[u] = best_v[j];
+                grant[k * (units + 1) + u] = best_g[j];
+            }
+        } else {
+            let cells: Box<dyn Iterator<Item = usize>> = if last_stage {
+                Box::new(std::iter::once(units))
+            } else {
+                Box::new(0..=units)
+            };
+            for u in cells {
+                for g in 0..=u.min(cap) {
+                    let v = dp[u - g] + weight * curve.value_at(g);
+                    if v > next[u] {
+                        next[u] = v;
+                        grant[k * (units + 1) + u] = g as u32;
+                    }
                 }
             }
         }
@@ -81,31 +137,58 @@ pub fn plan_with_shares(
     assert_eq!(tenants.len(), shares.len(), "one share per tenant");
     let pipeline = Pipeline::new(opts.options);
 
-    // Partitioned base designs and their derated LCMM forms.
+    // Conserving partition views (largest-remainder apportionment) and
+    // the tenants' base designs on them.
+    let parts = device
+        .partition_set(shares)
+        .map_err(LcmmError::BudgetInfeasible)?;
     let mut bases = Vec::with_capacity(tenants.len());
-    let mut derated = Vec::with_capacity(tenants.len());
-    for (t, &share) in tenants.iter().zip(shares) {
-        let part = device.partition(share);
-        let base = harness.try_design(&t.graph, &part, t.precision)?;
-        derated.push(pipeline.lcmm_design((*base).clone()));
-        bases.push(base);
+    for (t, part) in tenants.iter().zip(&parts) {
+        bases.push(harness.try_design(&t.graph, part, t.precision)?);
     }
 
-    // Joint knapsack over the shared pool.
-    let derated_refs: Vec<&AccelDesign> = derated.iter().collect();
+    // Joint knapsack over the shared pool. The delta path reuses cached
+    // pass 1–2 artifacts (and their per-pool gain-curve memo) across
+    // grid points and replans only passes 3–4 per tenant; the scratch
+    // path is the original full recomputation, kept for A/B
+    // verification. Both are bit-identical (docs/DELTA.md).
+    let mut artifacts = Vec::with_capacity(tenants.len());
+    let mut derated = Vec::with_capacity(tenants.len());
+    if opts.delta_replan() {
+        for (t, base) in tenants.iter().zip(&bases) {
+            artifacts.push(harness.try_artifacts(&t.graph, base, opts.options, None)?);
+        }
+    } else {
+        for base in &bases {
+            derated.push(pipeline.lcmm_design((**base).clone()));
+        }
+    }
+    let derated_refs: Vec<&AccelDesign> = if opts.delta_replan() {
+        artifacts.iter().map(|a| a.design()).collect()
+    } else {
+        derated.iter().collect()
+    };
     let pool = pool_bytes(&derated_refs);
     let units = (pool / CAPACITY_UNIT_BYTES) as usize;
-    let curves: Vec<(f64, GainCurve)> = tenants
-        .iter()
-        .zip(&derated)
-        .map(|(t, d)| {
-            let profile = harness.profile(&t.graph, d);
-            (
-                t.weight,
-                tenant_gain_curve(&t.graph, &profile, d, &opts.options, pool),
-            )
-        })
-        .collect();
+    let curves: Vec<(f64, GainCurve)> = if opts.delta_replan() {
+        tenants
+            .iter()
+            .zip(&artifacts)
+            .map(|(t, a)| Ok((t.weight, (*a.gain_curve(&t.graph, pool)?).clone())))
+            .collect::<Result<_, LcmmError>>()?
+    } else {
+        tenants
+            .iter()
+            .zip(&derated)
+            .map(|(t, d)| {
+                let profile = harness.profile(&t.graph, d);
+                (
+                    t.weight,
+                    tenant_gain_curve(&t.graph, &profile, d, &opts.options, pool),
+                )
+            })
+            .collect()
+    };
     let mut grants = joint_capacity_dp(&curves, units);
     // Unclaimed units and the sub-unit remainder go to the first
     // tenant: they are free (a larger budget never hurts DNNK), and
@@ -125,8 +208,12 @@ pub fn plan_with_shares(
     for ((t, base), (&share, &budget)) in
         tenants.iter().zip(&bases).zip(shares.iter().zip(&budgets))
     {
-        let options = opts.options.with_tensor_budget(Some(budget));
-        let result = harness.try_lcmm_with_design(&t.graph, base, options, None)?;
+        let result = if opts.delta_replan() {
+            harness.try_replan_with_budget(&t.graph, base, opts.options, Some(budget), None)?
+        } else {
+            let options = opts.options.with_tensor_budget(Some(budget));
+            harness.try_lcmm_with_design(&t.graph, base, options, None)?
+        };
         let load = tenant_load(&t.graph, &result);
         plans.push(TenantPlan {
             name: t.name.clone(),
@@ -189,6 +276,76 @@ mod tests {
 
     fn curve(values: Vec<f64>) -> GainCurve {
         GainCurve::from_values(values)
+    }
+
+    /// The original O(t · units · curve_units) DP, kept verbatim as the
+    /// semantic reference for the shortcut implementation.
+    fn joint_capacity_dp_reference(curves: &[(f64, GainCurve)], units: usize) -> Vec<usize> {
+        let t = curves.len();
+        let mut dp = vec![0.0f64; units + 1];
+        let mut grant = vec![0u32; t * (units + 1)];
+        for (k, (weight, curve)) in curves.iter().enumerate() {
+            let mut next = vec![f64::NEG_INFINITY; units + 1];
+            for u in 0..=units {
+                for g in 0..=u.min(curve.units()) {
+                    let v = dp[u - g] + weight * curve.value_at(g);
+                    if v > next[u] {
+                        next[u] = v;
+                        grant[k * (units + 1) + u] = g as u32;
+                    }
+                }
+            }
+            dp = next;
+        }
+        let mut grants = vec![0usize; t];
+        let mut u = units;
+        for k in (0..t).rev() {
+            let g = grant[k * (units + 1) + u] as usize;
+            grants[k] = g;
+            u -= g;
+        }
+        grants
+    }
+
+    #[test]
+    fn dp_shortcuts_match_reference_on_random_curves() {
+        // Deterministic LCG so the test needs no external RNG crate.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for case in 0..200 {
+            let tenants = 1 + case % 4;
+            let units = (next() * 40.0) as usize;
+            let curves: Vec<(f64, GainCurve)> = (0..tenants)
+                .map(|_| {
+                    let len = 1 + (next() * 50.0) as usize;
+                    let mut vals = Vec::with_capacity(len);
+                    let mut v = 0.0f64;
+                    for _ in 0..len {
+                        // Frequent plateaus (including length-1 flats and
+                        // fully flat curves) stress the saturation cap;
+                        // occasional dips stress non-monotone inputs.
+                        let r = next();
+                        if r < 0.45 {
+                            v += next();
+                        } else if r < 0.55 {
+                            v -= 0.25 * next();
+                        }
+                        vals.push(v);
+                    }
+                    (0.25 + next() * 3.0, GainCurve::from_values(vals))
+                })
+                .collect();
+            assert_eq!(
+                joint_capacity_dp(&curves, units),
+                joint_capacity_dp_reference(&curves, units),
+                "case {case}: tenants={tenants} units={units}"
+            );
+        }
     }
 
     #[test]

@@ -41,20 +41,32 @@ fn fill(out: &mut Vec<Vec<f64>>, counts: &mut Vec<usize>, idx: usize, remaining:
     }
 }
 
+/// Strict Pareto dominance in (weighted_latency ↓, throughput ↑):
+/// `a` dominates `b` when it is weakly better in both coordinates and
+/// strictly better in at least one. A point never dominates an exact
+/// duplicate of itself — without the strict clause, tied points would
+/// mutually "dominate" each other and a frontier of duplicates (e.g.
+/// symmetric tenants at mirrored shares) would come out empty.
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    let (al, at) = a;
+    let (bl, bt) = b;
+    al <= bl && at >= bt && (al < bl || at > bt)
+}
+
 /// Marks the Pareto-optimal points of `points` in
-/// (weighted_latency ↓, throughput ↑).
+/// (weighted_latency ↓, throughput ↑). Ties survive: a point is
+/// non-Pareto only when some *strictly better* point exists, so exact
+/// duplicates are either both on the frontier or both off it.
 pub(crate) fn mark_pareto(points: &mut [SplitPoint]) {
     let snapshot: Vec<(f64, f64)> = points
         .iter()
         .map(|p| (p.weighted_latency, p.throughput))
         .collect();
     for (i, p) in points.iter_mut().enumerate() {
-        p.pareto = !snapshot.iter().enumerate().any(|(j, &(l, t))| {
-            j != i
-                && l <= p.weighted_latency
-                && t >= p.throughput
-                && (l < p.weighted_latency || t > p.throughput)
-        });
+        p.pareto = !snapshot
+            .iter()
+            .enumerate()
+            .any(|(j, &other)| j != i && dominates(other, (p.weighted_latency, p.throughput)));
     }
 }
 
@@ -160,5 +172,33 @@ mod tests {
         assert!(points[0].pareto, "lowest latency");
         assert!(points[1].pareto, "highest throughput");
         assert!(!points[2].pareto, "dominated by the second point");
+    }
+
+    #[test]
+    fn pareto_marking_keeps_tied_points() {
+        let mk = |l: f64, t: f64| SplitPoint {
+            shares: vec![1.0],
+            weighted_latency: l,
+            throughput: t,
+            objective_value: l,
+            pareto: false,
+        };
+        // Two exact duplicates at the optimum (symmetric tenants at
+        // mirrored shares score identically): both must stay Pareto —
+        // the frontier of an all-tied grid must never be empty.
+        let mut points = vec![mk(1.0, 10.0), mk(1.0, 10.0), mk(2.0, 5.0)];
+        mark_pareto(&mut points);
+        assert!(points[0].pareto, "first duplicate");
+        assert!(points[1].pareto, "second duplicate");
+        assert!(!points[2].pareto, "strictly dominated");
+        // A fully tied grid keeps every point.
+        let mut tied = vec![mk(1.5, 8.0); 4];
+        mark_pareto(&mut tied);
+        assert!(tied.iter().all(|p| p.pareto), "no point may vanish");
+        // Ties in one coordinate only: the strictly-better point wins.
+        let mut partial = vec![mk(1.0, 10.0), mk(1.0, 12.0)];
+        mark_pareto(&mut partial);
+        assert!(!partial[0].pareto, "same latency, lower throughput");
+        assert!(partial[1].pareto);
     }
 }

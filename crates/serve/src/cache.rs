@@ -41,10 +41,13 @@ impl CacheCounters {
     }
 }
 
-/// One stored plan: the serialized JSON and its recency stamp.
+/// One stored plan: the serialized JSON, its recency stamp, and the
+/// invalidation tags it carries (e.g. `model:<name>` for every tenant
+/// of a co-plan).
 struct Entry {
     value: String,
     stamp: u64,
+    tags: Vec<String>,
 }
 
 /// A thread-safe LRU cache of pre-serialized plan JSON.
@@ -102,12 +105,21 @@ impl PlanCache {
     /// entry when past capacity. Re-inserting an existing key only
     /// refreshes it (plan values for one key are deterministic).
     pub fn put(&self, key: String, value: String) {
+        self.put_tagged(key, value, Vec::new());
+    }
+
+    /// [`PlanCache::put`] with invalidation tags: a later
+    /// [`PlanCache::invalidate_tag`] with any of these tags drops the
+    /// entry. The server tags each co-plan entry with `model:<name>`
+    /// for every tenant, so a registry change evicts exactly the
+    /// co-plans that inlined the mutated model.
+    pub fn put_tagged(&self, key: String, value: String, tags: Vec<String>) {
         if self.capacity == 0 {
             return;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("plan cache poisoned");
-        map.insert(key, Entry { value, stamp });
+        map.insert(key, Entry { value, stamp, tags });
         while map.len() > self.capacity {
             let Some(oldest) = map
                 .iter()
@@ -138,6 +150,20 @@ impl PlanCache {
         self.invalidations
             .fetch_add(stale.len() as u64, Ordering::Relaxed);
         stale.len()
+    }
+
+    /// Drops every entry carrying `tag` and returns how many were
+    /// removed. Each dropped entry bumps the `invalidations` counter
+    /// exactly once, however many tags it carried — the counter tracks
+    /// evicted entries, not tag matches.
+    pub fn invalidate_tag(&self, tag: &str) -> usize {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        let before = map.len();
+        map.retain(|_, e| !e.tags.iter().any(|t| t == tag));
+        let removed = before - map.len();
+        self.invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Current counters.
@@ -200,6 +226,29 @@ mod tests {
         assert_eq!(s.entries, 1);
         // Idempotent: nothing left to drop.
         assert_eq!(c.invalidate_prefix("coplan:"), 0);
+    }
+
+    #[test]
+    fn tag_invalidation_counts_each_entry_once() {
+        let c = PlanCache::new(8);
+        c.put_tagged(
+            "coplan:ab".into(),
+            "AB".into(),
+            vec!["model:a".into(), "model:b".into()],
+        );
+        c.put_tagged("coplan:ac".into(), "AC".into(), vec!["model:a".into()]);
+        c.put("plan:a".into(), "A".into());
+        // Both coplan entries carry model:a; plan:a is untagged.
+        assert_eq!(c.invalidate_tag("model:a"), 2);
+        assert!(c.get("coplan:ab").is_none());
+        assert!(c.get("coplan:ac").is_none());
+        assert!(c.get("plan:a").is_some());
+        let s = c.counters();
+        assert_eq!(s.invalidations, 2, "one bump per dropped entry");
+        // The multi-tag entry is gone; its second tag finds nothing, so
+        // the counter must not move again.
+        assert_eq!(c.invalidate_tag("model:b"), 0);
+        assert_eq!(c.counters().invalidations, 2);
     }
 
     #[test]

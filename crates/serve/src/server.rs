@@ -105,9 +105,24 @@ struct Histograms {
 #[derive(Clone)]
 struct Registered {
     graph: Graph,
+    /// Digest of the graph's canonical JSON — the identity registry
+    /// churn is judged by: only a *content* change invalidates the
+    /// harness's pass artifacts for the old graph.
+    graph_digest: String,
     precision: Precision,
     weight: f64,
     share: Option<f64>,
+}
+
+/// Digest of a graph's canonical JSON fingerprint.
+fn graph_digest(graph: &Graph) -> String {
+    digest(&serde_json::to_string(graph).unwrap_or_default())
+}
+
+/// The invalidation tag carried by every cached co-plan that inlined
+/// `model`.
+fn model_tag(model: &str) -> String {
+    format!("model:{model}")
 }
 
 struct Inner {
@@ -256,20 +271,43 @@ impl Server {
                 )));
             }
         }
-        let models = {
-            let mut registry = self.inner.registry.lock().expect("registry poisoned");
-            registry.insert(
-                model.clone(),
-                Registered {
-                    graph,
-                    precision,
-                    weight,
-                    share: request.share,
-                },
-            );
-            registry.len() as u64
+        let entry = Registered {
+            graph_digest: graph_digest(&graph),
+            graph,
+            precision,
+            weight,
+            share: request.share,
         };
-        self.inner.cache.invalidate_prefix(COPLAN_KEY_PREFIX);
+        let (models, previous, digest_still_used) = {
+            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            let previous = registry.insert(model.clone(), entry.clone());
+            let digest_still_used = previous.as_ref().is_some_and(|old| {
+                registry
+                    .values()
+                    .any(|r| r.graph_digest == old.graph_digest)
+            });
+            (registry.len() as u64, previous, digest_still_used)
+        };
+        let identical = previous.as_ref().is_some_and(|old| {
+            old.graph_digest == entry.graph_digest
+                && old.precision == entry.precision
+                && old.weight == entry.weight
+                && old.share == entry.share
+        });
+        if !identical {
+            // Only co-plans that inlined this model are stale; plans of
+            // other tenant sets (and content-addressed single-model
+            // `plan` entries) survive.
+            self.inner.cache.invalidate_tag(&model_tag(&model));
+            // Pass artifacts are keyed by graph content, so they go
+            // stale only when the model's graph *content* changed and
+            // no other registered model still uses the old graph.
+            if let Some(old) = previous {
+                if old.graph_digest != entry.graph_digest && !digest_still_used {
+                    self.inner.harness.invalidate_graph(&old.graph);
+                }
+            }
+        }
         WireResponse::Registry {
             id: request.id,
             action: "register".to_string(),
@@ -290,16 +328,23 @@ impl Server {
             )
             .to_line();
         };
-        let removed = {
+        let (removed, models, digest_still_used) = {
             let mut registry = self.inner.registry.lock().expect("registry poisoned");
-            let removed = registry.remove(&model).is_some();
-            (removed, registry.len() as u64)
+            let removed = registry.remove(&model);
+            let digest_still_used = removed.as_ref().is_some_and(|old| {
+                registry
+                    .values()
+                    .any(|r| r.graph_digest == old.graph_digest)
+            });
+            (removed, registry.len() as u64, digest_still_used)
         };
-        let (removed, models) = removed;
-        if !removed {
+        let Some(old) = removed else {
             return WireResponse::from_error(request.id, &LcmmError::UnknownModel(model)).to_line();
+        };
+        self.inner.cache.invalidate_tag(&model_tag(&model));
+        if !digest_still_used {
+            self.inner.harness.invalidate_graph(&old.graph);
         }
-        self.inner.cache.invalidate_prefix(COPLAN_KEY_PREFIX);
         WireResponse::Registry {
             id: request.id,
             action: "unregister".to_string(),
@@ -413,6 +458,24 @@ impl Server {
                     ("misses".to_string(), Value::U64(cache.misses)),
                 ]),
             ),
+            ("harness".to_string(), {
+                let h = inner.harness.cache_stats();
+                Value::Map(vec![
+                    (
+                        "artifact_hits".to_string(),
+                        Value::U64(h.artifact_hits as u64),
+                    ),
+                    (
+                        "artifact_misses".to_string(),
+                        Value::U64(h.artifact_misses as u64),
+                    ),
+                    ("result_hits".to_string(), Value::U64(h.result_hits as u64)),
+                    (
+                        "result_misses".to_string(),
+                        Value::U64(h.result_misses as u64),
+                    ),
+                ])
+            }),
             ("histograms".to_string(), histograms),
             (
                 "registry".to_string(),
@@ -750,7 +813,8 @@ fn process_coplan(inner: &Inner, job: &Job) -> String {
     };
     let summary = coplan_summary(&plan);
     let stored = serde_json::to_string(&summary).expect("co-plan summary serialises");
-    inner.cache.put(key, stored);
+    let tags = registry.iter().map(|(name, _)| model_tag(name)).collect();
+    inner.cache.put_tagged(key, stored, tags);
     inner.plans_completed.fetch_add(1, Ordering::Relaxed);
     let payload = match &route_model {
         Some(m) => tenant_slice(&summary, m).expect("routed model is a tenant"),

@@ -195,11 +195,12 @@ fn shutdown_drains_in_flight_work() {
     server.shutdown();
 }
 
-/// Registry changes force co-plan cache misses, the invalidation
-/// counter tracks reclaimed entries, and a recomputed co-plan over the
-/// same tenant set is byte-identical.
+/// Registry churn that does not touch a co-plan's own tenants leaves
+/// that cached co-plan alone: the key covers the full tenant set, so
+/// the old entry can never answer the new registry, and restoring the
+/// original set replays it byte-identically from cache.
 #[test]
-fn registry_changes_invalidate_cached_coplans() {
+fn registry_churn_preserves_unrelated_coplans() {
     let server = Server::start(ServerConfig::default().with_workers(2));
     // Explicit shares keep the test off the (slower) split search.
     let reg = |model: &str, graph: &str, share: f64| {
@@ -230,20 +231,81 @@ fn registry_changes_invalidate_cached_coplans() {
     );
     assert_eq!(stat_u64(&server, "cache", "invalidations"), 0);
 
-    // Registering a third tenant drops the stale co-plan...
+    // A third tenant changes the registry, so the next co-plan keys
+    // differently — but the {axn, sqz} entry is not stale (its key
+    // names its exact tenant set) and must not be reclaimed.
     reg("mbn", "mobilenet", 0.0001);
-    assert_eq!(stat_u64(&server, "cache", "invalidations"), 1);
-    // ...and restoring the original tenant set still recomputes (the
-    // entry is gone), deterministically reproducing the first payload.
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 0);
     let removed = parse(&server.handle_line(r#"{"op":"unregister","model":"mbn"}"#));
     assert_eq!(removed.get("models").and_then(Value::as_u64), Some(2));
-    let recomputed = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    // Restoring the original tenant set replays the surviving entry.
+    let restored = parse(&server.handle_line(r#"{"op":"coplan"}"#));
     assert_eq!(
-        recomputed.get("cached").and_then(Value::as_bool),
-        Some(false),
-        "registry change must force a cache miss"
+        restored.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "untouched tenant set must keep its cached co-plan across churn"
     );
-    assert_eq!(recomputed.get("plan"), first_v.get("plan"));
+    assert_eq!(restored.get("plan"), first_v.get("plan"));
+    server.shutdown();
+}
+
+/// Mutating one registered model evicts exactly the co-plans that
+/// inlined it — counted once per entry — while content-addressed
+/// single-model plan entries survive, and a content-identical
+/// re-registration invalidates nothing.
+#[test]
+fn model_mutation_invalidates_exactly_its_coplans() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    let reg = |model: &str, graph: &str, share: f64| {
+        let v = parse(&server.handle_line(&format!(
+            r#"{{"op":"register","model":"{model}","graph":"{graph}","share":{share}}}"#
+        )));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    };
+    reg("axn", "alexnet", 0.5);
+    reg("sqz", "squeezenet", 0.5);
+
+    // One single-model plan entry (content-addressed key) ...
+    let plan = parse(&server.handle_line(r#"{"graph":"alexnet"}"#));
+    assert_eq!(plan.get("cached").and_then(Value::as_bool), Some(false));
+    // ... and one co-plan entry tagged model:axn + model:sqz.
+    let coplan = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    assert_eq!(coplan.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(stat_u64(&server, "cache", "entries"), 2);
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 0);
+
+    // Content-identical re-registration is a no-op: nothing evicted,
+    // the co-plan still replays from cache.
+    reg("axn", "alexnet", 0.5);
+    assert_eq!(stat_u64(&server, "cache", "entries"), 2);
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 0);
+    let replay = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    assert_eq!(replay.get("cached").and_then(Value::as_bool), Some(true));
+
+    // Re-registering axn with a different graph drops the co-plan that
+    // inlined it — exactly one entry, counted exactly once even though
+    // the entry carried two tags — but the alexnet plan entry is
+    // content-addressed, never stale, and must survive.
+    reg("axn", "mobilenet", 0.5);
+    assert_eq!(stat_u64(&server, "cache", "entries"), 1);
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 1);
+    let survivor = parse(&server.handle_line(r#"{"graph":"alexnet"}"#));
+    assert_eq!(
+        survivor.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "single-model plan entries are content-addressed and survive churn"
+    );
+    assert_eq!(survivor.get("plan"), plan.get("plan"));
+
+    // The mutated registry co-plans fresh, then unregistering axn
+    // evicts that entry too (second invalidation).
+    let fresh = parse(&server.handle_line(r#"{"op":"coplan"}"#));
+    assert_eq!(fresh.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(stat_u64(&server, "cache", "entries"), 2);
+    let gone = parse(&server.handle_line(r#"{"op":"unregister","model":"axn"}"#));
+    assert_eq!(gone.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(stat_u64(&server, "cache", "entries"), 1);
+    assert_eq!(stat_u64(&server, "cache", "invalidations"), 2);
     server.shutdown();
 }
 
