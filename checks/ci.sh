@@ -94,7 +94,7 @@ done
 # byte-stable cache hit.
 echo "==> serve smoke: daemon + requests vs checks/golden"
 rm -f /tmp/ci_serve.out
-"$bin" serve --listen 127.0.0.1:0 --workers 2 >/tmp/ci_serve.out 2>/dev/null &
+"$bin" serve --listen 127.0.0.1:0 --workers 2 --debug-hooks >/tmp/ci_serve.out 2>/dev/null &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -150,8 +150,73 @@ serve_expect '"model":"sqz"' '{"op":"route","model":"sqz"}'
 serve_expect '"models":3' '{"op":"register","model":"mbn","graph":"mobilenet","share":0.2}'
 serve_expect '"cached":false' '{"op":"coplan"}'
 
+# Panic containment: an injected worker panic must surface as a typed
+# internal_error and leave the daemon fully serviceable (the request
+# client exits nonzero on error responses — that is the expected path).
+echo "==> serve panic containment: injected panic leaves the daemon alive"
+"$bin" request --connect "$addr" '{"graph":"debug:panic"}' >/tmp/ci_serve_panic.out 2>/dev/null || true
+if ! grep -q '"code":"internal_error"' /tmp/ci_serve_panic.out; then
+  echo "FAIL: injected panic did not answer with internal_error" >&2
+  cat /tmp/ci_serve_panic.out >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+serve_expect '"ok":true' '{"graph":"alexnet","precision":"8"}'
+serve_expect '"cached":true' '{"op":"coplan"}'
+
 "$bin" request --connect "$addr" --op shutdown >/dev/null
 wait "$serve_pid"
+
+# Recovery smoke gate: a WAL-backed daemon is SIGKILLed mid-churn and
+# restarted on the same --wal-dir; the revived daemon must serve the
+# byte-identical cached co-plan reply and the same registry without any
+# recomputation (see docs/SERVE.md, "Durability and recovery").
+echo "==> serve recovery: SIGKILL + WAL restart replays bit-identically"
+wal_dir=$(mktemp -d /tmp/ci_serve_wal.XXXXXX)
+boot_wal_daemon() { # <log-file>; sets addr + serve_pid
+  rm -f "$1"
+  "$bin" serve --listen 127.0.0.1:0 --workers 2 --wal-dir "$wal_dir" >"$1" 2>/dev/null &
+  serve_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(awk '/^listening /{print $2; exit}' "$1" 2>/dev/null || true)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    echo "FAIL: WAL daemon never reported a listening address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+}
+boot_wal_daemon /tmp/ci_serve_wal1.out
+serve_expect '"models":1' '{"op":"register","model":"axn","graph":"alexnet","share":0.5}'
+serve_expect '"models":2' '{"op":"register","model":"sqz","graph":"squeezenet","share":0.5}'
+serve_expect '"cached":false' '{"op":"coplan"}'
+"$bin" request --connect "$addr" '{"op":"coplan"}' >/tmp/ci_serve_golden.out
+if ! grep -q '"cached":true' /tmp/ci_serve_golden.out; then
+  echo "FAIL: pre-kill co-plan was not a cache hit" >&2
+  kill -9 "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+{ kill -9 "$serve_pid" && wait "$serve_pid"; } 2>/dev/null || true
+boot_wal_daemon /tmp/ci_serve_wal2.out
+"$bin" request --connect "$addr" '{"op":"coplan"}' >/tmp/ci_serve_revived.out
+if ! cmp -s /tmp/ci_serve_golden.out /tmp/ci_serve_revived.out; then
+  echo "FAIL: revived co-plan reply differs from the pre-kill golden" >&2
+  diff /tmp/ci_serve_golden.out /tmp/ci_serve_revived.out >&2 || true
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! grep -q '"cached":true' /tmp/ci_serve_revived.out; then
+  echo "FAIL: revived co-plan recomputed instead of replaying the WAL" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+serve_expect '"models":2' '{"op":"stats"}'
+"$bin" request --connect "$addr" --op shutdown >/dev/null
+wait "$serve_pid"
+rm -rf "$wal_dir"
 
 if ! $quick; then
   # Pass-budget gate: the pipeline's per-pass wall clock on a

@@ -149,7 +149,11 @@ commands:
   all                      run every report in order
   serve                    planning daemon (JSON-lines; see docs/SERVE.md):
                            --stdio | --listen <addr> | --socket <path>,
-                           --workers <N> --queue <N> --cache <N>
+                           --workers <N> --queue <N> --cache <N>,
+                           --wal-dir <dir> [--fsync always|os] [--no-recover]
+                           (crash-safe registry/cache recovery),
+                           --stall-ms <N|off> (worker stall budget),
+                           --debug-hooks (fault-injection for tests)
   request                  one-shot client for a running daemon:
                            --connect <addr|path> and either a raw JSON
                            line or --graph/--device/--precision/

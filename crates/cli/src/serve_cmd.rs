@@ -6,9 +6,10 @@
 //! request to send — none of which overlap the grid-report options.
 
 use lcmm_serve::client::{request as send_request, Endpoint};
-use lcmm_serve::{serve_stdio, serve_tcp, serve_unix, ServerConfig};
+use lcmm_serve::{serve_stdio, serve_tcp, serve_unix, FsyncPolicy, ServerConfig};
 use serde_json::Value;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Where `lcmm serve` listens.
 enum Listen {
@@ -18,7 +19,9 @@ enum Listen {
 }
 
 /// Runs `lcmm serve [--stdio | --listen <addr> | --socket <path>]
-/// [--workers N] [--queue N] [--cache N]`.
+/// [--workers N] [--queue N] [--cache N] [--wal-dir <dir>]
+/// [--fsync always|os] [--no-recover] [--stall-ms N|off]
+/// [--debug-hooks]`.
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut listen = Listen::Stdio;
@@ -43,8 +46,36 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("--cache needs a non-negative integer, got {v:?}"))?;
                 config = config.with_cache_capacity(n);
             }
+            "--wal-dir" => {
+                let dir = it.next().ok_or("--wal-dir needs a directory")?;
+                config = config.with_wal_dir(PathBuf::from(dir));
+            }
+            "--fsync" => {
+                let policy = it.next().ok_or("--fsync needs always or os")?;
+                config = config.with_fsync(FsyncPolicy::parse(policy)?);
+            }
+            "--no-recover" => config = config.with_recover(false),
+            "--stall-ms" => {
+                let v = it.next().ok_or("--stall-ms needs a value or off")?;
+                let budget = if v == "off" {
+                    None
+                } else {
+                    let ms: u64 = v.parse().map_err(|_| {
+                        format!("--stall-ms needs a positive integer or off, got {v:?}")
+                    })?;
+                    if ms == 0 {
+                        return Err("--stall-ms must be at least 1 (or off)".to_string());
+                    }
+                    Some(Duration::from_millis(ms))
+                };
+                config = config.with_stall_budget(budget);
+            }
+            "--debug-hooks" => config = config.with_debug_hooks(true),
             other => return Err(format!("unknown serve flag {other:?}")),
         }
+    }
+    if config.wal_dir.is_none() && !config.recover {
+        return Err("--no-recover only makes sense together with --wal-dir".to_string());
     }
     let served = match listen {
         Listen::Stdio => serve_stdio(config),
@@ -149,6 +180,13 @@ mod tests {
         assert!(run_serve(&s(&["--workers", "0"])).is_err());
         assert!(run_serve(&s(&["--listen"])).is_err());
         assert!(run_serve(&s(&["--cache", "lots"])).is_err());
+        assert!(run_serve(&s(&["--wal-dir"])).is_err());
+        assert!(run_serve(&s(&["--fsync", "sometimes"])).is_err());
+        assert!(run_serve(&s(&["--stall-ms", "0"])).is_err());
+        assert!(run_serve(&s(&["--stall-ms", "soon"])).is_err());
+        assert!(run_serve(&s(&["--no-recover"]))
+            .unwrap_err()
+            .contains("--wal-dir"));
     }
 
     #[test]

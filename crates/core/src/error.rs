@@ -32,6 +32,10 @@ pub enum LcmmError {
     /// The run exceeded its deadline and was abandoned at the next
     /// cooperative cancellation check.
     DeadlineExceeded,
+    /// The worker computing this request was detected stuck past the
+    /// serve daemon's stall budget and recycled; the request was
+    /// abandoned rather than left hanging.
+    WorkerRecycled,
 }
 
 impl fmt::Display for LcmmError {
@@ -44,6 +48,9 @@ impl fmt::Display for LcmmError {
             LcmmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             LcmmError::Cancelled => write!(f, "request cancelled"),
             LcmmError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            LcmmError::WorkerRecycled => {
+                write!(f, "worker exceeded its stall budget and was recycled")
+            }
         }
     }
 }
@@ -77,6 +84,7 @@ impl LcmmError {
             LcmmError::InvalidRequest(_) => "bad_request",
             LcmmError::Cancelled => "cancelled",
             LcmmError::DeadlineExceeded => "timeout",
+            LcmmError::WorkerRecycled => "worker_recycled",
         }
     }
 }

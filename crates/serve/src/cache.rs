@@ -7,6 +7,7 @@
 //! replays the stored bytes verbatim, which is what makes duplicate
 //! responses byte-identical regardless of when they were computed.
 
+use crate::lock_safe;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -87,7 +88,7 @@ impl PlanCache {
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<String> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = lock_safe(&self.map);
         match map.get_mut(key) {
             Some(entry) => {
                 entry.stamp = stamp;
@@ -118,7 +119,7 @@ impl PlanCache {
             return;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = lock_safe(&self.map);
         map.insert(key, Entry { value, stamp, tags });
         while map.len() > self.capacity {
             let Some(oldest) = map
@@ -138,7 +139,7 @@ impl PlanCache {
     /// entries on registry changes; their keys also carry the registry
     /// digest, so this reclaims space rather than preventing stale hits.
     pub fn invalidate_prefix(&self, prefix: &str) -> usize {
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = lock_safe(&self.map);
         let stale: Vec<String> = map
             .keys()
             .filter(|k| k.starts_with(prefix))
@@ -157,7 +158,7 @@ impl PlanCache {
     /// exactly once, however many tags it carried — the counter tracks
     /// evicted entries, not tag matches.
     pub fn invalidate_tag(&self, tag: &str) -> usize {
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = lock_safe(&self.map);
         let before = map.len();
         map.retain(|_, e| !e.tags.iter().any(|t| t == tag));
         let removed = before - map.len();
@@ -166,13 +167,58 @@ impl PlanCache {
         removed
     }
 
+    /// Dumps every entry as `(key, value, tags)` in LRU order (least
+    /// recently used first). WAL compaction writes this as the
+    /// snapshot; replaying it through [`PlanCache::replay_put`] in
+    /// order reconstructs both the entry set and the relative recency.
+    #[must_use]
+    pub fn dump(&self) -> Vec<(String, String, Vec<String>)> {
+        let map = lock_safe(&self.map);
+        let mut entries: Vec<(&String, &Entry)> = map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.stamp);
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.value.clone(), e.tags.clone()))
+            .collect()
+    }
+
+    /// [`PlanCache::put_tagged`] for WAL replay: identical storage
+    /// semantics (LRU eviction included, so capacity shrinks across a
+    /// restart are honoured) but without disturbing the hit/miss/
+    /// eviction counters, which describe this process's traffic only.
+    pub fn replay_put(&self, key: String, value: String, tags: Vec<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock_safe(&self.map);
+        map.insert(key, Entry { value, stamp, tags });
+        while map.len() > self.capacity {
+            let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            map.remove(&oldest);
+        }
+    }
+
+    /// [`PlanCache::invalidate_tag`] for WAL replay: drops the entries
+    /// without bumping the `invalidations` counter.
+    pub fn replay_invalidate_tag(&self, tag: &str) {
+        let mut map = lock_safe(&self.map);
+        map.retain(|_, e| !e.tags.iter().any(|t| t == tag));
+    }
+
     /// Current counters.
     #[must_use]
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("plan cache poisoned").len(),
+            entries: lock_safe(&self.map).len(),
             capacity: self.capacity,
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -257,6 +303,39 @@ mod tests {
         c.put("k".into(), "V".into());
         assert_eq!(c.get("k"), None);
         assert_eq!(c.counters().entries, 0);
+    }
+
+    #[test]
+    fn dump_replay_reconstructs_entries_and_recency() {
+        let c = PlanCache::new(3);
+        c.put("a".into(), "A".into());
+        c.put_tagged("b".into(), "B".into(), vec!["model:m".into()]);
+        c.put("c".into(), "C".into());
+        assert!(c.get("a").is_some()); // a becomes most recent
+        let dump = c.dump();
+        assert_eq!(
+            dump.iter().map(|(k, _, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["b", "c", "a"],
+            "LRU order, least recent first"
+        );
+        // Replay into a fresh cache and confirm both contents and
+        // recency survive: inserting a fourth entry must evict "b".
+        let fresh = PlanCache::new(3);
+        for (k, v, tags) in dump {
+            fresh.replay_put(k, v, tags);
+        }
+        assert_eq!(fresh.counters().entries, 3);
+        assert_eq!(fresh.counters().misses, 0, "replay leaves counters alone");
+        fresh.put("d".into(), "D".into());
+        let keys: Vec<String> = fresh.dump().into_iter().map(|(k, _, _)| k).collect();
+        assert!(!keys.contains(&"b".to_string()), "LRU entry evicted");
+        assert!(keys.contains(&"a".to_string()));
+        // Replayed tags still drive invalidation.
+        let again = PlanCache::new(3);
+        again.replay_put("b".into(), "B".into(), vec!["model:m".into()]);
+        again.replay_invalidate_tag("model:m");
+        assert_eq!(again.counters().entries, 0);
+        assert_eq!(again.counters().invalidations, 0);
     }
 
     #[test]

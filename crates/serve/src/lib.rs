@@ -11,8 +11,11 @@
 //! * [`protocol`] — the wire types: [`WireRequest`], [`WireResponse`],
 //!   graph specs, and the deterministic plan summary;
 //! * [`server`] — [`Server`]: worker pool, admission control, plan
-//!   cache, cancellation, graceful shutdown;
-//! * [`transport`] — stdio / TCP / Unix-socket serving loops;
+//!   cache, health watcher, cancellation, graceful shutdown;
+//! * [`wal`] — the write-ahead log that makes registry and cache
+//!   state survive crashes and restarts;
+//! * [`transport`] — the stdio loop and the readiness-polled TCP /
+//!   Unix-socket event loop;
 //! * [`client`] — the one-shot client behind `lcmm request`;
 //! * [`cache`], [`histogram`] — the plan LRU and `/stats` latency
 //!   histograms.
@@ -39,10 +42,24 @@ pub mod histogram;
 pub mod protocol;
 pub mod server;
 pub mod transport;
+pub mod wal;
 
 pub use cache::{CacheCounters, PlanCache};
 pub use client::{request, Endpoint};
 pub use histogram::LatencyHistogram;
 pub use protocol::{GraphSpec, Op, WireRequest, WireResponse};
 pub use server::{Server, ServerConfig};
-pub use transport::{serve_stdio, serve_tcp, serve_unix};
+pub use transport::{serve_stdio, serve_tcp, serve_tcp_listener, serve_unix};
+pub use wal::{FsyncPolicy, Wal, WalRecord, WalStats};
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poisoning instead of propagating the
+/// panic. Every critical section in this crate leaves the guarded
+/// state consistent at its possible panic points (or the state is
+/// rebuilt by the caller), so a worker panic must not take down the
+/// daemon by poisoning a shared lock — that was the crash the
+/// panic-containment sweep fixed.
+pub(crate) fn lock_safe<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

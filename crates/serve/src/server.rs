@@ -1,18 +1,34 @@
 //! The planning server: worker pool, bounded admission queue, plan
-//! cache, deadlines, and graceful shutdown.
+//! cache, deadlines, durability, and graceful shutdown.
 //!
 //! [`Server::handle_line`] is the transport-independent entry point —
-//! every transport (stdin, TCP, Unix socket, the in-process integration
-//! tests) feeds request lines through it and writes the returned
-//! response line back. Plan requests are admitted into a bounded queue
-//! and picked up by a fixed pool of worker threads sharing one
-//! memoized [`Harness`]; everything else (`ping`, `stats`, `shutdown`)
-//! is answered inline.
+//! every transport (stdin, the in-process integration tests) feeds
+//! request lines through it and writes the returned response line
+//! back; the event-loop transports use the non-blocking
+//! [`Server::handle_line_async`] twin instead. Plan requests are
+//! admitted into a bounded queue and picked up by a fixed pool of
+//! worker threads sharing one memoized [`Harness`]; everything else
+//! (`ping`, `stats`, `register`, `shutdown`) is answered inline.
+//!
+//! Three things keep the daemon alive through faults:
+//!
+//! * every shared lock recovers from poisoning (`lock_safe`) — a
+//!   worker panic is surfaced as `internal_error` and must not crash
+//!   the *next* unrelated request;
+//! * a health watcher recycles workers stuck past the stall budget and
+//!   fails their request with a typed `worker_recycled` error, so a
+//!   wedged computation can neither hang its client nor shrink the
+//!   pool;
+//! * registry mutations and cache insertions are logged to a
+//!   write-ahead log ([`crate::wal`]) when one is configured, and
+//!   replayed bit-identically on restart.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -24,12 +40,15 @@ use serde_json::Value;
 
 use crate::cache::PlanCache;
 use crate::histogram::LatencyHistogram;
+use crate::lock_safe;
 use crate::protocol::{
-    pass_stats_value, plan_summary, Op, ResolvedPlan, WireRequest, WireResponse,
+    pass_stats_value, plan_summary, precision_name, GraphSpec, Op, ResolvedPlan, WireRequest,
+    WireResponse,
 };
+use crate::wal::{FsyncPolicy, Wal, WalRecord};
 
-/// Sizing knobs of a [`Server`].
-#[derive(Debug, Clone, Copy)]
+/// Sizing and durability knobs of a [`Server`].
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServerConfig {
     /// Worker threads computing plans.
@@ -39,6 +58,21 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Plan cache entries (0 disables the cache).
     pub cache_capacity: usize,
+    /// Write-ahead-log directory; `None` keeps registry and cache
+    /// purely in memory (the pre-WAL behaviour).
+    pub wal_dir: Option<PathBuf>,
+    /// When appended WAL records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Replay an existing WAL on startup; `false` (`--no-recover`)
+    /// wipes it and starts cold.
+    pub recover: bool,
+    /// Recycle a worker stuck on one request longer than this and fail
+    /// the request with `worker_recycled`; `None` disables the health
+    /// watcher (a wedged worker then hangs its client, as before).
+    pub stall_budget: Option<Duration>,
+    /// Interpret `debug:` graph names as fault-injection hooks (panic,
+    /// lock poisoning, stalls). Tests and the CI gates only.
+    pub debug_hooks: bool,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +81,11 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 128,
+            wal_dir: None,
+            fsync: FsyncPolicy::Os,
+            recover: true,
+            stall_budget: Some(Duration::from_secs(30)),
+            debug_hooks: false,
         }
     }
 }
@@ -72,16 +111,125 @@ impl ServerConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Enables the write-ahead log in `dir`.
+    #[must_use]
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the WAL fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Whether to replay an existing WAL on startup.
+    #[must_use]
+    pub fn with_recover(mut self, recover: bool) -> Self {
+        self.recover = recover;
+        self
+    }
+
+    /// Sets (or with `None` disables) the worker stall budget.
+    #[must_use]
+    pub fn with_stall_budget(mut self, budget: Option<Duration>) -> Self {
+        self.stall_budget = budget;
+        self
+    }
+
+    /// Enables the `debug:` fault-injection hooks.
+    #[must_use]
+    pub fn with_debug_hooks(mut self, on: bool) -> Self {
+        self.debug_hooks = on;
+        self
+    }
 }
 
-/// The slot a blocked requester waits on until a worker fills it.
-type ResponseSlot = Arc<(Mutex<Option<String>>, Condvar)>;
+/// How a plan response leaves the server once a worker (or the watcher,
+/// or shutdown) produces it.
+type Callback = Box<dyn FnOnce(String) + Send>;
+
+/// The slot a plan request's response is delivered through. Blocking
+/// callers park on the condvar; event-loop callers attach a callback.
+/// `fill` is idempotent — exactly one filler wins, so the watcher can
+/// fail a request whose worker later completes (or shutdown can fail a
+/// request a worker races to answer) without double delivery.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    done: bool,
+    response: Option<String>,
+    callback: Option<Callback>,
+}
+
+impl Slot {
+    /// A slot for a blocking caller ([`Server::handle_line`]).
+    fn blocking() -> Self {
+        Self {
+            state: Mutex::new(SlotState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A slot that delivers through `callback` instead of waking a
+    /// parked thread.
+    fn with_callback(callback: Callback) -> Self {
+        Self {
+            state: Mutex::new(SlotState {
+                done: false,
+                response: None,
+                callback: Some(callback),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Delivers `line`; later fills are discarded.
+    fn fill(&self, line: String) {
+        let callback = {
+            let mut state = lock_safe(&self.state);
+            if state.done {
+                return;
+            }
+            state.done = true;
+            match state.callback.take() {
+                Some(callback) => Some(callback),
+                None => {
+                    state.response = Some(line.clone());
+                    None
+                }
+            }
+        };
+        match callback {
+            // Run the callback outside the slot lock: it typically
+            // hands the line to a transport channel.
+            Some(callback) => callback(line),
+            None => self.cv.notify_all(),
+        }
+    }
+
+    /// Parks until the slot is filled (blocking callers only).
+    fn wait(&self) -> String {
+        let mut state = lock_safe(&self.state);
+        while state.response.is_none() {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.response.take().expect("slot observed as filled")
+    }
+}
 
 /// One admitted plan request.
 struct Job {
     request: WireRequest,
     cancel: CancelToken,
-    slot: ResponseSlot,
+    slot: Arc<Slot>,
 }
 
 /// Queue state guarded by one mutex so the admission check
@@ -125,6 +273,25 @@ fn model_tag(model: &str) -> String {
     format!("model:{model}")
 }
 
+/// What the health watcher inspects: the job a worker is currently
+/// computing. `abandoned` is the handshake — the watcher sets it (and
+/// takes over the job's accounting) under the `busy` lock; the worker
+/// checks it under the same lock after computing, so exactly one side
+/// fills the slot and decrements `in_flight`.
+struct BusyJob {
+    started: Instant,
+    cancel: CancelToken,
+    slot: Arc<Slot>,
+    request_id: Option<u64>,
+    abandoned: bool,
+}
+
+/// One pool member, shared between its worker thread and the watcher.
+struct WorkerState {
+    id: u64,
+    busy: Mutex<Option<BusyJob>>,
+}
+
 struct Inner {
     harness: Harness,
     cache: PlanCache,
@@ -139,10 +306,22 @@ struct Inner {
     plans_completed: AtomicU64,
     plans_errored: AtomicU64,
     plans_rejected: AtomicU64,
+    recycled: AtomicU64,
+    stall_budget: Option<Duration>,
+    debug_hooks: bool,
     histograms: Mutex<Histograms>,
+    /// Durability; `None` runs purely in memory. Every mutation goes
+    /// through [`durably`], so WAL order always equals apply order.
+    wal: Option<Mutex<Wal>>,
+    /// Live (non-abandoned) workers. Workers remove themselves on
+    /// exit; the watcher removes the worker it abandons and adds the
+    /// replacement. Shutdown completes when this empties.
+    pool: Mutex<Vec<Arc<WorkerState>>>,
+    pool_cv: Condvar,
+    next_worker_id: AtomicU64,
 }
 
-/// A running planning daemon: worker pool + queue + caches.
+/// A running planning daemon: worker pool + queue + caches (+ WAL).
 ///
 /// Cheap to share (`Clone` clones a handle, not the state). Dropping
 /// the last handle without calling [`Server::shutdown`] detaches the
@@ -150,14 +329,44 @@ struct Inner {
 #[derive(Clone)]
 pub struct Server {
     inner: Arc<Inner>,
-    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    watcher: Arc<Mutex<Option<JoinHandle<()>>>>,
 }
 
 impl Server {
     /// Starts the worker pool and returns a serving handle.
+    ///
+    /// # Panics
+    ///
+    /// If a configured WAL directory cannot be opened — use
+    /// [`Server::try_start`] to handle that; without a `wal_dir` this
+    /// never panics.
     #[must_use]
     pub fn start(config: ServerConfig) -> Self {
+        Self::try_start(config).expect("WAL directory failed to open")
+    }
+
+    /// [`Server::start`], surfacing WAL I/O errors instead of
+    /// panicking. When `config.wal_dir` is set, the log is opened (or
+    /// wiped first when `recover` is off) and replayed into the
+    /// registry and cache before the first worker spawns.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures opening, truncating, or replaying the WAL.
+    pub fn try_start(config: ServerConfig) -> io::Result<Self> {
         let workers = config.workers.max(1);
+        let mut replay = Vec::new();
+        let wal = match &config.wal_dir {
+            Some(dir) => {
+                if !config.recover {
+                    Wal::reset(dir)?;
+                }
+                let (wal, records) = Wal::open(dir, config.fsync)?;
+                replay = records;
+                Some(Mutex::new(wal))
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
             harness: Harness::new(workers),
             cache: PlanCache::new(config.cache_capacity),
@@ -175,67 +384,111 @@ impl Server {
             plans_completed: AtomicU64::new(0),
             plans_errored: AtomicU64::new(0),
             plans_rejected: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            stall_budget: config.stall_budget,
+            debug_hooks: config.debug_hooks,
             histograms: Mutex::new(Histograms::default()),
+            wal,
+            pool: Mutex::new(Vec::with_capacity(workers)),
+            pool_cv: Condvar::new(),
+            next_worker_id: AtomicU64::new(0),
         });
-        let mut handles = Vec::with_capacity(workers);
+        // Warm-start before anything else can observe the state: the
+        // first request already sees the recovered registry and cache.
+        for record in replay {
+            apply_replayed(&inner, record);
+        }
         for _ in 0..workers {
+            spawn_worker(&inner);
+        }
+        let watcher = inner.stall_budget.map(|budget| {
             let inner = Arc::clone(&inner);
-            handles.push(std::thread::spawn(move || worker_loop(&inner)));
-        }
-        Self {
+            std::thread::spawn(move || watcher_loop(&inner, budget))
+        });
+        Ok(Self {
             inner,
-            handles: Arc::new(Mutex::new(handles)),
-        }
+            watcher: Arc::new(Mutex::new(watcher)),
+        })
     }
 
     /// Handles one request line and returns one response line (no
     /// trailing newline). Never panics and never returns non-JSON: any
     /// failure becomes an `{"ok":false,"error":{...}}` envelope. Plan
-    /// requests block until a worker answers (or admission rejects).
+    /// requests block until a worker answers (or admission rejects, or
+    /// the watcher recycles a stuck worker).
     pub fn handle_line(&self, line: &str) -> String {
+        let slot = Arc::new(Slot::blocking());
+        match self.route(line, &slot) {
+            Some(inline) => inline,
+            None => slot.wait(),
+        }
+    }
+
+    /// [`Server::handle_line`] for event-loop transports: never blocks
+    /// the calling thread on plan computation. Inline operations invoke
+    /// `reply` before returning; queued plans invoke it from whichever
+    /// thread completes the request (a worker, the health watcher, or
+    /// shutdown). `reply` is called exactly once.
+    pub fn handle_line_async(&self, line: &str, reply: Box<dyn FnOnce(String) + Send>) {
+        let slot = Arc::new(Slot::with_callback(reply));
+        if let Some(inline) = self.route(line, &slot) {
+            slot.fill(inline);
+        }
+    }
+
+    /// Parses and dispatches one line. `Some` is an inline answer;
+    /// `None` means the request was queued and `slot` will be filled.
+    fn route(&self, line: &str, slot: &Arc<Slot>) -> Option<String> {
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            return WireResponse::Error {
-                id: None,
-                code: "bad_request".to_string(),
-                message: "empty request line".to_string(),
-            }
-            .to_line();
+            return Some(
+                WireResponse::Error {
+                    id: None,
+                    code: "bad_request".to_string(),
+                    message: "empty request line".to_string(),
+                }
+                .to_line(),
+            );
         }
         let request = match WireRequest::from_line(trimmed) {
             Ok(request) => request,
             Err(message) => {
-                return WireResponse::Error {
-                    id: None,
-                    code: "bad_request".to_string(),
-                    message,
-                }
-                .to_line()
+                return Some(
+                    WireResponse::Error {
+                        id: None,
+                        code: "bad_request".to_string(),
+                        message,
+                    }
+                    .to_line(),
+                )
             }
         };
         match request.op {
-            Op::Ping => WireResponse::Pong { id: request.id }.to_line(),
-            Op::Stats => WireResponse::Stats {
-                id: request.id,
-                stats: self.stats_value(),
-            }
-            .to_line(),
+            Op::Ping => Some(WireResponse::Pong { id: request.id }.to_line()),
+            Op::Stats => Some(
+                WireResponse::Stats {
+                    id: request.id,
+                    stats: self.stats_value(),
+                }
+                .to_line(),
+            ),
             Op::Shutdown => {
                 let id = request.id;
                 self.begin_shutdown();
-                WireResponse::Shutdown { id }.to_line()
+                Some(WireResponse::Shutdown { id }.to_line())
             }
-            Op::Register => self.handle_register(&request),
-            Op::Unregister => self.handle_unregister(&request),
+            Op::Register => Some(self.handle_register(&request)),
+            Op::Unregister => Some(self.handle_unregister(&request)),
             // Co-planning is as expensive as planning: both go through
             // admission control and the worker pool, as does routing
             // (a route may have to compute the co-plan it routes from).
-            Op::Plan | Op::Coplan | Op::Route => self.submit_plan(request),
+            Op::Plan | Op::Coplan | Op::Route => self.submit_plan(request, slot),
         }
     }
 
     /// Registers (or re-registers) a model for co-planning. Any change
-    /// to the tenant set invalidates every cached co-plan.
+    /// to the tenant set invalidates every cached co-plan that inlined
+    /// it, and the mutation is WAL-logged for recovery.
     fn handle_register(&self, request: &WireRequest) -> String {
         let answer_err = |err: &LcmmError| WireResponse::from_error(request.id, err).to_line();
         let Some(model) = request.model.clone().filter(|m| !m.is_empty()) else {
@@ -278,36 +531,48 @@ impl Server {
             weight,
             share: request.share,
         };
-        let (models, previous, digest_still_used) = {
-            let mut registry = self.inner.registry.lock().expect("registry poisoned");
-            let previous = registry.insert(model.clone(), entry.clone());
-            let digest_still_used = previous.as_ref().is_some_and(|old| {
-                registry
-                    .values()
-                    .any(|r| r.graph_digest == old.graph_digest)
-            });
-            (registry.len() as u64, previous, digest_still_used)
+        let record = WalRecord::Register {
+            model: model.clone(),
+            graph_json: serde_json::to_string(&entry.graph).unwrap_or_default(),
+            precision: precision_name(entry.precision).to_string(),
+            weight: entry.weight,
+            share: entry.share,
         };
-        let identical = previous.as_ref().is_some_and(|old| {
-            old.graph_digest == entry.graph_digest
-                && old.precision == entry.precision
-                && old.weight == entry.weight
-                && old.share == entry.share
-        });
-        if !identical {
-            // Only co-plans that inlined this model are stale; plans of
-            // other tenant sets (and content-addressed single-model
-            // `plan` entries) survive.
-            self.inner.cache.invalidate_tag(&model_tag(&model));
-            // Pass artifacts are keyed by graph content, so they go
-            // stale only when the model's graph *content* changed and
-            // no other registered model still uses the old graph.
-            if let Some(old) = previous {
-                if old.graph_digest != entry.graph_digest && !digest_still_used {
-                    self.inner.harness.invalidate_graph(&old.graph);
+        let inner = &self.inner;
+        let models = durably(inner, || {
+            let (models, previous, digest_still_used) = {
+                let mut registry = lock_safe(&inner.registry);
+                let previous = registry.insert(model.clone(), entry.clone());
+                let digest_still_used = previous.as_ref().is_some_and(|old| {
+                    registry
+                        .values()
+                        .any(|r| r.graph_digest == old.graph_digest)
+                });
+                (registry.len() as u64, previous, digest_still_used)
+            };
+            let identical = previous.as_ref().is_some_and(|old| {
+                old.graph_digest == entry.graph_digest
+                    && old.precision == entry.precision
+                    && old.weight == entry.weight
+                    && old.share == entry.share
+            });
+            if !identical {
+                // Only co-plans that inlined this model are stale; plans
+                // of other tenant sets (and content-addressed
+                // single-model `plan` entries) survive.
+                inner.cache.invalidate_tag(&model_tag(&model));
+                // Pass artifacts are keyed by graph content, so they go
+                // stale only when the model's graph *content* changed
+                // and no other registered model still uses the old
+                // graph.
+                if let Some(old) = previous {
+                    if old.graph_digest != entry.graph_digest && !digest_still_used {
+                        inner.harness.invalidate_graph(&old.graph);
+                    }
                 }
             }
-        }
+            (models, Some(record))
+        });
         WireResponse::Registry {
             id: request.id,
             action: "register".to_string(),
@@ -317,7 +582,8 @@ impl Server {
         .to_line()
     }
 
-    /// Removes a model from the registry, invalidating cached co-plans.
+    /// Removes a model from the registry, invalidating cached co-plans
+    /// and WAL-logging the removal.
     fn handle_unregister(&self, request: &WireRequest) -> String {
         let Some(model) = request.model.clone().filter(|m| !m.is_empty()) else {
             return WireResponse::from_error(
@@ -328,22 +594,35 @@ impl Server {
             )
             .to_line();
         };
-        let (removed, models, digest_still_used) = {
-            let mut registry = self.inner.registry.lock().expect("registry poisoned");
-            let removed = registry.remove(&model);
-            let digest_still_used = removed.as_ref().is_some_and(|old| {
-                registry
-                    .values()
-                    .any(|r| r.graph_digest == old.graph_digest)
-            });
-            (removed, registry.len() as u64, digest_still_used)
-        };
-        let Some(old) = removed else {
+        let inner = &self.inner;
+        let (removed, models) = durably(inner, || {
+            let (removed, models, digest_still_used) = {
+                let mut registry = lock_safe(&inner.registry);
+                let removed = registry.remove(&model);
+                let digest_still_used = removed.as_ref().is_some_and(|old| {
+                    registry
+                        .values()
+                        .any(|r| r.graph_digest == old.graph_digest)
+                });
+                (removed, registry.len() as u64, digest_still_used)
+            };
+            let Some(old) = removed else {
+                // Nothing changed: nothing to log.
+                return ((false, models), None);
+            };
+            inner.cache.invalidate_tag(&model_tag(&model));
+            if !digest_still_used {
+                inner.harness.invalidate_graph(&old.graph);
+            }
+            (
+                (true, models),
+                Some(WalRecord::Unregister {
+                    model: model.clone(),
+                }),
+            )
+        });
+        if !removed {
             return WireResponse::from_error(request.id, &LcmmError::UnknownModel(model)).to_line();
-        };
-        self.inner.cache.invalidate_tag(&model_tag(&model));
-        if !digest_still_used {
-            self.inner.harness.invalidate_graph(&old.graph);
         }
         WireResponse::Registry {
             id: request.id,
@@ -367,19 +646,51 @@ impl Server {
         self.inner.queue_cv.notify_all();
     }
 
-    /// Graceful shutdown: refuse new plans, drain the queue, join the
-    /// workers. Idempotent; safe to call from any handle.
+    /// Graceful shutdown: refuse new plans, drain the queue, wait for
+    /// the workers, fail anything left unanswered. Idempotent; safe to
+    /// call from any handle.
+    ///
+    /// Workers the watcher abandoned as stuck are *not* waited for —
+    /// their requests were already failed with `worker_recycled`, and
+    /// a thread that never returns must not be able to hang shutdown.
     pub fn shutdown(&self) {
         self.begin_shutdown();
-        let handles =
-            std::mem::take(&mut *self.handles.lock().expect("server handle list poisoned"));
-        for handle in handles {
-            let _ = handle.join();
+        {
+            let mut pool = lock_safe(&self.inner.pool);
+            while !pool.is_empty() {
+                pool = self
+                    .inner
+                    .pool_cv
+                    .wait(pool)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if let Some(watcher) = lock_safe(&self.watcher).take() {
+            let _ = watcher.join();
+        }
+        // A submit that raced the drain may have queued after the last
+        // worker exited; fail those slots rather than strand their
+        // clients (fill is idempotent, so racing a worker is safe).
+        let leftovers: Vec<Job> = {
+            let mut queue = lock_safe(&self.inner.queue);
+            queue.jobs.drain(..).collect()
+        };
+        for job in leftovers {
+            self.inner.plans_rejected.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(
+                WireResponse::Error {
+                    id: job.request.id,
+                    code: "shutting_down".to_string(),
+                    message: "server shut down before the request was served".to_string(),
+                }
+                .to_line(),
+            );
         }
     }
 
-    /// Admission control + blocking wait for the plan response.
-    fn submit_plan(&self, request: WireRequest) -> String {
+    /// Admission control: `Some` is an inline rejection, `None` means
+    /// the job was queued and `slot` will be filled asynchronously.
+    fn submit_plan(&self, request: WireRequest, slot: &Arc<Slot>) -> Option<String> {
         let inner = &self.inner;
         inner.plans_total.fetch_add(1, Ordering::Relaxed);
         // The cancel token starts ticking at admission, so time spent
@@ -388,43 +699,41 @@ impl Server {
             Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
             None => CancelToken::new(),
         };
-        let slot: ResponseSlot = Arc::new((Mutex::new(None), Condvar::new()));
         {
-            let mut queue = inner.queue.lock().expect("serve queue poisoned");
+            let mut queue = lock_safe(&inner.queue);
             if inner.shutting_down.load(Ordering::SeqCst) {
                 inner.plans_rejected.fetch_add(1, Ordering::Relaxed);
-                return WireResponse::Error {
-                    id: request.id,
-                    code: "shutting_down".to_string(),
-                    message: "server is draining; no new plans accepted".to_string(),
-                }
-                .to_line();
+                return Some(
+                    WireResponse::Error {
+                        id: request.id,
+                        code: "shutting_down".to_string(),
+                        message: "server is draining; no new plans accepted".to_string(),
+                    }
+                    .to_line(),
+                );
             }
             if queue.jobs.len() + queue.in_flight >= inner.queue_capacity {
                 inner.plans_rejected.fetch_add(1, Ordering::Relaxed);
-                return WireResponse::Error {
-                    id: request.id,
-                    code: "queue_full".to_string(),
-                    message: format!(
-                        "admission queue at capacity ({}); retry later",
-                        inner.queue_capacity
-                    ),
-                }
-                .to_line();
+                return Some(
+                    WireResponse::Error {
+                        id: request.id,
+                        code: "queue_full".to_string(),
+                        message: format!(
+                            "admission queue at capacity ({}); retry later",
+                            inner.queue_capacity
+                        ),
+                    }
+                    .to_line(),
+                );
             }
             queue.jobs.push_back(Job {
                 request,
                 cancel,
-                slot: Arc::clone(&slot),
+                slot: Arc::clone(slot),
             });
         }
         inner.queue_cv.notify_one();
-        let (lock, cv) = &*slot;
-        let mut filled = lock.lock().expect("response slot poisoned");
-        while filled.is_none() {
-            filled = cv.wait(filled).expect("response slot poisoned");
-        }
-        filled.take().expect("slot observed as filled")
+        None
     }
 
     /// The `/stats` payload.
@@ -432,11 +741,11 @@ impl Server {
         let inner = &self.inner;
         let cache = inner.cache.counters();
         let (depth, in_flight) = {
-            let queue = inner.queue.lock().expect("serve queue poisoned");
+            let queue = lock_safe(&inner.queue);
             (queue.jobs.len(), queue.in_flight)
         };
         let histograms = {
-            let h = inner.histograms.lock().expect("histograms poisoned");
+            let h = lock_safe(&inner.histograms);
             Value::Map(vec![
                 ("alloc_split".to_string(), h.alloc_split.to_value()),
                 ("liveness".to_string(), h.liveness.to_value()),
@@ -444,7 +753,21 @@ impl Server {
                 ("total".to_string(), h.total.to_value()),
             ])
         };
-        let models = self.inner.registry.lock().expect("registry poisoned").len();
+        let models = lock_safe(&inner.registry).len();
+        let wal = match &inner.wal {
+            Some(wal) => {
+                let s = lock_safe(wal).stats();
+                Value::Map(vec![
+                    ("appended".to_string(), Value::U64(s.appended)),
+                    ("compactions".to_string(), Value::U64(s.compactions)),
+                    ("enabled".to_string(), Value::Bool(true)),
+                    ("log_bytes".to_string(), Value::U64(s.log_bytes)),
+                    ("replayed".to_string(), Value::U64(s.replayed)),
+                    ("truncated_bytes".to_string(), Value::U64(s.truncated_bytes)),
+                ])
+            }
+            None => Value::Map(vec![("enabled".to_string(), Value::Bool(false))]),
+        };
         Value::Map(vec![
             (
                 "cache".to_string(),
@@ -476,11 +799,23 @@ impl Server {
                     ),
                 ])
             }),
-            ("histograms".to_string(), histograms),
             (
-                "registry".to_string(),
-                Value::Map(vec![("models".to_string(), Value::U64(models as u64))]),
+                "health".to_string(),
+                Value::Map(vec![
+                    (
+                        "recycled".to_string(),
+                        Value::U64(inner.recycled.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "stall_budget_ms".to_string(),
+                        match inner.stall_budget {
+                            Some(budget) => Value::U64(budget.as_millis() as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
             ),
+            ("histograms".to_string(), histograms),
             (
                 "queue".to_string(),
                 Value::Map(vec![
@@ -491,6 +826,10 @@ impl Server {
                     ("depth".to_string(), Value::U64(depth as u64)),
                     ("in_flight".to_string(), Value::U64(in_flight as u64)),
                 ]),
+            ),
+            (
+                "registry".to_string(),
+                Value::Map(vec![("models".to_string(), Value::U64(models as u64))]),
             ),
             (
                 "requests".to_string(),
@@ -517,6 +856,7 @@ impl Server {
                 "uptime_seconds".to_string(),
                 Value::F64(inner.started.elapsed().as_secs_f64()),
             ),
+            ("wal".to_string(), wal),
             ("workers".to_string(), Value::U64(inner.workers as u64)),
         ])
     }
@@ -527,27 +867,160 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("workers", &self.inner.workers)
             .field("queue_capacity", &self.inner.queue_capacity)
+            .field("wal", &self.inner.wal.is_some())
             .field("shutting_down", &self.is_shutting_down())
             .finish()
     }
 }
 
-/// One worker: pop, compute, answer — until shutdown drains the queue.
-fn worker_loop(inner: &Inner) {
+/// Applies one mutation and logs its WAL record, both under the WAL
+/// lock, so the log order always equals the apply order across threads.
+/// The closure returns `None` as the record when nothing changed
+/// (e.g. unregistering an unknown model). Compaction piggybacks here:
+/// when the log outgrows its threshold, the full registry + cache state
+/// is snapshotted and the log truncated.
+fn durably<R>(inner: &Inner, apply: impl FnOnce() -> (R, Option<WalRecord>)) -> R {
+    let Some(wal) = &inner.wal else {
+        return apply().0;
+    };
+    let mut wal = lock_safe(wal);
+    let (result, record) = apply();
+    if let Some(record) = record {
+        if let Err(e) = wal.append(&record) {
+            // Keep serving with durability degraded rather than dying:
+            // the in-memory state is already consistent.
+            eprintln!("lcmm serve: wal append failed: {e}");
+        }
+        if wal.needs_compaction() {
+            let state = snapshot_records(inner);
+            if let Err(e) = wal.compact(&state) {
+                eprintln!("lcmm serve: wal compaction failed: {e}");
+            }
+        }
+    }
+    result
+}
+
+/// The full durable state as replayable records: every registry entry,
+/// then every cache entry in LRU order. This is what compaction writes
+/// as the snapshot.
+fn snapshot_records(inner: &Inner) -> Vec<WalRecord> {
+    let mut out = Vec::new();
+    {
+        let registry = lock_safe(&inner.registry);
+        for (name, r) in registry.iter() {
+            out.push(WalRecord::Register {
+                model: name.clone(),
+                graph_json: serde_json::to_string(&r.graph).unwrap_or_default(),
+                precision: precision_name(r.precision).to_string(),
+                weight: r.weight,
+                share: r.share,
+            });
+        }
+    }
+    for (key, value, tags) in inner.cache.dump() {
+        out.push(WalRecord::PlanPut { key, value, tags });
+    }
+    out
+}
+
+/// Applies one replayed WAL record at startup. Mirrors the live
+/// mutation paths (including the invalidation a non-identical
+/// re-register triggers) minus the counters and the harness hooks —
+/// the harness is empty before the first worker spawns. Undecodable
+/// records (e.g. a graph encoding from a future version) are skipped,
+/// not fatal; replay of a valid log is idempotent.
+fn apply_replayed(inner: &Inner, record: WalRecord) {
+    match record {
+        WalRecord::Register {
+            model,
+            graph_json,
+            precision,
+            weight,
+            share,
+        } => {
+            let Ok(graph) = serde_json::from_str::<Graph>(&graph_json) else {
+                return;
+            };
+            let Ok(precision) = crate::protocol::parse_precision(&precision) else {
+                return;
+            };
+            let entry = Registered {
+                graph_digest: graph_digest(&graph),
+                graph,
+                precision,
+                weight,
+                share,
+            };
+            let previous = lock_safe(&inner.registry).insert(model.clone(), entry.clone());
+            let identical = previous.as_ref().is_some_and(|old| {
+                old.graph_digest == entry.graph_digest
+                    && old.precision == entry.precision
+                    && old.weight == entry.weight
+                    && old.share == entry.share
+            });
+            if !identical {
+                inner.cache.replay_invalidate_tag(&model_tag(&model));
+            }
+        }
+        WalRecord::Unregister { model } => {
+            let removed = lock_safe(&inner.registry).remove(&model);
+            if removed.is_some() {
+                inner.cache.replay_invalidate_tag(&model_tag(&model));
+            }
+        }
+        WalRecord::PlanPut { key, value, tags } => inner.cache.replay_put(key, value, tags),
+    }
+}
+
+/// Adds a fresh worker to the pool and spawns its thread.
+fn spawn_worker(inner: &Arc<Inner>) {
+    let id = inner.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let state = Arc::new(WorkerState {
+        id,
+        busy: Mutex::new(None),
+    });
+    lock_safe(&inner.pool).push(Arc::clone(&state));
+    let inner = Arc::clone(inner);
+    std::thread::spawn(move || worker_loop(&inner, &state));
+}
+
+/// Removes worker `id` from the pool and wakes anyone waiting for the
+/// pool to drain (shutdown).
+fn leave_pool(inner: &Inner, id: u64) {
+    lock_safe(&inner.pool).retain(|w| w.id != id);
+    inner.pool_cv.notify_all();
+}
+
+/// One worker: pop, compute, answer — until shutdown drains the queue,
+/// or the watcher abandons this worker as stuck.
+fn worker_loop(inner: &Arc<Inner>, state: &Arc<WorkerState>) {
     loop {
         let job = {
-            let mut queue = inner.queue.lock().expect("serve queue poisoned");
+            let mut queue = lock_safe(&inner.queue);
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     queue.in_flight += 1;
                     break job;
                 }
                 if inner.shutting_down.load(Ordering::SeqCst) {
+                    drop(queue);
+                    leave_pool(inner, state.id);
                     return;
                 }
-                queue = inner.queue_cv.wait(queue).expect("serve queue poisoned");
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        *lock_safe(&state.busy) = Some(BusyJob {
+            started: Instant::now(),
+            cancel: job.cancel.clone(),
+            slot: Arc::clone(&job.slot),
+            request_id: job.request.id,
+            abandoned: false,
+        });
         // A panic inside the pipeline must never take the worker (and
         // with it the daemon) down: surface it as `internal_error` and
         // keep serving.
@@ -567,11 +1040,67 @@ fn worker_loop(inner: &Inner) {
                 .to_line()
             },
         );
-        let (lock, cv) = &*job.slot;
-        *lock.lock().expect("response slot poisoned") = Some(line);
-        cv.notify_all();
-        let mut queue = inner.queue.lock().expect("serve queue poisoned");
-        queue.in_flight -= 1;
+        let abandoned = {
+            let mut busy = lock_safe(&state.busy);
+            let abandoned = busy.as_ref().is_some_and(|b| b.abandoned);
+            *busy = None;
+            abandoned
+        };
+        if abandoned {
+            // The watcher already answered this request, released its
+            // in-flight accounting, and spawned a replacement worker —
+            // this thread no longer exists as far as the pool knows.
+            return;
+        }
+        job.slot.fill(line);
+        lock_safe(&inner.queue).in_flight -= 1;
+    }
+}
+
+/// The health watcher: scans the pool for workers stuck on one request
+/// past the stall budget, fails that request with `worker_recycled`,
+/// abandons the thread (it cannot be killed; it exits on its own if
+/// the computation ever returns) and spawns a replacement so the pool
+/// never shrinks. Exits once shutdown has drained the pool.
+fn watcher_loop(inner: &Arc<Inner>, budget: Duration) {
+    let tick = (budget / 4)
+        .max(Duration::from_millis(10))
+        .min(Duration::from_millis(200));
+    loop {
+        std::thread::sleep(tick);
+        let members: Vec<Arc<WorkerState>> = lock_safe(&inner.pool).clone();
+        if members.is_empty() && inner.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        for state in members {
+            let stuck = {
+                let mut busy = lock_safe(&state.busy);
+                match busy.as_mut() {
+                    Some(b) if !b.abandoned && b.started.elapsed() > budget => {
+                        // Taking over under the busy lock is the
+                        // handshake: the worker checks this flag under
+                        // the same lock, so exactly one side fills the
+                        // slot and decrements in_flight.
+                        b.abandoned = true;
+                        Some((b.cancel.clone(), Arc::clone(&b.slot), b.request_id))
+                    }
+                    _ => None,
+                }
+            };
+            let Some((cancel, slot, request_id)) = stuck else {
+                continue;
+            };
+            // Best case the computation notices the cancellation at its
+            // next cooperative check and the thread exits promptly;
+            // worst case it stays wedged, detached, and harmless.
+            cancel.cancel();
+            slot.fill(WireResponse::from_error(request_id, &LcmmError::WorkerRecycled).to_line());
+            inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+            inner.recycled.fetch_add(1, Ordering::Relaxed);
+            lock_safe(&inner.queue).in_flight -= 1;
+            leave_pool(inner, state.id);
+            spawn_worker(inner);
+        }
     }
 }
 
@@ -655,7 +1184,7 @@ fn tenant_slice(summary: &Value, model: &str) -> Option<Value> {
 }
 
 /// Runs one admitted plan request to a response line.
-fn process_plan(inner: &Inner, job: &Job) -> String {
+fn process_plan(inner: &Arc<Inner>, job: &Job) -> String {
     let request = &job.request;
     let answer_err = |err: &LcmmError| {
         inner.plans_errored.fetch_add(1, Ordering::Relaxed);
@@ -664,6 +1193,13 @@ fn process_plan(inner: &Inner, job: &Job) -> String {
     // Deadline may already have passed while the job sat in the queue.
     if let Err(err) = job.cancel.check() {
         return answer_err(&err);
+    }
+    if inner.debug_hooks {
+        if let Some(GraphSpec::Named(name)) = &request.graph {
+            if let Some(hook) = name.strip_prefix("debug:") {
+                return run_debug_hook(inner, job, hook);
+            }
+        }
     }
     if matches!(request.op, Op::Coplan | Op::Route) {
         return process_coplan(inner, job);
@@ -711,7 +1247,12 @@ fn process_plan(inner: &Inner, job: &Job) -> String {
     record_pass_stats(inner, &result.stats);
     let plan = plan_summary(&resolved, &result, &umm);
     let stored = serde_json::to_string(&plan).expect("plan summary serialises");
-    inner.cache.put(key, stored);
+    let record = WalRecord::PlanPut {
+        key: key.clone(),
+        value: stored.clone(),
+        tags: Vec::new(),
+    };
+    durably(inner, || (inner.cache.put(key, stored), Some(record)));
     inner.plans_completed.fetch_add(1, Ordering::Relaxed);
     WireResponse::Plan {
         id: request.id,
@@ -724,20 +1265,76 @@ fn process_plan(inner: &Inner, job: &Job) -> String {
     .to_line()
 }
 
+/// Executes one `debug:` fault-injection hook (only reachable when
+/// [`ServerConfig::debug_hooks`] is on): `debug:panic` panics inside
+/// the worker, `debug:poison` genuinely poisons the histograms lock
+/// before panicking, `debug:stall:<ms>` busy-waits (cooperatively
+/// cancellable) to trip the health watcher.
+fn run_debug_hook(inner: &Arc<Inner>, job: &Job, hook: &str) -> String {
+    let request = &job.request;
+    if hook == "panic" {
+        panic!("debug hook: injected worker panic");
+    }
+    if hook == "poison" {
+        // Poison the histograms mutex from a scratch thread, then
+        // panic in this worker too. Subsequent stats requests only
+        // survive because every lock site recovers from poisoning —
+        // exactly the regression this hook exists to catch.
+        let poisoned = Arc::clone(inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoned.histograms.lock();
+            panic!("debug hook: poisoning the histograms lock");
+        })
+        .join();
+        panic!("debug hook: injected panic after poisoning");
+    }
+    if let Some(ms) = hook
+        .strip_prefix("stall:")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        let until = Instant::now() + Duration::from_millis(ms);
+        while Instant::now() < until {
+            if job.cancel.is_cancelled() {
+                // Recycled (or expired): the slot was already answered,
+                // this line is discarded by the idempotent fill.
+                return WireResponse::from_error(request.id, &LcmmError::Cancelled).to_line();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+        return WireResponse::Plan {
+            id: request.id,
+            plan: Value::Map(vec![(
+                "debug".to_string(),
+                Value::Str(format!("stalled {ms}ms")),
+            )]),
+            cached: false,
+            pass_stats: None,
+        }
+        .to_line();
+    }
+    inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+    WireResponse::from_error(
+        request.id,
+        &LcmmError::InvalidRequest(format!("unknown debug hook {hook:?}")),
+    )
+    .to_line()
+}
+
 /// Runs one admitted co-plan or route request to a response line.
 ///
 /// Both compute (or replay from cache) the co-plan of the *entire*
 /// current registry; a route then answers with just the named tenant's
 /// slice of it. The cached payload is always the full summary, so a
 /// co-plan and the routes against it share one entry.
-fn process_coplan(inner: &Inner, job: &Job) -> String {
+fn process_coplan(inner: &Arc<Inner>, job: &Job) -> String {
     let request = &job.request;
     let answer_err = |err: &LcmmError| {
         inner.plans_errored.fetch_add(1, Ordering::Relaxed);
         WireResponse::from_error(request.id, err).to_line()
     };
     let registry: Vec<(String, Registered)> = {
-        let registry = inner.registry.lock().expect("registry poisoned");
+        let registry = lock_safe(&inner.registry);
         registry
             .iter()
             .map(|(name, r)| (name.clone(), r.clone()))
@@ -813,8 +1410,15 @@ fn process_coplan(inner: &Inner, job: &Job) -> String {
     };
     let summary = coplan_summary(&plan);
     let stored = serde_json::to_string(&summary).expect("co-plan summary serialises");
-    let tags = registry.iter().map(|(name, _)| model_tag(name)).collect();
-    inner.cache.put_tagged(key, stored, tags);
+    let tags: Vec<String> = registry.iter().map(|(name, _)| model_tag(name)).collect();
+    let record = WalRecord::PlanPut {
+        key: key.clone(),
+        value: stored.clone(),
+        tags: tags.clone(),
+    };
+    durably(inner, || {
+        (inner.cache.put_tagged(key, stored, tags), Some(record))
+    });
     inner.plans_completed.fetch_add(1, Ordering::Relaxed);
     let payload = match &route_model {
         Some(m) => tenant_slice(&summary, m).expect("routed model is a tenant"),
@@ -831,7 +1435,7 @@ fn process_coplan(inner: &Inner, job: &Job) -> String {
 
 /// Folds one computed run's pass timings into the `/stats` histograms.
 fn record_pass_stats(inner: &Inner, stats: &PassStats) {
-    let mut h = inner.histograms.lock().expect("histograms poisoned");
+    let mut h = lock_safe(&inner.histograms);
     h.liveness.record(stats.liveness_seconds);
     h.prefetch.record(stats.prefetch_seconds);
     h.alloc_split.record(stats.alloc_split_seconds);
@@ -960,6 +1564,30 @@ mod tests {
         let line = r#"{"graph":"synthetic:1024x4x99","deadline_ms":0}"#;
         let resp = server.handle_line(line);
         assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn async_handle_replies_through_the_callback() {
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Inline op: callback fires before handle_line_async returns.
+        let tx2 = tx.clone();
+        server.handle_line_async(
+            r#"{"op":"ping","id":7}"#,
+            Box::new(move |line| tx2.send(line).unwrap()),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            r#"{"id":7,"ok":true,"pong":true}"#
+        );
+        // Queued plan: callback fires from a worker thread.
+        server.handle_line_async(
+            r#"{"graph":"alexnet"}"#,
+            Box::new(move |line| tx.send(line).unwrap()),
+        );
+        let line = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
         server.shutdown();
     }
 }

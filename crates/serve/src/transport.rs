@@ -1,31 +1,64 @@
-//! Line-oriented transports over the transport-independent
-//! [`Server::handle_line`]: stdin/stdout (tests, pipelines), TCP, and
-//! Unix domain sockets.
+//! Line-oriented transports: stdin/stdout (tests, pipelines) over the
+//! blocking [`Server::handle_line`], and TCP / Unix-socket serving via
+//! a readiness-polled event loop over [`Server::handle_line_async`].
 //!
-//! All three loops end the same way: a `{"op":"shutdown"}` request (or
-//! input EOF on stdio) flips the server into draining mode, queued work
-//! finishes, workers join, and the function returns.
+//! The event loop replaces the old thread-per-connection design. One
+//! transport thread owns every socket: it accepts non-blockingly,
+//! reads whatever bytes are available into per-connection buffers,
+//! hands complete lines to the server (which answers inline or from a
+//! worker thread through a completion channel), and writes responses
+//! back as sockets accept them. A slow, stalled, or disconnected
+//! client therefore costs a buffer, not a thread — and a write error
+//! tears down that one connection, never the acceptor.
+//!
+//! Backpressure is per client, in both directions: a connection with
+//! `MAX_PIPELINE` requests in flight or more than `SOFT_WRITE_CAP`
+//! unsent response bytes is not read from until it drains, and one
+//! that ignores its responses past `HARD_WRITE_CAP` is dropped.
+//!
+//! All loops end the same way: a `{"op":"shutdown"}` request (or input
+//! EOF on stdio) flips the server into draining mode, in-flight work
+//! finishes and is flushed to its clients, workers join, and the
+//! function returns.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::mpsc;
 use std::time::Duration;
 
 use crate::server::{Server, ServerConfig};
 
-/// How long the accept and read loops sleep/block between polls of the
-/// shutdown flag. Bounds shutdown latency, not request latency.
-const POLL: Duration = Duration::from_millis(25);
+/// How long the event loop parks waiting for completions before
+/// re-polling sockets. Bounds idle latency, not request latency —
+/// completions wake the loop immediately through the channel.
+const TICK: Duration = Duration::from_millis(2);
+
+/// Requests one connection may have in flight before the loop stops
+/// reading from it.
+const MAX_PIPELINE: u64 = 128;
+
+/// Unsent response bytes above which a connection is not read from.
+const SOFT_WRITE_CAP: usize = 1 << 20;
+
+/// Unsent response bytes above which a client is judged dead-slow and
+/// dropped.
+const HARD_WRITE_CAP: usize = 8 << 20;
+
+/// Longest accepted request line; protects the per-connection read
+/// buffer from a peer that never sends a newline.
+const MAX_LINE: usize = 8 << 20;
 
 /// Serves JSON-lines over stdin/stdout until EOF or a shutdown request.
 /// Requests are answered in input order.
 ///
 /// # Errors
 ///
-/// Propagates stdin/stdout I/O failures.
+/// Propagates stdin/stdout I/O failures and WAL startup failures.
 pub fn serve_stdio(config: ServerConfig) -> io::Result<()> {
-    let server = Server::start(config);
+    let server = Server::try_start(config)?;
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -47,21 +80,35 @@ pub fn serve_stdio(config: ServerConfig) -> io::Result<()> {
 
 /// Serves JSON-lines over TCP. Binds `addr` (use port 0 for an
 /// ephemeral port) and prints one `listening <addr>` line to stdout so
-/// callers can discover the bound address. Each connection is handled
-/// on its own thread; requests on one connection are answered in order.
+/// callers can discover the bound address. All connections share the
+/// event-loop thread; requests on one connection are answered in order.
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Propagates bind failures and WAL startup failures.
 pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     println!("listening {}", listener.local_addr()?);
     io::stdout().flush()?;
-    let server = Server::start(config);
-    accept_loop(&server, || match listener.accept() {
-        Ok((stream, _)) => Some(Box::new(stream) as Box<dyn Conn>),
-        Err(_) => None,
+    serve_tcp_listener(config, listener)
+}
+
+/// [`serve_tcp`] over an already-bound listener — tests bind port 0
+/// themselves to learn the address without parsing stdout.
+///
+/// # Errors
+///
+/// Propagates listener configuration and WAL startup failures.
+pub fn serve_tcp_listener(config: ServerConfig, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let server = Server::try_start(config)?;
+    event_loop(&server, &|| match listener.accept() {
+        Ok((stream, _)) => {
+            stream.set_nonblocking(true)?;
+            Ok(Some(Box::new(stream) as Box<dyn Stream>))
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
     });
     server.shutdown();
     Ok(())
@@ -73,7 +120,7 @@ pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Propagates bind failures and WAL startup failures.
 pub fn serve_unix(config: ServerConfig, path: &Path) -> io::Result<()> {
     if path.exists() {
         std::fs::remove_file(path)?;
@@ -82,96 +129,226 @@ pub fn serve_unix(config: ServerConfig, path: &Path) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     println!("listening {}", path.display());
     io::stdout().flush()?;
-    let server = Server::start(config);
-    accept_loop(&server, || match listener.accept() {
-        Ok((stream, _)) => Some(Box::new(stream) as Box<dyn Conn>),
-        Err(_) => None,
+    let server = Server::try_start(config)?;
+    event_loop(&server, &|| match listener.accept() {
+        Ok((stream, _)) => {
+            stream.set_nonblocking(true)?;
+            Ok(Some(Box::new(stream) as Box<dyn Stream>))
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
     });
     server.shutdown();
     let _ = std::fs::remove_file(path);
     Ok(())
 }
 
-/// The two stream types, unified for [`handle_conn`].
-trait Conn: io::Read + io::Write + Send {
-    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
-    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()>;
+/// The two stream types, unified for the event loop. Streams are
+/// switched to non-blocking before entering the loop.
+trait Stream: io::Read + io::Write + Send {}
+
+impl Stream for TcpStream {}
+impl Stream for UnixStream {}
+
+/// One live connection's event-loop state.
+struct Connection {
+    stream: Box<dyn Stream>,
+    /// Bytes received but not yet terminated by `\n`.
+    read_buf: Vec<u8>,
+    /// Response bytes accepted from the server but not yet written.
+    write_buf: Vec<u8>,
+    /// Sequence number assigned to the next request read off this
+    /// connection. Responses are released strictly in this order, so
+    /// pipelined requests answered out of order by the worker pool
+    /// still reach the client in request order.
+    next_seq: u64,
+    /// Sequence number of the next response to release.
+    next_send: u64,
+    /// Completed responses waiting for their turn in the order.
+    ready: BTreeMap<u64, String>,
+    /// Peer sent EOF; drain what is owed, then drop.
+    read_closed: bool,
+    /// Tear down at the end of the tick (write error, overflow).
+    dead: bool,
 }
 
-impl Conn for TcpStream {
-    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
-        Ok(Box::new(self.try_clone()?))
+impl Connection {
+    fn new(stream: Box<dyn Stream>) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            next_seq: 0,
+            next_send: 0,
+            ready: BTreeMap::new(),
+            read_closed: false,
+            dead: false,
+        }
     }
 
-    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()> {
-        self.set_nonblocking(false)?;
-        self.set_read_timeout(Some(timeout))
-    }
-}
-
-impl Conn for UnixStream {
-    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
-        Ok(Box::new(self.try_clone()?))
+    /// Requests read but not yet released to the write buffer.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_send
     }
 
-    fn set_read_timeout_conn(&self, timeout: Duration) -> io::Result<()> {
-        self.set_nonblocking(false)?;
-        self.set_read_timeout(Some(timeout))
+    /// True when nothing is owed to the peer any more.
+    fn drained(&self) -> bool {
+        self.in_flight() == 0 && self.write_buf.is_empty()
     }
-}
 
-/// Accepts connections until shutdown. Handlers are joined by the
-/// enclosing thread scope; their read timeouts guarantee they notice
-/// the shutdown flag within one [`POLL`] tick even on idle connections,
-/// so the join cannot hang.
-fn accept_loop(server: &Server, mut accept: impl FnMut() -> Option<Box<dyn Conn>>) {
-    std::thread::scope(|scope| {
-        while !server.is_shutting_down() {
-            match accept() {
-                Some(conn) => {
-                    let server = server.clone();
-                    scope.spawn(move || {
-                        let _ = handle_conn(&server, conn);
-                    });
+    /// Moves consecutively-ready responses into the write buffer.
+    fn release_ready(&mut self) {
+        while let Some(line) = self.ready.remove(&self.next_send) {
+            self.write_buf.extend_from_slice(line.as_bytes());
+            self.write_buf.push(b'\n');
+            self.next_send += 1;
+        }
+    }
+
+    /// Writes as much of the write buffer as the socket accepts.
+    /// Returns `false` on a fatal write error — which kills *this*
+    /// connection only.
+    fn flush_some(&mut self) -> bool {
+        let mut written = 0;
+        while written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[written..]) {
+                Ok(0) => break,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.write_buf.drain(..written);
+                    return false;
                 }
-                None => std::thread::sleep(POLL),
             }
         }
-    });
+        self.write_buf.drain(..written);
+        true
+    }
 }
 
-/// One connection: read request lines, write response lines, until the
-/// peer closes or the server shuts down. Read timeouts make the loop a
-/// shutdown-flag poll; a partially read line survives timeouts because
-/// `read_line` appends into the same buffer across retries.
-fn handle_conn(server: &Server, conn: Box<dyn Conn>) -> io::Result<()> {
-    conn.set_read_timeout_conn(POLL)?;
-    let mut writer = conn.try_clone_conn()?;
-    let mut reader = BufReader::new(conn);
-    let mut line = String::new();
+/// A completed response travelling from whichever thread finished it
+/// (the event loop itself for inline ops, a worker, the health watcher,
+/// or shutdown) back to the event loop: `(connection, seq, line)`.
+type Completion = (u64, u64, String);
+
+/// The readiness-polled serving loop: one thread, every socket.
+///
+/// `accept` returns `Ok(None)` when no connection is pending. The loop
+/// runs until the server enters shutdown *and* every connection has
+/// been paid what it is owed (so the response to the shutdown request
+/// itself, and anything in flight, still reaches its client).
+fn event_loop(server: &Server, accept: &dyn Fn() -> io::Result<Option<Box<dyn Stream>>>) {
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let mut conns: HashMap<u64, Connection> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut scratch = [0u8; 64 * 1024];
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let response = server.handle_line(&line);
-                    writer.write_all(response.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    writer.flush()?;
-                }
-                line.clear();
-                if server.is_shutting_down() {
-                    return Ok(());
+        let mut active = false;
+        // 1. Admit new connections (unless draining).
+        if !server.is_shutting_down() {
+            while let Ok(Some(stream)) = accept() {
+                conns.insert(next_conn_id, Connection::new(stream));
+                next_conn_id += 1;
+                active = true;
+            }
+        }
+        // 2. Collect completed responses. Completions for connections
+        // that died in the meantime are discarded.
+        while let Ok((conn_id, seq, line)) = rx.try_recv() {
+            if let Some(conn) = conns.get_mut(&conn_id) {
+                conn.ready.insert(seq, line);
+                conn.release_ready();
+            }
+            active = true;
+        }
+        // 3. Pump every socket: write what is owed, read what is
+        // offered, respecting per-client backpressure.
+        for (&conn_id, conn) in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            let before = conn.write_buf.len();
+            if !conn.flush_some() {
+                // The write-error bugfix: a disconnected client kills
+                // its own connection, never the serving loop.
+                conn.dead = true;
+                continue;
+            }
+            active |= conn.write_buf.len() != before;
+            if conn.write_buf.len() > HARD_WRITE_CAP {
+                conn.dead = true;
+                continue;
+            }
+            let throttled = conn.in_flight() >= MAX_PIPELINE
+                || conn.write_buf.len() > SOFT_WRITE_CAP
+                || conn.read_closed;
+            if throttled {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        active = true;
+                        conn.read_buf.extend_from_slice(&scratch[..n]);
+                        if conn.read_buf.len() > MAX_LINE {
+                            conn.dead = true;
+                        }
+                        break; // process what we have; read again next tick
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
                 }
             }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if server.is_shutting_down() {
-                    return Ok(());
+            if conn.dead {
+                continue;
+            }
+            // Split complete lines out of the read buffer and hand them
+            // to the server; responses come back through the channel in
+            // whatever order they finish and are re-sequenced above.
+            while let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&raw[..pos]).into_owned();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let tx = tx.clone();
+                server.handle_line_async(
+                    &line,
+                    Box::new(move |response| {
+                        // The loop may have exited already; then nobody
+                        // is listening and the send result is moot.
+                        let _ = tx.send((conn_id, seq, response));
+                    }),
+                );
+                active = true;
+            }
+        }
+        // 4. Reap: dead connections immediately, half-closed ones once
+        // every owed response has been flushed.
+        conns.retain(|_, conn| !(conn.dead || conn.read_closed && conn.drained()));
+        // 5. Exit once draining is complete.
+        if server.is_shutting_down() && conns.values().all(Connection::drained) {
+            return;
+        }
+        // 6. Park until a completion arrives or the next poll tick.
+        if !active {
+            if let Ok((conn_id, seq, line)) = rx.recv_timeout(TICK) {
+                if let Some(conn) = conns.get_mut(&conn_id) {
+                    conn.ready.insert(seq, line);
+                    conn.release_ready();
                 }
             }
-            Err(e) => return Err(e),
         }
     }
 }

@@ -1,0 +1,144 @@
+//! Event-loop transport tests over real TCP sockets: ordered
+//! pipelining, half-close draining, mid-response disconnects under
+//! load, and a clean shutdown handshake.
+
+use lcmm_serve::{serve_tcp_listener, ServerConfig};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Boots a daemon on an ephemeral port; returns its address and the
+/// serving thread (joined by `stop`).
+fn boot(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        serve_tcp_listener(config, listener).expect("serve");
+    });
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream
+}
+
+/// Sends a shutdown request and joins the serving thread.
+fn stop(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let mut conn = connect(addr);
+    conn.write_all(b"{\"op\":\"shutdown\"}\n").expect("send");
+    let mut line = String::new();
+    // The shutdown ack must still be flushed to this client.
+    BufReader::new(&conn).read_line(&mut line).expect("ack");
+    assert!(line.contains("\"shutdown\":true"), "{line}");
+    handle.join().expect("serve thread exits");
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("non-JSON response {line:?}: {e}"))
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_request_order() {
+    let (addr, handle) = boot(ServerConfig::default().with_workers(2));
+    let mut conn = connect(addr);
+    // Three requests in one write: a ping, a real plan, another ping.
+    // The pings complete instantly on the event loop while the plan is
+    // still computing on a worker — the responses must nevertheless
+    // come back in request order.
+    conn.write_all(
+        b"{\"op\":\"ping\",\"id\":1}\n{\"graph\":\"alexnet\",\"id\":2}\n{\"op\":\"ping\",\"id\":3}\n",
+    )
+    .expect("send");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        let v = parse(&line);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+        ids.push(v.get("id").and_then(Value::as_u64).expect("id"));
+    }
+    assert_eq!(ids, vec![1, 2, 3], "responses in request order");
+    stop(addr, handle);
+}
+
+#[test]
+fn half_closed_connection_still_receives_its_responses() {
+    let (addr, handle) = boot(ServerConfig::default().with_workers(2));
+    let mut conn = connect(addr);
+    conn.write_all(b"{\"graph\":\"squeezenet\",\"id\":7}\n")
+        .expect("send");
+    // Close the write side immediately: the daemon sees EOF while the
+    // plan is still computing, and must drain the owed response before
+    // dropping the connection.
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut line = String::new();
+    BufReader::new(&conn)
+        .read_line(&mut line)
+        .expect("response");
+    let v = parse(&line);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+    stop(addr, handle);
+}
+
+#[test]
+fn disconnect_mid_response_under_load_only_drops_that_connection() {
+    let (addr, handle) = boot(ServerConfig::default().with_workers(2));
+    // A dozen clients each submit a plan and vanish without reading the
+    // response: every write of those responses fails. Before the event
+    // loop, an `Err` on the write path could take down the acceptor.
+    for i in 0..12 {
+        let mut conn = connect(addr);
+        conn.write_all(format!("{{\"graph\":\"synthetic:32x3x{i}\",\"id\":{i}}}\n").as_bytes())
+            .expect("send");
+        // Drop with data in flight; RST rather than graceful close.
+        drop(conn);
+    }
+    // The daemon must still accept and serve new clients.
+    let mut conn = connect(addr);
+    conn.write_all(b"{\"op\":\"ping\",\"id\":99}\n{\"graph\":\"alexnet\",\"id\":100}\n")
+        .expect("send");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    for expected in [99u64, 100] {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        let v = parse(&line);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(expected));
+    }
+    stop(addr, handle);
+}
+
+#[test]
+fn concurrent_connections_multiplex_on_one_event_loop() {
+    let (addr, handle) = boot(ServerConfig::default().with_workers(4));
+    let mut clients = Vec::new();
+    for i in 0..8u64 {
+        clients.push(std::thread::spawn(move || {
+            let mut conn = connect(addr);
+            let line = format!("{{\"graph\":\"synthetic:24x3x{i}\",\"id\":{i}}}\n");
+            conn.write_all(line.as_bytes()).expect("send");
+            let mut response = String::new();
+            BufReader::new(&conn)
+                .read_line(&mut response)
+                .expect("response");
+            let v = parse(&response);
+            assert_eq!(
+                v.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{response}"
+            );
+            assert_eq!(v.get("id").and_then(Value::as_u64), Some(i));
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    stop(addr, handle);
+}

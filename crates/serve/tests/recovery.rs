@@ -1,0 +1,159 @@
+//! Crash/restart recovery tests: a daemon killed uncleanly (handle
+//! dropped, no shutdown, including mid-WAL-append via the fault
+//! injection hook) and restarted on the same `--wal-dir` must serve
+//! byte-identical registry/cache state and plan replies versus an
+//! uninterrupted run.
+
+use lcmm_serve::{Server, ServerConfig};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("non-JSON response {line:?}: {e}"))
+}
+
+fn stat_u64(server: &Server, section: &str, field: &str) -> u64 {
+    let v = parse(&server.handle_line(r#"{"op":"stats"}"#));
+    v.get("stats")
+        .and_then(|s| s.get(section))
+        .and_then(|s| s.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing stats.{section}.{field}"))
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcmm_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &PathBuf) -> ServerConfig {
+    ServerConfig::default().with_workers(2).with_wal_dir(dir)
+}
+
+/// The registry + cache churn every test drives: two tenants, a
+/// co-plan computed and replayed, a single-model plan computed and
+/// replayed, plus a register/unregister round-trip of a third model.
+/// Returns the *cached* co-plan and plan reply lines — the bytes a
+/// recovered daemon must reproduce.
+fn churn(server: &Server) -> (String, String) {
+    server.handle_line(r#"{"op":"register","model":"axn","graph":"alexnet","share":0.5}"#);
+    server.handle_line(r#"{"op":"register","model":"sqz","graph":"squeezenet","share":0.5}"#);
+    // A third tenant comes and goes — replay must end with it absent.
+    server.handle_line(r#"{"op":"register","model":"tmp","graph":"googlenet","share":0.3}"#);
+    server.handle_line(r#"{"op":"unregister","model":"tmp"}"#);
+    let first = server.handle_line(r#"{"op":"coplan"}"#);
+    assert!(first.contains("\"cached\":false"), "{first}");
+    let coplan = server.handle_line(r#"{"op":"coplan"}"#);
+    assert!(coplan.contains("\"cached\":true"), "{coplan}");
+    let plan_line = r#"{"graph":"alexnet","precision":"8"}"#;
+    server.handle_line(plan_line);
+    let plan = server.handle_line(plan_line);
+    assert!(plan.contains("\"cached\":true"), "{plan}");
+    (coplan, plan)
+}
+
+#[test]
+fn unclean_restart_replays_state_bit_identically() {
+    let dir = wal_dir("restart");
+    // The uninterrupted reference run holds no WAL at all.
+    let reference = Server::start(ServerConfig::default().with_workers(2));
+    let (ref_coplan, ref_plan) = churn(&reference);
+    reference.shutdown();
+
+    let (entries, coplan, plan) = {
+        let server = Server::start(config(&dir));
+        let (coplan, plan) = churn(&server);
+        assert_eq!(coplan, ref_coplan, "WAL daemon answers like a plain one");
+        assert_eq!(plan, ref_plan);
+        let entries = stat_u64(&server, "cache", "entries");
+        assert_eq!(stat_u64(&server, "registry", "models"), 2);
+        assert!(
+            stat_u64(&server, "wal", "appended") >= 6,
+            "churn was logged"
+        );
+        // Unclean death: the handle is dropped without shutdown.
+        (entries, coplan, plan)
+    };
+
+    let revived = Server::start(config(&dir));
+    assert_eq!(
+        stat_u64(&revived, "registry", "models"),
+        2,
+        "registry recovered"
+    );
+    assert_eq!(
+        stat_u64(&revived, "cache", "entries"),
+        entries,
+        "cache recovered entry-for-entry"
+    );
+    assert!(stat_u64(&revived, "wal", "replayed") > 0);
+    // The recovered cache replays the exact bytes the dead daemon (and
+    // the uninterrupted reference) served — first request, no warmup.
+    let replayed_coplan = revived.handle_line(r#"{"op":"coplan"}"#);
+    assert_eq!(replayed_coplan, coplan, "co-plan replay is byte-identical");
+    let replayed_plan = revived.handle_line(r#"{"graph":"alexnet","precision":"8"}"#);
+    assert_eq!(replayed_plan, plan, "plan replay is byte-identical");
+    // Replay is idempotent: a third incarnation sees the same state.
+    drop(revived);
+    let third = Server::start(config(&dir));
+    assert_eq!(stat_u64(&third, "registry", "models"), 2);
+    assert_eq!(stat_u64(&third, "cache", "entries"), entries);
+    assert_eq!(third.handle_line(r#"{"op":"coplan"}"#), coplan);
+    third.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_mid_append_recovers_the_intact_prefix() {
+    let dir = wal_dir("torn");
+    let coplan = {
+        let server = Server::start(config(&dir));
+        let (coplan, _) = churn(&server);
+        coplan
+    };
+    // Simulate power loss mid-append: chop into the last WAL record.
+    lcmm_serve::wal::truncate_log_tail(&dir, 5).expect("fault injection");
+    let revived = Server::start(config(&dir));
+    assert!(
+        stat_u64(&revived, "wal", "truncated_bytes") > 0,
+        "the torn tail was detected and truncated"
+    );
+    // The torn record was one of the cache puts; everything before it
+    // replays. The registry (logged earlier) must be fully intact.
+    assert_eq!(stat_u64(&revived, "registry", "models"), 2);
+    // Whatever the cache lost is recomputed deterministically: the
+    // co-plan reply converges back to the original bytes, cached or
+    // not, and the second request replays it verbatim.
+    let first = parse(&revived.handle_line(r#"{"op":"coplan"}"#));
+    let again = revived.handle_line(r#"{"op":"coplan"}"#);
+    assert!(again.contains("\"cached\":true"), "{again}");
+    assert_eq!(
+        first.get("plan"),
+        parse(&coplan).get("plan"),
+        "recomputed co-plan matches the pre-crash plan"
+    );
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_recover_starts_cold_and_rebuilds_the_wal() {
+    let dir = wal_dir("cold");
+    {
+        let server = Server::start(config(&dir));
+        churn(&server);
+    }
+    let cold = Server::start(config(&dir).with_recover(false));
+    assert_eq!(stat_u64(&cold, "registry", "models"), 0, "state was wiped");
+    assert_eq!(stat_u64(&cold, "cache", "entries"), 0);
+    assert_eq!(stat_u64(&cold, "wal", "replayed"), 0);
+    // The wiped daemon still logs going forward.
+    cold.handle_line(r#"{"op":"register","model":"axn","graph":"alexnet","share":0.5}"#);
+    assert_eq!(stat_u64(&cold, "wal", "appended"), 1);
+    drop(cold);
+    let revived = Server::start(config(&dir));
+    assert_eq!(stat_u64(&revived, "registry", "models"), 1);
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,100 @@
+//! Panic-containment and health-watcher tests, driven through the
+//! `debug:` fault-injection hooks: an injected worker panic, a
+//! genuinely poisoned shared lock, and a wedged worker must each leave
+//! the daemon fully serviceable.
+
+use lcmm_serve::{Server, ServerConfig};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("non-JSON response {line:?}: {e}"))
+}
+
+fn error_code(line: &str) -> Option<String> {
+    parse(line)
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .map(str::to_string)
+}
+
+fn stat_u64(server: &Server, section: &str, field: &str) -> u64 {
+    let v = parse(&server.handle_line(r#"{"op":"stats"}"#));
+    v.get("stats")
+        .and_then(|s| s.get(section))
+        .and_then(|s| s.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing stats.{section}.{field}"))
+}
+
+#[test]
+fn injected_panic_is_contained_and_requests_keep_succeeding() {
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_debug_hooks(true),
+    );
+    let crash = server.handle_line(r#"{"graph":"debug:panic","id":1}"#);
+    assert_eq!(error_code(&crash).as_deref(), Some("internal_error"));
+    assert!(crash.contains("injected worker panic"), "{crash}");
+    // The panic was caught inside the worker: subsequent unrelated
+    // requests succeed on the same pool.
+    for _ in 0..3 {
+        let ok = server.handle_line(r#"{"graph":"alexnet"}"#);
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+    }
+    assert!(stat_u64(&server, "requests", "errors") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn poisoned_shared_lock_is_recovered_not_propagated() {
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_debug_hooks(true),
+    );
+    // The hook genuinely poisons the histograms mutex (a panic while
+    // holding it) and then panics in the worker too.
+    let crash = server.handle_line(r#"{"graph":"debug:poison","id":1}"#);
+    assert_eq!(error_code(&crash).as_deref(), Some("internal_error"));
+    // Before the sweep this next line crashed the daemon: stats locks
+    // the poisoned histograms mutex.
+    let stats = server.handle_line(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"ok\":true"), "{stats}");
+    // And a computed plan records into the same poisoned lock.
+    let plan = server.handle_line(r#"{"graph":"squeezenet"}"#);
+    assert!(plan.contains("\"ok\":true"), "{plan}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_worker_is_recycled_with_a_typed_error() {
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_debug_hooks(true)
+            .with_stall_budget(Some(Duration::from_millis(150))),
+    );
+    // One worker, wedged for far longer than the stall budget: the
+    // watcher must fail the request instead of hanging this thread.
+    let started = Instant::now();
+    let stuck = server.handle_line(r#"{"graph":"debug:stall:60000","id":9}"#);
+    assert_eq!(
+        error_code(&stuck).as_deref(),
+        Some("worker_recycled"),
+        "{stuck}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "recycle must beat the 60s stall by a wide margin"
+    );
+    assert_eq!(parse(&stuck).get("id").and_then(Value::as_u64), Some(9));
+    // The replacement worker serves immediately — the pool never
+    // shrank, even with workers=1.
+    let ok = server.handle_line(r#"{"graph":"alexnet"}"#);
+    assert!(ok.contains("\"ok\":true"), "{ok}");
+    assert_eq!(stat_u64(&server, "health", "recycled"), 1);
+    server.shutdown();
+}
