@@ -46,8 +46,31 @@ for cmd in summary table1 fig8; do
   fi
 done
 
-echo "==> differential audit: grid + repro corpus + 8 random seeds"
-"$bin" audit --seeds 8 --json >/tmp/ci_audit.out 2>/dev/null
+echo "==> differential audit: grid + repro corpus + 8 random seeds + tiny-SRAM streaming"
+"$bin" audit --seeds 8 --tiny-sram 4 --json >/tmp/ci_audit.out 2>/dev/null
+
+# AutoWS gate: the budget-sweep study at two skewed (tiny) budgets must
+# be byte-identical across --jobs and match its goldens — one
+# weight-heavy model where streaming wins (alexnet) and one that fits
+# on chip where streaming must change nothing (squeezenet). See
+# docs/STREAMING.md.
+echo "==> sweep-budgets: skewed budgets vs checks/golden across --jobs"
+sweep_i=0
+for model in alexnet squeezenet; do
+  sweep_i=$((sweep_i + 1))
+  sweep_args=(sweep-budgets --model "$model" --fractions 1/16,1/8 --json)
+  "$bin" "${sweep_args[@]}" --jobs 1 >/tmp/ci_sweep_j1.json 2>/dev/null
+  "$bin" "${sweep_args[@]}" --jobs 4 >/tmp/ci_sweep_j4.json 2>/dev/null
+  if ! cmp -s /tmp/ci_sweep_j1.json /tmp/ci_sweep_j4.json; then
+    echo "FAIL: 'sweep-budgets --model $model' differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+  fi
+  if ! cmp -s /tmp/ci_sweep_j1.json "checks/golden/sweep_budgets_$sweep_i.json"; then
+    echo "FAIL: sweep-budgets ($model) differs from checks/golden/sweep_budgets_$sweep_i.json" >&2
+    diff "checks/golden/sweep_budgets_$sweep_i.json" /tmp/ci_sweep_j1.json >&2 || true
+    exit 1
+  fi
+done
 
 # Multi-tenant smoke gate: co-plan two zoo networks through the split
 # search, require byte-identical output across --jobs, and diff the
@@ -111,6 +134,7 @@ serve_reqs=(
   '{"graph":"alexnet","precision":"8"}'
   '{"graph":"googlenet","allocator":"greedy"}'
   '{"graph":"synthetic:64x3x7","options":{"splitting":false}}'
+  '{"graph":"alexnet","options":{"weight_streaming":"auto","tensor_budget":1048576}}'
 )
 i=0
 for req in "${serve_reqs[@]}"; do

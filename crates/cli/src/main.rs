@@ -82,6 +82,7 @@ fn main() -> ExitCode {
         "energy" => report::energy_cmd::run(&opts),
         "calibrate" => report::calibrate_cmd::run(&opts),
         "summary" => report::summary::run(&opts, &harness),
+        "sweep-budgets" => report::sweep_budgets::run(&opts, &harness),
         "export" => report::export::run(&opts),
         "manifest" => report::manifest_cmd::run(&opts),
         "trace" => report::trace_cmd::run(&opts),
@@ -119,7 +120,10 @@ options:
   --profile            per-pass timing/counter JSON on stderr
   --json               machine-readable output where supported
   --seeds <N>          audit: number of seeded random graphs (default 8)
+  --tiny-sram <N>      audit: tiny-SRAM streaming cases (default 2)
   --repros <dir>       audit: repro corpus directory (default checks/repros)
+  --fractions <list>   sweep-budgets: comma-separated budget fractions,
+                       e.g. 1/16,1/8,1 (default 1/16,1/8,1/4,1/2,1)
 
 commands:
   roofline      Fig. 2(a)  per-layer roofline characterisation
@@ -141,6 +145,8 @@ commands:
   devices       S3         embedded / VU9P / VU13P device scaling
   granular      S4         uniform vs granularity-derived DRAM model
   energy        S5         energy breakdown of UMM vs LCMM
+  sweep-budgets S6         AutoWS study: UMM vs pinned vs streaming
+                           LCMM across SRAM budgets (see --fractions)
   calibrate     S0         re-derive the DDR-efficiency calibration
   summary                  model zoo statistics
   export                   dump a model as DOT (or JSON with --json)

@@ -20,8 +20,38 @@ pub struct Opts {
     pub profile: bool,
     /// `--seeds <N>` — random audit graphs (audit command).
     pub seeds: Option<usize>,
+    /// `--tiny-sram <N>` — tiny-SRAM streaming audit cases (audit
+    /// command).
+    pub tiny_sram: Option<usize>,
     /// `--repros <dir>` — repro corpus directory (audit command).
     pub repros: Option<String>,
+    /// `--fractions <a/b,c/d,…>` — SRAM budget fractions
+    /// (sweep-budgets command).
+    pub fractions: Option<Vec<(u64, u64)>>,
+}
+
+/// Parses one budget fraction: `a/b` (exact rational) or a bare
+/// integer `n` (meaning `n/1`). Zero denominators and zero-valued
+/// fractions are rejected — a zero budget is a degenerate case the
+/// sweep covers explicitly, not via flag typos.
+fn parse_fraction(text: &str) -> Result<(u64, u64), String> {
+    let (num, den) = match text.split_once('/') {
+        Some((n, d)) => (n.trim(), d.trim()),
+        None => (text.trim(), "1"),
+    };
+    let num: u64 = num
+        .parse()
+        .map_err(|_| format!("bad fraction numerator in {text:?}"))?;
+    let den: u64 = den
+        .parse()
+        .map_err(|_| format!("bad fraction denominator in {text:?}"))?;
+    if den == 0 {
+        return Err(format!("zero denominator in fraction {text:?}"));
+    }
+    if num == 0 {
+        return Err(format!("zero-valued fraction {text:?}"));
+    }
+    Ok((num, den))
 }
 
 impl Opts {
@@ -65,8 +95,26 @@ impl Opts {
                         .map_err(|_| format!("--seeds needs a non-negative integer, got {v:?}"))?;
                     opts.seeds = Some(n);
                 }
+                "--tiny-sram" => {
+                    let v = it.next().ok_or("--tiny-sram needs a value")?;
+                    let n: usize = v.parse().map_err(|_| {
+                        format!("--tiny-sram needs a non-negative integer, got {v:?}")
+                    })?;
+                    opts.tiny_sram = Some(n);
+                }
                 "--repros" => {
                     opts.repros = Some(it.next().ok_or("--repros needs a value")?.clone());
+                }
+                "--fractions" => {
+                    let v = it.next().ok_or("--fractions needs a value")?;
+                    let mut fractions = Vec::new();
+                    for part in v.split(',') {
+                        fractions.push(parse_fraction(part)?);
+                    }
+                    if fractions.is_empty() {
+                        return Err("--fractions needs at least one fraction".to_string());
+                    }
+                    opts.fractions = Some(fractions);
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -158,6 +206,23 @@ mod tests {
         assert!(Opts::parse(&s(&["--seeds"])).is_err());
         assert!(Opts::parse(&s(&["--seeds", "-1"])).is_err());
         assert!(Opts::parse(&s(&["--repros"])).is_err());
+        assert!(Opts::parse(&s(&["--tiny-sram"])).is_err());
+        assert!(Opts::parse(&s(&["--tiny-sram", "x"])).is_err());
+        assert!(Opts::parse(&s(&["--fractions"])).is_err());
+        assert!(Opts::parse(&s(&["--fractions", "1/0"])).is_err());
+        assert!(Opts::parse(&s(&["--fractions", "0/4"])).is_err());
+        assert!(Opts::parse(&s(&["--fractions", "a/4"])).is_err());
+    }
+
+    #[test]
+    fn parses_fractions_and_tiny_sram() {
+        let o = Opts::parse(&s(&["--fractions", "1/16, 1/8,1", "--tiny-sram", "2"])).unwrap();
+        assert_eq!(
+            o.fractions,
+            Some(vec![(1, 16), (1, 8), (1, 1)]),
+            "exact rational parsing"
+        );
+        assert_eq!(o.tiny_sram, Some(2));
     }
 
     #[test]

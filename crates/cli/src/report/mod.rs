@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod manifest_cmd;
 pub mod sensitivity;
 pub mod summary;
+pub mod sweep_budgets;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -55,6 +56,10 @@ pub fn all(opts: &Opts, harness: &Harness) -> Result<(), String> {
             Cmd::Shared(sensitivity::run_granular),
         ),
         ("energy study (S5)", Cmd::Plain(energy_cmd::run)),
+        (
+            "weights streaming budget sweep (S6)",
+            Cmd::Shared(sweep_budgets::run),
+        ),
     ] {
         println!("\n================ {name} ================\n");
         match cmd {

@@ -15,6 +15,7 @@
 //! re-scored with the exact evaluator.
 
 use super::{AllocOutcome, AllocProblem, CAPACITY_UNIT_BYTES};
+use crate::prefetch::WeightMode;
 use crate::profiling;
 use crate::value::ValueId;
 use lcmm_graph::NodeId;
@@ -63,6 +64,45 @@ impl OpTerms {
         };
         self.compute.max(if_term).max(wt_term).max(of_term)
     }
+
+    /// [`OpTerms::latency`] with the weight term of one specific value
+    /// overridden to `member_exposed` when resident — the exact-path
+    /// counterpart of the compiled variant evaluation: a moded row
+    /// charges its selected option's steady exposure for its own
+    /// weight, not the plan's pinned approximation.
+    fn latency_with_member<F: Fn(ValueId) -> bool>(
+        &self,
+        on_chip: &F,
+        member: ValueId,
+        member_exposed: f64,
+    ) -> f64 {
+        let if_term: f64 = self
+            .inputs
+            .iter()
+            .filter(|(v, _)| !on_chip(*v))
+            .map(|(_, t)| *t)
+            .sum();
+        let wt_term = match self.weight {
+            Some((v, t, exposed)) => {
+                if on_chip(v) {
+                    if v == member {
+                        member_exposed
+                    } else {
+                        exposed
+                    }
+                } else {
+                    t
+                }
+            }
+            None => 0.0,
+        };
+        let of_term = if on_chip(self.output.0) {
+            0.0
+        } else {
+            self.output.1
+        };
+        self.compute.max(if_term).max(wt_term).max(of_term)
+    }
 }
 
 /// One latency term compiled for the DP's hot loop: the cache-key bit
@@ -96,18 +136,34 @@ pub fn allocate(problem: &AllocProblem<'_>) -> AllocOutcome {
     if n == 0 || units == 0 {
         return AllocOutcome::from_chosen(problem, vec![false; n]);
     }
-    let (choice, _values, sizes) = dp(problem, units);
+    let tables = dp(problem, units);
 
     // --- Backtrace -------------------------------------------------------
     let mut chosen = vec![false; n];
+    let mut modes = vec![WeightMode::Pinned; n];
+    let mut any_moded = false;
     let mut j = units;
     for i in (0..n).rev() {
-        if choice[i * (units + 1) + j] {
+        if tables.choice[i * (units + 1) + j] {
             chosen[i] = true;
-            j -= sizes[i];
+            match problem.variants_of(i) {
+                Some(opts) => {
+                    any_moded = true;
+                    let vi = tables.variant_choice[i * (units + 1) + j] as usize;
+                    modes[i] = opts[vi].mode;
+                    j -= tables.variants[i].as_ref().expect("moded row has variants")[vi].0;
+                }
+                None => j -= tables.sizes[i],
+            }
+        } else if problem.variants_of(i).is_some() {
+            any_moded = true;
         }
     }
-    AllocOutcome::from_chosen(problem, chosen)
+    if any_moded {
+        AllocOutcome::from_modes(problem, chosen, modes)
+    } else {
+        AllocOutcome::from_chosen(problem, chosen)
+    }
 }
 
 /// The DNNK value curve: entry `u` is the best achievable latency
@@ -126,14 +182,25 @@ pub fn gain_curve(problem: &AllocProblem<'_>) -> Vec<f64> {
     if n == 0 || units == 0 {
         return vec![0.0; units + 1];
     }
-    dp(problem, units).1
+    dp(problem, units).values
 }
 
-/// The shared DP over `units` capacity columns. Returns the full
-/// `choice` table (row-major, `n × (units+1)`; doubles as the paper's
-/// pbuf_table), the final value row (best gain per capacity), and the
-/// per-buffer sizes in units.
-fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usize>) {
+/// The tables the shared DP produces: the full `choice` table
+/// (row-major, `n × (units+1)`; doubles as the paper's pbuf_table),
+/// the selected variant per taken cell of a moded row, the final value
+/// row (best gain per capacity), the per-buffer legacy sizes in units,
+/// and each moded row's `(size units, member exposed seconds)` variant
+/// list.
+struct DpTables {
+    choice: Vec<bool>,
+    variant_choice: Vec<u8>,
+    values: Vec<f64>,
+    sizes: Vec<usize>,
+    variants: Vec<Option<Vec<(usize, f64)>>>,
+}
+
+/// The shared DP over `units` capacity columns.
+fn dp(problem: &AllocProblem<'_>, units: usize) -> DpTables {
     let n = problem.buffers.len();
 
     // --- Static tables -------------------------------------------------
@@ -194,10 +261,32 @@ fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usi
         .map(|b| (b.bytes.div_ceil(CAPACITY_UNIT_BYTES)) as usize)
         .collect();
 
+    // Per-row mode variants compiled to `(size units, member exposed)`.
+    // A `None` row is the legacy binary knapsack item; a `Some` row is
+    // a multiple-choice item — at most one variant can be taken, each
+    // trading SRAM units against the steady exposure charged for the
+    // row's own weight.
+    let variants: Vec<Option<Vec<(usize, f64)>>> = (0..n)
+        .map(|i| {
+            problem.variants_of(i).map(|opts| {
+                opts.iter()
+                    .map(|o| {
+                        (
+                            o.bytes.div_ceil(CAPACITY_UNIT_BYTES) as usize,
+                            o.exposed_seconds,
+                        )
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+
     // --- DP ------------------------------------------------------------
     // choice[i][j]: buffer i taken in cell (i, j). This doubles as the
-    // paper's pbuf_table for pivot lookups.
+    // paper's pbuf_table for pivot lookups. variant_choice[i][j] is the
+    // taken variant index of a moded row (0 otherwise).
     let mut choice = vec![false; n * (units + 1)];
+    let mut variant_choice = vec![0u8; n * (units + 1)];
     let mut prev_l = vec![0.0f64; units + 1];
     let mut cur_l = vec![0.0f64; units + 1];
 
@@ -287,7 +376,11 @@ fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usi
         // Eq. 1 twice — once under the column context, once with buffer
         // i's members added — from the compiled terms. Same addends in
         // the same order as `OpTerms::latency`, so bit-identical.
-        let delta_of = |p: usize, rk: u64| -> f64 {
+        // `member_exposed` overrides the exposed-when-resident seconds
+        // of the row's own weight (a moded row's selected variant);
+        // `None` charges the compiled plan exposure, exactly the legacy
+        // binary behaviour.
+        let delta_of = |p: usize, rk: u64, member_exposed: Option<f64>| -> f64 {
             let oc = &ops_compact[p];
             let on = |t: Term| t.bit != NO_BIT && (rk >> t.bit) & 1 == 1;
             let mut if_ctx = 0.0f64;
@@ -303,10 +396,14 @@ fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usi
             let (wt_ctx, wt_with) = match oc.weight {
                 Some((t, exposed)) => {
                     let c = on(t);
-                    (
-                        if c { exposed } else { t.seconds },
-                        if c || t.member { exposed } else { t.seconds },
-                    )
+                    let with = if c {
+                        exposed
+                    } else if t.member {
+                        member_exposed.unwrap_or(exposed)
+                    } else {
+                        t.seconds
+                    };
+                    (if c { exposed } else { t.seconds }, with)
                 }
                 None => (0.0, 0.0),
             };
@@ -337,68 +434,149 @@ fn dp(problem: &AllocProblem<'_>, units: usize) -> (Vec<bool>, Vec<f64>, Vec<usi
             Vec::new()
         };
 
-        // Distinct context keys per buffer are few (the DP fills columns
-        // left to right, so the same prefix choices repeat); a linear
-        // scan over a tiny vec beats any hash map here.
-        let mut gain_cache: Vec<(u64, f64)> = Vec::new();
         profiling::add_dnnk_dp_cells((units + 1) as u64);
-        for j in 0..=units {
-            let l0 = prev_l[j];
-            if s > j || s == 0 {
-                cur_l[j] = l0;
-                continue;
-            }
-            // Residency context at this capacity (the pbuf_table
-            // approximation of Alg. 1).
-            let ctx_on = |v: ValueId| -> bool {
-                owner_of(v).is_some_and(|o| o < i && choice[o * (units + 1) + j])
-            };
-            let with_i =
-                |v: ValueId| -> bool { ctx_on(v) || members_sorted.binary_search(&v).is_ok() };
-            let gain = if use_cache {
-                let key = keys[j];
-                if let Some(&(_, g)) = gain_cache.iter().find(|&&(k, _)| k == key) {
-                    profiling::count_gain_cache_hit();
-                    g
-                } else {
-                    profiling::count_gain_cache_miss();
-                    let g: f64 = (0..touched[i].len())
-                        .map(|p| {
-                            let rk = key & op_masks[p];
-                            if let Some(&(_, d)) = op_memo[p].iter().find(|&&(k, _)| k == rk) {
-                                d
-                            } else {
-                                let d = delta_of(p, rk);
-                                op_memo[p].push((rk, d));
-                                d
-                            }
-                        })
-                        .sum();
-                    gain_cache.push((key, g));
-                    g
+        if let Some(vars) = &variants[i] {
+            // --- Multiple-choice row: one variant may be taken --------
+            // Caches are per variant: a variant changes the member
+            // weight's exposed seconds, so deltas of ops touching that
+            // weight differ between variants under the same context.
+            let mut gain_caches: Vec<Vec<(u64, f64)>> = vec![Vec::new(); vars.len()];
+            let mut op_memos: Vec<Vec<Vec<(u64, f64)>>> =
+                vec![vec![Vec::new(); op_masks.len()]; vars.len()];
+            let member = problem.buffers[i].members[0];
+            for j in 0..=units {
+                let l0 = prev_l[j];
+                let mut best = l0;
+                let mut best_variant = usize::MAX;
+                let ctx_on = |v: ValueId| -> bool {
+                    owner_of(v).is_some_and(|o| o < i && choice[o * (units + 1) + j])
+                };
+                let with_i =
+                    |v: ValueId| -> bool { ctx_on(v) || members_sorted.binary_search(&v).is_ok() };
+                for (vi, &(sv, member_exposed)) in vars.iter().enumerate() {
+                    if sv > j || sv == 0 {
+                        continue;
+                    }
+                    let gain = if use_cache {
+                        let key = keys[j];
+                        let gain_cache = &mut gain_caches[vi];
+                        if let Some(&(_, g)) = gain_cache.iter().find(|&&(k, _)| k == key) {
+                            profiling::count_gain_cache_hit();
+                            g
+                        } else {
+                            profiling::count_gain_cache_miss();
+                            let op_memo = &mut op_memos[vi];
+                            let g: f64 = (0..touched[i].len())
+                                .map(|p| {
+                                    let rk = key & op_masks[p];
+                                    if let Some(&(_, d)) =
+                                        op_memo[p].iter().find(|&&(k, _)| k == rk)
+                                    {
+                                        d
+                                    } else {
+                                        let d = delta_of(p, rk, Some(member_exposed));
+                                        op_memo[p].push((rk, d));
+                                        d
+                                    }
+                                })
+                                .sum();
+                            gain_cache.push((key, g));
+                            g
+                        }
+                    } else {
+                        profiling::count_gain_exact_recompute();
+                        touched[i]
+                            .iter()
+                            .map(|&op| {
+                                let t = &op_terms[op.index()];
+                                t.latency(&ctx_on)
+                                    - t.latency_with_member(&with_i, member, member_exposed)
+                            })
+                            .sum()
+                    };
+                    let l1 = prev_l[j - sv] + gain;
+                    if l1 > best {
+                        best = l1;
+                        best_variant = vi;
+                    }
                 }
-            } else {
-                profiling::count_gain_exact_recompute();
-                touched[i]
-                    .iter()
-                    .map(|&op| {
-                        let t = &op_terms[op.index()];
-                        t.latency(&ctx_on) - t.latency(&with_i)
-                    })
-                    .sum()
-            };
-            let l1 = prev_l[j - s] + gain;
-            if l1 > l0 {
-                cur_l[j] = l1;
-                choice[i * (units + 1) + j] = true;
-            } else {
-                cur_l[j] = l0;
+                cur_l[j] = best;
+                if best_variant != usize::MAX {
+                    choice[i * (units + 1) + j] = true;
+                    variant_choice[i * (units + 1) + j] = best_variant as u8;
+                }
+            }
+        } else {
+            // --- Legacy binary row ------------------------------------
+            // Distinct context keys per buffer are few (the DP fills
+            // columns left to right, so the same prefix choices
+            // repeat); a linear scan over a tiny vec beats any hash
+            // map here.
+            let mut gain_cache: Vec<(u64, f64)> = Vec::new();
+            for j in 0..=units {
+                let l0 = prev_l[j];
+                if s > j || s == 0 {
+                    cur_l[j] = l0;
+                    continue;
+                }
+                // Residency context at this capacity (the pbuf_table
+                // approximation of Alg. 1).
+                let ctx_on = |v: ValueId| -> bool {
+                    owner_of(v).is_some_and(|o| o < i && choice[o * (units + 1) + j])
+                };
+                let with_i =
+                    |v: ValueId| -> bool { ctx_on(v) || members_sorted.binary_search(&v).is_ok() };
+                let gain = if use_cache {
+                    let key = keys[j];
+                    if let Some(&(_, g)) = gain_cache.iter().find(|&&(k, _)| k == key) {
+                        profiling::count_gain_cache_hit();
+                        g
+                    } else {
+                        profiling::count_gain_cache_miss();
+                        let g: f64 = (0..touched[i].len())
+                            .map(|p| {
+                                let rk = key & op_masks[p];
+                                if let Some(&(_, d)) = op_memo[p].iter().find(|&&(k, _)| k == rk) {
+                                    d
+                                } else {
+                                    let d = delta_of(p, rk, None);
+                                    op_memo[p].push((rk, d));
+                                    d
+                                }
+                            })
+                            .sum();
+                        gain_cache.push((key, g));
+                        g
+                    }
+                } else {
+                    profiling::count_gain_exact_recompute();
+                    touched[i]
+                        .iter()
+                        .map(|&op| {
+                            let t = &op_terms[op.index()];
+                            t.latency(&ctx_on) - t.latency(&with_i)
+                        })
+                        .sum()
+                };
+                let l1 = prev_l[j - s] + gain;
+                if l1 > l0 {
+                    cur_l[j] = l1;
+                    choice[i * (units + 1) + j] = true;
+                } else {
+                    cur_l[j] = l0;
+                }
             }
         }
         std::mem::swap(&mut prev_l, &mut cur_l);
     }
 
-    (choice, prev_l, sizes)
+    DpTables {
+        choice,
+        variant_choice,
+        values: prev_l,
+        sizes,
+        variants,
+    }
 }
 
 #[cfg(test)]
@@ -591,5 +769,126 @@ mod tests {
         assert_eq!(t.latency(&|_| false), 0.10);
         // Resident but only partially hidden: the exposed 0.06 remains.
         assert_eq!(t.latency(&|v| v == w), 0.06);
+    }
+
+    /// A real prefetch plan for the fixture (the default plan has no
+    /// edges, so streaming modes would never be offered).
+    fn real_plan(
+        g: &lcmm_graph::Graph,
+        design: &lcmm_fpga::AccelDesign,
+        p: &lcmm_fpga::GraphProfile,
+    ) -> PrefetchPlan {
+        use crate::liveness::Schedule;
+        use crate::value::ValueTable;
+        let ev = Evaluator::new(g, p);
+        let values = ValueTable::build_batched(g, p, design.precision, design.batch);
+        let schedule = Schedule::new(g);
+        PrefetchPlan::build(
+            &ev,
+            &schedule,
+            &crate::eval::Residency::new(),
+            values.weight_candidates(),
+        )
+    }
+
+    #[test]
+    fn forced_pinned_matches_off_bit_for_bit() {
+        use crate::prefetch::StreamingMode;
+        let g = chain_graph();
+        let (d, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let plan = real_plan(&g, &d, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        for budget in [
+            0,
+            CAPACITY_UNIT_BYTES,
+            8 * CAPACITY_UNIT_BYTES,
+            16 << 20,
+            1 << 40,
+        ] {
+            let off = allocate(&AllocProblem::new(&ev, &bufs, budget, &plan));
+            let pinned = allocate(&AllocProblem::with_streaming(
+                &ev,
+                &bufs,
+                budget,
+                &plan,
+                StreamingMode::Pinned,
+            ));
+            assert_eq!(off.chosen, pinned.chosen, "budget {budget}");
+            assert_eq!(
+                off.latency.to_bits(),
+                pinned.latency.to_bits(),
+                "budget {budget}: {} vs {}",
+                off.latency,
+                pinned.latency
+            );
+            assert_eq!(off.bytes, pinned.bytes);
+            assert!(pinned.modes.iter().all(|&m| m == WeightMode::Pinned));
+        }
+    }
+
+    #[test]
+    fn auto_streams_weights_when_pinning_cannot_fit() {
+        use crate::prefetch::StreamingMode;
+        let g = chain_graph();
+        let (d, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let plan = real_plan(&g, &d, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        // Each fp32 weight is 1 MiB (~30 units); at 8 units nothing can
+        // be pinned, but a stream needs only the 2-unit ping-pong.
+        let budget = 8 * CAPACITY_UNIT_BYTES;
+        let off = allocate(&AllocProblem::new(&ev, &bufs, budget, &plan));
+        let auto = allocate(&AllocProblem::with_streaming(
+            &ev,
+            &bufs,
+            budget,
+            &plan,
+            StreamingMode::Auto,
+        ));
+        assert!(auto.bytes <= budget, "{} > {budget}", auto.bytes);
+        assert!(
+            auto.latency <= off.latency + 1e-15,
+            "auto {} worse than off {}",
+            auto.latency,
+            off.latency
+        );
+        let streamed = auto
+            .modes
+            .iter()
+            .zip(&auto.chosen)
+            .filter(|&(&m, &c)| c && m != WeightMode::Pinned)
+            .count();
+        assert!(streamed > 0, "auto never chose a non-pinned mode");
+    }
+
+    #[test]
+    fn auto_respects_budget_across_scales() {
+        use crate::prefetch::StreamingMode;
+        let g = chain_graph();
+        let (d, p) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let plan = real_plan(&g, &d, &p);
+        let bufs = singleton_buffers(&g, &ev);
+        for budget in [
+            0,
+            CAPACITY_UNIT_BYTES - 1,
+            CAPACITY_UNIT_BYTES,
+            3 * CAPACITY_UNIT_BYTES,
+            2 << 20,
+            16 << 20,
+            1 << 40,
+        ] {
+            let problem =
+                AllocProblem::with_streaming(&ev, &bufs, budget, &plan, StreamingMode::Auto);
+            let out = allocate(&problem);
+            assert!(out.bytes <= budget, "budget {budget}: used {}", out.bytes);
+            let empty = problem.latency_of(&vec![false; bufs.len()]);
+            assert!(
+                out.latency <= empty + 1e-15,
+                "budget {budget}: {} vs empty {empty}",
+                out.latency
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@ pub mod greedy;
 
 use crate::eval::{Evaluator, Residency};
 use crate::interference::VirtualBuffer;
-use crate::prefetch::PrefetchPlan;
+use crate::prefetch::{ModeOption, PrefetchPlan, StreamingMode, WeightMode};
 use crate::value::ValueId;
 use std::collections::HashMap;
 
@@ -39,10 +39,18 @@ pub struct AllocProblem<'a> {
     /// plan); weights absent from the map are fully hidden when
     /// resident.
     exposure: HashMap<ValueId, f64>,
+    /// Per-buffer weight-mode variants: `None` is a legacy binary row;
+    /// `Some` rows (single-member weight buffers under a streaming-
+    /// aware run) let the allocator choose between pinning, partial
+    /// residency, and streaming. Entry 0 of a `Some` list is always
+    /// the pinned option.
+    modes: Vec<Option<Vec<ModeOption>>>,
 }
 
 impl<'a> AllocProblem<'a> {
     /// Builds a problem; `plan` supplies the weight-load exposure.
+    /// Equivalent to [`AllocProblem::with_streaming`] at
+    /// [`StreamingMode::Off`].
     #[must_use]
     pub fn new(
         evaluator: &'a Evaluator<'a>,
@@ -50,17 +58,58 @@ impl<'a> AllocProblem<'a> {
         budget_bytes: u64,
         plan: &PrefetchPlan,
     ) -> Self {
+        Self::with_streaming(evaluator, buffers, budget_bytes, plan, StreamingMode::Off)
+    }
+
+    /// Builds a problem with per-buffer weight-mode variants derived
+    /// from the prefetch plan. Only single-member weight buffers are
+    /// moded: a multi-member (time-shared) buffer already reloads its
+    /// weights each inference and charging a stream on top of that
+    /// reload would double-pay the exposure, so shared buffers stay
+    /// binary pinned rows.
+    #[must_use]
+    pub fn with_streaming(
+        evaluator: &'a Evaluator<'a>,
+        buffers: &'a [VirtualBuffer],
+        budget_bytes: u64,
+        plan: &PrefetchPlan,
+        streaming: StreamingMode,
+    ) -> Self {
         let exposure = plan
             .iter()
             .filter(|(_, e)| !e.fully_hidden())
             .map(|(&id, e)| (id, e.exposed_seconds))
+            .collect();
+        let modes = buffers
+            .iter()
+            .map(|buf| match (streaming, buf.members.as_slice()) {
+                (StreamingMode::Off, _) => None,
+                (_, &[id @ ValueId::Weight(_)]) => {
+                    Some(plan.mode_options(id, buf.bytes, streaming))
+                }
+                _ => None,
+            })
             .collect();
         Self {
             evaluator,
             buffers,
             budget_bytes,
             exposure,
+            modes,
         }
+    }
+
+    /// The mode variants of buffer `i`, or `None` for a legacy binary
+    /// row.
+    #[must_use]
+    pub fn variants_of(&self, i: usize) -> Option<&[ModeOption]> {
+        self.modes[i].as_deref()
+    }
+
+    /// The selected option of a moded buffer, if buffer `i` is moded
+    /// and offers `mode`.
+    fn option_for(&self, i: usize, mode: WeightMode) -> Option<&ModeOption> {
+        self.modes[i].as_deref()?.iter().find(|o| o.mode == mode)
     }
 
     /// Materialises the residency implied by a chosen buffer set.
@@ -90,6 +139,44 @@ impl<'a> AllocProblem<'a> {
         r
     }
 
+    /// [`AllocProblem::residency_for`] with per-buffer weight modes: a
+    /// pinned single-member weight is persistent (no steady exposure,
+    /// exactly as in the legacy path), while streamed and partially
+    /// resident weights pay their selected option's steady exposure
+    /// every inference. Shared (multi-member) buffers keep the legacy
+    /// reload exposure and never a mode surcharge on top — a weight
+    /// pays for its re-streaming exactly once.
+    #[must_use]
+    pub fn residency_for_modes(&self, chosen: &[bool], modes: &[WeightMode]) -> Residency {
+        let mut r = Residency::new();
+        for (i, buf) in self.buffers.iter().enumerate() {
+            if !chosen[i] {
+                continue;
+            }
+            let shared = buf.members.len() > 1;
+            let moded = !shared && self.modes[i].is_some();
+            for &member in &buf.members {
+                r.insert(member);
+                let ValueId::Weight(node) = member else {
+                    continue;
+                };
+                if moded {
+                    if modes[i] == WeightMode::Pinned {
+                        continue; // persistent: loaded once, free thereafter
+                    }
+                    if let Some(o) = self.option_for(i, modes[i]) {
+                        r.set_exposed_weight(node, o.exposed_seconds);
+                    }
+                } else if shared {
+                    if let Some(&exp) = self.exposure.get(&member) {
+                        r.set_exposed_weight(node, exp);
+                    }
+                }
+            }
+        }
+        r
+    }
+
     /// Exact end-to-end latency of a chosen buffer set.
     #[must_use]
     pub fn latency_of(&self, chosen: &[bool]) -> f64 {
@@ -104,6 +191,19 @@ impl<'a> AllocProblem<'a> {
             .zip(chosen)
             .filter(|(_, &c)| c)
             .map(|(b, _)| b.bytes)
+            .sum()
+    }
+
+    /// Total bytes of a chosen buffer set under per-buffer weight
+    /// modes: a moded buffer consumes its selected option's bytes
+    /// (e.g. only the ping-pong footprint when streamed).
+    #[must_use]
+    pub fn bytes_of_modes(&self, chosen: &[bool], modes: &[WeightMode]) -> u64 {
+        self.buffers
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| chosen[i])
+            .map(|(i, b)| self.option_for(i, modes[i]).map_or(b.bytes, |o| o.bytes))
             .sum()
     }
 
@@ -125,6 +225,10 @@ impl<'a> AllocProblem<'a> {
 pub struct AllocOutcome {
     /// `chosen[i]` — whether buffer `i` received physical storage.
     pub chosen: Vec<bool>,
+    /// `modes[i]` — the weight mode of buffer `i` (aligned with
+    /// `chosen`; [`WeightMode::Pinned`] for features, unchosen buffers,
+    /// and every buffer of a non-streaming run).
+    pub modes: Vec<WeightMode>,
     /// The implied residency.
     pub residency: Residency,
     /// Exact end-to-end latency under that residency.
@@ -134,14 +238,36 @@ pub struct AllocOutcome {
 }
 
 impl AllocOutcome {
-    /// Assembles the outcome for a chosen vector.
+    /// Assembles the outcome for a chosen vector (all modes pinned).
     #[must_use]
     pub fn from_chosen(problem: &AllocProblem<'_>, chosen: Vec<bool>) -> Self {
         let residency = problem.residency_for(&chosen);
         let latency = problem.evaluator.total_latency(&residency);
         let bytes = problem.bytes_of(&chosen);
+        let modes = vec![WeightMode::Pinned; chosen.len()];
         Self {
             chosen,
+            modes,
+            residency,
+            latency,
+            bytes,
+        }
+    }
+
+    /// Assembles the outcome for a chosen vector with per-buffer weight
+    /// modes.
+    #[must_use]
+    pub fn from_modes(
+        problem: &AllocProblem<'_>,
+        chosen: Vec<bool>,
+        modes: Vec<WeightMode>,
+    ) -> Self {
+        let residency = problem.residency_for_modes(&chosen, &modes);
+        let latency = problem.evaluator.total_latency(&residency);
+        let bytes = problem.bytes_of_modes(&chosen, &modes);
+        Self {
+            chosen,
+            modes,
             residency,
             latency,
             bytes,

@@ -18,6 +18,7 @@
 use crate::alloc::{dnnk, AllocProblem};
 use crate::eval::Evaluator;
 use crate::pipeline::{build_front_end, FrontEnd, LcmmOptions};
+use crate::prefetch::StreamingMode;
 use lcmm_fpga::{AccelDesign, GraphProfile};
 use lcmm_graph::Graph;
 
@@ -80,7 +81,7 @@ pub fn tenant_gain_curve(
     let evaluator = Evaluator::new(graph, profile);
     let front = build_front_end(graph, profile, &evaluator, design, options, None)
         .expect("the front end is infallible without a cancel token");
-    curve_from_front_end(&evaluator, &front, pool_bytes)
+    curve_from_front_end(&evaluator, &front, options.weight_streaming, pool_bytes)
 }
 
 /// Initial buffer coloring of prebuilt pass 1–2 artifacts, as in
@@ -99,10 +100,11 @@ pub(crate) fn initial_coloring(front: &FrontEnd) -> Vec<crate::interference::Vir
 pub(crate) fn curve_from_front_end(
     evaluator: &Evaluator<'_>,
     front: &FrontEnd,
+    streaming: StreamingMode,
     pool_bytes: u64,
 ) -> GainCurve {
     let buffers = initial_coloring(front);
-    curve_from_buffers(evaluator, front, &buffers, pool_bytes)
+    curve_from_buffers(evaluator, front, &buffers, streaming, pool_bytes)
 }
 
 /// The DNNK value curve of an already-colored buffer set.
@@ -110,9 +112,11 @@ pub(crate) fn curve_from_buffers(
     evaluator: &Evaluator<'_>,
     front: &FrontEnd,
     buffers: &[crate::interference::VirtualBuffer],
+    streaming: StreamingMode,
     pool_bytes: u64,
 ) -> GainCurve {
-    let problem = AllocProblem::new(evaluator, buffers, pool_bytes, &front.prefetch);
+    let problem =
+        AllocProblem::with_streaming(evaluator, buffers, pool_bytes, &front.prefetch, streaming);
     GainCurve {
         values: dnnk::gain_curve(&problem),
     }

@@ -185,7 +185,13 @@ impl PlanArtifacts {
         } else {
             let evaluator = Evaluator::new(graph, &self.profile);
             let buffers = self.colored.get_or_init(|| initial_coloring(&self.front));
-            curve_from_buffers(&evaluator, &self.front, buffers, pool_bytes)
+            curve_from_buffers(
+                &evaluator,
+                &self.front,
+                buffers,
+                self.options.weight_streaming,
+                pool_bytes,
+            )
         };
         let curve = Arc::new(curve);
         curves.insert(pool_bytes, Arc::clone(&curve));
@@ -204,6 +210,7 @@ mod tests {
     use super::*;
     use crate::coplan::tenant_gain_curve;
     use crate::request::PlanRequest;
+    use crate::StreamingMode;
     use lcmm_fpga::{Device, Precision};
     use lcmm_graph::zoo;
 
@@ -229,6 +236,37 @@ mod tests {
             assert_eq!(delta.residency, scratch.residency);
             assert_eq!(delta.split_iterations, scratch.split_iterations);
             assert_eq!(delta.resources, scratch.resources);
+        }
+    }
+
+    #[test]
+    fn replan_with_streaming_matches_scratch_at_several_budgets() {
+        // The mode variants are derived from budget-invariant artifacts
+        // (buffers + prefetch plan), so a delta replay with AutoWS must
+        // reproduce the from-scratch streaming plan bit-for-bit at any
+        // budget — including degenerate ones where streaming carries
+        // the whole plan.
+        let g = zoo::alexnet();
+        let opts = LcmmOptions::default().with_weight_streaming(StreamingMode::Auto);
+        let artifacts = PlanArtifacts::build(&g, base(&g), opts, None).unwrap();
+        let full = artifacts.design().tensor_sram_budget();
+        for budget in [
+            Some(0),
+            Some(crate::coplan::CAPACITY_UNIT_BYTES),
+            Some(full / 8),
+            Some(full / 3),
+            None,
+        ] {
+            let delta = artifacts.replan_with_budget(&g, budget, None).unwrap();
+            let scratch = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(opts.with_tensor_budget(budget))
+                .with_design(base(&g))
+                .run()
+                .unwrap();
+            assert_eq!(delta.latency.to_bits(), scratch.latency.to_bits());
+            assert_eq!(delta.chosen, scratch.chosen);
+            assert_eq!(delta.weight_modes, scratch.weight_modes);
+            assert_eq!(delta.residency, scratch.residency);
         }
     }
 

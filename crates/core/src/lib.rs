@@ -69,6 +69,7 @@ pub use error::LcmmError;
 pub use eval::{Evaluator, Residency};
 pub use harness::Harness;
 pub use pipeline::{AllocatorKind, LcmmOptions, LcmmResult, Pipeline};
+pub use prefetch::{StreamingMode, WeightMode, STREAM_PING_PONG_BYTES};
 pub use profiling::PassStats;
 pub use request::PlanRequest;
 pub use umm::UmmBaseline;

@@ -7,7 +7,7 @@ use crate::error::LcmmError;
 use crate::eval::{Evaluator, Residency};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
 use crate::liveness::{feature_lifespans, Schedule};
-use crate::prefetch::PrefetchPlan;
+use crate::prefetch::{PrefetchPlan, StreamingMode, WeightMode};
 use crate::profiling::{self, PassStats};
 use crate::splitting::{refine, SplitConfig};
 use crate::umm::UmmBaseline;
@@ -58,6 +58,12 @@ pub struct LcmmOptions {
     /// `None` (the default) uses the full design budget; multi-tenant
     /// co-planning sets this to the tenant's share of the shared pool.
     pub tensor_budget: Option<u64>,
+    /// Per-layer weight streaming (AutoWS): [`StreamingMode::Off`]
+    /// (default) is the legacy binary residency, [`StreamingMode::Auto`]
+    /// lets DNNK choose pinning / partial residency / double-buffered
+    /// streaming per weight, [`StreamingMode::Pinned`] forces the
+    /// mode-aware path to pin everything (bit-identical to `Off`).
+    pub weight_streaming: StreamingMode,
 }
 
 impl Default for LcmmOptions {
@@ -69,6 +75,7 @@ impl Default for LcmmOptions {
             allocator: AllocatorKind::Dnnk,
             frequency_hz: None,
             tensor_budget: None,
+            weight_streaming: StreamingMode::Off,
         }
     }
 }
@@ -135,6 +142,13 @@ impl LcmmOptions {
         self.tensor_budget = tensor_budget;
         self
     }
+
+    /// Returns a copy with the given weight-streaming mode.
+    #[must_use]
+    pub fn with_weight_streaming(mut self, weight_streaming: StreamingMode) -> Self {
+        self.weight_streaming = weight_streaming;
+        self
+    }
 }
 
 /// Default LCMM clocks (Table 1): fixed-point 180 MHz, float 160 MHz.
@@ -160,6 +174,10 @@ pub struct LcmmResult {
     pub buffers: Vec<VirtualBuffer>,
     /// Which buffers received physical storage.
     pub chosen: Vec<bool>,
+    /// Per-buffer weight mode, aligned with `buffers`/`chosen`.  Buffers
+    /// that are not single-member weight buffers (and every buffer when
+    /// streaming is [`StreamingMode::Off`]) report [`WeightMode::Pinned`].
+    pub weight_modes: Vec<WeightMode>,
     /// The weight prefetch plan.
     pub prefetch: PrefetchPlan,
     /// Accepted split iterations.
@@ -206,6 +224,33 @@ impl LcmmResult {
             .zip(&self.chosen)
             .filter(|(_, &c)| c)
             .map(|(b, _)| b.bytes)
+            .collect()
+    }
+
+    /// SRAM bytes each chosen buffer actually occupies, mode-aware: a
+    /// pinned buffer occupies its full footprint, a streamed buffer only
+    /// its ping-pong staging pair, and a partially resident buffer its
+    /// resident prefix. With streaming off this equals
+    /// [`Self::allocated_buffer_sizes`].
+    #[must_use]
+    pub fn occupied_buffer_sizes(&self) -> Vec<u64> {
+        self.buffers
+            .iter()
+            .zip(&self.chosen)
+            .enumerate()
+            .filter(|(_, (_, &c))| c)
+            .map(|(i, (b, _))| {
+                match self
+                    .weight_modes
+                    .get(i)
+                    .copied()
+                    .unwrap_or(WeightMode::Pinned)
+                {
+                    WeightMode::Pinned => b.bytes,
+                    WeightMode::Streamed { .. } => crate::prefetch::STREAM_PING_PONG_BYTES,
+                    WeightMode::PartialResident { resident_bytes } => resident_bytes,
+                }
+            })
             .collect()
     }
 }
@@ -447,6 +492,7 @@ pub(crate) fn run_back_end(
         design.precision,
         budget,
         &prefetch,
+        options.weight_streaming,
         feature_graph,
         weight_graph,
         allocator,
@@ -493,6 +539,7 @@ pub(crate) fn run_back_end(
         residency: result.outcome.residency,
         buffers: result.buffers,
         chosen: result.outcome.chosen,
+        weight_modes: result.outcome.modes,
         prefetch,
         split_iterations: result.iterations,
         resources,
@@ -610,6 +657,59 @@ mod tests {
         // sum is at most the total.
         assert!(total_blocks <= ev.total_latency(&r) + 1e-12);
         assert!(total_blocks > 0.0);
+    }
+
+    #[test]
+    fn degenerate_budgets_plan_cleanly_across_allocators_and_modes() {
+        // Satellite sweep: zero and near-zero pools, budgets below one
+        // capacity unit, below the largest tensor, and far above the
+        // design budget (exercising the clamp) must all produce a
+        // feasible plan — no panics, no divide-by-zero, no over-budget
+        // residency — for every allocator × streaming mode.
+        let g = zoo::synthetic(16, 2, 1);
+        let device = Device::vu9p();
+        const UNIT: u64 = 36 * 1024;
+        for allocator in [
+            AllocatorKind::Dnnk,
+            AllocatorKind::DnnkIterative,
+            AllocatorKind::Greedy,
+            AllocatorKind::Exhaustive,
+        ] {
+            for streaming in [
+                StreamingMode::Off,
+                StreamingMode::Pinned,
+                StreamingMode::Auto,
+            ] {
+                for budget in [0, 1, UNIT - 1, UNIT, 100 * 1024, u64::MAX] {
+                    let result = crate::request::PlanRequest::new(&g, &device, Precision::Fix16)
+                        .options(
+                            LcmmOptions::default()
+                                .with_allocator(allocator)
+                                .with_weight_streaming(streaming)
+                                .with_tensor_budget(Some(budget)),
+                        )
+                        .run()
+                        .unwrap_or_else(|e| panic!("{allocator:?}/{streaming:?}/{budget}: {e}"));
+                    let occupied: u64 = result.occupied_buffer_sizes().iter().sum();
+                    let effective = budget.min(result.design.tensor_sram_budget());
+                    assert!(
+                        occupied <= effective,
+                        "{allocator:?}/{streaming:?}: occupied {occupied} B over budget {effective} B"
+                    );
+                    assert!(
+                        result.latency.is_finite() && result.latency > 0.0,
+                        "{allocator:?}/{streaming:?}/{budget}: latency {}",
+                        result.latency
+                    );
+                    if budget == 0 {
+                        assert!(
+                            result.residency.iter().next().is_none(),
+                            "{allocator:?}/{streaming:?}: residency must be empty at zero budget"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Weight buffer prefetching and the prefetch dependence graph (§3.2).
+//! Weight buffer prefetching and the prefetch dependence graph (§3.2),
+//! plus the per-layer weight-mode model built on top of it.
 //!
 //! Weights are known ahead of time, so the buffer of a memory-bound
 //! layer `C_k` can start filling while earlier layers execute. The pass
@@ -7,6 +8,15 @@
 //! *prefetch edge* `(C_k', C_k)`. The interval `[pos(C_k'), pos(C_k)]`
 //! is the weight buffer's occupancy span; weights with disjoint spans
 //! can share a buffer (the weight interference graph).
+//!
+//! The same edge also prices the *streaming* alternatives of a weight
+//! (AutoWS-style): instead of pinning all `B` bytes on chip, a layer
+//! can stream its weight through a small ping-pong buffer every
+//! inference, or keep only a fraction resident and stream the rest.
+//! The stream claims exactly the contended idle weight-interface
+//! capacity the edge already reserved, so the steady-state exposed time
+//! of each mode follows from `(T, E)` of the edge alone — see
+//! [`ModeOption`] and `docs/STREAMING.md` for the timing model.
 
 use crate::eval::{Evaluator, Residency};
 use crate::liveness::{LiveInterval, Schedule};
@@ -114,11 +124,12 @@ impl PrefetchPlan {
         candidates.sort_by_key(|&(pos, _, _)| pos);
         let in_schedule_order = plan_edges(&candidates, idle.clone());
         let mut by_risk = candidates;
-        by_risk.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+        // load would otherwise silently collapse the sort into a
+        // comparator-order-dependent shuffle. Loads are validated
+        // finite at profile ingestion, but the sort must stay total
+        // regardless.
+        by_risk.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let risk_first = plan_edges(&by_risk, idle);
         let (risk_total, risk_exposed) = exposure_stats(&risk_first);
         let (sched_total, sched_exposed) = exposure_stats(&in_schedule_order);
@@ -206,6 +217,168 @@ fn exposure_stats(edges: &HashMap<ValueId, PrefetchEdge>) -> (f64, usize) {
     let total = exposed.iter().map(|&(_, e)| e).sum();
     let count = exposed.iter().filter(|&&(_, e)| e > 0.0).count();
     (total, count)
+}
+
+// ---------------------------------------------------------------------
+// Per-layer weight modes (AutoWS)
+// ---------------------------------------------------------------------
+
+/// How the weight-streaming selector runs, as an [`crate::LcmmOptions`]
+/// knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamingMode {
+    /// Legacy binary residency: no mode machinery at all (default).
+    #[default]
+    Off,
+    /// The mode-aware allocator path with every weight forced to
+    /// [`WeightMode::Pinned`]; plans are bit-identical to [`Off`]
+    /// (property-tested), so this isolates the refactored code path.
+    ///
+    /// [`Off`]: StreamingMode::Off
+    Pinned,
+    /// Full per-layer selection between pinning, double-buffered
+    /// streaming, and partial residency.
+    Auto,
+}
+
+/// How one weight value occupies on-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightMode {
+    /// All bytes resident; loaded once at cold start, free thereafter
+    /// (for a single-member buffer) or reloaded per inference (shared).
+    Pinned,
+    /// The weight streams through a small ping-pong buffer every
+    /// inference. With `double_buffered` the stream overlaps compute
+    /// inside the edge's claimed idle window (steady-state exposure
+    /// `E`); without, every access demand-loads (exposure `T`) — the
+    /// latter exists for completeness and is never auto-selected.
+    Streamed {
+        /// Whether the stream ping-pongs two chunks to overlap compute.
+        double_buffered: bool,
+    },
+    /// `resident_bytes` stay pinned; the rest streams per inference.
+    PartialResident {
+        /// Bytes of the weight kept permanently on chip.
+        resident_bytes: u64,
+    },
+}
+
+impl WeightMode {
+    /// Short human-readable label, used by reports and the serve wire
+    /// format (`"pinned"`, `"streamed"`, `"streamed-once"`,
+    /// `"partial:<bytes>"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Pinned => "pinned".to_string(),
+            Self::Streamed {
+                double_buffered: true,
+            } => "streamed".to_string(),
+            Self::Streamed {
+                double_buffered: false,
+            } => "streamed-once".to_string(),
+            Self::PartialResident { resident_bytes } => format!("partial:{resident_bytes}"),
+        }
+    }
+}
+
+/// One candidate mode for a weight buffer: its SRAM cost and the
+/// steady-state exposed seconds the evaluator charges when selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeOption {
+    /// The mode itself.
+    pub mode: WeightMode,
+    /// On-chip bytes this option consumes.
+    pub bytes: u64,
+    /// Steady-state exposed weight-load seconds per inference. For
+    /// [`WeightMode::Pinned`] this is the value the knapsack charges
+    /// (the legacy pbuf approximation under [`StreamingMode::Pinned`],
+    /// `0.0` under [`StreamingMode::Auto`]); the exact evaluator never
+    /// charges a persistent pinned weight.
+    pub exposed_seconds: f64,
+}
+
+/// Ping-pong footprint of a streamed weight: two URAM-unit chunks (one
+/// filling while the other feeds the array). Shared with
+/// [`crate::alloc::CAPACITY_UNIT_BYTES`].
+pub const STREAM_PING_PONG_BYTES: u64 = 2 * 36 * 1024;
+
+/// Resident fractions offered for [`WeightMode::PartialResident`], as
+/// `(numerator, denominator)` of the weight's total bytes.
+pub const PARTIAL_FRACTIONS: [(u64, u64); 3] = [(3, 4), (1, 2), (1, 4)];
+
+impl PrefetchPlan {
+    /// The per-mode options for a weight buffer of `bytes` bytes, priced
+    /// from this plan's edge for `id` (see `docs/STREAMING.md`):
+    ///
+    /// * `Pinned` — `bytes` on chip, steady exposure `0`;
+    /// * `PartialResident(f)` — `ceil(f·B)` bytes, exposure
+    ///   `max(0, E − f·T)` (the hidden window `T − E` covers the tail of
+    ///   the `(1−f)·T`-second stream first);
+    /// * `Streamed{double_buffered: true}` — a fixed
+    ///   [`STREAM_PING_PONG_BYTES`] footprint, exposure `E`.
+    ///
+    /// Options are ordered `Pinned` first, then descending residency.
+    /// Non-pinned options are only offered when they save at least one
+    /// whole capacity unit over pinning, and only for weights with a
+    /// planned edge (the stream claims the edge's idle window). The
+    /// first entry is always the pinned one.
+    #[must_use]
+    pub fn mode_options(
+        &self,
+        id: ValueId,
+        bytes: u64,
+        streaming: StreamingMode,
+    ) -> Vec<ModeOption> {
+        let edge = self.edge(id);
+        let plan_exposed = edge.map_or(0.0, |e| e.exposed_seconds.max(0.0));
+        let pinned_exposed = match streaming {
+            // Legacy pbuf approximation: the DP charges the plan's
+            // residual exposure for a resident weight.
+            StreamingMode::Off | StreamingMode::Pinned => plan_exposed,
+            // The exact model: a pinned single-member weight is
+            // persistent and pays nothing in the steady state.
+            StreamingMode::Auto => 0.0,
+        };
+        let mut options = vec![ModeOption {
+            mode: WeightMode::Pinned,
+            bytes,
+            exposed_seconds: pinned_exposed,
+        }];
+        if streaming != StreamingMode::Auto {
+            return options;
+        }
+        let Some(edge) = edge else {
+            return options;
+        };
+        let unit = crate::alloc::CAPACITY_UNIT_BYTES;
+        let pinned_units = bytes.div_ceil(unit);
+        let (t, e) = (edge.load_seconds, edge.exposed_seconds.max(0.0));
+        for &(num, den) in &PARTIAL_FRACTIONS {
+            let resident = (bytes * num).div_ceil(den);
+            if resident.div_ceil(unit) >= pinned_units {
+                continue;
+            }
+            let f = num as f64 / den as f64;
+            options.push(ModeOption {
+                mode: WeightMode::PartialResident {
+                    resident_bytes: resident,
+                },
+                bytes: resident,
+                exposed_seconds: (e - f * t).max(0.0),
+            });
+        }
+        if STREAM_PING_PONG_BYTES.div_ceil(unit) < pinned_units {
+            options.push(ModeOption {
+                mode: WeightMode::Streamed {
+                    double_buffered: true,
+                },
+                bytes: STREAM_PING_PONG_BYTES,
+                exposed_seconds: e,
+            });
+        }
+        options
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +484,29 @@ mod tests {
         assert_eq!(intervals.len(), plan.len());
         for (id, edge) in plan.iter() {
             assert_eq!(intervals[id], edge.interval());
+        }
+    }
+
+    #[test]
+    fn plan_is_independent_of_candidate_iteration_order() {
+        // The risk comparator must be total: ties on load (identical
+        // layers) fall through to schedule position, so a stable sort
+        // of reversed input still yields the same claim order. With the
+        // old `partial_cmp(..).unwrap_or(Equal)` comparator this held
+        // only by accident of input order.
+        let g = zoo::synthetic(512, 2, 11);
+        let (p, t, s) = setup(&g);
+        let ev = Evaluator::new(&g, &p);
+        let r = Residency::new();
+        let forward: Vec<_> = t.weight_candidates().collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = PrefetchPlan::build(&ev, &s, &r, forward);
+        let b = PrefetchPlan::build(&ev, &s, &r, reversed);
+        assert_eq!(a.len(), b.len());
+        for (id, ea) in a.iter() {
+            let eb = b.edge(*id).expect("same edge set");
+            assert_eq!(ea, eb, "{id}");
         }
     }
 

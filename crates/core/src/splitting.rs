@@ -12,7 +12,7 @@
 use crate::alloc::{AllocOutcome, AllocProblem};
 use crate::eval::{Evaluator, Residency};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
-use crate::prefetch::PrefetchPlan;
+use crate::prefetch::{PrefetchPlan, StreamingMode};
 use crate::profiling;
 use crate::value::{ValueId, ValueKind};
 use lcmm_fpga::Precision;
@@ -55,6 +55,7 @@ pub fn refine(
     precision: Precision,
     budget_bytes: u64,
     plan: &PrefetchPlan,
+    streaming: StreamingMode,
     mut feature_graph: InterferenceGraph,
     mut weight_graph: InterferenceGraph,
     allocator: AllocatorFn,
@@ -70,7 +71,8 @@ pub fn refine(
 
     let mut buffers = color_all(&feature_graph, &weight_graph);
     let mut best = {
-        let problem = AllocProblem::new(evaluator, &buffers, budget_bytes, plan);
+        let problem =
+            AllocProblem::with_streaming(evaluator, &buffers, budget_bytes, plan, streaming);
         profiling::count_allocator_invocation();
         allocator(&problem)
     };
@@ -89,7 +91,13 @@ pub fn refine(
         }
         let new_buffers = color_all(&fg, &wg);
         let candidate = {
-            let problem = AllocProblem::new(evaluator, &new_buffers, budget_bytes, plan);
+            let problem = AllocProblem::with_streaming(
+                evaluator,
+                &new_buffers,
+                budget_bytes,
+                plan,
+                streaming,
+            );
             profiling::count_allocator_invocation();
             allocator(&problem)
         };
@@ -147,7 +155,10 @@ pub fn propose_split(
         .max_by(|&a, &b| {
             let ga = evaluator.gain_of(&mut empty, &[a]);
             let gb = evaluator.gain_of(&mut empty, &[b]);
-            ga.partial_cmp(&gb).expect("gains are finite")
+            // Total, not `partial_cmp(..).expect(..)`: a degenerate
+            // profile must degrade the split choice, not panic the
+            // whole pipeline.
+            ga.total_cmp(&gb)
         })?;
     Some((big, victim))
 }
@@ -230,6 +241,7 @@ mod tests {
             Precision::Float32,
             budget,
             &plan,
+            StreamingMode::Off,
             fg,
             wg,
             dnnk::allocate,

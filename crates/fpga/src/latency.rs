@@ -103,13 +103,51 @@ pub struct GraphProfile {
 
 impl GraphProfile {
     /// Builds the table for `graph` under `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency model produced a non-finite or negative
+    /// term (a model bug) — downstream passes sort and subtract these
+    /// values, and a NaN entering the prefetch planner would silently
+    /// scramble its risk ordering.
     #[must_use]
     pub fn build(graph: &Graph, design: &AccelDesign) -> Self {
         let per_node = graph
             .iter()
             .map(|node| design.node_latency(graph, node))
             .collect();
-        Self { per_node }
+        let profile = Self { per_node };
+        profile
+            .validate()
+            .expect("latency model produced an invalid term");
+        profile
+    }
+
+    /// Checks every latency term is finite and non-negative.
+    ///
+    /// [`Self::build`] enforces this at construction; callers that
+    /// ingest a profile from elsewhere (deserialisation, synthetic
+    /// tables) should run it before handing the profile to the planner.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |t: f64| t.is_finite() && t >= 0.0;
+        for row in &self.per_node {
+            let mut terms = vec![
+                ("compute", row.compute),
+                ("weight", row.weight),
+                ("output", row.output),
+                ("fill", row.fill),
+            ];
+            terms.extend(row.inputs.iter().map(|&(_, t)| ("input", t)));
+            for (name, t) in terms {
+                if !ok(t) {
+                    return Err(format!(
+                        "node {} has an invalid {name} latency: {t}",
+                        row.id.index()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Latency row of one node.
@@ -277,6 +315,23 @@ mod tests {
         let frac = p.memory_bound_fraction(&g);
         assert!(frac > 0.1, "too few memory-bound layers: {frac}");
         assert!(frac < 0.95, "everything memory bound: {frac}");
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_negative_terms() {
+        let g = zoo::alexnet();
+        let (_, mut p) = profile(&g);
+        assert!(p.validate().is_ok());
+        p.per_node[3].weight = f64::NAN;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("weight"), "{err}");
+        p.per_node[3].weight = -1e-9;
+        assert!(p.validate().is_err());
+        p.per_node[3].weight = 0.0;
+        assert!(p.validate().is_ok());
+        p.per_node[2].inputs.push((NodeId::new(0), f64::INFINITY));
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("input"), "{err}");
     }
 
     #[test]

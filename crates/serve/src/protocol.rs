@@ -8,7 +8,10 @@
 //! deterministic response rendering ([`WireResponse`]).
 
 use lcmm_core::pipeline::AllocatorKind;
-use lcmm_core::{LcmmError, LcmmOptions, LcmmResult, PassStats, UmmBaseline};
+use lcmm_core::{
+    LcmmError, LcmmOptions, LcmmResult, PassStats, StreamingMode, UmmBaseline, ValueId, WeightMode,
+    STREAM_PING_PONG_BYTES,
+};
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::Graph;
 use serde_json::Value;
@@ -110,6 +113,12 @@ pub struct WireRequest {
     pub weight_prefetch: Option<bool>,
     /// Overrides `LcmmOptions::splitting`.
     pub splitting: Option<bool>,
+    /// Overrides `LcmmOptions::weight_streaming` — `"off"`, `"pinned"`
+    /// or `"auto"`.
+    pub weight_streaming: Option<String>,
+    /// Overrides `LcmmOptions::tensor_budget` — caps the knapsack's
+    /// SRAM budget in bytes (the knob that makes streaming matter).
+    pub tensor_budget: Option<u64>,
     /// Per-request deadline in milliseconds, measured from admission.
     pub deadline_ms: Option<u64>,
     /// Attach this run's `PassStats` to the response (computed plans
@@ -197,18 +206,32 @@ impl WireRequest {
         let precision = str_field("precision")?;
         let allocator = str_field("allocator")?;
         let (mut feature_reuse, mut weight_prefetch, mut splitting) = (None, None, None);
+        let mut weight_streaming = None;
+        let mut tensor_budget = None;
         if let Some(options) = value.get("options") {
             let entries = options
                 .as_object()
                 .ok_or_else(|| "options must be an object".to_string())?;
+            let bool_option = |key: &str, v: &Value| -> Result<bool, String> {
+                v.as_bool()
+                    .ok_or_else(|| format!("options.{key} must be a boolean"))
+            };
             for (key, v) in entries {
-                let flag = v
-                    .as_bool()
-                    .ok_or_else(|| format!("options.{key} must be a boolean"))?;
                 match key.as_str() {
-                    "feature_reuse" => feature_reuse = Some(flag),
-                    "weight_prefetch" => weight_prefetch = Some(flag),
-                    "splitting" => splitting = Some(flag),
+                    "feature_reuse" => feature_reuse = Some(bool_option(key, v)?),
+                    "weight_prefetch" => weight_prefetch = Some(bool_option(key, v)?),
+                    "splitting" => splitting = Some(bool_option(key, v)?),
+                    "weight_streaming" => {
+                        let mode = v.as_str().ok_or_else(|| {
+                            "options.weight_streaming must be a string".to_string()
+                        })?;
+                        weight_streaming = Some(mode.to_string());
+                    }
+                    "tensor_budget" => {
+                        tensor_budget = Some(v.as_u64().ok_or_else(|| {
+                            "options.tensor_budget must be an unsigned integer".to_string()
+                        })?);
+                    }
                     other => return Err(format!("unknown option {other:?}")),
                 }
             }
@@ -248,6 +271,8 @@ impl WireRequest {
             feature_reuse,
             weight_prefetch,
             splitting,
+            weight_streaming,
+            tensor_budget,
             deadline_ms,
             include_stats,
             model,
@@ -299,6 +324,22 @@ impl WireRequest {
         }
         if let Some(flag) = self.splitting {
             options = options.with_splitting(flag);
+        }
+        if let Some(mode) = self.weight_streaming.as_deref() {
+            let mode = match mode {
+                "off" => StreamingMode::Off,
+                "pinned" => StreamingMode::Pinned,
+                "auto" => StreamingMode::Auto,
+                other => {
+                    return Err(LcmmError::InvalidRequest(format!(
+                        "unknown weight_streaming mode {other:?} (expected off, pinned or auto)"
+                    )))
+                }
+            };
+            options = options.with_weight_streaming(mode);
+        }
+        if let Some(budget) = self.tensor_budget {
+            options = options.with_tensor_budget(Some(budget));
         }
         Ok(options)
     }
@@ -429,7 +470,7 @@ pub fn plan_summary(resolved: &ResolvedPlan, result: &LcmmResult, umm: &UmmBasel
             Value::F64(result.design.freq_hz),
         ),
     ]);
-    Value::Map(vec![
+    let mut fields = vec![
         ("allocated_bytes".to_string(), Value::U64(allocated)),
         (
             "allocator".to_string(),
@@ -478,6 +519,69 @@ pub fn plan_summary(resolved: &ResolvedPlan, result: &LcmmResult, umm: &UmmBasel
             Value::U64(result.split_iterations as u64),
         ),
         ("umm_latency_seconds".to_string(), Value::F64(umm.latency)),
+    ];
+    // The per-buffer weight-mode table is surfaced only when streaming
+    // was requested, so legacy responses (and their goldens) stay
+    // byte-identical.
+    if resolved.options.weight_streaming != StreamingMode::Off {
+        fields.push((
+            "weight_streaming".to_string(),
+            weight_streaming_summary(resolved, result),
+        ));
+    }
+    Value::Map(fields)
+}
+
+/// The `weight_streaming` block of a plan summary: occupied (mode-aware)
+/// bytes, per-mode buffer counts, and one table row per chosen buffer
+/// that is not pinned whole.
+fn weight_streaming_summary(resolved: &ResolvedPlan, result: &LcmmResult) -> Value {
+    let occupied: u64 = result.occupied_buffer_sizes().iter().sum();
+    let (mut pinned, mut streamed, mut partial) = (0u64, 0u64, 0u64);
+    let mut table = Vec::new();
+    for (i, (buf, &chosen)) in result.buffers.iter().zip(&result.chosen).enumerate() {
+        if !chosen || !buf.members.iter().any(|m| matches!(m, ValueId::Weight(_))) {
+            continue;
+        }
+        let mode = result
+            .weight_modes
+            .get(i)
+            .copied()
+            .unwrap_or(WeightMode::Pinned);
+        let bytes = match mode {
+            WeightMode::Pinned => {
+                pinned += 1;
+                continue;
+            }
+            WeightMode::Streamed { .. } => {
+                streamed += 1;
+                STREAM_PING_PONG_BYTES
+            }
+            WeightMode::PartialResident { resident_bytes } => {
+                partial += 1;
+                resident_bytes
+            }
+        };
+        let ValueId::Weight(node) = buf.members[0] else {
+            continue;
+        };
+        table.push(Value::Map(vec![
+            ("buffer".to_string(), Value::U64(i as u64)),
+            ("mode".to_string(), Value::Str(mode.label())),
+            (
+                "node".to_string(),
+                Value::Str(resolved.graph.node(node).name().to_string()),
+            ),
+            ("occupied_bytes".to_string(), Value::U64(bytes)),
+            ("weight_bytes".to_string(), Value::U64(buf.bytes)),
+        ]));
+    }
+    Value::Map(vec![
+        ("occupied_bytes".to_string(), Value::U64(occupied)),
+        ("partial".to_string(), Value::U64(partial)),
+        ("pinned".to_string(), Value::U64(pinned)),
+        ("streamed".to_string(), Value::U64(streamed)),
+        ("table".to_string(), Value::Seq(table)),
     ])
 }
 
@@ -709,6 +813,74 @@ mod tests {
             precision.resolve_plan(),
             Err(LcmmError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn parses_and_validates_weight_streaming() {
+        let line = r#"{"graph":"alexnet","options":{"weight_streaming":"auto"}}"#;
+        let r = WireRequest::from_line(line).expect("parses");
+        let resolved = r.resolve_plan().expect("resolves");
+        assert_eq!(resolved.options.weight_streaming, StreamingMode::Auto);
+        for (mode, expect) in [
+            ("off", StreamingMode::Off),
+            ("pinned", StreamingMode::Pinned),
+        ] {
+            let line =
+                format!("{{\"graph\":\"alexnet\",\"options\":{{\"weight_streaming\":{mode:?}}}}}");
+            let resolved = WireRequest::from_line(&line)
+                .expect("parses")
+                .resolve_plan()
+                .expect("resolves");
+            assert_eq!(resolved.options.weight_streaming, expect);
+        }
+        // Unknown mode strings resolve to a typed error; non-string
+        // values are rejected at parse time.
+        let bad =
+            WireRequest::from_line(r#"{"graph":"alexnet","options":{"weight_streaming":"turbo"}}"#)
+                .expect("parses");
+        assert!(matches!(
+            bad.resolve_plan(),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(WireRequest::from_line(
+            r#"{"graph":"alexnet","options":{"weight_streaming":true}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn plan_summary_gates_the_weight_streaming_block() {
+        // Streaming off (the default): the summary must not mention the
+        // block at all, so the pre-AutoWS goldens stay byte-identical.
+        let r = WireRequest::from_line(r#"{"graph":"alexnet"}"#).unwrap();
+        let resolved = r.resolve_plan().unwrap();
+        let umm = UmmBaseline::build(&resolved.graph, &resolved.device, resolved.precision);
+        let result =
+            lcmm_core::PlanRequest::new(&resolved.graph, &resolved.device, resolved.precision)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("feasible");
+        let off = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        assert!(!off.contains("weight_streaming"));
+
+        // Streaming auto at a tiny budget: the block appears with a
+        // non-empty mode table and the occupied bytes respect it.
+        let line =
+            r#"{"graph":"alexnet","options":{"weight_streaming":"auto","tensor_budget":1048576}}"#;
+        let r = WireRequest::from_line(line).unwrap();
+        let resolved = r.resolve_plan().unwrap();
+        let result =
+            lcmm_core::PlanRequest::new(&resolved.graph, &resolved.device, resolved.precision)
+                .options(resolved.options)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("feasible");
+        let auto = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        assert!(auto.contains("\"weight_streaming\":{\"occupied_bytes\":"));
+        assert!(
+            auto.contains("\"mode\":\"streamed\"") || auto.contains("\"mode\":\"partial\""),
+            "a 1 MiB budget on alexnet must stream something: {auto}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ use crate::engine::{SimConfig, SimReport, Simulator, WeightClass};
 use crate::validate::weight_classes;
 use lcmm_core::liveness::{feature_lifespans, LiveInterval, Schedule};
 use lcmm_core::pipeline::{AllocatorKind, LcmmOptions};
-use lcmm_core::{Evaluator, LcmmResult, PlanRequest, Residency, UmmBaseline, ValueId, ValueTable};
+use lcmm_core::{
+    Evaluator, LcmmResult, PlanRequest, Residency, StreamingMode, UmmBaseline, ValueId, ValueTable,
+    WeightMode,
+};
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::{zoo, Graph};
 use serde::{Deserialize, Serialize};
@@ -193,25 +196,40 @@ pub fn audit_case(
     allocator: AllocatorKind,
     bands: &ToleranceBands,
 ) -> CaseReport {
+    let options = LcmmOptions::default().with_allocator(allocator);
+    audit_case_with_options(graph, precision, &options, bands)
+}
+
+/// [`audit_case`] under explicit pipeline options, so the audit can
+/// exercise non-default configurations — a clamped `tensor_budget`, a
+/// weight-streaming mode — with the same invariants and differential
+/// bands as the default flow.
+#[must_use]
+pub fn audit_case_with_options(
+    graph: &Graph,
+    precision: Precision,
+    options: &LcmmOptions,
+    bands: &ToleranceBands,
+) -> CaseReport {
     let device = Device::vu9p();
     let umm = UmmBaseline::build(graph, &device, precision);
     let result = PlanRequest::new(graph, &device, precision)
-        .options(LcmmOptions::default().with_allocator(allocator))
+        .options(*options)
         .with_design(umm.design.clone())
         .run()
         .expect("an explored design is always feasible");
     let profile = result.design.profile(graph);
     let schedule = Schedule::new(graph);
 
+    // The budget the knapsack actually planned against: an explicit
+    // tensor budget is clamped to the design's own.
+    let design_budget = result.design.tensor_sram_budget();
+    let budget = options
+        .tensor_budget
+        .map_or(design_budget, |b| b.min(design_budget));
+
     let mut findings = Vec::new();
-    check_invariants(
-        graph,
-        &result,
-        &profile,
-        &schedule,
-        result.design.tensor_sram_budget(),
-        &mut findings,
-    );
+    check_invariants(graph, &result, &profile, &schedule, budget, &mut findings);
 
     let mut points = Vec::new();
 
@@ -340,7 +358,7 @@ pub fn audit_case(
     CaseReport {
         model: graph.name().to_string(),
         precision,
-        allocator,
+        allocator: options.allocator,
         points,
         findings,
     }
@@ -421,8 +439,11 @@ fn check_invariants(
     budget: u64,
     findings: &mut Vec<Finding>,
 ) {
-    // 1. The chosen buffers fit the SRAM budget.
-    let allocated: u64 = result.allocated_buffer_sizes().iter().sum();
+    // 1. The chosen buffers fit the SRAM budget. Occupied (mode-aware)
+    // bytes, not full footprints: a streamed buffer only holds its
+    // ping-pong staging pair on chip and a partially resident buffer its
+    // resident prefix, which is exactly what the knapsack charged.
+    let allocated: u64 = result.occupied_buffer_sizes().iter().sum();
     if allocated > budget {
         findings.push(Finding::invariant(
             "budget",
@@ -505,7 +526,39 @@ fn check_invariants(
     }
 
     // 4. Recorded exposure is attached to resident weights and bounded
-    // by the weight's own load time.
+    // by the *non-resident* fraction of the weight's own load time: a
+    // fully resident (pinned or shared) weight may expose at most its
+    // whole load, a partially resident one only the tail that still
+    // streams, and a streamed weight the full load. Double-paying — an
+    // exposure above what the still-off-chip bytes can cost — is the
+    // bug this catches.
+    let mut exposure_bounds: HashMap<lcmm_graph::NodeId, f64> = HashMap::new();
+    for (i, (buf, &chosen)) in result.buffers.iter().zip(&result.chosen).enumerate() {
+        if !chosen || buf.members.len() != 1 {
+            continue;
+        }
+        let ValueId::Weight(node) = buf.members[0] else {
+            continue;
+        };
+        let load = profile.node(node).weight;
+        let bound = match result
+            .weight_modes
+            .get(i)
+            .copied()
+            .unwrap_or(WeightMode::Pinned)
+        {
+            WeightMode::Pinned | WeightMode::Streamed { .. } => load,
+            WeightMode::PartialResident { resident_bytes } => {
+                let resident_fraction = if buf.bytes == 0 {
+                    1.0
+                } else {
+                    (resident_bytes as f64 / buf.bytes as f64).min(1.0)
+                };
+                (1.0 - resident_fraction) * load
+            }
+        };
+        exposure_bounds.insert(node, bound);
+    }
     for node in graph.iter() {
         let exposed = result.residency.exposed_weight(node.id());
         if exposed <= 0.0 {
@@ -521,11 +574,13 @@ fn check_invariants(
             ));
         }
         let load = profile.node(node.id()).weight;
-        if exposed > load + 1e-9 {
+        let bound = exposure_bounds.get(&node.id()).copied().unwrap_or(load);
+        if exposed > bound + 1e-9 {
             findings.push(Finding::invariant(
                 "exposure",
                 format!(
-                    "{}: exposure {exposed} exceeds weight load {load}",
+                    "{}: exposure {exposed} exceeds the non-resident load bound {bound} \
+                     (full load {load})",
                     node.name()
                 ),
             ));
@@ -785,6 +840,12 @@ pub struct AuditOptions {
     pub grid: Vec<(String, Precision, AllocatorKind)>,
     /// Number of seeded random graphs appended after the grid.
     pub seeds: usize,
+    /// Number of tiny-SRAM streaming cases appended after the seeds:
+    /// each replans a seeded synthetic graph under a deliberately small
+    /// tensor budget with [`StreamingMode::Auto`], exercising the
+    /// streamed and partially resident weight classes (and the
+    /// degenerate-budget code paths) end to end against the simulator.
+    pub tiny_sram_seeds: usize,
     /// Repro-corpus directory: replayed after the grid, and failing
     /// seeds are minimised into it.
     pub repro_dir: PathBuf,
@@ -796,6 +857,7 @@ impl Default for AuditOptions {
             bands: ToleranceBands::default(),
             grid: default_grid(),
             seeds: DEFAULT_SEEDS,
+            tiny_sram_seeds: 2,
             repro_dir: PathBuf::from("checks/repros"),
         }
     }
@@ -820,6 +882,13 @@ impl AuditOptions {
     #[must_use]
     pub fn with_seeds(mut self, seeds: usize) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Sets the number of tiny-SRAM streaming cases.
+    #[must_use]
+    pub fn with_tiny_sram_seeds(mut self, tiny_sram_seeds: usize) -> Self {
+        self.tiny_sram_seeds = tiny_sram_seeds;
         self
     }
 
@@ -902,6 +971,30 @@ pub fn run_audit(
         cases.push(final_report);
     }
 
+    // Tiny-SRAM streaming batch: the same seeded graphs replanned under
+    // budgets far below the pinning regime — down to a single capacity
+    // unit — with AutoWS enabled. This is where streamed and partially
+    // resident weights actually get picked, so the mode-aware invariants
+    // and the simulator's re-streaming model are exercised for real.
+    const TINY_BUDGETS: [u64; 3] = [36 * 1024, 1 << 20, 4 << 20];
+    for i in 0..options.tiny_sram_seeds {
+        let spec = random_spec(i);
+        let budget = TINY_BUDGETS[i % TINY_BUDGETS.len()];
+        let graph = spec.graph();
+        progress(&format!(
+            "audit: tiny-sram {i} ({} @ {budget} B, streaming auto)",
+            spec.file_stem()
+        ));
+        let plan_options = LcmmOptions::default()
+            .with_allocator(spec.allocator)
+            .with_tensor_budget(Some(budget))
+            .with_weight_streaming(StreamingMode::Auto);
+        let mut report =
+            audit_case_with_options(&graph, spec.precision, &plan_options, &options.bands);
+        report.model = format!("{}@{budget}B+auto-ws", report.model);
+        cases.push(report);
+    }
+
     Ok(AuditOutcome {
         cases,
         repros_written,
@@ -936,13 +1029,20 @@ mod tests {
                 AllocatorKind::Dnnk,
             )])
             .with_seeds(1)
+            .with_tiny_sram_seeds(1)
             .with_repro_dir("/nonexistent/lcmm-audit-corpus");
         let mut lines = Vec::new();
         let outcome = run_audit(&opts, |l| lines.push(l.to_string())).expect("audit runs");
-        assert_eq!(outcome.cases.len(), 2, "one grid cell + one seed");
+        assert_eq!(
+            outcome.cases.len(),
+            3,
+            "one grid cell + one seed + one tiny-SRAM streaming case"
+        );
         assert!(outcome.passed(), "clean sweep: {:?}", outcome.cases);
         assert!(outcome.repros_written.is_empty());
         assert!(lines.iter().any(|l| l.contains("alexnet")));
+        assert!(lines.iter().any(|l| l.contains("tiny-sram")));
+        assert!(outcome.cases[2].model.contains("+auto-ws"));
     }
 
     #[test]
@@ -969,6 +1069,67 @@ mod tests {
         assert_eq!(report.points.len(), 4);
         let labels: Vec<&str> = report.points.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, ["umm", "lcmm", "lcmm+fill", "no-plan-probe"]);
+    }
+
+    #[test]
+    fn tiny_sram_streaming_case_stays_in_band() {
+        let g = zoo::alexnet();
+        let options = LcmmOptions::default()
+            .with_tensor_budget(Some(1 << 20))
+            .with_weight_streaming(StreamingMode::Auto);
+        let report =
+            audit_case_with_options(&g, Precision::Fix16, &options, &ToleranceBands::default());
+        assert!(
+            report.passed(),
+            "tiny-SRAM streaming audit found: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn exposure_invariant_caps_partial_residents_at_the_streamed_tail() {
+        // Replan with streaming off, then forge a partially resident
+        // mode on a chosen single-member weight buffer with a full-load
+        // exposure: the mode-aware bound must flag the double-pay.
+        let g = zoo::alexnet();
+        let device = Device::vu9p();
+        let mut result = PlanRequest::new(&g, &device, Precision::Fix16)
+            .run()
+            .expect("alexnet plans");
+        let budget = result.design.tensor_sram_budget();
+        assert!(check_result_invariants(&g, &result, budget).is_empty());
+
+        let idx = result
+            .buffers
+            .iter()
+            .zip(&result.chosen)
+            .position(|(b, &c)| c && matches!(b.members[..], [ValueId::Weight(_)]))
+            .expect("a chosen single-member weight buffer");
+        let ValueId::Weight(node) = result.buffers[idx].members[0] else {
+            unreachable!()
+        };
+        let load = result.design.profile(&g).node(node).weight;
+
+        // Half resident, but exposing the *full* load: double-paid.
+        result.weight_modes[idx] = WeightMode::PartialResident {
+            resident_bytes: result.buffers[idx].bytes / 2,
+        };
+        result.residency.set_exposed_weight(node, load);
+        let findings = check_result_invariants(&g, &result, budget);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check == "invariant/exposure" && f.message.contains("non-resident")),
+            "double-paid exposure not flagged: {findings:?}"
+        );
+
+        // Exposing only the streamed tail is legal.
+        result.residency.set_exposed_weight(node, 0.49 * load);
+        let findings = check_result_invariants(&g, &result, budget);
+        assert!(
+            !findings.iter().any(|f| f.check == "invariant/exposure"),
+            "legal tail exposure flagged: {findings:?}"
+        );
     }
 
     #[test]

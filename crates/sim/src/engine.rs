@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// How a resident weight buffer behaves across inferences.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WeightClass {
     /// The weight owns its buffer: loaded once, reused by every
     /// inference — no steady-state traffic.
@@ -19,6 +19,133 @@ pub enum WeightClass {
     /// (disjoint prefetch spans): it must be re-prefetched every
     /// inference.
     Shared,
+    /// The weight lives in a small ping-pong buffer and re-streams in
+    /// full every inference. With `double_buffered` the stream launches
+    /// at its planned prefetch edge and overlaps compute; without, it
+    /// demand-loads at the consumer (full stall).
+    Streamed {
+        /// Whether the stream overlaps compute via the planned edge.
+        double_buffered: bool,
+    },
+    /// `resident_bytes` of the weight stay pinned after a cold-start
+    /// load; the remaining fraction re-streams every inference at the
+    /// planned edge.
+    PartialResident {
+        /// Bytes kept permanently on chip.
+        resident_bytes: u64,
+        /// Total weight bytes (denominator of the resident fraction).
+        total_bytes: u64,
+    },
+}
+
+impl WeightClass {
+    /// Fraction of the weight's load time that re-streams every
+    /// inference in the steady state.
+    #[must_use]
+    pub fn steady_fraction(&self) -> f64 {
+        match self {
+            Self::Persistent => 0.0,
+            Self::Shared | Self::Streamed { .. } => 1.0,
+            Self::PartialResident {
+                resident_bytes,
+                total_bytes,
+            } => {
+                if *total_bytes == 0 {
+                    0.0
+                } else {
+                    1.0 - *resident_bytes as f64 / *total_bytes as f64
+                }
+            }
+        }
+    }
+
+    /// Fraction loaded once at cold start and kept resident.
+    #[must_use]
+    pub fn resident_fraction(&self) -> f64 {
+        match self {
+            Self::Persistent => 1.0,
+            Self::Shared | Self::Streamed { .. } => 0.0,
+            Self::PartialResident {
+                resident_bytes,
+                total_bytes,
+            } => {
+                if *total_bytes == 0 {
+                    1.0
+                } else {
+                    (*resident_bytes as f64 / *total_bytes as f64).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// Whether the per-inference stream launches at its planned
+    /// prefetch edge (overlapping compute) rather than demand-loading
+    /// at the consumer.
+    fn launches_at_edge(&self) -> bool {
+        match self {
+            Self::Persistent => false,
+            Self::Shared | Self::PartialResident { .. } => true,
+            Self::Streamed { double_buffered } => *double_buffered,
+        }
+    }
+}
+
+// Hand-written (de)serialisation: the vendored serde derive only
+// supports unit and newtype enum variants. Unit variants keep the
+// derive's string encoding so existing configs and goldens still parse.
+impl Serialize for WeightClass {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        match self {
+            Self::Persistent => Content::Str("Persistent".to_string()),
+            Self::Shared => Content::Str("Shared".to_string()),
+            Self::Streamed { double_buffered } => Content::Map(vec![(
+                "Streamed".to_string(),
+                Content::Map(vec![(
+                    "double_buffered".to_string(),
+                    Content::Bool(*double_buffered),
+                )]),
+            )]),
+            Self::PartialResident {
+                resident_bytes,
+                total_bytes,
+            } => Content::Map(vec![(
+                "PartialResident".to_string(),
+                Content::Map(vec![
+                    ("resident_bytes".to_string(), Content::U64(*resident_bytes)),
+                    ("total_bytes".to_string(), Content::U64(*total_bytes)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for WeightClass {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        use serde::Content;
+        match c {
+            Content::Str(s) if s == "Persistent" => Ok(Self::Persistent),
+            Content::Str(s) if s == "Shared" => Ok(Self::Shared),
+            Content::Map(entries) if entries.len() == 1 => {
+                let (tag, body) = &entries[0];
+                match tag.as_str() {
+                    "Streamed" => Ok(Self::Streamed {
+                        double_buffered: bool::from_content(&body["double_buffered"])?,
+                    }),
+                    "PartialResident" => Ok(Self::PartialResident {
+                        resident_bytes: u64::from_content(&body["resident_bytes"])?,
+                        total_bytes: u64::from_content(&body["total_bytes"])?,
+                    }),
+                    other => Err(serde::Error::custom(format!(
+                        "unknown variant {other:?} for WeightClass"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected WeightClass, got {other:?}"
+            ))),
+        }
+    }
 }
 
 /// One recorded simulation event (when `SimConfig::record_events`).
@@ -210,42 +337,53 @@ impl<'a> Simulator<'a> {
         let mut steady_latency = 0.0;
         let mut last_inference = Vec::new();
 
-        // Shared weights the plan has no edge for. These cannot have
-        // been loaded ahead of time, so they demand-load at their
-        // consumer (full stall). They used to default to a launch at
-        // position 0, which simulated a broken or missing plan as
-        // perfectly hidden. An entirely empty plan is a legitimate
-        // "no prefetching" configuration; a *partial* plan that skips
-        // some shared weight is a planning bug, hence the assert.
-        let shared_unplanned: HashSet<NodeId> = residency
-            .iter()
-            .filter_map(|v| match v {
-                ValueId::Weight(node)
-                    if config.weight_classes.get(node) == Some(&WeightClass::Shared)
-                        && config.prefetch.edge(*v).is_none() =>
-                {
-                    Some(*node)
-                }
-                _ => None,
-            })
-            .collect();
+        let class_of = |node: &NodeId| {
+            config
+                .weight_classes
+                .get(node)
+                .copied()
+                .unwrap_or(WeightClass::Persistent)
+        };
+
+        // Re-streaming weights the plan has no edge for. These cannot
+        // have been loaded ahead of time, so they demand-load their
+        // streamed fraction at their consumer (full stall). They used
+        // to default to a launch at position 0, which simulated a
+        // broken or missing plan as perfectly hidden. An entirely empty
+        // plan is a legitimate "no prefetching" configuration, and a
+        // single-buffered stream never uses an edge; a *partial* plan
+        // that skips an edge-launching weight is a planning bug, hence
+        // the assert.
+        let mut demand_fraction: HashMap<NodeId, f64> = HashMap::new();
+        let mut unplanned: HashSet<NodeId> = HashSet::new();
+        for v in residency.iter() {
+            let ValueId::Weight(node) = v else { continue };
+            let class = class_of(node);
+            let f = class.steady_fraction();
+            if f <= 0.0 {
+                continue;
+            }
+            if !class.launches_at_edge() {
+                demand_fraction.insert(*node, f);
+            } else if config.prefetch.edge(*v).is_none() {
+                unplanned.insert(*node);
+                demand_fraction.insert(*node, f);
+            }
+        }
         debug_assert!(
-            config.prefetch.is_empty() || shared_unplanned.is_empty(),
-            "prefetch plan misses shared weights: {shared_unplanned:?}"
+            config.prefetch.is_empty() || unplanned.is_empty(),
+            "prefetch plan misses shared weights: {unplanned:?}"
         );
 
-        // Cold start: persistent weights stream in before the first
-        // inference begins.
+        // Cold start: persistent weights (and the resident slices of
+        // partially resident ones) stream in before the first inference
+        // begins.
         if !config.warm_start {
             for v in residency.iter() {
                 if let ValueId::Weight(node) = v {
-                    let class = config
-                        .weight_classes
-                        .get(node)
-                        .copied()
-                        .unwrap_or(WeightClass::Persistent);
-                    if class == WeightClass::Persistent {
-                        t = t.max(wt_ch.enqueue(0.0, self.profile.node(*node).weight));
+                    let resident = class_of(node).resident_fraction();
+                    if resident > 0.0 {
+                        t = t.max(wt_ch.enqueue(0.0, self.profile.node(*node).weight * resident));
                     }
                 }
             }
@@ -257,21 +395,22 @@ impl<'a> Simulator<'a> {
             // Completion time of each shared-weight prefetch this
             // inference.
             let mut prefetch_done: HashMap<NodeId, f64> = HashMap::new();
-            // Prefetches indexed by launch position.
-            let mut launches: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            // Prefetches indexed by launch position: `(node, seconds)`
+            // of the streamed fraction.
+            let mut launches: HashMap<usize, Vec<(NodeId, f64)>> = HashMap::new();
             for v in residency.iter() {
                 if let ValueId::Weight(node) = v {
-                    let class = config
-                        .weight_classes
-                        .get(node)
-                        .copied()
-                        .unwrap_or(WeightClass::Persistent);
-                    if class == WeightClass::Shared {
-                        // Only planned prefetches launch; a shared
+                    let class = class_of(node);
+                    let f = class.steady_fraction();
+                    if f > 0.0 && class.launches_at_edge() {
+                        // Only planned streams launch; a re-streaming
                         // weight without an edge demand-loads at its
-                        // consumer instead (see `shared_unplanned`).
+                        // consumer instead (see `demand_fraction`).
                         if let Some(e) = config.prefetch.edge(*v) {
-                            launches.entry(e.start).or_default().push(*node);
+                            launches
+                                .entry(e.start)
+                                .or_default()
+                                .push((*node, self.profile.node(*node).weight * f));
                         }
                     }
                 }
@@ -283,9 +422,9 @@ impl<'a> Simulator<'a> {
                 // weight channel, behind whatever is already queued).
                 if let Some(nodes) = launches.get(&pos) {
                     let mut nodes = nodes.clone();
-                    nodes.sort(); // deterministic order
-                    for n in nodes {
-                        let (ps, done) = wt_ch.enqueue_span(t, self.profile.node(n).weight);
+                    nodes.sort_by_key(|a| a.0); // deterministic order
+                    for (n, seconds) in nodes {
+                        let (ps, done) = wt_ch.enqueue_span(t, seconds);
                         if config.record_events && done > ps {
                             events.push(SimEvent {
                                 kind: EventKind::Prefetch,
@@ -318,17 +457,17 @@ impl<'a> Simulator<'a> {
 
                 let mut wt_span: Option<(f64, f64)> = None;
                 let end_wt = if residency.contains(ValueId::Weight(id)) {
-                    match prefetch_done.get(&id) {
-                        Some(&done) => done, // may stall if late
-                        // Shared but never prefetched: the buffer holds
-                        // another layer's weights by now, so the load
-                        // streams on demand and stalls in full.
-                        None if shared_unplanned.contains(&id) => {
-                            let span = wt_ch.enqueue_span(start, row.weight);
+                    match (prefetch_done.get(&id), demand_fraction.get(&id)) {
+                        (Some(&done), _) => done, // may stall if late
+                        // Re-streaming but never launched ahead (no
+                        // edge, or single-buffered): the streamed
+                        // fraction loads on demand and stalls in full.
+                        (None, Some(&f)) => {
+                            let span = wt_ch.enqueue_span(start, row.weight * f);
                             wt_span = Some(span);
                             span.1
                         }
-                        None => start, // persistent, already loaded
+                        (None, None) => start, // persistent, already loaded
                     }
                 } else {
                     let span = wt_ch.enqueue_span(start, row.weight);
@@ -517,6 +656,162 @@ mod tests {
         assert!(
             s_wt > p_wt,
             "shared weights must re-stream: {s_wt} <= {p_wt}"
+        );
+    }
+
+    #[test]
+    fn weight_class_round_trips_through_serde() {
+        for class in [
+            WeightClass::Persistent,
+            WeightClass::Shared,
+            WeightClass::Streamed {
+                double_buffered: true,
+            },
+            WeightClass::Streamed {
+                double_buffered: false,
+            },
+            WeightClass::PartialResident {
+                resident_bytes: 18 << 10,
+                total_bytes: 1 << 20,
+            },
+        ] {
+            let back = WeightClass::from_content(&class.to_content()).expect("round trip");
+            assert_eq!(class, back);
+        }
+        // The unit variants keep the derive's string encoding.
+        assert_eq!(
+            WeightClass::Persistent.to_content(),
+            serde::Content::Str("Persistent".to_string())
+        );
+    }
+
+    #[test]
+    fn streamed_weights_restream_every_inference() {
+        use lcmm_core::prefetch::PrefetchPlan;
+        use lcmm_core::{Evaluator, ValueTable};
+
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let ev = Evaluator::new(&g, &p);
+        let sim = Simulator::new(&g, &p);
+        let plan = PrefetchPlan::build(
+            &ev,
+            sim.schedule(),
+            &Residency::new(),
+            values.weight_candidates(),
+        );
+        let fc7 = g.node_by_name("fc7").unwrap().id();
+        let mut residency = Residency::new();
+        residency.insert(ValueId::Weight(fc7));
+        let steady = |class| {
+            let mut classes = HashMap::new();
+            classes.insert(fc7, class);
+            sim.run(
+                &residency,
+                &SimConfig {
+                    inferences: 2,
+                    weight_classes: classes,
+                    prefetch: plan.clone(),
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let persistent = steady(WeightClass::Persistent);
+        let streamed = steady(WeightClass::Streamed {
+            double_buffered: true,
+        });
+        let demand = steady(WeightClass::Streamed {
+            double_buffered: false,
+        });
+        let p_wt = persistent.channel_busy[&ChannelKind::Weight];
+        let s_wt = streamed.channel_busy[&ChannelKind::Weight];
+        assert!(
+            s_wt > p_wt,
+            "streamed weight must re-stream: {s_wt} <= {p_wt}"
+        );
+        // The double-buffered stream overlaps compute via its edge; the
+        // single-buffered one stalls the consumer in full.
+        assert!(streamed.steady_latency <= demand.steady_latency + 1e-12);
+        assert!(persistent.steady_latency <= streamed.steady_latency + 1e-12);
+    }
+
+    #[test]
+    fn partial_residency_streams_only_the_tail() {
+        use lcmm_core::prefetch::PrefetchPlan;
+        use lcmm_core::{Evaluator, ValueTable};
+
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let values = ValueTable::build(&g, &p, Precision::Fix16);
+        let ev = Evaluator::new(&g, &p);
+        let sim = Simulator::new(&g, &p);
+        let plan = PrefetchPlan::build(
+            &ev,
+            sim.schedule(),
+            &Residency::new(),
+            values.weight_candidates(),
+        );
+        let fc6 = g.node_by_name("fc6").unwrap().id();
+        let mut residency = Residency::new();
+        residency.insert(ValueId::Weight(fc6));
+        let busy = |class| {
+            let mut classes = HashMap::new();
+            classes.insert(fc6, class);
+            let report = sim.run(
+                &residency,
+                &SimConfig {
+                    inferences: 2,
+                    weight_classes: classes,
+                    prefetch: plan.clone(),
+                    ..SimConfig::default()
+                },
+            );
+            report.channel_busy[&ChannelKind::Weight]
+        };
+        let full = busy(WeightClass::Streamed {
+            double_buffered: true,
+        });
+        let half = busy(WeightClass::PartialResident {
+            resident_bytes: 1 << 20,
+            total_bytes: 2 << 20,
+        });
+        let none = busy(WeightClass::Persistent);
+        assert!(
+            none < half && half < full,
+            "partial residency must stream the non-resident tail only: {none} / {half} / {full}"
+        );
+        // Cold start pays exactly the resident slice.
+        let mut classes = HashMap::new();
+        classes.insert(
+            fc6,
+            WeightClass::PartialResident {
+                resident_bytes: 1 << 20,
+                total_bytes: 2 << 20,
+            },
+        );
+        let cold = sim.run(
+            &residency,
+            &SimConfig {
+                warm_start: false,
+                weight_classes: classes.clone(),
+                prefetch: plan.clone(),
+                ..SimConfig::default()
+            },
+        );
+        let warm = sim.run(
+            &residency,
+            &SimConfig {
+                weight_classes: classes,
+                prefetch: plan,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            cold.total_latency > warm.total_latency,
+            "cold start must pay the resident slice: {} <= {}",
+            cold.total_latency,
+            warm.total_latency
         );
     }
 

@@ -6,7 +6,7 @@
 //! numbers are.
 
 use crate::engine::{SimConfig, Simulator, WeightClass};
-use lcmm_core::{Evaluator, LcmmResult, Residency, UmmBaseline, ValueId};
+use lcmm_core::{Evaluator, LcmmResult, Residency, UmmBaseline, ValueId, WeightMode};
 use lcmm_graph::Graph;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -57,18 +57,35 @@ pub struct ValidationReport {
 }
 
 /// Derives the per-weight sharing classes from an LCMM result: weights
-/// in multi-member chosen buffers are [`WeightClass::Shared`].
+/// in multi-member chosen buffers are [`WeightClass::Shared`], and
+/// single-member weight buffers follow the plan's per-buffer
+/// [`WeightMode`] (pinned → persistent, streamed/partial → the matching
+/// re-streaming class).
 #[must_use]
 pub fn weight_classes(result: &LcmmResult) -> HashMap<lcmm_graph::NodeId, WeightClass> {
     let mut classes = HashMap::new();
-    for (buf, &chosen) in result.buffers.iter().zip(&result.chosen) {
+    for (i, (buf, &chosen)) in result.buffers.iter().zip(&result.chosen).enumerate() {
         if !chosen {
             continue;
         }
         let class = if buf.members.len() > 1 {
             WeightClass::Shared
         } else {
-            WeightClass::Persistent
+            match result
+                .weight_modes
+                .get(i)
+                .copied()
+                .unwrap_or(WeightMode::Pinned)
+            {
+                WeightMode::Pinned => WeightClass::Persistent,
+                WeightMode::Streamed { double_buffered } => {
+                    WeightClass::Streamed { double_buffered }
+                }
+                WeightMode::PartialResident { resident_bytes } => WeightClass::PartialResident {
+                    resident_bytes,
+                    total_bytes: buf.bytes,
+                },
+            }
         };
         for &m in &buf.members {
             if let ValueId::Weight(n) = m {
