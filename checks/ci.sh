@@ -23,7 +23,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc (deny broken intra-doc links)"
 # First-party crates only: the vendored stand-ins are out of scope.
 RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --offline --no-deps -q \
-  -p lcmm -p lcmm-graph -p lcmm-fpga -p lcmm-core -p lcmm-sim -p lcmm-multi -p lcmm-serve
+  -p lcmm -p lcmm-graph -p lcmm-fpga -p lcmm-core -p lcmm-sim -p lcmm-multi -p lcmm-workload \
+  -p lcmm-serve
 
 if $quick; then
   echo "==> cargo test (debug)"
@@ -88,6 +89,34 @@ if ! cmp -s /tmp/ci_multi_j1.json checks/golden/multi_1.json; then
   diff checks/golden/multi_1.json /tmp/ci_multi_j1.json >&2 || true
   exit 1
 fi
+
+# Workload smoke gate: the trace-driven traffic simulation on the
+# builtin anti-phase bursty2 trace must be byte-identical across
+# --jobs, match its golden, and show the adaptive controller strictly
+# beating the best static share (see docs/WORKLOAD.md).
+echo "==> workload smoke: bursty2 vs checks/golden/workload_1.json across --jobs"
+workload_args=(workload --models mobilenet,alexnet --steps 4 --json)
+"$bin" "${workload_args[@]}" --jobs 1 >/tmp/ci_workload_j1.json 2>/dev/null
+"$bin" "${workload_args[@]}" --jobs 4 >/tmp/ci_workload_j4.json 2>/dev/null
+if ! cmp -s /tmp/ci_workload_j1.json /tmp/ci_workload_j4.json; then
+  echo "FAIL: 'workload' output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! cmp -s /tmp/ci_workload_j1.json checks/golden/workload_1.json; then
+  echo "FAIL: workload report differs from checks/golden/workload_1.json" >&2
+  diff checks/golden/workload_1.json /tmp/ci_workload_j1.json >&2 || true
+  exit 1
+fi
+if ! grep -q '"controller_beats_best_static": true' /tmp/ci_workload_j1.json; then
+  echo "FAIL: the adaptive controller no longer beats the best static share" >&2
+  exit 1
+fi
+
+# Protocol-compat gate: every pre-versioning request form must answer
+# byte-identically under the frozen v1 surface (docs/SERVE.md,
+# "Versioning"). The corpus lives in crates/serve/tests.
+echo "==> protocol compat: frozen v1 surface corpus"
+cargo test --offline -q -p lcmm-serve --test protocol_compat
 
 # Delta-equivalence gate: replaying cached pass 1–2 artifacts through
 # the share-grid search must be byte-identical to planning every grid

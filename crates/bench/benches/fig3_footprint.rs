@@ -16,10 +16,7 @@ fn bench(c: &mut Criterion) {
 
     // Print the figure's punchline once.
     let lcmm_profile = lcmm.design.profile(&graph);
-    let config = SimConfig {
-        prefetch: lcmm.prefetch.clone(),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default().with_prefetch(lcmm.prefetch.clone());
     let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
     let fp = Footprint::build(
         &graph,

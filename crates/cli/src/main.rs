@@ -28,6 +28,7 @@ mod opts;
 mod report;
 mod serve_cmd;
 mod table;
+mod workload_cmd;
 
 use std::process::ExitCode;
 
@@ -39,10 +40,11 @@ fn main() -> ExitCode {
     };
     // The daemon/client subcommands have their own flag sets; dispatch
     // them before the grid-report option parser sees (and rejects) them.
-    if let "serve" | "request" | "multi" = command.as_str() {
+    if let "serve" | "request" | "multi" | "workload" = command.as_str() {
         let run = match command.as_str() {
             "serve" => serve_cmd::run_serve(rest),
             "multi" => multi_cmd::run(rest),
+            "workload" => workload_cmd::run(rest),
             _ => serve_cmd::run_request(rest),
         };
         return match run {
@@ -168,6 +170,12 @@ commands:
                            --models <a,b,...> [--shares <s,s,...>]
                            [--device <name>] [--precision <8|16|32>]
                            [--steps <N>] [--jobs <N>] [--json]
+  workload                 trace-driven traffic simulation over a share
+                           grid (see docs/WORKLOAD.md):
+                           --models <a,b,...> [--trace <spec|file>]
+                           [--controller on|off] [--device <name>]
+                           [--precision <8|16|32>] [--steps <N>]
+                           [--jobs <N>] [--json]
 
 models: alexnet mobilenet squeezenet vgg16 resnet50 resnet101 resnet152 googlenet
         inception_v4 inception_resnet_v2 densenet121";

@@ -40,10 +40,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     );
 
     let lcmm_profile = lcmm.design.profile(&graph);
-    let config = SimConfig {
-        prefetch: lcmm.prefetch.clone(),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default().with_prefetch(lcmm.prefetch.clone());
     let lcmm_report = Simulator::new(&graph, &lcmm_profile).run(&lcmm.residency, &config);
     let lcmm_fp = Footprint::build(
         &graph,

@@ -15,12 +15,10 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     let (_, lcmm) = compare(&graph, &device, precision);
     let profile = lcmm.design.profile(&graph);
     let sim = Simulator::new(&graph, &profile);
-    let config = SimConfig {
-        record_events: true,
-        weight_classes: weight_classes(&lcmm),
-        prefetch: lcmm.prefetch.clone(),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default()
+        .with_record_events(true)
+        .with_weight_classes(weight_classes(&lcmm))
+        .with_prefetch(lcmm.prefetch.clone());
     let report = sim.run(&lcmm.residency, &config);
     println!("{}", trace::to_chrome_trace(&graph, &report.events));
     eprintln!(

@@ -60,6 +60,26 @@ pub fn full_zoo() -> Vec<Graph> {
     ]
 }
 
+/// Canonical short names of every zoo model, in [`full_zoo`] order —
+/// for CLI error messages and docs (the parameterised `synthetic:*`
+/// specs accepted by [`by_name`] are not listed).
+#[must_use]
+pub fn names() -> &'static [&'static str] {
+    &[
+        "alexnet",
+        "mobilenet",
+        "squeezenet",
+        "vgg16",
+        "googlenet",
+        "densenet121",
+        "resnet50",
+        "resnet101",
+        "resnet152",
+        "inception_v4",
+        "inception_resnet_v2",
+    ]
+}
+
 /// Builds a model by its short name, as used by the CLI.
 ///
 /// Recognised names: `alexnet`, `vgg16`, `resnet50`, `resnet101`,

@@ -42,7 +42,7 @@ mod plan;
 mod search;
 mod summary;
 
-pub use plan::{plan_with_shares, pool_bytes};
+pub use plan::{joint_capacity_dp, plan_with_shares, pool_bytes};
 pub use search::{search_shares, share_grid};
 pub use summary::coplan_summary;
 
@@ -53,7 +53,12 @@ use lcmm_sim::ContentionReport;
 use serde::{Deserialize, Serialize};
 
 /// One network sharing the device.
+///
+/// Construct with [`TenantSpec::new`] and the `with_*` builders
+/// (mirroring `LcmmOptions`); the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TenantSpec {
     /// Model name (registry key in `lcmm serve`, label in reports).
     pub name: String,

@@ -52,7 +52,13 @@ fn saturation_cap(curve: &GainCurve) -> usize {
     s
 }
 
-fn joint_capacity_dp(curves: &[(f64, GainCurve)], units: usize) -> Vec<usize> {
+/// Assigns `units` knapsack units across the tenants' `(weight, curve)`
+/// pairs, returning per-tenant unit grants (see module docs; smallest
+/// grant wins value ties, so the split is deterministic). Public so the
+/// workload controller can re-run the capacity split when it
+/// re-partitions tenant shares online.
+#[must_use]
+pub fn joint_capacity_dp(curves: &[(f64, GainCurve)], units: usize) -> Vec<usize> {
     let t = curves.len();
     let mut dp = vec![0.0f64; units + 1];
     let mut grant = vec![0u32; t * (units + 1)];

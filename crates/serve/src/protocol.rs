@@ -35,6 +35,8 @@ pub enum Op {
     Ping,
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
+    /// Run the trace-driven workload simulator over a set of models.
+    Workload,
 }
 
 /// Which graph a plan request is about.
@@ -95,6 +97,11 @@ impl GraphSpec {
 /// A parsed (but not yet resolved) request line.
 #[derive(Debug, Clone)]
 pub struct WireRequest {
+    /// Protocol version the client speaks. Absent means 1 (every
+    /// pre-versioning request form is part of the frozen v1 surface).
+    /// When present, the response echoes it as a trailing `"v"` field;
+    /// versions above 1 are rejected with `unsupported_version`.
+    pub v: Option<u64>,
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
     /// The operation; defaults to [`Op::Plan`] when `graph` is present.
@@ -131,6 +138,16 @@ pub struct WireRequest {
     pub weight: Option<f64>,
     /// Explicit compute share of a registered tenant ([`Op::Register`]).
     pub share: Option<f64>,
+    /// Comma-separated zoo models to simulate ([`Op::Workload`]).
+    pub models: Option<String>,
+    /// Trace spec — `bursty2`, an inline spec, or a JSON trace file
+    /// path ([`Op::Workload`]).
+    pub trace: Option<String>,
+    /// Whether the adaptive share controller runs ([`Op::Workload`];
+    /// defaults to on).
+    pub controller: Option<bool>,
+    /// Share-grid resolution ([`Op::Workload`]; defaults to 4).
+    pub steps: Option<u64>,
 }
 
 /// A plan request resolved into model types, ready to run.
@@ -162,11 +179,19 @@ impl WireRequest {
             .ok_or_else(|| "request must be a JSON object".to_string())?;
         for (key, _) in obj {
             match key.as_str() {
-                "id" | "op" | "graph" | "device" | "precision" | "allocator" | "options"
-                | "deadline_ms" | "include_stats" | "model" | "weight" | "share" => {}
+                "v" | "id" | "op" | "graph" | "device" | "precision" | "allocator" | "options"
+                | "deadline_ms" | "include_stats" | "model" | "weight" | "share" | "models"
+                | "trace" | "controller" | "steps" => {}
                 other => return Err(format!("unknown request field {other:?}")),
             }
         }
+        let v = match value.get("v") {
+            None | Some(Value::Null) => None,
+            Some(val) => Some(
+                val.as_u64()
+                    .ok_or_else(|| "v must be an unsigned integer".to_string())?,
+            ),
+        };
         let id = match value.get("id") {
             None | Some(Value::Null) => None,
             Some(v) => Some(
@@ -185,6 +210,7 @@ impl WireRequest {
                 Some("stats") => Op::Stats,
                 Some("ping") => Op::Ping,
                 Some("shutdown") => Op::Shutdown,
+                Some("workload") => Op::Workload,
                 Some(other) => return Err(format!("unknown op {other:?}")),
                 None => return Err("op must be a string".to_string()),
             },
@@ -261,7 +287,24 @@ impl WireRequest {
         };
         let weight = f64_field("weight")?;
         let share = f64_field("share")?;
+        let models = str_field("models")?;
+        let trace = str_field("trace")?;
+        let controller = match value.get("controller") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_bool()
+                    .ok_or_else(|| "controller must be a boolean".to_string())?,
+            ),
+        };
+        let steps = match value.get("steps") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "steps must be an unsigned integer".to_string())?,
+            ),
+        };
         Ok(Self {
+            v,
             id,
             op,
             graph,
@@ -278,6 +321,10 @@ impl WireRequest {
             model,
             weight,
             share,
+            models,
+            trace,
+            controller,
+            steps,
         })
     }
 
@@ -659,8 +706,20 @@ impl WireResponse {
     }
 
     /// Renders the response as one JSON line (no trailing newline).
+    /// Equivalent to [`WireResponse::to_line_v`] with no version echo —
+    /// the byte-exact pre-versioning encoding.
     #[must_use]
     pub fn to_line(&self) -> String {
+        self.to_line_v(None)
+    }
+
+    /// Renders the response as one JSON line, echoing the protocol
+    /// version when the request carried one. `"v"` sorts after every
+    /// existing response key, so versioned responses are the legacy
+    /// line with `,"v":1` appended before the closing brace — legacy
+    /// clients (which never send `v`) keep byte-identical responses.
+    #[must_use]
+    pub fn to_line_v(&self, v: Option<u64>) -> String {
         let mut fields: Vec<(String, Value)> = Vec::new();
         let id = match self {
             WireResponse::Plan { id, .. }
@@ -733,6 +792,9 @@ impl WireResponse {
                 }
                 fields.push(("ok".to_string(), Value::Bool(false)));
             }
+        }
+        if let Some(v) = v {
+            fields.push(("v".to_string(), Value::U64(v)));
         }
         serde_json::to_string(&Value::Map(fields)).expect("response serialises")
     }

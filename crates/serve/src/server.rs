@@ -36,6 +36,7 @@ use lcmm_core::{CancelToken, Harness, LcmmError, PassStats};
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::Graph;
 use lcmm_multi::{coplan, coplan_summary, CoplanOptions, TenantSpec};
+use lcmm_workload::ControllerConfig;
 use serde_json::Value;
 
 use crate::cache::PlanCache;
@@ -283,6 +284,7 @@ struct BusyJob {
     cancel: CancelToken,
     slot: Arc<Slot>,
     request_id: Option<u64>,
+    request_v: Option<u64>,
     abandoned: bool,
 }
 
@@ -463,26 +465,44 @@ impl Server {
                 )
             }
         };
+        // The version gate runs before dispatch: only v1 (and the
+        // implicit absent-means-1 form) is served. The rejection does
+        // not echo `v` — there is no agreed version to speak.
+        if let Some(v) = request.v {
+            if v != 1 {
+                return Some(
+                    WireResponse::Error {
+                        id: request.id,
+                        code: "unsupported_version".to_string(),
+                        message: format!(
+                            "protocol version {v} is not supported; this server speaks v1"
+                        ),
+                    }
+                    .to_line(),
+                );
+            }
+        }
         match request.op {
-            Op::Ping => Some(WireResponse::Pong { id: request.id }.to_line()),
+            Op::Ping => Some(WireResponse::Pong { id: request.id }.to_line_v(request.v)),
             Op::Stats => Some(
                 WireResponse::Stats {
                     id: request.id,
                     stats: self.stats_value(),
                 }
-                .to_line(),
+                .to_line_v(request.v),
             ),
             Op::Shutdown => {
                 let id = request.id;
                 self.begin_shutdown();
-                Some(WireResponse::Shutdown { id }.to_line())
+                Some(WireResponse::Shutdown { id }.to_line_v(request.v))
             }
             Op::Register => Some(self.handle_register(&request)),
             Op::Unregister => Some(self.handle_unregister(&request)),
             // Co-planning is as expensive as planning: both go through
-            // admission control and the worker pool, as does routing
-            // (a route may have to compute the co-plan it routes from).
-            Op::Plan | Op::Coplan | Op::Route => self.submit_plan(request, slot),
+            // admission control and the worker pool, as do routing (a
+            // route may have to compute the co-plan it routes from) and
+            // the trace-driven workload simulation.
+            Op::Plan | Op::Coplan | Op::Route | Op::Workload => self.submit_plan(request, slot),
         }
     }
 
@@ -490,7 +510,8 @@ impl Server {
     /// to the tenant set invalidates every cached co-plan that inlined
     /// it, and the mutation is WAL-logged for recovery.
     fn handle_register(&self, request: &WireRequest) -> String {
-        let answer_err = |err: &LcmmError| WireResponse::from_error(request.id, err).to_line();
+        let answer_err =
+            |err: &LcmmError| WireResponse::from_error(request.id, err).to_line_v(request.v);
         let Some(model) = request.model.clone().filter(|m| !m.is_empty()) else {
             return answer_err(&LcmmError::InvalidRequest(
                 "register needs a non-empty \"model\" field".to_string(),
@@ -579,7 +600,7 @@ impl Server {
             model,
             models,
         }
-        .to_line()
+        .to_line_v(request.v)
     }
 
     /// Removes a model from the registry, invalidating cached co-plans
@@ -592,7 +613,7 @@ impl Server {
                     "unregister needs a non-empty \"model\" field".to_string(),
                 ),
             )
-            .to_line();
+            .to_line_v(request.v);
         };
         let inner = &self.inner;
         let (removed, models) = durably(inner, || {
@@ -622,7 +643,8 @@ impl Server {
             )
         });
         if !removed {
-            return WireResponse::from_error(request.id, &LcmmError::UnknownModel(model)).to_line();
+            return WireResponse::from_error(request.id, &LcmmError::UnknownModel(model))
+                .to_line_v(request.v);
         }
         WireResponse::Registry {
             id: request.id,
@@ -630,7 +652,7 @@ impl Server {
             model,
             models,
         }
-        .to_line()
+        .to_line_v(request.v)
     }
 
     /// True once a shutdown has been requested (new plans are refused).
@@ -683,7 +705,7 @@ impl Server {
                     code: "shutting_down".to_string(),
                     message: "server shut down before the request was served".to_string(),
                 }
-                .to_line(),
+                .to_line_v(job.request.v),
             );
         }
     }
@@ -709,7 +731,7 @@ impl Server {
                         code: "shutting_down".to_string(),
                         message: "server is draining; no new plans accepted".to_string(),
                     }
-                    .to_line(),
+                    .to_line_v(request.v),
                 );
             }
             if queue.jobs.len() + queue.in_flight >= inner.queue_capacity {
@@ -723,7 +745,7 @@ impl Server {
                             inner.queue_capacity
                         ),
                     }
-                    .to_line(),
+                    .to_line_v(request.v),
                 );
             }
             queue.jobs.push_back(Job {
@@ -1019,6 +1041,7 @@ fn worker_loop(inner: &Arc<Inner>, state: &Arc<WorkerState>) {
             cancel: job.cancel.clone(),
             slot: Arc::clone(&job.slot),
             request_id: job.request.id,
+            request_v: job.request.v,
             abandoned: false,
         });
         // A panic inside the pipeline must never take the worker (and
@@ -1037,7 +1060,7 @@ fn worker_loop(inner: &Arc<Inner>, state: &Arc<WorkerState>) {
                     code: "internal_error".to_string(),
                     message,
                 }
-                .to_line()
+                .to_line_v(job.request.v)
             },
         );
         let abandoned = {
@@ -1082,19 +1105,27 @@ fn watcher_loop(inner: &Arc<Inner>, budget: Duration) {
                         // the same lock, so exactly one side fills the
                         // slot and decrements in_flight.
                         b.abandoned = true;
-                        Some((b.cancel.clone(), Arc::clone(&b.slot), b.request_id))
+                        Some((
+                            b.cancel.clone(),
+                            Arc::clone(&b.slot),
+                            b.request_id,
+                            b.request_v,
+                        ))
                     }
                     _ => None,
                 }
             };
-            let Some((cancel, slot, request_id)) = stuck else {
+            let Some((cancel, slot, request_id, request_v)) = stuck else {
                 continue;
             };
             // Best case the computation notices the cancellation at its
             // next cooperative check and the thread exits promptly;
             // worst case it stays wedged, detached, and harmless.
             cancel.cancel();
-            slot.fill(WireResponse::from_error(request_id, &LcmmError::WorkerRecycled).to_line());
+            slot.fill(
+                WireResponse::from_error(request_id, &LcmmError::WorkerRecycled)
+                    .to_line_v(request_v),
+            );
             inner.plans_errored.fetch_add(1, Ordering::Relaxed);
             inner.recycled.fetch_add(1, Ordering::Relaxed);
             lock_safe(&inner.queue).in_flight -= 1;
@@ -1188,7 +1219,7 @@ fn process_plan(inner: &Arc<Inner>, job: &Job) -> String {
     let request = &job.request;
     let answer_err = |err: &LcmmError| {
         inner.plans_errored.fetch_add(1, Ordering::Relaxed);
-        WireResponse::from_error(request.id, err).to_line()
+        WireResponse::from_error(request.id, err).to_line_v(request.v)
     };
     // Deadline may already have passed while the job sat in the queue.
     if let Err(err) = job.cancel.check() {
@@ -1203,6 +1234,9 @@ fn process_plan(inner: &Arc<Inner>, job: &Job) -> String {
     }
     if matches!(request.op, Op::Coplan | Op::Route) {
         return process_coplan(inner, job);
+    }
+    if request.op == Op::Workload {
+        return process_workload(inner, job);
     }
     let resolved = match request.resolve_plan() {
         Ok(resolved) => resolved,
@@ -1224,7 +1258,7 @@ fn process_plan(inner: &Arc<Inner>, job: &Job) -> String {
             cached: true,
             pass_stats: None,
         }
-        .to_line();
+        .to_line_v(request.v);
     }
     let design =
         match inner
@@ -1262,7 +1296,7 @@ fn process_plan(inner: &Arc<Inner>, job: &Job) -> String {
             .include_stats
             .then(|| pass_stats_value(&result.stats)),
     }
-    .to_line()
+    .to_line_v(request.v)
 }
 
 /// Executes one `debug:` fault-injection hook (only reachable when
@@ -1297,7 +1331,8 @@ fn run_debug_hook(inner: &Arc<Inner>, job: &Job, hook: &str) -> String {
             if job.cancel.is_cancelled() {
                 // Recycled (or expired): the slot was already answered,
                 // this line is discarded by the idempotent fill.
-                return WireResponse::from_error(request.id, &LcmmError::Cancelled).to_line();
+                return WireResponse::from_error(request.id, &LcmmError::Cancelled)
+                    .to_line_v(request.v);
             }
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -1311,14 +1346,14 @@ fn run_debug_hook(inner: &Arc<Inner>, job: &Job, hook: &str) -> String {
             cached: false,
             pass_stats: None,
         }
-        .to_line();
+        .to_line_v(request.v);
     }
     inner.plans_errored.fetch_add(1, Ordering::Relaxed);
     WireResponse::from_error(
         request.id,
         &LcmmError::InvalidRequest(format!("unknown debug hook {hook:?}")),
     )
-    .to_line()
+    .to_line_v(request.v)
 }
 
 /// Runs one admitted co-plan or route request to a response line.
@@ -1331,7 +1366,7 @@ fn process_coplan(inner: &Arc<Inner>, job: &Job) -> String {
     let request = &job.request;
     let answer_err = |err: &LcmmError| {
         inner.plans_errored.fetch_add(1, Ordering::Relaxed);
-        WireResponse::from_error(request.id, err).to_line()
+        WireResponse::from_error(request.id, err).to_line_v(request.v)
     };
     let registry: Vec<(String, Registered)> = {
         let registry = lock_safe(&inner.registry);
@@ -1388,7 +1423,7 @@ fn process_coplan(inner: &Arc<Inner>, job: &Job) -> String {
             cached: true,
             pass_stats: None,
         }
-        .to_line();
+        .to_line_v(request.v);
     }
     if let Err(err) = job.cancel.check() {
         return answer_err(&err);
@@ -1430,7 +1465,112 @@ fn process_coplan(inner: &Arc<Inner>, job: &Job) -> String {
         cached: false,
         pass_stats: None,
     }
-    .to_line()
+    .to_line_v(request.v)
+}
+
+/// Key prefix of cached workload reports.
+const WORKLOAD_KEY_PREFIX: &str = "workload:";
+
+/// Runs one admitted workload-simulation request to a response line.
+///
+/// The report is a pure function of the request (the simulator is
+/// seeded and the grid search deterministic), so inline traces cache
+/// like plans do. File-based traces are *never* cached: the path says
+/// nothing about the file's contents, and a stale replay after an
+/// edited trace would be silently wrong.
+fn process_workload(inner: &Arc<Inner>, job: &Job) -> String {
+    let request = &job.request;
+    let answer_err = |err: &LcmmError| {
+        inner.plans_errored.fetch_add(1, Ordering::Relaxed);
+        WireResponse::from_error(request.id, err).to_line_v(request.v)
+    };
+    let Some(models) = request.models.as_deref().filter(|m| !m.is_empty()) else {
+        return answer_err(&LcmmError::InvalidRequest(
+            "workload needs a non-empty \"models\" field (comma-separated zoo names)".to_string(),
+        ));
+    };
+    let precision =
+        match crate::protocol::parse_precision(request.precision.as_deref().unwrap_or("fix16")) {
+            Ok(precision) => precision,
+            Err(err) => return answer_err(&err),
+        };
+    let mut tenants = Vec::new();
+    for name in models.split(',').map(str::trim) {
+        let Some(graph) = lcmm_graph::zoo::by_name(name) else {
+            return answer_err(&LcmmError::UnknownModel(name.to_string()));
+        };
+        tenants.push(TenantSpec::new(name.to_string(), graph, precision));
+    }
+    let device_name = request.device.as_deref().unwrap_or("vu9p");
+    let Some(device) = Device::by_name(device_name) else {
+        return answer_err(&LcmmError::UnknownDevice(device_name.to_string()));
+    };
+    let options = match request.resolve_options() {
+        Ok(options) => options,
+        Err(err) => return answer_err(&err),
+    };
+    let steps = request.steps.unwrap_or(4).clamp(2, 64) as usize;
+    let opts = CoplanOptions::default()
+        .with_options(options)
+        .with_search_steps(steps);
+    let trace = request.trace.as_deref().unwrap_or("bursty2");
+    let controller = ControllerConfig::default().with_enabled(request.controller.unwrap_or(true));
+    let cacheable = trace == "bursty2" || trace.contains(':');
+    let key = cacheable.then(|| {
+        let fingerprint = format!(
+            "{models}\u{1}{}\u{1}{}\u{1}{}\u{1}{trace}\u{1}{}\u{1}{steps}",
+            serde_json::to_string(&precision).unwrap_or_default(),
+            serde_json::to_string(&device).unwrap_or_default(),
+            serde_json::to_string(&opts.options).unwrap_or_default(),
+            controller.enabled,
+        );
+        format!("{WORKLOAD_KEY_PREFIX}{}", digest(&fingerprint))
+    });
+    if let Some(stored) = key.as_ref().and_then(|k| inner.cache.get(k)) {
+        let plan = match serde_json::from_str::<Value>(&stored) {
+            Ok(plan) => plan,
+            Err(_) => Value::Str(stored),
+        };
+        inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+        return WireResponse::Plan {
+            id: request.id,
+            plan,
+            cached: true,
+            pass_stats: None,
+        }
+        .to_line_v(request.v);
+    }
+    if let Err(err) = job.cancel.check() {
+        return answer_err(&err);
+    }
+    let report = match lcmm_workload::run_workload(
+        &inner.harness,
+        &device,
+        &tenants,
+        trace,
+        &controller,
+        &opts,
+    ) {
+        Ok(report) => report,
+        Err(err) => return answer_err(&err),
+    };
+    if let Some(key) = key {
+        let stored = serde_json::to_string(&report).expect("workload report serialises");
+        let record = WalRecord::PlanPut {
+            key: key.clone(),
+            value: stored.clone(),
+            tags: Vec::new(),
+        };
+        durably(inner, || (inner.cache.put(key, stored), Some(record)));
+    }
+    inner.plans_completed.fetch_add(1, Ordering::Relaxed);
+    WireResponse::Plan {
+        id: request.id,
+        plan: report,
+        cached: false,
+        pass_stats: None,
+    }
+    .to_line_v(request.v)
 }
 
 /// Folds one computed run's pass timings into the `/stats` histograms.

@@ -1,0 +1,170 @@
+//! Protocol-compatibility suite for the frozen v1 surface.
+//!
+//! Every request form the daemon has ever answered (plans, options,
+//! registry mutations, co-plans, routes, pings, typed errors) must keep
+//! answering **byte-identically** now that responses can carry a
+//! version echo — and the versioned twin of each request must answer
+//! with exactly the legacy bytes plus a trailing `,"v":1`.
+//!
+//! The corpus sticks to idempotent, deterministic exchanges: each
+//! legacy form is sent twice (the second answer is the cached replay,
+//! which is the stable encoding) and then once more with `"v":1`.
+
+use lcmm_serve::{Server, ServerConfig};
+use serde_json::Value;
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("non-JSON response {line:?}: {e}"))
+}
+
+/// Inserts `,"v":1` before the closing brace of a response line — the
+/// whole difference the version echo is allowed to make.
+fn with_v1(line: &str) -> String {
+    let body = line.strip_suffix('}').expect("responses are objects");
+    format!("{body},\"v\":1}}")
+}
+
+/// Adds `"v":1` to a request line (as the first field; field order in
+/// requests is free).
+fn versioned(line: &str) -> String {
+    let rest = line.strip_prefix('{').expect("requests are objects");
+    format!("{{\"v\":1,{rest}")
+}
+
+/// The pre-versioning request corpus: every deterministic form from the
+/// daemon's history — minimal plans, full option sets, weight
+/// streaming, synthetic and inline graphs, co-plans and routes, and
+/// typed errors. (`stats` is excluded — uptime is wall-clock — and
+/// mutations are set up once, outside the corpus.)
+fn corpus() -> Vec<String> {
+    let inline = serde_json::to_string(&lcmm_graph::zoo::alexnet()).expect("graph serialises");
+    vec![
+        r#"{"op":"ping"}"#.to_string(),
+        r#"{"op":"ping","id":7}"#.to_string(),
+        r#"{"graph":"alexnet"}"#.to_string(),
+        r#"{"graph":"alexnet","precision":"8","allocator":"greedy"}"#.to_string(),
+        r#"{"graph":"squeezenet","options":{"feature_reuse":false,"splitting":false}}"#.to_string(),
+        r#"{"graph":"alexnet","options":{"weight_streaming":"auto","tensor_budget":2000000}}"#
+            .to_string(),
+        r#"{"graph":"synthetic:48x3x5","id":11}"#.to_string(),
+        format!("{{\"graph\":{{\"inline\":{inline}}}}}"),
+        r#"{"op":"coplan"}"#.to_string(),
+        r#"{"op":"route","model":"alexnet"}"#.to_string(),
+        // Typed errors are part of the surface too.
+        r#"{"graph":"nonexistent-net"}"#.to_string(),
+        r#"{"graph":"alexnet","device":"asic","id":3}"#.to_string(),
+        r#"{"op":"route","model":"not-registered"}"#.to_string(),
+    ]
+}
+
+#[test]
+fn v1_answers_every_legacy_form_byte_identically() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    // Registry setup so coplan/route have tenants to work with.
+    for reg in [
+        r#"{"op":"register","model":"alexnet","graph":"alexnet"}"#,
+        r#"{"op":"register","model":"squeezenet","graph":"squeezenet","weight":2.0}"#,
+    ] {
+        let v = parse(&server.handle_line(reg));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "setup: {reg}");
+    }
+    for line in corpus() {
+        // First send computes (or errors); the second replay is the
+        // stable encoding every later duplicate must reproduce.
+        let _warm = server.handle_line(&line);
+        let legacy = server.handle_line(&line);
+        let repeat = server.handle_line(&line);
+        assert_eq!(legacy, repeat, "legacy replay must be byte-stable: {line}");
+        assert!(
+            !legacy.contains("\"v\""),
+            "legacy responses must not grow a version echo: {legacy}"
+        );
+        let versioned_reply = server.handle_line(&versioned(&line));
+        assert_eq!(
+            versioned_reply,
+            with_v1(&legacy),
+            "v1 must be the legacy bytes plus a trailing version echo: {line}"
+        );
+        assert!(parse(&versioned_reply).get("v").is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn registry_mutations_echo_the_version() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let reg = parse(
+        &server.handle_line(r#"{"v":1,"op":"register","model":"m","graph":"alexnet","id":5}"#),
+    );
+    assert_eq!(reg.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(reg.get("v"), Some(&Value::U64(1)));
+    let unreg = parse(&server.handle_line(r#"{"v":1,"op":"unregister","model":"m"}"#));
+    assert_eq!(unreg.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(unreg.get("v"), Some(&Value::U64(1)));
+    // And without the version the echo stays absent.
+    let reg2 = parse(&server.handle_line(r#"{"op":"register","model":"m","graph":"alexnet"}"#));
+    assert!(reg2.get("v").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn future_versions_are_rejected_with_a_typed_error() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    for line in [
+        r#"{"v":2,"op":"ping"}"#,
+        r#"{"v":0,"graph":"alexnet","id":9}"#,
+        r#"{"v":99,"op":"stats"}"#,
+    ] {
+        let v = parse(&server.handle_line(line));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{line}");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("unsupported_version"),
+            "{line}"
+        );
+        // No version echo on the rejection: no version was agreed.
+        assert!(v.get("v").is_none(), "{line}");
+    }
+    // Ill-typed versions are plain bad requests.
+    let v = parse(&server.handle_line(r#"{"v":"one","op":"ping"}"#));
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("bad_request")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn the_workload_op_runs_and_caches_under_v1() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    let line = r#"{"v":1,"op":"workload","models":"alexnet,squeezenet","trace":"replay:0,0.01,0.02;replay:0.005","steps":2,"id":21}"#;
+    let first = parse(&server.handle_line(line));
+    assert_eq!(first.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    assert_eq!(first.get("v"), Some(&Value::U64(1)));
+    let plan = first.get("plan").expect("workload report");
+    assert!(plan.get("worst_p99_seconds").is_some());
+    assert!(plan.get("controller_beats_best_static").is_some());
+    let second = parse(&server.handle_line(line));
+    assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(
+        second.get("plan"),
+        first.get("plan"),
+        "cache replay differs"
+    );
+    // Unknown models and missing fields are typed errors.
+    let bad = parse(&server.handle_line(r#"{"op":"workload","models":"alexnet,frob-net"}"#));
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str),
+        Some("unknown_model")
+    );
+    let missing = parse(&server.handle_line(r#"{"op":"workload"}"#));
+    assert_eq!(missing.get("ok"), Some(&Value::Bool(false)));
+    server.shutdown();
+}

@@ -248,14 +248,10 @@ pub fn audit_case_with_options(
 
     // Full LCMM: the pipeline's own residency, plan and classes.
     let sim = Simulator::new(graph, &profile);
-    let lcmm_config = SimConfig {
-        inferences: 2, // steady state after the first pass
-        warm_start: true,
-        weight_classes: weight_classes(&result),
-        prefetch: result.prefetch.clone(),
-        record_events: false,
-        pipeline_fill: false,
-    };
+    let lcmm_config = SimConfig::default()
+        .with_inferences(2) // steady state after the first pass
+        .with_weight_classes(weight_classes(&result))
+        .with_prefetch(result.prefetch.clone());
     let lcmm_sim = sim.run(&result.residency, &lcmm_config);
     diff_point(
         &mut points,
@@ -268,10 +264,7 @@ pub fn audit_case_with_options(
     );
 
     // LCMM with pipeline fill: the same run plus fill overhead.
-    let fill_config = SimConfig {
-        pipeline_fill: true,
-        ..lcmm_config.clone()
-    };
+    let fill_config = lcmm_config.clone().with_pipeline_fill(true);
     let fill_sim = sim.run(&result.residency, &fill_config);
     let fill_point = CasePoint {
         label: "lcmm+fill".into(),
@@ -315,14 +308,9 @@ pub fn audit_case_with_options(
             ValueId::Feature(_) => None,
         })
         .collect();
-    let probe_config = SimConfig {
-        inferences: 2,
-        warm_start: true,
-        weight_classes: all_shared,
-        prefetch: lcmm_core::prefetch::PrefetchPlan::default(),
-        record_events: false,
-        pipeline_fill: false,
-    };
+    let probe_config = SimConfig::default()
+        .with_inferences(2)
+        .with_weight_classes(all_shared);
     let probe_sim = sim.run(&result.residency, &probe_config);
     let probe_point = CasePoint {
         label: "no-plan-probe".into(),

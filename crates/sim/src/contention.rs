@@ -58,14 +58,10 @@ impl TenantLoad {
 pub fn tenant_load(graph: &Graph, result: &LcmmResult) -> TenantLoad {
     let profile = result.design.profile(graph);
     let sim = Simulator::new(graph, &profile);
-    let config = SimConfig {
-        inferences: 2,
-        warm_start: true,
-        weight_classes: weight_classes(result),
-        prefetch: result.prefetch.clone(),
-        record_events: false,
-        pipeline_fill: false,
-    };
+    let config = SimConfig::default()
+        .with_inferences(2)
+        .with_weight_classes(weight_classes(result))
+        .with_prefetch(result.prefetch.clone());
     let report = sim.run(&result.residency, &config);
     TenantLoad {
         steady_latency: report.steady_latency,

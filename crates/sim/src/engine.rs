@@ -173,7 +173,12 @@ pub enum EventKind {
 }
 
 /// Simulation configuration.
+///
+/// Construct with [`SimConfig::default`] and the `with_*` builders
+/// (mirroring `LcmmOptions`); the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking downstream callers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Number of back-to-back inferences to run.
     pub inferences: usize,
@@ -204,6 +209,50 @@ impl Default for SimConfig {
             record_events: false,
             pipeline_fill: false,
         }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy running `inferences` back-to-back inferences.
+    #[must_use]
+    pub fn with_inferences(mut self, inferences: usize) -> Self {
+        self.inferences = inferences;
+        self
+    }
+
+    /// Returns a copy with the warm-start flag set.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Returns a copy with per-weight sharing classes.
+    #[must_use]
+    pub fn with_weight_classes(mut self, classes: HashMap<NodeId, WeightClass>) -> Self {
+        self.weight_classes = classes;
+        self
+    }
+
+    /// Returns a copy with a prefetch plan.
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: PrefetchPlan) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Returns a copy with event recording toggled.
+    #[must_use]
+    pub fn with_record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+
+    /// Returns a copy with the serial first-tile fill model toggled.
+    #[must_use]
+    pub fn with_pipeline_fill(mut self, fill: bool) -> Self {
+        self.pipeline_fill = fill;
+        self
     }
 }
 

@@ -154,7 +154,7 @@ impl Footprint {
 /// let sim = Simulator::new(&graph, &profile);
 /// let report = sim.run(
 ///     &Residency::new(),
-///     &SimConfig { record_events: true, ..SimConfig::default() },
+///     &SimConfig::default().with_record_events(true),
 /// );
 /// let json = trace::to_chrome_trace(&graph, &report.events);
 /// assert!(json.starts_with('['));
@@ -211,10 +211,7 @@ mod tests {
         let (_, lcmm) = compare(&g, &Device::vu9p(), Precision::Fix16);
         let profile = lcmm.design.profile(&g);
         let sim = Simulator::new(&g, &profile);
-        let config = SimConfig {
-            prefetch: lcmm.prefetch.clone(),
-            ..SimConfig::default()
-        };
+        let config = SimConfig::default().with_prefetch(lcmm.prefetch.clone());
         let report = sim.run(&lcmm.residency, &config);
         let focus = g.block_nodes("inception_c1");
         let fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
@@ -242,10 +239,7 @@ mod tests {
         let sim = Simulator::new(&g, &profile);
         let report = sim.run(
             &Residency::new(),
-            &SimConfig {
-                record_events: true,
-                ..SimConfig::default()
-            },
+            &SimConfig::default().with_record_events(true),
         );
         let json = to_chrome_trace(&g, &report.events);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
@@ -275,10 +269,7 @@ mod tests {
 
         let profile = lcmm.design.profile(&g);
         let sim = Simulator::new(&g, &profile);
-        let config = SimConfig {
-            prefetch: lcmm.prefetch.clone(),
-            ..SimConfig::default()
-        };
+        let config = SimConfig::default().with_prefetch(lcmm.prefetch.clone());
         let report = sim.run(&lcmm.residency, &config);
         let lcmm_fp = Footprint::build(&g, &report, &lcmm.residency, &lcmm.prefetch, &focus);
 

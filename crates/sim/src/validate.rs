@@ -101,14 +101,10 @@ pub fn weight_classes(result: &LcmmResult) -> HashMap<lcmm_graph::NodeId, Weight
 pub fn simulate_lcmm(graph: &Graph, result: &LcmmResult) -> f64 {
     let profile = result.design.profile(graph);
     let sim = Simulator::new(graph, &profile);
-    let config = SimConfig {
-        inferences: 2, // steady state after the first pass
-        warm_start: true,
-        weight_classes: weight_classes(result),
-        prefetch: result.prefetch.clone(),
-        record_events: false,
-        pipeline_fill: false,
-    };
+    let config = SimConfig::default()
+        .with_inferences(2) // steady state after the first pass
+        .with_weight_classes(weight_classes(result))
+        .with_prefetch(result.prefetch.clone());
     sim.run(&result.residency, &config).steady_latency
 }
 

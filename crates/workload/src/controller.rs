@@ -1,0 +1,194 @@
+//! The online share controller.
+//!
+//! At the end of every controller window the executor hands the
+//! controller each tenant's *observed* pressure — arrivals seen in the
+//! window plus the backlog still queued — and the controller picks the
+//! prepared grid point whose service latencies best absorb that
+//! pressure. Two dampers keep it from thrashing:
+//!
+//! * **hysteresis** — the candidate must beat the current point's
+//!   predicted load by a relative margin before a switch happens;
+//! * **re-plan budget** — a hard cap on switches per run, mirroring the
+//!   real cost of re-partitioning a device.
+//!
+//! Switching between *prepared* points is what makes the loop cheap and
+//! deterministic: all the planning (delta replans through
+//! `PlanArtifacts::replan_with_budget` and the `joint_capacity_dp`
+//! capacity split) happened up front in [`crate::prepare`]; the
+//! controller only consumes the immutable artifacts.
+
+use crate::exec::PreparedGrid;
+
+/// Controller configuration.
+///
+/// Construct with [`ControllerConfig::default`] and the `with_*`
+/// builders (mirroring `LcmmOptions`); the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// callers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ControllerConfig {
+    /// Whether the controller may switch grid points at all. Off, the
+    /// run sticks to its starting point (a static share).
+    pub enabled: bool,
+    /// Sliding-window length in seconds; `0.0` means auto (an eighth
+    /// of the trace horizon). The executor's epochs are one window
+    /// long, and decisions happen at epoch boundaries.
+    pub window_seconds: f64,
+    /// Relative improvement a candidate point's predicted load must
+    /// show over the current point before the controller switches.
+    pub hysteresis: f64,
+    /// Maximum number of switches per run.
+    pub replan_budget: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window_seconds: 0.0,
+            hysteresis: 0.05,
+            replan_budget: 8,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Returns a copy with the controller enabled or disabled.
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Returns a copy with an explicit window length in seconds.
+    #[must_use]
+    pub fn with_window_seconds(mut self, window: f64) -> Self {
+        self.window_seconds = window;
+        self
+    }
+
+    /// Returns a copy with a different switch hysteresis.
+    #[must_use]
+    pub fn with_hysteresis(mut self, hysteresis: f64) -> Self {
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    /// Returns a copy with a different re-plan budget.
+    #[must_use]
+    pub fn with_replan_budget(mut self, budget: usize) -> Self {
+        self.replan_budget = budget;
+        self
+    }
+
+    /// The effective window for a trace of `horizon` seconds.
+    #[must_use]
+    pub fn window_for(&self, horizon: f64) -> f64 {
+        if self.window_seconds > 0.0 {
+            self.window_seconds
+        } else {
+            horizon / 8.0
+        }
+    }
+}
+
+/// Predicted load of grid point `point` under per-tenant arrival rates
+/// `rates` (requests/second): the worst per-tenant utilisation,
+/// `rate × service / max_batch`. Above 1.0 the tenant's queue grows
+/// without bound at that point.
+#[must_use]
+pub fn predicted_load(grid: &PreparedGrid, point: usize, rates: &[f64], max_batch: usize) -> f64 {
+    rates
+        .iter()
+        .zip(&grid.points[point].service_seconds)
+        .map(|(&rate, &service)| rate * service / max_batch as f64)
+        .fold(0.0f64, f64::max)
+}
+
+/// One controller decision: given observed `rates`, the point to run
+/// the next window at. Returns `current` unless some candidate beats it
+/// by the hysteresis margin (ties keep the current point, and equal
+/// candidates resolve to the lowest index, so decisions are
+/// deterministic).
+#[must_use]
+pub fn pick_point(
+    grid: &PreparedGrid,
+    current: usize,
+    rates: &[f64],
+    max_batch: usize,
+    hysteresis: f64,
+) -> usize {
+    let mut best = current;
+    let mut best_load = predicted_load(grid, current, rates, max_batch);
+    for p in 0..grid.points.len() {
+        let load = predicted_load(grid, p, rates, max_batch);
+        if load < best_load {
+            best = p;
+            best_load = load;
+        }
+    }
+    if best != current {
+        let current_load = predicted_load(grid, current, rates, max_batch);
+        if best_load < current_load * (1.0 - hysteresis) {
+            return best;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::PreparedPoint;
+
+    fn grid(points: Vec<Vec<f64>>) -> PreparedGrid {
+        PreparedGrid {
+            models: (0..points[0].len()).map(|i| format!("m{i}")).collect(),
+            device: "test".to_string(),
+            points: points
+                .into_iter()
+                .map(|service| PreparedPoint {
+                    shares: vec![1.0 / service.len() as f64; service.len()],
+                    service_seconds: service.clone(),
+                    steady_seconds: service,
+                    objective_value: 0.0,
+                })
+                .collect(),
+            slos: vec![None, None],
+        }
+    }
+
+    #[test]
+    fn picks_the_point_matching_the_hot_tenant() {
+        // Point 0 favours tenant 1, point 1 is even, point 2 favours
+        // tenant 0 (service in seconds per request).
+        let g = grid(vec![vec![4e-3, 1e-3], vec![2e-3, 2e-3], vec![1e-3, 4e-3]]);
+        // Tenant 0 is hot: the controller must grant it the big share.
+        assert_eq!(pick_point(&g, 1, &[3000.0, 10.0], 4, 0.05), 2);
+        // Tenant 1 hot: the mirror point.
+        assert_eq!(pick_point(&g, 1, &[10.0, 3000.0], 4, 0.05), 0);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_switches() {
+        let g = grid(vec![vec![2e-3, 2e-3], vec![1.99e-3, 2.01e-3]]);
+        // Point 1 is 0.5% better for an all-tenant-0 load: under a 5%
+        // hysteresis the controller stays put.
+        assert_eq!(pick_point(&g, 0, &[1000.0, 0.0], 4, 0.05), 0);
+        // With hysteresis off it moves.
+        assert_eq!(pick_point(&g, 0, &[1000.0, 0.0], 4, 0.0), 1);
+    }
+
+    #[test]
+    fn idle_traffic_never_switches() {
+        let g = grid(vec![vec![2e-3, 2e-3], vec![1e-3, 4e-3]]);
+        assert_eq!(pick_point(&g, 0, &[0.0, 0.0], 4, 0.05), 0);
+    }
+
+    #[test]
+    fn ties_keep_the_current_point() {
+        let g = grid(vec![vec![2e-3, 2e-3], vec![2e-3, 2e-3]]);
+        assert_eq!(pick_point(&g, 1, &[100.0, 100.0], 4, 0.0), 1);
+    }
+}

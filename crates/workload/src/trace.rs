@@ -1,0 +1,749 @@
+//! Workload traces: per-tenant arrival processes and their parsing.
+//!
+//! A [`WorkloadSpec`] describes the traffic one simulation replays:
+//! one [`TenantTraffic`] per tenant (index-aligned with the co-plan's
+//! tenants) plus the shared horizon, seed, batching and queueing knobs.
+//! Specs come from three sources ([`parse_trace`]):
+//!
+//! * the builtin `bursty2` anti-phase burst trace (materialised from
+//!   the prepared grid's service latencies, see
+//!   [`crate::report::run_workload`]);
+//! * an inline `;`-separated spec string, one process per tenant:
+//!   `poisson:<rate>`, `burst:<base>:<peak>:<period>:<duty>[:<phase>]`,
+//!   `diurnal:<r1>/<r2>/...`, `replay:<t1>,<t2>,...`, each optionally
+//!   suffixed `@slo=<seconds>`;
+//! * a JSON trace file (see `docs/WORKLOAD.md` for the schema).
+//!
+//! All ingestion funnels through [`WorkloadSpec::sanitized`], which
+//! validates every number the way `GraphProfile::validate` does for
+//! latencies — non-finite rates and times are typed errors, not later
+//! panics — and clamps slightly-negative replay timestamps to `0.0`:
+//! the executor feeds arrival times straight into
+//! [`lcmm_sim::Channel::enqueue_span`], which panics on negative
+//! `ready`, so negatives must die here, at the boundary.
+
+use lcmm_core::LcmmError;
+use serde_json::Value;
+
+/// Default deterministic seed ("lcmm" in ASCII).
+pub const DEFAULT_SEED: u64 = 0x6c63_6d6d;
+
+/// Default simulated horizon, seconds.
+pub const DEFAULT_HORIZON: f64 = 1.0;
+
+/// Default per-tenant batch cap.
+pub const DEFAULT_MAX_BATCH: usize = 4;
+
+/// Default per-tenant admission-queue capacity.
+pub const DEFAULT_QUEUE_CAP: usize = 512;
+
+/// Hard cap on generated arrivals per tenant, so a typo'd rate fails
+/// fast instead of allocating gigabytes.
+const MAX_ARRIVALS: f64 = 1_000_000.0;
+
+/// A deterministic 64-bit LCG (Knuth's MMIX multiplier), the crate's
+/// only randomness source — no external RNG crate, bit-identical on
+/// every platform.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// A generator seeded with `seed` (pre-scrambled so nearby seeds
+    /// diverge immediately).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Self(seed ^ 0x9e37_79b9_7f4a_7c15);
+        rng.next_f64();
+        rng
+    }
+
+    /// The next uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as f64 / (1u64 << 31) as f64
+    }
+}
+
+/// How one tenant's requests arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `rate` requests/second.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate: f64,
+    },
+    /// Periodic on/off bursts: `peak` requests/second for the first
+    /// `duty` fraction of each `period`, `base` otherwise, with the
+    /// cycle shifted by `phase` seconds.
+    Burst {
+        /// Off-burst rate, requests/second.
+        base: f64,
+        /// In-burst rate, requests/second.
+        peak: f64,
+        /// Cycle length, seconds.
+        period: f64,
+        /// Fraction of each period spent at `peak`, in `[0, 1]`.
+        duty: f64,
+        /// Cycle shift, seconds.
+        phase: f64,
+    },
+    /// Piecewise-constant daily phases: the horizon is split into
+    /// `rates.len()` equal phases at the given rates.
+    Diurnal {
+        /// Per-phase rates, requests/second.
+        rates: Vec<f64>,
+    },
+    /// Replay explicit arrival timestamps (seconds from trace start).
+    Replay {
+        /// Arrival times; sorted and clamped to `>= 0` at ingestion.
+        times: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous rate at time `t` (replay traces have none).
+    fn rate_at(&self, t: f64, horizon: f64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Burst {
+                base,
+                peak,
+                period,
+                duty,
+                phase,
+            } => {
+                let pos = (t - phase).rem_euclid(*period) / period;
+                if pos < *duty {
+                    *peak
+                } else {
+                    *base
+                }
+            }
+            ArrivalProcess::Diurnal { rates } => {
+                let idx = ((t / horizon * rates.len() as f64) as usize).min(rates.len() - 1);
+                rates[idx]
+            }
+            ArrivalProcess::Replay { .. } => 0.0,
+        }
+    }
+
+    /// The peak rate, bounding the thinning envelope and the expected
+    /// arrival count.
+    fn peak_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Burst { base, peak, .. } => base.max(*peak),
+            ArrivalProcess::Diurnal { rates } => rates.iter().copied().fold(0.0, f64::max),
+            ArrivalProcess::Replay { times } => times.len() as f64,
+        }
+    }
+}
+
+/// One tenant's traffic: an arrival process plus an optional SLO.
+///
+/// Construct with [`TenantTraffic::new`] and the `with_*` builders
+/// (mirroring `LcmmOptions`); the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking callers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TenantTraffic {
+    /// How requests arrive.
+    pub process: ArrivalProcess,
+    /// Optional latency SLO in seconds; anchors the tenant's
+    /// SLO-violation curve (without it the curve is anchored at the
+    /// tenant's best-case service latency).
+    pub slo_seconds: Option<f64>,
+}
+
+impl TenantTraffic {
+    /// Traffic with no SLO.
+    #[must_use]
+    pub fn new(process: ArrivalProcess) -> Self {
+        Self {
+            process,
+            slo_seconds: None,
+        }
+    }
+
+    /// Returns a copy with a latency SLO in seconds.
+    #[must_use]
+    pub fn with_slo_seconds(mut self, slo: f64) -> Self {
+        self.slo_seconds = Some(slo);
+        self
+    }
+}
+
+/// A complete workload description: per-tenant traffic plus the shared
+/// simulation knobs.
+///
+/// Construct with [`WorkloadSpec::new`] and the `with_*` builders
+/// (mirroring `LcmmOptions`); the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking callers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct WorkloadSpec {
+    /// Per-tenant traffic, index-aligned with the co-plan's tenants.
+    pub tenants: Vec<TenantTraffic>,
+    /// Simulated horizon in seconds; arrivals stop here (queued work
+    /// still drains).
+    pub horizon_seconds: f64,
+    /// Seed for the arrival-process LCGs.
+    pub seed: u64,
+    /// Most requests served per batch; a batch occupies one service
+    /// latency regardless of its size — the batching win.
+    pub max_batch: usize,
+    /// Admission-queue capacity per tenant; arrivals beyond it are
+    /// dropped (and count as SLO violations).
+    pub queue_cap: usize,
+}
+
+impl WorkloadSpec {
+    /// A spec with the default horizon, seed, batch and queue knobs.
+    #[must_use]
+    pub fn new(tenants: Vec<TenantTraffic>) -> Self {
+        Self {
+            tenants,
+            horizon_seconds: DEFAULT_HORIZON,
+            seed: DEFAULT_SEED,
+            max_batch: DEFAULT_MAX_BATCH,
+            queue_cap: DEFAULT_QUEUE_CAP,
+        }
+    }
+
+    /// Returns a copy with a different horizon in seconds.
+    #[must_use]
+    pub fn with_horizon_seconds(mut self, horizon: f64) -> Self {
+        self.horizon_seconds = horizon;
+        self
+    }
+
+    /// Returns a copy with a different arrival seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different batch cap.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with a different admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap;
+        self
+    }
+
+    /// Validates every numeric field and normalises replay traces:
+    /// times are sorted and slightly-negative stamps (a zero-time burst
+    /// scheduled "at" t=0 by a generator with rounding error) are
+    /// clamped to `0.0` so they can never reach
+    /// [`lcmm_sim::Channel::enqueue_span`]'s negative-`ready` panic.
+    ///
+    /// # Errors
+    ///
+    /// [`LcmmError::InvalidRequest`] for non-finite or out-of-range
+    /// rates, times, duties or knobs.
+    pub fn sanitized(mut self) -> Result<Self, LcmmError> {
+        if self.tenants.is_empty() {
+            return Err(LcmmError::InvalidRequest(
+                "a workload needs at least one tenant".to_string(),
+            ));
+        }
+        if !(self.horizon_seconds.is_finite() && self.horizon_seconds > 0.0) {
+            return Err(LcmmError::InvalidRequest(format!(
+                "workload horizon {} must be positive and finite",
+                self.horizon_seconds
+            )));
+        }
+        if self.max_batch == 0 {
+            return Err(LcmmError::InvalidRequest(
+                "workload max_batch must be at least 1".to_string(),
+            ));
+        }
+        if self.queue_cap == 0 {
+            return Err(LcmmError::InvalidRequest(
+                "workload queue_cap must be at least 1".to_string(),
+            ));
+        }
+        for (i, tenant) in self.tenants.iter_mut().enumerate() {
+            let bad = |what: &str, v: f64| {
+                Err::<(), _>(LcmmError::InvalidRequest(format!(
+                    "tenant {i} {what} {v} must be non-negative and finite"
+                )))
+            };
+            match &mut tenant.process {
+                ArrivalProcess::Poisson { rate } => {
+                    if !(rate.is_finite() && *rate >= 0.0) {
+                        bad("poisson rate", *rate)?;
+                    }
+                }
+                ArrivalProcess::Burst {
+                    base,
+                    peak,
+                    period,
+                    duty,
+                    phase,
+                } => {
+                    for (what, v) in [("burst base", *base), ("burst peak", *peak)] {
+                        if !(v.is_finite() && v >= 0.0) {
+                            bad(what, v)?;
+                        }
+                    }
+                    if !(period.is_finite() && *period > 0.0) {
+                        return Err(LcmmError::InvalidRequest(format!(
+                            "tenant {i} burst period {period} must be positive and finite"
+                        )));
+                    }
+                    if !(duty.is_finite() && (0.0..=1.0).contains(duty)) {
+                        return Err(LcmmError::InvalidRequest(format!(
+                            "tenant {i} burst duty {duty} outside [0, 1]"
+                        )));
+                    }
+                    if !phase.is_finite() {
+                        bad("burst phase", *phase)?;
+                    }
+                }
+                ArrivalProcess::Diurnal { rates } => {
+                    if rates.is_empty() {
+                        return Err(LcmmError::InvalidRequest(format!(
+                            "tenant {i} diurnal trace has no phases"
+                        )));
+                    }
+                    for &r in rates.iter() {
+                        if !(r.is_finite() && r >= 0.0) {
+                            bad("diurnal rate", r)?;
+                        }
+                    }
+                }
+                ArrivalProcess::Replay { times } => {
+                    for t in times.iter_mut() {
+                        if !t.is_finite() {
+                            bad("replay time", *t)?;
+                        }
+                        if *t < 0.0 {
+                            *t = 0.0;
+                        }
+                    }
+                    times.sort_by(f64::total_cmp);
+                }
+            }
+            let expected = tenant.process.peak_rate() * self.horizon_seconds;
+            if expected > MAX_ARRIVALS {
+                return Err(LcmmError::InvalidRequest(format!(
+                    "tenant {i} would generate up to {expected:.0} arrivals (cap {MAX_ARRIVALS})"
+                )));
+            }
+            if let Some(slo) = tenant.slo_seconds {
+                if !(slo.is_finite() && slo > 0.0) {
+                    return Err(LcmmError::InvalidRequest(format!(
+                        "tenant {i} SLO {slo} must be positive and finite"
+                    )));
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Generates tenant `index`'s arrival times over the horizon —
+    /// sorted, non-negative, deterministic in `(seed, index)` only.
+    /// Stochastic processes use thinning against the peak rate, so a
+    /// tenant's arrivals do not depend on the other tenants at all.
+    #[must_use]
+    pub fn arrivals(&self, index: usize) -> Vec<f64> {
+        let tenant = &self.tenants[index];
+        if let ArrivalProcess::Replay { times } = &tenant.process {
+            return times
+                .iter()
+                .copied()
+                .filter(|&t| t <= self.horizon_seconds)
+                .collect();
+        }
+        let envelope = tenant.process.peak_rate();
+        if envelope <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = Lcg::new(
+            self.seed
+                ^ (index as u64)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    .wrapping_add(0x9e37_79b9),
+        );
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential gap at the envelope rate; 1 - u is in (0, 1].
+            t += -(1.0 - rng.next_f64()).ln() / envelope;
+            if t > self.horizon_seconds {
+                break;
+            }
+            let accept = rng.next_f64();
+            if accept * envelope < tenant.process.rate_at(t, self.horizon_seconds) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Where a `--trace` argument came from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// The builtin two-tenant anti-phase burst trace, materialised
+    /// against the prepared grid's service latencies.
+    Bursty2,
+    /// A fully specified workload (inline spec string or JSON file).
+    Spec(WorkloadSpec),
+}
+
+/// Parses a `--trace` argument: `bursty2`, an inline `;`-separated
+/// spec (recognised by its `:`), or a JSON trace-file path.
+///
+/// `tenant_count` is the number of co-planned models; inline specs and
+/// files must provide exactly one process per tenant.
+///
+/// # Errors
+///
+/// [`LcmmError::InvalidRequest`] for malformed specs, unreadable
+/// files, tenant-count mismatches, or invalid numbers.
+pub fn parse_trace(arg: &str, tenant_count: usize) -> Result<TraceSource, LcmmError> {
+    if arg == "bursty2" {
+        if tenant_count != 2 {
+            return Err(LcmmError::InvalidRequest(format!(
+                "trace \"bursty2\" needs exactly 2 models, got {tenant_count}"
+            )));
+        }
+        return Ok(TraceSource::Bursty2);
+    }
+    let spec = if arg.contains(':') {
+        parse_inline(arg)?
+    } else {
+        let text = std::fs::read_to_string(arg).map_err(|e| {
+            LcmmError::InvalidRequest(format!("trace file {arg:?} unreadable: {e}"))
+        })?;
+        parse_trace_json(&text)?
+    };
+    if spec.tenants.len() != tenant_count {
+        return Err(LcmmError::InvalidRequest(format!(
+            "trace has {} tenant(s) but {tenant_count} model(s) were given",
+            spec.tenants.len()
+        )));
+    }
+    Ok(TraceSource::Spec(spec.sanitized()?))
+}
+
+/// Parses an inline `;`-separated spec string.
+fn parse_inline(arg: &str) -> Result<WorkloadSpec, LcmmError> {
+    let tenants = arg
+        .split(';')
+        .map(parse_process)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WorkloadSpec::new(tenants))
+}
+
+/// Parses one tenant's process spec, e.g. `poisson:2000@slo=0.01`.
+///
+/// # Errors
+///
+/// [`LcmmError::InvalidRequest`] for unknown forms or unparsable
+/// numbers.
+pub fn parse_process(spec: &str) -> Result<TenantTraffic, LcmmError> {
+    let bad = |msg: String| LcmmError::InvalidRequest(msg);
+    let (body, slo) = match spec.split_once('@') {
+        Some((body, tail)) => {
+            let slo = tail
+                .strip_prefix("slo=")
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or_else(|| bad(format!("bad process suffix {tail:?} (want slo=<seconds>)")))?;
+            (body, Some(slo))
+        }
+        None => (spec, None),
+    };
+    let num = |s: &str, what: &str| {
+        s.parse::<f64>()
+            .map_err(|_| bad(format!("bad {what} {s:?} in process {spec:?}")))
+    };
+    let (kind, args) = body
+        .split_once(':')
+        .ok_or_else(|| bad(format!("bad process {spec:?} (want kind:args)")))?;
+    let process = match kind {
+        "poisson" => ArrivalProcess::Poisson {
+            rate: num(args, "rate")?,
+        },
+        "burst" => {
+            let parts: Vec<&str> = args.split(':').collect();
+            if !(4..=5).contains(&parts.len()) {
+                return Err(bad(format!(
+                    "bad burst spec {spec:?} (want burst:<base>:<peak>:<period>:<duty>[:<phase>])"
+                )));
+            }
+            ArrivalProcess::Burst {
+                base: num(parts[0], "base")?,
+                peak: num(parts[1], "peak")?,
+                period: num(parts[2], "period")?,
+                duty: num(parts[3], "duty")?,
+                phase: if parts.len() == 5 {
+                    num(parts[4], "phase")?
+                } else {
+                    0.0
+                },
+            }
+        }
+        "diurnal" => ArrivalProcess::Diurnal {
+            rates: args
+                .split('/')
+                .map(|s| num(s, "rate"))
+                .collect::<Result<_, _>>()?,
+        },
+        "replay" => ArrivalProcess::Replay {
+            times: args
+                .split(',')
+                .map(|s| num(s, "time"))
+                .collect::<Result<_, _>>()?,
+        },
+        other => {
+            return Err(bad(format!(
+                "unknown process kind {other:?} (want poisson|burst|diurnal|replay)"
+            )))
+        }
+    };
+    let traffic = TenantTraffic::new(process);
+    Ok(match slo {
+        Some(s) => traffic.with_slo_seconds(s),
+        None => traffic,
+    })
+}
+
+/// Parses the JSON trace-file schema (see `docs/WORKLOAD.md`).
+fn parse_trace_json(text: &str) -> Result<WorkloadSpec, LcmmError> {
+    let bad = |msg: String| LcmmError::InvalidRequest(msg);
+    let root: Value = serde_json::from_str(text)
+        .map_err(|e| bad(format!("trace file is not valid JSON: {e}")))?;
+    let rows = root
+        .get("tenants")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("trace file needs a \"tenants\" array".to_string()))?;
+    let mut tenants = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let process = if let Some(s) = row.get("process").and_then(Value::as_str) {
+            parse_process(s)?.process
+        } else if let Some(times) = row.get("times").and_then(Value::as_array) {
+            ArrivalProcess::Replay {
+                times: times
+                    .iter()
+                    .map(|t| {
+                        t.as_f64()
+                            .ok_or_else(|| bad(format!("tenant {i}: non-numeric replay time")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            }
+        } else {
+            return Err(bad(format!(
+                "tenant {i} needs a \"process\" string or a \"times\" array"
+            )));
+        };
+        let mut traffic = TenantTraffic::new(process);
+        if let Some(slo) = row.get("slo_seconds").and_then(Value::as_f64) {
+            traffic = traffic.with_slo_seconds(slo);
+        }
+        tenants.push(traffic);
+    }
+    let mut spec = WorkloadSpec::new(tenants);
+    if let Some(h) = root.get("horizon_seconds").and_then(Value::as_f64) {
+        spec = spec.with_horizon_seconds(h);
+    }
+    if let Some(s) = root.get("seed").and_then(Value::as_u64) {
+        spec = spec.with_seed(s);
+    }
+    if let Some(b) = root.get("max_batch").and_then(Value::as_u64) {
+        spec = spec.with_max_batch(b as usize);
+    }
+    if let Some(q) = root.get("queue_cap").and_then(Value::as_u64) {
+        spec = spec.with_queue_cap(q as usize);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_uniformish() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05, "mean {}", sum / 1000.0);
+    }
+
+    #[test]
+    fn poisson_arrival_count_tracks_rate() {
+        let spec = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Poisson {
+            rate: 1000.0,
+        })])
+        .with_horizon_seconds(2.0);
+        let arrivals = spec.arrivals(0);
+        assert!((1600..2400).contains(&arrivals.len()), "{}", arrivals.len());
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| (0.0..=2.0).contains(&t)));
+    }
+
+    #[test]
+    fn burst_concentrates_arrivals_in_the_duty_window() {
+        let spec = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Burst {
+            base: 10.0,
+            peak: 2000.0,
+            period: 1.0,
+            duty: 0.25,
+            phase: 0.0,
+        })]);
+        let arrivals = spec.arrivals(0);
+        let in_burst = arrivals.iter().filter(|&&t| t < 0.25).count();
+        assert!(
+            in_burst as f64 > 0.9 * arrivals.len() as f64,
+            "{in_burst}/{}",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_phases_shift_load() {
+        let spec = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Diurnal {
+            rates: vec![2000.0, 0.0],
+        })]);
+        let arrivals = spec.arrivals(0);
+        assert!(!arrivals.is_empty());
+        assert!(arrivals.iter().all(|&t| t < 0.5 + 1e-9));
+    }
+
+    #[test]
+    fn replay_clamps_negative_times_to_zero() {
+        // Regression: a zero-time burst at t=0 with rounding jitter —
+        // many arrivals at (or epsilon below) 0.0 must sanitise to
+        // exactly 0.0, never reaching Channel::enqueue_span negative.
+        let spec = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Replay {
+            times: vec![-1e-12, 0.0, -0.5, 0.25, 0.0],
+        })])
+        .sanitized()
+        .expect("negatives are clamped, not rejected");
+        let arrivals = spec.arrivals(0);
+        assert_eq!(arrivals, vec![0.0, 0.0, 0.0, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn sanitize_rejects_non_finite_numbers() {
+        let bad = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Poisson {
+            rate: f64::NAN,
+        })]);
+        assert!(matches!(bad.sanitized(), Err(LcmmError::InvalidRequest(_))));
+        let bad = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Replay {
+            times: vec![f64::INFINITY],
+        })]);
+        assert!(matches!(bad.sanitized(), Err(LcmmError::InvalidRequest(_))));
+        let bad = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Poisson {
+            rate: 1.0,
+        })])
+        .with_horizon_seconds(f64::INFINITY);
+        assert!(matches!(bad.sanitized(), Err(LcmmError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn sanitize_caps_arrival_explosions() {
+        let bad = WorkloadSpec::new(vec![TenantTraffic::new(ArrivalProcess::Poisson {
+            rate: 1e12,
+        })]);
+        assert!(matches!(bad.sanitized(), Err(LcmmError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn inline_specs_parse_every_form() {
+        let src = parse_trace(
+            "poisson:100@slo=0.01;burst:5:50:1:0.5;diurnal:1/2/3;replay:0.0,0.5",
+            4,
+        )
+        .expect("valid inline spec");
+        let TraceSource::Spec(spec) = src else {
+            panic!("inline spec, not builtin");
+        };
+        assert_eq!(spec.tenants.len(), 4);
+        assert_eq!(spec.tenants[0].slo_seconds, Some(0.01));
+        assert!(matches!(
+            spec.tenants[1].process,
+            ArrivalProcess::Burst { .. }
+        ));
+        assert!(matches!(
+            spec.tenants[2].process,
+            ArrivalProcess::Diurnal { .. }
+        ));
+        assert!(matches!(
+            spec.tenants[3].process,
+            ArrivalProcess::Replay { .. }
+        ));
+    }
+
+    #[test]
+    fn inline_spec_tenant_count_must_match() {
+        assert!(matches!(
+            parse_trace("poisson:100", 2),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_trace("bursty2", 3),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_trace("bursty2", 2),
+            Ok(TraceSource::Bursty2)
+        ));
+    }
+
+    #[test]
+    fn json_trace_files_parse() {
+        let text = r#"{
+            "horizon_seconds": 0.5,
+            "seed": 9,
+            "max_batch": 8,
+            "queue_cap": 32,
+            "tenants": [
+                {"process": "poisson:200", "slo_seconds": 0.02},
+                {"times": [0.0, 0.1, 0.2]}
+            ]
+        }"#;
+        let spec = parse_trace_json(text).expect("valid trace json");
+        assert_eq!(spec.horizon_seconds, 0.5);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.max_batch, 8);
+        assert_eq!(spec.queue_cap, 32);
+        assert_eq!(spec.tenants.len(), 2);
+        assert_eq!(spec.tenants[0].slo_seconds, Some(0.02));
+    }
+
+    #[test]
+    fn unknown_process_kinds_are_typed_errors() {
+        assert!(matches!(
+            parse_process("pareto:1.0"),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_process("poisson:fast"),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_process("burst:1:2"),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+    }
+}

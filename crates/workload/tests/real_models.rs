@@ -1,0 +1,115 @@
+//! Real-model acceptance tests: the bursty two-tenant trace against
+//! actually co-planned zoo networks.
+//!
+//! These are the regression teeth behind the workload subsystem's two
+//! headline claims: byte-identical reports at any `--jobs`, and an
+//! adaptive controller that strictly beats *every* static share of the
+//! grid on the builtin bursty trace.
+
+use lcmm_core::Harness;
+use lcmm_fpga::{Device, Precision};
+use lcmm_multi::{CoplanOptions, TenantSpec};
+use lcmm_workload::{run_workload, ControllerConfig};
+use serde_json::Value;
+
+fn tenants(models: &[&str]) -> Vec<TenantSpec> {
+    models
+        .iter()
+        .map(|&name| {
+            let graph = lcmm_graph::zoo::by_name(name).expect("zoo model");
+            TenantSpec::new(name.to_string(), graph, Precision::Fix16)
+        })
+        .collect()
+}
+
+#[test]
+fn reports_are_byte_identical_across_jobs() {
+    let device = Device::vu9p();
+    let tenants = tenants(&["mobilenet", "alexnet"]);
+    let controller = ControllerConfig::default().with_enabled(true);
+    let opts = CoplanOptions::default().with_search_steps(4);
+    let lines: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let harness = Harness::new(jobs);
+            let report = run_workload(&harness, &device, &tenants, "bursty2", &controller, &opts)
+                .expect("bursty2 runs");
+            serde_json::to_string(&report).expect("report serialises")
+        })
+        .collect();
+    assert_eq!(lines[0], lines[1], "--jobs must not change a single byte");
+}
+
+#[test]
+fn controller_beats_every_static_share_on_bursty2() {
+    let harness = Harness::new(4);
+    let device = Device::vu9p();
+    let tenants = tenants(&["mobilenet", "alexnet"]);
+    let controller = ControllerConfig::default().with_enabled(true);
+    let opts = CoplanOptions::default().with_search_steps(4);
+    let report = run_workload(&harness, &device, &tenants, "bursty2", &controller, &opts)
+        .expect("bursty2 runs");
+    assert_eq!(
+        report.get("controller_beats_best_static"),
+        Some(&Value::Bool(true)),
+        "the adaptive run must strictly beat the best static share"
+    );
+    // "Beats best" must mean beats *all*: check the full grid.
+    let worst = report
+        .get("worst_p99_seconds")
+        .and_then(Value::as_f64)
+        .expect("worst p99");
+    let grid = report.get("grid").and_then(Value::as_array).expect("grid");
+    assert!(grid.len() >= 3, "steps 4 must yield at least 3 shares");
+    for (i, row) in grid.iter().enumerate() {
+        let static_worst = row
+            .get("worst_p99_seconds")
+            .and_then(Value::as_f64)
+            .expect("grid row p99");
+        assert!(
+            worst < static_worst,
+            "static share {i} ({static_worst}) not beaten by the controller ({worst})"
+        );
+    }
+    // The controller must actually have acted, within budget.
+    let replans = report["controller"]
+        .get("replans")
+        .and_then(Value::as_u64)
+        .expect("replans");
+    assert!(replans >= 1, "the controller never switched");
+    assert!(replans <= 8, "replan budget overrun");
+}
+
+#[test]
+fn disabling_the_controller_reports_the_best_static_run() {
+    let harness = Harness::new(2);
+    let device = Device::vu9p();
+    let tenants = tenants(&["alexnet", "squeezenet"]);
+    let controller = ControllerConfig::default().with_enabled(false);
+    let opts = CoplanOptions::default().with_search_steps(2);
+    let report = run_workload(
+        &harness,
+        &device,
+        &tenants,
+        "poisson:40;poisson:40",
+        &controller,
+        &opts,
+    )
+    .expect("poisson pair runs");
+    assert_eq!(
+        report.get("controller_beats_best_static"),
+        Some(&Value::Bool(false))
+    );
+    let worst = report
+        .get("worst_p99_seconds")
+        .and_then(Value::as_f64)
+        .expect("worst p99");
+    let best_grid = report
+        .get("grid")
+        .and_then(Value::as_array)
+        .expect("grid")
+        .iter()
+        .filter_map(|row| row.get("worst_p99_seconds").and_then(Value::as_f64))
+        .fold(f64::MAX, f64::min);
+    assert_eq!(worst, best_grid, "static mode must report the best share");
+}

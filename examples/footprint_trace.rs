@@ -61,10 +61,7 @@ fn main() {
     // LCMM: the DNNK-selected tensors live on chip.
     let profile = lcmm.design.profile(&network);
     let sim = Simulator::new(&network, &profile);
-    let config = SimConfig {
-        prefetch: lcmm.prefetch.clone(),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default().with_prefetch(lcmm.prefetch.clone());
     let report = sim.run(&lcmm.residency, &config);
     let lcmm_fp = Footprint::build(&network, &report, &lcmm.residency, &lcmm.prefetch, &focus);
     print_footprint("LCMM (layer conscious memory management)", &lcmm_fp);

@@ -19,7 +19,10 @@
 //!   model;
 //! * [`multi`] — multi-tenant co-planning: N networks sharing one
 //!   device through partitioned resources, a joint DNNK knapsack over
-//!   the shared SRAM pool, and cross-tenant DRAM-contention estimates.
+//!   the shared SRAM pool, and cross-tenant DRAM-contention estimates;
+//! * [`workload`] — trace-driven traffic simulation over a co-planned
+//!   share grid: seeded arrival processes, admission and batching, and
+//!   an adaptive controller that re-partitions shares online.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use lcmm_graph as graph;
 pub use lcmm_multi as multi;
 pub use lcmm_serve as serve;
 pub use lcmm_sim as sim;
+pub use lcmm_workload as workload;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
@@ -70,4 +74,7 @@ pub mod prelude {
     pub use lcmm_multi::{coplan, Coplan, CoplanOptions, TenantSpec};
     pub use lcmm_serve::{Server, ServerConfig, WireRequest, WireResponse};
     pub use lcmm_sim::{SimConfig, Simulator};
+    pub use lcmm_workload::{
+        run_workload, ArrivalProcess, ControllerConfig, TenantTraffic, WorkloadSpec,
+    };
 }

@@ -60,12 +60,10 @@ fn prefetch_stalls_are_bounded() {
     let (_, lcmm) = compare(&network, &device, Precision::Fix16);
     let profile = lcmm.design.profile(&network);
     let sim = Simulator::new(&network, &profile);
-    let config = SimConfig {
-        inferences: 2,
-        weight_classes: lcmm::sim::validate::weight_classes(&lcmm),
-        prefetch: lcmm.prefetch.clone(),
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default()
+        .with_inferences(2)
+        .with_weight_classes(lcmm::sim::validate::weight_classes(&lcmm))
+        .with_prefetch(lcmm.prefetch.clone());
     let report = sim.run(&lcmm.residency, &config);
     assert!(
         report.prefetch_stall < 0.25 * report.total_latency,
