@@ -47,8 +47,8 @@ for cmd in summary table1 fig8; do
   fi
 done
 
-echo "==> differential audit: grid + repro corpus + 8 random seeds + tiny-SRAM streaming"
-"$bin" audit --seeds 8 --tiny-sram 4 --json >/tmp/ci_audit.out 2>/dev/null
+echo "==> differential audit: grid + repro corpus + 8 random seeds + tiny-SRAM streaming + fused plans"
+"$bin" audit --seeds 8 --tiny-sram 4 --fusion 2 --json >/tmp/ci_audit.out 2>/dev/null
 
 # AutoWS gate: the budget-sweep study at two skewed (tiny) budgets must
 # be byte-identical across --jobs and match its goldens — one
@@ -72,6 +72,27 @@ for model in alexnet squeezenet; do
     exit 1
   fi
 done
+
+# Fusion gate: the fused-layer study on the shortcut-heavy zoo models
+# at a 1/8× budget must be byte-identical across --jobs and match its
+# golden — the golden locks in cells where fusion strictly reduces both
+# latency and transfer time (see docs/FUSION.md).
+echo "==> sweep-fusion: 1/8x budget vs checks/golden/fusion_1.json across --jobs"
+for jobs in 1 4; do
+  {
+    "$bin" sweep-fusion --model resnet50 --fractions 1/8 --json --jobs "$jobs"
+    "$bin" sweep-fusion --model mobilenet --fractions 1/8 --json --jobs "$jobs"
+  } >"/tmp/ci_fusion_j$jobs.json" 2>/dev/null
+done
+if ! cmp -s /tmp/ci_fusion_j1.json /tmp/ci_fusion_j4.json; then
+  echo "FAIL: 'sweep-fusion' output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! cmp -s /tmp/ci_fusion_j1.json checks/golden/fusion_1.json; then
+  echo "FAIL: sweep-fusion differs from checks/golden/fusion_1.json" >&2
+  diff checks/golden/fusion_1.json /tmp/ci_fusion_j1.json >&2 || true
+  exit 1
+fi
 
 # Multi-tenant smoke gate: co-plan two zoo networks through the split
 # search, require byte-identical output across --jobs, and diff the

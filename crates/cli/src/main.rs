@@ -85,6 +85,7 @@ fn main() -> ExitCode {
         "calibrate" => report::calibrate_cmd::run(&opts),
         "summary" => report::summary::run(&opts, &harness),
         "sweep-budgets" => report::sweep_budgets::run(&opts, &harness),
+        "sweep-fusion" => report::sweep_fusion::run(&opts, &harness),
         "export" => report::export::run(&opts),
         "manifest" => report::manifest_cmd::run(&opts),
         "trace" => report::trace_cmd::run(&opts),
@@ -124,8 +125,9 @@ options:
   --seeds <N>          audit: number of seeded random graphs (default 8)
   --tiny-sram <N>      audit: tiny-SRAM streaming cases (default 2)
   --repros <dir>       audit: repro corpus directory (default checks/repros)
-  --fractions <list>   sweep-budgets: comma-separated budget fractions,
-                       e.g. 1/16,1/8,1 (default 1/16,1/8,1/4,1/2,1)
+  --fractions <list>   sweep-budgets/sweep-fusion: comma-separated budget
+                       fractions, e.g. 1/16,1/8,1 (default 1/16,1/8,1/4,1/2,1)
+  --fusion <N>         audit: fused-plan audit cases (default 2, 0 disables)
 
 commands:
   roofline      Fig. 2(a)  per-layer roofline characterisation
@@ -149,6 +151,8 @@ commands:
   energy        S5         energy breakdown of UMM vs LCMM
   sweep-budgets S6         AutoWS study: UMM vs pinned vs streaming
                            LCMM across SRAM budgets (see --fractions)
+  sweep-fusion  S7         fused-layer study: fusion off vs auto across
+                           SRAM budgets (see --fractions)
   calibrate     S0         re-derive the DDR-efficiency calibration
   summary                  model zoo statistics
   export                   dump a model as DOT (or JSON with --json)

@@ -26,8 +26,11 @@ pub struct Opts {
     /// `--repros <dir>` — repro corpus directory (audit command).
     pub repros: Option<String>,
     /// `--fractions <a/b,c/d,…>` — SRAM budget fractions
-    /// (sweep-budgets command).
+    /// (sweep-budgets / sweep-fusion commands).
     pub fractions: Option<Vec<(u64, u64)>>,
+    /// `--fusion <N>` — fused-plan audit cases (audit command; 0
+    /// disables the fused batch).
+    pub fusion: Option<usize>,
 }
 
 /// Parses one budget fraction: `a/b` (exact rational) or a bare
@@ -104,6 +107,13 @@ impl Opts {
                 }
                 "--repros" => {
                     opts.repros = Some(it.next().ok_or("--repros needs a value")?.clone());
+                }
+                "--fusion" => {
+                    let v = it.next().ok_or("--fusion needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--fusion needs a non-negative integer, got {v:?}"))?;
+                    opts.fusion = Some(n);
                 }
                 "--fractions" => {
                     let v = it.next().ok_or("--fractions needs a value")?;
@@ -208,6 +218,8 @@ mod tests {
         assert!(Opts::parse(&s(&["--repros"])).is_err());
         assert!(Opts::parse(&s(&["--tiny-sram"])).is_err());
         assert!(Opts::parse(&s(&["--tiny-sram", "x"])).is_err());
+        assert!(Opts::parse(&s(&["--fusion"])).is_err());
+        assert!(Opts::parse(&s(&["--fusion", "x"])).is_err());
         assert!(Opts::parse(&s(&["--fractions"])).is_err());
         assert!(Opts::parse(&s(&["--fractions", "1/0"])).is_err());
         assert!(Opts::parse(&s(&["--fractions", "0/4"])).is_err());
@@ -216,13 +228,22 @@ mod tests {
 
     #[test]
     fn parses_fractions_and_tiny_sram() {
-        let o = Opts::parse(&s(&["--fractions", "1/16, 1/8,1", "--tiny-sram", "2"])).unwrap();
+        let o = Opts::parse(&s(&[
+            "--fractions",
+            "1/16, 1/8,1",
+            "--tiny-sram",
+            "2",
+            "--fusion",
+            "0",
+        ]))
+        .unwrap();
         assert_eq!(
             o.fractions,
             Some(vec![(1, 16), (1, 8), (1, 1)]),
             "exact rational parsing"
         );
         assert_eq!(o.tiny_sram, Some(2));
+        assert_eq!(o.fusion, Some(0));
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub fn run(opts: &Opts) -> Result<(), String> {
     if let Some(tiny_sram) = opts.tiny_sram {
         options = options.with_tiny_sram_seeds(tiny_sram);
     }
+    if let Some(fused) = opts.fusion {
+        options = options.with_fused_cases(fused);
+    }
     if let Some(dir) = &opts.repros {
         options = options.with_repro_dir(dir.clone());
     }

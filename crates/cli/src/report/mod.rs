@@ -14,6 +14,7 @@ pub mod manifest_cmd;
 pub mod sensitivity;
 pub mod summary;
 pub mod sweep_budgets;
+pub mod sweep_fusion;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -59,6 +60,10 @@ pub fn all(opts: &Opts, harness: &Harness) -> Result<(), String> {
         (
             "weights streaming budget sweep (S6)",
             Cmd::Shared(sweep_budgets::run),
+        ),
+        (
+            "fused-layer planning sweep (S7)",
+            Cmd::Shared(sweep_fusion::run),
         ),
     ] {
         println!("\n================ {name} ================\n");

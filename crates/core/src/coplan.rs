@@ -78,8 +78,17 @@ pub fn tenant_gain_curve(
     options: &LcmmOptions,
     pool_bytes: u64,
 ) -> GainCurve {
-    let evaluator = Evaluator::new(graph, profile);
-    let front = build_front_end(graph, profile, &evaluator, design, options, None)
+    // `profile` must be the tenant's unfused latency table: fusion is
+    // derived here (exactly as the pipeline and `PlanArtifacts` do), so
+    // fused tenants contribute fusion-aware gain curves to the joint
+    // capacity DP without the caller doing anything.
+    let prepared = crate::fusion::prepare(graph, profile, design, options);
+    let (fusion, effective): (crate::fusion::FusionPlan, &GraphProfile) = match &prepared {
+        Some((plan, fused)) => (plan.clone(), fused),
+        None => (crate::fusion::FusionPlan::default(), profile),
+    };
+    let evaluator = Evaluator::new(graph, effective);
+    let front = build_front_end(graph, effective, &evaluator, design, options, &fusion, None)
         .expect("the front end is infallible without a cancel token");
     curve_from_front_end(&evaluator, &front, options.weight_streaming, pool_bytes)
 }

@@ -48,6 +48,13 @@ use std::time::Instant;
 pub struct PlanArtifacts {
     design: AccelDesign,
     profile: Arc<GraphProfile>,
+    /// The fused latency table when `options.fusion` selected groups;
+    /// `None` otherwise. Replans and gain curves run against this
+    /// (falling back to `profile`), while [`Self::profile`] keeps
+    /// returning the unfused table — the form every external consumer
+    /// (e.g. [`crate::tenant_gain_curve`], which derives fusion itself)
+    /// expects.
+    fused_profile: Option<Arc<GraphProfile>>,
     options: LcmmOptions,
     front: FrontEnd,
     graph_name: String,
@@ -84,11 +91,20 @@ impl PlanArtifacts {
         cancel: Option<&CancelToken>,
     ) -> Result<Self, LcmmError> {
         let options = options.with_tensor_budget(None);
-        let evaluator = Evaluator::new(graph, &profile);
-        let front = build_front_end(graph, &profile, &evaluator, &design, &options, cancel)?;
+        let (fusion, fused_profile) =
+            match crate::fusion::prepare(graph, &profile, &design, &options) {
+                Some((plan, fused)) => (plan, Some(Arc::new(fused))),
+                None => (crate::fusion::FusionPlan::default(), None),
+            };
+        let effective = fused_profile.as_ref().unwrap_or(&profile);
+        let evaluator = Evaluator::new(graph, effective);
+        let front = build_front_end(
+            graph, effective, &evaluator, &design, &options, &fusion, cancel,
+        )?;
         Ok(Self {
             design,
             profile,
+            fused_profile,
             options,
             front,
             graph_name: graph.name().to_string(),
@@ -104,10 +120,23 @@ impl PlanArtifacts {
         &self.design
     }
 
-    /// The graph profile the artifacts were built against.
+    /// The (unfused) graph profile the artifacts were built against.
     #[must_use]
     pub fn profile(&self) -> &Arc<GraphProfile> {
         &self.profile
+    }
+
+    /// The latency table replays actually evaluate: the fused table
+    /// when fusion selected groups, the base profile otherwise.
+    fn effective_profile(&self) -> &Arc<GraphProfile> {
+        self.fused_profile.as_ref().unwrap_or(&self.profile)
+    }
+
+    /// The fused groups the artifacts were built under (empty when
+    /// fusion is off or selected nothing).
+    #[must_use]
+    pub fn fusion(&self) -> &crate::fusion::FusionPlan {
+        &self.front.fusion
     }
 
     /// The normalised options (`tensor_budget` is always `None` here).
@@ -150,11 +179,12 @@ impl PlanArtifacts {
         profiling::reset_counters();
         let t_total = Instant::now();
         let options = self.options.with_tensor_budget(budget);
-        let evaluator = Evaluator::new(graph, &self.profile);
+        let profile = self.effective_profile();
+        let evaluator = Evaluator::new(graph, profile);
         run_back_end(
             graph,
             self.design.clone(),
-            &self.profile,
+            profile,
             &evaluator,
             &options,
             self.front.clone(),
@@ -183,7 +213,7 @@ impl PlanArtifacts {
         let curve = if let Some(wider) = curves.values().find(|c| c.units() >= units) {
             GainCurve::from_values(wider.values()[..=units].to_vec())
         } else {
-            let evaluator = Evaluator::new(graph, &self.profile);
+            let evaluator = Evaluator::new(graph, self.effective_profile());
             let buffers = self.colored.get_or_init(|| initial_coloring(&self.front));
             curve_from_buffers(
                 &evaluator,

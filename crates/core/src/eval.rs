@@ -212,6 +212,40 @@ impl<'a> Evaluator<'a> {
             .sum()
     }
 
+    /// Total off-chip transfer time per inference under `residency`,
+    /// in seconds: the sum over all nodes of the non-resident input,
+    /// weight and output terms. Unlike Eq. 1 this does not take the
+    /// per-layer max — it measures the data actually moved across the
+    /// DRAM interface (multiply by the design's interface bandwidth to
+    /// get bytes), which is the traffic metric `lcmm sweep-fusion`
+    /// compares plans on.
+    #[must_use]
+    pub fn transfer_seconds(&self, residency: &Residency) -> f64 {
+        self.graph
+            .iter()
+            .map(|n| {
+                let row = self.profile.node(n.id());
+                let if_term: f64 = row
+                    .inputs
+                    .iter()
+                    .filter(|(src, _)| !residency.contains(ValueId::Feature(*src)))
+                    .map(|(_, t)| *t)
+                    .sum();
+                let wt_term = if residency.contains(ValueId::Weight(n.id())) {
+                    0.0
+                } else {
+                    row.weight
+                };
+                let of_term = if residency.contains(ValueId::Feature(n.id())) {
+                    0.0
+                } else {
+                    row.output
+                };
+                if_term + wt_term + of_term
+            })
+            .sum()
+    }
+
     /// Marginal latency reduction of adding `values` to `residency`
     /// (non-negative; only the nodes touching the values are revisited).
     ///

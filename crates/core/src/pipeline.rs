@@ -5,6 +5,7 @@ use crate::alloc::{dnnk, dnnk_iterative, exhaustive, greedy, AllocProblem};
 use crate::cancel::{check_opt, CancelToken};
 use crate::error::LcmmError;
 use crate::eval::{Evaluator, Residency};
+use crate::fusion::{FusionMode, FusionPlan};
 use crate::interference::{InterferenceGraph, VirtualBuffer};
 use crate::liveness::{feature_lifespans, Schedule};
 use crate::prefetch::{PrefetchPlan, StreamingMode, WeightMode};
@@ -64,6 +65,12 @@ pub struct LcmmOptions {
     /// streaming per weight, [`StreamingMode::Pinned`] forces the
     /// mode-aware path to pin everything (bit-identical to `Off`).
     pub weight_streaming: StreamingMode,
+    /// Fused-layer planning: [`FusionMode::Off`] (default) is the
+    /// legacy per-layer pipeline, [`FusionMode::Auto`] runs the fusion
+    /// grouping pass ahead of liveness, eliminating intermediate
+    /// tensors inside fused groups at the cost of bounded halo
+    /// recomputation.
+    pub fusion: FusionMode,
 }
 
 impl Default for LcmmOptions {
@@ -76,6 +83,7 @@ impl Default for LcmmOptions {
             frequency_hz: None,
             tensor_budget: None,
             weight_streaming: StreamingMode::Off,
+            fusion: FusionMode::Off,
         }
     }
 }
@@ -149,6 +157,13 @@ impl LcmmOptions {
         self.weight_streaming = weight_streaming;
         self
     }
+
+    /// Returns a copy with the given fused-layer planning mode.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
+        self
+    }
 }
 
 /// Default LCMM clocks (Table 1): fixed-point 180 MHz, float 160 MHz.
@@ -189,6 +204,11 @@ pub struct LcmmResult {
     /// Memory-bound layers whose latency improved — the numerator of
     /// the paper's POL metric (Table 2).
     pub layers_benefiting: usize,
+    /// The fused groups this plan executes under (empty unless
+    /// [`LcmmOptions::fusion`] selected any). The result's latency,
+    /// residency and buffers are all expressed against the fused
+    /// latency table.
+    pub fusion: FusionPlan,
     /// Per-pass timings and counters of this run.
     pub stats: PassStats,
 }
@@ -335,12 +355,29 @@ impl Pipeline {
         check_opt(cancel)?;
         profiling::reset_counters();
         let t_total = Instant::now();
-        let evaluator = Evaluator::new(graph, profile);
-        let front = build_front_end(graph, profile, &evaluator, &design, &self.options, cancel)?;
+        // Fusion is derived here, from the unfused profile, and never
+        // re-derived downstream (see `crate::fusion` on why re-fusing a
+        // fused table is unsound). With fusion off or empty the
+        // original profile flows through untouched.
+        let prepared = crate::fusion::prepare(graph, profile, &design, &self.options);
+        let (fusion, effective): (FusionPlan, &GraphProfile) = match &prepared {
+            Some((plan, fused)) => (plan.clone(), fused),
+            None => (FusionPlan::default(), profile),
+        };
+        let evaluator = Evaluator::new(graph, effective);
+        let front = build_front_end(
+            graph,
+            effective,
+            &evaluator,
+            &design,
+            &self.options,
+            &fusion,
+            cancel,
+        )?;
         run_back_end(
             graph,
             design,
-            profile,
+            effective,
             &evaluator,
             &self.options,
             front,
@@ -363,6 +400,10 @@ pub(crate) struct FrontEnd {
     pub weight_graph: InterferenceGraph,
     /// The weight prefetch plan (pass 2).
     pub prefetch: PrefetchPlan,
+    /// The fused groups the front end was built under (empty when
+    /// fusion is off or selected nothing). Budget-invariant, like
+    /// everything else here, so delta replays carry it for free.
+    pub fusion: FusionPlan,
     /// Wall clock of pass 1, seconds.
     pub liveness_seconds: f64,
     /// Wall clock of pass 2, seconds.
@@ -380,18 +421,28 @@ pub(crate) fn build_front_end(
     evaluator: &Evaluator<'_>,
     design: &AccelDesign,
     options: &LcmmOptions,
+    fusion: &FusionPlan,
     cancel: Option<&CancelToken>,
 ) -> Result<FrontEnd, LcmmError> {
     let values = ValueTable::build_batched(graph, profile, design.precision, design.batch);
     let schedule = Schedule::new(graph);
 
     // --- Pass 1: feature buffer reuse -------------------------------
+    // Tensors eliminated by fused groups never materialise, so they are
+    // dropped from the candidate set: their liveness intervals vanish
+    // and the interference graph shrinks accordingly.
     let t_pass = Instant::now();
     let feature_graph = if options.feature_reuse {
-        let spans = feature_lifespans(&schedule, values.feature_candidates());
+        let spans = feature_lifespans(
+            &schedule,
+            values
+                .feature_candidates()
+                .filter(|v| !fusion.eliminates(v.id.node())),
+        );
         InterferenceGraph::new(
             values
                 .feature_candidates()
+                .filter(|v| !fusion.eliminates(v.id.node()))
                 .map(|v| (v.id, v.bytes, spans[&v.id]))
                 .collect(),
         )
@@ -429,6 +480,7 @@ pub(crate) fn build_front_end(
         feature_graph,
         weight_graph,
         prefetch,
+        fusion: fusion.clone(),
         liveness_seconds,
         prefetch_seconds,
     })
@@ -474,6 +526,7 @@ pub(crate) fn run_back_end(
         feature_graph,
         weight_graph,
         prefetch,
+        fusion,
         liveness_seconds,
         prefetch_seconds,
     } = front;
@@ -545,6 +598,7 @@ pub(crate) fn run_back_end(
         resources,
         memory_bound_layers: memory_bound.len(),
         layers_benefiting,
+        fusion,
         stats,
     })
 }

@@ -1,0 +1,199 @@
+//! Property and acceptance tests for fused-layer planning.
+//!
+//! Three guarantees: `fusion = Off` leaves every plan bit-identical to
+//! the legacy pipeline across random graphs × allocators × budgets;
+//! fused delta replays through [`lcmm_core::PlanArtifacts`] equal
+//! from-scratch fused plans at every budget; and on tight SRAM budgets
+//! (≤ 1/8× of VU9P) `fusion = auto` strictly reduces both the analytic
+//! total latency and the off-chip transfer time on the shortcut-heavy
+//! zoo networks — the headline win of the subsystem.
+
+use lcmm_core::{
+    AllocatorKind, Evaluator, FusionMode, LcmmOptions, LcmmResult, PlanArtifacts, PlanRequest,
+};
+use lcmm_fpga::{AccelDesign, Device, Precision};
+use lcmm_graph::{zoo, Graph};
+use proptest::prelude::*;
+
+fn base(graph: &Graph) -> AccelDesign {
+    AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16)
+}
+
+/// Everything observable about a result, bit-for-bit (the delta_props
+/// fingerprint plus the fusion plan).
+fn fingerprint(r: &LcmmResult) -> String {
+    format!(
+        "{:016x}|{}|{}|{}|{}|{}|{}|{}",
+        r.latency.to_bits(),
+        r.split_iterations,
+        serde_json::to_string(&r.chosen).expect("chosen serialises"),
+        serde_json::to_string(&r.buffers).expect("buffers serialise"),
+        serde_json::to_string(&r.residency).expect("residency serialises"),
+        serde_json::to_string(&r.prefetch).expect("prefetch serialises"),
+        serde_json::to_string(&r.resources).expect("resources serialise"),
+        serde_json::to_string(&r.fusion).expect("fusion serialises"),
+    )
+}
+
+fn allocator_variant(sel: u8) -> AllocatorKind {
+    match sel % 3 {
+        0 => AllocatorKind::Dnnk,
+        1 => AllocatorKind::DnnkIterative,
+        _ => AllocatorKind::Greedy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `fusion = Off` is the legacy pipeline: for random graphs,
+    /// allocators, and a budget sweep, a request that spells the
+    /// default out explicitly is byte-for-byte the request that never
+    /// mentions fusion, and no fused groups leak into the result.
+    #[test]
+    fn off_is_bit_identical_to_legacy(
+        depth in 2usize..7,
+        branching in 1usize..4,
+        seed in any::<u64>(),
+        sel in any::<u8>(),
+    ) {
+        let g = zoo::synthetic(depth, branching, seed);
+        let legacy = LcmmOptions::default().with_allocator(allocator_variant(sel));
+        let explicit = legacy.with_fusion(FusionMode::Off);
+        let full = base(&g).tensor_sram_budget();
+        for budget in [None, Some(0), Some(full / 8), Some(full / 3 + 1), Some(full)] {
+            let a = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(legacy.with_tensor_budget(budget))
+                .with_design(base(&g))
+                .run()
+                .unwrap();
+            let b = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(explicit.with_tensor_budget(budget))
+                .with_design(base(&g))
+                .run()
+                .unwrap();
+            prop_assert!(a.fusion.is_empty(), "legacy result carries fused groups");
+            prop_assert_eq!(fingerprint(&a), fingerprint(&b), "budget {:?} diverged", budget);
+        }
+    }
+
+    /// Fused delta replays are bit-identical to from-scratch fused
+    /// plans at every budget: fusion is budget-invariant, so the
+    /// cached front end (which embeds the plan) replays exactly.
+    #[test]
+    fn fused_replan_is_bit_identical_to_scratch(
+        depth in 3usize..7,
+        branching in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = zoo::synthetic(depth, branching, seed);
+        let options = LcmmOptions::default().with_fusion(FusionMode::Auto);
+        let artifacts = PlanArtifacts::build(&g, base(&g), options, None).unwrap();
+        let full = artifacts.design().tensor_sram_budget();
+        for budget in [None, Some(0), Some(full / 8), Some(full / 3 + 1), Some(full)] {
+            let delta = artifacts.replan_with_budget(&g, budget, None).unwrap();
+            let scratch = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(options.with_tensor_budget(budget))
+                .with_design(base(&g))
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                fingerprint(&delta),
+                fingerprint(&scratch),
+                "budget {:?} diverged on {}-node graph",
+                budget,
+                g.len()
+            );
+        }
+    }
+}
+
+/// The acceptance criterion of the fusion subsystem: on shortcut-heavy
+/// zoo networks at a 1/8× SRAM budget, `fusion = auto` strictly
+/// reduces both the analytic end-to-end latency and the off-chip
+/// transfer time against the unfused pipeline.
+#[test]
+fn auto_strictly_beats_off_on_tight_budgets() {
+    for graph in [zoo::resnet50(), zoo::mobilenet()] {
+        let design = base(&graph);
+        let budget = Some(design.tensor_sram_budget() / 8);
+        let run = |mode: FusionMode| {
+            PlanRequest::new(&graph, &Device::vu9p(), Precision::Fix16)
+                .options(
+                    LcmmOptions::default()
+                        .with_fusion(mode)
+                        .with_tensor_budget(budget),
+                )
+                .with_design(design.clone())
+                .run()
+                .unwrap()
+        };
+        let off = run(FusionMode::Off);
+        let auto = run(FusionMode::Auto);
+        assert!(!auto.fusion.is_empty(), "{}: no groups fused", graph.name());
+        assert!(
+            auto.latency < off.latency,
+            "{}: fused latency {} !< unfused {}",
+            graph.name(),
+            auto.latency,
+            off.latency
+        );
+        // Transfer time is measured against each plan's own latency
+        // table (the fused table already has interior transfers
+        // eliminated and halo re-loads inflated) under each plan's own
+        // residency — the traffic the accelerator would actually move.
+        let off_profile = off.design.profile(&graph);
+        let off_transfer = Evaluator::new(&graph, &off_profile).transfer_seconds(&off.residency);
+        let fused_profile = auto.fusion.apply(&auto.design.profile(&graph));
+        let auto_transfer =
+            Evaluator::new(&graph, &fused_profile).transfer_seconds(&auto.residency);
+        assert!(
+            auto_transfer < off_transfer,
+            "{}: fused transfer {} !< unfused {}",
+            graph.name(),
+            auto_transfer,
+            off_transfer
+        );
+    }
+}
+
+/// Fusion composes with the other pipeline modes: every allocator ×
+/// streaming setting plans cleanly with fusion on, at degenerate
+/// budgets included, and never loses to its own unfused twin by more
+/// than the modelled recomputation bound at full budget.
+#[test]
+fn auto_plans_cleanly_across_modes_and_budgets() {
+    use lcmm_core::StreamingMode;
+    let g = zoo::resnet50();
+    let design = base(&g);
+    let full = design.tensor_sram_budget();
+    for streaming in [StreamingMode::Off, StreamingMode::Auto] {
+        for budget in [Some(0), Some(full / 8), Some(full / 2), None] {
+            let result = PlanRequest::new(&g, &Device::vu9p(), Precision::Fix16)
+                .options(
+                    LcmmOptions::default()
+                        .with_fusion(FusionMode::Auto)
+                        .with_weight_streaming(streaming)
+                        .with_tensor_budget(budget),
+                )
+                .with_design(design.clone())
+                .run()
+                .unwrap();
+            assert!(
+                result.latency.is_finite() && result.latency > 0.0,
+                "{streaming:?}/{budget:?}: latency {}",
+                result.latency
+            );
+            // No eliminated tensor may appear in the residency: it has
+            // no bytes to pin.
+            for value in result.residency.iter() {
+                if let lcmm_core::ValueId::Feature(n) = value {
+                    assert!(
+                        !result.fusion.eliminates(*n),
+                        "{streaming:?}/{budget:?}: eliminated tensor {n:?} resident"
+                    );
+                }
+            }
+        }
+    }
+}

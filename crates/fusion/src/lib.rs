@@ -1,0 +1,63 @@
+//! Fused-layer planning: execute adjacent layers tile-by-tile so their
+//! intermediate feature maps never materialise in URAM or DRAM.
+//!
+//! LCMM eliminates transfers by keeping tensors on-chip; fusion
+//! eliminates the tensors themselves. A *fused group* is a small run of
+//! adjacent layers (conv→conv→pool chains, residual diamonds ending in
+//! an element-wise add) executed as one tile loop over the group
+//! output's rows: each tile pulls a halo of external input rows, runs
+//! every member layer on the rows the tile needs, and only the group
+//! output ever touches a buffer. The price is bounded *recomputation* —
+//! overlapping halo rows of interior layers are recomputed once per
+//! tile — and a halo re-load factor on the group's external inputs.
+//!
+//! The subsystem is a pure **profile transform**: a [`FusionPlan`]
+//! rewrites [`GraphProfile`] rows (interior output/input transfer terms
+//! go to zero, compute terms inflate by the recomputation factor,
+//! external input terms inflate by the halo re-load factor) and
+//! everything downstream of the profile — Eq. 1 evaluation, liveness,
+//! the DNNK knapsack, delta replans, the joint multi-tenant DP — stays
+//! consistent without knowing fusion exists. Eliminated interior
+//! tensors additionally drop out of the feature-candidate set, which
+//! shrinks the interference graph (see `lcmm_core`).
+//!
+//! [`plan`] enumerates candidate groups, costs each with the per-tile
+//! model in [`planner`], and selects a non-overlapping set with a
+//! deterministic weighted-interval DP. Only groups that *strictly*
+//! reduce both modelled latency and off-chip transfer time survive, so
+//! fusion never trades transfers up.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+mod planner;
+
+pub use model::{ExternalReload, FusedGroup, FusionPlan, MemberFactor};
+pub use planner::{plan, FusionConfig, MAX_GROUP_NODES};
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the fusion-grouping pass runs ahead of liveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusionMode {
+    /// No fusion: the legacy pipeline, bit-identical to pre-fusion
+    /// output (the default).
+    #[default]
+    Off,
+    /// Enumerate, cost and select fused groups automatically; only
+    /// groups that strictly reduce both modelled latency and transfer
+    /// time are taken.
+    Auto,
+}
+
+impl FusionMode {
+    /// Canonical lowercase wire/CLI name (`"off"` / `"auto"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionMode::Off => "off",
+            FusionMode::Auto => "auto",
+        }
+    }
+}

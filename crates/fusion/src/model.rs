@@ -1,0 +1,259 @@
+//! The fused-group data model and the profile transform it induces.
+
+use lcmm_fpga::GraphProfile;
+use lcmm_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Compute-inflation factor of one group member: executing the group
+/// tile-by-tile recomputes this member's halo rows once per tile, so
+/// its compute term scales by `factor >= 1` (the group output itself is
+/// never recomputed and carries factor 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemberFactor {
+    /// The member node.
+    pub node: NodeId,
+    /// Compute multiplier, `>= 1`.
+    pub factor: f64,
+}
+
+/// Halo re-load factor of one external input edge: every tile re-reads
+/// the consumer's input halo from the (group-external) source tensor,
+/// so the corresponding input transfer term scales by `factor >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExternalReload {
+    /// The in-group consumer node.
+    pub consumer: NodeId,
+    /// The group-external source whose rows are re-loaded.
+    pub source: NodeId,
+    /// Input-transfer multiplier, `>= 1`.
+    pub factor: f64,
+}
+
+/// One selected fused group: a contiguous (in `NodeId` order) run of
+/// layers with a single output node, executed as one tile loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedGroup {
+    /// Member nodes in id (= topological) order; the last is `output`.
+    pub nodes: Vec<NodeId>,
+    /// The single node whose output leaves the group.
+    pub output: NodeId,
+    /// Number of row-band tiles the group output is split into.
+    pub tiles: usize,
+    /// Per-member compute inflation, aligned with `nodes`.
+    pub compute_factors: Vec<MemberFactor>,
+    /// Halo re-load factors of the group's external input edges.
+    pub external_reloads: Vec<ExternalReload>,
+    /// Modelled latency reduction of fusing this group (seconds, Eq. 1
+    /// row latency under empty residency).
+    pub benefit_seconds: f64,
+    /// Modelled off-chip transfer time eliminated (seconds, strictly
+    /// positive for every selected group).
+    pub transfer_saved_seconds: f64,
+}
+
+impl FusedGroup {
+    /// The interior members whose output tensors are eliminated (every
+    /// member except the group output).
+    pub fn interior(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let output = self.output;
+        self.nodes.iter().copied().filter(move |&n| n != output)
+    }
+}
+
+/// A non-overlapping set of fused groups plus the index structures the
+/// pipeline needs to apply them. Empty plans (`FusionPlan::default()`)
+/// behave as "fusion off" everywhere.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FusionPlan {
+    /// Selected groups in ascending id order; member intervals never
+    /// overlap.
+    pub groups: Vec<FusedGroup>,
+    /// Sorted ids of all eliminated interior tensors, for membership
+    /// queries.
+    eliminated: Vec<NodeId>,
+}
+
+impl FusionPlan {
+    /// Builds a plan from already-selected groups (the planner's
+    /// constructor; also useful in tests).
+    #[must_use]
+    pub fn from_groups(mut groups: Vec<FusedGroup>) -> Self {
+        groups.sort_by_key(|g| g.nodes[0]);
+        let mut eliminated: Vec<NodeId> = groups.iter().flat_map(FusedGroup::interior).collect();
+        eliminated.sort_unstable();
+        Self { groups, eliminated }
+    }
+
+    /// Whether no groups were selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Whether `node`'s output tensor is eliminated by a fused group
+    /// (i.e. it is an interior member and never materialises).
+    #[must_use]
+    pub fn eliminates(&self, node: NodeId) -> bool {
+        self.eliminated.binary_search(&node).is_ok()
+    }
+
+    /// Ids of all eliminated interior tensors, ascending.
+    #[must_use]
+    pub fn eliminated(&self) -> &[NodeId] {
+        &self.eliminated
+    }
+
+    /// Total member count across all groups.
+    #[must_use]
+    pub fn fused_nodes(&self) -> usize {
+        self.groups.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// Modelled latency reduction summed over all groups, seconds.
+    #[must_use]
+    pub fn benefit_seconds(&self) -> f64 {
+        self.groups.iter().map(|g| g.benefit_seconds).sum()
+    }
+
+    /// Modelled transfer time eliminated summed over all groups, seconds.
+    #[must_use]
+    pub fn transfer_saved_seconds(&self) -> f64 {
+        self.groups.iter().map(|g| g.transfer_saved_seconds).sum()
+    }
+
+    /// `(member, tiles)` for every member of every group — the
+    /// simulator's tile table (members of unfused layers are absent).
+    pub fn tile_table(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.groups
+            .iter()
+            .flat_map(|g| g.nodes.iter().map(move |&n| (n, g.tiles)))
+    }
+
+    /// Rewrites `profile` rows per the plan:
+    ///
+    /// - interior members: `output` term → 0 (the tensor never
+    ///   materialises), compute term × recomputation factor;
+    /// - in-group consumers of interior tensors: the matching `inputs`
+    ///   entries → 0;
+    /// - external input edges: the matching `inputs` entries × the halo
+    ///   re-load factor;
+    /// - weight terms and all rows outside fused groups: unchanged.
+    ///
+    /// An empty plan returns an identical clone.
+    #[must_use]
+    pub fn apply(&self, profile: &GraphProfile) -> GraphProfile {
+        let mut fused = profile.clone();
+        for group in &self.groups {
+            for mf in &group.compute_factors {
+                let row = &mut fused.per_node[mf.node.index()];
+                row.compute *= mf.factor;
+                if mf.node != group.output {
+                    row.output = 0.0;
+                }
+            }
+            for &member in &group.nodes {
+                let row = &mut fused.per_node[member.index()];
+                for entry in &mut row.inputs {
+                    if group.nodes.contains(&entry.0) && entry.0 != group.output {
+                        entry.1 = 0.0;
+                    }
+                }
+            }
+            for reload in &group.external_reloads {
+                let row = &mut fused.per_node[reload.consumer.index()];
+                for entry in &mut row.inputs {
+                    if entry.0 == reload.source {
+                        entry.1 *= reload.factor;
+                    }
+                }
+            }
+        }
+        fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_fpga::{AccelDesign, Device, Precision};
+    use lcmm_graph::zoo;
+
+    fn chain_group(nodes: &[usize], tiles: usize) -> FusedGroup {
+        let ids: Vec<NodeId> = nodes.iter().map(|&i| NodeId::new(i)).collect();
+        let output = *ids.last().unwrap();
+        FusedGroup {
+            compute_factors: ids
+                .iter()
+                .map(|&n| MemberFactor {
+                    node: n,
+                    factor: if n == output { 1.0 } else { 1.25 },
+                })
+                .collect(),
+            external_reloads: Vec::new(),
+            nodes: ids,
+            output,
+            tiles,
+            benefit_seconds: 1e-4,
+            transfer_saved_seconds: 1e-4,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_an_identity_transform() {
+        let g = zoo::alexnet();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = d.profile(&g);
+        let plan = FusionPlan::default();
+        assert!(plan.is_empty());
+        let applied = plan.apply(&profile);
+        assert_eq!(applied.per_node, profile.per_node);
+    }
+
+    #[test]
+    fn apply_zeroes_interior_terms_and_inflates_compute() {
+        let g = zoo::vgg16();
+        let d = AccelDesign::explore(&g, &Device::vu9p(), Precision::Fix16);
+        let profile = d.profile(&g);
+        // conv1_1 (id 1) -> conv1_2 (id 2): fuse the first two convs.
+        let plan = FusionPlan::from_groups(vec![chain_group(&[1, 2], 4)]);
+        assert!(plan.eliminates(NodeId::new(1)));
+        assert!(!plan.eliminates(NodeId::new(2)));
+        let fused = plan.apply(&profile);
+        let interior = &fused.per_node[1];
+        assert_eq!(interior.output, 0.0, "interior output never materialises");
+        assert!(
+            interior.compute > profile.per_node[1].compute,
+            "halo recomputation inflates interior compute"
+        );
+        let consumer = &fused.per_node[2];
+        let from_interior: f64 = consumer
+            .inputs
+            .iter()
+            .filter(|(s, _)| *s == NodeId::new(1))
+            .map(|(_, t)| *t)
+            .sum();
+        assert_eq!(from_interior, 0.0, "in-group edge carries no transfer");
+        // Weight terms and the group output's output term are untouched.
+        assert_eq!(consumer.weight, profile.per_node[2].weight);
+        assert_eq!(consumer.output, profile.per_node[2].output);
+        assert!(fused.validate().is_ok());
+    }
+
+    #[test]
+    fn tile_table_covers_every_member() {
+        let plan = FusionPlan::from_groups(vec![chain_group(&[3, 4, 5], 8)]);
+        let table: Vec<(NodeId, usize)> = plan.tile_table().collect();
+        assert_eq!(table.len(), 3);
+        assert!(table.iter().all(|&(_, t)| t == 8));
+        assert_eq!(plan.fused_nodes(), 3);
+        assert_eq!(plan.eliminated().len(), 2);
+    }
+
+    #[test]
+    fn plan_serialises_roundtrip() {
+        let plan = FusionPlan::from_groups(vec![chain_group(&[1, 2], 2)]);
+        let json = serde_json::to_string(&plan).expect("serialises");
+        let back: FusionPlan = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,451 @@
+//! Candidate enumeration, the per-tile cost model and the deterministic
+//! group-selection DP.
+
+use crate::model::{ExternalReload, FusedGroup, FusionPlan, MemberFactor};
+use lcmm_fpga::{AccelDesign, GraphProfile};
+use lcmm_graph::{Graph, NodeId, OpKind};
+
+/// Upper bound on the number of layers in a single fused group. Longer
+/// runs compound the halo growth of stacked strided layers until the
+/// recomputation factor dwarfs the eliminated transfers, so candidates
+/// beyond this depth are never worth costing.
+pub const MAX_GROUP_NODES: usize = 8;
+
+/// Tile counts tried per candidate, smallest (least recomputation,
+/// largest staging footprint) first.
+const TILE_CHOICES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Benefit below this threshold is treated as zero so float noise never
+/// flips group selection between runs.
+const MIN_BENEFIT_SECONDS: f64 = 1e-12;
+
+/// Hardware parameters the per-tile cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// On-chip staging capacity available to hold the per-member tile
+    /// rows of a fused group (bytes).
+    pub staging_bytes: u64,
+    /// Bytes per tensor element at the design's precision.
+    pub bytes_per_elem: u64,
+}
+
+impl FusionConfig {
+    /// Derives the config from an accelerator design point: staging is
+    /// the double-buffered tile capacity, element width follows the
+    /// design precision.
+    #[must_use]
+    pub fn from_design(design: &AccelDesign) -> Self {
+        Self {
+            staging_bytes: design.tile_budget.total_double_buffered(),
+            bytes_per_elem: design.precision.bytes(),
+        }
+    }
+}
+
+/// Enumerates candidate fused groups over `graph`, costs each against
+/// `profile` with the per-tile halo model, and selects a non-overlapping
+/// set maximising total modelled benefit via a deterministic
+/// weighted-interval DP.
+///
+/// Only groups that strictly reduce **both** the summed Eq. 1 row
+/// latency (under empty residency) and the summed off-chip transfer
+/// time survive costing, so an applied plan never trades transfers up.
+/// The same `(graph, profile, config)` always yields the same plan.
+#[must_use]
+pub fn plan(graph: &Graph, profile: &GraphProfile, config: &FusionConfig) -> FusionPlan {
+    let candidates = enumerate(graph, profile, config);
+    select(graph.len(), candidates)
+}
+
+/// All positively-scored candidate groups, in ascending `(start, end)`
+/// order.
+fn enumerate(graph: &Graph, profile: &GraphProfile, config: &FusionConfig) -> Vec<FusedGroup> {
+    let n = graph.len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        if !fusable(graph, NodeId::new(a)) {
+            continue;
+        }
+        let upper = (a + MAX_GROUP_NODES).min(n);
+        for b in (a + 1)..upper {
+            if !fusable(graph, NodeId::new(b)) {
+                break;
+            }
+            if !contained(graph, a, b) {
+                continue;
+            }
+            if let Some(group) = cost_group(graph, profile, config, a, b) {
+                out.push(group);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `id` may be a member of a fused group: it must be a
+/// spatially-tileable layer (conv / pool / element-wise add) and none
+/// of its inputs may be a concat node — concat is address aliasing, so
+/// profile rows list the concat's *sources*, which would no longer line
+/// up with the raw graph edges the halo model walks.
+fn fusable(graph: &Graph, id: NodeId) -> bool {
+    let node = graph.node(id);
+    if !matches!(
+        node.op(),
+        OpKind::Conv(_) | OpKind::Pool(_) | OpKind::EltwiseAdd
+    ) {
+        return false;
+    }
+    node.inputs()
+        .iter()
+        .all(|&s| !matches!(graph.node(s).op(), OpKind::Concat))
+}
+
+/// Whether every non-last member of `[a..=b]` is consumed only inside
+/// the interval (so its output tensor can be eliminated entirely).
+fn contained(graph: &Graph, a: usize, b: usize) -> bool {
+    (a..b).all(|m| {
+        let consumers = graph.consumers(NodeId::new(m));
+        !consumers.is_empty() && consumers.iter().all(|c| c.index() <= b)
+    })
+}
+
+/// Costs `[a..=b]` with the per-tile halo model. Returns the group at
+/// the smallest tile count whose staging footprint fits, or `None` when
+/// no tile count fits or fusing does not strictly win on both latency
+/// and transfer time.
+fn cost_group(
+    graph: &Graph,
+    profile: &GraphProfile,
+    config: &FusionConfig,
+    a: usize,
+    b: usize,
+) -> Option<FusedGroup> {
+    let out_height = graph.node(NodeId::new(b)).output_shape().height;
+    for &tiles in &TILE_CHOICES {
+        if tiles > out_height {
+            break;
+        }
+        let Some(rows) = tile_rows(graph, a, b, tiles) else {
+            continue;
+        };
+        if footprint_bytes(graph, config, a, &rows.need) > config.staging_bytes {
+            continue;
+        }
+        let group = build_group(graph, profile, a, b, tiles, &rows);
+        if group.benefit_seconds > MIN_BENEFIT_SECONDS && group.transfer_saved_seconds > 0.0 {
+            return Some(group);
+        }
+        // A fitting tile count that still loses never improves by
+        // tiling finer (recomputation only grows), so stop here.
+        return None;
+    }
+    None
+}
+
+/// Per-member output rows needed per tile (`need`, indexed by offset
+/// from `a`) and per-external-edge halo rows, derived by walking the
+/// interval in reverse id order from the group output.
+struct TileRows {
+    need: Vec<usize>,
+    external: Vec<(NodeId, NodeId, usize)>,
+}
+
+fn tile_rows(graph: &Graph, a: usize, b: usize, tiles: usize) -> Option<TileRows> {
+    let mut need = vec![0usize; b - a + 1];
+    need[b - a] = graph
+        .node(NodeId::new(b))
+        .output_shape()
+        .height
+        .div_ceil(tiles);
+    let mut external = Vec::new();
+    for m in (a..=b).rev() {
+        let id = NodeId::new(m);
+        let node = graph.node(id);
+        let out_rows = need[m - a];
+        if out_rows == 0 {
+            // Unreachable from the output inside the interval: the
+            // interval is not a single dataflow region; reject it.
+            return None;
+        }
+        for &src in node.inputs() {
+            let src_height = graph.node(src).output_shape().height;
+            let rows = halo_rows(node.op(), out_rows).min(src_height);
+            if src.index() >= a && src.index() < m {
+                let slot = &mut need[src.index() - a];
+                *slot = (*slot).max(rows);
+            } else if src.index() < a {
+                external.push((id, src, rows));
+            } else {
+                // A forward or self edge would violate topological order.
+                return None;
+            }
+        }
+    }
+    Some(TileRows { need, external })
+}
+
+/// Input rows a single tile of `out_rows` output rows requires.
+fn halo_rows(op: &OpKind, out_rows: usize) -> usize {
+    match op {
+        OpKind::Conv(p) => (out_rows - 1) * p.stride_h + p.kernel_h,
+        OpKind::Pool(p) => (out_rows - 1) * p.stride + p.kernel,
+        _ => out_rows,
+    }
+}
+
+/// Bytes of staging needed to hold one tile's rows of every member.
+fn footprint_bytes(graph: &Graph, config: &FusionConfig, a: usize, need: &[usize]) -> u64 {
+    need.iter()
+        .enumerate()
+        .map(|(off, &rows)| {
+            let shape = graph.node(NodeId::new(a + off)).output_shape();
+            rows as u64 * (shape.channels * shape.width) as u64 * config.bytes_per_elem
+        })
+        .sum()
+}
+
+/// Assembles the group with its factors and scores it against the
+/// original profile rows.
+fn build_group(
+    graph: &Graph,
+    profile: &GraphProfile,
+    a: usize,
+    b: usize,
+    tiles: usize,
+    rows: &TileRows,
+) -> FusedGroup {
+    let output = NodeId::new(b);
+    let nodes: Vec<NodeId> = (a..=b).map(NodeId::new).collect();
+    let compute_factors: Vec<MemberFactor> = nodes
+        .iter()
+        .map(|&m| {
+            let factor = if m == output {
+                1.0
+            } else {
+                let height = graph.node(m).output_shape().height;
+                ((tiles * rows.need[m.index() - a]) as f64 / height as f64).max(1.0)
+            };
+            MemberFactor { node: m, factor }
+        })
+        .collect();
+    let external_reloads: Vec<ExternalReload> = rows
+        .external
+        .iter()
+        .map(|&(consumer, source, halo)| {
+            let src_height = graph.node(source).output_shape().height;
+            ExternalReload {
+                consumer,
+                source,
+                factor: ((tiles * halo) as f64 / src_height as f64).max(1.0),
+            }
+        })
+        .collect();
+
+    let mut orig_latency = 0.0;
+    let mut fused_latency = 0.0;
+    let mut orig_transfer = 0.0;
+    let mut fused_transfer = 0.0;
+    for &m in &nodes {
+        let row = &profile.per_node[m.index()];
+        let factor = compute_factors[m.index() - a].factor;
+        let fused_compute = row.compute * factor;
+        let fused_inputs: f64 = row
+            .inputs
+            .iter()
+            .map(|&(src, term)| {
+                if src.index() >= a && src.index() <= b {
+                    0.0
+                } else {
+                    let reload = external_reloads
+                        .iter()
+                        .find(|e| e.consumer == m && e.source == src)
+                        .map_or(1.0, |e| e.factor);
+                    term * reload
+                }
+            })
+            .sum();
+        let fused_output = if m == output { row.output } else { 0.0 };
+        orig_latency += row.off_chip_latency();
+        fused_latency += fused_compute
+            .max(fused_inputs)
+            .max(row.weight)
+            .max(fused_output);
+        orig_transfer += row.input_total() + row.weight + row.output;
+        fused_transfer += fused_inputs + row.weight + fused_output;
+    }
+
+    FusedGroup {
+        nodes,
+        output,
+        tiles,
+        compute_factors,
+        external_reloads,
+        benefit_seconds: orig_latency - fused_latency,
+        transfer_saved_seconds: orig_transfer - fused_transfer,
+    }
+}
+
+/// Weighted-interval-scheduling DP over the candidate intervals. Strict
+/// improvement (`>`) on every transition keeps ties resolved toward the
+/// earliest-enumerated candidate, so selection is deterministic.
+fn select(n: usize, candidates: Vec<FusedGroup>) -> FusionPlan {
+    if candidates.is_empty() {
+        return FusionPlan::default();
+    }
+    let mut by_end: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, g) in candidates.iter().enumerate() {
+        by_end[g.output.index()].push(i);
+    }
+    let mut best = vec![0.0f64; n + 1];
+    let mut choice: Vec<Option<usize>> = vec![None; n + 1];
+    for i in 0..n {
+        best[i + 1] = best[i];
+        for &ci in &by_end[i] {
+            let start = candidates[ci].nodes[0].index();
+            let total = best[start] + candidates[ci].benefit_seconds;
+            if total > best[i + 1] {
+                best[i + 1] = total;
+                choice[i + 1] = Some(ci);
+            }
+        }
+    }
+    let mut selected = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        match choice[i] {
+            Some(ci) => {
+                i = candidates[ci].nodes[0].index();
+                selected.push(candidates[ci].clone());
+            }
+            None => i -= 1,
+        }
+    }
+    FusionPlan::from_groups(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmm_fpga::{Device, Precision};
+    use lcmm_graph::zoo;
+
+    fn setup(graph: &Graph) -> (AccelDesign, GraphProfile, FusionConfig) {
+        let design = AccelDesign::explore(graph, &Device::vu9p(), Precision::Fix16);
+        let profile = design.profile(graph);
+        let config = FusionConfig::from_design(&design);
+        (design, profile, config)
+    }
+
+    #[test]
+    fn chain_networks_yield_groups() {
+        for graph in [zoo::vgg16(), zoo::resnet50(), zoo::mobilenet()] {
+            let (_, profile, config) = setup(&graph);
+            let plan = plan(&graph, &profile, &config);
+            assert!(
+                !plan.is_empty(),
+                "expected fused groups on a chain/residual net"
+            );
+            for g in &plan.groups {
+                assert!(g.nodes.len() >= 2);
+                assert!(g.benefit_seconds > 0.0);
+                assert!(g.transfer_saved_seconds > 0.0);
+                assert_eq!(*g.nodes.last().unwrap(), g.output);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_never_overlap() {
+        for graph in [zoo::resnet50(), zoo::googlenet(), zoo::mobilenet()] {
+            let (_, profile, config) = setup(&graph);
+            let plan = plan(&graph, &profile, &config);
+            let mut seen = std::collections::HashSet::new();
+            for g in &plan.groups {
+                for &m in &g.nodes {
+                    assert!(seen.insert(m), "node {m:?} appears in two groups");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applied_plan_strictly_reduces_profile_totals() {
+        for graph in [zoo::resnet50(), zoo::mobilenet()] {
+            let (_, profile, config) = setup(&graph);
+            let plan = plan(&graph, &profile, &config);
+            assert!(!plan.is_empty());
+            let fused = plan.apply(&profile);
+            assert!(fused.validate().is_ok());
+            assert!(
+                fused.total_latency() < profile.total_latency(),
+                "fused worst-case latency must strictly drop"
+            );
+            let transfer = |p: &GraphProfile| -> f64 {
+                p.per_node
+                    .iter()
+                    .map(|r| r.input_total() + r.weight + r.output)
+                    .sum()
+            };
+            assert!(transfer(&fused) < transfer(&profile));
+        }
+    }
+
+    #[test]
+    fn interior_tensors_carry_no_transfers_after_apply() {
+        let graph = zoo::resnet50();
+        let (_, profile, config) = setup(&graph);
+        let plan = plan(&graph, &profile, &config);
+        let fused = plan.apply(&profile);
+        for &id in plan.eliminated() {
+            assert_eq!(fused.per_node[id.index()].output, 0.0);
+            for row in &fused.per_node {
+                for &(src, term) in &row.inputs {
+                    if src == id {
+                        assert_eq!(term, 0.0, "eliminated tensor still read off-chip");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let graph = zoo::resnet50();
+        let (_, profile, config) = setup(&graph);
+        let first = plan(&graph, &profile, &config);
+        for _ in 0..3 {
+            assert_eq!(plan(&graph, &profile, &config), first);
+        }
+    }
+
+    #[test]
+    fn tiny_staging_budget_rejects_all_groups() {
+        let graph = zoo::vgg16();
+        let (_, profile, mut config) = setup(&graph);
+        config.staging_bytes = 1;
+        assert!(plan(&graph, &profile, &config).is_empty());
+    }
+
+    #[test]
+    fn residual_diamonds_fuse_with_external_shortcut_reload() {
+        let graph = zoo::resnet50();
+        let (_, profile, config) = setup(&graph);
+        let plan = plan(&graph, &profile, &config);
+        let diamond = plan.groups.iter().find(|g| {
+            matches!(graph.node(g.output).op(), OpKind::EltwiseAdd)
+                || g.nodes
+                    .iter()
+                    .any(|&m| matches!(graph.node(m).op(), OpKind::EltwiseAdd))
+        });
+        assert!(
+            diamond.is_some(),
+            "resnet should fuse at least one residual join"
+        );
+        for g in &plan.groups {
+            for e in &g.external_reloads {
+                assert!(e.factor >= 1.0);
+                assert!(e.source.index() < g.nodes[0].index());
+            }
+        }
+    }
+}

@@ -17,7 +17,11 @@ use crate::GraphError;
 /// # Errors
 ///
 /// Returns an error if the scaled network becomes structurally invalid
-/// (practically impossible for ratios ≥ 1/64 on the zoo models).
+/// (practically impossible for ratios ≥ 1/64 on the zoo models), or if
+/// `graph` itself is malformed — a node consuming an input that does
+/// not precede it in id order, as an inline graph arriving over the
+/// serve wire may be. Malformed inputs must surface as typed errors
+/// (`invalid_graph` on the wire), never as a worker panic.
 ///
 /// # Panics
 ///
@@ -62,8 +66,17 @@ pub fn scale_channels(
         let mapped_inputs: Vec<NodeId> = node
             .inputs()
             .iter()
-            .map(|&i| map[i.index()].expect("inputs precede consumers in id order"))
-            .collect();
+            .map(|&i| {
+                map.get(i.index()).copied().flatten().ok_or_else(|| {
+                    GraphError::Malformed(format!(
+                        "node {} ({}) consumes input id {} before it is defined",
+                        node.id().index(),
+                        node.name(),
+                        i.index()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let new_id = match node.op() {
             OpKind::Input => b.input(node.output_shape())?,
             OpKind::Conv(p) => {
@@ -97,7 +110,10 @@ pub fn scale_channels(
         };
         map[node.id().index()] = Some(new_id);
     }
-    let output = map[graph.output_node().id().index()].expect("output was rebuilt");
+    let output_id = graph.output_node().id().index();
+    let output = map.get(output_id).copied().flatten().ok_or_else(|| {
+        GraphError::Malformed(format!("output node id {output_id} was never rebuilt"))
+    })?;
     b.finish(output)
 }
 
@@ -155,6 +171,27 @@ mod tests {
         let g = zoo::googlenet();
         let half = scale_channels(&g, 1, 2).expect("valid");
         assert_eq!(g.blocks(), half.blocks());
+    }
+
+    #[test]
+    fn malformed_forward_reference_is_a_typed_error() {
+        // An inline graph off the serve wire deserialises without
+        // builder validation, so a node may reference an input that
+        // comes *after* it in id order. That used to panic inside
+        // `scale_channels` (worker panic containment on the serve
+        // path); it must be a typed `GraphError` instead.
+        let g = zoo::alexnet();
+        let json = serde_json::to_string(&g).expect("graphs serialise");
+        // Point conv1 (id 1) at a node far ahead of it.
+        let tampered = json.replacen("\"inputs\":[0]", "\"inputs\":[9]", 1);
+        assert_ne!(tampered, json, "tamper target not found");
+        let bad: Graph = serde_json::from_str(&tampered).expect("tampered graph still parses");
+        let err = scale_channels(&bad, 1, 2).expect_err("forward reference must fail");
+        assert!(
+            matches!(err, GraphError::Malformed(_)),
+            "expected Malformed, got {err:?}"
+        );
+        assert!(err.to_string().contains("before it is defined"), "{err}");
     }
 
     #[test]

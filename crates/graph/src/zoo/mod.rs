@@ -28,7 +28,7 @@ pub use inception_v4::inception_v4;
 pub use mobilenet::mobilenet;
 pub use resnet::{resnet101, resnet152, resnet50};
 pub use squeezenet::squeezenet;
-pub use synthetic::{synthetic, synthetic_scaled};
+pub use synthetic::{synthetic, synthetic_scaled, synthetic_shortcut};
 pub use vgg::vgg16;
 
 use crate::Graph;
@@ -86,13 +86,19 @@ pub fn names() -> &'static [&'static str] {
 /// `resnet152`, `googlenet`, `inception_v4` (aliases `rn`, `gn`, `in`),
 /// plus parameterised scale workloads `synthetic:<depth>x<branching>x<seed>`
 /// (e.g. `synthetic:1024x4x7`), optionally width-scaled with an
-/// `@<percent>` suffix (e.g. `synthetic:1024x4x7@50`).
+/// `@<percent>` suffix (e.g. `synthetic:1024x4x7@50`) and/or tilted
+/// toward residual diamonds with a `+res` suffix (e.g.
+/// `synthetic:1024x4x7@50+res`, see [`synthetic_shortcut`]).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Graph> {
     if let Some(spec) = name
         .strip_prefix("synthetic:")
         .or_else(|| name.strip_prefix("synthetic_"))
     {
+        let (spec, shortcut) = match spec.strip_suffix("+res") {
+            Some(head) => (head, true),
+            None => (spec, false),
+        };
         let (spec, width_percent) = match spec.split_once('@') {
             Some((head, scale)) => (head, scale.parse().ok()?),
             None => (spec, 100),
@@ -104,7 +110,11 @@ pub fn by_name(name: &str) -> Option<Graph> {
         if parts.next().is_some() || depth == 0 || width_percent == 0 {
             return None;
         }
-        return Some(synthetic_scaled(depth, branching, seed, width_percent));
+        return Some(if shortcut {
+            synthetic_shortcut(depth, branching, seed, width_percent)
+        } else {
+            synthetic_scaled(depth, branching, seed, width_percent)
+        });
     }
     match name.to_ascii_lowercase().as_str() {
         "alexnet" => Some(alexnet()),
@@ -152,6 +162,19 @@ mod tests {
         assert!(by_name("synthetic:128x4x7@0").is_none(), "zero scale");
         assert!(by_name("synthetic:128x4x7@").is_none(), "empty scale");
         assert!(by_name("synthetic:128x4x7@abc").is_none(), "non-numeric");
+    }
+
+    #[test]
+    fn by_name_parses_shortcut_heavy_synthetic_specs() {
+        let g = by_name("synthetic:128x2x7+res").unwrap();
+        assert_eq!(g.name(), "synthetic_128x2x7+res");
+        // Round-trips through its own name, like every zoo model.
+        assert_eq!(by_name(g.name()).unwrap().len(), g.len());
+        // Composes with width scaling, in `@W%` then `+res` order.
+        let scaled = by_name("synthetic:128x2x7@50+res").unwrap();
+        assert_eq!(scaled.name(), "synthetic_128x2x7@50+res");
+        assert!(by_name("synthetic:128x2x7+res@50").is_none(), "wrong order");
+        assert!(by_name("synthetic:+res").is_none(), "missing spec");
     }
 
     #[test]

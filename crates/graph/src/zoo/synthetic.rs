@@ -90,17 +90,61 @@ pub fn synthetic(depth: usize, branching: usize, seed: u64) -> Graph {
 /// ```
 #[must_use]
 pub fn synthetic_scaled(depth: usize, branching: usize, seed: u64, width_percent: usize) -> Graph {
+    generate(depth, branching, seed, width_percent, false)
+}
+
+/// Shortcut-heavy variant of [`synthetic_scaled`]: the module mix is
+/// tilted from inception concats toward residual blocks, so the graph
+/// is dominated by the conv→conv→eltwise-add diamonds that fused-layer
+/// planning targets — the synthetic counterpart of ResNet/MobileNet
+/// trunks. The CLI accepts it as `synthetic:DxBxS[@W%]+res`.
+///
+/// Same determinism contract as [`synthetic_scaled`]: a pure function
+/// of its arguments, and `width_percent` only rescales channel widths
+/// without touching the PRNG draw sequence.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `width_percent == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let g = lcmm_graph::zoo::synthetic_shortcut(128, 2, 7, 100);
+/// assert_eq!(g.name(), "synthetic_128x2x7+res");
+/// assert!(g.len() >= 128);
+/// ```
+#[must_use]
+pub fn synthetic_shortcut(
+    depth: usize,
+    branching: usize,
+    seed: u64,
+    width_percent: usize,
+) -> Graph {
+    generate(depth, branching, seed, width_percent, true)
+}
+
+fn generate(
+    depth: usize,
+    branching: usize,
+    seed: u64,
+    width_percent: usize,
+    shortcut_heavy: bool,
+) -> Graph {
     assert!(depth > 0, "synthetic graph needs at least one node");
     assert!(width_percent > 0, "width scale must be positive");
     let branching = branching.clamp(2, 8);
     let mut rng = Rng::new(
         seed ^ (depth as u64).wrapping_mul(0x100_0000_01b3) ^ (branching as u64).rotate_left(17),
     );
-    let name = if width_percent == 100 {
+    let mut name = if width_percent == 100 {
         format!("synthetic_{depth}x{branching}x{seed}")
     } else {
         format!("synthetic_{depth}x{branching}x{seed}@{width_percent}")
     };
+    if shortcut_heavy {
+        name.push_str("+res");
+    }
     let mut b = GraphBuilder::new(name);
     let x = b.input(FeatureShape::new(16, 32, 32)).expect("input");
     let mut cur = b
@@ -112,13 +156,31 @@ pub fn synthetic_scaled(depth: usize, branching: usize, seed: u64, width_percent
     while b.len() < depth {
         module += 1;
         b.set_block(format!("module{module}"));
-        cur = match rng.below(10) {
+        let draw = rng.below(10);
+        // The shortcut-heavy mix flips the inception/residual ratio:
+        // ~70% of modules become residual diamonds instead of ~20%.
+        let kind = if shortcut_heavy {
+            match draw {
+                0..=1 => ModuleKind::Inception,
+                2..=8 => ModuleKind::Residual,
+                _ => ModuleKind::Conv,
+            }
+        } else {
+            match draw {
+                0..=4 => ModuleKind::Inception,
+                5..=6 => ModuleKind::Residual,
+                _ => ModuleKind::Conv,
+            }
+        };
+        cur = match kind {
             // Inception module: parallel branches joined by a concat.
-            0..=4 => inception(&mut b, &mut rng, cur, module, branching, width_percent),
+            ModuleKind::Inception => {
+                inception(&mut b, &mut rng, cur, module, branching, width_percent)
+            }
             // Residual block: conv + eltwise add back onto the trunk.
-            5..=6 => residual(&mut b, &mut rng, cur, module, width_percent),
+            ModuleKind::Residual => residual(&mut b, &mut rng, cur, module, width_percent),
             // Plain conv, sometimes strided via a max-pool first.
-            _ => {
+            ModuleKind::Conv => {
                 let shape = b.shape(cur).expect("trunk node exists");
                 if pools < 3 && shape.height >= 16 && rng.below(4) == 0 {
                     pools += 1;
@@ -143,6 +205,12 @@ pub fn synthetic_scaled(depth: usize, branching: usize, seed: u64, width_percent
     let fc = b.fc("fc", gap, 64).expect("nonzero fc width");
     b.finish(fc)
         .expect("generator graphs are acyclic by construction")
+}
+
+enum ModuleKind {
+    Inception,
+    Residual,
+    Conv,
 }
 
 /// Channel widths stay in a narrow band: wide enough to make distinct
@@ -300,5 +368,33 @@ mod tests {
         let g = synthetic_scaled(64, 2, 3, 1);
         assert!(g.len() >= 64);
         assert_eq!(g.name(), "synthetic_64x2x3@1");
+    }
+
+    #[test]
+    fn shortcut_variant_is_residual_dominated() {
+        use crate::op::OpKind;
+        let count_adds = |g: &Graph| {
+            g.iter()
+                .filter(|n| matches!(n.op(), OpKind::EltwiseAdd))
+                .count()
+        };
+        let plain = synthetic(256, 3, 11);
+        let res = synthetic_shortcut(256, 3, 11, 100);
+        assert_eq!(res.name(), "synthetic_256x3x11+res");
+        assert!(res.len() >= 256);
+        assert!(
+            count_adds(&res) > 2 * count_adds(&plain).max(1),
+            "shortcut variant must carry far more residual joins: {} vs {}",
+            count_adds(&res),
+            count_adds(&plain)
+        );
+        // Deterministic, and width scaling composes with the knob.
+        let again = synthetic_shortcut(256, 3, 11, 100);
+        let names_a: Vec<&str> = res.iter().map(crate::Node::name).collect();
+        let names_b: Vec<&str> = again.iter().map(crate::Node::name).collect();
+        assert_eq!(names_a, names_b);
+        let half = synthetic_shortcut(256, 3, 11, 50);
+        assert_eq!(half.name(), "synthetic_256x3x11@50+res");
+        assert_eq!(half.len(), res.len());
     }
 }

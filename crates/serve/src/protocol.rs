@@ -9,8 +9,8 @@
 
 use lcmm_core::pipeline::AllocatorKind;
 use lcmm_core::{
-    LcmmError, LcmmOptions, LcmmResult, PassStats, StreamingMode, UmmBaseline, ValueId, WeightMode,
-    STREAM_PING_PONG_BYTES,
+    FusionMode, LcmmError, LcmmOptions, LcmmResult, PassStats, StreamingMode, UmmBaseline, ValueId,
+    WeightMode, STREAM_PING_PONG_BYTES,
 };
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::Graph;
@@ -123,6 +123,9 @@ pub struct WireRequest {
     /// Overrides `LcmmOptions::weight_streaming` — `"off"`, `"pinned"`
     /// or `"auto"`.
     pub weight_streaming: Option<String>,
+    /// Overrides `LcmmOptions::fusion` — `"off"` or `"auto"`. Auto runs
+    /// the fused-layer grouping pass ahead of liveness.
+    pub fusion: Option<String>,
     /// Overrides `LcmmOptions::tensor_budget` — caps the knapsack's
     /// SRAM budget in bytes (the knob that makes streaming matter).
     pub tensor_budget: Option<u64>,
@@ -233,6 +236,7 @@ impl WireRequest {
         let allocator = str_field("allocator")?;
         let (mut feature_reuse, mut weight_prefetch, mut splitting) = (None, None, None);
         let mut weight_streaming = None;
+        let mut fusion = None;
         let mut tensor_budget = None;
         if let Some(options) = value.get("options") {
             let entries = options
@@ -252,6 +256,12 @@ impl WireRequest {
                             "options.weight_streaming must be a string".to_string()
                         })?;
                         weight_streaming = Some(mode.to_string());
+                    }
+                    "fusion" => {
+                        let mode = v
+                            .as_str()
+                            .ok_or_else(|| "options.fusion must be a string".to_string())?;
+                        fusion = Some(mode.to_string());
                     }
                     "tensor_budget" => {
                         tensor_budget = Some(v.as_u64().ok_or_else(|| {
@@ -315,6 +325,7 @@ impl WireRequest {
             weight_prefetch,
             splitting,
             weight_streaming,
+            fusion,
             tensor_budget,
             deadline_ms,
             include_stats,
@@ -384,6 +395,18 @@ impl WireRequest {
                 }
             };
             options = options.with_weight_streaming(mode);
+        }
+        if let Some(mode) = self.fusion.as_deref() {
+            let mode = match mode {
+                "off" => FusionMode::Off,
+                "auto" => FusionMode::Auto,
+                other => {
+                    return Err(LcmmError::InvalidRequest(format!(
+                        "unknown fusion mode {other:?} (expected off or auto)"
+                    )))
+                }
+            };
+            options = options.with_fusion(mode);
         }
         if let Some(budget) = self.tensor_budget {
             options = options.with_tensor_budget(Some(budget));
@@ -567,9 +590,17 @@ pub fn plan_summary(resolved: &ResolvedPlan, result: &LcmmResult, umm: &UmmBasel
         ),
         ("umm_latency_seconds".to_string(), Value::F64(umm.latency)),
     ];
-    // The per-buffer weight-mode table is surfaced only when streaming
-    // was requested, so legacy responses (and their goldens) stay
-    // byte-identical.
+    // Optional blocks are surfaced only when their pass was requested,
+    // so legacy responses (and their goldens) stay byte-identical. The
+    // fusion block keeps the summary's alphabetical key order ("fusion"
+    // sorts between "device" and "latency_seconds").
+    if resolved.options.fusion != FusionMode::Off {
+        let pos = fields.partition_point(|(k, _)| k.as_str() < "fusion");
+        fields.insert(
+            pos,
+            ("fusion".to_string(), fusion_summary(resolved, result)),
+        );
+    }
     if resolved.options.weight_streaming != StreamingMode::Off {
         fields.push((
             "weight_streaming".to_string(),
@@ -577,6 +608,59 @@ pub fn plan_summary(resolved: &ResolvedPlan, result: &LcmmResult, umm: &UmmBasel
         ));
     }
     Value::Map(fields)
+}
+
+/// The `fusion` block of a plan summary: aggregate benefit plus one
+/// table row per selected fused group (member/output layer names and
+/// the tile count the group executes with). Pure function of the
+/// result's fusion plan, so it replays byte-identically from the cache.
+fn fusion_summary(resolved: &ResolvedPlan, result: &LcmmResult) -> Value {
+    let groups: Vec<Value> = result
+        .fusion
+        .groups
+        .iter()
+        .map(|g| {
+            Value::Map(vec![
+                (
+                    "nodes".to_string(),
+                    Value::Seq(
+                        g.nodes
+                            .iter()
+                            .map(|&n| Value::Str(resolved.graph.node(n).name().to_string()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "output".to_string(),
+                    Value::Str(resolved.graph.node(g.output).name().to_string()),
+                ),
+                ("tiles".to_string(), Value::U64(g.tiles as u64)),
+                (
+                    "transfer_saved_seconds".to_string(),
+                    Value::F64(g.transfer_saved_seconds),
+                ),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        (
+            "benefit_seconds".to_string(),
+            Value::F64(result.fusion.benefit_seconds()),
+        ),
+        (
+            "eliminated_tensors".to_string(),
+            Value::U64(result.fusion.eliminated().len() as u64),
+        ),
+        (
+            "fused_nodes".to_string(),
+            Value::U64(result.fusion.fused_nodes() as u64),
+        ),
+        ("groups".to_string(), Value::Seq(groups)),
+        (
+            "transfer_saved_seconds".to_string(),
+            Value::F64(result.fusion.transfer_saved_seconds()),
+        ),
+    ])
 }
 
 /// The `weight_streaming` block of a plan summary: occupied (mode-aware)
@@ -908,6 +992,68 @@ mod tests {
             r#"{"graph":"alexnet","options":{"weight_streaming":true}}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_fusion() {
+        let line = r#"{"graph":"alexnet","options":{"fusion":"auto"}}"#;
+        let r = WireRequest::from_line(line).expect("parses");
+        let resolved = r.resolve_plan().expect("resolves");
+        assert_eq!(resolved.options.fusion, FusionMode::Auto);
+        let off = WireRequest::from_line(r#"{"graph":"alexnet","options":{"fusion":"off"}}"#)
+            .expect("parses")
+            .resolve_plan()
+            .expect("resolves");
+        assert_eq!(off.options.fusion, FusionMode::Off);
+        // Unknown mode strings resolve to a typed error; non-string
+        // values are rejected at parse time.
+        let bad = WireRequest::from_line(r#"{"graph":"alexnet","options":{"fusion":"max"}}"#)
+            .expect("parses");
+        assert!(matches!(
+            bad.resolve_plan(),
+            Err(LcmmError::InvalidRequest(_))
+        ));
+        assert!(
+            WireRequest::from_line(r#"{"graph":"alexnet","options":{"fusion":true}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn plan_summary_gates_the_fusion_block() {
+        // Fusion off (the default): no block, so pre-fusion goldens
+        // stay byte-identical.
+        let r = WireRequest::from_line(r#"{"graph":"resnet50"}"#).unwrap();
+        let resolved = r.resolve_plan().unwrap();
+        let umm = UmmBaseline::build(&resolved.graph, &resolved.device, resolved.precision);
+        let result =
+            lcmm_core::PlanRequest::new(&resolved.graph, &resolved.device, resolved.precision)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("feasible");
+        let off = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        assert!(!off.contains("\"fusion\""));
+
+        // Fusion auto at a tight budget: the block appears right after
+        // "device" (alphabetical key order preserved) with group rows.
+        let budget = umm.design.tensor_sram_budget() / 8;
+        let line = format!(
+            "{{\"graph\":\"resnet50\",\"options\":{{\"fusion\":\"auto\",\"tensor_budget\":{budget}}}}}"
+        );
+        let r = WireRequest::from_line(&line).unwrap();
+        let resolved = r.resolve_plan().unwrap();
+        let result =
+            lcmm_core::PlanRequest::new(&resolved.graph, &resolved.device, resolved.precision)
+                .options(resolved.options)
+                .with_design(umm.design.clone())
+                .run()
+                .expect("feasible");
+        assert!(!result.fusion.is_empty(), "tight budget must fuse groups");
+        let auto = serde_json::to_string(&plan_summary(&resolved, &result, &umm)).unwrap();
+        assert!(auto.contains("\"fusion\":{\"benefit_seconds\":"));
+        assert!(auto.contains("\"tiles\":"));
+        let fusion_at = auto.find("\"fusion\"").unwrap();
+        assert!(auto.find("\"device\"").unwrap() < fusion_at);
+        assert!(fusion_at < auto.find("\"latency_seconds\"").unwrap());
     }
 
     #[test]

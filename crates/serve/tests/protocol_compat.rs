@@ -46,6 +46,8 @@ fn corpus() -> Vec<String> {
         r#"{"graph":"squeezenet","options":{"feature_reuse":false,"splitting":false}}"#.to_string(),
         r#"{"graph":"alexnet","options":{"weight_streaming":"auto","tensor_budget":2000000}}"#
             .to_string(),
+        r#"{"graph":"mobilenet","options":{"fusion":"auto","tensor_budget":2000000}}"#.to_string(),
+        r#"{"graph":"mobilenet","options":{"fusion":"off"}}"#.to_string(),
         r#"{"graph":"synthetic:48x3x5","id":11}"#.to_string(),
         format!("{{\"graph\":{{\"inline\":{inline}}}}}"),
         r#"{"op":"coplan"}"#.to_string(),

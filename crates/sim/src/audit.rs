@@ -23,12 +23,12 @@
 //!   so CI replays the corpus forever.
 
 use crate::engine::{SimConfig, SimReport, Simulator, WeightClass};
-use crate::validate::weight_classes;
+use crate::validate::{effective_profile, fused_tiles, weight_classes};
 use lcmm_core::liveness::{feature_lifespans, LiveInterval, Schedule};
 use lcmm_core::pipeline::{AllocatorKind, LcmmOptions};
 use lcmm_core::{
-    Evaluator, LcmmResult, PlanRequest, Residency, StreamingMode, UmmBaseline, ValueId, ValueTable,
-    WeightMode,
+    Evaluator, FusionMode, LcmmResult, PlanRequest, Residency, StreamingMode, UmmBaseline, ValueId,
+    ValueTable, WeightMode,
 };
 use lcmm_fpga::{Device, Precision};
 use lcmm_graph::{zoo, Graph};
@@ -218,7 +218,12 @@ pub fn audit_case_with_options(
         .with_design(umm.design.clone())
         .run()
         .expect("an explored design is always feasible");
-    let profile = result.design.profile(graph);
+    // The table the plan was scored against: fused plans are simulated
+    // and cross-checked on the fused table (interior transfers
+    // eliminated, halo re-loads and recomputation folded in), so the
+    // differential bands compare like with like. Identity when nothing
+    // fused.
+    let profile = effective_profile(graph, &result);
     let schedule = Schedule::new(graph);
 
     // The budget the knapsack actually planned against: an explicit
@@ -251,7 +256,8 @@ pub fn audit_case_with_options(
     let lcmm_config = SimConfig::default()
         .with_inferences(2) // steady state after the first pass
         .with_weight_classes(weight_classes(&result))
-        .with_prefetch(result.prefetch.clone());
+        .with_prefetch(result.prefetch.clone())
+        .with_fused_tiles(fused_tiles(&result));
     let lcmm_sim = sim.run(&result.residency, &lcmm_config);
     diff_point(
         &mut points,
@@ -411,7 +417,7 @@ fn diff_point(
 /// all (each tenant's design still reports the whole device's budget).
 #[must_use]
 pub fn check_result_invariants(graph: &Graph, result: &LcmmResult, budget: u64) -> Vec<Finding> {
-    let profile = result.design.profile(graph);
+    let profile = effective_profile(graph, result);
     let schedule = Schedule::new(graph);
     let mut findings = Vec::new();
     check_invariants(graph, result, &profile, &schedule, budget, &mut findings);
@@ -572,6 +578,35 @@ fn check_invariants(
                     node.name()
                 ),
             ));
+        }
+    }
+
+    // 5. Fused groups: an eliminated intermediate never materialises in
+    // DRAM *or* SRAM — it lives only inside the group's tile-sized
+    // staging buffer — so it must not be pinned in the residency nor
+    // colored into any virtual buffer.
+    if !result.fusion.is_empty() {
+        for v in result.residency.iter() {
+            if let ValueId::Feature(n) = v {
+                if result.fusion.eliminates(*n) {
+                    findings.push(Finding::invariant(
+                        "fusion",
+                        format!("eliminated intermediate {v} is pinned in the residency"),
+                    ));
+                }
+            }
+        }
+        for buf in &result.buffers {
+            for &m in &buf.members {
+                if let ValueId::Feature(n) = m {
+                    if result.fusion.eliminates(n) {
+                        findings.push(Finding::invariant(
+                            "fusion",
+                            format!("eliminated intermediate {m} is colored into a buffer"),
+                        ));
+                    }
+                }
+            }
         }
     }
 }
@@ -834,6 +869,12 @@ pub struct AuditOptions {
     /// streamed and partially resident weight classes (and the
     /// degenerate-budget code paths) end to end against the simulator.
     pub tiny_sram_seeds: usize,
+    /// Number of fused-planning cases appended after the tiny-SRAM
+    /// batch: shortcut-heavy zoo networks replanned under a tight
+    /// absolute budget with [`FusionMode::Auto`], so the fused latency
+    /// table, per-tile simulation and the fusion structural invariants
+    /// are cross-checked end to end.
+    pub fused_cases: usize,
     /// Repro-corpus directory: replayed after the grid, and failing
     /// seeds are minimised into it.
     pub repro_dir: PathBuf,
@@ -846,6 +887,7 @@ impl Default for AuditOptions {
             grid: default_grid(),
             seeds: DEFAULT_SEEDS,
             tiny_sram_seeds: 2,
+            fused_cases: 2,
             repro_dir: PathBuf::from("checks/repros"),
         }
     }
@@ -877,6 +919,13 @@ impl AuditOptions {
     #[must_use]
     pub fn with_tiny_sram_seeds(mut self, tiny_sram_seeds: usize) -> Self {
         self.tiny_sram_seeds = tiny_sram_seeds;
+        self
+    }
+
+    /// Sets the number of fused-planning cases.
+    #[must_use]
+    pub fn with_fused_cases(mut self, fused_cases: usize) -> Self {
+        self.fused_cases = fused_cases;
         self
     }
 
@@ -983,6 +1032,28 @@ pub fn run_audit(
         cases.push(report);
     }
 
+    // Fused-planning batch: shortcut-heavy zoo networks replanned
+    // under a tight absolute budget with fusion enabled. This is where
+    // the planner actually selects fused groups, so the per-tile
+    // simulation, the fused differential bands and the fusion
+    // invariants are exercised against real plans rather than the
+    // identity transform.
+    const FUSED_MODELS: [&str; 2] = ["resnet50", "mobilenet"];
+    const FUSED_BUDGET: u64 = 4 << 20;
+    for model in FUSED_MODELS.iter().take(options.fused_cases) {
+        let graph = zoo::by_name(model).ok_or_else(|| format!("unknown model {model:?}"))?;
+        progress(&format!(
+            "audit: fused {model} @ {FUSED_BUDGET} B, fusion auto"
+        ));
+        let plan_options = LcmmOptions::default()
+            .with_tensor_budget(Some(FUSED_BUDGET))
+            .with_fusion(FusionMode::Auto);
+        let mut report =
+            audit_case_with_options(&graph, Precision::Fix16, &plan_options, &options.bands);
+        report.model = format!("{}@{FUSED_BUDGET}B+fusion", report.model);
+        cases.push(report);
+    }
+
     Ok(AuditOutcome {
         cases,
         repros_written,
@@ -1018,19 +1089,22 @@ mod tests {
             )])
             .with_seeds(1)
             .with_tiny_sram_seeds(1)
+            .with_fused_cases(1)
             .with_repro_dir("/nonexistent/lcmm-audit-corpus");
         let mut lines = Vec::new();
         let outcome = run_audit(&opts, |l| lines.push(l.to_string())).expect("audit runs");
         assert_eq!(
             outcome.cases.len(),
-            3,
-            "one grid cell + one seed + one tiny-SRAM streaming case"
+            4,
+            "one grid cell + one seed + one tiny-SRAM case + one fused case"
         );
         assert!(outcome.passed(), "clean sweep: {:?}", outcome.cases);
         assert!(outcome.repros_written.is_empty());
         assert!(lines.iter().any(|l| l.contains("alexnet")));
         assert!(lines.iter().any(|l| l.contains("tiny-sram")));
+        assert!(lines.iter().any(|l| l.contains("fused")));
         assert!(outcome.cases[2].model.contains("+auto-ws"));
+        assert!(outcome.cases[3].model.contains("+fusion"));
     }
 
     #[test]
@@ -1117,6 +1191,52 @@ mod tests {
         assert!(
             !findings.iter().any(|f| f.check == "invariant/exposure"),
             "legal tail exposure flagged: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fused_case_stays_in_band() {
+        // A fused plan on a tight budget must sit inside the same
+        // differential bands as the legacy pipeline: the simulator runs
+        // the fused table with per-tile transfers, so `simulated /
+        // analytic` stays an apples-to-apples ratio.
+        let g = zoo::resnet50();
+        let options = LcmmOptions::default()
+            .with_tensor_budget(Some(4 << 20))
+            .with_fusion(FusionMode::Auto);
+        let report =
+            audit_case_with_options(&g, Precision::Fix16, &options, &ToleranceBands::default());
+        assert!(report.passed(), "fused audit found: {:?}", report.findings);
+    }
+
+    #[test]
+    fn fusion_invariant_flags_materialised_intermediates() {
+        let g = zoo::resnet50();
+        let device = Device::vu9p();
+        let design = lcmm_fpga::AccelDesign::explore(&g, &device, Precision::Fix16);
+        let budget = design.tensor_sram_budget() / 8;
+        let mut result = PlanRequest::new(&g, &device, Precision::Fix16)
+            .options(
+                LcmmOptions::default()
+                    .with_fusion(FusionMode::Auto)
+                    .with_tensor_budget(Some(budget)),
+            )
+            .with_design(design)
+            .run()
+            .expect("resnet50 plans");
+        assert!(!result.fusion.is_empty(), "expected fused groups");
+        assert!(check_result_invariants(&g, &result, budget).is_empty());
+
+        // Forge an eliminated intermediate into the residency: it has
+        // no DRAM tensor to pin, so the fusion invariant must fire.
+        let eliminated = result.fusion.eliminated()[0];
+        result.residency.insert(ValueId::Feature(eliminated));
+        let findings = check_result_invariants(&g, &result, budget);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check == "invariant/fusion" && f.message.contains("residency")),
+            "materialised intermediate not flagged: {findings:?}"
         );
     }
 

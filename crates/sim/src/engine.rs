@@ -197,6 +197,17 @@ pub struct SimConfig {
     /// (`OpLatency::fill`). Off (default) = the paper's double-buffered
     /// dataflow, which hides the fill behind the previous layer.
     pub pipeline_fill: bool,
+    /// Tile counts of fused-group members (`FusionPlan::tile_table`).
+    /// A node mapped to `T > 1` executes its feature transfers as `T`
+    /// back-to-back per-tile chunks — halo re-loads included, since the
+    /// fused latency table already folds them into the input terms —
+    /// instead of one whole-tensor DMA job. Totals are preserved
+    /// exactly (chunks are compensated to sum to the original
+    /// duration), so fused runs stay comparable to the analytic model;
+    /// the per-tile granularity shows up in the event log and job
+    /// counts, which is what the audit cross-checks. Weights still load
+    /// once per inference: the tile loop reuses them on chip.
+    pub fused_tiles: HashMap<NodeId, usize>,
 }
 
 impl Default for SimConfig {
@@ -208,6 +219,7 @@ impl Default for SimConfig {
             prefetch: PrefetchPlan::default(),
             record_events: false,
             pipeline_fill: false,
+            fused_tiles: HashMap::new(),
         }
     }
 }
@@ -254,6 +266,37 @@ impl SimConfig {
         self.pipeline_fill = fill;
         self
     }
+
+    /// Returns a copy with per-node fused tile counts (see
+    /// [`SimConfig::fused_tiles`]).
+    #[must_use]
+    pub fn with_fused_tiles(mut self, tiles: HashMap<NodeId, usize>) -> Self {
+        self.fused_tiles = tiles;
+        self
+    }
+}
+
+/// Enqueues `duration` seconds of channel time as `tiles` back-to-back
+/// chunks (the per-tile DMA jobs of a fused group member) and returns
+/// the occupied spans. Chunks are compensated so they sum to exactly
+/// `duration`; with `tiles <= 1` this is a single [`Channel::enqueue_span`].
+fn enqueue_tiled(ch: &mut Channel, ready: f64, duration: f64, tiles: usize) -> Vec<(f64, f64)> {
+    if duration <= 0.0 || tiles <= 1 {
+        return vec![ch.enqueue_span(ready, duration)];
+    }
+    let chunk = duration / tiles as f64;
+    let mut spans = Vec::with_capacity(tiles);
+    let mut remaining = duration;
+    for k in 0..tiles {
+        let d = if k + 1 == tiles {
+            remaining.max(0.0)
+        } else {
+            chunk
+        };
+        remaining -= d;
+        spans.push(ch.enqueue_span(ready, d));
+    }
+    spans
 }
 
 /// Timing of one node in one inference.
@@ -488,6 +531,7 @@ impl<'a> Simulator<'a> {
 
                 let row = self.profile.node(id);
                 let start = t;
+                let tiles = config.fused_tiles.get(&id).copied().unwrap_or(1).max(1);
 
                 let if_dur: f64 = row
                     .inputs
@@ -495,14 +539,16 @@ impl<'a> Simulator<'a> {
                     .filter(|(src, _)| !residency.contains(ValueId::Feature(*src)))
                     .map(|(_, d)| *d)
                     .sum();
-                let (if_s, end_if) = if_ch.enqueue_span(start, if_dur);
+                let if_spans = enqueue_tiled(&mut if_ch, start, if_dur, tiles);
+                let end_if = if_spans.last().expect("at least one span").1;
 
                 let of_dur = if residency.contains(ValueId::Feature(id)) {
                     0.0
                 } else {
                     row.output
                 };
-                let (of_s, end_of) = of_ch.enqueue_span(start, of_dur);
+                let of_spans = enqueue_tiled(&mut of_ch, start, of_dur, tiles);
+                let end_of = of_spans.last().expect("at least one span").1;
 
                 let mut wt_span: Option<(f64, f64)> = None;
                 let end_wt = if residency.contains(ValueId::Weight(id)) {
@@ -532,21 +578,25 @@ impl<'a> Simulator<'a> {
                             end: start + row.compute,
                         });
                     }
-                    if end_if > if_s {
-                        events.push(SimEvent {
-                            kind: EventKind::Transfer(ChannelKind::InputFeature),
-                            node: id,
-                            start: if_s,
-                            end: end_if,
-                        });
+                    for (if_s, if_e) in &if_spans {
+                        if if_e > if_s {
+                            events.push(SimEvent {
+                                kind: EventKind::Transfer(ChannelKind::InputFeature),
+                                node: id,
+                                start: *if_s,
+                                end: *if_e,
+                            });
+                        }
                     }
-                    if end_of > of_s {
-                        events.push(SimEvent {
-                            kind: EventKind::Transfer(ChannelKind::OutputFeature),
-                            node: id,
-                            start: of_s,
-                            end: end_of,
-                        });
+                    for (of_s, of_e) in &of_spans {
+                        if of_e > of_s {
+                            events.push(SimEvent {
+                                kind: EventKind::Transfer(ChannelKind::OutputFeature),
+                                node: id,
+                                start: *of_s,
+                                end: *of_e,
+                            });
+                        }
                     }
                     if let Some((ws, we)) = wt_span {
                         if we > ws {
@@ -1070,6 +1120,81 @@ mod tests {
         assert!(lcmm_overhead / lcmm_plain.total_latency < 1.0);
         assert!(umm_overhead > 0.0 && lcmm_overhead > 0.0);
         assert!(lcmm_filled.total_latency < umm_filled.total_latency);
+    }
+
+    #[test]
+    fn fused_tiles_preserve_totals_and_split_events() {
+        // The tile loop splits feature DMA into per-tile chunks but is
+        // compensated to carry exactly the same traffic, so totals stay
+        // bit-comparable with the analytic model the plan was costed
+        // against.
+        let g = zoo::alexnet();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let conv2 = g.node_by_name("conv2").unwrap().id();
+        let base = sim.run(
+            &Residency::new(),
+            &SimConfig::default().with_record_events(true),
+        );
+        let mut tiles = HashMap::new();
+        tiles.insert(conv2, 8usize);
+        let tiled = sim.run(
+            &Residency::new(),
+            &SimConfig::default()
+                .with_record_events(true)
+                .with_fused_tiles(tiles),
+        );
+        assert!((tiled.total_latency - base.total_latency).abs() < 1e-9);
+        for kind in [
+            ChannelKind::InputFeature,
+            ChannelKind::Weight,
+            ChannelKind::OutputFeature,
+        ] {
+            assert!((tiled.channel_busy[&kind] - base.channel_busy[&kind]).abs() < 1e-9);
+        }
+        // Per-tile granularity shows up as 8 input-feature chunks for
+        // the tiled node instead of one whole-tensor job.
+        let chunks = |r: &SimReport| {
+            r.events
+                .iter()
+                .filter(|e| {
+                    e.node == conv2 && e.kind == EventKind::Transfer(ChannelKind::InputFeature)
+                })
+                .count()
+        };
+        assert_eq!(chunks(&base), 1);
+        assert_eq!(chunks(&tiled), 8);
+    }
+
+    #[test]
+    fn fused_tiles_keep_event_log_consistent() {
+        let g = zoo::resnet50();
+        let p = setup(&g, Precision::Fix16);
+        let sim = Simulator::new(&g, &p);
+        let mut tiles = HashMap::new();
+        for n in g.compute_layers().take(6) {
+            tiles.insert(n.id(), 4usize);
+        }
+        let report = sim.run(
+            &Residency::new(),
+            &SimConfig::default()
+                .with_record_events(true)
+                .with_fused_tiles(tiles),
+        );
+        for kind in [ChannelKind::InputFeature, ChannelKind::OutputFeature] {
+            let mut spans: Vec<(f64, f64)> = report
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Transfer(kind))
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12, "{kind:?} tile chunks overlap");
+            }
+            let total: f64 = spans.iter().map(|(s, e)| e - s).sum();
+            assert!((total - report.channel_busy[&kind]).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -96,15 +96,40 @@ pub fn weight_classes(result: &LcmmResult) -> HashMap<lcmm_graph::NodeId, Weight
     classes
 }
 
-/// Simulates an LCMM result with its prefetch plan and sharing classes.
+/// Derives the per-node fused tile counts from an LCMM result's fusion
+/// plan, in the shape [`SimConfig::fused_tiles`] expects. Empty when
+/// the plan fused nothing (the legacy pipeline).
+#[must_use]
+pub fn fused_tiles(result: &LcmmResult) -> HashMap<lcmm_graph::NodeId, usize> {
+    result.fusion.tile_table().collect()
+}
+
+/// The latency table an LCMM result actually planned against: the raw
+/// design profile with the result's fusion plan applied (identity when
+/// nothing fused). Both the simulator and the analytic cross-checks
+/// must use this table, or fused plans would be judged against
+/// transfers they eliminated.
+#[must_use]
+pub fn effective_profile(graph: &Graph, result: &LcmmResult) -> lcmm_fpga::GraphProfile {
+    let profile = result.design.profile(graph);
+    if result.fusion.is_empty() {
+        profile
+    } else {
+        result.fusion.apply(&profile)
+    }
+}
+
+/// Simulates an LCMM result with its prefetch plan, sharing classes,
+/// and — for fused plans — per-tile execution of fused group members.
 #[must_use]
 pub fn simulate_lcmm(graph: &Graph, result: &LcmmResult) -> f64 {
-    let profile = result.design.profile(graph);
+    let profile = effective_profile(graph, result);
     let sim = Simulator::new(graph, &profile);
     let config = SimConfig::default()
         .with_inferences(2) // steady state after the first pass
         .with_weight_classes(weight_classes(result))
-        .with_prefetch(result.prefetch.clone());
+        .with_prefetch(result.prefetch.clone())
+        .with_fused_tiles(fused_tiles(result));
     sim.run(&result.residency, &config).steady_latency
 }
 
@@ -112,7 +137,7 @@ pub fn simulate_lcmm(graph: &Graph, result: &LcmmResult) -> f64 {
 #[must_use]
 pub fn validate(graph: &Graph, umm: &UmmBaseline, lcmm: &LcmmResult) -> ValidationReport {
     let umm_sim = Simulator::new(graph, &umm.profile).run(&Residency::new(), &SimConfig::default());
-    let lcmm_profile = lcmm.design.profile(graph);
+    let lcmm_profile = effective_profile(graph, lcmm);
     let lcmm_eval = Evaluator::new(graph, &lcmm_profile);
     ValidationReport {
         umm: ValidationPoint {
@@ -196,6 +221,38 @@ mod tests {
             simulated: f64::NAN,
         };
         let _ = p.ratio();
+    }
+
+    #[test]
+    fn fused_plans_validate_within_band() {
+        use lcmm_core::{FusionMode, LcmmOptions, PlanRequest, UmmBaseline};
+        let g = zoo::resnet50();
+        let device = Device::vu9p();
+        let umm = UmmBaseline::build(&g, &device, Precision::Fix16);
+        let design = lcmm_fpga::AccelDesign::explore(&g, &device, Precision::Fix16);
+        let budget = Some(design.tensor_sram_budget() / 8);
+        let lcmm = PlanRequest::new(&g, &device, Precision::Fix16)
+            .options(
+                LcmmOptions::default()
+                    .with_fusion(FusionMode::Auto)
+                    .with_tensor_budget(budget),
+            )
+            .with_design(design)
+            .run()
+            .unwrap();
+        assert!(!lcmm.fusion.is_empty(), "expected fused groups");
+        assert!(!fused_tiles(&lcmm).is_empty());
+        let report = validate(&g, &umm, &lcmm);
+        // The analytic side of the report must be the plan's own
+        // latency: validate() scores fused plans on the fused table.
+        assert!(
+            (report.lcmm.analytic - lcmm.latency).abs() <= 1e-9 * lcmm.latency,
+            "validate() disagrees with the plan: {} vs {}",
+            report.lcmm.analytic,
+            lcmm.latency
+        );
+        let ratio = report.lcmm.ratio();
+        assert!((0.99..1.6).contains(&ratio), "fused lcmm ratio {ratio}");
     }
 
     #[test]
